@@ -1,0 +1,79 @@
+/// \file bench_ablation_rbr.cpp
+/// Ablation for Section 2.4.2: basic vs improved re-execution-based
+/// rating. The basic method (Figure 3) times version 1 on a cold cache
+/// and version 2 on the cache version 1 just warmed, biasing the ratio;
+/// it also checkpoints the full Input(TS). The improved method (Figure 4)
+/// adds the precondition run, alternates execution order, and saves only
+/// Modified_Input(TS). The bench reports, for identical versions (ideal
+/// rating = 1): the bias, the spread, and the checkpoint traffic.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/profile.hpp"
+#include "sim/exec_backend.hpp"
+#include "stats/descriptive.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace peak;
+  std::cout << "Ablation: basic vs improved RBR (identical versions; ideal "
+               "rating = 1.0)\n\n";
+
+  const sim::MachineModel machine = sim::sparc2();
+  const auto& space = search::gcc33_o3_space();
+  const sim::FlagEffectModel effects(space);
+  const search::FlagConfig o3 = search::o3_config(space);
+
+  support::Table table;
+  table.row({"Section", "variant", "mean R", "bias*100", "sd*100",
+             "checkpoint B", "overhead/inv"});
+
+  for (const char* name : {"BZIP2", "MCF", "ART", "MESA"}) {
+    const auto workload = workloads::make_workload(name);
+    const workloads::Trace trace =
+        workload->trace(workloads::DataSet::kTrain, 7);
+    const core::ProfileData profile =
+        core::profile_workload(*workload, trace, machine);
+    const ir::Function& fn = workload->function();
+
+    for (const bool improved : {false, true}) {
+      sim::TsTraits traits = workload->traits();
+      traits.workload_scale = trace.workload_scale;
+      sim::SimExecutionBackend backend(fn, traits, machine, effects, 99);
+      backend.set_checkpoint_bytes(
+          profile.input_sets.input_bytes(fn),
+          profile.input_sets.modified_input_bytes(fn));
+
+      std::vector<double> ratios;
+      double overhead = 0.0;
+      const std::size_t pairs = 600;
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const auto pair = backend.invoke_rbr_pair(
+            o3, o3, trace.invocations[i % trace.invocations.size()],
+            sim::RbrOptions{improved});
+        ratios.push_back(pair.time_best / pair.time_exp);
+        overhead += pair.overhead;
+      }
+      const double mean = stats::mean(ratios);
+      table.add_row()
+          .cell(workload->full_name())
+          .cell(improved ? "improved" : "basic")
+          .num(mean, 4)
+          .num(100.0 * (mean - 1.0))
+          .num(100.0 * stats::stddev(ratios))
+          .cell(std::to_string(improved
+                                   ? profile.input_sets
+                                         .modified_input_bytes(fn)
+                                   : profile.input_sets.input_bytes(fn)))
+          .num(overhead / static_cast<double>(pairs), 0);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: the basic method shows a positive bias (version 2 "
+               "runs on a warm cache and\nlooks spuriously faster); the "
+               "improved method's bias is near zero and its checkpoint\nis "
+               "smaller (Modified_Input ⊆ Input).\n";
+  return 0;
+}

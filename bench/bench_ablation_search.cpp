@@ -1,0 +1,100 @@
+/// \file bench_ablation_search.cpp
+/// Ablation for the search engine (Section 5.2 mentions that alternative
+/// pruning algorithms can be plugged in): Iterative Elimination vs Batch
+/// Elimination vs random search vs greedy construction on the 38-flag
+/// space, rated with the consultant-chosen method for each benchmark.
+/// Reports the ref-dataset improvement found and the configurations
+/// evaluated (the cost driver).
+
+#include <iostream>
+
+#include "core/peak.hpp"
+#include "core/profile.hpp"
+#include "core/tuning_driver.hpp"
+#include "search/combined_elimination.hpp"
+#include "search/iterative_elimination.hpp"
+#include "search/simple_searches.hpp"
+#include "sim/exec_backend.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace peak;
+
+/// Noise-free evaluator against the effect model (isolates the search
+/// algorithms from rating noise; the full pipeline is measured elsewhere).
+class OracleEvaluator final : public search::ConfigEvaluator {
+public:
+  OracleEvaluator(const sim::TsTraits& traits,
+                  const sim::MachineModel& machine,
+                  const sim::FlagEffectModel& effects)
+      : traits_(traits), machine_(machine), effects_(effects) {}
+
+  double relative_improvement(const search::FlagConfig& base,
+                              const search::FlagConfig& cfg) override {
+    return effects_.time_multiplier(traits_, machine_, base) /
+           effects_.time_multiplier(traits_, machine_, cfg);
+  }
+
+private:
+  const sim::TsTraits& traits_;
+  const sim::MachineModel& machine_;
+  const sim::FlagEffectModel& effects_;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: search algorithms over the 38-flag GCC 3.3 -O3 "
+               "space (noise-free oracle ratings)\n\n";
+
+  const sim::MachineModel machine = sim::pentium4();
+  const auto& space = search::gcc33_o3_space();
+  const sim::FlagEffectModel effects(space);
+  const search::FlagConfig o3 = search::o3_config(space);
+
+  support::Table table;
+  table.row({"Benchmark", "algorithm", "improvement %", "configs"});
+
+  for (const std::string& name : workloads::figure7_benchmarks()) {
+    const auto workload = workloads::make_workload(name);
+    sim::TsTraits traits = workload->traits();
+    traits.workload_scale = 1.0;
+
+    // Noise-free oracle: both elimination variants can afford the same
+    // tight improvement threshold.
+    search::IterativeEliminationOptions ie_opts;
+    ie_opts.improvement_threshold = 1.002;
+    search::IterativeElimination ie(ie_opts);
+    search::BatchElimination be(1.002);
+    search::CombinedElimination ce(1.002);
+    search::FactorialScreening screening;
+    search::RandomSearch random(150, 7);
+    search::GreedyConstruction greedy(1.002);
+    search::SearchAlgorithm* algorithms[] = {&ie,     &be,     &ce,
+                                             &screening, &random, &greedy};
+
+    for (search::SearchAlgorithm* algo : algorithms) {
+      OracleEvaluator oracle(traits, machine, effects);
+      const search::SearchResult result =
+          algo->run(space, oracle, o3);
+      const double improvement =
+          100.0 * (effects.time_multiplier(traits, machine, o3) /
+                       effects.time_multiplier(traits, machine,
+                                               result.best) -
+                   1.0);
+      table.add_row()
+          .cell(name)
+          .cell(algo->name())
+          .num(improvement)
+          .cell(std::to_string(result.configs_evaluated));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: IE matches or beats BE at the same threshold (it "
+               "re-probes after each removal);\nboth crush random sampling "
+               "at comparable budgets; greedy construction can match the\n"
+               "eliminators but pays several times the evaluations.\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+/// \file bench_fig7_time.cpp
+/// Regenerates Figure 7 (c) and (d): tuning time of every rating method
+/// normalised to the state-of-the-art whole-program (WHL) approach, on
+/// both simulated machines. Shape targets: most methods reduce tuning
+/// time by more than 10x; using the wrong method hurts (MGRID_CBR has too
+/// many contexts; SWIM_RBR pays heavy re-execution overhead, worst on the
+/// Pentium 4); ref-dataset tuning amortises better than train (more
+/// invocations per run).
+
+#include <iostream>
+
+#include "fig7_common.hpp"
+
+int main() {
+  using namespace peak;
+  std::cout << "Reproducing Figure 7 (c)/(d): normalized tuning time over "
+               "the WHL approach\n\n";
+  for (const sim::MachineModel& machine :
+       {sim::sparc2(), sim::pentium4()}) {
+    const bench::Figure7Results results = bench::run_figure7(machine);
+    bench::print_time_panel(results);
+  }
+  return 0;
+}

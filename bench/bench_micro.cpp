@@ -1,0 +1,147 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks for the rating machinery itself: the
+/// costs PEAK adds around each tuning-section invocation must be small
+/// relative to the sections being tuned. Covers the regression solver
+/// (MBR), snapshot save/restore (RBR), the windowed rater, the IR
+/// interpreter, and the set-associative cache model.
+
+#include <benchmark/benchmark.h>
+
+#include "ir/builder.hpp"
+#include "ir/fuzz.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/liveness.hpp"
+#include "ir/passes.hpp"
+#include "ir/range_analysis.hpp"
+#include "rating/window.hpp"
+#include "runtime/snapshot.hpp"
+#include "sim/cache_model.hpp"
+#include "stats/regression.hpp"
+#include "support/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace peak;
+
+void BM_RegressionSolve(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  support::Rng rng(1);
+  stats::Matrix design(rows, cols);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      design(r, c) = rng.uniform(1, 100);
+      sum += design(r, c) * static_cast<double>(c + 1);
+    }
+    y[r] = sum * rng.lognormal(0.01);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::least_squares(design, y));
+  }
+}
+BENCHMARK(BM_RegressionSolve)->Args({40, 2})->Args({160, 6})->Args({640, 8});
+
+void BM_SnapshotSaveRestore(benchmark::State& state) {
+  ir::FunctionBuilder b("snap");
+  const auto arr =
+      b.param_array("arr", static_cast<std::size_t>(state.range(0)), true);
+  b.store(arr, b.c(0.0), b.c(1.0));
+  const ir::Function fn = b.build();
+  ir::Memory mem = ir::Memory::for_function(fn);
+  runtime::MemorySnapshot snap(fn, mem, std::vector<peak::ir::VarId>{arr});
+  for (auto _ : state) {
+    snap.recapture(mem);
+    snap.restore(mem);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * state.range(0) *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_SnapshotSaveRestore)->Arg(1024)->Arg(16384);
+
+void BM_WindowedRaterAdd(benchmark::State& state) {
+  support::Rng rng(2);
+  rating::WindowedRater rater;
+  for (auto _ : state) rater.add(rng.normal(100, 1));
+}
+BENCHMARK(BM_WindowedRaterAdd);
+
+void BM_WindowedRaterRating(benchmark::State& state) {
+  support::Rng rng(3);
+  rating::WindowedRater rater;
+  for (int i = 0; i < 160; ++i) rater.add(rng.normal(100, 1));
+  for (auto _ : state) benchmark::DoNotOptimize(rater.rating());
+}
+BENCHMARK(BM_WindowedRaterRating);
+
+void BM_InterpreterSwimInvocation(benchmark::State& state) {
+  const auto workload = workloads::make_workload("SWIM");
+  const workloads::Trace trace =
+      workload->trace(workloads::DataSet::kTrain, 1);
+  const ir::Function& fn = workload->function();
+  const ir::Interpreter interp(fn);
+  ir::Memory mem = ir::Memory::for_function(fn);
+  trace.invocations[0].bind(mem);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const ir::RunResult run = interp.run(mem);
+    steps += run.steps;
+    benchmark::DoNotOptimize(run.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_InterpreterSwimInvocation);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::SetAssocCache cache(16 * 1024, 32, 4);
+  support::Rng rng(4);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 64) % (64 * 1024);
+    benchmark::DoNotOptimize(cache.access(addr));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_RangeAnalysis(benchmark::State& state) {
+  const auto workload = workloads::make_workload("MGRID");
+  const ir::Function& fn = workload->function();
+  const std::map<ir::VarId, ir::Interval> bounds = {
+      {*fn.find_var("n"), ir::Interval{6, 14}},
+      {*fn.find_var("sweep"), ir::Interval{0, 59}}};
+  for (auto _ : state) {
+    ir::RangeAnalysis ranges(fn, bounds);
+    benchmark::DoNotOptimize(ranges.written_ranges().size());
+  }
+}
+BENCHMARK(BM_RangeAnalysis);
+
+void BM_PassPipeline(benchmark::State& state) {
+  const ir::Function original =
+      ir::fuzz_function(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    ir::Function fn = original;
+    benchmark::DoNotOptimize(
+        ir::PassManager::standard_pipeline().run(fn, 4));
+  }
+}
+BENCHMARK(BM_PassPipeline)->Arg(3)->Arg(17);
+
+void BM_PointsToAndLiveness(benchmark::State& state) {
+  const auto workload = workloads::make_workload("EQUAKE");
+  const ir::Function& fn = workload->function();
+  for (auto _ : state) {
+    ir::PointsTo pt(fn);
+    ir::Liveness live(fn, pt);
+    benchmark::DoNotOptimize(live.input_set().size());
+  }
+}
+BENCHMARK(BM_PointsToAndLiveness);
+
+}  // namespace
+
+BENCHMARK_MAIN();

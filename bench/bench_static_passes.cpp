@@ -1,0 +1,113 @@
+/// \file bench_static_passes.cpp
+/// The "static compiler" substrate (paper §2.1: each tuning section is
+/// first optimized statically, as in a conventional compiler). Runs the
+/// standard IR pass pipeline — constant folding, copy propagation, LICM,
+/// DCE, unreachable elimination — over every Table 1 kernel and reports
+/// the interpreted work before and after. Semantics preservation is
+/// enforced separately by the differential fuzz tests.
+
+#include <iostream>
+
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/passes.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+/// What a naive source-to-IR translator emits: redundant copies, constant
+/// arithmetic, and loop-invariant scale computations recomputed per
+/// iteration — the fodder conventional static optimization exists for.
+peak::ir::Function naive_translator_output() {
+  using namespace peak::ir;
+  FunctionBuilder b("naive_saxpy");
+  const auto n = b.param_scalar("n");
+  const auto alpha = b.param_scalar("alpha", true);
+  const auto x = b.param_array("x", 256, true);
+  const auto y = b.param_array("y", 256, true);
+  const auto i = b.scalar("i");
+  const auto a_copy = b.scalar("a_copy", true);
+  const auto scale = b.scalar("scale", true);
+  const auto two = b.scalar("two", true);
+  const auto dead = b.scalar("dead", true);
+  b.for_loop(i, b.c(0), b.v(n), [&] {
+    b.assign(two, b.add(b.c(1), b.c(1)));           // constant, invariant
+    b.assign(a_copy, b.v(alpha));                   // copy
+    b.assign(scale, b.mul(b.v(a_copy), b.v(two)));  // invariant after both
+    b.assign(dead, b.mul(b.v(scale), b.c(3)));      // never used
+    b.store(y, b.v(i),
+            b.add(b.at(y, b.v(i)), b.mul(b.v(scale), b.at(x, b.v(i)))));
+  });
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace peak;
+  std::cout << "Static optimization of the tuning-section kernels (IR "
+               "pass pipeline)\n\n";
+
+  support::Table table;
+  table.row({"Section", "passes applied", "steps before", "steps after",
+             "reduction %"});
+
+  for (const auto& workload : workloads::all_workloads()) {
+    const workloads::Trace trace =
+        workload->trace(workloads::DataSet::kTrain, 11);
+    const ir::Function& original = workload->function();
+
+    ir::Memory m1 = ir::Memory::for_function(original);
+    trace.invocations[0].bind(m1);
+    const ir::RunResult before = ir::Interpreter(original).run(m1);
+
+    ir::Function optimized = original;
+    const std::size_t applications =
+        ir::PassManager::standard_pipeline().run(optimized, 8);
+
+    ir::Memory m2 = ir::Memory::for_function(optimized);
+    trace.invocations[0].bind(m2);
+    const ir::RunResult after = ir::Interpreter(optimized).run(m2);
+
+    table.add_row()
+        .cell(workload->full_name())
+        .cell(std::to_string(applications))
+        .cell(std::to_string(before.steps))
+        .cell(std::to_string(after.steps))
+        .num(100.0 * (1.0 - static_cast<double>(after.steps) /
+                                static_cast<double>(before.steps)));
+  }
+  // A deliberately naive translation, as a front end would emit it.
+  {
+    const ir::Function original = naive_translator_output();
+    ir::Memory m1 = ir::Memory::for_function(original);
+    m1.scalar(*original.find_var("n")) = 200;
+    m1.scalar(*original.find_var("alpha")) = 1.5;
+    const ir::RunResult before = ir::Interpreter(original).run(m1);
+
+    ir::Function optimized = original;
+    const std::size_t applications =
+        ir::PassManager::standard_pipeline().run(optimized, 12);
+    ir::Memory m2 = ir::Memory::for_function(optimized);
+    m2.scalar(*original.find_var("n")) = 200;
+    m2.scalar(*original.find_var("alpha")) = 1.5;
+    const ir::RunResult after = ir::Interpreter(optimized).run(m2);
+
+    table.add_row()
+        .cell("naive_saxpy (translator output)")
+        .cell(std::to_string(applications))
+        .cell(std::to_string(before.steps))
+        .cell(std::to_string(after.steps))
+        .num(100.0 * (1.0 - static_cast<double>(after.steps) /
+                                static_cast<double>(before.steps)));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nNote: the hand-modelled Table 1 kernels are already "
+               "tight — as real hot loops are\nafter '-O3' — so the "
+               "pipeline's work shows on the naive translator output; "
+               "the\ndifferential fuzz suite guarantees all "
+               "transformations preserve semantics.\n";
+  return 0;
+}

@@ -1,0 +1,250 @@
+/// \file bench_table1.cpp
+/// Regenerates Table 1: consistency of the rating approaches for the most
+/// important tuning section of each benchmark. Following Section 5.1, a
+/// single experimental version (compiled under "-O3") is rated repeatedly
+/// over the training trace; each rating V_i aggregates a window of w
+/// invocations. The rating error is X_i = V_i/V̄ - 1 for CBR and MBR and
+/// X_i = V_i - 1 for RBR (the ideal RBR rating of a version against
+/// itself is exactly 1). The table reports Mean(StdDev)·100 of X_i for
+/// window sizes w ∈ {10, 20, 40, 80, 160}.
+///
+/// Shape targets: means near zero everywhere; σ shrinking with w roughly
+/// like 1/sqrt(w); EQUAKE the noisiest FP section; the small APSI context
+/// noisier than the large ones; RBR σ small despite the integer codes'
+/// wild per-invocation irregularity (the re-execution ratio cancels it).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "analysis/instrumentation.hpp"
+#include "core/profile.hpp"
+#include "rating/mbr.hpp"
+#include "sim/exec_backend.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/outlier.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace peak;
+
+constexpr int kWindows[] = {10, 20, 40, 80, 160};
+constexpr std::size_t kRatingsPerWindow = 36;
+constexpr std::size_t kSamplesNeeded = 160 * kRatingsPerWindow;
+
+std::string format_invocations(std::uint64_t n) {
+  char buf[32];
+  if (n >= 1'000'000)
+    std::snprintf(buf, sizeof buf, "%.3gM", static_cast<double>(n) / 1e6);
+  else if (n >= 1'000)
+    std::snprintf(buf, sizeof buf, "%.3gK", static_cast<double>(n) / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(n));
+  return buf;
+}
+
+/// Mean(σ)·100 of the rating errors for one window size.
+std::string consistency_cell(const std::vector<double>& ratings,
+                             bool rbr_style) {
+  if (ratings.size() < 4) return "-";
+  double vbar = 1.0;
+  if (!rbr_style) vbar = stats::mean(ratings);
+  std::vector<double> errors;
+  errors.reserve(ratings.size());
+  for (double v : ratings)
+    errors.push_back(rbr_style ? v - 1.0 : v / vbar - 1.0);
+  return support::Table::mean_sd(100.0 * stats::mean(errors),
+                                 100.0 * stats::stddev(errors));
+}
+
+/// Windowed ratings from a raw sample stream (mean over each window after
+/// the Section 3 outlier elimination).
+std::vector<double> window_means(const std::vector<double>& samples,
+                                 std::size_t w) {
+  std::vector<double> out;
+  // MAD detection: a 3-sigma rule masks at w = 10 (the spike inflates the
+  // sigma it must exceed); see rating::WindowPolicy.
+  const stats::OutlierPolicy outliers{stats::OutlierRule::kMad, 6.0, 0.25,
+                                      4};
+  for (std::size_t start = 0; start + w <= samples.size(); start += w) {
+    const std::span<const double> win(samples.data() + start, w);
+    out.push_back(stats::mean(stats::filter_outliers(win, outliers).kept));
+  }
+  return out;
+}
+
+struct RowSink {
+  support::Table& table;
+  void emit(const std::string& benchmark, const std::string& section,
+            const char* approach, std::uint64_t paper_invocations,
+            const std::map<std::size_t, std::vector<double>>& per_window,
+            bool rbr_style) {
+    auto row = table.add_row();
+    row.cell(benchmark).cell(section).cell(approach).cell(
+        format_invocations(paper_invocations));
+    for (int w : kWindows)
+      row.cell(consistency_cell(per_window.at(static_cast<std::size_t>(w)),
+                                rbr_style));
+  }
+};
+
+void run_workload(const workloads::Workload& workload,
+                  const sim::MachineModel& machine, RowSink& sink) {
+  const workloads::Trace trace =
+      workload.trace(workloads::DataSet::kTrain, 42);
+  const core::ProfileData profile =
+      core::profile_workload(workload, trace, machine);
+  const rating::Method method = profile.decision.initial();
+  const auto& space = search::gcc33_o3_space();
+  const sim::FlagEffectModel effects(space);
+  const search::FlagConfig o3 = search::o3_config(space);
+
+  const ir::Function instrumented =
+      profile.components.mbr_applicable
+          ? analysis::instrument_components(workload.function(),
+                                            profile.components)
+          : workload.function();
+  const ir::Function& fn = method == rating::Method::kMBR
+                               ? instrumented
+                               : workload.function();
+  sim::TsTraits traits = workload.traits();
+  traits.workload_scale = trace.workload_scale;
+  sim::SimExecutionBackend backend(fn, traits, machine, effects,
+                                   support::stable_hash(workload.benchmark()));
+  backend.set_checkpoint_bytes(
+      profile.input_sets.input_bytes(fn),
+      profile.input_sets.modified_input_bytes(fn));
+
+  const auto& invs = trace.invocations;
+  auto next = [&, cursor = std::size_t{0}]() mutable -> const sim::Invocation& {
+    const sim::Invocation& inv = invs[cursor];
+    cursor = (cursor + 1) % invs.size();
+    return inv;
+  };
+
+  std::map<std::size_t, std::vector<double>> per_window;
+
+  switch (method) {
+    case rating::Method::kRBR: {
+      std::vector<double> ratios;
+      ratios.reserve(kSamplesNeeded);
+      for (std::size_t i = 0; i < kSamplesNeeded; ++i) {
+        const sim::RbrPairResult pair =
+            backend.invoke_rbr_pair(o3, o3, next(), sim::RbrOptions{true});
+        ratios.push_back(pair.time_best / pair.time_exp);
+      }
+      for (int w : kWindows)
+        per_window[static_cast<std::size_t>(w)] =
+            window_means(ratios, static_cast<std::size_t>(w));
+      sink.emit(workload.benchmark(), workload.ts_name(), "RBR",
+                workload.paper_invocations(), per_window,
+                /*rbr_style=*/true);
+      return;
+    }
+
+    case rating::Method::kCBR: {
+      // Collect per-context sample streams; report one row per context
+      // (Table 1 shows multiple rows for radb4 and zgemm).
+      std::map<std::vector<double>, std::vector<double>> buckets;
+      bool done = false;
+      for (std::size_t guard = 0; guard < 40 * kSamplesNeeded && !done;
+           ++guard) {
+        const sim::Invocation& inv = next();
+        auto& bucket = buckets[inv.context];
+        if (bucket.size() < kSamplesNeeded)
+          bucket.push_back(backend.invoke(o3, inv).time);
+        done = !buckets.empty();
+        for (const auto& [ctx, samples] : buckets)
+          done = done && samples.size() >= kSamplesNeeded;
+      }
+      int index = 1;
+      for (const auto& [ctx, samples] : buckets) {
+        for (int w : kWindows)
+          per_window[static_cast<std::size_t>(w)] =
+              window_means(samples, static_cast<std::size_t>(w));
+        const std::string section =
+            buckets.size() == 1
+                ? workload.ts_name()
+                : workload.ts_name() + "(Context " +
+                      std::to_string(index++) + ")";
+        sink.emit(workload.benchmark(), section, "CBR",
+                  workload.paper_invocations(), per_window,
+                  /*rbr_style=*/false);
+      }
+      return;
+    }
+
+    case rating::Method::kMBR: {
+      // One MBR rating per window: regression over the window's component
+      // counts and times.
+      std::vector<std::vector<double>> counts;
+      std::vector<double> times;
+      counts.reserve(kSamplesNeeded);
+      for (std::size_t i = 0; i < kSamplesNeeded; ++i) {
+        const sim::Invocation& inv = next();
+        const sim::InvocationResult r = backend.invoke(o3, inv);
+        std::vector<double> row(r.counters.begin(), r.counters.end());
+        row.push_back(1.0);
+        counts.push_back(std::move(row));
+        times.push_back(r.time);
+      }
+      rating::MbrPolicy policy;
+      policy.min_samples_per_component = 1;
+      for (int w : kWindows) {
+        std::vector<double> ratings;
+        for (std::size_t start = 0;
+             start + static_cast<std::size_t>(w) <= times.size();
+             start += static_cast<std::size_t>(w)) {
+          rating::ModelBasedRater rater(
+              profile.components.num_components(), profile.mbr_profile,
+              policy);
+          for (std::size_t i = start;
+               i < start + static_cast<std::size_t>(w); ++i)
+            rater.add(counts[i], times[i]);
+          const rating::Rating r = rater.rating();
+          if (r.eval > 0.0) ratings.push_back(r.eval);
+        }
+        per_window[static_cast<std::size_t>(w)] = std::move(ratings);
+      }
+      sink.emit(workload.benchmark(), workload.ts_name(), "MBR",
+                workload.paper_invocations(), per_window,
+                /*rbr_style=*/false);
+      return;
+    }
+
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "Reproducing Table 1: consistency of rating approaches for "
+         "selected tuning sections\n"
+         "(Mean(StdDev)*100 of the rating error; window sizes per "
+         "column; machine: sparc2)\n\n";
+
+  const sim::MachineModel machine = sim::sparc2();
+  support::Table table;
+  std::vector<std::string> header = {"Benchmark", "Tuning Section",
+                                     "Approach", "#invoc"};
+  for (int w : kWindows) header.push_back("w=" + std::to_string(w));
+  table.row(header);
+
+  RowSink sink{table};
+  for (const auto& workload : workloads::all_workloads())
+    run_workload(*workload, machine, sink);
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape checks vs the paper: means ~0; sigma falls with w "
+         "(≈1/sqrt(w)); the integer\ncodes all use RBR; EQUAKE is the "
+         "noisiest FP section; APSI context 1 (the smallest\nworkload) is "
+         "the noisiest of its three contexts.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "fig7_common.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "support/table.hpp"
+
+namespace peak::bench {
+
+Figure7Results run_figure7(const sim::MachineModel& machine,
+                           std::uint64_t seed) {
+  Figure7Results results;
+  results.machine = machine;
+  core::PeakOptions options;
+  options.seed = seed;
+  core::Peak peak(machine, options);
+
+  for (const std::string& name : workloads::figure7_benchmarks()) {
+    const auto workload = workloads::make_workload(name);
+    std::vector<rating::Method> extra;
+    if (name == "MGRID") extra.push_back(rating::Method::kCBR);
+    results.benchmarks.push_back(
+        peak.run_benchmark(*workload, /*all_methods=*/true, extra));
+  }
+  return results;
+}
+
+namespace {
+
+std::string bar_label(const core::BenchmarkResult& b, rating::Method m) {
+  std::string label = b.benchmark;
+  for (char& c : label) c = static_cast<char>(std::tolower(c));
+  return label + "_" + rating::to_string(m);
+}
+
+std::vector<rating::Method> methods_in(const core::BenchmarkResult& b) {
+  std::vector<rating::Method> out;
+  for (const core::MethodRun& r : b.runs) {
+    if (r.tuned_on != workloads::DataSet::kTrain) continue;
+    out.push_back(r.method);
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_perf_panel(const Figure7Results& results) {
+  support::Table table("Figure 7 (" + results.machine.name +
+                       "): % improvement over -O3 on the ref dataset "
+                       "(left bar: tuned with train; right: tuned with ref)");
+  table.row({"bar", "Train", "Ref"});
+  for (const core::BenchmarkResult& b : results.benchmarks) {
+    for (rating::Method m : methods_in(b)) {
+      const core::MethodRun* train =
+          b.find(m, workloads::DataSet::kTrain);
+      const core::MethodRun* ref = b.find(m, workloads::DataSet::kRef);
+      table.add_row()
+          .cell(bar_label(b, m))
+          .num(train ? train->ref_improvement_pct : 0.0)
+          .num(ref ? ref->ref_improvement_pct : 0.0);
+    }
+  }
+  table.print(std::cout);
+  for (const core::BenchmarkResult& b : results.benchmarks)
+    std::cout << "  " << b.benchmark
+              << ": PEAK chooses " << rating::to_string(b.chosen) << " ("
+              << b.decision.rationale << ")\n";
+  std::cout << '\n';
+}
+
+void print_time_panel(const Figure7Results& results) {
+  support::Table table(
+      "Figure 7 (" + results.machine.name +
+      "): tuning time normalised to the WHL approach (lower is better)");
+  table.row({"bar", "Train", "Ref"});
+  for (const core::BenchmarkResult& b : results.benchmarks) {
+    for (rating::Method m : methods_in(b)) {
+      if (m == rating::Method::kWHL) continue;  // the 1.0 reference
+      table.add_row()
+          .cell(bar_label(b, m))
+          .num(b.normalized_tuning_time(m, workloads::DataSet::kTrain), 3)
+          .num(b.normalized_tuning_time(m, workloads::DataSet::kRef), 3);
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+Headline compute_headline(const std::vector<Figure7Results>& machines) {
+  Headline h;
+  double sum_impr = 0.0, sum_red = 0.0;
+  std::size_t n = 0;
+  for (const Figure7Results& results : machines) {
+    for (const core::BenchmarkResult& b : results.benchmarks) {
+      const core::MethodRun* run =
+          b.find(b.chosen, workloads::DataSet::kTrain);
+      if (!run) continue;
+      const double reduction =
+          100.0 * (1.0 - b.normalized_tuning_time(
+                             b.chosen, workloads::DataSet::kTrain));
+      h.max_improvement_pct =
+          std::max(h.max_improvement_pct, run->ref_improvement_pct);
+      h.max_time_reduction_pct =
+          std::max(h.max_time_reduction_pct, reduction);
+      sum_impr += run->ref_improvement_pct;
+      sum_red += reduction;
+      ++n;
+    }
+  }
+  if (n > 0) {
+    h.avg_improvement_pct = sum_impr / static_cast<double>(n);
+    h.avg_time_reduction_pct = sum_red / static_cast<double>(n);
+  }
+  return h;
+}
+
+}  // namespace peak::bench

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file fig7_common.hpp
+/// Shared runner for the Figure 7 experiments: tune the four benchmarks
+/// (SWIM, MGRID, EQUAKE, ART) on one simulated machine with every
+/// applicable rating method plus the AVG and WHL references, on both the
+/// train and ref tuning datasets. MGRID additionally forces CBR — the
+/// deliberately wrong choice the paper plots as MGRID_CBR.
+
+#include <vector>
+
+#include "core/peak.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::bench {
+
+struct Figure7Results {
+  sim::MachineModel machine;
+  std::vector<core::BenchmarkResult> benchmarks;
+};
+
+Figure7Results run_figure7(const sim::MachineModel& machine,
+                           std::uint64_t seed = 1);
+
+/// Print the (a)/(b) panel: % improvement over -O3 on the ref dataset.
+void print_perf_panel(const Figure7Results& results);
+
+/// Print the (c)/(d) panel: tuning time normalised to WHL.
+void print_time_panel(const Figure7Results& results);
+
+/// §5.2 aggregates over the consultant-chosen methods.
+struct Headline {
+  double max_improvement_pct = 0.0;
+  double avg_improvement_pct = 0.0;
+  double max_time_reduction_pct = 0.0;  ///< 100·(1 - t/t_WHL), best case
+  double avg_time_reduction_pct = 0.0;
+};
+
+Headline compute_headline(const std::vector<Figure7Results>& machines);
+
+}  // namespace peak::bench

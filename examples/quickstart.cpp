@@ -1,0 +1,55 @@
+/// \file quickstart.cpp
+/// PEAK in five minutes: pick a benchmark workload, let the pipeline
+/// profile it, choose a rating method, search the 38-flag GCC 3.3 -O3
+/// space with Iterative Elimination, and report the tuned configuration.
+///
+///   $ ./examples/quickstart [SWIM|MGRID|EQUAKE|ART|...] [sparc2|p4]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/peak.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace peak;
+  const std::string benchmark = argc > 1 ? argv[1] : "SWIM";
+  const std::string machine_name = argc > 2 ? argv[2] : "sparc2";
+
+  const auto workload = workloads::make_workload(benchmark);
+  if (!workload) {
+    std::cerr << "unknown benchmark '" << benchmark << "'\n";
+    return 1;
+  }
+  const sim::MachineModel machine =
+      machine_name == "p4" ? sim::pentium4() : sim::sparc2();
+
+  std::cout << "Tuning " << workload->full_name() << " on " << machine.name
+            << " (offline scenario: tune on train, evaluate on ref)\n\n";
+
+  // Step 1-2 of the pipeline: profile + consultant (run here explicitly so
+  // we can narrate the decision; Peak::tune_with_consultant does the same).
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, /*seed=*/2026);
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, machine);
+  std::cout << "Context analysis: "
+            << profile.context_analysis.describe(workload->function())
+            << "\nConsultant: " << profile.decision.rationale
+            << "\n  -> initial method: "
+            << rating::to_string(profile.decision.initial()) << "\n\n";
+
+  // Steps 3-5: instrument, tune, report.
+  core::Peak peak(machine);
+  const core::MethodRun run = peak.tune_with_consultant(*workload);
+
+  std::printf("Best configuration found (flags removed from -O3): %s\n",
+              run.best_config
+                  .describe(peak.effects().space(), /*invert=*/true)
+                  .c_str());
+  std::printf("Improvement over -O3 on the ref dataset: %.2f%%\n",
+              run.ref_improvement_pct);
+  std::printf("Tuning cost: %zu TS invocations (%.1f program runs)\n",
+              run.cost.invocations, run.cost.program_runs);
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "analysis/component_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace peak::analysis {
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  PEAK_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+std::vector<double> ComponentModel::count_row(
+    std::span<const std::uint64_t> block_entries) const {
+  std::vector<double> row;
+  row.reserve(num_components());
+  for (const Component& comp : varying) {
+    PEAK_CHECK(comp.representative < block_entries.size(),
+               "count row shorter than the block space");
+    row.push_back(static_cast<double>(block_entries[comp.representative]));
+  }
+  row.push_back(1.0);  // constant component
+  return row;
+}
+
+ComponentModel analyze_components(
+    const ir::Function& fn,
+    const std::vector<std::vector<std::uint64_t>>& profiles,
+    const ComponentModelOptions& options) {
+  ComponentModel model;
+  const std::size_t nb = fn.num_blocks();
+  if (profiles.size() < 2) {
+    model.failure_reason = "profile has fewer than 2 invocations";
+    return model;
+  }
+  for (const auto& row : profiles)
+    PEAK_CHECK(row.size() == nb, "profile row arity mismatch");
+
+  // Transpose: per-block count series.
+  std::vector<std::vector<double>> series(nb,
+                                          std::vector<double>(profiles.size()));
+  for (std::size_t j = 0; j < profiles.size(); ++j)
+    for (std::size_t b = 0; b < nb; ++b)
+      series[b][j] = static_cast<double>(profiles[j][b]);
+
+  // Classify constant blocks (paper: "components that exhibit constant
+  // behavior are put into the constant component"). Small-workload blocks
+  // are folded the same way when the option is enabled.
+  std::vector<bool> is_constant(nb, false);
+  double max_total = 0.0;
+  std::vector<double> totals(nb, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    totals[b] = std::accumulate(series[b].begin(), series[b].end(), 0.0);
+    max_total = std::max(max_total, totals[b]);
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    const bool constant =
+        std::all_of(series[b].begin(), series[b].end(),
+                    [&](double v) { return v == series[b][0]; });
+    const bool small = max_total > 0.0 &&
+                       totals[b] < options.small_block_fraction * max_total;
+    is_constant[b] = constant || small;
+  }
+
+  // Greedy basis selection over the varying count series. The constant
+  // (all-ones) direction is always in the basis — it is the constant
+  // component. Heavier blocks are preferred as representatives so the
+  // component counts are the loop-body counters one would instrument.
+  std::vector<std::size_t> varying_blocks;
+  for (std::size_t b = 0; b < nb; ++b)
+    if (!is_constant[b]) varying_blocks.push_back(b);
+  std::sort(varying_blocks.begin(), varying_blocks.end(),
+            [&](std::size_t a, std::size_t b) {
+              return totals[a] != totals[b] ? totals[a] > totals[b] : a < b;
+            });
+
+  const std::size_t nsamples = profiles.size();
+  std::vector<std::vector<double>> basis;  // orthonormal
+  {
+    std::vector<double> ones(nsamples,
+                             1.0 / std::sqrt(static_cast<double>(nsamples)));
+    basis.push_back(std::move(ones));
+  }
+
+  for (std::size_t b : varying_blocks) {
+    // Residual of this block's series after projecting onto the basis.
+    std::vector<double> residual = series[b];
+    for (const auto& q : basis) {
+      const double c = dot(residual, q);
+      for (std::size_t i = 0; i < nsamples; ++i) residual[i] -= c * q[i];
+    }
+    const double scale = norm(series[b]);
+    if (scale > 0.0 &&
+        norm(residual) > options.affine_tolerance * scale) {
+      Component comp;
+      comp.representative = static_cast<ir::BlockId>(b);
+      comp.blocks.push_back(static_cast<ir::BlockId>(b));
+      model.varying.push_back(std::move(comp));
+      const double rnorm = norm(residual);
+      for (double& v : residual) v /= rnorm;
+      basis.push_back(std::move(residual));
+    } else {
+      // Linearly dependent: fold into the component it tracks closest.
+      std::size_t best = model.varying.size();
+      double best_corr = 0.0;
+      for (std::size_t ci = 0; ci < model.varying.size(); ++ci) {
+        const auto& rep = series[model.varying[ci].representative];
+        const double denom = norm(rep) * scale;
+        if (denom == 0.0) continue;
+        const double corr = std::fabs(dot(series[b], rep)) / denom;
+        if (corr > best_corr) {
+          best_corr = corr;
+          best = ci;
+        }
+      }
+      if (best < model.varying.size())
+        model.varying[best].blocks.push_back(static_cast<ir::BlockId>(b));
+      else
+        is_constant[b] = true;  // tracks only the constant direction
+    }
+  }
+  // Keep components in block order for stable counter numbering.
+  std::sort(model.varying.begin(), model.varying.end(),
+            [](const Component& a, const Component& b) {
+              return a.representative < b.representative;
+            });
+
+  for (std::size_t b = 0; b < nb; ++b)
+    if (is_constant[b])
+      model.constant_blocks.push_back(static_cast<ir::BlockId>(b));
+
+  if (model.num_components() > options.max_components) {
+    model.failure_reason =
+        "model needs " + std::to_string(model.num_components()) +
+        " components (max " + std::to_string(options.max_components) + ")";
+    model.mbr_applicable = false;
+    return model;
+  }
+  model.mbr_applicable = true;
+  return model;
+}
+
+}  // namespace peak::analysis

@@ -1,0 +1,271 @@
+#include "analysis/context_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ir/liveness.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::analysis {
+
+namespace {
+
+using ir::BlockId;
+using ir::ExprId;
+using ir::ExprOp;
+using ir::Function;
+using ir::kNoExpr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::VarId;
+using ir::VarKind;
+
+/// A use extracted from an expression, classified per the paper's scalar
+/// taxonomy.
+struct UseRef {
+  enum class Kind {
+    kScalar,         ///< plain scalar (or pointer value)
+    kArrayConst,     ///< array[const]
+    kArrayVarying,   ///< array[expr] — non-scalar
+    kDerefConst,     ///< (*ptr)[const]
+    kDerefVarying,   ///< (*ptr)[expr] — non-scalar
+  };
+  Kind kind = Kind::kScalar;
+  VarId var = ir::kNoVar;
+  std::int64_t element = -1;
+};
+
+void collect_uses(const Function& fn, ExprId e, std::vector<UseRef>& out) {
+  if (e == kNoExpr) return;
+  const ir::Expr& node = fn.expr(e);
+  switch (node.op) {
+    case ExprOp::kVarRef:
+      out.push_back({UseRef::Kind::kScalar, node.var, -1});
+      return;
+    case ExprOp::kArrayRef: {
+      const ir::Expr& idx = fn.expr(node.lhs);
+      if (idx.op == ExprOp::kConst) {
+        out.push_back({UseRef::Kind::kArrayConst, node.var,
+                       static_cast<std::int64_t>(idx.constant)});
+      } else {
+        out.push_back({UseRef::Kind::kArrayVarying, node.var, -1});
+        collect_uses(fn, node.lhs, out);
+      }
+      return;
+    }
+    case ExprOp::kDeref: {
+      const ir::Expr& idx = fn.expr(node.lhs);
+      if (idx.op == ExprOp::kConst) {
+        out.push_back({UseRef::Kind::kDerefConst, node.var,
+                       static_cast<std::int64_t>(idx.constant)});
+      } else {
+        out.push_back({UseRef::Kind::kDerefVarying, node.var, -1});
+        collect_uses(fn, node.lhs, out);
+      }
+      return;
+    }
+    case ExprOp::kAddressOf:
+      return;  // address formation reads no data
+    default:
+      collect_uses(fn, node.lhs, out);
+      collect_uses(fn, node.rhs, out);
+      return;
+  }
+}
+
+/// Uses appearing in a statement (rhs plus any index expressions).
+void stmt_uses(const Function& fn, const Stmt& s, std::vector<UseRef>& out) {
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      collect_uses(fn, s.rhs, out);
+      if (!s.lhs.is_scalar()) {
+        collect_uses(fn, s.lhs.index, out);
+        if (s.lhs.via_pointer)
+          out.push_back({UseRef::Kind::kScalar, s.lhs.var, -1});
+      }
+      break;
+    case StmtKind::kCall:
+      for (ExprId a : s.args) collect_uses(fn, a, out);
+      break;
+    default:
+      break;
+  }
+}
+
+class Walker {
+public:
+  Walker(const Function& fn, const ir::PointsTo& pt,
+         const ir::UseDefChains& ud)
+      : fn_(fn), pt_(pt), ud_(ud) {
+    std::set<VarId> defined;
+    for (VarId v : ir::def_set(fn, pt)) defined.insert(v);
+    defined_ = std::move(defined);
+  }
+
+  /// Figure 1, GetStmtContextSet: returns false when a non-scalar context
+  /// variable is encountered.
+  bool visit_use(const UseRef& use, BlockId block, std::uint32_t stmt_idx) {
+    switch (use.kind) {
+      case UseRef::Kind::kScalar:
+        return visit_scalar(use.var, block, stmt_idx);
+      case UseRef::Kind::kArrayConst:
+        // Scalar-like only when the element cannot be redefined inside the
+        // TS (the array is never stored to).
+        if (defined_.contains(use.var)) {
+          fail("array '" + fn_.var(use.var).name +
+               "' has constant-subscript reads but is modified in the TS");
+          return false;
+        }
+        context_.insert(
+            {ContextVarKind::kElement, use.var, use.element, false});
+        return true;
+      case UseRef::Kind::kDerefConst:
+        if (pt_.pointer_modified(use.var)) {
+          fail("pointer '" + fn_.var(use.var).name +
+               "' changes within the TS");
+          return false;
+        }
+        context_.insert(
+            {ContextVarKind::kElement, use.var, use.element, true});
+        return true;
+      case UseRef::Kind::kArrayVarying:
+        // A whole array feeding control flow is non-scalar — unless the TS
+        // never writes it, in which case its contents may turn out to be a
+        // run-time constant (checked against the profile; Section 2.2).
+        if (defined_.contains(use.var)) {
+          fail("array '" + fn_.var(use.var).name +
+               "' is both read by control flow and modified in the TS");
+          return false;
+        }
+        context_.insert(
+            {ContextVarKind::kArrayContent, use.var, -1, false});
+        return true;
+      case UseRef::Kind::kDerefVarying: {
+        if (pt_.pointer_modified(use.var)) {
+          fail("pointer '" + fn_.var(use.var).name +
+               "' dereferenced with varying subscript changes in the TS");
+          return false;
+        }
+        bool pointee_defined = pt_.unknown(use.var);
+        for (ir::VarId t : pt_.may_store_targets(use.var))
+          pointee_defined |= defined_.contains(t);
+        if (pointee_defined) {
+          fail("pointer '" + fn_.var(use.var).name +
+               "' may reference data modified in the TS");
+          return false;
+        }
+        context_.insert(
+            {ContextVarKind::kArrayContent, use.var, -1, true});
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::set<ContextVar>& context() const {
+    return context_;
+  }
+  [[nodiscard]] const std::string& failure() const { return failure_; }
+
+private:
+  bool visit_scalar(VarId v, BlockId block, std::uint32_t stmt_idx) {
+    for (const ir::DefSite& def : ud_.reaching_defs(v, block, stmt_idx)) {
+      if (def.is_entry) {
+        // v ∈ Input(TS): admissible iff scalar-kind (pointers qualify —
+        // their *value* is a scalar; the data behind them is handled when
+        // the pointer is dereferenced).
+        if (fn_.var(v).kind == VarKind::kArray) {
+          fail("whole array '" + fn_.var(v).name + "' flows into control");
+          return false;
+        }
+        context_.insert({ContextVarKind::kScalar, v, -1, false});
+        continue;
+      }
+      // Avoid loops: a visited definition statement is already expanded.
+      const auto key = std::make_pair(def.block, def.stmt);
+      if (!visited_.insert(key).second) continue;
+
+      const Stmt& m = fn_.block(def.block).stmts[def.stmt];
+      std::vector<UseRef> uses;
+      stmt_uses(fn_, m, uses);
+      for (const UseRef& r : uses)
+        if (!visit_use(r, def.block, def.stmt)) return false;
+    }
+    return true;
+  }
+
+  void fail(std::string reason) {
+    if (failure_.empty()) failure_ = std::move(reason);
+  }
+
+  const Function& fn_;
+  const ir::PointsTo& pt_;
+  const ir::UseDefChains& ud_;
+  std::set<ContextVar> context_;
+  std::set<std::pair<BlockId, std::uint32_t>> visited_;
+  std::set<VarId> defined_;
+  std::string failure_;
+};
+
+}  // namespace
+
+ContextAnalysisResult analyze_context_variables(const ir::Function& fn,
+                                                const ir::PointsTo& pt,
+                                                const ir::UseDefChains& ud) {
+  Walker walker(fn, pt, ud);
+  ContextAnalysisResult result;
+
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    const ir::BasicBlock& bb = fn.block(b);
+    if (bb.term.kind != ir::TermKind::kBranch) continue;
+    // The control statement sits at the end of the block; its uses see all
+    // definitions made in the block body.
+    std::vector<UseRef> uses;
+    collect_uses(fn, bb.term.cond, uses);
+    const auto term_pos = static_cast<std::uint32_t>(bb.stmts.size());
+    for (const UseRef& u : uses) {
+      if (!walker.visit_use(u, b, term_pos)) {
+        result.cbr_applicable = false;
+        result.failure_reason = walker.failure();
+        return result;
+      }
+    }
+  }
+
+  result.cbr_applicable = true;
+  result.context_vars.assign(walker.context().begin(),
+                             walker.context().end());
+  return result;
+}
+
+ContextAnalysisResult analyze_context_variables(const ir::Function& fn) {
+  const ir::PointsTo pt(fn);
+  const ir::UseDefChains ud(fn, pt);
+  return analyze_context_variables(fn, pt, ud);
+}
+
+bool ContextAnalysisResult::needs_runtime_constant_check() const {
+  for (const ContextVar& cv : context_vars)
+    if (cv.kind == ContextVarKind::kArrayContent) return true;
+  return false;
+}
+
+std::string ContextAnalysisResult::describe(const ir::Function& fn) const {
+  if (!cbr_applicable) return "not applicable: " + failure_reason;
+  std::ostringstream os;
+  bool first = true;
+  for (const ContextVar& cv : context_vars) {
+    if (!first) os << ", ";
+    first = false;
+    if (cv.via_pointer) os << "(*";
+    os << fn.var(cv.var).name;
+    if (cv.via_pointer) os << ")";
+    if (cv.kind == ContextVarKind::kElement) os << '[' << cv.element << ']';
+    if (cv.kind == ContextVarKind::kArrayContent) os << "[*]";
+  }
+  return os.str();
+}
+
+}  // namespace peak::analysis

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file context_analysis.hpp
+/// The paper's context-variable analysis (Figure 1). Starting from every
+/// control statement (conditional branch) of the tuning section, it walks
+/// UD chains backwards to the section inputs. Inputs that influence control
+/// flow are the *context variables*; they determine the section's workload.
+/// CBR is applicable only if every context variable is scalar, where
+/// "scalar" admits three shapes (Section 2.2):
+///   1. plain scalar variables,
+///   2. array references with constant subscripts,
+///   3. memory references through pointers that are not changed within the
+///      tuning section (established via simple points-to analysis).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/points_to.hpp"
+#include "ir/use_def.hpp"
+
+namespace peak::analysis {
+
+/// Shape of one context-set member.
+enum class ContextVarKind : std::uint8_t {
+  kScalar,        ///< plain scalar variable
+  kElement,       ///< array element with constant subscript
+  kArrayContent,  ///< whole array read with varying subscripts but never
+                  ///< written by the TS; admissible only if the profile
+                  ///< proves its contents are a run-time constant
+};
+
+/// One member of the context set.
+struct ContextVar {
+  ContextVarKind kind = ContextVarKind::kScalar;
+  ir::VarId var = ir::kNoVar;
+  std::int64_t element = -1;   ///< >= 0 for kElement
+  bool via_pointer = false;
+
+  friend bool operator==(const ContextVar&, const ContextVar&) = default;
+  friend auto operator<=>(const ContextVar&, const ContextVar&) = default;
+};
+
+struct ContextAnalysisResult {
+  bool cbr_applicable = false;
+  std::vector<ContextVar> context_vars;  ///< sorted, deduplicated
+  std::string failure_reason;  ///< set when !cbr_applicable
+
+  /// True when kArrayContent members exist: CBR remains applicable only if
+  /// the profile run shows those arrays carry identical contents in every
+  /// invocation (the paper's run-time-constant elimination, Section 2.2).
+  [[nodiscard]] bool needs_runtime_constant_check() const;
+
+  /// Render "n, lo" style listing for reports.
+  [[nodiscard]] std::string describe(const ir::Function& fn) const;
+};
+
+/// Run the Figure 1 algorithm. `pt` and `ud` must be built over `fn`.
+ContextAnalysisResult analyze_context_variables(const ir::Function& fn,
+                                                const ir::PointsTo& pt,
+                                                const ir::UseDefChains& ud);
+
+/// Convenience overload constructing the prerequisite analyses.
+ContextAnalysisResult analyze_context_variables(const ir::Function& fn);
+
+}  // namespace peak::analysis

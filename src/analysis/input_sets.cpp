@@ -1,0 +1,118 @@
+#include "analysis/input_sets.hpp"
+
+#include <sstream>
+
+namespace peak::analysis {
+
+namespace {
+
+std::size_t bytes_of(const ir::Function& fn,
+                     const std::vector<ir::VarId>& vars) {
+  std::size_t total = 0;
+  for (ir::VarId v : vars) {
+    const ir::VarInfo& info = fn.var(v);
+    total += info.kind == ir::VarKind::kArray
+                 ? info.array_size * sizeof(double)
+                 : sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t InputSetInfo::input_bytes(const ir::Function& fn) const {
+  return bytes_of(fn, input);
+}
+
+std::size_t InputSetInfo::modified_input_bytes(
+    const ir::Function& fn) const {
+  return bytes_of(fn, modified_input);
+}
+
+std::string InputSetInfo::describe(const ir::Function& fn) const {
+  std::ostringstream os;
+  auto list = [&](const char* label, const std::vector<ir::VarId>& vars) {
+    os << label << "={";
+    bool first = true;
+    for (ir::VarId v : vars) {
+      if (!first) os << ", ";
+      first = false;
+      os << fn.var(v).name;
+    }
+    os << "}";
+  };
+  list("Input", input);
+  os << ' ';
+  list("Def", defs);
+  os << ' ';
+  list("ModifiedInput", modified_input);
+  return os.str();
+}
+
+InputSetInfo analyze_input_sets(const ir::Function& fn,
+                                const ir::PointsTo& pt) {
+  InputSetInfo info;
+  const ir::Liveness live(fn, pt);
+  info.input = live.input_set();
+  info.defs = ir::def_set(fn, pt);
+  info.modified_input = ir::modified_input_set(fn, pt);
+  return info;
+}
+
+InputSetInfo analyze_input_sets(const ir::Function& fn) {
+  const ir::PointsTo pt(fn);
+  return analyze_input_sets(fn, pt);
+}
+
+std::size_t CheckpointRegion::bytes(const ir::Function& fn) const {
+  if (fn.var(var).kind != ir::VarKind::kArray) return sizeof(double);
+  if (whole) return fn.var(var).array_size * sizeof(double);
+  return hi >= lo ? (hi - lo + 1) * sizeof(double) : 0;
+}
+
+std::size_t CheckpointPlan::bytes(const ir::Function& fn) const {
+  std::size_t total = 0;
+  for (const CheckpointRegion& r : regions) total += r.bytes(fn);
+  return total;
+}
+
+std::string CheckpointPlan::describe(const ir::Function& fn) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const CheckpointRegion& r : regions) {
+    if (!first) os << ", ";
+    first = false;
+    os << fn.var(r.var).name;
+    if (fn.var(r.var).kind == ir::VarKind::kArray) {
+      if (r.whole)
+        os << "[*]";
+      else
+        os << '[' << r.lo << ".." << r.hi << ']';
+    }
+  }
+  return os.str();
+}
+
+CheckpointPlan plan_checkpoint(const ir::Function& fn,
+                               const InputSetInfo& inputs,
+                               const ir::RangeAnalysis& ranges) {
+  CheckpointPlan plan;
+  const auto& written = ranges.written_ranges();
+  for (ir::VarId v : inputs.modified_input) {
+    CheckpointRegion region;
+    region.var = v;
+    if (fn.var(v).kind == ir::VarKind::kArray) {
+      const auto it = written.find(v);
+      if (it != written.end() && it->second.bounded &&
+          it->second.hi >= it->second.lo) {
+        region.whole = false;
+        region.lo = it->second.lo;
+        region.hi = it->second.hi;
+      }
+    }
+    plan.regions.push_back(region);
+  }
+  return plan;
+}
+
+}  // namespace peak::analysis

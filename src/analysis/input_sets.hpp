@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file input_sets.hpp
+/// RBR's data-set analysis (paper Section 2.4): Input(TS) via liveness,
+/// Def(TS), and Modified_Input(TS) = Input ∩ Def — the only state that must
+/// be checkpointed before and restored between the two timed executions.
+/// The improved RBR saves Modified_Input instead of the full input set,
+/// which is one of the paper's three overhead reductions.
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/liveness.hpp"
+#include "ir/points_to.hpp"
+#include "ir/range_analysis.hpp"
+
+namespace peak::analysis {
+
+struct InputSetInfo {
+  std::vector<ir::VarId> input;           ///< LiveIn(entry)
+  std::vector<ir::VarId> defs;            ///< Def(TS)
+  std::vector<ir::VarId> modified_input;  ///< Input ∩ Def
+
+  /// Bytes the basic method would checkpoint (full input set) vs the
+  /// improved method (modified input only), under the memory image sizes
+  /// of `fn`. Quantifies the paper's save/restore overhead reduction.
+  [[nodiscard]] std::size_t input_bytes(const ir::Function& fn) const;
+  [[nodiscard]] std::size_t modified_input_bytes(
+      const ir::Function& fn) const;
+
+  [[nodiscard]] std::string describe(const ir::Function& fn) const;
+};
+
+InputSetInfo analyze_input_sets(const ir::Function& fn,
+                                const ir::PointsTo& pt);
+InputSetInfo analyze_input_sets(const ir::Function& fn);
+
+/// One region of the RBR checkpoint: a scalar, a whole array, or — when
+/// symbolic range analysis bounds every store — just the written slice.
+struct CheckpointRegion {
+  ir::VarId var = ir::kNoVar;
+  std::size_t lo = 0;   ///< first array element (0 for scalars)
+  std::size_t hi = 0;   ///< last array element, inclusive
+  bool whole = true;    ///< checkpoint the entire variable
+
+  [[nodiscard]] std::size_t bytes(const ir::Function& fn) const;
+};
+
+/// The concrete save/restore plan for the improved RBR method (paper
+/// §2.4.2): Modified_Input(TS) narrowed per array to the provably written
+/// index range. This is the paper's cited symbolic-range-analysis
+/// optimization for regular data accesses [1].
+struct CheckpointPlan {
+  std::vector<CheckpointRegion> regions;
+
+  [[nodiscard]] std::size_t bytes(const ir::Function& fn) const;
+  [[nodiscard]] std::string describe(const ir::Function& fn) const;
+};
+
+/// Build the plan from the modified-input set and a range analysis seeded
+/// with profile-observed parameter bounds.
+CheckpointPlan plan_checkpoint(const ir::Function& fn,
+                               const InputSetInfo& inputs,
+                               const ir::RangeAnalysis& ranges);
+
+}  // namespace peak::analysis

@@ -1,0 +1,53 @@
+#include "analysis/instrumentation.hpp"
+
+#include <algorithm>
+
+namespace peak::analysis {
+
+ir::Function instrument_all_blocks(const ir::Function& fn) {
+  ir::Function out = fn;  // value type: symbol table, exprs, blocks copy
+  for (ir::BlockId b = 0; b < out.num_blocks(); ++b) {
+    ir::Stmt s;
+    s.kind = ir::StmtKind::kCounter;
+    s.counter_id = b;
+    auto& stmts = out.block(b).stmts;
+    stmts.insert(stmts.begin(), std::move(s));
+  }
+  return out;
+}
+
+ir::Function instrument_components(const ir::Function& fn,
+                                   const ComponentModel& model) {
+  ir::Function out = fn;
+  for (std::size_t i = 0; i < model.varying.size(); ++i) {
+    ir::Stmt s;
+    s.kind = ir::StmtKind::kCounter;
+    s.counter_id = static_cast<std::uint32_t>(i);
+    auto& stmts = out.block(model.varying[i].representative).stmts;
+    stmts.insert(stmts.begin(), std::move(s));
+  }
+  return out;
+}
+
+ir::Function strip_counters(const ir::Function& fn) {
+  ir::Function out = fn;
+  for (ir::BlockId b = 0; b < out.num_blocks(); ++b) {
+    auto& stmts = out.block(b).stmts;
+    stmts.erase(std::remove_if(stmts.begin(), stmts.end(),
+                               [](const ir::Stmt& s) {
+                                 return s.kind == ir::StmtKind::kCounter;
+                               }),
+                stmts.end());
+  }
+  return out;
+}
+
+std::size_t count_counter_stmts(const ir::Function& fn) {
+  std::size_t n = 0;
+  for (ir::BlockId b = 0; b < fn.num_blocks(); ++b)
+    for (const ir::Stmt& s : fn.block(b).stmts)
+      if (s.kind == ir::StmtKind::kCounter) ++n;
+  return n;
+}
+
+}  // namespace peak::analysis

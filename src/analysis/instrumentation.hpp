@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file instrumentation.hpp
+/// Counter instrumentation for MBR (paper Section 2.3): blocks whose entry
+/// counts cannot be derived at compile time get a counter; after the
+/// profile run merges blocks into components, counters for merged blocks
+/// are removed and only one counter per varying component remains. The
+/// counters add no control or data dependences to the original code.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/component_analysis.hpp"
+#include "ir/function.hpp"
+
+namespace peak::analysis {
+
+/// Instrument every basic block with a counter (counter_id == BlockId).
+/// Used for the profile run, before components are known.
+ir::Function instrument_all_blocks(const ir::Function& fn);
+
+/// Instrument only the representative block of each varying component,
+/// with counter ids 0..n-1 matching the component order — the compact
+/// instrumentation that stays live during tuning.
+ir::Function instrument_components(const ir::Function& fn,
+                                   const ComponentModel& model);
+
+/// Remove every counter statement. PEAK strips instrumentation from the
+/// final tuned binary so production runs carry no overhead (Section 4.2).
+ir::Function strip_counters(const ir::Function& fn);
+
+/// Number of counter statements present (for tests/reports).
+std::size_t count_counter_stmts(const ir::Function& fn);
+
+}  // namespace peak::analysis

@@ -1,0 +1,55 @@
+#include "analysis/runtime_constants.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::analysis {
+
+RuntimeConstantResult prune_runtime_constants(
+    const std::vector<ContextVar>& context_vars,
+    const std::vector<ContextValues>& observations) {
+  RuntimeConstantResult result;
+  if (observations.empty()) {
+    // No evidence: keep everything (conservative — more contexts, never a
+    // wrong merge).
+    result.kept = context_vars;
+    result.column_of_kept.resize(context_vars.size());
+    for (std::size_t i = 0; i < context_vars.size(); ++i)
+      result.column_of_kept[i] = i;
+    return result;
+  }
+
+  for (const ContextValues& row : observations)
+    PEAK_CHECK(row.size() == context_vars.size(),
+               "observation arity mismatch");
+
+  for (std::size_t c = 0; c < context_vars.size(); ++c) {
+    const double first = observations.front()[c];
+    bool varies = false;
+    for (const ContextValues& row : observations) {
+      if (row[c] != first) {
+        varies = true;
+        break;
+      }
+    }
+    if (varies) {
+      result.kept.push_back(context_vars[c]);
+      result.column_of_kept.push_back(c);
+    } else {
+      result.constant.push_back(context_vars[c]);
+    }
+  }
+  return result;
+}
+
+ContextValues project_context(const RuntimeConstantResult& pruning,
+                              const ContextValues& full) {
+  ContextValues out;
+  out.reserve(pruning.column_of_kept.size());
+  for (std::size_t col : pruning.column_of_kept) {
+    PEAK_CHECK(col < full.size(), "context projection out of range");
+    out.push_back(full[col]);
+  }
+  return out;
+}
+
+}  // namespace peak::analysis

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file runtime_constants.hpp
+/// Elimination of unnecessary context variables (paper Section 2.2, last
+/// paragraph): a context variable whose value is identical across *all*
+/// invocations of the tuning section is a run-time constant — it cannot
+/// distinguish workloads, so it is removed from the context set. The check
+/// requires observed values, which the offline scenario obtains from the
+/// profile run.
+
+#include <vector>
+
+#include "analysis/context_analysis.hpp"
+
+namespace peak::analysis {
+
+/// Values of the context variables at one TS invocation, in the same order
+/// as ContextAnalysisResult::context_vars.
+using ContextValues = std::vector<double>;
+
+struct RuntimeConstantResult {
+  std::vector<ContextVar> kept;      ///< still-varying context variables
+  std::vector<ContextVar> constant;  ///< pruned run-time constants
+  /// Index map: kept[i] corresponds to original column column_of_kept[i].
+  std::vector<std::size_t> column_of_kept;
+};
+
+/// Partition context variables into varying and run-time-constant sets
+/// based on the profiled per-invocation values (rows of `observations`).
+RuntimeConstantResult prune_runtime_constants(
+    const std::vector<ContextVar>& context_vars,
+    const std::vector<ContextValues>& observations);
+
+/// Project an observation onto the kept columns (the runtime context key).
+ContextValues project_context(const RuntimeConstantResult& pruning,
+                              const ContextValues& full);
+
+}  // namespace peak::analysis

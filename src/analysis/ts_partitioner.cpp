@@ -1,0 +1,49 @@
+#include "analysis/ts_partitioner.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace peak::analysis {
+
+bool callee_has_side_effects(const std::string& callee) {
+  static constexpr std::array<const char*, 14> kTable = {
+      "malloc", "free",   "realloc", "calloc", "rand", "srand", "random",
+      "printf", "fprintf", "fwrite",  "fread",  "open", "write", "read",
+  };
+  return std::any_of(kTable.begin(), kTable.end(),
+                     [&](const char* name) { return callee == name; });
+}
+
+RbrScreenResult screen_for_rbr(const ir::Function& fn) {
+  RbrScreenResult result;
+  for (ir::BlockId b = 0; b < fn.num_blocks(); ++b) {
+    for (const ir::Stmt& s : fn.block(b).stmts) {
+      if (s.kind != ir::StmtKind::kCall) continue;
+      if (callee_has_side_effects(s.callee)) {
+        result.eligible = false;
+        result.blocking_calls.push_back(s.callee);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<TsCandidate> select_tuning_sections(
+    std::vector<TsCandidate> candidates, double min_time_fraction,
+    double cumulative_target) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TsCandidate& a, const TsCandidate& b) {
+              return a.time_fraction > b.time_fraction;
+            });
+  std::vector<TsCandidate> selected;
+  double covered = 0.0;
+  for (TsCandidate& c : candidates) {
+    if (c.time_fraction < min_time_fraction) break;
+    if (covered >= cumulative_target) break;
+    covered += c.time_fraction;
+    selected.push_back(std::move(c));
+  }
+  return selected;
+}
+
+}  // namespace peak::analysis

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file ts_partitioner.hpp
+/// Tuning-section selection and eligibility screening (paper Sections 2.4
+/// and 4.1). TS's are the most time-consuming functions/loops according to
+/// an execution profile; RBR-eligible sections must not call library
+/// functions with side effects (malloc, free, rand, I/O) because those
+/// cannot be rolled back by restoring Modified_Input.
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::analysis {
+
+/// Library routines whose effects escape the TS memory image.
+bool callee_has_side_effects(const std::string& callee);
+
+struct RbrScreenResult {
+  bool eligible = true;
+  std::vector<std::string> blocking_calls;  ///< offending callees
+};
+
+/// Check every call site of the section against the side-effect table.
+RbrScreenResult screen_for_rbr(const ir::Function& fn);
+
+/// Profile entry for one candidate section.
+struct TsCandidate {
+  std::string name;
+  double time_fraction = 0.0;    ///< share of whole-program time
+  std::uint64_t invocations = 0;
+};
+
+/// Pick tuning sections: sort by time share, keep those above the
+/// threshold, stopping once `cumulative_target` of program time is covered.
+std::vector<TsCandidate> select_tuning_sections(
+    std::vector<TsCandidate> candidates, double min_time_fraction = 0.05,
+    double cumulative_target = 0.95);
+
+}  // namespace peak::analysis

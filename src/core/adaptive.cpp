@@ -1,0 +1,103 @@
+#include "core/adaptive.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::core {
+
+AdaptiveTuner::AdaptiveTuner(const workloads::Workload& workload,
+                             const sim::MachineModel& machine,
+                             const sim::FlagEffectModel& effects,
+                             AdaptiveOptions options, std::uint64_t seed)
+    : workload_(workload),
+      backend_(workload.function(), workload.traits(), machine, effects,
+               support::hash_combine(seed,
+                                     support::stable_hash("adaptive"))),
+      options_(options),
+      versions_(search::o3_config(effects.space())),
+      candidate_(search::o3_config(effects.space())) {
+  start_experiment_pass();
+}
+
+void AdaptiveTuner::start_experiment_pass() {
+  phase_ = Phase::kExperiment;
+  next_flag_ = 0;
+  pass_had_promotion_ = false;
+  rater_.reset();
+  baselines_.clear();
+}
+
+double AdaptiveTuner::step(const sim::Invocation& inv) {
+  return phase_ == Phase::kExperiment ? experiment_step(inv)
+                                      : monitor_step(inv);
+}
+
+double AdaptiveTuner::experiment_step(const sim::Invocation& inv) {
+  const std::size_t nflags = versions_.best().config.size();
+  if (!rater_.has_value()) {
+    // Install the next candidate: toggle one flag of the current best.
+    if (next_flag_ >= nflags) {
+      // Pass complete. Another pass if something was promoted (its
+      // interactions may unlock more wins); otherwise settle down.
+      if (pass_had_promotion_) {
+        start_experiment_pass();
+      } else {
+        phase_ = Phase::kMonitor;
+        baselines_.clear();
+        return monitor_step(inv);
+      }
+    }
+    const search::FlagConfig best = versions_.best().config;
+    candidate_ = best.with(next_flag_, !best.enabled(next_flag_));
+    ++next_flag_;
+    versions_.install_experimental(candidate_);
+    rater_.emplace(options_.window);
+  }
+
+  // One RBR pair: the application still makes progress (the best version
+  // runs for real); the candidate's run is the experiment overhead.
+  const sim::RbrPairResult pair = backend_.invoke_rbr_pair(
+      versions_.best().config, candidate_, inv, sim::RbrOptions{true});
+  rater_->add_pair(pair.time_best, pair.time_exp);
+  ++experiments_;
+
+  if (rater_->converged() || rater_->exhausted()) {
+    const rating::Rating r = rater_->rating();
+    versions_.rate_experimental(r.eval, r.var);
+    if (r.converged && r.eval > options_.promote_threshold) {
+      versions_.promote_experimental();
+      pass_had_promotion_ = true;
+      ++promotions_;
+    } else {
+      versions_.retire_experimental();
+    }
+    rater_.reset();
+  }
+  return pair.time_best + pair.overhead;
+}
+
+double AdaptiveTuner::monitor_step(const sim::Invocation& inv) {
+  const double time =
+      backend_.invoke(versions_.best().config, inv).time;
+
+  Baseline& baseline = baselines_[inv.context];
+  if (!baseline.mean.has_value()) {
+    baseline.rater.add(time);
+    if (baseline.rater.size() >= options_.baseline_samples)
+      baseline.mean = baseline.rater.rating().eval;
+    return time;
+  }
+
+  if (time > *baseline.mean * (1.0 + options_.drift_threshold)) {
+    if (++baseline.drifted >= options_.drift_patience) {
+      // The workload changed phase: what was best may no longer be.
+      ++retunes_;
+      start_experiment_pass();
+    }
+  } else {
+    baseline.drifted = 0;
+  }
+  return time;
+}
+
+}  // namespace peak::core

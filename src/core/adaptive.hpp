@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Online, dynamically adaptive tuning — the paper's Section 6 future
+/// work, built on the same rating machinery as the offline driver and on
+/// the ADAPT-style version table (Figure 6).
+///
+/// The tuner is driven one production invocation at a time and runs a
+/// two-phase state machine:
+///
+///  * EXPERIMENT — round-robin through single-flag toggles of the current
+///    best configuration; each step executes the invocation as an RBR
+///    pair (best vs candidate) and feeds the rater. Converged winners are
+///    promoted into the version table. A full pass with no promotion
+///    drops to MONITOR.
+///  * MONITOR — invocations execute plainly under the best version while
+///    per-context baselines track production speed. When a context's
+///    recent timings drift above its baseline (the workload changed
+///    phase), the tuner re-enters EXPERIMENT.
+///
+/// Because the rating methods only need timings and contexts, the whole
+/// loop imposes no tuning overhead while monitoring — the offline
+/// scenario's main advantage — yet recovers it when the workload shifts.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "rating/rbr.hpp"
+#include "rating/window.hpp"
+#include "runtime/version_table.hpp"
+#include "sim/exec_backend.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::core {
+
+struct AdaptiveOptions {
+  rating::WindowPolicy window{};
+  /// Candidate must beat the best by this factor to be promoted.
+  double promote_threshold = 1.012;
+  /// Relative production slowdown (vs the context baseline) that triggers
+  /// re-tuning.
+  double drift_threshold = 0.08;
+  /// Samples per context before its baseline is trusted.
+  std::size_t baseline_samples = 24;
+  /// Consecutive drifted samples required (debounce).
+  std::size_t drift_patience = 12;
+};
+
+class AdaptiveTuner {
+public:
+  AdaptiveTuner(const workloads::Workload& workload,
+                const sim::MachineModel& machine,
+                const sim::FlagEffectModel& effects,
+                AdaptiveOptions options = {}, std::uint64_t seed = 1);
+
+  /// Feed one production invocation. Returns the time the application
+  /// observed (including any experiment overhead of this invocation).
+  double step(const sim::Invocation& inv);
+
+  /// Tell the tuner the application's phase changed scale (the simulator
+  /// needs this hint; real deployments see it through the drift check
+  /// alone, which this call does not replace).
+  void set_workload_scale(double scale) {
+    backend_.set_workload_scale(scale);
+  }
+
+  enum class Phase { kExperiment, kMonitor };
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] const runtime::VersionTable& versions() const {
+    return versions_;
+  }
+  [[nodiscard]] std::size_t retunes_triggered() const { return retunes_; }
+  [[nodiscard]] std::size_t promotions() const { return promotions_; }
+  [[nodiscard]] std::size_t experiments_run() const {
+    return experiments_;
+  }
+
+private:
+  void start_experiment_pass();
+  double experiment_step(const sim::Invocation& inv);
+  double monitor_step(const sim::Invocation& inv);
+
+  struct Baseline {
+    rating::WindowedRater rater;
+    std::optional<double> mean;
+    std::size_t drifted = 0;
+  };
+
+  const workloads::Workload& workload_;
+  sim::SimExecutionBackend backend_;
+  AdaptiveOptions options_;
+  runtime::VersionTable versions_;
+
+  Phase phase_ = Phase::kExperiment;
+  std::size_t next_flag_ = 0;
+  bool pass_had_promotion_ = false;
+  std::optional<rating::ReexecutionRater> rater_;
+  search::FlagConfig candidate_;
+
+  std::map<std::vector<double>, Baseline> baselines_;
+  std::size_t retunes_ = 0;
+  std::size_t promotions_ = 0;
+  std::size_t experiments_ = 0;
+};
+
+}  // namespace peak::core

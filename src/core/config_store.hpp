@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file config_store.hpp
+/// Persistence of tuning results. PEAK's offline scenario ends with "the
+/// winning version is inserted into the improved application code"; the
+/// config store is the library's equivalent: tuned configurations are
+/// saved per (section, machine) in a human-readable text format and can be
+/// reloaded by later runs, by the CLI, or by a build system that turns
+/// them into real compiler command lines.
+///
+/// Format (one record per section, blank-line separated):
+///
+///   [SWIM.calc3 @ sparc2]
+///   method = CBR
+///   improvement = 5.06
+///   disabled = -fgcse-sm -fschedule-insns
+///
+/// Flags not listed in `disabled` are enabled (the -O3 default).
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/peak.hpp"
+
+namespace peak::core {
+
+struct StoredConfig {
+  search::FlagConfig config;
+  rating::Method method = rating::Method::kWHL;
+  double improvement_pct = 0.0;
+};
+
+class ConfigStore {
+public:
+  explicit ConfigStore(const search::OptimizationSpace& space);
+
+  void put(const std::string& section, const std::string& machine,
+           const StoredConfig& entry);
+
+  [[nodiscard]] std::optional<StoredConfig> get(
+      const std::string& section, const std::string& machine) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Serialize all records to the text format above.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse records; returns false (leaving the store untouched) on any
+  /// syntax error or unknown flag.
+  bool deserialize(const std::string& text);
+
+  /// Convenience file I/O (returns false on I/O or parse failure).
+  bool save_file(const std::string& path) const;
+  bool load_file(const std::string& path);
+
+private:
+  using Key = std::pair<std::string, std::string>;
+  const search::OptimizationSpace& space_;
+  std::map<Key, StoredConfig> entries_;
+};
+
+}  // namespace peak::core

@@ -1,0 +1,46 @@
+#include "core/parallel.hpp"
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peak::core {
+
+double ApplicationOutcome::whole_program_improvement_pct() const {
+  double covered = 0.0;
+  double tuned_share = 0.0;
+  for (const SectionOutcome& s : sections) {
+    covered += s.time_fraction;
+    tuned_share +=
+        s.time_fraction / (1.0 + s.run.ref_improvement_pct / 100.0);
+  }
+  PEAK_CHECK(covered <= 1.0 + 1e-9, "section fractions exceed 100%");
+  const double new_total = tuned_share + (1.0 - covered);
+  return (1.0 / new_total - 1.0) * 100.0;
+}
+
+ApplicationOutcome tune_application(
+    const std::vector<const workloads::Workload*>& sections,
+    const sim::MachineModel& machine, PeakOptions options,
+    unsigned threads) {
+  ApplicationOutcome outcome;
+  outcome.sections.resize(sections.size());
+
+  support::ThreadPool pool(threads);
+  pool.parallel_for(0, sections.size(), [&](std::size_t i) {
+    const workloads::Workload& w = *sections[i];
+    // Touch the lazily built IR up front inside this task: each workload
+    // object is owned by exactly one task, so no cross-thread races.
+    (void)w.function();
+    PeakOptions local = options;
+    local.seed = support::hash_combine(options.seed,
+                                       support::stable_hash(w.benchmark()));
+    Peak peak(machine, local);
+    SectionOutcome& s = outcome.sections[i];
+    s.section = w.full_name();
+    s.time_fraction = w.ts_time_fraction();
+    s.run = peak.tune_with_consultant(w);
+  });
+  return outcome;
+}
+
+}  // namespace peak::core

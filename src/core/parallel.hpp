@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Whole-application tuning: PEAK partitions a program into multiple
+/// tuning sections (Section 4.1) and tunes each independently — which
+/// makes the sections embarrassingly parallel across a machine's cores.
+/// This facade fans the per-section offline pipeline out over the support
+/// thread pool and aggregates a whole-program improvement estimate from
+/// the sections' time fractions.
+
+#include <string>
+#include <vector>
+
+#include "core/peak.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::core {
+
+struct SectionOutcome {
+  std::string section;          ///< "SWIM.calc3"
+  double time_fraction = 0.0;   ///< share of whole-program time
+  MethodRun run;
+};
+
+struct ApplicationOutcome {
+  std::vector<SectionOutcome> sections;
+  /// Whole-program speedup estimate by Amdahl over the tuned sections:
+  /// T'/T = Σ_s frac_s / (1 + impr_s) + (1 - Σ_s frac_s).
+  [[nodiscard]] double whole_program_improvement_pct() const;
+};
+
+/// Tune every section with the consultant-chosen method, `threads` at a
+/// time. Each section gets an independent backend and seed, so results
+/// are identical to sequential runs (and deterministic).
+ApplicationOutcome tune_application(
+    const std::vector<const workloads::Workload*>& sections,
+    const sim::MachineModel& machine, PeakOptions options = {},
+    unsigned threads = 0);
+
+}  // namespace peak::core

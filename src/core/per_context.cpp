@@ -1,0 +1,89 @@
+#include "core/per_context.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace peak::core {
+
+namespace {
+
+/// Trace restricted to the invocations of one context.
+workloads::Trace filter_context(const workloads::Trace& trace,
+                                const std::vector<double>& context) {
+  workloads::Trace out;
+  out.workload_scale = trace.workload_scale;
+  for (const sim::Invocation& inv : trace.invocations)
+    if (inv.context == context) out.invocations.push_back(inv);
+  return out;
+}
+
+}  // namespace
+
+PerContextOutcome tune_per_context(const workloads::Workload& workload,
+                                   const sim::MachineModel& machine,
+                                   const sim::FlagEffectModel& effects,
+                                   DriverOptions options,
+                                   std::size_t max_contexts) {
+  const workloads::Trace train =
+      workload.trace(workloads::DataSet::kTrain, options.seed ^ 0x9c7);
+  const workloads::Trace ref =
+      workload.trace(workloads::DataSet::kRef, options.seed ^ 0x9c7);
+  const ProfileData profile =
+      profile_workload(workload, train, machine);
+  PEAK_CHECK(profile.cbr_applicable(),
+             "per-context tuning needs a CBR-applicable section");
+
+  // Distinct contexts with their total expected time (importance).
+  std::map<std::vector<double>, double> importance;
+  {
+    sim::TsTraits traits = workload.traits();
+    traits.workload_scale = train.workload_scale;
+    sim::SimExecutionBackend probe(workload.function(), traits, machine,
+                                   effects, options.seed ^ 0x77);
+    const search::FlagConfig o3 = search::o3_config(effects.space());
+    for (const sim::Invocation& inv : train.invocations)
+      importance[inv.context] += probe.expected_time(o3, inv);
+  }
+  PEAK_CHECK(importance.size() <= max_contexts,
+             "too many contexts for per-context tuning");
+
+  PerContextOutcome outcome;
+  double best_importance = -1.0;
+  for (const auto& [context, weight] : importance) {
+    const workloads::Trace slice = filter_context(train, context);
+    TuningDriver driver(workload, profile, slice, machine, effects,
+                        options);
+    const TuningOutcome tuned = driver.tune(rating::Method::kCBR);
+    outcome.winners.emplace(context, tuned.best_config);
+    outcome.cost.simulated_time += tuned.cost.simulated_time;
+    outcome.cost.invocations += tuned.cost.invocations;
+    outcome.cost.configs_evaluated += tuned.cost.configs_evaluated;
+    if (weight > best_importance) {
+      best_importance = weight;
+      outcome.single_best = tuned.best_config;
+      outcome.dominant_context = context;
+    }
+  }
+
+  // Evaluate both deployment strategies on the ref trace.
+  sim::TsTraits traits = workload.traits();
+  traits.workload_scale = ref.workload_scale;
+  sim::SimExecutionBackend eval(workload.function(), traits, machine,
+                                effects, options.seed ^ 0x88);
+  const search::FlagConfig o3 = search::o3_config(effects.space());
+  double t_o3 = 0.0, t_single = 0.0, t_dispatch = 0.0;
+  for (const sim::Invocation& inv : ref.invocations) {
+    t_o3 += eval.expected_time(o3, inv);
+    t_single += eval.expected_time(outcome.single_best, inv);
+    const auto it = outcome.winners.find(inv.context);
+    t_dispatch += eval.expected_time(
+        it != outcome.winners.end() ? it->second : outcome.single_best,
+        inv);
+  }
+  outcome.single_improvement_pct = (t_o3 / t_single - 1.0) * 100.0;
+  outcome.dispatch_improvement_pct = (t_o3 / t_dispatch - 1.0) * 100.0;
+  return outcome;
+}
+
+}  // namespace peak::core

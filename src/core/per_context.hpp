@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file per_context.hpp
+/// Context-specific winners (paper §2.2): "The best versions for
+/// different contexts may be different, in which case CBR reports the
+/// context-specific winners. ... an adaptive tuning scenario would make
+/// use of all versions."
+///
+/// tune_per_context() runs one search per distinct context (rating each
+/// candidate only against invocations of that context) and evaluates two
+/// deployment strategies on the ref trace: the offline paper's choice
+/// (one version, tuned for the most important context) and the adaptive
+/// scenario's per-context dispatch.
+
+#include <map>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/tuning_driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::core {
+
+struct PerContextOutcome {
+  /// Winner per training context.
+  std::map<std::vector<double>, search::FlagConfig> winners;
+  /// The dominant-context winner (the offline scenario's single version).
+  search::FlagConfig single_best;
+  std::vector<double> dominant_context;
+  /// Improvement over -O3 on ref with one version vs with per-context
+  /// dispatch (unseen ref contexts fall back to single_best).
+  double single_improvement_pct = 0.0;
+  double dispatch_improvement_pct = 0.0;
+  TuningCost cost;  ///< total across the per-context searches
+};
+
+PerContextOutcome tune_per_context(const workloads::Workload& workload,
+                                   const sim::MachineModel& machine,
+                                   const sim::FlagEffectModel& effects,
+                                   DriverOptions options = {},
+                                   std::size_t max_contexts = 8);
+
+}  // namespace peak::core

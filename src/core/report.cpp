@@ -1,0 +1,92 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace peak::core {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+struct Row {
+  const BenchmarkResult* benchmark;
+  const MethodRun* run;
+};
+
+std::vector<Row> flatten(const std::vector<BenchmarkResult>& results) {
+  std::vector<Row> rows;
+  for (const BenchmarkResult& b : results)
+    for (const MethodRun& r : b.runs) rows.push_back({&b, &r});
+  return rows;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<BenchmarkResult>& results) {
+  std::ostringstream os;
+  os << "benchmark,section,method,tuned_on,ref_improvement_pct,"
+        "tuning_time,invocations,program_runs,normalized_tuning_time,"
+        "consultant_choice\n";
+  for (const Row& row : flatten(results)) {
+    const BenchmarkResult& b = *row.benchmark;
+    const MethodRun& r = *row.run;
+    os << csv_escape(b.benchmark) << ',' << csv_escape(b.ts_name) << ','
+       << rating::to_string(r.method) << ','
+       << workloads::to_string(r.tuned_on) << ',' << r.ref_improvement_pct
+       << ',' << r.cost.simulated_time << ',' << r.cost.invocations << ','
+       << r.cost.program_runs << ','
+       << b.normalized_tuning_time(r.method, r.tuned_on) << ','
+       << (r.method == b.chosen ? "yes" : "no") << '\n';
+  }
+  return os.str();
+}
+
+std::string to_markdown(const std::vector<BenchmarkResult>& results) {
+  std::ostringstream os;
+  os << "| benchmark | section | method | tuned on | improvement % | "
+        "norm. tuning time | PEAK's choice |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  for (const Row& row : flatten(results)) {
+    const BenchmarkResult& b = *row.benchmark;
+    const MethodRun& r = *row.run;
+    char impr[32], norm[32];
+    std::snprintf(impr, sizeof impr, "%.2f", r.ref_improvement_pct);
+    std::snprintf(norm, sizeof norm, "%.3f",
+                  b.normalized_tuning_time(r.method, r.tuned_on));
+    os << "| " << b.benchmark << " | " << b.ts_name << " | "
+       << rating::to_string(r.method) << " | "
+       << workloads::to_string(r.tuned_on) << " | " << impr << " | "
+       << norm << " | " << (r.method == b.chosen ? "✔" : "") << " |\n";
+  }
+  return os.str();
+}
+
+std::string to_markdown(const ApplicationOutcome& outcome) {
+  std::ostringstream os;
+  os << "| section | time share | method | improvement % |\n";
+  os << "|---|---|---|---|\n";
+  for (const SectionOutcome& s : outcome.sections) {
+    char share[32], impr[32];
+    std::snprintf(share, sizeof share, "%.1f%%",
+                  100.0 * s.time_fraction);
+    std::snprintf(impr, sizeof impr, "%.2f", s.run.ref_improvement_pct);
+    os << "| " << s.section << " | " << share << " | "
+       << rating::to_string(s.run.method) << " | " << impr << " |\n";
+  }
+  char whole[32];
+  std::snprintf(whole, sizeof whole, "%.2f",
+                outcome.whole_program_improvement_pct());
+  os << "\nWhole-program improvement: **" << whole << "%**\n";
+  return os.str();
+}
+
+}  // namespace peak::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file report.hpp
+/// Result reporting: render BenchmarkResult / ApplicationOutcome data as
+/// CSV (for spreadsheets and plotting scripts) or Markdown (for READMEs
+/// and issue reports). Downstream users regenerate the paper's figures
+/// from the CSV with their own plotting stack.
+
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/peak.hpp"
+
+namespace peak::core {
+
+/// CSV with one row per (benchmark, method, tuned-on dataset):
+/// benchmark,section,method,tuned_on,ref_improvement_pct,
+/// tuning_time,invocations,program_runs,normalized_tuning_time
+std::string to_csv(const std::vector<BenchmarkResult>& results);
+
+/// GitHub-flavoured Markdown table of the same rows.
+std::string to_markdown(const std::vector<BenchmarkResult>& results);
+
+/// Markdown summary of a whole-application outcome.
+std::string to_markdown(const ApplicationOutcome& outcome);
+
+/// Escape a CSV field (quotes, commas, newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace peak::core

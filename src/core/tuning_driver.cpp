@@ -1,0 +1,317 @@
+#include "core/tuning_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/instrumentation.hpp"
+#include "rating/baselines.hpp"
+#include "rating/cbr.hpp"
+#include "rating/mbr.hpp"
+#include "rating/rbr.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::core {
+
+namespace {
+
+/// Raised when a rating method cannot produce any estimate within its
+/// sample budget; tune_auto() responds by switching down the method chain
+/// (paper Section 3).
+struct RatingNotConverging : std::runtime_error {
+  explicit RatingNotConverging(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace
+
+/// Rates configurations with one method over a shared invocation stream.
+/// The stream cursor advances monotonically across ratings, modelling the
+/// application continuing to run while versions are swapped in and out.
+class TuningDriver::Evaluator final : public search::ConfigEvaluator {
+public:
+  Evaluator(const TuningDriver& driver, rating::Method method,
+            const ir::Function& fn)
+      : driver_(driver),
+        method_(method),
+        backend_(fn, [&] {
+          sim::TsTraits t = driver.workload_.traits();
+          t.workload_scale = driver.trace_.workload_scale;
+          return t;
+        }(), driver.machine_, driver.effects_,
+        support::hash_combine(driver.options_.seed,
+                              support::stable_hash(fn.name()))) {
+    // Basic RBR saves the full input set; improved RBR saves the
+    // range-analysis-narrowed Modified_Input slices.
+    backend_.set_checkpoint_bytes(
+        driver.profile_.input_sets.input_bytes(fn),
+        driver.profile_.checkpoint_plan.bytes(fn));
+  }
+
+  double relative_improvement(const search::FlagConfig& base,
+                              const search::FlagConfig& cfg) override {
+    if (method_ == rating::Method::kRBR) return rbr_ratio(base, cfg);
+    const double e_base = rate_time(base);
+    const double e_cfg = rate_time(cfg);
+    PEAK_CHECK(e_cfg > 0.0, "non-positive rating");
+    return e_base / e_cfg;
+  }
+
+  [[nodiscard]] TuningCost cost() const {
+    TuningCost c;
+    c.simulated_time =
+        backend_.accumulated_time() + whole_program_surcharge_;
+    c.invocations = invocations_;
+    c.program_runs = driver_.trace_.invocations.empty()
+                         ? 0.0
+                         : static_cast<double>(invocations_) /
+                               static_cast<double>(
+                                   driver_.trace_.invocations.size());
+    return c;
+  }
+
+  [[nodiscard]] double exhausted_fraction() const {
+    return ratings_ == 0 ? 0.0
+                         : static_cast<double>(exhausted_) /
+                               static_cast<double>(ratings_);
+  }
+
+private:
+  const sim::Invocation& next_invocation() {
+    const auto& invs = driver_.trace_.invocations;
+    const sim::Invocation& inv = invs[cursor_];
+    cursor_ = (cursor_ + 1) % invs.size();
+    ++invocations_;
+    return inv;
+  }
+
+  double rbr_ratio(const search::FlagConfig& base,
+                   const search::FlagConfig& cfg) {
+    ++ratings_;
+    rating::ReexecutionRater rater(driver_.options_.window);
+    sim::RbrOptions rbr_opts;
+    rbr_opts.improved = driver_.options_.improved_rbr;
+    rbr_opts.batch_pairs = driver_.options_.rbr_batch_pairs;
+    while (!rater.converged() && !rater.exhausted()) {
+      const sim::Invocation& inv = next_invocation();
+      for (const sim::RbrPairResult& pair :
+           backend_.invoke_rbr_batch(base, cfg, inv, rbr_opts)) {
+        rater.add_pair(pair.time_best, pair.time_exp);
+        if (rater.converged() || rater.exhausted()) break;
+      }
+    }
+    if (!rater.converged()) ++exhausted_;
+    const rating::Rating r = rater.rating();
+    // Significance gate: with very noisy sections (EQUAKE's irregular
+    // memory) the window may cap out with a standard error comparable to
+    // the search's improvement threshold; reporting a statistically
+    // insignificant ratio would let noise eliminate useful options (the
+    // paper's "if the rating is inaccurate, the tuning system will yield
+    // limited performance or even degradation"). Below 3 SEM the verdict
+    // is "no measurable difference".
+    const double sem =
+        r.samples > 0 ? std::sqrt(r.var / static_cast<double>(r.samples))
+                      : 0.0;
+    if (std::fabs(r.eval - 1.0) < 3.0 * sem) return 1.0;
+    return r.eval;
+  }
+
+  /// Time-like EVAL of one configuration, memoized by config key.
+  double rate_time(const search::FlagConfig& cfg) {
+    const std::string key = cfg.key();
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    ++ratings_;
+
+    double eval = 0.0;
+    switch (method_) {
+      case rating::Method::kCBR: {
+        rating::ContextBasedRater rater(driver_.options_.window);
+        // With many contexts only a fraction of invocations feed the
+        // dominant bucket, so the stream budget scales with the context
+        // count (capped) — this is exactly why forcing CBR onto a
+        // many-context section (MGRID_CBR) wastes tuning time.
+        const std::size_t budget =
+            driver_.options_.window.max_samples *
+            std::clamp<std::size_t>(driver_.profile_.num_contexts, 1, 50);
+        while (!rater.converged() && rater.total_samples() < budget) {
+          const sim::Invocation& inv = next_invocation();
+          rater.add(inv.context, backend_.invoke(cfg, inv).time);
+        }
+        if (!rater.converged()) ++exhausted_;
+        eval = rater.rating().eval;
+        break;
+      }
+      case rating::Method::kMBR: {
+        rating::ModelBasedRater rater(
+            driver_.profile_.components.num_components(),
+            driver_.profile_.mbr_profile, driver_.options_.mbr);
+        while (!rater.converged() && !rater.exhausted()) {
+          const sim::Invocation& inv = next_invocation();
+          const sim::InvocationResult r = backend_.invoke(cfg, inv);
+          std::vector<double> counts(r.counters.begin(), r.counters.end());
+          counts.push_back(1.0);  // constant component
+          rater.add(counts, r.time);
+        }
+        if (!rater.converged()) ++exhausted_;
+        eval = rater.rating().eval;
+        break;
+      }
+      case rating::Method::kAVG: {
+        rating::ContextObliviousRater rater(driver_.options_.window);
+        while (!rater.converged() && !rater.exhausted()) {
+          const sim::Invocation& inv = next_invocation();
+          rater.add(backend_.invoke(cfg, inv).time);
+        }
+        if (!rater.converged()) ++exhausted_;
+        eval = rater.rating().eval;
+        break;
+      }
+      case rating::Method::kWHL: {
+        rating::WholeProgramRater rater;
+        while (!rater.converged() &&
+               rater.runs() < rating::WholeProgramRater::whl_policy()
+                                  .max_samples) {
+          // One full application run per sample. The run also executes
+          // everything *around* the tuning section, which WHL must pay
+          // for — that surcharge is the core of its cost disadvantage.
+          double run_ts_time = 0.0;
+          for (std::size_t i = 0; i < driver_.trace_.invocations.size();
+               ++i) {
+            const double t = backend_.invoke(cfg, next_invocation()).time;
+            rater.add_invocation(t);
+            run_ts_time += t;
+          }
+          rater.end_run();
+          const double fraction = driver_.workload_.ts_time_fraction();
+          whole_program_surcharge_ +=
+              run_ts_time * (1.0 / fraction - 1.0);
+        }
+        eval = rater.rating().eval;
+        break;
+      }
+      case rating::Method::kRBR:
+        PEAK_CHECK(false, "RBR is pair-based; use rbr_ratio");
+        break;
+    }
+    if (eval <= 0.0) {
+      ++exhausted_;
+      throw RatingNotConverging(
+          std::string(rating::to_string(method_)) +
+          " produced no estimate for " + driver_.workload_.full_name());
+    }
+    memo_.emplace(key, eval);
+    return eval;
+  }
+
+  const TuningDriver& driver_;
+  rating::Method method_;
+  sim::SimExecutionBackend backend_;
+  std::map<std::string, double> memo_;
+  std::size_t cursor_ = 0;
+  std::size_t invocations_ = 0;
+  std::size_t ratings_ = 0;
+  std::size_t exhausted_ = 0;
+  double whole_program_surcharge_ = 0.0;
+};
+
+TuningDriver::TuningDriver(const workloads::Workload& workload,
+                           const ProfileData& profile,
+                           const workloads::Trace& trace,
+                           const sim::MachineModel& machine,
+                           const sim::FlagEffectModel& effects,
+                           DriverOptions options)
+    : workload_(workload),
+      profile_(profile),
+      trace_(trace),
+      machine_(machine),
+      effects_(effects),
+      options_(options),
+      mbr_instrumented_(
+          profile.components.mbr_applicable
+              ? analysis::instrument_components(workload.function(),
+                                                profile.components)
+              : workload.function()) {
+  PEAK_CHECK(!trace_.invocations.empty(), "empty tuning trace");
+}
+
+TuningOutcome TuningDriver::tune(rating::Method method) {
+  const ir::Function& fn = method == rating::Method::kMBR
+                               ? mbr_instrumented_
+                               : workload_.function();
+  Evaluator evaluator(*this, method, fn);
+
+  search::IterativeElimination default_ie(options_.ie);
+  search::SearchAlgorithm& algorithm =
+      options_.search_algorithm ? *options_.search_algorithm : default_ie;
+  const search::FlagConfig start = search::o3_config(effects_.space());
+  search::SearchResult sr;
+  try {
+    sr = algorithm.run(effects_.space(), evaluator, start);
+  } catch (const RatingNotConverging& e) {
+    // The method cannot rate anything here: abandon it, report the cost
+    // spent so far, and let tune_auto() switch methods.
+    TuningOutcome outcome;
+    outcome.best_config = start;
+    outcome.method = method;
+    outcome.cost = evaluator.cost();
+    outcome.exhausted_fraction = 1.0;
+    outcome.search_log.push_back(std::string("abandoned: ") + e.what());
+    return outcome;
+  }
+
+  TuningOutcome outcome;
+  outcome.best_config = sr.best;
+  outcome.method = method;
+  outcome.cost = evaluator.cost();
+  outcome.cost.configs_evaluated = sr.configs_evaluated;
+  outcome.search_improvement = sr.improvement_over_start;
+  outcome.exhausted_fraction = evaluator.exhausted_fraction();
+  outcome.search_log = std::move(sr.log);
+  return outcome;
+}
+
+TuningOutcome TuningDriver::tune_auto() {
+  const auto& chain = profile_.decision.chain;
+  PEAK_CHECK(!chain.empty(), "no applicable rating method for " +
+                                 workload_.full_name());
+  TuningCost accumulated;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    TuningOutcome outcome = tune(chain[i]);
+    // Fold in the cost of earlier, abandoned attempts.
+    outcome.cost.simulated_time += accumulated.simulated_time;
+    outcome.cost.invocations += accumulated.invocations;
+    outcome.cost.program_runs += accumulated.program_runs;
+    outcome.cost.configs_evaluated += accumulated.configs_evaluated;
+    const bool last = i + 1 == chain.size();
+    if (last ||
+        outcome.exhausted_fraction <= options_.max_exhausted_fraction) {
+      outcome.search_log.insert(
+          outcome.search_log.begin(),
+          "method " + std::string(rating::to_string(chain[i])) +
+              (i > 0 ? " (after fallback)" : " (consultant's first choice)"));
+      return outcome;
+    }
+    accumulated = outcome.cost;
+  }
+  PEAK_CHECK(false, "unreachable");
+  return {};
+}
+
+double expected_trace_time(const workloads::Workload& workload,
+                           const workloads::Trace& trace,
+                           const sim::MachineModel& machine,
+                           const sim::FlagEffectModel& effects,
+                           const search::FlagConfig& config) {
+  sim::TsTraits traits = workload.traits();
+  traits.workload_scale = trace.workload_scale;
+  sim::SimExecutionBackend backend(workload.function(), traits, machine,
+                                   effects, /*seed=*/7);
+  double total = 0.0;
+  for (const sim::Invocation& inv : trace.invocations)
+    total += backend.expected_time(config, inv);
+  return total;
+}
+
+}  // namespace peak::core

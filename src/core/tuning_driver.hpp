@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file tuning_driver.hpp
+/// The Performance Tuning Driver (paper Figure 5, step 5): for one tuning
+/// section it iteratively generates experimental versions (optimization
+/// configurations proposed by the search engine), rates them against the
+/// current best with the selected rating method, and keeps the winner.
+/// The driver also does PEAK's cost accounting — simulated time spent,
+/// invocations consumed, equivalent whole-program runs — which the
+/// tuning-time experiments (Figure 7 c, d) report.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "rating/rating.hpp"
+#include "rating/window.hpp"
+#include "search/iterative_elimination.hpp"
+#include "search/search_algorithm.hpp"
+#include "sim/exec_backend.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::core {
+
+struct DriverOptions {
+  rating::WindowPolicy window{};  ///< CBR / RBR / AVG windows
+  rating::MbrPolicy mbr{};
+  search::IterativeEliminationOptions ie{};
+  bool improved_rbr = true;
+  /// Measurement pairs amortized per RBR checkpoint cycle (§2.4.2's batch
+  /// optimization). 1 = one pair per invocation.
+  std::size_t rbr_batch_pairs = 1;
+  std::uint64_t seed = 1;
+  /// Exhaustion fraction beyond which tune_auto() falls back to the next
+  /// applicable rating method (paper Section 3, method switching).
+  double max_exhausted_fraction = 0.3;
+  /// Search algorithm over the flag space; null = Iterative Elimination
+  /// with the `ie` options. The pointer is shared so a caller can reuse
+  /// one algorithm instance across drivers.
+  std::shared_ptr<search::SearchAlgorithm> search_algorithm;
+};
+
+struct TuningCost {
+  double simulated_time = 0.0;   ///< cycles spent tuning (all overheads in)
+  std::size_t invocations = 0;   ///< TS invocations consumed
+  double program_runs = 0.0;     ///< invocations / invocations-per-run
+  std::size_t configs_evaluated = 0;
+};
+
+struct TuningOutcome {
+  search::FlagConfig best_config;
+  rating::Method method = rating::Method::kWHL;
+  TuningCost cost;
+  double search_improvement = 1.0;  ///< measured R of best vs start
+  double exhausted_fraction = 0.0;  ///< ratings that failed to converge
+  std::vector<std::string> search_log;
+};
+
+class TuningDriver {
+public:
+  /// `trace` is the tuning dataset (train in the offline scenario).
+  TuningDriver(const workloads::Workload& workload,
+               const ProfileData& profile, const workloads::Trace& trace,
+               const sim::MachineModel& machine,
+               const sim::FlagEffectModel& effects, DriverOptions options);
+
+  /// Tune with a fixed rating method (used by the Figure 7 sweeps, which
+  /// compare all applicable methods).
+  TuningOutcome tune(rating::Method method);
+
+  /// Tune with the consultant's chain, switching methods when ratings do
+  /// not converge (PEAK's automatic mode).
+  TuningOutcome tune_auto();
+
+private:
+  class Evaluator;
+
+  const workloads::Workload& workload_;
+  const ProfileData& profile_;
+  const workloads::Trace& trace_;
+  const sim::MachineModel& machine_;
+  const sim::FlagEffectModel& effects_;
+  DriverOptions options_;
+  ir::Function mbr_instrumented_;  ///< component-counter version
+};
+
+/// Noise-free total execution time of a whole trace under one
+/// configuration — the ground truth used to report final improvements.
+double expected_trace_time(const workloads::Workload& workload,
+                           const workloads::Trace& trace,
+                           const sim::MachineModel& machine,
+                           const sim::FlagEffectModel& effects,
+                           const search::FlagConfig& config);
+
+}  // namespace peak::core

@@ -1,0 +1,365 @@
+#include "ir/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+FunctionBuilder::FunctionBuilder(std::string name) : fn_(std::move(name)) {
+  cur_ = fn_.add_block("entry");
+  fn_.set_entry(cur_);
+}
+
+VarId FunctionBuilder::add_variable(std::string name, VarKind kind,
+                                    bool is_param, bool is_global,
+                                    bool is_float, std::size_t size) {
+  VarInfo info;
+  info.name = std::move(name);
+  info.kind = kind;
+  info.is_param = is_param;
+  info.is_global = is_global;
+  info.is_float = is_float;
+  info.array_size = size;
+  const VarId id = fn_.add_var(std::move(info));
+  if (is_param) fn_.add_param(id);
+  return id;
+}
+
+VarId FunctionBuilder::scalar(std::string name, bool is_float) {
+  return add_variable(std::move(name), VarKind::kScalar, false, false,
+                      is_float, 0);
+}
+
+VarId FunctionBuilder::array(std::string name, std::size_t size,
+                             bool is_float) {
+  return add_variable(std::move(name), VarKind::kArray, false, false,
+                      is_float, size);
+}
+
+VarId FunctionBuilder::pointer(std::string name) {
+  return add_variable(std::move(name), VarKind::kPointer, false, false,
+                      false, 0);
+}
+
+VarId FunctionBuilder::param_scalar(std::string name, bool is_float) {
+  return add_variable(std::move(name), VarKind::kScalar, true, false,
+                      is_float, 0);
+}
+
+VarId FunctionBuilder::param_array(std::string name, std::size_t size,
+                                   bool is_float) {
+  return add_variable(std::move(name), VarKind::kArray, true, false,
+                      is_float, size);
+}
+
+VarId FunctionBuilder::param_pointer(std::string name) {
+  return add_variable(std::move(name), VarKind::kPointer, true, false,
+                      false, 0);
+}
+
+VarId FunctionBuilder::global_scalar(std::string name, bool is_float) {
+  return add_variable(std::move(name), VarKind::kScalar, false, true,
+                      is_float, 0);
+}
+
+VarId FunctionBuilder::global_array(std::string name, std::size_t size,
+                                    bool is_float) {
+  return add_variable(std::move(name), VarKind::kArray, false, true,
+                      is_float, size);
+}
+
+ExprId FunctionBuilder::c(double value) {
+  Expr e;
+  e.op = ExprOp::kConst;
+  e.constant = value;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::v(VarId var) {
+  PEAK_CHECK(fn_.var(var).kind != VarKind::kArray,
+             "use at() to read array elements");
+  Expr e;
+  e.op = ExprOp::kVarRef;
+  e.var = var;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::at(VarId array, ExprId index) {
+  PEAK_CHECK(fn_.var(array).kind == VarKind::kArray, "at() needs an array");
+  Expr e;
+  e.op = ExprOp::kArrayRef;
+  e.var = array;
+  e.lhs = index;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::deref(VarId pointer, ExprId index) {
+  PEAK_CHECK(fn_.var(pointer).kind == VarKind::kPointer,
+             "deref() needs a pointer");
+  Expr e;
+  e.op = ExprOp::kDeref;
+  e.var = pointer;
+  e.lhs = index;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::address_of(VarId array) {
+  PEAK_CHECK(fn_.var(array).kind == VarKind::kArray,
+             "address_of() needs an array");
+  Expr e;
+  e.op = ExprOp::kAddressOf;
+  e.var = array;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::binary(ExprOp op, ExprId a, ExprId b) {
+  Expr e;
+  e.op = op;
+  e.lhs = a;
+  e.rhs = b;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::unary(ExprOp op, ExprId a) {
+  Expr e;
+  e.op = op;
+  e.lhs = a;
+  return fn_.add_expr(e);
+}
+
+ExprId FunctionBuilder::add(ExprId a, ExprId b) { return binary(ExprOp::kAdd, a, b); }
+ExprId FunctionBuilder::sub(ExprId a, ExprId b) { return binary(ExprOp::kSub, a, b); }
+ExprId FunctionBuilder::mul(ExprId a, ExprId b) { return binary(ExprOp::kMul, a, b); }
+ExprId FunctionBuilder::div(ExprId a, ExprId b) { return binary(ExprOp::kDiv, a, b); }
+ExprId FunctionBuilder::mod(ExprId a, ExprId b) { return binary(ExprOp::kMod, a, b); }
+ExprId FunctionBuilder::neg(ExprId a) { return unary(ExprOp::kNeg, a); }
+ExprId FunctionBuilder::min(ExprId a, ExprId b) { return binary(ExprOp::kMin, a, b); }
+ExprId FunctionBuilder::max(ExprId a, ExprId b) { return binary(ExprOp::kMax, a, b); }
+ExprId FunctionBuilder::abs(ExprId a) { return unary(ExprOp::kAbs, a); }
+ExprId FunctionBuilder::sqrt(ExprId a) { return unary(ExprOp::kSqrt, a); }
+ExprId FunctionBuilder::floor(ExprId a) { return unary(ExprOp::kFloor, a); }
+ExprId FunctionBuilder::lt(ExprId a, ExprId b) { return binary(ExprOp::kLt, a, b); }
+ExprId FunctionBuilder::le(ExprId a, ExprId b) { return binary(ExprOp::kLe, a, b); }
+ExprId FunctionBuilder::gt(ExprId a, ExprId b) { return binary(ExprOp::kGt, a, b); }
+ExprId FunctionBuilder::ge(ExprId a, ExprId b) { return binary(ExprOp::kGe, a, b); }
+ExprId FunctionBuilder::eq(ExprId a, ExprId b) { return binary(ExprOp::kEq, a, b); }
+ExprId FunctionBuilder::ne(ExprId a, ExprId b) { return binary(ExprOp::kNe, a, b); }
+ExprId FunctionBuilder::land(ExprId a, ExprId b) { return binary(ExprOp::kAnd, a, b); }
+ExprId FunctionBuilder::lor(ExprId a, ExprId b) { return binary(ExprOp::kOr, a, b); }
+ExprId FunctionBuilder::lnot(ExprId a) { return unary(ExprOp::kNot, a); }
+ExprId FunctionBuilder::bit_and(ExprId a, ExprId b) { return binary(ExprOp::kBitAnd, a, b); }
+ExprId FunctionBuilder::bit_or(ExprId a, ExprId b) { return binary(ExprOp::kBitOr, a, b); }
+ExprId FunctionBuilder::bit_xor(ExprId a, ExprId b) { return binary(ExprOp::kBitXor, a, b); }
+ExprId FunctionBuilder::shl(ExprId a, ExprId b) { return binary(ExprOp::kShl, a, b); }
+ExprId FunctionBuilder::shr(ExprId a, ExprId b) { return binary(ExprOp::kShr, a, b); }
+
+void FunctionBuilder::assign(VarId var, ExprId value) {
+  PEAK_CHECK(fn_.var(var).kind != VarKind::kArray,
+             "use store() for array elements");
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.lhs.var = var;
+  s.rhs = value;
+  fn_.block(cur_).stmts.push_back(std::move(s));
+}
+
+void FunctionBuilder::store(VarId array, ExprId index, ExprId value) {
+  PEAK_CHECK(fn_.var(array).kind == VarKind::kArray,
+             "store() needs an array");
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.lhs.var = array;
+  s.lhs.index = index;
+  s.rhs = value;
+  fn_.block(cur_).stmts.push_back(std::move(s));
+}
+
+void FunctionBuilder::store_through(VarId pointer, ExprId index,
+                                    ExprId value) {
+  PEAK_CHECK(fn_.var(pointer).kind == VarKind::kPointer,
+             "store_through() needs a pointer");
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.lhs.var = pointer;
+  s.lhs.index = index;
+  s.lhs.via_pointer = true;
+  s.rhs = value;
+  fn_.block(cur_).stmts.push_back(std::move(s));
+}
+
+void FunctionBuilder::call(std::string callee, std::vector<ExprId> args) {
+  Stmt s;
+  s.kind = StmtKind::kCall;
+  s.callee = std::move(callee);
+  s.args = std::move(args);
+  fn_.block(cur_).stmts.push_back(std::move(s));
+}
+
+void FunctionBuilder::counter(std::uint32_t counter_id) {
+  Stmt s;
+  s.kind = StmtKind::kCounter;
+  s.counter_id = counter_id;
+  fn_.block(cur_).stmts.push_back(std::move(s));
+}
+
+BlockId FunctionBuilder::new_block(std::string label) {
+  label += '.';
+  label += std::to_string(label_counter_++);
+  return fn_.add_block(std::move(label));
+}
+
+void FunctionBuilder::seal_jump(BlockId from, BlockId to) {
+  Terminator t;
+  t.kind = TermKind::kJump;
+  t.on_true = to;
+  fn_.block(from).term = t;
+}
+
+void FunctionBuilder::if_then(ExprId cond, const BodyFn& then_body) {
+  const BlockId then_b = new_block("then");
+  const BlockId join = new_block("join");
+
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = cond;
+  t.on_true = then_b;
+  t.on_false = join;
+  fn_.block(cur_).term = t;
+
+  cur_ = then_b;
+  then_body();
+  seal_jump(cur_, join);
+  cur_ = join;
+}
+
+void FunctionBuilder::if_else(ExprId cond, const BodyFn& then_body,
+                              const BodyFn& else_body) {
+  const BlockId then_b = new_block("then");
+  const BlockId else_b = new_block("else");
+  const BlockId join = new_block("join");
+
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = cond;
+  t.on_true = then_b;
+  t.on_false = else_b;
+  fn_.block(cur_).term = t;
+
+  cur_ = then_b;
+  then_body();
+  seal_jump(cur_, join);
+
+  cur_ = else_b;
+  else_body();
+  seal_jump(cur_, join);
+
+  cur_ = join;
+}
+
+void FunctionBuilder::for_loop(VarId iv, ExprId lo, ExprId hi,
+                               const BodyFn& body) {
+  for_loop_step(iv, lo, hi, c(1.0), body);
+}
+
+void FunctionBuilder::for_loop_step(VarId iv, ExprId lo, ExprId hi,
+                                    ExprId step, const BodyFn& body) {
+  assign(iv, lo);
+  const BlockId header = new_block("for.header");
+  const BlockId body_b = new_block("for.body");
+  const BlockId latch = new_block("for.latch");
+  const BlockId exit = new_block("for.exit");
+
+  seal_jump(cur_, header);
+
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = lt(v(iv), hi);
+  t.on_true = body_b;
+  t.on_false = exit;
+  fn_.block(header).term = t;
+
+  fn_.block(body_b).is_loop_body = true;
+  // `continue` must still run the induction update, so it targets the
+  // latch block rather than the header.
+  loop_stack_.push_back({latch, exit});
+  cur_ = body_b;
+  body();
+  seal_jump(cur_, latch);
+  loop_stack_.pop_back();
+
+  cur_ = latch;
+  assign(iv, add(v(iv), step));
+  seal_jump(cur_, header);
+
+  cur_ = exit;
+}
+
+void FunctionBuilder::while_loop(ExprId cond, const BodyFn& body) {
+  const BlockId header = new_block("while.header");
+  const BlockId body_b = new_block("while.body");
+  const BlockId exit = new_block("while.exit");
+
+  seal_jump(cur_, header);
+
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = cond;
+  t.on_true = body_b;
+  t.on_false = exit;
+  fn_.block(header).term = t;
+
+  fn_.block(body_b).is_loop_body = true;
+  loop_stack_.push_back({header, exit});
+  cur_ = body_b;
+  body();
+  seal_jump(cur_, header);
+  loop_stack_.pop_back();
+
+  cur_ = exit;
+}
+
+void FunctionBuilder::break_if(ExprId cond) {
+  PEAK_CHECK(!loop_stack_.empty(), "break_if outside a loop");
+  const BlockId cont = new_block("after.break");
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = cond;
+  t.on_true = loop_stack_.back().exit;
+  t.on_false = cont;
+  fn_.block(cur_).term = t;
+  cur_ = cont;
+}
+
+void FunctionBuilder::continue_if(ExprId cond) {
+  PEAK_CHECK(!loop_stack_.empty(), "continue_if outside a loop");
+  const BlockId cont = new_block("after.continue");
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = cond;
+  t.on_true = loop_stack_.back().header;
+  t.on_false = cont;
+  fn_.block(cur_).term = t;
+  cur_ = cont;
+}
+
+void FunctionBuilder::return_if(ExprId cond) {
+  const BlockId ret = new_block("early.ret");
+  const BlockId cont = new_block("after.ret");
+  Terminator t;
+  t.kind = TermKind::kBranch;
+  t.cond = cond;
+  t.on_true = ret;
+  t.on_false = cont;
+  fn_.block(cur_).term = t;
+  fn_.block(ret).term = Terminator{};  // kReturn
+  cur_ = cont;
+}
+
+Function FunctionBuilder::build() {
+  PEAK_CHECK(!built_, "build() called twice");
+  built_ = true;
+  fn_.block(cur_).term = Terminator{};  // kReturn
+  fn_.finalize();
+  return std::move(fn_);
+}
+
+}  // namespace peak::ir

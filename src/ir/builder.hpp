@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file builder.hpp
+/// Structured construction of IR functions. Workload kernels are written
+/// against this builder in a style close to the original C/Fortran source
+/// (for-loops, ifs, early exits) and lowered to the basic-block CFG that
+/// the analyses and the interpreter consume.
+///
+/// Example (sum of positive elements):
+/// \code
+///   FunctionBuilder b("sum_pos");
+///   auto n   = b.param_scalar("n");
+///   auto a   = b.param_array("a", 1024, /*is_float=*/true);
+///   auto s   = b.scalar("s", /*is_float=*/true);
+///   auto i   = b.scalar("i");
+///   b.assign(s, b.c(0.0));
+///   b.for_loop(i, b.c(0.0), b.v(n), [&] {
+///     b.if_then(b.gt(b.at(a, b.v(i)), b.c(0.0)),
+///               [&] { b.assign(s, b.add(b.v(s), b.at(a, b.v(i)))); });
+///   });
+///   ir::Function fn = b.build();
+/// \endcode
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+class FunctionBuilder {
+public:
+  explicit FunctionBuilder(std::string name);
+
+  // --- symbol table -------------------------------------------------------
+  VarId scalar(std::string name, bool is_float = false);
+  VarId array(std::string name, std::size_t size, bool is_float = false);
+  VarId pointer(std::string name);
+  VarId param_scalar(std::string name, bool is_float = false);
+  VarId param_array(std::string name, std::size_t size,
+                    bool is_float = false);
+  VarId param_pointer(std::string name);
+  /// Global: persists across invocations (state the TS may carry over).
+  VarId global_scalar(std::string name, bool is_float = false);
+  VarId global_array(std::string name, std::size_t size,
+                     bool is_float = false);
+
+  // --- expressions (pure; can be built at any time) ------------------------
+  ExprId c(double value);                ///< constant
+  ExprId v(VarId var);                   ///< scalar/pointer read
+  ExprId at(VarId array, ExprId index);  ///< array[index]
+  ExprId deref(VarId pointer, ExprId index);  ///< (*pointer)[index]
+  ExprId address_of(VarId array);
+
+  ExprId add(ExprId a, ExprId b);
+  ExprId sub(ExprId a, ExprId b);
+  ExprId mul(ExprId a, ExprId b);
+  ExprId div(ExprId a, ExprId b);
+  ExprId mod(ExprId a, ExprId b);
+  ExprId neg(ExprId a);
+  ExprId min(ExprId a, ExprId b);
+  ExprId max(ExprId a, ExprId b);
+  ExprId abs(ExprId a);
+  ExprId sqrt(ExprId a);
+  ExprId floor(ExprId a);
+  ExprId lt(ExprId a, ExprId b);
+  ExprId le(ExprId a, ExprId b);
+  ExprId gt(ExprId a, ExprId b);
+  ExprId ge(ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b);
+  ExprId ne(ExprId a, ExprId b);
+  ExprId land(ExprId a, ExprId b);
+  ExprId lor(ExprId a, ExprId b);
+  ExprId lnot(ExprId a);
+  ExprId bit_and(ExprId a, ExprId b);
+  ExprId bit_or(ExprId a, ExprId b);
+  ExprId bit_xor(ExprId a, ExprId b);
+  ExprId shl(ExprId a, ExprId b);
+  ExprId shr(ExprId a, ExprId b);
+
+  // --- statements (appended to the current block) ---------------------------
+  void assign(VarId var, ExprId value);
+  void store(VarId array, ExprId index, ExprId value);
+  void store_through(VarId pointer, ExprId index, ExprId value);
+  void call(std::string callee, std::vector<ExprId> args = {});
+  void counter(std::uint32_t counter_id);
+
+  // --- structured control flow ---------------------------------------------
+  using BodyFn = std::function<void()>;
+
+  /// if (cond) { then_body() }
+  void if_then(ExprId cond, const BodyFn& then_body);
+  /// if (cond) { then_body() } else { else_body() }
+  void if_else(ExprId cond, const BodyFn& then_body, const BodyFn& else_body);
+
+  /// for (iv = lo; iv < hi; iv += step) body()   (step defaults to 1)
+  void for_loop(VarId iv, ExprId lo, ExprId hi, const BodyFn& body);
+  void for_loop_step(VarId iv, ExprId lo, ExprId hi, ExprId step,
+                     const BodyFn& body);
+
+  /// while (cond) body(). The condition expression is re-evaluated each
+  /// iteration (expressions are pure, so one ExprId suffices).
+  void while_loop(ExprId cond, const BodyFn& body);
+
+  /// Inside a loop body: if (cond) break;
+  void break_if(ExprId cond);
+  /// Inside a loop body: if (cond) continue;
+  void continue_if(ExprId cond);
+
+  /// Early return from the function: if (cond) return;
+  void return_if(ExprId cond);
+
+  /// Finish construction: seal the current block with a return, finalize
+  /// traits/preds, and hand over the function. The builder is then spent.
+  Function build();
+
+private:
+  struct LoopFrame {
+    BlockId header;  ///< continue target
+    BlockId exit;    ///< break target
+  };
+
+  BlockId new_block(std::string label);
+  void seal_jump(BlockId from, BlockId to);
+  ExprId binary(ExprOp op, ExprId a, ExprId b);
+  ExprId unary(ExprOp op, ExprId a);
+  VarId add_variable(std::string name, VarKind kind, bool is_param,
+                     bool is_global, bool is_float, std::size_t size);
+
+  Function fn_;
+  BlockId cur_;
+  std::vector<LoopFrame> loop_stack_;
+  int label_counter_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace peak::ir

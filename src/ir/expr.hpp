@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file expr.hpp
+/// Side-effect-free expression trees. Nodes live in a per-function arena
+/// (vector of Expr indexed by ExprId), so expressions are cheap to share
+/// and the whole function remains trivially copyable.
+
+#include <cstdint>
+
+#include "ir/types.hpp"
+
+namespace peak::ir {
+
+enum class ExprOp : std::uint8_t {
+  kConst,      ///< literal; value in Expr::constant
+  kVarRef,     ///< read scalar/pointer variable Expr::var
+  kArrayRef,   ///< var[lhs]; var is kArray
+  kDeref,      ///< (*var)[lhs]; var is kPointer, indexes the pointee array
+  kAddressOf,  ///< &var; yields a pointer value to array Expr::var
+  // Arithmetic.
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kMin, kMax, kAbs, kSqrt, kFloor,
+  // Comparison (yield 0.0 / 1.0).
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  // Logic (operands treated as booleans: nonzero = true).
+  kAnd, kOr, kNot,
+  // Integer bit operations (operands truncated to int64).
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+/// Number of child operands an op consumes (kArrayRef/kDeref use lhs as the
+/// index; kVarRef/kConst/kAddressOf are leaves).
+int expr_arity(ExprOp op);
+
+/// True for comparison and logic ops (results are 0/1).
+bool expr_is_boolean(ExprOp op);
+
+struct Expr {
+  ExprOp op = ExprOp::kConst;
+  double constant = 0.0;   ///< kConst payload
+  VarId var = kNoVar;      ///< kVarRef / kArrayRef / kDeref / kAddressOf
+  ExprId lhs = kNoExpr;    ///< first child (index expr for Array/Deref)
+  ExprId rhs = kNoExpr;    ///< second child
+};
+
+}  // namespace peak::ir

@@ -1,0 +1,226 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+int expr_arity(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst:
+    case ExprOp::kVarRef:
+    case ExprOp::kAddressOf:
+      return 0;
+    case ExprOp::kArrayRef:
+    case ExprOp::kDeref:
+    case ExprOp::kNeg:
+    case ExprOp::kAbs:
+    case ExprOp::kSqrt:
+    case ExprOp::kFloor:
+    case ExprOp::kNot:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+bool expr_is_boolean(ExprOp op) {
+  switch (op) {
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+    case ExprOp::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+VarId Function::add_var(VarInfo info) {
+  PEAK_CHECK(!finalized_, "cannot modify a finalized function");
+  vars_.push_back(std::move(info));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+ExprId Function::add_expr(Expr e) {
+  // Allowed even on finalized functions: optimization passes append fresh
+  // expression trees (orphan nodes are harmless; statements reference
+  // roots explicitly).
+  exprs_.push_back(e);
+  return static_cast<ExprId>(exprs_.size() - 1);
+}
+
+BlockId Function::add_block(std::string label) {
+  PEAK_CHECK(!finalized_, "cannot modify a finalized function");
+  blocks_.push_back(BasicBlock{});
+  blocks_.back().label = std::move(label);
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+BasicBlock& Function::block(BlockId b) {
+  PEAK_DCHECK(b < blocks_.size());
+  return blocks_[b];
+}
+
+const BasicBlock& Function::block(BlockId b) const {
+  PEAK_DCHECK(b < blocks_.size());
+  return blocks_[b];
+}
+
+const Expr& Function::expr(ExprId e) const {
+  PEAK_DCHECK(e < exprs_.size());
+  return exprs_[e];
+}
+
+Expr& Function::expr_mut(ExprId e) {
+  PEAK_DCHECK(e < exprs_.size());
+  return exprs_[e];
+}
+
+const VarInfo& Function::var(VarId v) const {
+  PEAK_DCHECK(v < vars_.size());
+  return vars_[v];
+}
+
+std::optional<VarId> Function::find_var(std::string_view name) const {
+  for (std::size_t i = 0; i < vars_.size(); ++i)
+    if (vars_[i].name == name) return static_cast<VarId>(i);
+  return std::nullopt;
+}
+
+std::vector<BlockId> Function::successors(BlockId b) const {
+  const Terminator& t = block(b).term;
+  switch (t.kind) {
+    case TermKind::kJump:
+      return {t.on_true};
+    case TermKind::kBranch:
+      return {t.on_true, t.on_false};
+    case TermKind::kReturn:
+      return {};
+  }
+  return {};
+}
+
+void Function::collect_used_vars(ExprId e, std::vector<VarId>& out) const {
+  if (e == kNoExpr) return;
+  const Expr& node = expr(e);
+  if (node.var != kNoVar && node.op != ExprOp::kAddressOf)
+    out.push_back(node.var);
+  if (node.op == ExprOp::kAddressOf) out.push_back(node.var);
+  collect_used_vars(node.lhs, out);
+  collect_used_vars(node.rhs, out);
+}
+
+void Function::accumulate_expr_traits(ExprId e, BlockTraits& t) const {
+  if (e == kNoExpr) return;
+  const Expr& node = expr(e);
+  switch (node.op) {
+    case ExprOp::kConst:
+    case ExprOp::kAddressOf:
+      break;
+    case ExprOp::kVarRef:
+      // Scalar reads are register-like; only memory traffic is priced.
+      break;
+    case ExprOp::kArrayRef:
+    case ExprOp::kDeref:
+      ++t.loads;
+      break;
+    case ExprOp::kDiv:
+    case ExprOp::kMod:
+      ++t.divs;
+      break;
+    case ExprOp::kSqrt:
+      ++t.fp_transcend;
+      break;
+    default: {
+      const bool fp =
+          node.var != kNoVar ? var(node.var).is_float : false;
+      // Classify by operand variable type when visible; comparisons and
+      // logic count as integer ops.
+      if (!expr_is_boolean(node.op) && fp)
+        ++t.fp_ops;
+      else
+        ++t.int_ops;
+      break;
+    }
+  }
+  accumulate_expr_traits(node.lhs, t);
+  accumulate_expr_traits(node.rhs, t);
+}
+
+void Function::finalize() {
+  PEAK_CHECK(!finalized_, "finalize() called twice");
+  PEAK_CHECK(entry_ != kNoBlock, "function has no entry block");
+
+  preds_.assign(blocks_.size(), {});
+  for (BlockId b = 0; b < blocks_.size(); ++b) {
+    for (BlockId s : successors(b)) {
+      PEAK_CHECK(s < blocks_.size(), "terminator targets missing block");
+      preds_[s].push_back(b);
+    }
+  }
+
+  for (auto& bb : blocks_) {
+    BlockTraits t;
+    for (const Stmt& s : bb.stmts) {
+      switch (s.kind) {
+        case StmtKind::kAssign: {
+          accumulate_expr_traits(s.rhs, t);
+          if (s.lhs.is_scalar()) {
+            // Register-allocated scalar write: track as an int/fp op only
+            // when the rhs was a pure leaf (move); cheap either way.
+          } else {
+            ++t.stores;
+            accumulate_expr_traits(s.lhs.index, t);
+          }
+          // Classify the move itself.
+          if (s.lhs.var != kNoVar && vars_[s.lhs.var].is_float)
+            ++t.fp_ops;
+          else
+            ++t.int_ops;
+          break;
+        }
+        case StmtKind::kCall:
+          ++t.calls;
+          for (ExprId a : s.args) accumulate_expr_traits(a, t);
+          break;
+        case StmtKind::kCounter:
+          // Instrumentation is priced by the execution backend separately
+          // so that counter overhead can be modelled (and removed when the
+          // tuned binary is produced).
+          break;
+        case StmtKind::kNop:
+          break;
+      }
+    }
+    if (bb.term.kind == TermKind::kBranch) {
+      ++t.branches;
+      accumulate_expr_traits(bb.term.cond, t);
+    }
+    bb.traits = t;
+  }
+
+  finalized_ = true;
+}
+
+std::uint32_t Function::num_counters() const {
+  std::uint32_t max_id = 0;
+  bool any = false;
+  for (const auto& bb : blocks_) {
+    for (const Stmt& s : bb.stmts) {
+      if (s.kind == StmtKind::kCounter) {
+        any = true;
+        max_id = std::max(max_id, s.counter_id);
+      }
+    }
+  }
+  return any ? max_id + 1 : 0;
+}
+
+}  // namespace peak::ir

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file function.hpp
+/// The Function is the unit the tuning system works on: one tuning section
+/// lowered to a CFG of basic blocks, plus its symbol table and expression
+/// arena. BlockTraits summarise the operation mix of each block; the
+/// simulated machine prices a block entry from those traits, and the
+/// flag-effect model perturbs the prices per optimization option.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/stmt.hpp"
+#include "ir/types.hpp"
+
+namespace peak::ir {
+
+/// Static operation mix of one basic block (per single entry).
+struct BlockTraits {
+  std::uint32_t int_ops = 0;
+  std::uint32_t fp_ops = 0;
+  std::uint32_t loads = 0;
+  std::uint32_t stores = 0;
+  std::uint32_t branches = 0;   ///< 1 if terminator is a conditional branch
+  std::uint32_t calls = 0;
+  std::uint32_t divs = 0;       ///< expensive ops priced separately
+  std::uint32_t fp_transcend = 0;  ///< sqrt etc.
+
+  [[nodiscard]] std::uint32_t total_ops() const {
+    return int_ops + fp_ops + loads + stores + branches + calls + divs +
+           fp_transcend;
+  }
+};
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Stmt> stmts;
+  Terminator term;
+  BlockTraits traits;  ///< filled by Function::finalize()
+  bool is_loop_body = false;  ///< set by the builder for loop bodies
+};
+
+class Function {
+public:
+  explicit Function(std::string name = "fn") : name_(std::move(name)) {}
+
+  // --- construction (used by FunctionBuilder) ---
+  VarId add_var(VarInfo info);
+  ExprId add_expr(Expr e);
+  BlockId add_block(std::string label);
+
+  BasicBlock& block(BlockId b);
+  [[nodiscard]] const BasicBlock& block(BlockId b) const;
+  [[nodiscard]] const Expr& expr(ExprId e) const;
+  /// Mutable expression access for optimization passes (which rewrite
+  /// trees in place and then call refinalize()).
+  Expr& expr_mut(ExprId e);
+  [[nodiscard]] const VarInfo& var(VarId v) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_vars() const { return vars_.size(); }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t num_exprs() const { return exprs_.size(); }
+  [[nodiscard]] BlockId entry() const { return entry_; }
+  void set_entry(BlockId b) { entry_ = b; }
+
+  [[nodiscard]] const std::vector<VarId>& params() const { return params_; }
+  void add_param(VarId v) { params_.push_back(v); }
+
+  /// Find a variable by name; useful in tests and trace binding.
+  [[nodiscard]] std::optional<VarId> find_var(std::string_view name) const;
+
+  /// Successor block ids of b (0, 1, or 2 entries).
+  [[nodiscard]] std::vector<BlockId> successors(BlockId b) const;
+
+  /// Predecessor lists (computed by finalize()).
+  [[nodiscard]] const std::vector<std::vector<BlockId>>& predecessors()
+      const {
+    return preds_;
+  }
+
+  /// Variables read by an expression tree (arrays/pointers included once).
+  void collect_used_vars(ExprId e, std::vector<VarId>& out) const;
+
+  /// Compute block traits, predecessor lists, and validate terminators.
+  /// Must be called once construction is complete (the builder does).
+  void finalize();
+
+  /// Recompute the derived CFG bookkeeping after an optimization pass
+  /// mutated statements or terminators.
+  void refinalize() {
+    finalized_ = false;
+    finalize();
+  }
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Number of distinct instrumentation counters referenced by kCounter
+  /// statements (max counter_id + 1; 0 when uninstrumented).
+  [[nodiscard]] std::uint32_t num_counters() const;
+
+private:
+  void accumulate_expr_traits(ExprId e, BlockTraits& t) const;
+
+  std::string name_;
+  std::vector<VarInfo> vars_;
+  std::vector<Expr> exprs_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<VarId> params_;
+  BlockId entry_ = kNoBlock;
+  bool finalized_ = false;
+};
+
+}  // namespace peak::ir

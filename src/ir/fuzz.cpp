@@ -1,0 +1,165 @@
+#include "ir/fuzz.hpp"
+
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace peak::ir {
+
+namespace {
+
+class Generator {
+public:
+  Generator(support::Rng rng, const FuzzOptions& options)
+      : rng_(std::move(rng)), options_(options), b_("fuzz") {}
+
+  Function generate() {
+    for (std::size_t i = 0; i < options_.scalar_params; ++i)
+      scalars_.push_back(
+          b_.param_scalar("p" + std::to_string(i), rng_.bernoulli(0.5)));
+    for (std::size_t i = 0; i < options_.arrays; ++i)
+      arrays_.push_back(b_.param_array("a" + std::to_string(i),
+                                       options_.array_size,
+                                       rng_.bernoulli(0.5)));
+    if (options_.pointers > 0) {
+      // Pointers are always bound to a visible array before any use, so
+      // generated programs never dereference an unbound pointer.
+      for (std::size_t i = 0; i < options_.pointers; ++i) {
+        const VarId ptr = b_.pointer("q" + std::to_string(i));
+        b_.assign(ptr, b_.address_of(pick(arrays_)));
+        pointers_.push_back(ptr);
+      }
+    }
+    for (std::size_t i = 0; i < options_.locals; ++i) {
+      const VarId v = b_.scalar("t" + std::to_string(i));
+      b_.assign(v, b_.c(rng_.uniform(-4.0, 4.0)));  // defined before use
+      scalars_.push_back(v);
+    }
+    sequence(options_.max_depth);
+    return b_.build();
+  }
+
+private:
+  ExprId index_expr(int depth) {
+    // Always in bounds: mod(abs(e), size).
+    return b_.mod(b_.abs(expr(depth)),
+                  b_.c(static_cast<double>(options_.array_size)));
+  }
+
+  ExprId expr(int depth) {
+    if (depth <= 0 || rng_.bernoulli(0.3)) {
+      // Leaf.
+      if (rng_.bernoulli(0.4))
+        return b_.c(static_cast<double>(rng_.uniform_int(-8, 8)));
+      return b_.v(pick(scalars_));
+    }
+    switch (rng_.uniform_int(0, 6)) {
+      case 0: return b_.add(expr(depth - 1), expr(depth - 1));
+      case 1: return b_.sub(expr(depth - 1), expr(depth - 1));
+      case 2: return b_.mul(expr(depth - 1), expr(depth - 1));
+      case 3: return b_.min(expr(depth - 1), expr(depth - 1));
+      case 4: return b_.max(expr(depth - 1), expr(depth - 1));
+      case 5: return b_.abs(expr(depth - 1));
+      default:
+        if (!pointers_.empty() && rng_.bernoulli(0.3))
+          return b_.deref(pick(pointers_), index_expr(depth - 1));
+        return b_.at(pick(arrays_), index_expr(depth - 1));
+    }
+  }
+
+  ExprId condition(int depth) {
+    switch (rng_.uniform_int(0, 3)) {
+      case 0: return b_.lt(expr(depth), expr(depth));
+      case 1: return b_.ge(expr(depth), expr(depth));
+      case 2: return b_.eq(b_.mod(b_.abs(expr(depth)), b_.c(3.0)), b_.c(0.0));
+      default: return b_.land(condition(0), condition(0));
+    }
+  }
+
+  /// Keep scalar values finite: iterated multiplication in loops would
+  /// otherwise blow up to infinity within a handful of iterations.
+  ExprId clamped(ExprId e) {
+    return b_.min(b_.max(e, b_.c(-1e6)), b_.c(1e6));
+  }
+
+  void statement(int depth, bool in_loop) {
+    const int choice = rng_.uniform_int(0, 9);
+    if (choice < 4) {
+      b_.assign(pick(scalars_), clamped(expr(options_.max_expr_depth)));
+    } else if (choice < 6) {
+      if (!pointers_.empty() && rng_.bernoulli(0.25)) {
+        // Occasionally re-bind a pointer or store through it.
+        const VarId ptr = pick(pointers_);
+        if (rng_.bernoulli(0.3))
+          b_.assign(ptr, b_.address_of(pick(arrays_)));
+        else
+          b_.store_through(ptr, index_expr(2),
+                           expr(options_.max_expr_depth));
+      } else {
+        b_.store(pick(arrays_), index_expr(2),
+                 expr(options_.max_expr_depth));
+      }
+    } else if (choice < 8 && depth > 0 && rng_.bernoulli(options_.if_prob * 2)) {
+      if (rng_.bernoulli(0.5)) {
+        b_.if_then(condition(1), [&] { sequence(depth - 1, in_loop); });
+      } else {
+        b_.if_else(condition(1), [&] { sequence(depth - 1, in_loop); },
+                   [&] { sequence(depth - 1, in_loop); });
+      }
+    } else if (depth > 0 && rng_.bernoulli(options_.loop_prob * 2)) {
+      const VarId iv = b_.scalar("iv" + std::to_string(fresh_++));
+      const double trip = static_cast<double>(rng_.uniform_int(1, 6));
+      b_.for_loop(iv, b_.c(0.0), b_.c(trip), [&] {
+        if (rng_.bernoulli(options_.break_prob))
+          b_.break_if(condition(1));
+        sequence(depth - 1, /*in_loop=*/true);
+      });
+      scalars_.push_back(iv);
+    } else {
+      b_.assign(pick(scalars_), clamped(expr(1)));
+    }
+    if (in_loop && rng_.bernoulli(options_.break_prob / 2))
+      b_.continue_if(condition(0));
+  }
+
+  void sequence(int depth, bool in_loop = false) {
+    const int n = static_cast<int>(rng_.uniform_int(1, options_.max_stmts));
+    for (int i = 0; i < n; ++i) statement(depth, in_loop);
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) {
+    return xs[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))];
+  }
+
+  support::Rng rng_;
+  FuzzOptions options_;
+  FunctionBuilder b_;
+  std::vector<VarId> scalars_;
+  std::vector<VarId> arrays_;
+  std::vector<VarId> pointers_;
+  int fresh_ = 0;
+};
+
+}  // namespace
+
+Function fuzz_function(std::uint64_t seed, const FuzzOptions& options) {
+  Generator gen(support::Rng(seed), options);
+  return gen.generate();
+}
+
+Memory fuzz_memory(const Function& fn, std::uint64_t seed) {
+  Memory memory = Memory::for_function(fn);
+  support::Rng rng(seed ^ 0xf00d);
+  for (VarId p : fn.params()) {
+    if (fn.var(p).kind == VarKind::kScalar)
+      memory.scalar(p) = static_cast<double>(rng.uniform_int(-6, 6));
+    else if (fn.var(p).kind == VarKind::kArray)
+      for (double& x : memory.array(p))
+        x = static_cast<double>(rng.uniform_int(-8, 8));
+  }
+  return memory;
+}
+
+}  // namespace peak::ir

@@ -1,0 +1,240 @@
+#include "ir/interpreter.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+Memory Memory::for_function(const Function& fn) {
+  Memory m;
+  m.scalars.assign(fn.num_vars(), 0.0);
+  m.arrays.resize(fn.num_vars());
+  for (VarId v = 0; v < fn.num_vars(); ++v) {
+    const VarInfo& info = fn.var(v);
+    if (info.kind == VarKind::kArray)
+      m.arrays[v].assign(info.array_size, 0.0);
+    else if (info.kind == VarKind::kPointer)
+      m.scalars[v] = static_cast<double>(kNoVar);
+  }
+  return m;
+}
+
+Interpreter::Interpreter(const Function& fn, InterpreterOptions opts)
+    : fn_(fn), opts_(std::move(opts)) {
+  PEAK_CHECK(fn.finalized(), "interpret only finalized functions");
+}
+
+VarId Interpreter::pointee(VarId pointer, const Memory& memory) const {
+  const auto target = static_cast<VarId>(memory.scalar(pointer));
+  PEAK_CHECK(target != kNoVar && target < fn_.num_vars(),
+             "dereference of unbound pointer in " + fn_.name());
+  PEAK_CHECK(fn_.var(target).kind == VarKind::kArray,
+             "pointer target is not an array");
+  return target;
+}
+
+std::size_t Interpreter::checked_index(VarId array, double idx,
+                                       const Memory& memory) const {
+  PEAK_CHECK(std::isfinite(idx),
+             "non-finite array index in " + fn_.name());
+  const auto i = static_cast<std::int64_t>(idx);
+  PEAK_CHECK(i >= 0 && static_cast<std::size_t>(i) <
+                           memory.array(array).size(),
+             "array index out of bounds: " + fn_.var(array).name + "[" +
+                 std::to_string(i) + "] size " +
+                 std::to_string(memory.array(array).size()) + " in " +
+                 fn_.name());
+  return static_cast<std::size_t>(i);
+}
+
+double Interpreter::eval(ExprId e, const Memory& memory) const {
+  const Expr& node = fn_.expr(e);
+  switch (node.op) {
+    case ExprOp::kConst:
+      return node.constant;
+    case ExprOp::kVarRef:
+      return memory.scalar(node.var);
+    case ExprOp::kArrayRef: {
+      const double idx = eval(node.lhs, memory);
+      return memory.array(node.var)[checked_index(node.var, idx, memory)];
+    }
+    case ExprOp::kDeref: {
+      const VarId target = pointee(node.var, memory);
+      const double idx = eval(node.lhs, memory);
+      return memory.array(target)[checked_index(target, idx, memory)];
+    }
+    case ExprOp::kAddressOf:
+      return static_cast<double>(node.var);
+    case ExprOp::kAdd:
+      return eval(node.lhs, memory) + eval(node.rhs, memory);
+    case ExprOp::kSub:
+      return eval(node.lhs, memory) - eval(node.rhs, memory);
+    case ExprOp::kMul:
+      return eval(node.lhs, memory) * eval(node.rhs, memory);
+    case ExprOp::kDiv: {
+      const double d = eval(node.rhs, memory);
+      PEAK_CHECK(d != 0.0, "division by zero in " + fn_.name());
+      return eval(node.lhs, memory) / d;
+    }
+    case ExprOp::kMod: {
+      const double da = eval(node.lhs, memory);
+      const double db = eval(node.rhs, memory);
+      PEAK_CHECK(std::isfinite(da) && std::isfinite(db) &&
+                     std::fabs(da) < 9.2e18 && std::fabs(db) < 9.2e18,
+                 "mod operand out of integer range in " + fn_.name());
+      const auto a = static_cast<std::int64_t>(da);
+      const auto b = static_cast<std::int64_t>(db);
+      PEAK_CHECK(b != 0, "mod by zero in " + fn_.name());
+      return static_cast<double>(a % b);
+    }
+    case ExprOp::kNeg:
+      return -eval(node.lhs, memory);
+    case ExprOp::kMin:
+      return std::min(eval(node.lhs, memory), eval(node.rhs, memory));
+    case ExprOp::kMax:
+      return std::max(eval(node.lhs, memory), eval(node.rhs, memory));
+    case ExprOp::kAbs:
+      return std::fabs(eval(node.lhs, memory));
+    case ExprOp::kSqrt:
+      return std::sqrt(eval(node.lhs, memory));
+    case ExprOp::kFloor:
+      return std::floor(eval(node.lhs, memory));
+    case ExprOp::kLt:
+      return eval(node.lhs, memory) < eval(node.rhs, memory) ? 1.0 : 0.0;
+    case ExprOp::kLe:
+      return eval(node.lhs, memory) <= eval(node.rhs, memory) ? 1.0 : 0.0;
+    case ExprOp::kGt:
+      return eval(node.lhs, memory) > eval(node.rhs, memory) ? 1.0 : 0.0;
+    case ExprOp::kGe:
+      return eval(node.lhs, memory) >= eval(node.rhs, memory) ? 1.0 : 0.0;
+    case ExprOp::kEq:
+      return eval(node.lhs, memory) == eval(node.rhs, memory) ? 1.0 : 0.0;
+    case ExprOp::kNe:
+      return eval(node.lhs, memory) != eval(node.rhs, memory) ? 1.0 : 0.0;
+    case ExprOp::kAnd:
+      return (eval(node.lhs, memory) != 0.0 && eval(node.rhs, memory) != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case ExprOp::kOr:
+      return (eval(node.lhs, memory) != 0.0 || eval(node.rhs, memory) != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case ExprOp::kNot:
+      return eval(node.lhs, memory) == 0.0 ? 1.0 : 0.0;
+    case ExprOp::kBitAnd:
+      return static_cast<double>(
+          static_cast<std::int64_t>(eval(node.lhs, memory)) &
+          static_cast<std::int64_t>(eval(node.rhs, memory)));
+    case ExprOp::kBitOr:
+      return static_cast<double>(
+          static_cast<std::int64_t>(eval(node.lhs, memory)) |
+          static_cast<std::int64_t>(eval(node.rhs, memory)));
+    case ExprOp::kBitXor:
+      return static_cast<double>(
+          static_cast<std::int64_t>(eval(node.lhs, memory)) ^
+          static_cast<std::int64_t>(eval(node.rhs, memory)));
+    case ExprOp::kShl:
+      return static_cast<double>(
+          static_cast<std::int64_t>(eval(node.lhs, memory))
+          << static_cast<std::int64_t>(eval(node.rhs, memory)));
+    case ExprOp::kShr:
+      return static_cast<double>(
+          static_cast<std::int64_t>(eval(node.lhs, memory)) >>
+          static_cast<std::int64_t>(eval(node.rhs, memory)));
+  }
+  PEAK_CHECK(false, "unhandled ExprOp");
+  return 0.0;
+}
+
+namespace {
+
+double default_call(const std::string& callee,
+                    const std::vector<double>& args, Memory&) {
+  // Pure math intrinsics the kernels may use; results are discarded (calls
+  // are statements), so only the cost matters here.
+  (void)args;
+  if (callee == "sin" || callee == "cos" || callee == "exp" ||
+      callee == "log")
+    return 20.0;
+  return 50.0;  // unknown external routine: flat cost
+}
+
+}  // namespace
+
+RunResult Interpreter::run(Memory& memory, const CostModel& cost) const {
+  RunResult result;
+  if (opts_.record_block_entries)
+    result.block_entries.assign(fn_.num_blocks(), 0);
+  result.counters.assign(fn_.num_counters(), 0);
+
+  // Per-block entry prices are invariant across the run; cache them.
+  std::vector<double> block_cost(fn_.num_blocks());
+  for (BlockId b = 0; b < fn_.num_blocks(); ++b)
+    block_cost[b] = cost.block_entry_cost(fn_, b);
+  const double counter_cost = cost.counter_cost();
+
+  BlockId cur = fn_.entry();
+  for (;;) {
+    const BasicBlock& bb = fn_.block(cur);
+    if (opts_.record_block_entries) ++result.block_entries[cur];
+    result.cycles += block_cost[cur];
+
+    for (const Stmt& s : bb.stmts) {
+      ++result.steps;
+      PEAK_CHECK(result.steps <= opts_.max_steps,
+                 "interpreter step limit exceeded in " + fn_.name());
+      switch (s.kind) {
+        case StmtKind::kAssign: {
+          const double value = eval(s.rhs, memory);
+          if (s.lhs.is_scalar()) {
+            memory.scalar(s.lhs.var) = value;
+          } else {
+            const VarId target = s.lhs.via_pointer
+                                     ? pointee(s.lhs.var, memory)
+                                     : s.lhs.var;
+            const double idx = eval(s.lhs.index, memory);
+            const std::size_t i = checked_index(target, idx, memory);
+            if (opts_.write_hook)
+              opts_.write_hook(target, i, memory.array(target)[i]);
+            memory.array(target)[i] = value;
+          }
+          break;
+        }
+        case StmtKind::kCall: {
+          std::vector<double> args;
+          args.reserve(s.args.size());
+          for (ExprId a : s.args) args.push_back(eval(a, memory));
+          result.cycles += opts_.call_handler
+                               ? opts_.call_handler(s.callee, args, memory)
+                               : default_call(s.callee, args, memory);
+          break;
+        }
+        case StmtKind::kCounter:
+          ++result.counters[s.counter_id];
+          result.cycles += counter_cost;
+          break;
+        case StmtKind::kNop:
+          break;
+      }
+    }
+
+    const Terminator& t = bb.term;
+    switch (t.kind) {
+      case TermKind::kJump:
+        cur = t.on_true;
+        break;
+      case TermKind::kBranch:
+        cur = eval(t.cond, memory) != 0.0 ? t.on_true : t.on_false;
+        break;
+      case TermKind::kReturn:
+        return result;
+    }
+  }
+}
+
+RunResult Interpreter::run(Memory& memory) const {
+  return run(memory, UnitCostModel{});
+}
+
+}  // namespace peak::ir

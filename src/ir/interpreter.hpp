@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file interpreter.hpp
+/// Executes an IR function over a memory image. The interpreter serves
+/// three roles in the reproduction:
+///   1. functional execution of the workload kernels (results checked
+///      against native C++ implementations in the tests);
+///   2. profiling: it records per-basic-block entry counts, which feed the
+///      MBR component analysis, and instrumentation counter values;
+///   3. virtual timing: each block entry is priced by a CostModel, giving
+///      a deterministic cycle count that the simulated machine and the
+///      flag-effect model then perturb per optimization configuration.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+/// Memory image for one function: one slot per scalar/pointer variable and
+/// one buffer per array variable. Pointer slots store the VarId of the
+/// pointee array encoded as a double (kNoVar-encoded when null).
+struct Memory {
+  std::vector<double> scalars;
+  std::vector<std::vector<double>> arrays;
+
+  /// Allocate slots/buffers to match the function's symbol table; arrays
+  /// get their declared default size unless already sized larger.
+  static Memory for_function(const Function& fn);
+
+  double& scalar(VarId v) { return scalars[v]; }
+  [[nodiscard]] double scalar(VarId v) const { return scalars[v]; }
+  std::vector<double>& array(VarId v) { return arrays[v]; }
+  [[nodiscard]] const std::vector<double>& array(VarId v) const {
+    return arrays[v];
+  }
+
+  void set_pointer(VarId pointer, VarId target) {
+    scalars[pointer] = static_cast<double>(target);
+  }
+};
+
+/// Prices one entry of a basic block. Implementations live in peak::sim;
+/// the default UnitCostModel makes cycle counts equal to operation counts.
+class CostModel {
+public:
+  virtual ~CostModel() = default;
+  /// Cost in cycles charged each time `block` is entered.
+  [[nodiscard]] virtual double block_entry_cost(
+      const Function& fn, BlockId block) const = 0;
+  /// Extra cost charged per executed kCounter statement (instrumentation
+  /// overhead; 0 in the idealised model).
+  [[nodiscard]] virtual double counter_cost() const { return 0.0; }
+};
+
+class UnitCostModel final : public CostModel {
+public:
+  [[nodiscard]] double block_entry_cost(const Function& fn,
+                                        BlockId block) const override {
+    return static_cast<double>(fn.block(block).traits.total_ops()) + 1.0;
+  }
+};
+
+/// Result of one interpreted invocation.
+struct RunResult {
+  double cycles = 0.0;                         ///< virtual time
+  std::vector<std::uint64_t> block_entries;    ///< per BlockId
+  std::vector<std::uint64_t> counters;         ///< per counter_id
+  std::uint64_t steps = 0;                     ///< executed statements
+};
+
+/// Observes array/pointer stores: fn(array_var, index, old_value).
+/// The RBR write inspector uses this to build undo logs for irregular
+/// writes that static analysis cannot bound.
+using WriteHook =
+    std::function<void(VarId array, std::size_t index, double old_value)>;
+
+/// Handles external calls (kCall). Returns the virtual cost of the call.
+/// The default handler knows the side-effect-free math intrinsics and
+/// charges a flat cost for anything else.
+using CallHandler = std::function<double(
+    const std::string& callee, const std::vector<double>& args, Memory&)>;
+
+struct InterpreterOptions {
+  /// Abort (throw) after this many executed statements; guards tests
+  /// against accidental infinite loops in hand-built IR.
+  std::uint64_t max_steps = 500'000'000;
+  /// Record per-block entry counts (small overhead; on by default).
+  bool record_block_entries = true;
+  WriteHook write_hook;
+  CallHandler call_handler;
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(const Function& fn, InterpreterOptions opts = {});
+
+  /// Execute from the entry block until a return terminator.
+  RunResult run(Memory& memory, const CostModel& cost) const;
+
+  /// Convenience: run with the unit cost model.
+  RunResult run(Memory& memory) const;
+
+  [[nodiscard]] const Function& function() const { return fn_; }
+
+private:
+  double eval(ExprId e, const Memory& memory) const;
+  [[nodiscard]] std::size_t checked_index(VarId array, double idx,
+                                          const Memory& memory) const;
+  [[nodiscard]] VarId pointee(VarId pointer, const Memory& memory) const;
+
+  const Function& fn_;
+  InterpreterOptions opts_;
+};
+
+}  // namespace peak::ir

@@ -1,0 +1,148 @@
+#include "ir/liveness.hpp"
+
+#include <algorithm>
+
+namespace peak::ir {
+
+namespace {
+
+void expr_uses(const Function& fn, const PointsTo& pt, ExprId e,
+               support::DynBitset& uses) {
+  if (e == kNoExpr) return;
+  const Expr& node = fn.expr(e);
+  switch (node.op) {
+    case ExprOp::kVarRef:
+      uses.set(node.var);
+      break;
+    case ExprOp::kArrayRef:
+      uses.set(node.var);
+      break;
+    case ExprOp::kDeref:
+      uses.set(node.var);  // the pointer itself
+      for (VarId t : pt.may_store_targets(node.var)) uses.set(t);
+      break;
+    case ExprOp::kAddressOf:
+      // Taking an address is not a read of the array's contents.
+      break;
+    default:
+      break;
+  }
+  expr_uses(fn, pt, node.lhs, uses);
+  expr_uses(fn, pt, node.rhs, uses);
+}
+
+}  // namespace
+
+Liveness::Liveness(const Function& fn, const PointsTo& pt)
+    : fn_(fn), pt_(pt) {
+  const std::size_t nb = fn.num_blocks();
+  const std::size_t nv = fn.num_vars();
+  live_in_.assign(nb, support::DynBitset(nv));
+  live_out_.assign(nb, support::DynBitset(nv));
+
+  // Per-block upward-exposed uses and strong defs, computed by a backward
+  // scan of the block body.
+  std::vector<support::DynBitset> ue_use(nb, support::DynBitset(nv));
+  std::vector<support::DynBitset> strong_def(nb, support::DynBitset(nv));
+
+  for (BlockId b = 0; b < nb; ++b) {
+    support::DynBitset use(nv);
+    support::DynBitset def(nv);
+    auto note_use = [&](const support::DynBitset& u) {
+      // use \ def: only upward-exposed reads matter.
+      support::DynBitset masked = u;
+      masked.subtract(def);
+      use.union_with(masked);
+    };
+
+    const BasicBlock& bb = fn.block(b);
+    for (const Stmt& s : bb.stmts) {
+      support::DynBitset u(nv);
+      switch (s.kind) {
+        case StmtKind::kAssign: {
+          expr_uses(fn_, pt_, s.rhs, u);
+          if (!s.lhs.is_scalar()) {
+            expr_uses(fn_, pt_, s.lhs.index, u);
+            if (s.lhs.via_pointer) u.set(s.lhs.var);  // reads the pointer
+          }
+          note_use(u);
+          if (s.lhs.is_scalar()) def.set(s.lhs.var);
+          // Array/pointer stores are weak defs: no liveness kill.
+          break;
+        }
+        case StmtKind::kCall:
+          for (ExprId a : s.args) expr_uses(fn_, pt_, a, u);
+          note_use(u);
+          break;
+        case StmtKind::kCounter:
+        case StmtKind::kNop:
+          break;
+      }
+    }
+    if (bb.term.kind == TermKind::kBranch) {
+      support::DynBitset u(nv);
+      expr_uses(fn_, pt_, bb.term.cond, u);
+      note_use(u);
+    }
+    ue_use[b] = std::move(use);
+    strong_def[b] = std::move(def);
+  }
+
+  // Backward fixpoint: out(b) = ∪ in(succ); in(b) = use(b) ∪ (out(b) \ def(b)).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId bi = static_cast<BlockId>(nb); bi-- > 0;) {
+      support::DynBitset out(nv);
+      for (BlockId s : fn.successors(bi)) out.union_with(live_in_[s]);
+      support::DynBitset in = out;
+      in.subtract(strong_def[bi]);
+      in.union_with(ue_use[bi]);
+      if (!(in == live_in_[bi]) || !(out == live_out_[bi])) {
+        live_in_[bi] = std::move(in);
+        live_out_[bi] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<VarId> Liveness::input_set() const {
+  std::vector<VarId> out;
+  live_in_[fn_.entry()].for_each_set(
+      [&](std::size_t i) { out.push_back(static_cast<VarId>(i)); });
+  return out;
+}
+
+std::vector<VarId> def_set(const Function& fn, const PointsTo& pt) {
+  support::DynBitset defs(fn.num_vars());
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    for (const Stmt& s : fn.block(b).stmts) {
+      if (s.kind != StmtKind::kAssign) continue;
+      if (s.lhs.is_scalar()) {
+        defs.set(s.lhs.var);
+      } else if (s.lhs.via_pointer) {
+        for (VarId t : pt.may_store_targets(s.lhs.var)) defs.set(t);
+      } else {
+        defs.set(s.lhs.var);
+      }
+    }
+  }
+  std::vector<VarId> out;
+  defs.for_each_set(
+      [&](std::size_t i) { out.push_back(static_cast<VarId>(i)); });
+  return out;
+}
+
+std::vector<VarId> modified_input_set(const Function& fn,
+                                      const PointsTo& pt) {
+  const Liveness live(fn, pt);
+  const std::vector<VarId> input = live.input_set();
+  const std::vector<VarId> defs = def_set(fn, pt);
+  std::vector<VarId> out;
+  std::set_intersection(input.begin(), input.end(), defs.begin(), defs.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace peak::ir

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file liveness.hpp
+/// Backward liveness analysis over the CFG. The paper uses it to compute
+/// the RBR input set: Input(TS) = LiveIn(b1), the live-in set of the first
+/// block of the tuning section (Section 2.4.1).
+///
+/// Granularity is the whole variable: a read of any array element makes the
+/// array live; a store to an element is a *weak* def and does not kill the
+/// array's liveness (other elements may still carry incoming values).
+
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/points_to.hpp"
+#include "support/bitset.hpp"
+
+namespace peak::ir {
+
+class Liveness {
+public:
+  Liveness(const Function& fn, const PointsTo& pt);
+
+  [[nodiscard]] const support::DynBitset& live_in(BlockId b) const {
+    return live_in_[b];
+  }
+  [[nodiscard]] const support::DynBitset& live_out(BlockId b) const {
+    return live_out_[b];
+  }
+
+  /// Input(TS): variables live into the entry block.
+  [[nodiscard]] std::vector<VarId> input_set() const;
+
+private:
+  /// use/def of a single statement (weak defs excluded from `defs`).
+  void stmt_uses(const Stmt& s, support::DynBitset& uses) const;
+
+  const Function& fn_;
+  const PointsTo& pt_;
+  std::vector<support::DynBitset> live_in_;
+  std::vector<support::DynBitset> live_out_;
+};
+
+/// Def(TS): every variable the section may write (strong scalar defs plus
+/// weak array defs, resolving pointer stores through points-to).
+std::vector<VarId> def_set(const Function& fn, const PointsTo& pt);
+
+/// Modified_Input(TS) = Input(TS) ∩ Def(TS) (paper Eq. 6) — the only state
+/// RBR must checkpoint and restore between the two timed executions.
+std::vector<VarId> modified_input_set(const Function& fn,
+                                      const PointsTo& pt);
+
+}  // namespace peak::ir

@@ -1,0 +1,176 @@
+#include "ir/loops.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+namespace {
+
+/// Reverse postorder of the reachable CFG.
+std::vector<BlockId> reverse_postorder(const Function& fn) {
+  std::vector<BlockId> order;
+  std::vector<std::uint8_t> state(fn.num_blocks(), 0);  // 0 new, 1 open, 2 done
+  // Iterative DFS with an explicit stack of (block, next-successor).
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(fn.entry(), 0);
+  state[fn.entry()] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const std::vector<BlockId> succs = fn.successors(b);
+    if (next < succs.size()) {
+      const BlockId s = succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Function& fn)
+    : entry_(fn.entry()),
+      idom_(fn.num_blocks(), kNoBlock),
+      rpo_index_(fn.num_blocks(), ~0u) {
+  PEAK_CHECK(fn.finalized(), "dominators need a finalized function");
+  const std::vector<BlockId> rpo = reverse_postorder(fn);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    rpo_index_[rpo[i]] = static_cast<std::uint32_t>(i);
+
+  idom_[entry_] = entry_;
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[a] > rpo_index_[b]) a = idom_[a];
+      while (rpo_index_[b] > rpo_index_[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == entry_) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : fn.predecessors()[b]) {
+        if (idom_[p] == kNoBlock && p != entry_) continue;  // unprocessed
+        if (rpo_index_[p] == ~0u) continue;                 // unreachable
+        new_idom = new_idom == kNoBlock ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kNoBlock && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId a, BlockId b) const {
+  if (!reachable(b)) return false;
+  BlockId cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    if (cur == entry_) return false;
+    cur = idom_[cur];
+    if (cur == kNoBlock) return false;
+  }
+}
+
+bool NaturalLoop::contains(BlockId b) const {
+  return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+const NaturalLoop* LoopInfo::innermost(BlockId b) const {
+  const NaturalLoop* best = nullptr;
+  for (const NaturalLoop& loop : loops)
+    if (loop.contains(b) && (!best || loop.depth > best->depth))
+      best = &loop;
+  return best;
+}
+
+std::size_t LoopInfo::depth_of(BlockId b) const {
+  const NaturalLoop* loop = innermost(b);
+  return loop ? loop->depth : 0;
+}
+
+std::size_t LoopInfo::max_depth() const {
+  std::size_t d = 0;
+  for (const NaturalLoop& loop : loops) d = std::max(d, loop.depth);
+  return d;
+}
+
+LoopInfo find_natural_loops(const Function& fn, const DominatorTree& dom) {
+  LoopInfo info;
+
+  // Back edges: edge b -> h where h dominates b.
+  std::vector<std::pair<BlockId, BlockId>> back_edges;
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    if (!dom.reachable(b)) continue;
+    for (BlockId s : fn.successors(b))
+      if (dom.dominates(s, b)) back_edges.emplace_back(b, s);
+  }
+
+  // Merge back edges by header; flood backwards from the latches.
+  std::sort(back_edges.begin(), back_edges.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (std::size_t i = 0; i < back_edges.size();) {
+    const BlockId header = back_edges[i].second;
+    NaturalLoop loop;
+    loop.header = header;
+
+    std::vector<bool> in_loop(fn.num_blocks(), false);
+    in_loop[header] = true;
+    std::vector<BlockId> worklist;
+    while (i < back_edges.size() && back_edges[i].second == header) {
+      const BlockId latch = back_edges[i].first;
+      loop.latches.push_back(latch);
+      if (!in_loop[latch]) {
+        in_loop[latch] = true;
+        worklist.push_back(latch);
+      }
+      ++i;
+    }
+    while (!worklist.empty()) {
+      const BlockId b = worklist.back();
+      worklist.pop_back();
+      for (BlockId p : fn.predecessors()[b]) {
+        if (!in_loop[p] && dom.reachable(p)) {
+          in_loop[p] = true;
+          worklist.push_back(p);
+        }
+      }
+    }
+    for (BlockId b = 0; b < fn.num_blocks(); ++b)
+      if (in_loop[b]) loop.blocks.push_back(b);
+    info.loops.push_back(std::move(loop));
+  }
+
+  // Nesting depth: loop A is nested in B if A's header is in B's body and
+  // A != B.
+  for (NaturalLoop& loop : info.loops) {
+    loop.depth = 1;
+    for (const NaturalLoop& outer : info.loops) {
+      if (&outer == &loop) continue;
+      if (outer.contains(loop.header) &&
+          outer.blocks.size() > loop.blocks.size())
+        ++loop.depth;
+    }
+  }
+  return info;
+}
+
+LoopInfo find_natural_loops(const Function& fn) {
+  const DominatorTree dom(fn);
+  return find_natural_loops(fn, dom);
+}
+
+}  // namespace peak::ir

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file loops.hpp
+/// Dominator tree and natural-loop detection over the CFG. The paper's TS
+/// Selector partitions a program into "the most time-consuming functions
+/// and loops" (Section 4.1); loop structure is what lets the partitioner
+/// treat a loop nest as a tuning-section candidate, and it gives the trait
+/// derivation real loop-nesting depth instead of heuristics.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+/// Immediate-dominator tree (Cooper/Harvey/Kennedy iterative algorithm).
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function& fn);
+
+  /// Immediate dominator; the entry block's idom is itself.
+  [[nodiscard]] BlockId idom(BlockId b) const { return idom_[b]; }
+
+  /// Does a dominate b (reflexive)?
+  [[nodiscard]] bool dominates(BlockId a, BlockId b) const;
+
+  /// Blocks unreachable from entry have no dominator information.
+  [[nodiscard]] bool reachable(BlockId b) const {
+    return idom_[b] != kNoBlock || b == entry_;
+  }
+
+private:
+  BlockId entry_;
+  std::vector<BlockId> idom_;
+  std::vector<std::uint32_t> rpo_index_;
+};
+
+/// One natural loop: a back edge latch->header plus the loop body.
+struct NaturalLoop {
+  BlockId header = kNoBlock;
+  std::vector<BlockId> latches;   ///< sources of back edges to header
+  std::vector<BlockId> blocks;    ///< body, header included, sorted
+  std::size_t depth = 1;          ///< nesting depth (outermost = 1)
+
+  [[nodiscard]] bool contains(BlockId b) const;
+};
+
+/// All natural loops, one entry per header (back edges to the same header
+/// are merged, as usual).
+struct LoopInfo {
+  std::vector<NaturalLoop> loops;
+
+  /// Innermost loop containing b, or nullptr.
+  [[nodiscard]] const NaturalLoop* innermost(BlockId b) const;
+  /// Nesting depth of b (0 = not in any loop).
+  [[nodiscard]] std::size_t depth_of(BlockId b) const;
+  [[nodiscard]] std::size_t max_depth() const;
+};
+
+LoopInfo find_natural_loops(const Function& fn, const DominatorTree& dom);
+LoopInfo find_natural_loops(const Function& fn);
+
+}  // namespace peak::ir

@@ -1,0 +1,488 @@
+#include "ir/passes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "ir/liveness.hpp"
+#include "ir/loops.hpp"
+#include "ir/points_to.hpp"
+#include "support/bitset.hpp"
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+namespace {
+
+bool is_const(const Function& fn, ExprId e, double* value = nullptr) {
+  if (e == kNoExpr) return false;
+  const Expr& node = fn.expr(e);
+  if (node.op != ExprOp::kConst) return false;
+  if (value) *value = node.constant;
+  return true;
+}
+
+/// Fold one node if both children are constants. Returns true on change.
+bool fold_node(Function& fn, ExprId e) {
+  Expr& node = fn.expr_mut(e);
+  const int arity = expr_arity(node.op);
+  if (node.op == ExprOp::kConst || arity == 0) return false;
+
+  double a = 0.0, b = 0.0;
+  if (!is_const(fn, node.lhs, &a)) return false;
+  if (arity == 2 && !is_const(fn, node.rhs, &b)) return false;
+
+  double result = 0.0;
+  switch (node.op) {
+    case ExprOp::kAdd: result = a + b; break;
+    case ExprOp::kSub: result = a - b; break;
+    case ExprOp::kMul: result = a * b; break;
+    case ExprOp::kDiv:
+      if (b == 0.0) return false;  // preserve the runtime error
+      result = a / b;
+      break;
+    case ExprOp::kMod:
+      if (static_cast<std::int64_t>(b) == 0) return false;
+      result = static_cast<double>(static_cast<std::int64_t>(a) %
+                                   static_cast<std::int64_t>(b));
+      break;
+    case ExprOp::kNeg: result = -a; break;
+    case ExprOp::kMin: result = std::min(a, b); break;
+    case ExprOp::kMax: result = std::max(a, b); break;
+    case ExprOp::kAbs: result = std::fabs(a); break;
+    case ExprOp::kSqrt: result = std::sqrt(a); break;
+    case ExprOp::kFloor: result = std::floor(a); break;
+    case ExprOp::kLt: result = a < b; break;
+    case ExprOp::kLe: result = a <= b; break;
+    case ExprOp::kGt: result = a > b; break;
+    case ExprOp::kGe: result = a >= b; break;
+    case ExprOp::kEq: result = a == b; break;
+    case ExprOp::kNe: result = a != b; break;
+    case ExprOp::kAnd: result = (a != 0.0 && b != 0.0); break;
+    case ExprOp::kOr: result = (a != 0.0 || b != 0.0); break;
+    case ExprOp::kNot: result = a == 0.0; break;
+    default:
+      return false;  // bit ops / memory ops: leave alone
+  }
+
+  node.op = ExprOp::kConst;
+  node.constant = result;
+  node.var = kNoVar;
+  node.lhs = kNoExpr;
+  node.rhs = kNoExpr;
+  return true;
+}
+
+bool fold_tree(Function& fn, ExprId e) {
+  if (e == kNoExpr) return false;
+  bool changed = false;
+  // Post-order: children first. Copy the child ids before folding mutates
+  // the node.
+  const ExprId lhs = fn.expr(e).lhs;
+  const ExprId rhs = fn.expr(e).rhs;
+  changed |= fold_tree(fn, lhs);
+  changed |= fold_tree(fn, rhs);
+  changed |= fold_node(fn, e);
+  return changed;
+}
+
+/// Clone the tree rooted at `e`, substituting reads of `from` by `to`.
+ExprId clone_substituting(Function& fn, ExprId e, VarId from, VarId to) {
+  if (e == kNoExpr) return kNoExpr;
+  Expr node = fn.expr(e);
+  node.lhs = clone_substituting(fn, node.lhs, from, to);
+  node.rhs = clone_substituting(fn, node.rhs, from, to);
+  if (node.op == ExprOp::kVarRef && node.var == from) node.var = to;
+  return fn.add_expr(node);
+}
+
+bool tree_reads_var(const Function& fn, ExprId e, VarId v) {
+  if (e == kNoExpr) return false;
+  const Expr& node = fn.expr(e);
+  if (node.op == ExprOp::kVarRef && node.var == v) return true;
+  return tree_reads_var(fn, node.lhs, v) || tree_reads_var(fn, node.rhs, v);
+}
+
+bool tree_reads_memory(const Function& fn, ExprId e) {
+  if (e == kNoExpr) return false;
+  const Expr& node = fn.expr(e);
+  if (node.op == ExprOp::kArrayRef || node.op == ExprOp::kDeref)
+    return true;
+  return tree_reads_memory(fn, node.lhs) || tree_reads_memory(fn, node.rhs);
+}
+
+}  // namespace
+
+bool ConstantFolding::run(Function& fn) const {
+  bool changed = false;
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    BasicBlock& bb = fn.block(b);
+    for (Stmt& s : bb.stmts) {
+      if (s.kind == StmtKind::kAssign) {
+        changed |= fold_tree(fn, s.rhs);
+        if (!s.lhs.is_scalar()) changed |= fold_tree(fn, s.lhs.index);
+      } else if (s.kind == StmtKind::kCall) {
+        for (ExprId a : s.args) changed |= fold_tree(fn, a);
+      }
+    }
+    if (bb.term.kind == TermKind::kBranch) {
+      changed |= fold_tree(fn, bb.term.cond);
+      // A constant condition turns the branch into a jump (and feeds
+      // unreachable-block elimination).
+      double cond = 0.0;
+      if (is_const(fn, bb.term.cond, &cond)) {
+        const BlockId target =
+            cond != 0.0 ? bb.term.on_true : bb.term.on_false;
+        bb.term = Terminator{TermKind::kJump, kNoExpr, target, kNoBlock};
+        changed = true;
+      }
+    }
+  }
+  if (changed) fn.refinalize();
+  return changed;
+}
+
+bool CopyPropagation::run(Function& fn) const {
+  // Block-local: after  x = y  (both scalars), later reads of x in the
+  // same block become reads of y, until either side is redefined. Use
+  // trees are cloned before substitution because expression nodes may be
+  // shared between statements.
+  bool changed = false;
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    BasicBlock& bb = fn.block(b);
+    for (std::size_t si = 0; si < bb.stmts.size(); ++si) {
+      const Stmt& copy = bb.stmts[si];
+      if (copy.kind != StmtKind::kAssign || !copy.lhs.is_scalar()) continue;
+      const Expr& rhs = fn.expr(copy.rhs);
+      if (rhs.op != ExprOp::kVarRef) continue;
+      const VarId x = copy.lhs.var;
+      const VarId y = rhs.var;
+      if (x == y || fn.var(y).kind == VarKind::kPointer) continue;
+
+      for (std::size_t sj = si + 1; sj < bb.stmts.size(); ++sj) {
+        Stmt& use = bb.stmts[sj];
+        if (use.kind == StmtKind::kAssign) {
+          if (tree_reads_var(fn, use.rhs, x)) {
+            use.rhs = clone_substituting(fn, use.rhs, x, y);
+            changed = true;
+          }
+          if (!use.lhs.is_scalar() &&
+              tree_reads_var(fn, use.lhs.index, x)) {
+            use.lhs.index = clone_substituting(fn, use.lhs.index, x, y);
+            changed = true;
+          }
+          // Stop at redefinitions of either variable.
+          if (use.lhs.is_scalar() &&
+              (use.lhs.var == x || use.lhs.var == y))
+            break;
+        } else if (use.kind == StmtKind::kCall) {
+          for (ExprId& a : use.args) {
+            if (tree_reads_var(fn, a, x)) {
+              a = clone_substituting(fn, a, x, y);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (changed) fn.refinalize();
+  return changed;
+}
+
+bool DeadCodeElimination::run(Function& fn) const {
+  const PointsTo pt(fn);
+  const Liveness live(fn, pt);
+  bool changed = false;
+
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    BasicBlock& bb = fn.block(b);
+    // Backward scan with a running live set.
+    support::DynBitset live_set = live.live_out(b);
+    // The terminator's uses are live.
+    if (bb.term.kind == TermKind::kBranch) {
+      std::vector<VarId> used;
+      fn.collect_used_vars(bb.term.cond, used);
+      for (VarId v : used) live_set.set(v);
+    }
+    std::vector<bool> keep(bb.stmts.size(), true);
+    for (std::size_t si = bb.stmts.size(); si-- > 0;) {
+      const Stmt& s = bb.stmts[si];
+      // Parameters and globals are observable after the section returns
+      // (they are the TS's outputs); only local temporaries can be dead.
+      const bool observable =
+          s.kind == StmtKind::kAssign && s.lhs.is_scalar() &&
+          (fn.var(s.lhs.var).is_param || fn.var(s.lhs.var).is_global);
+      if (s.kind == StmtKind::kAssign && s.lhs.is_scalar() &&
+          !observable && !live_set.test(s.lhs.var)) {
+        keep[si] = false;  // value never read
+        changed = true;
+        continue;
+      }
+      // Update liveness through this statement.
+      if (s.kind == StmtKind::kAssign) {
+        if (s.lhs.is_scalar()) live_set.reset(s.lhs.var);
+        std::vector<VarId> used;
+        fn.collect_used_vars(s.rhs, used);
+        if (!s.lhs.is_scalar()) {
+          fn.collect_used_vars(s.lhs.index, used);
+          if (s.lhs.via_pointer) used.push_back(s.lhs.var);
+        }
+        for (VarId v : used) live_set.set(v);
+      } else if (s.kind == StmtKind::kCall) {
+        std::vector<VarId> used;
+        for (ExprId a : s.args) fn.collect_used_vars(a, used);
+        for (VarId v : used) live_set.set(v);
+      }
+    }
+    if (std::find(keep.begin(), keep.end(), false) != keep.end()) {
+      std::vector<Stmt> kept;
+      for (std::size_t si = 0; si < bb.stmts.size(); ++si)
+        if (keep[si]) kept.push_back(std::move(bb.stmts[si]));
+      bb.stmts = std::move(kept);
+    }
+  }
+  if (changed) fn.refinalize();
+  return changed;
+}
+
+bool LoopInvariantCodeMotion::run(Function& fn) const {
+  const DominatorTree dom(fn);
+  const LoopInfo loops = find_natural_loops(fn, dom);
+  const PointsTo pt(fn);
+  const Liveness live(fn, pt);
+  bool changed = false;
+
+  for (const NaturalLoop& loop : loops.loops) {
+    // Preheader: the unique predecessor of the header outside the loop,
+    // ending in an unconditional jump (our builder always creates one).
+    BlockId preheader = kNoBlock;
+    bool unique = true;
+    for (BlockId p : fn.predecessors()[loop.header]) {
+      if (loop.contains(p)) continue;
+      if (preheader != kNoBlock) unique = false;
+      preheader = p;
+    }
+    if (preheader == kNoBlock || !unique ||
+        fn.block(preheader).term.kind != TermKind::kJump)
+      continue;
+
+    // Variables defined anywhere in the loop.
+    std::set<VarId> defined_in_loop;
+    std::map<VarId, int> scalar_defs;
+    for (BlockId b : loop.blocks) {
+      for (const Stmt& s : fn.block(b).stmts) {
+        if (s.kind != StmtKind::kAssign) continue;
+        if (s.lhs.is_scalar()) {
+          defined_in_loop.insert(s.lhs.var);
+          ++scalar_defs[s.lhs.var];
+        } else if (s.lhs.via_pointer) {
+          for (VarId t : pt.may_store_targets(s.lhs.var))
+            defined_in_loop.insert(t);
+        } else {
+          defined_in_loop.insert(s.lhs.var);
+        }
+      }
+    }
+
+    auto dominates_all_latches = [&](BlockId b) {
+      return std::all_of(loop.latches.begin(), loop.latches.end(),
+                         [&](BlockId latch) {
+                           return dom.dominates(b, latch);
+                         });
+    };
+
+    for (BlockId b : loop.blocks) {
+      if (!dominates_all_latches(b)) continue;
+      BasicBlock& bb = fn.block(b);
+      for (std::size_t si = 0; si < bb.stmts.size();) {
+        const Stmt& s = bb.stmts[si];
+        bool hoistable = s.kind == StmtKind::kAssign && s.lhs.is_scalar();
+        if (hoistable) {
+          const VarId x = s.lhs.var;
+          // Params/globals are observable even when never read here: a
+          // zero-trip loop must leave them untouched, so never hoist them.
+          hoistable = !fn.var(x).is_param && !fn.var(x).is_global &&
+                      scalar_defs[x] == 1 &&           // single def in loop
+                      !live.live_in(loop.header).test(x) &&  // no prior use,
+                                                        // zero-trip safe
+                      !tree_reads_memory(fn, s.rhs);    // loads may vary
+          if (hoistable) {
+            std::vector<VarId> used;
+            fn.collect_used_vars(s.rhs, used);
+            for (VarId v : used)
+              if (defined_in_loop.contains(v)) hoistable = false;
+          }
+        }
+        if (hoistable) {
+          fn.block(preheader).stmts.push_back(bb.stmts[si]);
+          bb.stmts.erase(bb.stmts.begin() +
+                         static_cast<std::ptrdiff_t>(si));
+          changed = true;
+          // Only one hoist per pass-run keeps the analyses coherent; the
+          // PassManager iterates to a fixpoint.
+          fn.refinalize();
+          return true;
+        }
+        ++si;
+      }
+    }
+  }
+  if (changed) fn.refinalize();
+  return changed;
+}
+
+namespace {
+
+/// Structural fingerprint of a pure expression tree; memory reads poison
+/// the hash (they may change between statements).
+bool pure_fingerprint(const Function& fn, ExprId e, std::string& out) {
+  if (e == kNoExpr) {
+    out += '.';
+    return true;
+  }
+  const Expr& node = fn.expr(e);
+  switch (node.op) {
+    case ExprOp::kArrayRef:
+    case ExprOp::kDeref:
+    case ExprOp::kAddressOf:
+      return false;  // not a candidate
+    case ExprOp::kConst:
+      out += 'c';
+      out += std::to_string(node.constant);
+      return true;
+    case ExprOp::kVarRef:
+      out += 'v';
+      out += std::to_string(node.var);
+      out += ';';  // delimiter: var 1 must not match inside var 12
+      return true;
+    default:
+      out += 'o';
+      out += std::to_string(static_cast<int>(node.op));
+      out += '(';
+      if (!pure_fingerprint(fn, node.lhs, out)) return false;
+      out += ',';
+      if (!pure_fingerprint(fn, node.rhs, out)) return false;
+      out += ')';
+      return true;
+  }
+}
+
+}  // namespace
+
+bool CommonSubexpressionElimination::run(Function& fn) const {
+  bool changed = false;
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    BasicBlock& bb = fn.block(b);
+    // fingerprint -> (holder var, statement index of the defining assign)
+    std::map<std::string, VarId> available;
+    for (Stmt& s : bb.stmts) {
+      if (s.kind != StmtKind::kAssign) continue;
+      if (s.lhs.is_scalar()) {
+        std::string fp;
+        const bool pure =
+            expr_arity(fn.expr(s.rhs).op) > 0 &&  // skip trivial leaves
+            pure_fingerprint(fn, s.rhs, fp);
+
+        bool rewritten = false;
+        if (pure) {
+          const auto it = available.find(fp);
+          if (it != available.end() && it->second != s.lhs.var) {
+            // Reuse the earlier computation: s becomes a plain copy.
+            Expr copy;
+            copy.op = ExprOp::kVarRef;
+            copy.var = it->second;
+            s.rhs = fn.add_expr(copy);
+            changed = true;
+            rewritten = true;
+          }
+        }
+
+        // The redefinition invalidates every expression reading the var —
+        // and any expression the var was holding...
+        const VarId killed = s.lhs.var;
+        for (auto it = available.begin(); it != available.end();) {
+          const bool reads =
+              it->first.find('v' + std::to_string(killed) + ';') !=
+              std::string::npos;
+          if (reads || it->second == killed)
+            it = available.erase(it);
+          else
+            ++it;
+        }
+        // ... and only then does the freshly computed value become
+        // available (unless its own expression reads the killed var).
+        if (pure && !rewritten &&
+            fp.find('v' + std::to_string(killed) + ';') ==
+                std::string::npos)
+          available.emplace(fp, s.lhs.var);
+      }
+    }
+  }
+  if (changed) fn.refinalize();
+  return changed;
+}
+
+bool UnreachableBlockElimination::run(Function& fn) const {
+  std::vector<bool> reachable(fn.num_blocks(), false);
+  std::vector<BlockId> worklist = {fn.entry()};
+  reachable[fn.entry()] = true;
+  while (!worklist.empty()) {
+    const BlockId b = worklist.back();
+    worklist.pop_back();
+    for (BlockId s : fn.successors(b)) {
+      if (!reachable[s]) {
+        reachable[s] = true;
+        worklist.push_back(s);
+      }
+    }
+  }
+  bool changed = false;
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    if (reachable[b]) continue;
+    BasicBlock& bb = fn.block(b);
+    if (!bb.stmts.empty() || bb.term.kind != TermKind::kReturn) {
+      bb.stmts.clear();
+      bb.term = Terminator{};  // return
+      changed = true;
+    }
+  }
+  if (changed) fn.refinalize();
+  return changed;
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager PassManager::standard_pipeline() {
+  PassManager pm;
+  pm.add(std::make_unique<ConstantFolding>())
+      .add(std::make_unique<CommonSubexpressionElimination>())
+      .add(std::make_unique<CopyPropagation>())
+      .add(std::make_unique<LoopInvariantCodeMotion>())
+      .add(std::make_unique<DeadCodeElimination>())
+      .add(std::make_unique<UnreachableBlockElimination>());
+  return pm;
+}
+
+std::size_t PassManager::run(Function& fn, int max_iterations) const {
+  std::size_t applications = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (const auto& pass : passes_) {
+      if (pass->run(fn)) {
+        changed = true;
+        ++applications;
+      }
+    }
+    if (!changed) break;
+  }
+  return applications;
+}
+
+void refinalize(Function& fn) { fn.refinalize(); }
+
+}  // namespace peak::ir

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file passes.hpp
+/// IR-level optimization passes — the "static compiler" of the paper's
+/// pipeline (Section 2.1: each tuning section is first optimized
+/// statically, as in a conventional compiler). The passes operate on the
+/// same CFG the analyses use and must preserve observable semantics: the
+/// property-based tests interpret random programs before and after each
+/// pass and require identical memory states.
+///
+/// Provided passes:
+///  * constant folding          — evaluate constant expression trees
+///  * copy propagation          — forward  x = y  through straight-line code
+///  * dead code elimination     — drop assignments to never-read scalars
+///  * loop-invariant code motion— hoist invariant scalar assignments into
+///                                a preheader
+///  * unreachable block elimination
+///
+/// Each pass reports whether it changed anything so the PassManager can
+/// iterate to a fixpoint.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Transform in place; return true if anything changed.
+  virtual bool run(Function& fn) const = 0;
+};
+
+class ConstantFolding final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override {
+    return "constant-folding";
+  }
+  bool run(Function& fn) const override;
+};
+
+class CopyPropagation final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override {
+    return "copy-propagation";
+  }
+  bool run(Function& fn) const override;
+};
+
+class DeadCodeElimination final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override { return "dce"; }
+  bool run(Function& fn) const override;
+};
+
+class LoopInvariantCodeMotion final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override { return "licm"; }
+  bool run(Function& fn) const override;
+};
+
+/// Block-local common subexpression elimination by value numbering:
+/// when two scalar assignments in one block compute structurally identical
+/// pure expressions with no intervening redefinition of their inputs, the
+/// second becomes a copy of the first's target (which copy propagation and
+/// DCE then clean up).
+class CommonSubexpressionElimination final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override { return "cse"; }
+  bool run(Function& fn) const override;
+};
+
+class UnreachableBlockElimination final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override {
+    return "unreachable-elim";
+  }
+  bool run(Function& fn) const override;
+};
+
+/// Runs passes to a fixpoint (bounded). Functions must be re-finalized by
+/// the manager after structural changes; it handles that internally.
+class PassManager {
+public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// The conventional -O2-ish pipeline over our pass set.
+  static PassManager standard_pipeline();
+
+  /// Returns the number of individual pass applications that changed
+  /// something.
+  std::size_t run(Function& fn, int max_iterations = 4) const;
+
+private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Rebuild CFG bookkeeping (predecessors, traits) after a pass mutated the
+/// function. Exposed for pass implementations and tests.
+void refinalize(Function& fn);
+
+}  // namespace peak::ir

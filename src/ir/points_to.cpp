@@ -1,0 +1,77 @@
+#include "ir/points_to.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+PointsTo::PointsTo(const Function& fn)
+    : fn_(fn),
+      targets_(fn.num_vars()),
+      unknown_(fn.num_vars(), false),
+      modified_(fn.num_vars(), false) {
+  for (VarId v = 0; v < fn.num_vars(); ++v)
+    if (fn.var(v).kind == VarKind::kArray) all_arrays_.push_back(v);
+
+  // Parameters and globals of pointer kind arrive with an unseen value:
+  // their initial binding is external, which is fine (it is fixed for the
+  // invocation), so it does not count as "unknown" by itself — but we have
+  // no target set for it either. Model the incoming binding as unknown
+  // targets unless the body rebinds from a visible address.
+  for (VarId v = 0; v < fn.num_vars(); ++v) {
+    const VarInfo& info = fn.var(v);
+    if (info.kind == VarKind::kPointer && (info.is_param || info.is_global))
+      unknown_[v] = true;
+  }
+
+  // One forward pass plus a closure loop (the lattice is tiny).
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+      for (const Stmt& s : fn.block(b).stmts) {
+        if (s.kind != StmtKind::kAssign || !s.lhs.is_scalar()) continue;
+        const VarId lhs = s.lhs.var;
+        if (fn.var(lhs).kind != VarKind::kPointer) continue;
+        modified_[lhs] = true;
+        const Expr& rhs = fn.expr(s.rhs);
+        if (rhs.op == ExprOp::kAddressOf) {
+          changed |= targets_[lhs].insert(rhs.var).second;
+        } else if (rhs.op == ExprOp::kVarRef &&
+                   fn.var(rhs.var).kind == VarKind::kPointer) {
+          if (unknown_[rhs.var] && !unknown_[lhs]) {
+            unknown_[lhs] = true;
+            changed = true;
+          }
+          for (VarId t : targets_[rhs.var])
+            changed |= targets_[lhs].insert(t).second;
+        } else if (!unknown_[lhs]) {
+          unknown_[lhs] = true;  // arithmetic on pointers: give up
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+const std::set<VarId>& PointsTo::targets(VarId ptr) const {
+  PEAK_DCHECK(ptr < targets_.size());
+  return targets_[ptr];
+}
+
+bool PointsTo::unknown(VarId ptr) const {
+  PEAK_DCHECK(ptr < unknown_.size());
+  return unknown_[ptr];
+}
+
+bool PointsTo::pointer_modified(VarId ptr) const {
+  PEAK_DCHECK(ptr < modified_.size());
+  return modified_[ptr];
+}
+
+std::vector<VarId> PointsTo::may_store_targets(VarId ptr) const {
+  if (unknown(ptr)) return all_arrays_;
+  return {targets_[ptr].begin(), targets_[ptr].end()};
+}
+
+}  // namespace peak::ir

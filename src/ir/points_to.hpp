@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file points_to.hpp
+/// Simple flow-insensitive points-to analysis. The paper (Section 2.2)
+/// notes that "simple points-to analysis is sufficient" to classify memory
+/// references by pointers that are not changed within the tuning section as
+/// scalar context variables — this class provides exactly that facility,
+/// and also feeds the may-def sets used by liveness and Def(TS).
+
+#include <set>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+class PointsTo {
+public:
+  explicit PointsTo(const Function& fn);
+
+  /// Arrays this pointer may reference. Meaningless if unknown(ptr).
+  [[nodiscard]] const std::set<VarId>& targets(VarId ptr) const;
+
+  /// True when the pointer may hold an address the analysis cannot see
+  /// (assigned from arithmetic, an unanalyzed call, ...). Conservative
+  /// clients must then assume it aliases every array.
+  [[nodiscard]] bool unknown(VarId ptr) const;
+
+  /// True if the pointer variable itself is (re)assigned anywhere in the
+  /// function body — the paper's "changed within the tuning section" test.
+  [[nodiscard]] bool pointer_modified(VarId ptr) const;
+
+  /// All arrays a store through `ptr` may modify (every array if unknown).
+  [[nodiscard]] std::vector<VarId> may_store_targets(VarId ptr) const;
+
+private:
+  const Function& fn_;
+  std::vector<std::set<VarId>> targets_;
+  std::vector<bool> unknown_;
+  std::vector<bool> modified_;
+  std::vector<VarId> all_arrays_;
+};
+
+}  // namespace peak::ir

@@ -1,0 +1,147 @@
+#include "ir/print.hpp"
+
+#include <sstream>
+
+namespace peak::ir {
+
+namespace {
+
+const char* op_symbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kMod: return "%";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+    case ExprOp::kBitAnd: return "&";
+    case ExprOp::kBitOr: return "|";
+    case ExprOp::kBitXor: return "^";
+    case ExprOp::kShl: return "<<";
+    case ExprOp::kShr: return ">>";
+    case ExprOp::kMin: return "min";
+    case ExprOp::kMax: return "max";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string expr_to_string(const Function& fn, ExprId e) {
+  if (e == kNoExpr) return "<none>";
+  const Expr& node = fn.expr(e);
+  std::ostringstream os;
+  switch (node.op) {
+    case ExprOp::kConst:
+      os << node.constant;
+      break;
+    case ExprOp::kVarRef:
+      os << fn.var(node.var).name;
+      break;
+    case ExprOp::kArrayRef:
+      os << fn.var(node.var).name << '[' << expr_to_string(fn, node.lhs)
+         << ']';
+      break;
+    case ExprOp::kDeref:
+      os << "(*" << fn.var(node.var).name << ")["
+         << expr_to_string(fn, node.lhs) << ']';
+      break;
+    case ExprOp::kAddressOf:
+      os << '&' << fn.var(node.var).name;
+      break;
+    case ExprOp::kNeg:
+      os << "(-" << expr_to_string(fn, node.lhs) << ')';
+      break;
+    case ExprOp::kNot:
+      os << "(!" << expr_to_string(fn, node.lhs) << ')';
+      break;
+    case ExprOp::kAbs:
+      os << "abs(" << expr_to_string(fn, node.lhs) << ')';
+      break;
+    case ExprOp::kSqrt:
+      os << "sqrt(" << expr_to_string(fn, node.lhs) << ')';
+      break;
+    case ExprOp::kFloor:
+      os << "floor(" << expr_to_string(fn, node.lhs) << ')';
+      break;
+    case ExprOp::kMin:
+    case ExprOp::kMax:
+      os << op_symbol(node.op) << '(' << expr_to_string(fn, node.lhs)
+         << ", " << expr_to_string(fn, node.rhs) << ')';
+      break;
+    default:
+      os << '(' << expr_to_string(fn, node.lhs) << ' '
+         << op_symbol(node.op) << ' ' << expr_to_string(fn, node.rhs)
+         << ')';
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& fn) {
+  std::ostringstream os;
+  os << "function " << fn.name() << "(";
+  bool first = true;
+  for (VarId p : fn.params()) {
+    if (!first) os << ", ";
+    first = false;
+    os << fn.var(p).name;
+  }
+  os << ")\n";
+
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    const BasicBlock& bb = fn.block(b);
+    os << "  bb" << b << " [" << bb.label << "]"
+       << (bb.is_loop_body ? " loop-body" : "") << ":\n";
+    for (const Stmt& s : bb.stmts) {
+      os << "    ";
+      switch (s.kind) {
+        case StmtKind::kAssign:
+          if (s.lhs.is_scalar()) {
+            os << fn.var(s.lhs.var).name;
+          } else if (s.lhs.via_pointer) {
+            os << "(*" << fn.var(s.lhs.var).name << ")["
+               << expr_to_string(fn, s.lhs.index) << ']';
+          } else {
+            os << fn.var(s.lhs.var).name << '['
+               << expr_to_string(fn, s.lhs.index) << ']';
+          }
+          os << " = " << expr_to_string(fn, s.rhs);
+          break;
+        case StmtKind::kCall:
+          os << "call " << s.callee << "(...)";
+          break;
+        case StmtKind::kCounter:
+          os << "counter #" << s.counter_id << "++";
+          break;
+        case StmtKind::kNop:
+          os << "nop";
+          break;
+      }
+      os << '\n';
+    }
+    const Terminator& t = bb.term;
+    switch (t.kind) {
+      case TermKind::kJump:
+        os << "    goto bb" << t.on_true << '\n';
+        break;
+      case TermKind::kBranch:
+        os << "    if " << expr_to_string(fn, t.cond) << " goto bb"
+           << t.on_true << " else bb" << t.on_false << '\n';
+        break;
+      case TermKind::kReturn:
+        os << "    return\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace peak::ir

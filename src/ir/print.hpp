@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file print.hpp
+/// Human-readable dump of IR functions — used in tests and when debugging
+/// workload kernel models.
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+/// Render one expression tree as a string.
+std::string expr_to_string(const Function& fn, ExprId e);
+
+/// Render the whole function (symbol table + blocks + terminators).
+std::string to_string(const Function& fn);
+
+}  // namespace peak::ir

@@ -1,0 +1,404 @@
+#include "ir/range_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+namespace {
+
+constexpr double kInf = Interval::kInf;
+
+double clamp_inf(double v) {
+  if (v > kInf) return kInf;
+  if (v < -kInf) return -kInf;
+  return std::isnan(v) ? kInf : v;
+}
+
+}  // namespace
+
+Interval hull(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval intersect(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval iv_add(const Interval& a, const Interval& b) {
+  return {clamp_inf(a.lo + b.lo), clamp_inf(a.hi + b.hi)};
+}
+
+Interval iv_sub(const Interval& a, const Interval& b) {
+  return {clamp_inf(a.lo - b.hi), clamp_inf(a.hi - b.lo)};
+}
+
+Interval iv_mul(const Interval& a, const Interval& b) {
+  const double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    if (std::isnan(v)) return Interval::top();  // 0 * inf
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {clamp_inf(lo), clamp_inf(hi)};
+}
+
+Interval iv_div(const Interval& a, const Interval& b) {
+  if (b.lo <= 0.0 && b.hi >= 0.0) return Interval::top();
+  const double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {clamp_inf(lo), clamp_inf(hi)};
+}
+
+Interval iv_neg(const Interval& a) { return {-a.hi, -a.lo}; }
+
+Interval iv_min(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval iv_max(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_abs(const Interval& a) {
+  if (a.lo >= 0.0) return a;
+  if (a.hi <= 0.0) return iv_neg(a);
+  return {0.0, std::max(-a.lo, a.hi)};
+}
+
+Interval iv_floor(const Interval& a) {
+  return {a.lo <= -kInf ? -kInf : std::floor(a.lo),
+          a.hi >= kInf ? kInf : std::floor(a.hi)};
+}
+
+Interval iv_mod(const Interval& a, const Interval& b) {
+  // a % b lies in (-|b|max, |b|max); non-negative a gives [0, |b|max).
+  const double bmax = std::max(std::fabs(b.lo), std::fabs(b.hi));
+  if (bmax >= kInf) return Interval::top();
+  if (a.lo >= 0.0) return {0.0, bmax - 1.0 < 0.0 ? 0.0 : bmax - 1.0};
+  return {-(bmax - 1.0), bmax - 1.0};
+}
+
+RangeAnalysis::RangeAnalysis(const Function& fn,
+                             std::map<VarId, Interval> entry_bounds)
+    : fn_(fn) {
+  PEAK_CHECK(fn.finalized(), "range analysis needs a finalized function");
+  const std::size_t nv = fn.num_vars();
+  const std::size_t nb = fn.num_blocks();
+
+  State entry(nv, Interval::top());
+  for (const auto& [v, iv] : entry_bounds) {
+    PEAK_CHECK(v < nv, "entry bound for unknown variable");
+    entry[v] = iv;
+  }
+
+  // Empty state = unreachable (intervals with lo > hi everywhere).
+  const State unreachable(nv, Interval{1.0, 0.0});
+  block_in_.assign(nb, unreachable);
+  block_in_[fn.entry()] = entry;
+
+  // Round-robin fixpoint. Early sweeps join precisely; once a bound keeps
+  // moving past kWidenAfter sweeps it is widened to infinity (classic
+  // interval widening), after which the branch refinements on loop-header
+  // edges re-establish the finite bounds that matter (i < n ⇒ i ≤ n.hi).
+  constexpr int kMaxSweeps = 40;
+  constexpr int kWidenAfter = 6;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    const bool widen = sweep >= kWidenAfter;
+    bool changed = false;
+
+    // Widening with thresholds: a still-growing bound first jumps to the
+    // nearest refinement-derived threshold; only past the last threshold
+    // does it give up to infinity.
+    auto widen_hi = [&](double hi) {
+      const auto it = thresholds_.lower_bound(hi);
+      return it != thresholds_.end() ? *it : kInf;
+    };
+    auto widen_lo = [&](double lo) {
+      auto it = thresholds_.upper_bound(lo);
+      if (it == thresholds_.begin()) return -kInf;
+      return *std::prev(it);
+    };
+    auto join_into = [&](State& dst, const State& src) {
+      for (std::size_t v = 0; v < nv; ++v) {
+        Interval merged = hull(dst[v], src[v]);
+        if (merged == dst[v]) continue;
+        if (widen && !dst[v].empty()) {
+          if (merged.lo < dst[v].lo) merged.lo = widen_lo(merged.lo);
+          if (merged.hi > dst[v].hi) merged.hi = widen_hi(merged.hi);
+        }
+        if (!(merged == dst[v])) {
+          dst[v] = merged;
+          changed = true;
+        }
+      }
+    };
+
+    for (BlockId b = 0; b < nb; ++b) {
+      State state = block_in_[b];
+      if (std::all_of(state.begin(), state.end(),
+                      [](const Interval& iv) { return iv.empty(); }))
+        continue;  // unreachable so far
+      for (const Stmt& s : fn.block(b).stmts) apply_stmt(state, s);
+
+      const Terminator& t = fn.block(b).term;
+      switch (t.kind) {
+        case TermKind::kJump:
+          join_into(block_in_[t.on_true], state);
+          break;
+        case TermKind::kBranch: {
+          State taken = state;
+          refine(taken, t.cond, true);
+          State not_taken = state;
+          refine(not_taken, t.cond, false);
+          join_into(block_in_[t.on_true], taken);
+          join_into(block_in_[t.on_false], not_taken);
+          break;
+        }
+        case TermKind::kReturn:
+          break;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Narrowing: widening overshoots (a widened loop-header bound hides the
+  // finite limit the branch refinement provides), and joins only grow.
+  // Starting from the post-widening over-approximation, recompute each
+  // block's in-state from scratch as the hull of its incoming refined
+  // edge states — a decreasing iteration, sound above the fixpoint.
+  constexpr int kNarrowSweeps = 10;
+  for (int sweep = 0; sweep < kNarrowSweeps; ++sweep) {
+    std::vector<State> next(nb, unreachable);
+    next[fn.entry()] = entry;
+    for (BlockId b = 0; b < nb; ++b) {
+      State state = block_in_[b];
+      if (std::all_of(state.begin(), state.end(),
+                      [](const Interval& iv) { return iv.empty(); }))
+        continue;
+      for (const Stmt& s : fn.block(b).stmts) apply_stmt(state, s);
+      auto accumulate = [&](BlockId target, const State& src) {
+        for (std::size_t v = 0; v < nv; ++v)
+          next[target][v] = hull(next[target][v], src[v]);
+      };
+      const Terminator& t = fn.block(b).term;
+      switch (t.kind) {
+        case TermKind::kJump:
+          accumulate(t.on_true, state);
+          break;
+        case TermKind::kBranch: {
+          State taken = state;
+          refine(taken, t.cond, true);
+          State not_taken = state;
+          refine(not_taken, t.cond, false);
+          accumulate(t.on_true, taken);
+          accumulate(t.on_false, not_taken);
+          break;
+        }
+        case TermKind::kReturn:
+          break;
+      }
+    }
+    if (next == block_in_) break;
+    block_in_ = std::move(next);
+  }
+
+  // Collect written ranges per array.
+  for (BlockId b = 0; b < nb; ++b) {
+    State state = block_in_[b];
+    if (std::all_of(state.begin(), state.end(),
+                    [](const Interval& iv) { return iv.empty(); }))
+      continue;  // unreachable block: its stores never execute
+    for (const Stmt& s : fn.block(b).stmts) {
+      if (s.kind == StmtKind::kAssign && !s.lhs.is_scalar()) {
+        const bool via_ptr = s.lhs.via_pointer;
+        const Interval idx = eval(state, s.lhs.index);
+        auto note = [&](VarId array) {
+          const std::size_t size = fn.var(array).array_size;
+          auto [it, inserted] = written_.emplace(array, WrittenRange{});
+          WrittenRange& range = it->second;
+          if (via_ptr || !idx.bounded() || idx.lo < 0.0 ||
+              idx.hi >= static_cast<double>(size)) {
+            range.bounded = false;
+            range.lo = 0;
+            range.hi = size ? size - 1 : 0;
+          } else {
+            const auto lo = static_cast<std::size_t>(idx.lo);
+            const auto hi = static_cast<std::size_t>(idx.hi);
+            if (inserted) {
+              range = {lo, hi, true};
+            } else if (range.bounded) {
+              range.lo = std::min(range.lo, lo);
+              range.hi = std::max(range.hi, hi);
+            }
+          }
+        };
+        if (via_ptr) {
+          // Pointer stores: conservatively whole-array for all arrays
+          // (callers should combine with points-to for precision).
+          for (VarId v = 0; v < fn.num_vars(); ++v)
+            if (fn.var(v).kind == VarKind::kArray) note(v);
+        } else {
+          note(s.lhs.var);
+        }
+      }
+      apply_stmt(state, s);
+    }
+  }
+}
+
+Interval RangeAnalysis::eval(const State& state, ExprId e) const {
+  if (e == kNoExpr) return Interval::top();
+  const Expr& node = fn_.expr(e);
+  switch (node.op) {
+    case ExprOp::kConst:
+      return Interval::constant(node.constant);
+    case ExprOp::kVarRef:
+      return state[node.var];
+    case ExprOp::kArrayRef:
+    case ExprOp::kDeref:
+      return Interval::top();  // array contents are not tracked
+    case ExprOp::kAddressOf:
+      return Interval::top();
+    case ExprOp::kAdd:
+      return iv_add(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kSub:
+      return iv_sub(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kMul:
+      return iv_mul(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kDiv:
+      return iv_div(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kMod:
+      return iv_mod(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kNeg:
+      return iv_neg(eval(state, node.lhs));
+    case ExprOp::kMin:
+      return iv_min(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kMax:
+      return iv_max(eval(state, node.lhs), eval(state, node.rhs));
+    case ExprOp::kAbs:
+      return iv_abs(eval(state, node.lhs));
+    case ExprOp::kSqrt: {
+      const Interval a = eval(state, node.lhs);
+      return {a.lo > 0.0 ? std::sqrt(a.lo) : 0.0,
+              a.hi < kInf && a.hi > 0.0 ? std::sqrt(a.hi) : kInf};
+    }
+    case ExprOp::kFloor:
+      return iv_floor(eval(state, node.lhs));
+    // Comparisons / logic yield {0, 1}.
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+    case ExprOp::kNot:
+      return {0.0, 1.0};
+    default:
+      return Interval::top();  // bit ops: give up
+  }
+}
+
+void RangeAnalysis::apply_stmt(State& state, const Stmt& s) const {
+  if (s.kind != StmtKind::kAssign) return;
+  if (s.lhs.is_scalar()) state[s.lhs.var] = eval(state, s.rhs);
+  // Array stores do not change scalar intervals.
+}
+
+void RangeAnalysis::refine(State& state, ExprId cond,
+                           bool branch_taken) {
+  const Expr& node = fn_.expr(cond);
+  ExprOp op = node.op;
+  if (!branch_taken) {
+    // Negate the comparison.
+    switch (op) {
+      case ExprOp::kLt: op = ExprOp::kGe; break;
+      case ExprOp::kLe: op = ExprOp::kGt; break;
+      case ExprOp::kGt: op = ExprOp::kLe; break;
+      case ExprOp::kGe: op = ExprOp::kLt; break;
+      case ExprOp::kEq: op = ExprOp::kNe; break;
+      case ExprOp::kNe: op = ExprOp::kEq; break;
+      case ExprOp::kAnd:
+        return;  // !(a && b) gives no per-variable facts
+      default:
+        return;
+    }
+  } else if (op == ExprOp::kAnd) {
+    // (a && b) taken: both hold.
+    refine(state, node.lhs, true);
+    refine(state, node.rhs, true);
+    return;
+  }
+
+  // Strict comparisons refine to the interval closure (x < b ⇒ x ≤ b):
+  // sound for reals, one element conservative for the integral induction
+  // variables this mostly targets.
+  auto refine_var = [&](ExprId side, const Interval& bound,
+                        bool is_upper, bool /*strict*/) {
+    const Expr& v = fn_.expr(side);
+    if (v.op != ExprOp::kVarRef) return;
+    Interval& iv = state[v.var];
+    if (is_upper) {
+      iv = intersect(iv, {-kInf, bound.hi});
+      if (bound.hi < kInf) thresholds_.insert(bound.hi);
+    } else {
+      iv = intersect(iv, {bound.lo, kInf});
+      if (bound.lo > -kInf) thresholds_.insert(bound.lo);
+    }
+  };
+
+  const Interval lhs = eval(state, node.lhs);
+  const Interval rhs = eval(state, node.rhs);
+  switch (op) {
+    case ExprOp::kLt:
+      refine_var(node.lhs, rhs, /*is_upper=*/true, /*strict=*/true);
+      refine_var(node.rhs, lhs, /*is_upper=*/false, /*strict=*/true);
+      break;
+    case ExprOp::kLe:
+      refine_var(node.lhs, rhs, true, false);
+      refine_var(node.rhs, lhs, false, false);
+      break;
+    case ExprOp::kGt:
+      refine_var(node.lhs, rhs, false, true);
+      refine_var(node.rhs, lhs, true, true);
+      break;
+    case ExprOp::kGe:
+      refine_var(node.lhs, rhs, false, false);
+      refine_var(node.rhs, lhs, true, false);
+      break;
+    case ExprOp::kEq: {
+      const Expr& l = fn_.expr(node.lhs);
+      if (l.op == ExprOp::kVarRef)
+        state[l.var] = intersect(state[l.var], rhs);
+      const Expr& r = fn_.expr(node.rhs);
+      if (r.op == ExprOp::kVarRef)
+        state[r.var] = intersect(state[r.var], lhs);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Interval RangeAnalysis::var_range_at(BlockId b, VarId v) const {
+  PEAK_CHECK(b < block_in_.size() && v < fn_.num_vars(), "bad query");
+  return block_in_[b][v];
+}
+
+Interval RangeAnalysis::expr_range_at(BlockId b, ExprId e) const {
+  PEAK_CHECK(b < block_in_.size(), "bad block");
+  return eval(block_in_[b], e);
+}
+
+}  // namespace peak::ir

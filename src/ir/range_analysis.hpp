@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file range_analysis.hpp
+/// Symbolic range (interval) analysis over the CFG — the paper's cited
+/// technique (Blume & Eigenmann [1]) for shrinking RBR's save/restore
+/// overhead: if every store to an array provably hits indices within
+/// [lo, hi], the checkpoint only needs that slice of the array instead of
+/// the whole buffer.
+///
+/// The analysis is a forward abstract interpretation on intervals with
+/// branch refinement (loop headers bound their induction variables) and
+/// widening for termination. Entry bounds for parameters come from the
+/// profile run (the observed context values) — unknown parameters default
+/// to (-inf, +inf) and simply yield unbounded, i.e. whole-array, regions.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+/// Closed interval over the extended reals.
+struct Interval {
+  double lo = -kInf;
+  double hi = kInf;
+
+  static constexpr double kInf = 1e308;
+
+  static Interval top() { return {}; }
+  static Interval constant(double v) { return {v, v}; }
+
+  [[nodiscard]] bool is_top() const { return lo <= -kInf && hi >= kInf; }
+  [[nodiscard]] bool bounded() const { return lo > -kInf && hi < kInf; }
+  [[nodiscard]] bool empty() const { return lo > hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+Interval hull(const Interval& a, const Interval& b);
+Interval intersect(const Interval& a, const Interval& b);
+
+// Interval arithmetic (conservative; division by an interval containing 0
+// yields top).
+Interval iv_add(const Interval& a, const Interval& b);
+Interval iv_sub(const Interval& a, const Interval& b);
+Interval iv_mul(const Interval& a, const Interval& b);
+Interval iv_div(const Interval& a, const Interval& b);
+Interval iv_neg(const Interval& a);
+Interval iv_min(const Interval& a, const Interval& b);
+Interval iv_max(const Interval& a, const Interval& b);
+Interval iv_abs(const Interval& a);
+Interval iv_floor(const Interval& a);
+Interval iv_mod(const Interval& a, const Interval& b);
+
+/// Byte-accurate region of one array a store may touch.
+struct WrittenRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;  ///< inclusive
+  bool bounded = false;  ///< false => assume the whole array
+};
+
+class RangeAnalysis {
+public:
+  /// \param entry_bounds known intervals for variables at entry (from the
+  ///   profile's observed context values); everything else starts top.
+  RangeAnalysis(const Function& fn,
+                std::map<VarId, Interval> entry_bounds = {});
+
+  /// Interval of a variable at entry to block b.
+  [[nodiscard]] Interval var_range_at(BlockId b, VarId v) const;
+
+  /// Interval of an expression evaluated at entry to block b.
+  [[nodiscard]] Interval expr_range_at(BlockId b, ExprId e) const;
+
+  /// Conservative written index range per array (direct stores only;
+  /// pointer stores force unbounded for every may-target).
+  [[nodiscard]] const std::map<VarId, WrittenRange>& written_ranges() const {
+    return written_;
+  }
+
+private:
+  using State = std::vector<Interval>;  // per VarId
+
+  [[nodiscard]] Interval eval(const State& state, ExprId e) const;
+  void apply_stmt(State& state, const Stmt& s) const;
+  /// Refine `state` with the knowledge that `cond` evaluated to
+  /// `branch_taken` (loop-header bounds, guards). Finite refinement bounds
+  /// are recorded as widening thresholds.
+  void refine(State& state, ExprId cond, bool branch_taken);
+
+  const Function& fn_;
+  std::vector<State> block_in_;
+  std::map<VarId, WrittenRange> written_;
+  /// Widening thresholds: candidate stable bounds harvested from branch
+  /// refinements (loop limits like n-1, n³). Widening jumps to the nearest
+  /// threshold before giving up to infinity, so slowly counting induction
+  /// variables keep their finite loop bounds.
+  std::set<double> thresholds_;
+};
+
+}  // namespace peak::ir

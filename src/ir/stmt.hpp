@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file stmt.hpp
+/// Statements and block terminators. A statement either assigns an
+/// expression to an l-value (scalar, array element, or through a pointer),
+/// calls an external routine, or bumps an instrumentation counter (the
+/// MBR block-entry counters the paper inserts; see Section 2.3 — they add
+/// no control or data dependences to the original code).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace peak::ir {
+
+/// Assignment target.
+struct LValue {
+  VarId var = kNoVar;
+  ExprId index = kNoExpr;  ///< kNoExpr => scalar slot; else array element
+  bool via_pointer = false;  ///< var is a pointer; store into its pointee
+
+  [[nodiscard]] bool is_scalar() const {
+    return index == kNoExpr && !via_pointer;
+  }
+};
+
+enum class StmtKind : std::uint8_t {
+  kAssign,   ///< lhs = rhs
+  kCall,     ///< callee(args...), possibly side-effecting
+  kCounter,  ///< counters[counter_id] += 1 (instrumentation)
+  kNop,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kNop;
+  LValue lhs;
+  ExprId rhs = kNoExpr;
+  std::string callee;           ///< kCall
+  std::vector<ExprId> args;     ///< kCall
+  std::uint32_t counter_id = 0; ///< kCounter
+};
+
+enum class TermKind : std::uint8_t { kJump, kBranch, kReturn };
+
+/// Block terminator. kBranch evaluates cond and transfers to on_true /
+/// on_false; these conditions are exactly the "control statements" that
+/// the context-variable analysis of Figure 1 starts from.
+struct Terminator {
+  TermKind kind = TermKind::kReturn;
+  ExprId cond = kNoExpr;
+  BlockId on_true = kNoBlock;
+  BlockId on_false = kNoBlock;
+};
+
+}  // namespace peak::ir

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file types.hpp
+/// Core identifiers and symbol-table entries for the PEAK mini-IR.
+///
+/// The IR models tuning sections the way the paper's compiler sees them:
+/// functions over scalars, arrays and pointers, lowered to a control-flow
+/// graph of basic blocks. It is expressive enough to encode each SPEC
+/// tuning-section kernel from Table 1 and to run the paper's analyses
+/// (context variables, liveness, def sets, simple points-to) for real.
+
+#include <cstdint>
+#include <string>
+
+namespace peak::ir {
+
+using VarId = std::uint32_t;
+using ExprId = std::uint32_t;
+using BlockId = std::uint32_t;
+using StmtId = std::uint32_t;
+
+inline constexpr VarId kNoVar = ~VarId{0};
+inline constexpr ExprId kNoExpr = ~ExprId{0};
+inline constexpr BlockId kNoBlock = ~BlockId{0};
+
+enum class VarKind : std::uint8_t {
+  kScalar,   ///< single numeric slot
+  kArray,    ///< contiguous numeric buffer
+  kPointer,  ///< may point to an array (simple points-to domain)
+};
+
+/// Symbol-table entry. Parameters and globals form the candidate input set
+/// of a tuning section; liveness decides which of them are actually live-in.
+struct VarInfo {
+  std::string name;
+  VarKind kind = VarKind::kScalar;
+  bool is_param = false;   ///< function parameter (TS input candidate)
+  bool is_global = false;  ///< persists across TS invocations
+  bool is_float = false;   ///< carries floating-point data (cost model)
+  std::size_t array_size = 0;  ///< default allocation for kArray
+};
+
+}  // namespace peak::ir

@@ -1,0 +1,129 @@
+#include "ir/use_def.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+UseDefChains::UseDefChains(const Function& fn, const PointsTo& pt)
+    : fn_(fn), pt_(pt) {
+  const std::size_t nv = fn.num_vars();
+  const std::size_t nb = fn.num_blocks();
+
+  // Entry definitions first: def id == VarId for convenience.
+  defs_.reserve(nv);
+  defs_of_var_.assign(nv, {});
+  for (VarId v = 0; v < nv; ++v) {
+    DefSite d;
+    d.is_entry = true;
+    d.var = v;
+    defs_.push_back(d);
+    defs_of_var_[v].push_back(static_cast<std::uint32_t>(v));
+  }
+
+  // Enumerate textual definitions.
+  stmt_defs_.assign(nb, {});
+  for (BlockId b = 0; b < nb; ++b) {
+    const BasicBlock& bb = fn.block(b);
+    stmt_defs_[b].assign(bb.stmts.size(), {});
+    for (std::uint32_t si = 0; si < bb.stmts.size(); ++si) {
+      const Stmt& s = bb.stmts[si];
+      if (s.kind != StmtKind::kAssign) continue;
+      auto add_def = [&](VarId var, bool strong) {
+        DefSite d;
+        d.var = var;
+        d.block = b;
+        d.stmt = si;
+        d.is_strong = strong;
+        const auto id = static_cast<std::uint32_t>(defs_.size());
+        defs_.push_back(d);
+        defs_of_var_[var].push_back(id);
+        stmt_defs_[b][si].push_back(id);
+      };
+      if (s.lhs.is_scalar()) {
+        add_def(s.lhs.var, /*strong=*/true);
+      } else if (s.lhs.via_pointer) {
+        for (VarId t : pt.may_store_targets(s.lhs.var))
+          add_def(t, /*strong=*/false);
+      } else {
+        add_def(s.lhs.var, /*strong=*/false);
+      }
+    }
+  }
+
+  const std::size_t nd = defs_.size();
+
+  // Per-block gen/kill by a forward scan.
+  std::vector<support::DynBitset> gen(nb, support::DynBitset(nd));
+  std::vector<support::DynBitset> kill(nb, support::DynBitset(nd));
+  for (BlockId b = 0; b < nb; ++b) {
+    support::DynBitset g(nd);
+    support::DynBitset k(nd);
+    const BasicBlock& bb = fn.block(b);
+    for (std::uint32_t si = 0; si < bb.stmts.size(); ++si) {
+      for (std::uint32_t id : stmt_defs_[b][si]) {
+        const DefSite& d = defs_[id];
+        if (d.is_strong) {
+          // Kill all other defs of this variable (including entry).
+          for (std::uint32_t other : defs_of_var_[d.var]) {
+            if (other == id) continue;
+            k.set(other);
+            g.reset(other);
+          }
+        }
+        g.set(id);
+        k.reset(id);
+      }
+    }
+    gen[b] = std::move(g);
+    kill[b] = std::move(k);
+  }
+
+  // Forward fixpoint. Entry block starts with every entry def live.
+  rd_in_.assign(nb, support::DynBitset(nd));
+  support::DynBitset entry_defs(nd);
+  for (VarId v = 0; v < nv; ++v) entry_defs.set(v);
+
+  std::vector<support::DynBitset> rd_out(nb, support::DynBitset(nd));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b = 0; b < nb; ++b) {
+      support::DynBitset in(nd);
+      if (b == fn.entry()) in = entry_defs;
+      for (BlockId p : fn.predecessors()[b]) in.union_with(rd_out[p]);
+      support::DynBitset out = in;
+      out.subtract(kill[b]);
+      out.union_with(gen[b]);
+      if (!(in == rd_in_[b]) || !(out == rd_out[b])) {
+        rd_in_[b] = std::move(in);
+        rd_out[b] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+}
+
+void UseDefChains::apply_stmt(BlockId b, std::uint32_t stmt_idx,
+                              support::DynBitset& rd) const {
+  for (std::uint32_t id : stmt_defs_[b][stmt_idx]) {
+    const DefSite& d = defs_[id];
+    if (d.is_strong)
+      for (std::uint32_t other : defs_of_var_[d.var]) rd.reset(other);
+    rd.set(id);
+  }
+}
+
+std::vector<DefSite> UseDefChains::reaching_defs(
+    VarId v, BlockId b, std::uint32_t stmt_idx) const {
+  PEAK_CHECK(b < fn_.num_blocks(), "bad block id");
+  PEAK_CHECK(stmt_idx <= fn_.block(b).stmts.size(), "bad stmt index");
+  support::DynBitset rd = rd_in_[b];
+  for (std::uint32_t si = 0; si < stmt_idx; ++si) apply_stmt(b, si, rd);
+
+  std::vector<DefSite> result;
+  for (std::uint32_t id : defs_of_var_[v])
+    if (rd.test(id)) result.push_back(defs_[id]);
+  return result;
+}
+
+}  // namespace peak::ir

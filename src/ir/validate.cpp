@@ -1,0 +1,195 @@
+#include "ir/validate.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace peak::ir {
+
+namespace {
+
+class Validator {
+public:
+  explicit Validator(const Function& fn) : fn_(fn) {}
+
+  ValidationReport run() {
+    check_entry();
+    for (BlockId b = 0; b < fn_.num_blocks(); ++b) check_block(b);
+    check_reachability();
+    return std::move(report_);
+  }
+
+private:
+  void error(const std::string& msg) {
+    report_.issues.push_back(
+        {ValidationIssue::Severity::kError, msg});
+  }
+  void warning(const std::string& msg) {
+    report_.issues.push_back(
+        {ValidationIssue::Severity::kWarning, msg});
+  }
+
+  void check_entry() {
+    if (fn_.entry() == kNoBlock || fn_.entry() >= fn_.num_blocks())
+      error("entry block is missing or out of range");
+  }
+
+  void check_expr(ExprId e, BlockId b, std::set<ExprId>& on_path) {
+    if (e == kNoExpr) return;
+    if (e >= fn_.num_exprs()) {
+      error("bb" + std::to_string(b) + ": expression id out of range");
+      return;
+    }
+    if (!on_path.insert(e).second) {
+      error("bb" + std::to_string(b) + ": cyclic expression tree at node " +
+            std::to_string(e));
+      return;
+    }
+    const Expr& node = fn_.expr(e);
+    if (node.var != kNoVar && node.var >= fn_.num_vars())
+      error("bb" + std::to_string(b) + ": expression references variable " +
+            std::to_string(node.var) + " outside the symbol table");
+    switch (node.op) {
+      case ExprOp::kVarRef:
+        if (node.var != kNoVar &&
+            fn_.var(node.var).kind == VarKind::kArray)
+          error("bb" + std::to_string(b) +
+                ": VarRef reads whole array '" + fn_.var(node.var).name +
+                "' (use ArrayRef)");
+        break;
+      case ExprOp::kArrayRef:
+        if (node.var == kNoVar ||
+            fn_.var(node.var).kind != VarKind::kArray)
+          error("bb" + std::to_string(b) + ": ArrayRef base is not an array");
+        if (node.lhs == kNoExpr)
+          error("bb" + std::to_string(b) + ": ArrayRef without index");
+        break;
+      case ExprOp::kDeref:
+        if (node.var == kNoVar ||
+            fn_.var(node.var).kind != VarKind::kPointer)
+          error("bb" + std::to_string(b) + ": Deref base is not a pointer");
+        break;
+      case ExprOp::kAddressOf:
+        if (node.var == kNoVar ||
+            fn_.var(node.var).kind != VarKind::kArray)
+          error("bb" + std::to_string(b) +
+                ": AddressOf target is not an array");
+        break;
+      default: {
+        const int arity = expr_arity(node.op);
+        if (arity >= 1 && node.lhs == kNoExpr)
+          error("bb" + std::to_string(b) + ": missing operand");
+        if (arity == 2 && node.rhs == kNoExpr)
+          error("bb" + std::to_string(b) + ": missing second operand");
+        break;
+      }
+    }
+    check_expr(node.lhs, b, on_path);
+    check_expr(node.rhs, b, on_path);
+    on_path.erase(e);
+  }
+
+  void check_root(ExprId e, BlockId b) {
+    std::set<ExprId> on_path;
+    check_expr(e, b, on_path);
+  }
+
+  void check_block(BlockId b) {
+    const BasicBlock& bb = fn_.block(b);
+    for (const Stmt& s : bb.stmts) {
+      switch (s.kind) {
+        case StmtKind::kAssign:
+          if (s.lhs.var == kNoVar || s.lhs.var >= fn_.num_vars()) {
+            error("bb" + std::to_string(b) +
+                  ": assignment to unknown variable");
+            break;
+          }
+          if (s.lhs.is_scalar() &&
+              fn_.var(s.lhs.var).kind == VarKind::kArray)
+            error("bb" + std::to_string(b) +
+                  ": scalar assignment targets array '" +
+                  fn_.var(s.lhs.var).name + "'");
+          if (s.lhs.via_pointer &&
+              fn_.var(s.lhs.var).kind != VarKind::kPointer)
+            error("bb" + std::to_string(b) +
+                  ": pointer store through non-pointer");
+          if (!s.lhs.is_scalar()) check_root(s.lhs.index, b);
+          check_root(s.rhs, b);
+          break;
+        case StmtKind::kCall:
+          if (s.callee.empty())
+            error("bb" + std::to_string(b) + ": call with empty callee");
+          for (ExprId a : s.args) check_root(a, b);
+          break;
+        case StmtKind::kCounter:
+        case StmtKind::kNop:
+          break;
+      }
+    }
+    const Terminator& t = bb.term;
+    auto check_target = [&](BlockId target, const char* which) {
+      if (target == kNoBlock || target >= fn_.num_blocks())
+        error("bb" + std::to_string(b) + ": " + which +
+              " target out of range");
+    };
+    switch (t.kind) {
+      case TermKind::kJump:
+        check_target(t.on_true, "jump");
+        break;
+      case TermKind::kBranch:
+        check_target(t.on_true, "branch-true");
+        check_target(t.on_false, "branch-false");
+        if (t.cond == kNoExpr)
+          error("bb" + std::to_string(b) + ": branch without condition");
+        else
+          check_root(t.cond, b);
+        break;
+      case TermKind::kReturn:
+        break;
+    }
+  }
+
+  void check_reachability() {
+    if (fn_.entry() >= fn_.num_blocks()) return;
+    std::vector<bool> reachable(fn_.num_blocks(), false);
+    std::vector<BlockId> stack = {fn_.entry()};
+    reachable[fn_.entry()] = true;
+    bool has_return = false;
+    while (!stack.empty()) {
+      const BlockId b = stack.back();
+      stack.pop_back();
+      if (fn_.block(b).term.kind == TermKind::kReturn) has_return = true;
+      for (BlockId s : fn_.successors(b)) {
+        if (s < fn_.num_blocks() && !reachable[s]) {
+          reachable[s] = true;
+          stack.push_back(s);
+        }
+      }
+    }
+    for (BlockId b = 0; b < fn_.num_blocks(); ++b)
+      if (!reachable[b])
+        warning("bb" + std::to_string(b) + " is unreachable");
+    if (!has_return)
+      error("no reachable return: the function cannot terminate normally");
+  }
+
+  const Function& fn_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const ValidationIssue& issue : issues)
+    os << (issue.severity == ValidationIssue::Severity::kError
+               ? "error: "
+               : "warning: ")
+       << issue.message << '\n';
+  return os.str();
+}
+
+ValidationReport validate(const Function& fn) {
+  return Validator(fn).run();
+}
+
+}  // namespace peak::ir

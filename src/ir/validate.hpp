@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file validate.hpp
+/// Structural validation of IR functions. The builder cannot produce
+/// malformed CFGs, but users constructing or transforming IR by hand (and
+/// the optimization passes) can; validate() gives them a precise
+/// diagnostic instead of an interpreter crash three layers later.
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace peak::ir {
+
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const {
+    for (const ValidationIssue& issue : issues)
+      if (issue.severity == ValidationIssue::Severity::kError) return false;
+    return true;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks performed:
+///  * entry block exists and is in range
+///  * every terminator target is a valid block
+///  * every statement/terminator expression id is in range
+///  * expression trees are acyclic and reference valid variables
+///  * operand kinds match (at() on arrays, deref on pointers, scalar
+///    assignment targets are not arrays)
+///  * warnings: unreachable blocks, blocks with no path to a return
+ValidationReport validate(const Function& fn);
+
+}  // namespace peak::ir

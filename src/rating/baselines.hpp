@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file baselines.hpp
+/// The two reference raters of Section 5.2:
+///
+/// * WHL — whole-program rating: one sample is one complete application
+///   run's time. The state-of-the-art baseline PEAK is compared against;
+///   accurate, but every trial costs a full run, hence the extreme tuning
+///   times of Figure 7(c)(d).
+///
+/// * AVG — context-oblivious average: the naive attempt to avoid WHL's
+///   cost by averaging invocation timings regardless of context. Not
+///   generally consistent — when the context mix shifts between two
+///   versions' measurement windows, the comparison is unfair.
+
+#include "rating/window.hpp"
+
+namespace peak::rating {
+
+/// AVG: a plain windowed mean over all invocations, context ignored.
+class ContextObliviousRater {
+public:
+  explicit ContextObliviousRater(WindowPolicy policy = {})
+      : rater_(policy) {}
+
+  void add(double time) { rater_.add(time); }
+  [[nodiscard]] Rating rating() const { return rater_.rating(); }
+  [[nodiscard]] std::size_t size() const { return rater_.size(); }
+  [[nodiscard]] bool converged() const { return rater_.converged(); }
+  [[nodiscard]] bool exhausted() const { return rater_.exhausted(); }
+  void reset() { rater_.reset(); }
+
+private:
+  WindowedRater rater_;
+};
+
+/// WHL: each sample is the summed TS time of one whole application run.
+class WholeProgramRater {
+public:
+  explicit WholeProgramRater(WindowPolicy policy = whl_policy())
+      : rater_(policy) {}
+
+  /// Accumulate invocation time into the current run.
+  void add_invocation(double time) { run_total_ += time; }
+
+  /// The application run finished; commit it as one sample.
+  void end_run() {
+    rater_.add(run_total_);
+    run_total_ = 0.0;
+  }
+
+  [[nodiscard]] Rating rating() const { return rater_.rating(); }
+  [[nodiscard]] std::size_t runs() const { return rater_.size(); }
+  [[nodiscard]] bool converged() const { return rater_.converged(); }
+
+  /// Whole-run samples are few and already heavily averaged; a small
+  /// window with a looser convergence bound matches how such systems are
+  /// run in practice (a handful of repetitions per configuration).
+  static WindowPolicy whl_policy() {
+    WindowPolicy p;
+    p.min_samples = 2;
+    p.max_samples = 5;
+    p.cv_threshold = 0.02;
+    return p;
+  }
+
+  void reset() {
+    rater_.reset();
+    run_total_ = 0.0;
+  }
+
+private:
+  WindowedRater rater_;
+  double run_total_ = 0.0;
+};
+
+}  // namespace peak::rating

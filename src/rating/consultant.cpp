@@ -1,0 +1,115 @@
+#include "rating/consultant.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace peak::rating {
+
+bool MethodDecision::applicable(Method m) const {
+  return std::find(chain.begin(), chain.end(), m) != chain.end();
+}
+
+MethodDecision decide_rating_methods(const ConsultantInputs& in) {
+  MethodDecision decision;
+  std::ostringstream why;
+
+  // --- CBR: scalar contexts only, few contexts, enough repetitions -------
+  bool cbr = in.cbr_context_scalars_only;
+  if (!cbr) {
+    why << "CBR out (non-scalar context variables); ";
+  } else if (in.num_contexts == 0) {
+    cbr = false;
+    why << "CBR out (no contexts profiled); ";
+  } else if (in.num_contexts > in.max_contexts) {
+    cbr = false;
+    why << "CBR out (" << in.num_contexts << " contexts, max "
+        << in.max_contexts << "); ";
+  } else if (in.invocations <
+             in.num_contexts * in.min_invocations_per_context) {
+    cbr = false;
+    why << "CBR out (too few invocations per context); ";
+  } else {
+    why << "CBR in (" << in.num_contexts << " scalar contexts); ";
+  }
+
+  // --- MBR: component model small enough ---------------------------------
+  bool mbr = in.mbr_model_built;
+  if (!mbr) {
+    why << "MBR out (no component model); ";
+  } else if (in.num_components > in.max_components) {
+    mbr = false;
+    why << "MBR out (" << in.num_components << " components, max "
+        << in.max_components << "); ";
+  } else {
+    why << "MBR in (" << in.num_components << " components); ";
+  }
+
+  // --- RBR: no irreversible side effects ---------------------------------
+  const bool rbr = in.rbr_no_side_effects;
+  why << (rbr ? "RBR in" : "RBR out (side-effecting calls)");
+
+  if (cbr) decision.chain.push_back(Method::kCBR);
+  if (mbr) decision.chain.push_back(Method::kMBR);
+  if (rbr) decision.chain.push_back(Method::kRBR);
+
+  // With profile timings available, demote a method when a later one is
+  // *decisively* cheaper ("the applicable rating approach with the least
+  // overhead estimated from the profile"). The static CBR < MBR < RBR
+  // order also encodes accuracy (CBR exact, MBR modelled, RBR overheady),
+  // so small cost differences never override it.
+  if (in.avg_invocation_cycles > 0.0 && decision.chain.size() > 1) {
+    constexpr double kDominance = 4.0;
+    const std::vector<OverheadEstimate> costs = estimate_overheads(in);
+    auto cost_of = [&](Method m) {
+      for (const OverheadEstimate& e : costs)
+        if (e.method == m) return e.cycles_per_rating;
+      return 1e300;
+    };
+    bool reordered = false;
+    for (std::size_t pass = 0; pass + 1 < decision.chain.size(); ++pass) {
+      for (std::size_t i = 0; i + 1 < decision.chain.size(); ++i) {
+        if (cost_of(decision.chain[i + 1]) * kDominance <
+            cost_of(decision.chain[i])) {
+          std::swap(decision.chain[i], decision.chain[i + 1]);
+          reordered = true;
+        }
+      }
+    }
+    if (reordered) why << "; reordered by estimated overhead";
+  }
+  decision.rationale = why.str();
+  return decision;
+}
+
+std::vector<OverheadEstimate> estimate_overheads(const ConsultantInputs& in) {
+  std::vector<OverheadEstimate> out;
+  const double inv = in.avg_invocation_cycles;
+  const auto w = static_cast<double>(in.window);
+
+  // CBR: w samples of the dominant context; the invocation stream also
+  // carries the other contexts, so the measurement horizon stretches by
+  // the context count. The invocations would run anyway (the experimental
+  // version executes in production), so only the horizon counts.
+  out.push_back({Method::kCBR,
+                 w * static_cast<double>(std::max<std::size_t>(
+                         in.num_contexts, 1)) *
+                     inv});
+
+  // MBR: enough rows for the regression — never fewer than a full window
+  // (the coefficient standard error needs the same statistics a windowed
+  // mean does) — each paying counter overhead on top of the production
+  // run.
+  const double mbr_samples = std::max(
+      static_cast<double>(in.mbr_samples_per_component) *
+          static_cast<double>(std::max<std::size_t>(in.num_components, 1)),
+      w);
+  out.push_back({Method::kMBR, mbr_samples * (inv + in.counter_cycles)});
+
+  // RBR: per pair — precondition + both timed runs + one save and two
+  // restores; w pairs per rating.
+  out.push_back(
+      {Method::kRBR, w * (3.0 * inv + 3.0 * in.checkpoint_cycles)});
+  return out;
+}
+
+}  // namespace peak::rating

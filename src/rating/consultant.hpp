@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file consultant.hpp
+/// The Rating Approach Consultant (paper Sections 3 and 4.2). From the
+/// static analyses and a profile run it decides which rating methods apply
+/// to a tuning section and orders them by overhead: CBR < MBR < RBR. The
+/// tuning system starts with the cheapest applicable method and switches
+/// down the chain when a method fails to converge within its sample
+/// budget.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rating/rating.hpp"
+
+namespace peak::rating {
+
+/// Facts the consultant consumes (static analysis + profile run).
+struct ConsultantInputs {
+  // CBR prerequisites.
+  bool cbr_context_scalars_only = false;  ///< Figure 1 analysis verdict
+  std::size_t num_contexts = 0;           ///< from the profile run
+  std::size_t invocations = 0;            ///< TS invocations per program run
+  // MBR prerequisites.
+  bool mbr_model_built = false;  ///< component analysis succeeded
+  std::size_t num_components = 0;
+  // RBR prerequisites.
+  bool rbr_no_side_effects = true;  ///< side-effect screen verdict
+
+  // Policy knobs.
+  std::size_t max_contexts = 32;  ///< beyond this CBR wastes invocations
+  std::size_t min_invocations_per_context = 10;  ///< "10s of times"
+  std::size_t max_components = 8;
+
+  // --- overhead estimation (optional; from the profile run) ---------------
+  /// Average cycles of one TS invocation. 0 disables cost-based ordering
+  /// (the static CBR < MBR < RBR order is used instead).
+  double avg_invocation_cycles = 0.0;
+  /// Cycles to save or restore the RBR checkpoint once.
+  double checkpoint_cycles = 0.0;
+  /// Per-invocation cost of the MBR counters.
+  double counter_cycles = 0.0;
+  /// Window size assumed when estimating a single version's rating cost.
+  std::size_t window = 40;
+  std::size_t mbr_samples_per_component = 8;
+};
+
+/// Estimated tuning cost (simulated cycles) of rating ONE experimental
+/// version with each method, from profile facts:
+///  * CBR measures `window` invocations of the dominant context, but the
+///    stream delivers all contexts — the horizon scales with the count;
+///  * MBR needs enough samples for the regression plus counter overhead;
+///  * RBR pays, per measurement pair, the precondition run, the second
+///    version, and two checkpoint restores plus one save.
+struct OverheadEstimate {
+  Method method = Method::kWHL;
+  double cycles_per_rating = 0.0;
+};
+
+std::vector<OverheadEstimate> estimate_overheads(const ConsultantInputs& in);
+
+struct MethodDecision {
+  /// Applicable methods, cheapest first — the fallback chain.
+  std::vector<Method> chain;
+  std::string rationale;
+
+  [[nodiscard]] Method initial() const {
+    return chain.empty() ? Method::kWHL : chain.front();
+  }
+  [[nodiscard]] bool applicable(Method m) const;
+};
+
+/// Decide the method chain for one tuning section.
+MethodDecision decide_rating_methods(const ConsultantInputs& in);
+
+}  // namespace peak::rating

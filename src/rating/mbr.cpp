@@ -1,0 +1,87 @@
+#include "rating/mbr.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::rating {
+
+ModelBasedRater::ModelBasedRater(std::size_t num_components,
+                                 MbrProfile profile, MbrPolicy policy)
+    : num_components_(num_components),
+      profile_(std::move(profile)),
+      policy_(policy) {
+  PEAK_CHECK(num_components_ >= 1, "model needs at least one component");
+  PEAK_CHECK(profile_.c_avg.empty() ||
+                 profile_.c_avg.size() == num_components_,
+             "C_avg arity must match the component count");
+  if (profile_.dominant_component)
+    PEAK_CHECK(*profile_.dominant_component < num_components_,
+               "dominant component out of range");
+}
+
+void ModelBasedRater::add(const std::vector<double>& counts, double time) {
+  PEAK_CHECK(counts.size() == num_components_,
+             "count row arity mismatch");
+  counts_.push_back(counts);
+  times_.push_back(time);
+}
+
+stats::RegressionResult ModelBasedRater::fit() const {
+  stats::Matrix design(times_.size(), num_components_);
+  for (std::size_t r = 0; r < counts_.size(); ++r)
+    for (std::size_t c = 0; c < num_components_; ++c)
+      design(r, c) = counts_[r][c];
+  return stats::least_squares_nonneg(design, times_);
+}
+
+std::vector<double> ModelBasedRater::component_times() const {
+  if (times_.size() < num_components_ + 1) return {};
+  return fit().coefficients;
+}
+
+Rating ModelBasedRater::rating() const {
+  Rating r;
+  r.samples = times_.size();
+  const std::size_t needed =
+      policy_.min_samples_per_component * num_components_;
+  if (times_.size() < std::max<std::size_t>(needed, num_components_ + 1))
+    return r;
+
+  const stats::RegressionResult fit_result = fit();
+  if (!fit_result.ok) return r;
+
+  // EVAL is a linear functional cᵀT of the fitted component times.
+  std::vector<double> weights(num_components_, 0.0);
+  if (profile_.dominant_component) {
+    weights[*profile_.dominant_component] = 1.0;
+  } else if (!profile_.c_avg.empty()) {
+    weights = profile_.c_avg;  // T_avg = Σ T_i · C_avg_i (Eq. 4)
+  } else {
+    // No profile at all: mean observed count row.
+    for (const auto& row : counts_)
+      for (std::size_t i = 0; i < num_components_; ++i)
+        weights[i] += row[i] / static_cast<double>(counts_.size());
+  }
+  double eval = 0.0;
+  for (std::size_t i = 0; i < num_components_; ++i)
+    eval += fit_result.coefficients[i] * weights[i];
+  r.eval = eval;
+  r.var = fit_result.var_ratio();
+
+  // Convergence by the standard error of EVAL.
+  stats::Matrix design(times_.size(), num_components_);
+  for (std::size_t row = 0; row < counts_.size(); ++row)
+    for (std::size_t c = 0; c < num_components_; ++c)
+      design(row, c) = counts_[row][c];
+  const double se =
+      stats::functional_std_error(design, fit_result, weights);
+  r.converged =
+      se >= 0.0 && eval > 0.0 && se / eval < policy_.cv_threshold;
+  return r;
+}
+
+void ModelBasedRater::reset() {
+  counts_.clear();
+  times_.clear();
+}
+
+}  // namespace peak::rating

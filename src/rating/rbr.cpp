@@ -1,0 +1,15 @@
+#include "rating/rbr.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::rating {
+
+ReexecutionRater::ReexecutionRater(WindowPolicy policy) : rater_(policy) {}
+
+void ReexecutionRater::add_pair(double time_base, double time_exp) {
+  PEAK_CHECK(time_base > 0.0 && time_exp > 0.0,
+             "non-positive execution time");
+  rater_.add(time_base / time_exp);
+}
+
+}  // namespace peak::rating

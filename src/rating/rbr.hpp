@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file rbr.hpp
+/// Re-execution-based rating (paper Section 2.4). Each invocation runs
+/// both the base (current best) and the experimental version under the
+/// same restored context; the per-invocation relative improvement is
+/// R_{exp/base} = T_base / T_exp (Eq. 5, > 1 means the experimental
+/// version is faster). EVAL and VAR are the mean and variance of R over
+/// the window. The rater consumes timing pairs; the re-execution protocol
+/// itself (save/precondition/restore/swap) lives in the execution backend.
+
+#include "rating/window.hpp"
+
+namespace peak::rating {
+
+class ReexecutionRater {
+public:
+  explicit ReexecutionRater(WindowPolicy policy = {});
+
+  /// Record one invocation's timed pair.
+  void add_pair(double time_base, double time_exp);
+
+  /// EVAL = mean relative improvement; VAR = its variance. EVAL > 1 ⇒
+  /// experimental version wins.
+  [[nodiscard]] Rating rating() const { return rater_.rating(); }
+
+  [[nodiscard]] std::size_t size() const { return rater_.size(); }
+  [[nodiscard]] bool converged() const { return rater_.converged(); }
+  [[nodiscard]] bool exhausted() const { return rater_.exhausted(); }
+  void reset() { rater_.reset(); }
+
+private:
+  WindowedRater rater_;
+};
+
+}  // namespace peak::rating

@@ -1,0 +1,47 @@
+#include "rating/window.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace peak::rating {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kCBR: return "CBR";
+    case Method::kMBR: return "MBR";
+    case Method::kRBR: return "RBR";
+    case Method::kAVG: return "AVG";
+    case Method::kWHL: return "WHL";
+  }
+  return "?";
+}
+
+WindowedRater::WindowedRater(WindowPolicy policy)
+    : policy_(policy) {}
+
+void WindowedRater::add(double sample) { samples_.push_back(sample); }
+
+std::size_t WindowedRater::outliers_dropped() const {
+  return stats::filter_outliers(samples_, policy_.outliers).dropped;
+}
+
+Rating WindowedRater::rating() const {
+  Rating r;
+  r.samples = samples_.size();
+  if (samples_.empty()) return r;
+
+  const stats::OutlierResult filtered =
+      stats::filter_outliers(samples_, policy_.outliers);
+  r.eval = stats::mean(filtered.kept);
+  r.var = stats::variance(filtered.kept);
+
+  if (filtered.kept.size() >= policy_.min_samples && r.eval != 0.0) {
+    const double sem = std::sqrt(
+        r.var / static_cast<double>(filtered.kept.size()));
+    r.converged = sem / std::fabs(r.eval) < policy_.cv_threshold;
+  }
+  return r;
+}
+
+}  // namespace peak::rating

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file window.hpp
+/// Windowed sample aggregation (paper Section 3): ratings are computed
+/// over a window of TS invocations; measurement outliers are eliminated;
+/// and because VAR shrinks as the window grows, the engine keeps
+/// collecting until VAR falls below a threshold (convergence) or the
+/// sample budget is exhausted (the consultant then switches to the next
+/// applicable rating method).
+
+#include <cstddef>
+#include <vector>
+
+#include "rating/rating.hpp"
+#include "stats/outlier.hpp"
+
+namespace peak::rating {
+
+struct WindowPolicy {
+  std::size_t min_samples = 10;   ///< smallest window worth evaluating
+  std::size_t max_samples = 640;  ///< give up (switch methods) beyond this
+  /// Convergence: coefficient of variation of the *mean* estimate,
+  /// stddev/(sqrt(n)·mean), must fall below this.
+  double cv_threshold = 0.005;
+  /// MAD-based detection by default: at the small window sizes PEAK works
+  /// with (w = 10), a perturbation spike inflates the mean and sigma it
+  /// hides behind (masking); the median absolute deviation does not care.
+  stats::OutlierPolicy outliers{stats::OutlierRule::kMad, 6.0, 0.25, 4};
+};
+
+class WindowedRater {
+public:
+  explicit WindowedRater(WindowPolicy policy = {});
+
+  void add(double sample);
+
+  /// Current (EVAL, VAR) over the outlier-filtered window. EVAL = mean,
+  /// VAR = sample variance (paper Section 3, cases 1 and 3).
+  [[nodiscard]] Rating rating() const;
+
+  [[nodiscard]] bool converged() const { return rating().converged; }
+  [[nodiscard]] bool exhausted() const {
+    return samples_.size() >= policy_.max_samples;
+  }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] std::size_t outliers_dropped() const;
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+  void reset() { samples_.clear(); }
+
+private:
+  WindowPolicy policy_;
+  std::vector<double> samples_;
+};
+
+}  // namespace peak::rating

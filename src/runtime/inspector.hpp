@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file inspector.hpp
+/// Write inspector for RBR (paper Section 2.4.2): when compile-time
+/// analysis cannot bound Modified_Input(TS) — irregular array or pointer
+/// writes — inspector code in the precondition version records the address
+/// and old value of each write. Undoing the log afterwards restores the
+/// exact pre-invocation state, no matter how irregular the access pattern.
+///
+/// The inspector plugs into the interpreter as its WriteHook.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ir/interpreter.hpp"
+
+namespace peak::runtime {
+
+class WriteInspector {
+public:
+  /// Hook to hand to InterpreterOptions::write_hook.
+  ir::WriteHook hook() {
+    return [this](ir::VarId array, std::size_t index, double old_value) {
+      // First-write wins: later writes to the same slot must not shadow
+      // the original value. A linear duplicate scan would be O(n²); the
+      // per-slot seen set keeps undo exact.
+      const Key key{array, index};
+      if (seen_.insert(key).second)
+        log_.push_back({array, index, old_value});
+    };
+  }
+
+  /// Undo all recorded writes (restores original values, any order works
+  /// because only first writes are kept).
+  void undo(ir::Memory& memory) const {
+    for (const Entry& e : log_) memory.array(e.array)[e.index] = e.old_value;
+  }
+
+  void clear() {
+    log_.clear();
+    seen_.clear();
+  }
+
+  [[nodiscard]] std::size_t entries() const { return log_.size(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return log_.size() * sizeof(Entry);
+  }
+
+private:
+  struct Key {
+    ir::VarId array;
+    std::size_t index;
+    friend bool operator<(const Key& a, const Key& b) {
+      return a.array != b.array ? a.array < b.array : a.index < b.index;
+    }
+  };
+  struct Entry {
+    ir::VarId array;
+    std::size_t index;
+    double old_value;
+  };
+
+  std::vector<Entry> log_;
+  std::set<Key> seen_;
+};
+
+}  // namespace peak::runtime

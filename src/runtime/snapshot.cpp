@@ -1,0 +1,83 @@
+#include "runtime/snapshot.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace peak::runtime {
+
+namespace {
+
+std::vector<SnapshotRegion> whole_regions(std::vector<ir::VarId> vars) {
+  std::vector<SnapshotRegion> out;
+  out.reserve(vars.size());
+  for (ir::VarId v : vars) out.push_back(SnapshotRegion::all_of(v));
+  return out;
+}
+
+}  // namespace
+
+MemorySnapshot::MemorySnapshot(const ir::Function& fn,
+                               const ir::Memory& memory,
+                               std::vector<ir::VarId> regions)
+    : MemorySnapshot(fn, memory, whole_regions(std::move(regions))) {}
+
+MemorySnapshot::MemorySnapshot(const ir::Function& fn,
+                               const ir::Memory& memory,
+                               std::vector<SnapshotRegion> regions)
+    : fn_(fn), regions_(std::move(regions)) {
+  for (const SnapshotRegion& r : regions_) {
+    PEAK_CHECK(r.var < fn.num_vars(),
+               "snapshot region outside symbol table");
+    if (fn.var(r.var).kind == ir::VarKind::kArray) {
+      const std::size_t size = memory.array(r.var).size();
+      ArraySlice slice;
+      slice.var = r.var;
+      slice.lo = r.whole ? 0 : std::min(r.lo, size ? size - 1 : 0);
+      slice.hi = r.whole ? (size ? size - 1 : 0)
+                         : std::min(r.hi, size ? size - 1 : 0);
+      PEAK_CHECK(r.whole || r.lo <= r.hi, "inverted snapshot slice");
+      array_slices_.push_back(std::move(slice));
+    } else {
+      scalar_regions_.push_back(r.var);
+    }
+  }
+  scalar_values_.resize(scalar_regions_.size());
+  recapture(memory);
+}
+
+void MemorySnapshot::recapture(const ir::Memory& memory) {
+  bytes_ = 0;
+  for (std::size_t i = 0; i < scalar_regions_.size(); ++i) {
+    scalar_values_[i] = memory.scalar(scalar_regions_[i]);
+    bytes_ += sizeof(double);
+  }
+  for (ArraySlice& slice : array_slices_) {
+    const auto& src = memory.array(slice.var);
+    if (src.empty()) {
+      slice.values.clear();
+      continue;
+    }
+    const std::size_t count = slice.hi - slice.lo + 1;
+    slice.values.assign(src.begin() + static_cast<std::ptrdiff_t>(slice.lo),
+                        src.begin() +
+                            static_cast<std::ptrdiff_t>(slice.lo + count));
+    bytes_ += count * sizeof(double);
+  }
+}
+
+void MemorySnapshot::restore(ir::Memory& memory) const {
+  PEAK_CHECK(memory.scalars.size() == fn_.num_vars(),
+             "memory image does not match snapshot's function");
+  for (std::size_t i = 0; i < scalar_regions_.size(); ++i)
+    memory.scalar(scalar_regions_[i]) = scalar_values_[i];
+  for (const ArraySlice& slice : array_slices_) {
+    auto& dst = memory.array(slice.var);
+    PEAK_CHECK(slice.lo + slice.values.size() <= dst.size(),
+               "snapshot slice exceeds current array size");
+    std::copy(slice.values.begin(), slice.values.end(),
+              dst.begin() + static_cast<std::ptrdiff_t>(slice.lo));
+  }
+}
+
+}  // namespace peak::runtime

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Checkpoint/restore of a tuning section's input state — the "Save the
+/// Modified_Input(TS)" / "Restore the Modified_Input(TS)" steps of RBR
+/// (paper Figures 3 and 4). A snapshot copies exactly the variables named
+/// in its region list, so shrinking Input(TS) to Modified_Input(TS)
+/// directly shrinks the checkpoint (the paper's first overhead reduction).
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/interpreter.hpp"
+
+namespace peak::runtime {
+
+/// One checkpointed region: a scalar/pointer slot, a whole array, or an
+/// array slice [lo, hi] — the output of the symbolic-range-analysis
+/// optimization (paper §2.4.2).
+struct SnapshotRegion {
+  ir::VarId var = ir::kNoVar;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  bool whole = true;
+
+  static SnapshotRegion all_of(ir::VarId v) { return {v, 0, 0, true}; }
+  static SnapshotRegion slice(ir::VarId v, std::size_t lo,
+                              std::size_t hi) {
+    return {v, lo, hi, false};
+  }
+};
+
+class MemorySnapshot {
+public:
+  /// Capture the listed variables from `memory` (scalars by value, arrays
+  /// by full copy, pointers by their binding).
+  MemorySnapshot(const ir::Function& fn, const ir::Memory& memory,
+                 std::vector<ir::VarId> regions);
+
+  /// Capture fine-grained regions (array slices allowed).
+  MemorySnapshot(const ir::Function& fn, const ir::Memory& memory,
+                 std::vector<SnapshotRegion> regions);
+
+  /// Write the captured values back. The memory image must come from the
+  /// same function (checked).
+  void restore(ir::Memory& memory) const;
+
+  /// Re-capture the same regions (cheaper than constructing a new
+  /// snapshot: buffers are reused).
+  void recapture(const ir::Memory& memory);
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] const std::vector<SnapshotRegion>& regions() const {
+    return regions_;
+  }
+
+private:
+  struct ArraySlice {
+    ir::VarId var;
+    std::size_t lo;
+    std::size_t hi;  ///< inclusive
+    std::vector<double> values;
+  };
+
+  const ir::Function& fn_;
+  std::vector<SnapshotRegion> regions_;
+  std::vector<double> scalar_values_;  ///< parallel to scalar_regions_
+  std::vector<ir::VarId> scalar_regions_;
+  std::vector<ArraySlice> array_slices_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace peak::runtime

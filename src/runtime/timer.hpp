@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file timer.hpp
+/// Timing sources. WallTimer measures real elapsed time for the native
+/// kernel path (examples and tests running actual C++ code); VirtualClock
+/// accumulates simulated cycles for the simulator path. Both present the
+/// same tiny interface so the rating engine is agnostic to the source.
+
+#include <chrono>
+#include <cstdint>
+
+namespace peak::runtime {
+
+class WallTimer {
+public:
+  void start() { t0_ = clock::now(); }
+
+  /// Seconds since start().
+  [[nodiscard]] double stop() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_{};
+};
+
+class VirtualClock {
+public:
+  void advance(double cycles) { now_ += cycles; }
+  [[nodiscard]] double now() const { return now_; }
+  void reset() { now_ = 0.0; }
+
+private:
+  double now_ = 0.0;
+};
+
+}  // namespace peak::runtime

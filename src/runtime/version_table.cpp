@@ -1,0 +1,71 @@
+#include "runtime/version_table.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::runtime {
+
+VersionTable::VersionTable(search::FlagConfig initial_best) {
+  best_.id = 0;
+  best_.config = std::move(initial_best);
+}
+
+std::uint32_t VersionTable::install_experimental(search::FlagConfig config) {
+  std::lock_guard lock(mutex_);
+  PEAK_CHECK(!experimental_.has_value(),
+             "experimental slot already occupied");
+  VersionRecord rec;
+  rec.id = next_id_++;
+  rec.config = std::move(config);
+  experimental_ = std::move(rec);
+  ++swaps_;
+  return experimental_->id;
+}
+
+void VersionTable::rate_experimental(double eval, double var) {
+  std::lock_guard lock(mutex_);
+  PEAK_CHECK(experimental_.has_value(), "no experimental version to rate");
+  experimental_->rating = eval;
+  experimental_->variance = var;
+  experimental_->rated = true;
+}
+
+std::uint32_t VersionTable::promote_experimental() {
+  std::lock_guard lock(mutex_);
+  PEAK_CHECK(experimental_.has_value() && experimental_->rated,
+             "promote requires a rated experimental version");
+  retired_.push_back(best_);
+  best_ = std::move(*experimental_);
+  experimental_.reset();
+  ++swaps_;
+  return best_.id;
+}
+
+void VersionTable::retire_experimental() {
+  std::lock_guard lock(mutex_);
+  PEAK_CHECK(experimental_.has_value(), "no experimental version to retire");
+  retired_.push_back(std::move(*experimental_));
+  experimental_.reset();
+  ++swaps_;
+}
+
+VersionRecord VersionTable::best() const {
+  std::lock_guard lock(mutex_);
+  return best_;
+}
+
+std::optional<VersionRecord> VersionTable::experimental() const {
+  std::lock_guard lock(mutex_);
+  return experimental_;
+}
+
+std::vector<VersionRecord> VersionTable::retired() const {
+  std::lock_guard lock(mutex_);
+  return retired_;
+}
+
+std::uint64_t VersionTable::swap_count() const {
+  std::lock_guard lock(mutex_);
+  return swaps_;
+}
+
+}  // namespace peak::runtime

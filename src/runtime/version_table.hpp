@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file version_table.hpp
+/// Dynamic version management, modelled on the ADAPT mechanism PEAK builds
+/// on (paper Figure 6): for each tuning section both a "best" and an
+/// "experimental" version are kept and dynamically swapped in and out.
+/// In the original system these are dlopen'ed shared objects; here a
+/// version is an optimization configuration plus its rating state, and the
+/// swap updates which configuration production invocations dispatch to.
+/// The table is thread-safe so an online tuner can swap versions while a
+/// worker thread executes the section (the adaptive example does this).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/opt_config.hpp"
+
+namespace peak::runtime {
+
+struct VersionRecord {
+  std::uint32_t id = 0;
+  search::FlagConfig config;
+  double rating = 0.0;       ///< EVAL once rated
+  double variance = 0.0;     ///< VAR once rated
+  bool rated = false;
+};
+
+class VersionTable {
+public:
+  explicit VersionTable(search::FlagConfig initial_best);
+
+  /// Install a new experimental version; returns its id.
+  std::uint32_t install_experimental(search::FlagConfig config);
+
+  /// Record the rating of the current experimental version.
+  void rate_experimental(double eval, double var);
+
+  /// Promote the experimental version to best (keeps the old best in the
+  /// retired list for the final report). Returns the new best id.
+  std::uint32_t promote_experimental();
+
+  /// Drop the experimental version (it lost).
+  void retire_experimental();
+
+  [[nodiscard]] VersionRecord best() const;
+  [[nodiscard]] std::optional<VersionRecord> experimental() const;
+  [[nodiscard]] std::vector<VersionRecord> retired() const;
+  [[nodiscard]] std::uint64_t swap_count() const;
+
+private:
+  mutable std::mutex mutex_;
+  VersionRecord best_;
+  std::optional<VersionRecord> experimental_;
+  std::vector<VersionRecord> retired_;
+  std::uint32_t next_id_ = 1;
+  std::uint64_t swaps_ = 0;
+};
+
+}  // namespace peak::runtime

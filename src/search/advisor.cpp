@@ -1,0 +1,66 @@
+#include "search/advisor.hpp"
+
+namespace peak::search {
+
+AdvisorVerdict advise(const OptimizationSpace& space,
+                      const sim::TsTraits& traits,
+                      const sim::MachineModel& machine) {
+  AdvisorVerdict verdict;
+  verdict.recommended = o3_config(space);
+
+  const double reg_ratio =
+      traits.reg_pressure /
+      std::max(1.0, static_cast<double>(machine.int_registers));
+  const bool starved = reg_ratio > 1.2;
+  const bool deep_pipeline = machine.mispredict_penalty > 10.0;
+  const bool irregular = traits.loop_regularity < 0.4;
+
+  auto disable = [&](const char* flag, const std::string& why) {
+    if (const auto idx = space.index_of(flag)) {
+      if (verdict.recommended.enabled(*idx)) {
+        verdict.recommended.set(*idx, false);
+        verdict.reasoning.push_back(std::string(flag) + ": " + why);
+      }
+    }
+  };
+
+  // Scheduling lengthens live ranges; with more live values than
+  // registers, the spills cost more than the latency hiding gains.
+  if (starved && traits.fp_intensity > 0.15) {
+    disable("-fschedule-insns",
+            "register-starved machine, FP-heavy section: scheduling "
+            "causes spills");
+    disable("-fsched-spec", "speculative scheduling compounds the spills");
+  }
+
+  // Redundancy elimination keeps more temporaries live.
+  if (reg_ratio > 1.6) {
+    disable("-fgcse", "extreme register pressure: CSE temporaries spill");
+    disable("-fcse-follow-jumps", "same pressure argument");
+  }
+
+  // Strict aliasing lengthens live ranges further when pressure is
+  // already extreme (the ART mechanism).
+  if (reg_ratio > 2.0 && traits.memory_intensity > 0.3)
+    disable("-fstrict-aliasing",
+            "very high register pressure on memory-bound code");
+
+  // If-conversion trades a cheap, well-predicted branch for unconditional
+  // work; on irregular codes with deep pipelines the branch was the
+  // cheaper option only when mispredicted — data-dependent, so models
+  // guess by irregularity alone.
+  if (irregular && deep_pipeline) {
+    disable("-fif-conversion",
+            "irregular branches on a deep pipeline: conversion adds work");
+    disable("-fif-conversion2", "companion of if-conversion");
+  }
+
+  // Caller-saved register use in tight call-free loops is pure overhead
+  // on register-starved machines.
+  if (starved && traits.call_intensity < 0.01)
+    disable("-fcaller-saves", "no calls to benefit; pressure to lose");
+
+  return verdict;
+}
+
+}  // namespace peak::search

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file advisor.hpp
+/// Model-based (non-empirical) optimization selection — the comparator the
+/// paper's introduction positions PEAK against (its reference [17], and
+/// Granston & Holler's deterministic option recommendation [6]). The
+/// advisor inspects the section's static traits and the target machine and
+/// predicts which options to disable, *without running anything*.
+///
+/// It encodes textbook heuristics: scheduling is risky on register-starved
+/// machines for spill-heavy code; redundancy elimination backfires under
+/// register pressure; if-conversion hurts irregular branchy code on deep
+/// pipelines; strict aliasing is dangerous when pressure is extreme. The
+/// point of the comparison bench is the paper's thesis: such models catch
+/// some effects but miss the interactions and magnitudes that empirical
+/// rating measures directly.
+
+#include "search/opt_config.hpp"
+#include "sim/flag_effects.hpp"
+#include "sim/machine.hpp"
+
+namespace peak::search {
+
+struct AdvisorVerdict {
+  FlagConfig recommended;
+  std::vector<std::string> reasoning;  ///< one line per disabled option
+};
+
+/// Recommend a configuration for one section on one machine, starting
+/// from -O3 (all options enabled).
+AdvisorVerdict advise(const OptimizationSpace& space,
+                      const sim::TsTraits& traits,
+                      const sim::MachineModel& machine);
+
+}  // namespace peak::search

@@ -1,0 +1,112 @@
+#include "search/combined_elimination.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/regression.hpp"
+#include "support/check.hpp"
+
+namespace peak::search {
+
+SearchResult CombinedElimination::run(const OptimizationSpace& space,
+                                      ConfigEvaluator& evaluator,
+                                      const FlagConfig& start) {
+  SearchResult result;
+  FlagConfig base = start;
+
+  for (std::size_t round = 0; round < space.size(); ++round) {
+    // Probe every still-enabled option against the current base.
+    std::vector<std::pair<double, std::size_t>> harmful;  // (R, flag)
+    for (std::size_t f = 0; f < space.size(); ++f) {
+      if (!base.enabled(f)) continue;
+      const double r =
+          evaluator.relative_improvement(base, base.with(f, false));
+      ++result.configs_evaluated;
+      if (r > threshold_) harmful.emplace_back(r, f);
+    }
+    if (harmful.empty()) {
+      result.log.push_back("round " + std::to_string(round) +
+                           ": no harmful options remain");
+      break;
+    }
+    std::sort(harmful.rbegin(), harmful.rend());
+
+    // Remove the worst unconditionally ...
+    base.set(harmful.front().second, false);
+    result.log.push_back("remove " +
+                         space.flag(harmful.front().second).name);
+
+    // ... then re-validate the rest against the updated base, in order.
+    for (std::size_t i = 1; i < harmful.size(); ++i) {
+      const std::size_t f = harmful[i].second;
+      const double r =
+          evaluator.relative_improvement(base, base.with(f, false));
+      ++result.configs_evaluated;
+      if (r > threshold_) {
+        base.set(f, false);
+        result.log.push_back("remove " + space.flag(f).name +
+                             " (revalidated)");
+      }
+    }
+  }
+
+  result.best = base;
+  result.improvement_over_start =
+      evaluator.relative_improvement(start, base);
+  ++result.configs_evaluated;
+  return result;
+}
+
+SearchResult FactorialScreening::run(const OptimizationSpace& space,
+                                     ConfigEvaluator& evaluator,
+                                     const FlagConfig& start) {
+  SearchResult result;
+  const std::size_t n = space.size();
+  const std::size_t runs = std::max<std::size_t>(options_.runs, n + 8);
+  support::Rng rng(options_.seed);
+
+  // Balanced two-level design: each run toggles every flag with p = 1/2.
+  // The response is log(R vs start): additive per-flag effects multiply
+  // execution times, so effects are linear in log space.
+  stats::Matrix design(runs, n + 1);
+  std::vector<double> response(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    FlagConfig cfg(space);
+    for (std::size_t f = 0; f < n; ++f) {
+      const bool on = rng.bernoulli(0.5);
+      cfg.set(f, on);
+      design(r, f) = on ? 1.0 : -1.0;
+    }
+    design(r, n) = 1.0;  // intercept
+    const double rel = evaluator.relative_improvement(start, cfg);
+    ++result.configs_evaluated;
+    response[r] = std::log(std::max(rel, 1e-9));
+  }
+
+  const stats::RegressionResult fit =
+      stats::least_squares(design, response);
+
+  FlagConfig best = start;
+  if (fit.ok) {
+    for (std::size_t f = 0; f < n; ++f) {
+      // Positive coefficient: enabling the flag increases log-improvement
+      // over the all-on start, i.e. the flag is *harmful* when on... note
+      // the response measures configs vs start, so a flag whose presence
+      // correlates with slower configs has a negative coefficient.
+      if (fit.coefficients[f] < -options_.harm_threshold / 2.0) {
+        best.set(f, false);
+        result.log.push_back("main effect harmful: " + space.flag(f).name);
+      }
+    }
+  } else {
+    result.log.push_back("screening regression degenerate; keeping start");
+  }
+
+  result.best = best;
+  result.improvement_over_start =
+      evaluator.relative_improvement(start, best);
+  ++result.configs_evaluated;
+  return result;
+}
+
+}  // namespace peak::search

@@ -1,0 +1,79 @@
+#include "search/iterative_elimination.hpp"
+
+#include <sstream>
+
+namespace peak::search {
+
+SearchResult IterativeElimination::run(const OptimizationSpace& space,
+                                       ConfigEvaluator& evaluator,
+                                       const FlagConfig& start) {
+  SearchResult result;
+  FlagConfig base = start;
+  double cumulative = 1.0;
+
+  for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+    double best_gain = options_.improvement_threshold;
+    std::size_t best_flag = space.size();
+
+    for (std::size_t f = 0; f < space.size(); ++f) {
+      if (!base.enabled(f)) continue;
+      const FlagConfig candidate = base.with(f, false);
+      const double r = evaluator.relative_improvement(base, candidate);
+      ++result.configs_evaluated;
+      if (r > best_gain) {
+        best_gain = r;
+        best_flag = f;
+      }
+    }
+
+    if (best_flag == space.size()) {
+      std::ostringstream os;
+      os << "round " << round << ": no removal improves — stop";
+      result.log.push_back(os.str());
+      break;
+    }
+
+    base.set(best_flag, false);
+    cumulative *= best_gain;
+    std::ostringstream os;
+    os << "round " << round << ": remove " << space.flag(best_flag).name
+       << " (R=" << best_gain << ")";
+    result.log.push_back(os.str());
+  }
+
+  result.best = base;
+  result.improvement_over_start = cumulative;
+  return result;
+}
+
+SearchResult BatchElimination::run(const OptimizationSpace& space,
+                                   ConfigEvaluator& evaluator,
+                                   const FlagConfig& start) {
+  SearchResult result;
+  FlagConfig base = start;
+
+  std::vector<std::size_t> harmful;
+  for (std::size_t f = 0; f < space.size(); ++f) {
+    if (!base.enabled(f)) continue;
+    const FlagConfig candidate = base.with(f, false);
+    const double r = evaluator.relative_improvement(base, candidate);
+    ++result.configs_evaluated;
+    if (r > threshold_) {
+      harmful.push_back(f);
+      result.log.push_back("harmful: " + space.flag(f).name);
+    }
+  }
+
+  for (std::size_t f : harmful) base.set(f, false);
+
+  // One validation measurement of the final configuration.
+  if (!harmful.empty()) {
+    result.improvement_over_start =
+        evaluator.relative_improvement(start, base);
+    ++result.configs_evaluated;
+  }
+  result.best = base;
+  return result;
+}
+
+}  // namespace peak::search

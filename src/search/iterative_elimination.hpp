@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file iterative_elimination.hpp
+/// The Iterative Elimination algorithm of the paper's Section 5.2 (from
+/// the authors' prior work [11]). Exhaustive search over n binary options
+/// is O(2^n); IE reduces the cost to O(n²) evaluations:
+///
+///   start from the full "-O3" configuration;
+///   repeat:
+///     for every still-enabled option, rate the configuration with just
+///     that option switched off, relative to the current base;
+///     if some removal improves performance (beyond a noise threshold),
+///     permanently remove the option with the largest improvement;
+///   until no removal helps.
+///
+/// Removing one option per round (rather than all harmful ones at once)
+/// respects interactions between options — see BatchElimination for the
+/// cheaper O(n) variant that does not.
+
+#include "search/search_algorithm.hpp"
+
+namespace peak::search {
+
+struct IterativeEliminationOptions {
+  /// Removal counts as an improvement only above this ratio. Converged
+  /// ratings carry a relative standard error around 0.5%, so the guard
+  /// sits at ~2σ — below it, "improvements" are noise and the search
+  /// would keep eliminating useful options round after round.
+  double improvement_threshold = 1.01;
+  /// Safety bound on rounds (n is the natural limit).
+  std::size_t max_rounds = 64;
+};
+
+class IterativeElimination final : public SearchAlgorithm {
+public:
+  explicit IterativeElimination(IterativeEliminationOptions options = {})
+      : options_(options) {}
+
+  SearchResult run(const OptimizationSpace& space,
+                   ConfigEvaluator& evaluator,
+                   const FlagConfig& start) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "iterative-elimination";
+  }
+
+private:
+  IterativeEliminationOptions options_;
+};
+
+/// Batch Elimination: one probing round, then remove *all* options whose
+/// individual removal improved performance. O(n) evaluations but blind to
+/// interactions between the removed options.
+class BatchElimination final : public SearchAlgorithm {
+public:
+  explicit BatchElimination(double improvement_threshold = 1.002)
+      : threshold_(improvement_threshold) {}
+
+  SearchResult run(const OptimizationSpace& space,
+                   ConfigEvaluator& evaluator,
+                   const FlagConfig& start) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "batch-elimination";
+  }
+
+private:
+  double threshold_;
+};
+
+}  // namespace peak::search

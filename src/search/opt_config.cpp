@@ -1,0 +1,109 @@
+#include "search/opt_config.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace peak::search {
+
+OptimizationSpace::OptimizationSpace(std::vector<FlagInfo> flags)
+    : flags_(std::move(flags)) {
+  PEAK_CHECK(!flags_.empty(), "empty optimization space");
+}
+
+const FlagInfo& OptimizationSpace::flag(std::size_t i) const {
+  PEAK_CHECK(i < flags_.size(), "flag index out of range");
+  return flags_[i];
+}
+
+std::optional<std::size_t> OptimizationSpace::index_of(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < flags_.size(); ++i)
+    if (flags_[i].name == name) return i;
+  return std::nullopt;
+}
+
+const OptimizationSpace& gcc33_o3_space() {
+  using C = FlagCategory;
+  static const OptimizationSpace space{{
+      // -O1 (9)
+      {"-fdefer-pop", C::kMisc, 1},
+      {"-fmerge-constants", C::kMisc, 1},
+      {"-fthread-jumps", C::kBranch, 1},
+      {"-floop-optimize", C::kLoop, 1},
+      {"-fif-conversion", C::kBranch, 1},
+      {"-fif-conversion2", C::kBranch, 1},
+      {"-fdelayed-branch", C::kScheduling, 1},
+      {"-fguess-branch-probability", C::kBranch, 1},
+      {"-fcprop-registers", C::kRegister, 1},
+      // -O2 adds (27)
+      {"-fforce-mem", C::kMisc, 2},
+      {"-foptimize-sibling-calls", C::kInline, 2},
+      {"-fstrength-reduce", C::kLoop, 2},
+      {"-fcse-follow-jumps", C::kRedundancy, 2},
+      {"-fcse-skip-blocks", C::kRedundancy, 2},
+      {"-frerun-cse-after-loop", C::kRedundancy, 2},
+      {"-frerun-loop-opt", C::kLoop, 2},
+      {"-fgcse", C::kRedundancy, 2},
+      {"-fgcse-lm", C::kRedundancy, 2},
+      {"-fgcse-sm", C::kRedundancy, 2},
+      {"-fdelete-null-pointer-checks", C::kMisc, 2},
+      {"-fexpensive-optimizations", C::kMisc, 2},
+      {"-fregmove", C::kRegister, 2},
+      {"-fschedule-insns", C::kScheduling, 2},
+      {"-fschedule-insns2", C::kScheduling, 2},
+      {"-fsched-interblock", C::kScheduling, 2},
+      {"-fsched-spec", C::kScheduling, 2},
+      {"-fcaller-saves", C::kRegister, 2},
+      {"-fpeephole2", C::kMisc, 2},
+      {"-freorder-blocks", C::kLayout, 2},
+      {"-freorder-functions", C::kLayout, 2},
+      {"-fstrict-aliasing", C::kAlias, 2},
+      {"-falign-functions", C::kLayout, 2},
+      {"-falign-jumps", C::kLayout, 2},
+      {"-falign-loops", C::kLayout, 2},
+      {"-falign-labels", C::kLayout, 2},
+      {"-fcrossjumping", C::kBranch, 2},
+      // -O3 adds (2)
+      {"-finline-functions", C::kInline, 3},
+      {"-frename-registers", C::kRegister, 3},
+  }};
+  PEAK_CHECK(space.size() == 38, "GCC 3.3 -O3 space must have 38 flags");
+  return space;
+}
+
+FlagConfig::FlagConfig(const OptimizationSpace& space, bool all_on)
+    : bits_(space.size()) {
+  if (all_on) bits_.set_all();
+}
+
+std::string FlagConfig::key() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    os << (bits_.test(i) ? '1' : '0');
+  return os.str();
+}
+
+std::string FlagConfig::describe(const OptimizationSpace& space,
+                                 bool invert) const {
+  PEAK_CHECK(space.size() == bits_.size(), "space/config size mismatch");
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_.test(i) == invert) continue;
+    if (!first) os << ' ';
+    first = false;
+    os << space.flag(i).name;
+  }
+  return os.str();
+}
+
+FlagConfig o3_config(const OptimizationSpace& space) {
+  return FlagConfig(space, /*all_on=*/true);
+}
+
+FlagConfig baseline_config(const OptimizationSpace& space) {
+  return FlagConfig(space, /*all_on=*/false);
+}
+
+}  // namespace peak::search

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file opt_config.hpp
+/// The optimization search space: a set of named binary options and
+/// configurations over them. The paper explores the n = 38 options implied
+/// by "-O3" of GCC 3.3 (its reference [5]); gcc33_o3_space() reproduces
+/// that exact flag list. Configurations are bitsets: bit i set = flag i
+/// enabled.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bitset.hpp"
+
+namespace peak::search {
+
+/// Broad behavioural category of a flag; the simulated compiler's effect
+/// model keys its heuristics on these.
+enum class FlagCategory : std::uint8_t {
+  kBranch,      ///< jump threading, if-conversion, branch probability
+  kLoop,        ///< loop optimizations, strength reduction
+  kRedundancy,  ///< CSE / GCSE family
+  kScheduling,  ///< instruction scheduling
+  kRegister,    ///< register allocation helpers
+  kInline,      ///< inlining and call optimizations
+  kAlias,       ///< aliasing assumptions
+  kLayout,      ///< code alignment / reordering
+  kMisc,
+};
+
+struct FlagInfo {
+  std::string name;
+  FlagCategory category = FlagCategory::kMisc;
+  int opt_level = 1;  ///< GCC level that first enables it (1, 2, or 3)
+};
+
+class OptimizationSpace {
+public:
+  explicit OptimizationSpace(std::vector<FlagInfo> flags);
+
+  [[nodiscard]] std::size_t size() const { return flags_.size(); }
+  [[nodiscard]] const FlagInfo& flag(std::size_t i) const;
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      std::string_view name) const;
+
+private:
+  std::vector<FlagInfo> flags_;
+};
+
+/// The 38 binary options implied by GCC 3.3 -O3 (9 from -O1, 27 more from
+/// -O2, 2 more from -O3), per the GCC 3.3 manual.
+const OptimizationSpace& gcc33_o3_space();
+
+/// A selection of enabled flags within a space.
+class FlagConfig {
+public:
+  FlagConfig() = default;
+  explicit FlagConfig(const OptimizationSpace& space, bool all_on = false);
+
+  [[nodiscard]] bool enabled(std::size_t flag) const {
+    return bits_.test(flag);
+  }
+  void set(std::size_t flag, bool on) { bits_.set(flag, on); }
+
+  [[nodiscard]] std::size_t count_enabled() const { return bits_.count(); }
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+
+  [[nodiscard]] FlagConfig with(std::size_t flag, bool on) const {
+    FlagConfig copy = *this;
+    copy.set(flag, on);
+    return copy;
+  }
+
+  /// Stable key for memoization (hex words of the bitset).
+  [[nodiscard]] std::string key() const;
+
+  /// Human-readable "-fgcse -fstrict-aliasing ..." listing of enabled (or,
+  /// with invert=true, disabled) flags.
+  [[nodiscard]] std::string describe(const OptimizationSpace& space,
+                                     bool invert = false) const;
+
+  friend bool operator==(const FlagConfig&, const FlagConfig&) = default;
+
+private:
+  support::DynBitset bits_;
+};
+
+/// Everything on — the "-O3" starting point of the search.
+FlagConfig o3_config(const OptimizationSpace& space);
+
+/// Everything off — the "-O0-like" reference the effect model prices
+/// multipliers against.
+FlagConfig baseline_config(const OptimizationSpace& space);
+
+}  // namespace peak::search

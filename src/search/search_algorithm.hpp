@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file search_algorithm.hpp
+/// Search over the optimization space. Algorithms see configurations only
+/// through a ConfigEvaluator — in PEAK that evaluator is the rating
+/// machinery (CBR/MBR/RBR/AVG/WHL) measuring real or simulated executions,
+/// so the same algorithms work for any rating method, any backend.
+
+#include <string>
+#include <vector>
+
+#include "search/opt_config.hpp"
+
+namespace peak::search {
+
+/// Rates configurations. Implementations are stateful: evaluation costs
+/// (invocations, simulated time) accumulate inside so the tuning-time
+/// experiments can read them back.
+class ConfigEvaluator {
+public:
+  virtual ~ConfigEvaluator() = default;
+
+  /// Relative improvement R of `cfg` over `base`: R > 1 means `cfg` is
+  /// faster. (For time-based raters this is time(base)/time(cfg).)
+  virtual double relative_improvement(const FlagConfig& base,
+                                      const FlagConfig& cfg) = 0;
+};
+
+struct SearchResult {
+  FlagConfig best;
+  double improvement_over_start = 1.0;  ///< R of best vs the start config
+  std::size_t configs_evaluated = 0;
+  std::vector<std::string> log;  ///< human-readable decision trace
+};
+
+class SearchAlgorithm {
+public:
+  virtual ~SearchAlgorithm() = default;
+  virtual SearchResult run(const OptimizationSpace& space,
+                           ConfigEvaluator& evaluator,
+                           const FlagConfig& start) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace peak::search

@@ -1,0 +1,91 @@
+#include "search/simple_searches.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::search {
+
+SearchResult ExhaustiveSearch::run(const OptimizationSpace& space,
+                                   ConfigEvaluator& evaluator,
+                                   const FlagConfig& start) {
+  PEAK_CHECK(space.size() <= max_bits_,
+             "exhaustive search over " + std::to_string(space.size()) +
+                 " bits refused (max " + std::to_string(max_bits_) + ")");
+  SearchResult result;
+  result.best = start;
+  double best_r = 1.0;
+
+  const std::uint64_t limit = 1ULL << space.size();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    FlagConfig cfg(space);
+    for (std::size_t f = 0; f < space.size(); ++f)
+      cfg.set(f, (mask >> f) & 1ULL);
+    if (cfg == start) continue;
+    const double r = evaluator.relative_improvement(start, cfg);
+    ++result.configs_evaluated;
+    if (r > best_r) {
+      best_r = r;
+      result.best = cfg;
+    }
+  }
+  result.improvement_over_start = best_r;
+  return result;
+}
+
+SearchResult RandomSearch::run(const OptimizationSpace& space,
+                               ConfigEvaluator& evaluator,
+                               const FlagConfig& start) {
+  SearchResult result;
+  result.best = start;
+  double best_r = 1.0;
+
+  for (std::size_t t = 0; t < trials_; ++t) {
+    FlagConfig cfg(space);
+    for (std::size_t f = 0; f < space.size(); ++f)
+      cfg.set(f, rng_.bernoulli(0.5));
+    const double r = evaluator.relative_improvement(start, cfg);
+    ++result.configs_evaluated;
+    if (r > best_r) {
+      best_r = r;
+      result.best = cfg;
+    }
+  }
+  result.improvement_over_start = best_r;
+  return result;
+}
+
+SearchResult GreedyConstruction::run(const OptimizationSpace& space,
+                                     ConfigEvaluator& evaluator,
+                                     const FlagConfig& start) {
+  SearchResult result;
+  FlagConfig base = baseline_config(space);
+  double cumulative = 1.0;
+
+  for (std::size_t round = 0; round < space.size(); ++round) {
+    double best_gain = threshold_;
+    std::size_t best_flag = space.size();
+    for (std::size_t f = 0; f < space.size(); ++f) {
+      if (base.enabled(f)) continue;
+      const FlagConfig candidate = base.with(f, true);
+      const double r = evaluator.relative_improvement(base, candidate);
+      ++result.configs_evaluated;
+      if (r > best_gain) {
+        best_gain = r;
+        best_flag = f;
+      }
+    }
+    if (best_flag == space.size()) break;
+    base.set(best_flag, true);
+    cumulative *= best_gain;
+    result.log.push_back("enable " + space.flag(best_flag).name);
+  }
+
+  result.best = base;
+  // Report improvement relative to the caller's start configuration.
+  result.improvement_over_start =
+      evaluator.relative_improvement(start, base);
+  ++result.configs_evaluated;
+  (void)cumulative;
+  return result;
+}
+
+}  // namespace peak::search

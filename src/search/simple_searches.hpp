@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file simple_searches.hpp
+/// Reference search algorithms used to sanity-check Iterative Elimination:
+/// exhaustive enumeration (ground truth on small spaces), uniform random
+/// sampling (the classic cheap baseline), and greedy forward construction
+/// (start from nothing, add the most helpful option per round).
+
+#include "search/search_algorithm.hpp"
+#include "support/rng.hpp"
+
+namespace peak::search {
+
+/// Enumerates all 2^n configurations. Guarded to small spaces.
+class ExhaustiveSearch final : public SearchAlgorithm {
+public:
+  explicit ExhaustiveSearch(std::size_t max_bits = 16)
+      : max_bits_(max_bits) {}
+
+  SearchResult run(const OptimizationSpace& space,
+                   ConfigEvaluator& evaluator,
+                   const FlagConfig& start) override;
+
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+
+private:
+  std::size_t max_bits_;
+};
+
+/// Uniformly random configurations; keeps the best of `trials`.
+class RandomSearch final : public SearchAlgorithm {
+public:
+  RandomSearch(std::size_t trials, std::uint64_t seed)
+      : trials_(trials), rng_(seed) {}
+
+  SearchResult run(const OptimizationSpace& space,
+                   ConfigEvaluator& evaluator,
+                   const FlagConfig& start) override;
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+private:
+  std::size_t trials_;
+  support::Rng rng_;
+};
+
+/// Greedy forward construction: start all-off, repeatedly enable the
+/// option with the best marginal improvement until none helps.
+class GreedyConstruction final : public SearchAlgorithm {
+public:
+  explicit GreedyConstruction(double improvement_threshold = 1.002)
+      : threshold_(improvement_threshold) {}
+
+  SearchResult run(const OptimizationSpace& space,
+                   ConfigEvaluator& evaluator,
+                   const FlagConfig& start) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "greedy-construction";
+  }
+
+private:
+  double threshold_;
+};
+
+}  // namespace peak::search

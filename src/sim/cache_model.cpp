@@ -1,0 +1,55 @@
+#include "sim/cache_model.hpp"
+
+#include "support/check.hpp"
+
+namespace peak::sim {
+
+SetAssocCache::SetAssocCache(std::size_t size_bytes, std::size_t line_bytes,
+                             std::size_t associativity)
+    : sets_(0), ways_(associativity), line_bytes_(line_bytes) {
+  PEAK_CHECK(line_bytes > 0 && associativity > 0 && size_bytes > 0,
+             "degenerate cache geometry");
+  PEAK_CHECK(size_bytes % (line_bytes * associativity) == 0,
+             "cache size must be a multiple of line*ways");
+  sets_ = size_bytes / (line_bytes * associativity);
+  lines_.assign(sets_ * ways_, Line{});
+}
+
+bool SetAssocCache::access(std::uint64_t address) {
+  const std::uint64_t line_addr = address / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line_addr % sets_);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = &lines_[set * ways_];
+  ++tick_;
+
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: fill the LRU way.
+  std::size_t victim = 0;
+  for (std::size_t w = 1; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+    if (base[w].lru < base[victim].lru) victim = w;
+  }
+  base[victim].valid = true;
+  base[victim].tag = tag;
+  base[victim].lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (Line& l : lines_) l = Line{};
+  hits_ = 0;
+  misses_ = 0;
+  tick_ = 0;
+}
+
+}  // namespace peak::sim

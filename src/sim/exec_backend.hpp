@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file exec_backend.hpp
+/// Simulated execution of one tuning section. An Invocation binds a
+/// concrete workload (context-variable values plus memory contents); the
+/// backend prices it by interpreting the IR under the machine cost model,
+/// scaling by the flag-effect multiplier of the code version, a cache
+/// warmth factor, and measurement noise. It also implements the RBR
+/// re-execution protocol (basic and improved, Section 2.4) with faithful
+/// overhead accounting, which the tuning-time experiments (Figure 7 c,d)
+/// read back.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/interpreter.hpp"
+#include "search/opt_config.hpp"
+#include "sim/cache_model.hpp"
+#include "sim/flag_effects.hpp"
+#include "sim/machine.hpp"
+#include "sim/perturbation.hpp"
+
+namespace peak::sim {
+
+/// One dynamic invocation of the tuning section.
+struct Invocation {
+  /// Unique id within the trace (> 0). The interpreter result of an
+  /// invocation is deterministic given its binder, so repeated passes over
+  /// a trace (tuning cycles, whole-program trials) reuse the base run even
+  /// for data-dependent sections. 0 = never reuse.
+  std::uint64_t id = 0;
+  /// Context-variable values (the CBR key; also the base-run cache key for
+  /// sections whose execution path is fully determined by the context).
+  std::vector<double> context;
+  /// Populate the memory image (scalars, arrays, pointer bindings).
+  std::function<void(ir::Memory&)> bind;
+  /// True when `context` fully determines the execution path, so the
+  /// interpreter result can be reused across invocations with equal
+  /// context. Irregular sections (data-dependent control flow) set false.
+  bool context_determines_time = true;
+  /// Data-dependent execution-speed factor of this invocation (cache and
+  /// branch behaviour of this particular input). Unlike measurement noise
+  /// it is a property of the *workload*, so two executions under the same
+  /// restored context share it — which is precisely why RBR's
+  /// within-invocation ratio cancels it while MBR's regression sees it as
+  /// unexplained residual (the "highly irregular behavior" that sends the
+  /// integer codes to RBR in Table 1).
+  double irregularity = 1.0;
+};
+
+struct InvocationResult {
+  double time = 0.0;  ///< simulated cycles, noise included
+  std::vector<std::uint64_t> counters;  ///< instrumentation counters
+};
+
+struct RbrOptions {
+  /// Improved method (Section 2.4.2): precondition run, order swapping,
+  /// and Modified_Input-only save/restore. Basic method otherwise.
+  bool improved = true;
+  /// Batch several measurement pairs into one invocation's checkpoint
+  /// cycle — the paper's "combination of a number of experimental runs
+  /// into a batch" overhead reduction. 1 = no batching.
+  std::size_t batch_pairs = 1;
+};
+
+struct RbrPairResult {
+  double time_best = 0.0;  ///< timed run of the current best version
+  double time_exp = 0.0;   ///< timed run of the experimental version
+  /// Tuning overhead beyond a production execution of the best version:
+  /// save/restore traffic, the precondition run, and the extra version.
+  double overhead = 0.0;
+  bool swapped = false;  ///< experimental version ran first
+};
+
+class SimExecutionBackend {
+public:
+  SimExecutionBackend(const ir::Function& fn, TsTraits traits,
+                      const MachineModel& machine,
+                      const FlagEffectModel& effects, std::uint64_t seed);
+
+  /// Production-like execution of one invocation under `cfg`.
+  InvocationResult invoke(const search::FlagConfig& cfg,
+                          const Invocation& inv);
+
+  /// RBR: both versions executed within this single invocation, same
+  /// context (paper Figures 3 and 4).
+  RbrPairResult invoke_rbr_pair(const search::FlagConfig& best,
+                                const search::FlagConfig& exp,
+                                const Invocation& inv,
+                                const RbrOptions& opts);
+
+  /// Batched RBR: `opts.batch_pairs` measurement pairs under one
+  /// invocation, amortizing the save and precondition work. Returns one
+  /// result per pair; the shared overhead is attributed to the first.
+  std::vector<RbrPairResult> invoke_rbr_batch(
+      const search::FlagConfig& best, const search::FlagConfig& exp,
+      const Invocation& inv, const RbrOptions& opts);
+
+  /// Configure checkpoint sizes (from analysis::InputSetInfo) used to
+  /// price RBR save/restore traffic.
+  void set_checkpoint_bytes(std::size_t full_input_bytes,
+                            std::size_t modified_input_bytes) {
+    full_input_bytes_ = full_input_bytes;
+    modified_input_bytes_ = modified_input_bytes;
+  }
+
+  /// Noise-free expected execution time under `cfg` for one invocation —
+  /// the ground truth the consistency experiments compare ratings against.
+  double expected_time(const search::FlagConfig& cfg, const Invocation& inv);
+
+  /// Accumulated simulated wall time of everything this backend executed
+  /// (timed runs, preconditioning, save/restore). This is the tuning cost.
+  [[nodiscard]] double accumulated_time() const { return accumulated_; }
+  void reset_accumulated_time() { accumulated_ = 0.0; }
+
+  [[nodiscard]] const ir::Function& function() const { return fn_; }
+  [[nodiscard]] TsTraits& traits() { return traits_; }
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+
+  /// The production workload changed scale (an application phase change):
+  /// flag effects may flip, so cached multipliers are invalidated.
+  void set_workload_scale(double scale) {
+    traits_.workload_scale = scale;
+    mult_cache_.clear();
+  }
+
+private:
+  struct BaseRun {
+    double cycles = 0.0;
+    std::vector<std::uint64_t> counters;
+  };
+
+  const BaseRun& base_run(const Invocation& inv);
+  double multiplier(const search::FlagConfig& cfg, const Invocation& inv);
+  double checkpoint_cost(std::size_t bytes) const;
+  double timed_run(const BaseRun& base, double mult, double irregularity);
+
+  const ir::Function& fn_;
+  TsTraits traits_;
+  /// By value: machine models are small and callers often pass
+  /// temporaries (sparc2(), pentium4()).
+  MachineModel machine_;
+  const FlagEffectModel& effects_;
+  ir::Interpreter interp_;
+  MachineCostModel cost_model_;
+  Perturbation noise_;
+  WarmthModel warmth_;
+
+  std::map<std::vector<double>, BaseRun> base_cache_;
+  std::map<std::uint64_t, BaseRun> base_cache_by_id_;
+  std::map<std::string, double> mult_cache_;
+  BaseRun scratch_base_;
+
+  std::size_t full_input_bytes_ = 4096;
+  std::size_t modified_input_bytes_ = 1024;
+  double accumulated_ = 0.0;
+  bool swap_toggle_ = false;
+};
+
+}  // namespace peak::sim

@@ -1,0 +1,273 @@
+#include "sim/flag_effects.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/loops.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::sim {
+
+using search::FlagCategory;
+using support::hash_combine;
+using support::stable_hash;
+
+TsTraits derive_traits(const ir::Function& fn, std::string benchmark) {
+  TsTraits t;
+  t.key = benchmark + "." + fn.name();
+  t.benchmark = std::move(benchmark);
+
+  // Weight each block's static op mix by its loop-nesting depth (natural
+  // loops from the dominator tree): deeply nested blocks dominate the
+  // dynamic instruction stream.
+  const ir::LoopInfo loops = ir::find_natural_loops(fn);
+  auto depth_weight = [&](ir::BlockId b) {
+    return std::pow(8.0, static_cast<double>(loops.depth_of(b)));
+  };
+
+  double int_ops = 0, fp_ops = 0, mem = 0, branches = 0, calls = 0;
+  double header_branch_weight = 0, data_branch_weight = 0;
+  for (ir::BlockId b = 0; b < fn.num_blocks(); ++b) {
+    const ir::BlockTraits& bt = fn.block(b).traits;
+    const double w = depth_weight(b);
+    int_ops += w * bt.int_ops;
+    fp_ops += w * (bt.fp_ops + bt.fp_transcend);
+    mem += w * (bt.loads + bt.stores);
+    branches += w * bt.branches;
+    calls += w * bt.calls;
+    if (fn.block(b).term.kind == ir::TermKind::kBranch) {
+      // Loop-header branches are trip-count tests — predictable, regular.
+      // Any other conditional is data-driven control flow.
+      bool is_header = false;
+      for (const ir::NaturalLoop& loop : loops.loops)
+        is_header |= loop.header == b;
+      (is_header ? header_branch_weight : data_branch_weight) += w;
+    }
+  }
+  const double total =
+      std::max(1.0, int_ops + fp_ops + mem + branches + calls);
+  t.branchiness = branches / total;
+  t.memory_intensity = mem / total;
+  t.fp_intensity = fp_ops / total;
+  t.call_intensity = calls / total;
+
+  std::size_t scalars = 0;
+  for (ir::VarId v = 0; v < fn.num_vars(); ++v)
+    if (fn.var(v).kind == ir::VarKind::kScalar) ++scalars;
+  t.reg_pressure = static_cast<double>(scalars);
+
+  // Regularity: share of branch work spent on loop trip-count tests.
+  const double branch_total = header_branch_weight + data_branch_weight;
+  t.loop_regularity =
+      branch_total > 0.0 ? header_branch_weight / branch_total : 1.0;
+  return t;
+}
+
+FlagEffectModel::FlagEffectModel(const search::OptimizationSpace& space,
+                                 std::uint64_t seed)
+    : space_(space), seed_(seed) {}
+
+namespace {
+
+/// Curated story effect: multiplier applied when `flag` is enabled for a
+/// section of `benchmark` on `machine` ("*" = any machine). When
+/// `scale_threshold` >= 0 the effect flips with the dataset size — the
+/// mechanism behind the paper's train-vs-ref divergences (MGRID and ART on
+/// SPARC II, Figure 7a).
+struct StoryEffect {
+  const char* benchmark;
+  const char* flag;
+  const char* machine;  // "*" = both
+  double multiplier;
+  double scale_threshold = -1.0;  ///< workload_scale >= threshold ⇒ use
+                                  ///< multiplier_large instead
+  double multiplier_large = 1.0;
+};
+
+constexpr StoryEffect kStories[] = {
+    // ART / strict aliasing: live ranges lengthen, spills flood memory on
+    // the 8-register P4; the SPARC II register file absorbs the pressure.
+    {"ART", "-fstrict-aliasing", "p4", 2.70, -1.0, 1.0},
+    {"ART", "-fstrict-aliasing", "sparc2", 0.965, -1.0, 1.0},
+    // ART on SPARC II: rename-registers helps the small train input but
+    // hurts ref (divergence seen in Fig. 7a's left-vs-right bars), while
+    // delayed-branch scheduling mildly hurts on both inputs.
+    {"ART", "-frename-registers", "sparc2", 0.98, 0.5, 1.030},
+    {"ART", "-fdelayed-branch", "sparc2", 1.022, -1.0, 1.0},
+    // SWIM: instruction scheduling backfires on the register-starved P4
+    // (spill-heavy FP inner loops); milder on SPARC II.
+    {"SWIM", "-fschedule-insns", "p4", 1.050, -1.0, 1.0},
+    {"SWIM", "-fschedule-insns", "sparc2", 1.028, -1.0, 1.0},
+    {"SWIM", "-fgcse-sm", "*", 1.022, -1.0, 1.0},
+    // MGRID: caller-saves and force-mem hurt the stencil's tight loops.
+    {"MGRID", "-fcaller-saves", "*", 1.038, -1.0, 1.0},
+    {"MGRID", "-fforce-mem", "sparc2", 1.020, -1.0, 1.0},
+    // MGRID on SPARC II: gcse-lm helps the small training grids but hurts
+    // the ref grid (cache geometry), another train/ref divergence.
+    {"MGRID", "-fgcse-lm", "sparc2", 0.975, 0.5, 1.028},
+    // EQUAKE: if-conversion and gcse mis-fire on the sparse irregular code.
+    {"EQUAKE", "-fif-conversion", "*", 1.055, -1.0, 1.0},
+    {"EQUAKE", "-fgcse", "*", 1.035, -1.0, 1.0},
+    {"EQUAKE", "-fstrict-aliasing", "sparc2", 1.018, -1.0, 1.0},
+};
+
+}  // namespace
+
+double FlagEffectModel::flag_effect(const TsTraits& ts,
+                                    const MachineModel& machine,
+                                    std::size_t flag) const {
+  const search::FlagInfo& info = space_.flag(flag);
+
+  // --- curated story effects take precedence -----------------------------
+  for (const StoryEffect& s : kStories) {
+    if (ts.benchmark != s.benchmark) continue;
+    if (info.name != s.flag) continue;
+    if (std::string_view(s.machine) != "*" && machine.name != s.machine)
+      continue;
+    if (s.scale_threshold >= 0.0 && ts.workload_scale >= s.scale_threshold)
+      return s.multiplier_large;
+    return s.multiplier;
+  }
+
+  // --- generic category-driven benefit ------------------------------------
+  double benefit = 0.0;
+  const double reg_ratio =
+      ts.reg_pressure / std::max(1.0, static_cast<double>(
+                                          machine.int_registers));
+  switch (info.category) {
+    case FlagCategory::kBranch:
+      benefit = 0.004 + 0.020 * ts.branchiness;
+      // Deep pipelines lose from if-converting well-predicted branches in
+      // irregular code.
+      if (ts.loop_regularity < 0.3 && machine.mispredict_penalty > 10.0)
+        benefit -= 0.004;
+      break;
+    case FlagCategory::kLoop:
+      benefit = 0.004 + 0.025 * ts.loop_regularity;
+      break;
+    case FlagCategory::kRedundancy:
+      benefit = 0.006 + 0.015 * (1.0 - ts.memory_intensity);
+      // CSE keeps more values live: pressure penalty on small reg files.
+      if (reg_ratio > 1.0) benefit -= 0.008 * (reg_ratio - 1.0);
+      break;
+    case FlagCategory::kScheduling:
+      benefit = 0.005 + 0.020 * ts.fp_intensity;
+      if (reg_ratio > 1.2) benefit -= 0.010 * (reg_ratio - 1.2);
+      break;
+    case FlagCategory::kRegister:
+      benefit = 0.003 + 0.012 * std::min(reg_ratio, 2.0);
+      break;
+    case FlagCategory::kInline:
+      benefit = 0.002 + 0.060 * ts.call_intensity;
+      break;
+    case FlagCategory::kAlias:
+      benefit = 0.006 + 0.015 * ts.memory_intensity;
+      if (reg_ratio > 1.5) benefit -= 0.012 * (reg_ratio - 1.5);
+      break;
+    case FlagCategory::kLayout:
+      benefit = 0.0015;
+      break;
+    case FlagCategory::kMisc:
+      benefit = 0.002;
+      break;
+  }
+
+  // --- deterministic per-(section, flag, machine) jitter ------------------
+  std::uint64_t h = hash_combine(seed_, stable_hash(ts.key));
+  h = hash_combine(h, stable_hash(info.name));
+  h = hash_combine(h, stable_hash(machine.name));
+  support::Rng rng(h);
+  // Centered slightly positive; ~22% of flags end up mildly harmful for
+  // any given section, matching the paper's experience that O3 is rarely
+  // optimal but usually decent.
+  benefit += rng.uniform(-0.006, 0.010);
+
+  return std::clamp(1.0 - benefit, 0.80, 3.0);
+}
+
+double FlagEffectModel::interaction(const TsTraits& ts,
+                                    const MachineModel& machine,
+                                    const search::FlagConfig& cfg) const {
+  // A deterministic subset of flag pairs interacts for each section: when
+  // both members are enabled, a small extra factor applies. Eight pairs
+  // per section keeps the space non-additive without swamping the
+  // first-order effects.
+  std::uint64_t h = hash_combine(seed_ ^ 0x17ac, stable_hash(ts.key));
+  h = hash_combine(h, stable_hash(machine.name));
+  support::Rng rng(h);
+
+  double factor = 1.0;
+  const std::size_t n = space_.size();
+  for (int p = 0; p < 8; ++p) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const double f = rng.uniform(0.995, 1.008);
+    if (a != b && cfg.enabled(a) && cfg.enabled(b)) factor *= f;
+  }
+  return factor;
+}
+
+double FlagEffectModel::time_multiplier(const TsTraits& ts,
+                                        const MachineModel& machine,
+                                        const search::FlagConfig& cfg) const {
+  PEAK_CHECK(cfg.size() == space_.size(), "config built for another space");
+  double factor = 1.0;
+  for (std::size_t f = 0; f < space_.size(); ++f)
+    if (cfg.enabled(f)) factor *= flag_effect(ts, machine, f);
+  factor *= interaction(ts, machine, cfg);
+  return factor;
+}
+
+namespace {
+
+/// Context-dependent story: a loop optimization whose benefit depends on
+/// the invocation's shape. radb4's re-run loop optimization pays for
+/// itself only when the inner trip count (ido, context[0]) is large
+/// enough to amortize the restructured loop's setup — tiny butterflies
+/// lose (the mechanism behind §2.2's context-specific winners).
+struct ContextStory {
+  const char* benchmark;
+  const char* flag;
+  std::size_t context_index;
+  double threshold;
+  double multiplier_small;  ///< when context[idx] < threshold
+  double multiplier_large;
+};
+
+constexpr ContextStory kContextStories[] = {
+    {"APSI", "-frerun-loop-opt", 0, 8.0, 1.06, 0.95},
+};
+
+}  // namespace
+
+bool FlagEffectModel::context_sensitive(const TsTraits& ts) const {
+  for (const ContextStory& s : kContextStories)
+    if (ts.benchmark == s.benchmark) return true;
+  return false;
+}
+
+double FlagEffectModel::time_multiplier(
+    const TsTraits& ts, const MachineModel& machine,
+    const search::FlagConfig& cfg,
+    const std::vector<double>& context) const {
+  double factor = time_multiplier(ts, machine, cfg);
+  if (context.empty()) return factor;
+  for (const ContextStory& s : kContextStories) {
+    if (ts.benchmark != s.benchmark) continue;
+    const auto idx = space_.index_of(s.flag);
+    if (!idx || !cfg.enabled(*idx)) continue;
+    if (s.context_index >= context.size()) continue;
+    // The context-independent path already charged the flag's generic
+    // effect; replace it with the shape-dependent one.
+    factor /= flag_effect(ts, machine, *idx);
+    factor *= context[s.context_index] < s.threshold
+                  ? s.multiplier_small
+                  : s.multiplier_large;
+  }
+  return factor;
+}
+
+}  // namespace peak::sim

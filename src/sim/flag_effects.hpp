@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file flag_effects.hpp
+/// The simulated optimizing compiler. PEAK treats the backend compiler as
+/// a black box mapping an optimization configuration to a code version
+/// with some execution speed; this model supplies that mapping as a
+/// deterministic multiplicative time factor per (tuning section, machine,
+/// configuration).
+///
+/// The factor composes:
+///  * per-flag effects driven by flag category × section traits × machine
+///    (branch optimizations help branchy code; scheduling helps FP codes;
+///    redundancy elimination raises register pressure; ...);
+///  * curated "story" effects reproducing the paper's headline phenomena —
+///    most prominently strict aliasing on ART: longer live ranges cause
+///    spilling on the register-starved Pentium 4 (large penalty, hence the
+///    178% win from disabling it) but are tolerated by the SPARC II's
+///    larger register file (Section 5.2);
+///  * deterministic per-(section, flag, machine) jitter, so every section
+///    has a few mildly harmful flags for Iterative Elimination to find —
+///    the paper's observation that optimization effects are significant
+///    and unpredictable;
+///  * pairwise interactions between flags, making the search space
+///    non-additive.
+///
+/// Multipliers are relative to the all-flags-off baseline; lower = faster.
+
+#include <string>
+
+#include "search/opt_config.hpp"
+#include "sim/machine.hpp"
+
+namespace peak::sim {
+
+/// Behavioural summary of one tuning section, the features the effect
+/// model keys on. Workloads set these to match the character of the
+/// original SPEC section they stand in for.
+struct TsTraits {
+  std::string key;        ///< "ART.match" — seeds per-section jitter
+  std::string benchmark;  ///< "ART" — selects curated story effects
+  double branchiness = 0.1;       ///< branch share of the op mix
+  double memory_intensity = 0.3;  ///< load/store share
+  double fp_intensity = 0.0;      ///< FP share
+  double call_intensity = 0.0;    ///< call share
+  double reg_pressure = 8.0;      ///< simultaneously live values (est.)
+  double loop_regularity = 0.8;   ///< 1 = perfectly nested regular loops
+  double noise_scale = 1.0;       ///< per-TS timing-noise multiplier
+  double workload_scale = 1.0;    ///< dataset size (train < ref)
+};
+
+/// Estimate traits from the IR (op-mix totals, scalar counts). Workloads
+/// typically start from this and override a few fields.
+TsTraits derive_traits(const ir::Function& fn, std::string benchmark);
+
+class FlagEffectModel {
+public:
+  explicit FlagEffectModel(const search::OptimizationSpace& space,
+                           std::uint64_t seed = 0x9eac);
+
+  /// Multiplicative time factor of one configuration (lower = faster).
+  [[nodiscard]] double time_multiplier(const TsTraits& ts,
+                                       const MachineModel& machine,
+                                       const search::FlagConfig& cfg) const;
+
+  /// Context-dependent variant: some optimizations pay off only for some
+  /// workload shapes (the paper's §2.2 point that "the best versions for
+  /// different contexts may be different"). `context` is the invocation's
+  /// context-variable vector; sections without context-dependent effects
+  /// return time_multiplier() unchanged.
+  [[nodiscard]] double time_multiplier(
+      const TsTraits& ts, const MachineModel& machine,
+      const search::FlagConfig& cfg,
+      const std::vector<double>& context) const;
+
+  /// True when this section has context-dependent flag effects (callers
+  /// must then key their multiplier caches by context too).
+  [[nodiscard]] bool context_sensitive(const TsTraits& ts) const;
+
+  /// Effect of a single flag when enabled (multiplier > 1 = harmful).
+  [[nodiscard]] double flag_effect(const TsTraits& ts,
+                                   const MachineModel& machine,
+                                   std::size_t flag) const;
+
+  [[nodiscard]] const search::OptimizationSpace& space() const {
+    return space_;
+  }
+
+private:
+  [[nodiscard]] double interaction(const TsTraits& ts,
+                                   const MachineModel& machine,
+                                   const search::FlagConfig& cfg) const;
+
+  const search::OptimizationSpace& space_;
+  std::uint64_t seed_;
+};
+
+}  // namespace peak::sim

@@ -1,0 +1,64 @@
+#include "sim/machine.hpp"
+
+namespace peak::sim {
+
+MachineModel sparc2() {
+  MachineModel m;
+  m.name = "sparc2";
+  m.int_registers = 24;  // effective GPRs exposed by register windows
+  m.fp_registers = 32;
+  m.int_op_cost = 1.0;
+  m.fp_op_cost = 2.0;
+  m.load_cost = 2.0;
+  m.store_cost = 2.0;
+  m.branch_cost = 1.0;
+  m.mispredict_penalty = 4.0;  // shallow pipeline
+  m.div_cost = 18.0;
+  m.transcend_cost = 25.0;
+  m.call_cost = 8.0;
+  m.mispredict_rate = 0.05;
+  m.l1 = {16 * 1024, 32, 1, 30.0};
+  m.noise = {0.008, 0.0015, 1.5, 3.0, 4.0};
+  m.counter_cost = 0.5;
+  return m;
+}
+
+MachineModel pentium4() {
+  MachineModel m;
+  m.name = "p4";
+  m.int_registers = 8;  // architectural x86 GPRs
+  m.fp_registers = 8;
+  m.int_op_cost = 1.0;
+  m.fp_op_cost = 1.5;
+  m.load_cost = 2.5;
+  m.store_cost = 2.5;
+  m.branch_cost = 1.0;
+  m.mispredict_penalty = 20.0;  // ~20-stage pipeline
+  m.div_cost = 30.0;
+  m.transcend_cost = 40.0;
+  m.call_cost = 12.0;
+  m.mispredict_rate = 0.05;
+  m.l1 = {8 * 1024, 64, 4, 45.0};
+  m.noise = {0.012, 0.003, 1.5, 4.0, 8.0};
+  m.counter_cost = 0.5;
+  return m;
+}
+
+double MachineCostModel::block_entry_cost(const ir::Function& fn,
+                                          ir::BlockId block) const {
+  const ir::BlockTraits& t = fn.block(block).traits;
+  double cost = 1.0;  // block entry overhead
+  cost += t.int_ops * machine_.int_op_cost;
+  cost += t.fp_ops * machine_.fp_op_cost;
+  cost += t.loads * machine_.load_cost;
+  cost += t.stores * machine_.store_cost;
+  cost += t.branches * (machine_.branch_cost +
+                        machine_.mispredict_rate *
+                            machine_.mispredict_penalty);
+  cost += t.divs * machine_.div_cost;
+  cost += t.fp_transcend * machine_.transcend_cost;
+  cost += t.calls * machine_.call_cost;
+  return cost;
+}
+
+}  // namespace peak::sim

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file machine.hpp
+/// Simulated target machines. The paper evaluates on a SPARC II and a
+/// Pentium IV; we model the architectural properties its analysis actually
+/// leans on: integer register count (the strict-aliasing/register-pressure
+/// story of Section 5.2), per-operation-class costs, cache geometry, and
+/// measurement-noise character. Costs are in abstract cycles.
+
+#include <cstdint>
+#include <string>
+
+#include "ir/function.hpp"
+#include "ir/interpreter.hpp"
+
+namespace peak::sim {
+
+struct CacheGeometry {
+  std::size_t size_bytes = 16 * 1024;
+  std::size_t line_bytes = 32;
+  std::size_t associativity = 4;
+  double miss_penalty = 40.0;  ///< cycles per miss
+};
+
+struct NoiseProfile {
+  double sigma = 0.01;        ///< lognormal multiplicative jitter
+  double outlier_prob = 0.002;  ///< interrupt-like perturbation probability
+  double outlier_scale_lo = 1.5;  ///< outlier multiplies time by U[lo,hi]
+  double outlier_scale_hi = 4.0;
+  /// Additive jitter in cycles (timer granularity, bus contention). Small
+  /// tuning sections are relatively noisier — the paper's observation that
+  /// small TS's exhibit more measurement variation.
+  double sigma_additive = 20.0;
+};
+
+struct MachineModel {
+  std::string name;
+  int int_registers = 8;
+  int fp_registers = 8;
+
+  // Per-operation costs (cycles).
+  double int_op_cost = 1.0;
+  double fp_op_cost = 2.0;
+  double load_cost = 2.0;
+  double store_cost = 2.0;
+  double branch_cost = 1.0;
+  double mispredict_penalty = 10.0;  ///< charged on a fraction of branches
+  double div_cost = 20.0;
+  double transcend_cost = 30.0;
+  double call_cost = 10.0;
+  /// Fraction of conditional branches assumed mispredicted for pricing.
+  double mispredict_rate = 0.05;
+
+  CacheGeometry l1;
+  NoiseProfile noise;
+
+  /// Instrumentation counter bump, priced per machine (paper: little
+  /// influence, but nonzero — MBR's accuracy cost).
+  double counter_cost = 0.5;
+};
+
+/// 450 MHz UltraSPARC-II-like: many general-purpose registers (register
+/// windows), shallow pipeline, mild mispredict penalty, quiet timing.
+MachineModel sparc2();
+
+/// 2 GHz Pentium-4-like: 8 architectural integer registers, very deep
+/// pipeline (large mispredict penalty), noisier timing.
+MachineModel pentium4();
+
+/// ir::CostModel pricing block entries from BlockTraits with this machine's
+/// per-op costs. This is the *unoptimized* price; the flag-effect model
+/// scales it per optimization configuration.
+class MachineCostModel final : public ir::CostModel {
+public:
+  explicit MachineCostModel(const MachineModel& machine)
+      : machine_(machine) {}
+
+  [[nodiscard]] double block_entry_cost(const ir::Function& fn,
+                                        ir::BlockId block) const override;
+
+  [[nodiscard]] double counter_cost() const override {
+    return machine_.counter_cost;
+  }
+
+private:
+  const MachineModel& machine_;
+};
+
+}  // namespace peak::sim

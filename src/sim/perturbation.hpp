@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file perturbation.hpp
+/// Measurement-noise process. Real timings jitter (lognormal multiplicative
+/// noise) and occasionally spike when the OS interrupts the run — exactly
+/// the "system perturbations, such as interrupts" whose samples the rating
+/// engine must identify as outliers (paper Section 3). Fully deterministic
+/// given the seed, so consistency experiments are reproducible.
+
+#include <cmath>
+
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace peak::sim {
+
+class Perturbation {
+public:
+  Perturbation(const NoiseProfile& profile, support::Rng rng)
+      : profile_(profile), rng_(std::move(rng)) {}
+
+  /// Multiplicative factor to apply to one measured execution time.
+  double sample() {
+    double factor = rng_.lognormal(profile_.sigma);
+    if (rng_.bernoulli(profile_.outlier_prob))
+      factor *= rng_.uniform(profile_.outlier_scale_lo,
+                             profile_.outlier_scale_hi);
+    return factor;
+  }
+
+  /// Additive jitter in cycles for one measurement.
+  double sample_additive() {
+    return std::fabs(rng_.normal(0.0, profile_.sigma_additive));
+  }
+
+  /// Scale the relative jitter (workloads with irregular memory
+  /// behaviour, e.g. EQUAKE's sparse operations, are intrinsically
+  /// noisier). The additive term is a property of the *machine* (timer
+  /// granularity, bus contention) and is deliberately not scaled.
+  void scale_sigma(double factor) { profile_.sigma *= factor; }
+
+  [[nodiscard]] const NoiseProfile& profile() const { return profile_; }
+
+private:
+  NoiseProfile profile_;
+  support::Rng rng_;
+};
+
+}  // namespace peak::sim

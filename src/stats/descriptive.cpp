@@ -1,0 +1,87 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace peak::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> tmp(xs.begin(), xs.end());
+  const std::size_t mid = tmp.size() / 2;
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(mid),
+                   tmp.end());
+  if (tmp.size() % 2 == 1) return tmp[mid];
+  const double hi = tmp[mid];
+  const double lo =
+      *std::max_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double mad(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double med = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    dev[i] = std::fabs(xs[i] - med);
+  return 1.4826 * median(dev);
+}
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> tmp(xs.begin(), xs.end());
+  std::sort(tmp.begin(), tmp.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(tmp.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, tmp.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return tmp[lo] + frac * (tmp[hi] - tmp[lo]);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+}  // namespace peak::stats

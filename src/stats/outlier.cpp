@@ -1,0 +1,94 @@
+#include "stats/outlier.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "support/check.hpp"
+
+namespace peak::stats {
+
+namespace {
+
+std::vector<bool> sigma_mask(std::span<const double> xs,
+                             const OutlierPolicy& policy) {
+  std::vector<bool> keep(xs.size(), true);
+  const auto max_drop = static_cast<std::size_t>(
+      policy.max_drop_fraction * static_cast<double>(xs.size()));
+  std::size_t dropped = 0;
+
+  for (int iter = 0; iter < policy.max_iterations; ++iter) {
+    // Mean / stddev over currently kept samples.
+    Welford acc;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      if (keep[i]) acc.add(xs[i]);
+    if (acc.count() < 3) break;
+    const double m = acc.mean();
+    const double s = acc.stddev();
+    if (s == 0.0) break;
+
+    bool changed = false;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (!keep[i]) continue;
+      if (std::fabs(xs[i] - m) > policy.k * s) {
+        if (dropped >= max_drop) return keep;
+        keep[i] = false;
+        ++dropped;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return keep;
+}
+
+std::vector<bool> mad_mask(std::span<const double> xs,
+                           const OutlierPolicy& policy) {
+  std::vector<bool> keep(xs.size(), true);
+  if (xs.size() < 3) return keep;
+  const double med = median(xs);
+  const double spread = mad(xs);
+  if (spread == 0.0) return keep;
+  const auto max_drop = static_cast<std::size_t>(
+      policy.max_drop_fraction * static_cast<double>(xs.size()));
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (std::fabs(xs[i] - med) > policy.k * spread) {
+      if (dropped >= max_drop) break;
+      keep[i] = false;
+      ++dropped;
+    }
+  }
+  return keep;
+}
+
+}  // namespace
+
+std::vector<bool> outlier_mask(std::span<const double> xs,
+                               const OutlierPolicy& policy) {
+  PEAK_CHECK(policy.k > 0.0, "outlier threshold must be positive");
+  switch (policy.rule) {
+    case OutlierRule::kNone:
+      return std::vector<bool>(xs.size(), true);
+    case OutlierRule::kSigma:
+      return sigma_mask(xs, policy);
+    case OutlierRule::kMad:
+      return mad_mask(xs, policy);
+  }
+  return std::vector<bool>(xs.size(), true);
+}
+
+OutlierResult filter_outliers(std::span<const double> xs,
+                              const OutlierPolicy& policy) {
+  const std::vector<bool> keep = outlier_mask(xs, policy);
+  OutlierResult result;
+  result.kept.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (keep[i])
+      result.kept.push_back(xs[i]);
+    else
+      ++result.dropped;
+  }
+  return result;
+}
+
+}  // namespace peak::stats

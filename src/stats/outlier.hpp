@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file outlier.hpp
+/// Measurement-outlier elimination (paper Section 3): samples far from the
+/// average — typically caused by system perturbations such as interrupts —
+/// are identified and excluded before EVAL/VAR are computed.
+///
+/// Two detectors are provided. The k·sigma rule matches the paper's
+/// description ("far away from the average"); the MAD rule is a robust
+/// variant that survives windows where a large fraction of samples are
+/// perturbed (the mean/sigma themselves get dragged by the outliers).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace peak::stats {
+
+enum class OutlierRule {
+  kNone,      ///< keep everything (ablation baseline)
+  kSigma,     ///< drop |x - mean| > k * stddev, iterated to fixpoint
+  kMad,       ///< drop |x - median| > k * MAD
+};
+
+struct OutlierPolicy {
+  OutlierRule rule = OutlierRule::kSigma;
+  double k = 3.0;
+  /// Max fraction of the window that may be discarded; guards against a
+  /// degenerate filter eating the whole window when timings are bimodal.
+  double max_drop_fraction = 0.25;
+  /// Iteration cap for the fixpoint loop of the sigma rule.
+  int max_iterations = 4;
+};
+
+struct OutlierResult {
+  std::vector<double> kept;
+  std::size_t dropped = 0;
+};
+
+/// Apply the policy to a sample window. Order of kept samples is preserved.
+OutlierResult filter_outliers(std::span<const double> xs,
+                              const OutlierPolicy& policy);
+
+/// Convenience: boolean mask (true = keep) without copying values.
+std::vector<bool> outlier_mask(std::span<const double> xs,
+                               const OutlierPolicy& policy);
+
+}  // namespace peak::stats

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file bitset.hpp
+/// Dynamically sized bitset used by the dataflow framework (gen/kill sets)
+/// and by the optimization-flag configurations. std::vector<bool> is avoided
+/// for its proxy-reference pitfalls; this implementation stores 64-bit words
+/// and supports the set-algebra operations dataflow analyses need.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace peak::support {
+
+class DynBitset {
+public:
+  DynBitset() = default;
+
+  explicit DynBitset(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_((nbits + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    PEAK_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    PEAK_DCHECK(i < nbits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  void set_all() {
+    for (auto& w : words_) w = ~0ULL;
+    trim();
+  }
+
+  void reset_all() {
+    for (auto& w : words_) w = 0ULL;
+  }
+
+  void flip(std::size_t i) {
+    PEAK_DCHECK(i < nbits_);
+    words_[i >> 6] ^= 1ULL << (i & 63);
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool none() const { return !any(); }
+
+  /// In-place union; returns true if this changed.
+  bool union_with(const DynBitset& other) {
+    PEAK_DCHECK(other.nbits_ == nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t next = words_[i] | other.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+
+  /// In-place intersection; returns true if this changed.
+  bool intersect_with(const DynBitset& other) {
+    PEAK_DCHECK(other.nbits_ == nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t next = words_[i] & other.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+
+  /// In-place difference (this \ other); returns true if this changed.
+  bool subtract(const DynBitset& other) {
+    PEAK_DCHECK(other.nbits_ == nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t next = words_[i] & ~other.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+
+  friend DynBitset operator|(DynBitset a, const DynBitset& b) {
+    a.union_with(b);
+    return a;
+  }
+
+  friend DynBitset operator&(DynBitset a, const DynBitset& b) {
+    a.intersect_with(b);
+    return a;
+  }
+
+  friend DynBitset operator-(DynBitset a, const DynBitset& b) {
+    a.subtract(b);
+    return a;
+  }
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  /// Call fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<std::size_t> to_indices() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for_each_set([&](std::size_t i) { out.push_back(i); });
+    return out;
+  }
+
+private:
+  void trim() {
+    if (nbits_ % 64 != 0 && !words_.empty())
+      words_.back() &= (1ULL << (nbits_ % 64)) - 1;
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace peak::support

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight precondition / invariant checking used across the PEAK
+/// library. PEAK_CHECK is always on (it guards API misuse and corrupt
+/// inputs); PEAK_DCHECK compiles out in release builds and guards
+/// internal invariants on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace peak::support {
+
+/// Thrown when a PEAK_CHECK condition fails. Carries the failing
+/// expression, file/line, and an optional user message.
+class CheckError : public std::logic_error {
+public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PEAK_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace peak::support
+
+#define PEAK_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::peak::support::check_failed(#cond, __FILE__, __LINE__,             \
+                                    ::std::string{__VA_ARGS__});           \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PEAK_DCHECK(cond, ...) \
+  do {                         \
+  } while (false)
+#else
+#define PEAK_DCHECK(cond, ...) PEAK_CHECK(cond, __VA_ARGS__)
+#endif

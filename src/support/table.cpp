@@ -1,0 +1,61 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace peak::support {
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::num(double v, int precision) {
+  return cell(Table::fmt(v, precision));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::mean_sd(double mean, double sd, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << '(' << sd
+     << ')';
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (rows_.empty()) return;
+
+  std::size_t ncols = 0;
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(rows_.front());
+  os << '|';
+  for (std::size_t c = 0; c < ncols; ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (std::size_t i = 1; i < rows_.size(); ++i) emit_row(rows_[i]);
+}
+
+}  // namespace peak::support

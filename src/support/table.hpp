@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table formatting for the benchmark harnesses that regenerate the
+/// paper's tables and figures. Cells are strings; columns auto-size; a
+/// header separator row is emitted after the first row when requested.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace peak::support {
+
+class Table {
+public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Append a row; the first row added is treated as the header.
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: start a row builder.
+  class RowBuilder {
+  public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(std::string s) {
+      cells_.push_back(std::move(s));
+      return *this;
+    }
+    RowBuilder& num(double v, int precision = 2);
+    ~RowBuilder() { table_.row(std::move(cells_)); }
+
+  private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder add_row() { return RowBuilder(*this); }
+
+  /// Render with padding and a separator after the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Format a double with fixed precision (helper shared by harnesses).
+  static std::string fmt(double v, int precision = 2);
+
+  /// Format in the paper's "mean(stddev)" style (values pre-scaled).
+  static std::string mean_sd(double mean, double sd, int precision = 2);
+
+private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace peak::support

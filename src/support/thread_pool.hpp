@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool with a parallel_for helper. PEAK uses it
+/// to tune independent tuning sections concurrently and to parallelize
+/// consistency sweeps in the benchmark harnesses. The pool is deliberately
+/// simple: one mutex-protected deque, condition-variable wakeups, futures
+/// for results — predictable behaviour matters more here than peak queue
+/// throughput, since tasks are milliseconds long.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace peak::support {
+
+class ThreadPool {
+public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a task; the returned future propagates exceptions.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      PEAK_CHECK(!stopping_, "submit() on a stopped pool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end), blocking until all complete.
+  /// Exceptions from any iteration are rethrown (the first one observed).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = std::min<std::size_t>(n, size() * 4);
+    const std::size_t per = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futs;
+    futs.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * per;
+      const std::size_t hi = std::min(end, lo + per);
+      if (lo >= hi) break;
+      futs.push_back(submit([lo, hi, &fn] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace peak::support

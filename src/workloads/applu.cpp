@@ -1,0 +1,109 @@
+/// \file applu.cpp
+/// APPLU.blts — block-lower-triangular solve of the SSOR solver: a forward
+/// sweep over the (nx, ny, nz) grid where each point is updated from its
+/// already-solved lower neighbours. Control flow depends only on the grid
+/// dimensions: CBR with a single context (Table 1: blts → CBR, 250
+/// invocations).
+
+#include "workloads/applu.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxDim = 16;
+constexpr std::size_t kMaxGrid = kMaxDim * kMaxDim * kMaxDim;
+}
+
+std::string AppluBlts::benchmark() const { return "APPLU"; }
+std::string AppluBlts::ts_name() const { return "blts"; }
+rating::Method AppluBlts::paper_method() const {
+  return rating::Method::kCBR;
+}
+std::uint64_t AppluBlts::paper_invocations() const { return 250; }
+
+ir::Function AppluBlts::build() const {
+  ir::FunctionBuilder b("blts");
+  const auto nx = b.param_scalar("nx");
+  const auto ny = b.param_scalar("ny");
+  const auto nz = b.param_scalar("nz");
+  const auto omega = b.param_scalar("omega", true);
+  const auto vgrid = b.param_array("v", kMaxGrid, true);
+  const auto ldz = b.param_array("ldz", kMaxGrid, true);
+  const auto ldy = b.param_array("ldy", kMaxGrid, true);
+  const auto ldx = b.param_array("ldx", kMaxGrid, true);
+
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  const auto k = b.scalar("k");
+  const auto idx = b.scalar("idx");
+  const auto tmp = b.scalar("tmp", true);
+
+  const auto nyz = b.mul(b.v(ny), b.v(nz));
+
+  b.for_loop(i, b.c(1.0), b.v(nx), [&] {
+    b.for_loop(j, b.c(1.0), b.v(ny), [&] {
+      b.for_loop(k, b.c(1.0), b.v(nz), [&] {
+        b.assign(idx, b.add(b.add(b.mul(b.v(i), nyz),
+                                  b.mul(b.v(j), b.v(nz))),
+                            b.v(k)));
+        // v[i,j,k] -= omega * (ldz*v[k-1] + ldy*v[j-1] + ldx*v[i-1])
+        b.assign(tmp,
+                 b.mul(b.at(ldz, b.v(idx)),
+                       b.at(vgrid, b.sub(b.v(idx), b.c(1.0)))));
+        b.assign(tmp,
+                 b.add(b.v(tmp),
+                       b.mul(b.at(ldy, b.v(idx)),
+                             b.at(vgrid, b.sub(b.v(idx), b.v(nz))))));
+        b.assign(tmp,
+                 b.add(b.v(tmp),
+                       b.mul(b.at(ldx, b.v(idx)),
+                             b.at(vgrid, b.sub(b.v(idx), nyz)))));
+        b.store(vgrid, b.v(idx),
+                b.sub(b.at(vgrid, b.v(idx)),
+                      b.mul(b.v(omega), b.v(tmp))));
+      });
+    });
+  });
+  return b.build();
+}
+
+void AppluBlts::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 2.6;
+  t.reg_pressure = 16.0;
+  t.loop_regularity = 0.95;
+}
+
+Trace AppluBlts::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const double dim = ref ? 14 : 10;
+  const std::size_t invocations = ref ? 350 : 250;
+
+  const ir::Function& fn = function();
+  const auto data_seed =
+      support::hash_combine(seed, support::stable_hash("applu"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    inv.context = {dim, dim, dim};
+    inv.context_determines_time = true;
+    inv.bind = [&fn, dim, data_seed](ir::Memory& mem) {
+      mem.scalar(*fn.find_var("nx")) = dim;
+      mem.scalar(*fn.find_var("ny")) = dim;
+      mem.scalar(*fn.find_var("nz")) = dim;
+      mem.scalar(*fn.find_var("omega")) = 1.2;
+      support::Rng rng(data_seed);
+      for (const char* name : {"v", "ldz", "ldy", "ldx"})
+        for (double& x : mem.array(*fn.find_var(name)))
+          x = rng.uniform(-0.5, 0.5);
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,106 @@
+/// \file apsi.cpp
+/// APSI.radb4 — the radix-4 inverse FFT butterfly from FFTPACK. Invoked
+/// with three (ido, l1) shapes during each transform, giving exactly the
+/// three contexts of Table 1. The contexts differ strongly in work per
+/// invocation, so their rating errors differ too (the paper reports
+/// σ·100 of 2.2 / 0.7 / 0.5 at w=10): the smallest context is dominated
+/// by additive timer noise.
+
+#include "workloads/apsi.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxCc = 4096;
+}
+
+std::string ApsiRadb4::benchmark() const { return "APSI"; }
+std::string ApsiRadb4::ts_name() const { return "radb4"; }
+rating::Method ApsiRadb4::paper_method() const {
+  return rating::Method::kCBR;
+}
+std::uint64_t ApsiRadb4::paper_invocations() const { return 1'370'000; }
+
+ir::Function ApsiRadb4::build() const {
+  ir::FunctionBuilder b("radb4");
+  const auto ido = b.param_scalar("ido");
+  const auto l1 = b.param_scalar("l1");
+  const auto cc = b.param_array("cc", kMaxCc, true);
+  const auto ch = b.param_array("ch", kMaxCc, true);
+  const auto wa = b.param_array("wa", 512, true);
+
+  const auto k = b.scalar("k");
+  const auto i = b.scalar("i");
+  const auto base = b.scalar("base");
+  const auto t1 = b.scalar("t1", true);
+  const auto t2 = b.scalar("t2", true);
+  const auto t3 = b.scalar("t3", true);
+  const auto t4 = b.scalar("t4", true);
+
+  const auto four_ido = b.mul(b.c(4.0), b.v(ido));
+
+  b.for_loop(k, b.c(0.0), b.v(l1), [&] {
+    b.assign(base, b.mul(b.v(k), four_ido));
+    b.for_loop(i, b.c(0.0), b.v(ido), [&] {
+      const auto p0 = b.add(b.v(base), b.v(i));
+      const auto p1 = b.add(p0, b.v(ido));
+      const auto p2 = b.add(p1, b.v(ido));
+      const auto p3 = b.add(p2, b.v(ido));
+      // Radix-4 butterfly with twiddle scaling.
+      b.assign(t1, b.add(b.at(cc, p0), b.at(cc, p2)));
+      b.assign(t2, b.sub(b.at(cc, p0), b.at(cc, p2)));
+      b.assign(t3, b.add(b.at(cc, p1), b.at(cc, p3)));
+      b.assign(t4, b.sub(b.at(cc, p1), b.at(cc, p3)));
+      b.store(ch, p0, b.add(b.v(t1), b.v(t3)));
+      b.store(ch, p1,
+              b.mul(b.at(wa, b.v(i)), b.sub(b.v(t2), b.v(t4))));
+      b.store(ch, p2,
+              b.mul(b.at(wa, b.v(i)), b.sub(b.v(t1), b.v(t3))));
+      b.store(ch, p3,
+              b.mul(b.at(wa, b.v(i)), b.add(b.v(t2), b.v(t4))));
+    });
+  });
+  return b.build();
+}
+
+void ApsiRadb4::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 2.0;
+  t.reg_pressure = 14.0;
+}
+
+Trace ApsiRadb4::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  // Three call shapes per transform: (ido, l1), smallest first — matching
+  // the three Table 1 context rows (and their noise ordering).
+  const std::vector<std::pair<double, double>> shapes = {
+      {1, 6}, {4, 32}, {16, 32}};
+  const std::size_t invocations = ref ? 4200 : 3000;
+
+  const ir::Function& fn = function();
+  const auto data_seed =
+      support::hash_combine(seed, support::stable_hash("apsi"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    const auto [ido, l1] = shapes[it % shapes.size()];
+    sim::Invocation inv;
+    inv.id = it + 1;
+    inv.context = {ido, l1};
+    inv.context_determines_time = true;
+    inv.bind = [&fn, ido, l1, data_seed](ir::Memory& mem) {
+      mem.scalar(*fn.find_var("ido")) = ido;
+      mem.scalar(*fn.find_var("l1")) = l1;
+      support::Rng rng(data_seed);
+      for (const char* name : {"cc", "ch", "wa"})
+        for (double& x : mem.array(*fn.find_var(name)))
+          x = rng.uniform(-1.0, 1.0);
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file apsi.hpp
+/// APSI.radb4 workload (see apsi.cpp).
+
+#include "workloads/workload.hpp"
+
+namespace peak::workloads {
+
+class ApsiRadb4 final : public WorkloadBase {
+public:
+  [[nodiscard]] std::string benchmark() const override;
+  [[nodiscard]] std::string ts_name() const override;
+  [[nodiscard]] rating::Method paper_method() const override;
+  [[nodiscard]] std::uint64_t paper_invocations() const override;
+  [[nodiscard]] Trace trace(DataSet ds, std::uint64_t seed) const override;
+
+protected:
+  [[nodiscard]] ir::Function build() const override;
+  void adjust_traits(sim::TsTraits& t) const override;
+};
+
+}  // namespace peak::workloads

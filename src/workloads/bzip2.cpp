@@ -1,0 +1,116 @@
+/// \file bzip2.cpp
+/// BZIP2.fullGtU — the suffix comparison at the heart of the block-sorting
+/// compressor: compare the block starting at i1 against the block starting
+/// at i2, byte by byte with an early exit on the first difference. Control
+/// flow branches on block contents, and the block is permuted by the
+/// surrounding sort between invocations, so the array-content context
+/// variable is not a run-time constant: CBR is rejected and RBR is used
+/// (Table 1: fullGtU → RBR, 24.2M invocations).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kBlock = 1024;
+}
+
+std::string Bzip2FullGtU::benchmark() const { return "BZIP2"; }
+std::string Bzip2FullGtU::ts_name() const { return "fullGtU"; }
+rating::Method Bzip2FullGtU::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t Bzip2FullGtU::paper_invocations() const {
+  return 24'200'000;
+}
+
+ir::Function Bzip2FullGtU::build() const {
+  ir::FunctionBuilder b("fullGtU");
+  const auto i1 = b.param_scalar("i1");
+  const auto i2 = b.param_scalar("i2");
+  const auto nblock = b.param_scalar("nblock");
+  const auto block = b.param_array("block", kBlock);
+  const auto result = b.param_scalar("result");
+
+  const auto k = b.scalar("k");
+  const auto c1 = b.scalar("c1");
+  const auto c2 = b.scalar("c2");
+  const auto p1 = b.scalar("p1");
+  const auto p2 = b.scalar("p2");
+
+  b.assign(result, b.c(0.0));
+  b.assign(p1, b.v(i1));
+  b.assign(p2, b.v(i2));
+  b.for_loop(k, b.c(0.0), b.v(nblock), [&] {
+    b.assign(c1, b.at(block, b.mod(b.v(p1), b.v(nblock))));
+    b.assign(c2, b.at(block, b.mod(b.v(p2), b.v(nblock))));
+    b.if_then(b.ne(b.v(c1), b.v(c2)), [&] {
+      b.assign(result, b.gt(b.v(c1), b.v(c2)));
+    });
+    b.break_if(b.ne(b.v(c1), b.v(c2)));
+    b.assign(p1, b.add(b.v(p1), b.c(1.0)));
+    b.assign(p2, b.add(b.v(p2), b.c(1.0)));
+  });
+  return b.build();
+}
+
+void Bzip2FullGtU::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 9.0;  // tiny TS: σ·100 = 2.6 at w=10 in Table 1
+  t.reg_pressure = 7.0;
+  t.loop_regularity = 0.2;
+}
+
+Trace Bzip2FullGtU::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const double nblock = ref ? 600 : 300;
+  const std::size_t invocations = ref ? 4200 : 3000;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_i1 = *fn.find_var("i1");
+  const ir::VarId v_i2 = *fn.find_var("i2");
+  const ir::VarId v_nblock = *fn.find_var("nblock");
+  const ir::VarId v_block = *fn.find_var("block");
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("bzip2"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    support::Rng pick(inv_seed);
+    const double a1 = static_cast<double>(
+        pick.uniform_int(0, static_cast<std::int64_t>(nblock) - 1));
+    const double a2 = static_cast<double>(
+        pick.uniform_int(0, static_cast<std::int64_t>(nblock) - 1));
+    inv.context = {a1, a2, nblock};
+    inv.context_determines_time = false;  // depends on block contents
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.12);
+    inv.bind = [v_i1, v_i2, v_nblock, v_block, a1, a2, nblock,
+                inv_seed](ir::Memory& mem) {
+      mem.scalar(v_i1) = a1;
+      mem.scalar(v_i2) = a2;
+      mem.scalar(v_nblock) = nblock;
+      // Low-entropy data (long runs of the dominant symbol) gives
+      // realistic data-dependent comparison lengths; the surrounding sort
+      // permutes the block between invocations.
+      support::Rng rng(inv_seed ^ 0x5a5a);
+      auto& block = mem.array(v_block);
+      for (std::size_t i = 0; i < static_cast<std::size_t>(nblock); ++i)
+        block[i] = rng.bernoulli(0.04)
+                       ? static_cast<double>(rng.uniform_int(1, 255))
+                       : 0.0;
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,133 @@
+/// \file crafty.cpp
+/// CRAFTY.Attacked — "is this square attacked by this side?": walk the
+/// rays from the square through precomputed direction tables, stopping at
+/// the first occupied board square and testing the occupying piece. The
+/// direction tables are run-time constants, but the board changes every
+/// move, so the board-content context variable fails the run-time-constant
+/// check and RBR is chosen (Table 1: Attacked → RBR, 12.3M invocations).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kSquares = 64;
+constexpr std::size_t kDirs = 8;
+}
+
+std::string CraftyAttacked::benchmark() const { return "CRAFTY"; }
+std::string CraftyAttacked::ts_name() const { return "Attacked"; }
+rating::Method CraftyAttacked::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t CraftyAttacked::paper_invocations() const {
+  return 12'300'000;
+}
+
+ir::Function CraftyAttacked::build() const {
+  ir::FunctionBuilder b("Attacked");
+  const auto square = b.param_scalar("square");
+  const auto side = b.param_scalar("side");
+  const auto board = b.param_array("board", kSquares);
+  // Per-direction step offsets and maximum ray lengths from the square —
+  // precomputed, never written by the section (run-time constants).
+  const auto dir_step = b.param_array("dir_step", kDirs);
+  const auto ray_len = b.param_array("ray_len", kSquares * kDirs);
+  const auto attacked = b.param_scalar("attacked");
+
+  const auto d = b.scalar("d");
+  const auto s = b.scalar("s");
+  const auto pos = b.scalar("pos");
+  const auto piece = b.scalar("piece");
+  const auto len = b.scalar("len");
+
+  b.assign(attacked, b.c(0.0));
+  b.for_loop(d, b.c(0.0), b.c(static_cast<double>(kDirs)), [&] {
+    b.assign(pos, b.v(square));
+    b.assign(len,
+             b.at(ray_len, b.add(b.mul(b.v(square),
+                                       b.c(static_cast<double>(kDirs))),
+                                 b.v(d))));
+    b.for_loop(s, b.c(0.0), b.v(len), [&] {
+      b.assign(pos, b.add(b.v(pos), b.at(dir_step, b.v(d))));
+      b.assign(piece, b.at(board, b.mod(b.add(b.v(pos),
+                                              b.c(static_cast<double>(
+                                                  kSquares))),
+                                        b.c(static_cast<double>(
+                                            kSquares)))));
+      // Empty square: keep sliding.
+      b.continue_if(b.eq(b.v(piece), b.c(0.0)));
+      // Occupied: attacked if an enemy slider of matching kind.
+      b.if_then(b.land(b.gt(b.mul(b.v(piece), b.v(side)), b.c(0.0)),
+                       b.ge(b.abs(b.v(piece)), b.c(3.0))),
+                [&] { b.assign(attacked, b.c(1.0)); });
+      b.break_if(b.c(1.0));  // first blocker ends the ray
+    });
+  });
+  return b.build();
+}
+
+void CraftyAttacked::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 8.0;  // σ·100 = 2.3 at w=10
+  t.reg_pressure = 9.0;
+  t.loop_regularity = 0.15;
+}
+
+Trace CraftyAttacked::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const std::size_t invocations = ref ? 4200 : 3000;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_square = *fn.find_var("square");
+  const ir::VarId v_side = *fn.find_var("side");
+  const ir::VarId v_board = *fn.find_var("board");
+  const ir::VarId v_dir = *fn.find_var("dir_step");
+  const ir::VarId v_ray = *fn.find_var("ray_len");
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("crafty"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    support::Rng pick(inv_seed);
+    const double sq = static_cast<double>(pick.uniform_int(0, 63));
+    const double side = pick.bernoulli(0.5) ? 1.0 : -1.0;
+    inv.context = {sq, side};
+    inv.context_determines_time = false;  // depends on the position
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.12);
+    inv.bind = [v_square, v_side, v_board, v_dir, v_ray, sq, side,
+                inv_seed](ir::Memory& mem) {
+      mem.scalar(v_square) = sq;
+      mem.scalar(v_side) = side;
+      // Constant tables.
+      static constexpr double kSteps[kDirs] = {1, -1, 8, -8, 9, -9, 7, -7};
+      auto& dirs = mem.array(v_dir);
+      for (std::size_t i = 0; i < kDirs; ++i) dirs[i] = kSteps[i];
+      auto& rays = mem.array(v_ray);
+      for (std::size_t s = 0; s < kSquares; ++s)
+        for (std::size_t d = 0; d < kDirs; ++d)
+          rays[s * kDirs + d] = static_cast<double>((s + d) % 7 + 1);
+      // The board changes per move (mid-game density ~25%).
+      support::Rng rng(inv_seed ^ 0xb0a2d);
+      auto& board = mem.array(v_board);
+      for (double& cell : board)
+        cell = rng.bernoulli(0.25)
+                   ? static_cast<double>(rng.uniform_int(1, 6)) *
+                         (rng.bernoulli(0.5) ? 1.0 : -1.0)
+                   : 0.0;
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

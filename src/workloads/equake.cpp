@@ -1,0 +1,126 @@
+/// \file equake.cpp
+/// EQUAKE.smvp — sparse matrix-vector product over the earthquake mesh in
+/// CSR-like form. The inner loop bound comes from the row-pointer array:
+/// control flow reads array contents, which would rule CBR out — except
+/// that the mesh structure never changes between invocations, so the
+/// run-time-constant check prunes those array-content context variables
+/// and CBR applies with a single context (Table 1: smvp → CBR, one
+/// context). The irregular memory behaviour makes it the noisiest FP
+/// section (σ·100 = 2.7 at w=10).
+
+#include "workloads/equake.hpp"
+
+#include <memory>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxNodes = 512;
+constexpr std::size_t kMaxNnz = kMaxNodes * 8;
+}
+
+std::string EquakeSmvp::benchmark() const { return "EQUAKE"; }
+std::string EquakeSmvp::ts_name() const { return "smvp"; }
+rating::Method EquakeSmvp::paper_method() const {
+  return rating::Method::kCBR;
+}
+std::uint64_t EquakeSmvp::paper_invocations() const { return 2709; }
+
+ir::Function EquakeSmvp::build() const {
+  ir::FunctionBuilder b("smvp");
+  const auto nodes = b.param_scalar("nodes");
+  const auto aindex = b.param_array("Aindex", kMaxNodes + 1);
+  const auto acol = b.param_array("Acol", kMaxNnz);
+  const auto aval = b.param_array("Aval", kMaxNnz, true);
+  const auto v = b.param_array("v", kMaxNodes, true);
+  const auto w = b.param_array("w", kMaxNodes, true);
+
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  const auto sum = b.scalar("sum", true);
+  const auto col = b.scalar("col");
+
+  b.for_loop(i, b.c(0.0), b.v(nodes), [&] {
+    b.assign(sum, b.c(0.0));
+    // for (j = Aindex[i]; j < Aindex[i+1]; ++j)
+    b.assign(j, b.at(aindex, b.v(i)));
+    b.while_loop(b.lt(b.v(j), b.at(aindex, b.add(b.v(i), b.c(1.0)))), [&] {
+      b.assign(col, b.at(acol, b.v(j)));
+      b.assign(sum, b.add(b.v(sum),
+                          b.mul(b.at(aval, b.v(j)), b.at(v, b.v(col)))));
+      // Symmetric update of the transposed entry.
+      b.store(w, b.v(col),
+              b.add(b.at(w, b.v(col)),
+                    b.mul(b.at(aval, b.v(j)), b.at(v, b.v(i)))));
+      b.assign(j, b.add(b.v(j), b.c(1.0)));
+    });
+    b.store(w, b.v(i), b.add(b.at(w, b.v(i)), b.v(sum)));
+  });
+  return b.build();
+}
+
+void EquakeSmvp::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 10.5;  // sparse, irregular memory: paper's noisiest FP TS
+  t.memory_intensity = 0.55;
+  t.loop_regularity = 0.5;
+}
+
+double EquakeSmvp::ts_time_fraction() const {
+  return 0.6;  // smvp dominates the quake time stepping
+}
+
+Trace EquakeSmvp::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const std::size_t nodes = ref ? 400 : 200;
+  const std::size_t invocations = ref ? 3855 : 2709;
+
+  // The mesh structure is built once per run — this is what makes the
+  // Aindex/Acol context variables run-time constants.
+  const auto struct_seed =
+      support::hash_combine(seed, support::stable_hash("equake-mesh"));
+  auto aindex = std::make_shared<std::vector<double>>();
+  auto acol = std::make_shared<std::vector<double>>();
+  {
+    support::Rng rng(struct_seed);
+    aindex->reserve(nodes + 1);
+    aindex->push_back(0.0);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto row = rng.uniform_int(2, 7);
+      for (std::int64_t e = 0; e < row; ++e)
+        acol->push_back(static_cast<double>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1)));
+      aindex->push_back(aindex->back() + static_cast<double>(row));
+    }
+  }
+
+  const ir::Function& fn = function();
+  for (std::size_t k = 0; k < invocations; ++k) {
+    sim::Invocation inv;
+    inv.id = k + 1;
+    inv.context = {static_cast<double>(nodes)};
+    inv.context_determines_time = true;
+    const auto vec_seed = support::hash_combine(struct_seed, k + 1);
+    inv.bind = [&fn, nodes, aindex, acol, vec_seed](ir::Memory& mem) {
+      mem.scalar(*fn.find_var("nodes")) = static_cast<double>(nodes);
+      auto& ai = mem.array(*fn.find_var("Aindex"));
+      std::copy(aindex->begin(), aindex->end(), ai.begin());
+      auto& ac = mem.array(*fn.find_var("Acol"));
+      std::copy(acol->begin(), acol->end(), ac.begin());
+      support::Rng rng(vec_seed);
+      for (double& x : mem.array(*fn.find_var("Aval")))
+        x = rng.uniform(0.1, 2.0);
+      for (double& x : mem.array(*fn.find_var("v")))
+        x = rng.uniform(-1.0, 1.0);
+      for (double& x : mem.array(*fn.find_var("w"))) x = 0.0;
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,138 @@
+/// \file gzip.cpp
+/// GZIP.longest_match — the deflate match finder: follow the hash chain
+/// through prev[], comparing window bytes against the current lookahead
+/// with early exits on mismatch and a best-length fast-reject. Both the
+/// window and the chain mutate as the stream advances, so the
+/// array-content context variables are not run-time constants: RBR
+/// (Table 1: longest_match → RBR, 82.6M invocations).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kWindow = 2048;
+constexpr std::size_t kChain = 1024;
+}
+
+std::string GzipLongestMatch::benchmark() const { return "GZIP"; }
+std::string GzipLongestMatch::ts_name() const { return "longest_match"; }
+rating::Method GzipLongestMatch::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t GzipLongestMatch::paper_invocations() const {
+  return 82'600'000;
+}
+
+ir::Function GzipLongestMatch::build() const {
+  ir::FunctionBuilder b("longest_match");
+  const auto cur_match = b.param_scalar("cur_match");
+  const auto strstart = b.param_scalar("strstart");
+  const auto chain_length = b.param_scalar("chain_length");
+  const auto max_len = b.param_scalar("max_len");
+  const auto window = b.param_array("window", kWindow);
+  const auto prev = b.param_array("prev", kChain);
+  const auto best_len = b.param_scalar("best_len");
+
+  const auto match = b.scalar("match");
+  const auto len = b.scalar("len");
+  const auto chain = b.scalar("chain");
+
+  b.assign(best_len, b.c(2.0));
+  b.assign(match, b.v(cur_match));
+  b.assign(chain, b.v(chain_length));
+
+  b.while_loop(b.land(b.gt(b.v(chain), b.c(0.0)),
+                      b.gt(b.v(match), b.c(0.0))),
+               [&] {
+    // Fast reject: candidate must beat best_len at its last byte.
+    b.if_then(
+        b.eq(b.at(window, b.mod(b.add(b.v(match), b.v(best_len)),
+                                b.c(static_cast<double>(kWindow)))),
+             b.at(window, b.mod(b.add(b.v(strstart), b.v(best_len)),
+                                b.c(static_cast<double>(kWindow))))),
+        [&] {
+          // Full comparison with early exit on mismatch.
+          b.assign(len, b.c(0.0));
+          b.while_loop(
+              b.land(b.lt(b.v(len), b.v(max_len)),
+                     b.eq(b.at(window,
+                               b.mod(b.add(b.v(match), b.v(len)),
+                                     b.c(static_cast<double>(kWindow)))),
+                          b.at(window,
+                               b.mod(b.add(b.v(strstart), b.v(len)),
+                                     b.c(static_cast<double>(
+                                         kWindow)))))),
+              [&] { b.assign(len, b.add(b.v(len), b.c(1.0))); });
+          b.if_then(b.gt(b.v(len), b.v(best_len)),
+                    [&] { b.assign(best_len, b.v(len)); });
+        });
+    b.assign(match, b.at(prev, b.mod(b.v(match),
+                                     b.c(static_cast<double>(kChain)))));
+    b.assign(chain, b.sub(b.v(chain), b.c(1.0)));
+  });
+  return b.build();
+}
+
+void GzipLongestMatch::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 9.5;  // σ·100 = 2.7 at w=10
+  t.reg_pressure = 8.0;
+  t.loop_regularity = 0.15;
+}
+
+Trace GzipLongestMatch::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const std::size_t invocations = ref ? 4200 : 3000;
+  const double chain_len = ref ? 32 : 16;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_cur = *fn.find_var("cur_match");
+  const ir::VarId v_str = *fn.find_var("strstart");
+  const ir::VarId v_chain = *fn.find_var("chain_length");
+  const ir::VarId v_maxlen = *fn.find_var("max_len");
+  const ir::VarId v_window = *fn.find_var("window");
+  const ir::VarId v_prev = *fn.find_var("prev");
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("gzip"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    support::Rng pick(inv_seed);
+    const double cur = static_cast<double>(pick.uniform_int(1, kChain - 1));
+    const double start =
+        static_cast<double>(pick.uniform_int(0, kWindow - 1));
+    inv.context = {cur, start, chain_len};
+    inv.context_determines_time = false;
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.12);
+    inv.bind = [v_cur, v_str, v_chain, v_maxlen, v_window, v_prev, cur,
+                start, chain_len, inv_seed](ir::Memory& mem) {
+      mem.scalar(v_cur) = cur;
+      mem.scalar(v_str) = start;
+      mem.scalar(v_chain) = chain_len;
+      mem.scalar(v_maxlen) = 64.0;
+      support::Rng rng(inv_seed ^ 0x91f);
+      // Text-like window: small alphabet with repetition.
+      auto& window = mem.array(v_window);
+      for (double& c : window)
+        c = static_cast<double>(rng.uniform_int(0, 7));
+      auto& prev = mem.array(v_prev);
+      for (std::size_t i = 0; i < kChain; ++i)
+        prev[i] = static_cast<double>(
+            rng.bernoulli(0.2) ? 0 : rng.uniform_int(0, kChain - 1));
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

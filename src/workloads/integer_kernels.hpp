@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file integer_kernels.hpp
+/// The six SPECint tuning sections of Table 1 plus MESA's tiny texture
+/// sampler. All exhibit data-dependent control flow (or an unbounded
+/// context space), so the analysis pipeline assigns them RBR — exactly the
+/// paper's Table 1 column 3 for these rows. One class per section;
+/// implementations in the per-benchmark .cpp files.
+
+#include "workloads/workload.hpp"
+
+namespace peak::workloads {
+
+#define PEAK_DECLARE_WORKLOAD(ClassName)                                   \
+  class ClassName final : public WorkloadBase {                            \
+  public:                                                                  \
+    [[nodiscard]] std::string benchmark() const override;                  \
+    [[nodiscard]] std::string ts_name() const override;                    \
+    [[nodiscard]] rating::Method paper_method() const override;            \
+    [[nodiscard]] std::uint64_t paper_invocations() const override;        \
+    [[nodiscard]] Trace trace(DataSet ds, std::uint64_t seed)              \
+        const override;                                                    \
+                                                                           \
+  protected:                                                               \
+    [[nodiscard]] ir::Function build() const override;                     \
+    void adjust_traits(sim::TsTraits& t) const override;                   \
+  }
+
+PEAK_DECLARE_WORKLOAD(Bzip2FullGtU);      ///< BZIP2.fullGtU
+PEAK_DECLARE_WORKLOAD(CraftyAttacked);    ///< CRAFTY.Attacked
+PEAK_DECLARE_WORKLOAD(GzipLongestMatch);  ///< GZIP.longest_match
+PEAK_DECLARE_WORKLOAD(McfPrimalBea);      ///< MCF.primal_bea_mpp
+PEAK_DECLARE_WORKLOAD(TwolfNewDboxA);     ///< TWOLF.new_dbox_a
+PEAK_DECLARE_WORKLOAD(VortexChkGetChunk); ///< VORTEX.ChkGetChunk
+PEAK_DECLARE_WORKLOAD(MesaSample1d);      ///< MESA.sample_1d_linear
+
+#undef PEAK_DECLARE_WORKLOAD
+
+}  // namespace peak::workloads

@@ -1,0 +1,123 @@
+/// \file mcf.cpp
+/// MCF.primal_bea_mpp — the network-simplex pricing loop: scan the arc
+/// list, compute reduced costs from the node potentials, and collect the
+/// most negative candidates into the basket. The potentials and flow
+/// status change every simplex iteration, so control flow depends on
+/// mutating array contents: RBR (Table 1: primal_bea_mpp → RBR, 105K
+/// invocations — the least-noisy integer section, σ·100 = 0.92 at w=10,
+/// because each invocation scans many arcs).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxArcs = 1024;
+constexpr std::size_t kMaxNodes = 256;
+constexpr std::size_t kBasket = 64;
+}
+
+std::string McfPrimalBea::benchmark() const { return "MCF"; }
+std::string McfPrimalBea::ts_name() const { return "primal_bea_mpp"; }
+rating::Method McfPrimalBea::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t McfPrimalBea::paper_invocations() const { return 105'000; }
+
+ir::Function McfPrimalBea::build() const {
+  ir::FunctionBuilder b("primal_bea_mpp");
+  const auto num_arcs = b.param_scalar("num_arcs");
+  const auto cost = b.param_array("cost", kMaxArcs);
+  const auto tail = b.param_array("tail", kMaxArcs);
+  const auto head = b.param_array("head", kMaxArcs);
+  const auto ident = b.param_array("ident", kMaxArcs);  // arc status
+  const auto potential = b.param_array("potential", kMaxNodes);
+  const auto basket = b.param_array("basket", kBasket);
+  const auto basket_size = b.param_scalar("basket_size");
+
+  const auto i = b.scalar("i");
+  const auto red_cost = b.scalar("red_cost");
+
+  b.assign(basket_size, b.c(0.0));
+  b.for_loop(i, b.c(0.0), b.v(num_arcs), [&] {
+    // Only arcs at their bounds are price candidates.
+    b.continue_if(b.eq(b.at(ident, b.v(i)), b.c(0.0)));
+    b.assign(red_cost,
+             b.sub(b.add(b.at(cost, b.v(i)),
+                         b.at(potential, b.at(head, b.v(i)))),
+                   b.at(potential, b.at(tail, b.v(i)))));
+    b.if_then(b.land(b.lt(b.v(red_cost), b.c(0.0)),
+                     b.lt(b.v(basket_size),
+                          b.c(static_cast<double>(kBasket)))),
+              [&] {
+                b.store(basket, b.v(basket_size), b.v(i));
+                b.assign(basket_size, b.add(b.v(basket_size), b.c(1.0)));
+              });
+  });
+  return b.build();
+}
+
+void McfPrimalBea::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 3.2;  // σ·100 = 0.92 at w=10: long scans average noise
+  t.memory_intensity = 0.6;
+  t.reg_pressure = 7.0;
+  t.loop_regularity = 0.4;
+}
+
+Trace McfPrimalBea::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const double arcs = ref ? 800 : 400;
+  const double nodes = ref ? 200 : 100;
+  const std::size_t invocations = ref ? 2800 : 2000;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_narcs = *fn.find_var("num_arcs");
+  const ir::VarId v_cost = *fn.find_var("cost");
+  const ir::VarId v_tail = *fn.find_var("tail");
+  const ir::VarId v_head = *fn.find_var("head");
+  const ir::VarId v_ident = *fn.find_var("ident");
+  const ir::VarId v_pot = *fn.find_var("potential");
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("mcf"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    inv.context = {arcs};
+    inv.context_determines_time = false;  // depends on status/potentials
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.1);
+    inv.bind = [v_narcs, v_cost, v_tail, v_head, v_ident, v_pot, arcs,
+                nodes, inv_seed](ir::Memory& mem) {
+      mem.scalar(v_narcs) = arcs;
+      support::Rng rng(inv_seed ^ 0x3cf);
+      auto& cost = mem.array(v_cost);
+      auto& tail = mem.array(v_tail);
+      auto& head = mem.array(v_head);
+      auto& ident = mem.array(v_ident);
+      auto& pot = mem.array(v_pot);
+      for (std::size_t a = 0; a < static_cast<std::size_t>(arcs); ++a) {
+        cost[a] = static_cast<double>(rng.uniform_int(-50, 200));
+        tail[a] = static_cast<double>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+        head[a] = static_cast<double>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+        ident[a] = rng.bernoulli(0.6) ? 1.0 : 0.0;
+      }
+      for (std::size_t nd = 0; nd < static_cast<std::size_t>(nodes); ++nd)
+        pot[nd] = static_cast<double>(rng.uniform_int(-100, 100));
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

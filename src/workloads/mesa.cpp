@@ -1,0 +1,136 @@
+/// \file mesa.cpp
+/// MESA.sample_1d_linear — the software rasterizer's 1-D linear texture
+/// sampler: map the texture coordinate to texel space, wrap or clamp the
+/// two neighbouring indices (branches), and interpolate. The texture
+/// image is a run-time constant, but the coordinate s is a continuous
+/// scalar context taking essentially unique values per invocation — too
+/// many contexts for CBR, so the consultant selects RBR (Table 1:
+/// sample_1d_linear → RBR, 193M invocations — the paper's most-invoked,
+/// smallest section).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kTexSize = 256;
+}
+
+std::string MesaSample1d::benchmark() const { return "MESA"; }
+std::string MesaSample1d::ts_name() const { return "sample_1d_linear"; }
+rating::Method MesaSample1d::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t MesaSample1d::paper_invocations() const {
+  return 193'000'000;
+}
+
+ir::Function MesaSample1d::build() const {
+  ir::FunctionBuilder b("sample_1d_linear");
+  const auto s = b.param_scalar("s", true);
+  const auto size = b.param_scalar("size");
+  const auto wrap = b.param_scalar("wrap");  // 1 = repeat, 0 = clamp
+  const auto image = b.param_array("image", kTexSize, true);
+  const auto rgba = b.param_array("rgba", 4, true);
+
+  const auto u = b.scalar("u", true);
+  const auto i0 = b.scalar("i0");
+  const auto i1 = b.scalar("i1");
+  const auto frac = b.scalar("frac", true);
+
+  b.assign(u, b.sub(b.mul(b.v(s), b.v(size)), b.c(0.5)));
+  b.assign(i0, b.floor(b.v(u)));
+  b.assign(frac, b.sub(b.v(u), b.v(i0)));
+  b.assign(i1, b.add(b.v(i0), b.c(1.0)));
+
+  b.if_else(
+      b.eq(b.v(wrap), b.c(1.0)),
+      [&] {  // GL_REPEAT
+        b.assign(i0, b.mod(b.add(b.v(i0), b.v(size)), b.v(size)));
+        b.assign(i1, b.mod(b.add(b.v(i1), b.v(size)), b.v(size)));
+      },
+      [&] {  // GL_CLAMP_TO_EDGE
+        b.if_then(b.lt(b.v(i0), b.c(0.0)), [&] { b.assign(i0, b.c(0.0)); });
+        b.if_then(b.ge(b.v(i1), b.v(size)),
+                  [&] { b.assign(i1, b.sub(b.v(size), b.c(1.0))); });
+        b.if_then(b.lt(b.v(i1), b.c(0.0)), [&] { b.assign(i1, b.c(0.0)); });
+        b.if_then(b.ge(b.v(i0), b.v(size)),
+                  [&] { b.assign(i0, b.sub(b.v(size), b.c(1.0))); });
+      });
+
+  // Lerp the two texels into all four output channels (RGBA), as the
+  // original sampler does — the section stays tiny but not so tiny that
+  // timer granularity dominates its measurements.
+  const auto ch = b.scalar("ch");
+  b.for_loop(ch, b.c(0.0), b.c(4.0), [&] {
+    b.store(rgba, b.v(ch),
+            b.add(b.mul(b.sub(b.c(1.0), b.v(frac)), b.at(image, b.v(i0))),
+                  b.mul(b.v(frac), b.at(image, b.v(i1)))));
+  });
+
+  // Degenerate-weight shortcuts (as in the original sampler's fast paths):
+  // yet more independent data-dependent branches — together they push the
+  // component model past the MBR limit, so the consultant lands on RBR.
+  b.if_then(b.lt(b.v(frac), b.c(0.02)),
+            [&] { b.store(rgba, b.c(1.0), b.at(image, b.v(i0))); });
+  b.if_then(b.gt(b.v(frac), b.c(0.98)),
+            [&] { b.store(rgba, b.c(2.0), b.at(image, b.v(i1))); });
+  return b.build();
+}
+
+void MesaSample1d::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 4.6;  // σ·100 = 1.3 at w=10
+  t.reg_pressure = 6.0;
+  t.loop_regularity = 0.3;
+}
+
+Trace MesaSample1d::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const std::size_t invocations = ref ? 5600 : 4000;
+  const double size = ref ? 256 : 128;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_s = *fn.find_var("s");
+  const ir::VarId v_size = *fn.find_var("size");
+  const ir::VarId v_wrap = *fn.find_var("wrap");
+  const ir::VarId v_image = *fn.find_var("image");
+
+  // The texture is bound once per scene: a run-time constant.
+  const auto tex_seed =
+      support::hash_combine(seed, support::stable_hash("mesa-texture"));
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("mesa"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    support::Rng pick(inv_seed);
+    const double coord = pick.uniform(-0.25, 1.25);  // exercises clamping
+    const double wrap = pick.bernoulli(0.5) ? 1.0 : 0.0;
+    inv.context = {coord, size, wrap};
+    inv.context_determines_time = false;  // unique coords: no cache value
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.1);
+    inv.bind = [v_s, v_size, v_wrap, v_image, coord, size, wrap,
+                tex_seed](ir::Memory& mem) {
+      mem.scalar(v_s) = coord;
+      mem.scalar(v_size) = size;
+      mem.scalar(v_wrap) = wrap;
+      support::Rng rng(tex_seed);
+      for (double& texel : mem.array(v_image))
+        texel = rng.uniform(0.0, 1.0);
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,130 @@
+/// \file mgrid.cpp
+/// MGRID.resid — the residual computation of the multigrid solver:
+/// r = v - A·u, a 27-point-style stencil swept over the grid of the
+/// current multigrid level. The section is invoked across many levels and
+/// smoothing sweeps, so its context (grid size n, sweep counter) takes
+/// dozens of distinct values: statically CBR-applicable, but the profile
+/// shows too many contexts and the consultant picks MBR — reproducing both
+/// Table 1 (resid → MBR) and the Figure 7(c) finding that forcing
+/// MGRID_CBR inflates tuning time.
+
+#include "workloads/mgrid.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxN = 22;
+constexpr std::size_t kMaxGrid = kMaxN * kMaxN * kMaxN;
+}
+
+std::string MgridResid::benchmark() const { return "MGRID"; }
+std::string MgridResid::ts_name() const { return "resid"; }
+rating::Method MgridResid::paper_method() const {
+  return rating::Method::kMBR;
+}
+std::uint64_t MgridResid::paper_invocations() const { return 2410; }
+
+ir::Function MgridResid::build() const {
+  ir::FunctionBuilder b("resid");
+  const auto n = b.param_scalar("n");
+  const auto sweep = b.param_scalar("sweep");
+  const auto u = b.param_array("u", kMaxGrid, true);
+  const auto v = b.param_array("v", kMaxGrid, true);
+  const auto r = b.param_array("r", kMaxGrid, true);
+
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  const auto k = b.scalar("k");
+  const auto idx = b.scalar("idx");
+  const auto acc = b.scalar("acc", true);
+
+  const auto n2 = b.mul(b.v(n), b.v(n));
+
+  // Interior stencil: r[i,j,k] = v[i,j,k] - c0*u[i,j,k]
+  //                              - c1*(6 axis neighbours).
+  b.for_loop(i, b.c(1.0), b.sub(b.v(n), b.c(1.0)), [&] {
+    b.for_loop(j, b.c(1.0), b.sub(b.v(n), b.c(1.0)), [&] {
+      b.for_loop(k, b.c(1.0), b.sub(b.v(n), b.c(1.0)), [&] {
+        b.assign(idx, b.add(b.add(b.mul(b.v(i), n2),
+                                  b.mul(b.v(j), b.v(n))),
+                            b.v(k)));
+        b.assign(acc, b.mul(b.c(-1.5), b.at(u, b.v(idx))));
+        b.assign(acc,
+                 b.add(b.v(acc),
+                       b.mul(b.c(0.25),
+                             b.add(b.at(u, b.add(b.v(idx), b.c(1.0))),
+                                   b.at(u, b.sub(b.v(idx), b.c(1.0)))))));
+        b.assign(acc,
+                 b.add(b.v(acc),
+                       b.mul(b.c(0.25),
+                             b.add(b.at(u, b.add(b.v(idx), b.v(n))),
+                                   b.at(u, b.sub(b.v(idx), b.v(n)))))));
+        b.assign(acc,
+                 b.add(b.v(acc),
+                       b.mul(b.c(0.25),
+                             b.add(b.at(u, b.add(b.v(idx), n2)),
+                                   b.at(u, b.sub(b.v(idx), n2))))));
+        b.store(r, b.v(idx), b.sub(b.at(v, b.v(idx)), b.v(acc)));
+      });
+    });
+  });
+
+  // Every other sweep applies an extra boundary-normalization pass over
+  // the full grid — a second varying component for the MBR model.
+  b.if_then(b.eq(b.mod(b.v(sweep), b.c(2.0)), b.c(0.0)), [&] {
+    b.for_loop(idx, b.c(0.0), b.mul(n2, b.v(n)), [&] {
+      b.store(r, b.v(idx), b.mul(b.at(r, b.v(idx)), b.c(0.9999)));
+    });
+  });
+  return b.build();
+}
+
+void MgridResid::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 2.0;
+  t.reg_pressure = 12.0;
+  t.loop_regularity = 0.95;
+}
+
+double MgridResid::ts_time_fraction() const {
+  return 0.55;  // resid is the dominant multigrid kernel
+}
+
+Trace MgridResid::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  // Multigrid levels: the ref dataset adds a finer level.
+  const std::vector<double> levels =
+      ref ? std::vector<double>{6, 10, 14, 20}
+          : std::vector<double>{6, 10, 14};
+  const std::size_t invocations = ref ? 3000 : 2410;
+
+  const ir::Function& fn = function();
+  const auto data_seed =
+      support::hash_combine(seed, support::stable_hash("mgrid"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    const double n = levels[it % levels.size()];
+    // Sweep counter cycles 0..59: with the level it forms the context, so
+    // the profile sees |levels|·60 distinct contexts — too many for CBR.
+    const double sweep = static_cast<double>(it % 60);
+    sim::Invocation inv;
+    inv.id = it + 1;
+    inv.context = {n, sweep};
+    inv.context_determines_time = true;
+    inv.bind = [&fn, n, sweep, data_seed](ir::Memory& mem) {
+      mem.scalar(*fn.find_var("n")) = n;
+      mem.scalar(*fn.find_var("sweep")) = sweep;
+      support::Rng rng(data_seed);
+      for (const char* name : {"u", "v", "r"})
+        for (double& x : mem.array(*fn.find_var(name)))
+          x = rng.uniform(-1.0, 1.0);
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,311 @@
+#include "workloads/native.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace peak::workloads::native {
+
+void calc3(std::size_t n, std::size_t m, double alpha,
+           std::vector<double>& u, std::vector<double>& uold,
+           const std::vector<double>& unew, std::vector<double>& v,
+           std::vector<double>& vold, const std::vector<double>& vnew,
+           std::vector<double>& p, std::vector<double>& pold,
+           const std::vector<double>& pnew) {
+  PEAK_CHECK(u.size() >= n * m, "calc3 grid too small");
+  auto smooth = [&](std::vector<double>& cur, std::vector<double>& old,
+                    const std::vector<double>& next, std::size_t idx) {
+    old[idx] = cur[idx] + alpha * (next[idx] - 2.0 * cur[idx] + old[idx]);
+    cur[idx] = next[idx];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t idx = i * m + j;
+      smooth(u, uold, unew, idx);
+      smooth(v, vold, vnew, idx);
+      smooth(p, pold, pnew, idx);
+    }
+  }
+}
+
+void smvp(std::size_t nodes, const std::vector<double>& aindex,
+          const std::vector<double>& acol, const std::vector<double>& aval,
+          const std::vector<double>& v, std::vector<double>& w) {
+  for (std::size_t i = 0; i < nodes; ++i) {
+    double sum = 0.0;
+    for (auto j = static_cast<std::size_t>(aindex[i]);
+         j < static_cast<std::size_t>(aindex[i + 1]); ++j) {
+      const auto col = static_cast<std::size_t>(acol[j]);
+      sum += aval[j] * v[col];
+      w[col] += aval[j] * v[i];
+    }
+    w[i] += sum;
+  }
+}
+
+std::size_t art_match(std::size_t numf1s, std::size_t numf2s,
+                      const std::vector<double>& input,
+                      const std::vector<double>& bus,
+                      std::vector<double>& f1, std::vector<double>& y) {
+  for (std::size_t i = 0; i < numf1s; ++i)
+    f1[i] = input[i] / (1.0 + std::fabs(input[i]));
+  for (std::size_t j = 0; j < numf2s; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < numf1s; ++i)
+      sum += bus[j * numf1s + i] * f1[i];
+    y[j] = sum;
+  }
+  std::size_t winner = 0;
+  double best = y[0];
+  for (std::size_t j = 1; j < numf2s; ++j) {
+    if (y[j] > best) {
+      best = y[j];
+      winner = j;
+    }
+  }
+  y[winner] = 0.0;
+  return winner;
+}
+
+double full_gt_u(std::size_t i1, std::size_t i2, std::size_t nblock,
+                 const std::vector<double>& block) {
+  double result = 0.0;
+  std::size_t p1 = i1;
+  std::size_t p2 = i2;
+  for (std::size_t k = 0; k < nblock; ++k) {
+    const double c1 = block[p1 % nblock];
+    const double c2 = block[p2 % nblock];
+    if (c1 != c2) {
+      result = c1 > c2 ? 1.0 : 0.0;
+      break;
+    }
+    ++p1;
+    ++p2;
+  }
+  return result;
+}
+
+void resid(std::size_t n, std::size_t sweep, const std::vector<double>& u,
+           const std::vector<double>& v, std::vector<double>& r) {
+  const std::size_t n2 = n * n;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        const std::size_t idx = i * n2 + j * n + k;
+        double acc = -1.5 * u[idx];
+        acc += 0.25 * (u[idx + 1] + u[idx - 1]);
+        acc += 0.25 * (u[idx + n] + u[idx - n]);
+        acc += 0.25 * (u[idx + n2] + u[idx - n2]);
+        r[idx] = v[idx] - acc;
+      }
+    }
+  }
+  if (sweep % 2 == 0)
+    for (std::size_t idx = 0; idx < n2 * n; ++idx) r[idx] *= 0.9999;
+}
+
+double longest_match(std::size_t cur_match, std::size_t strstart,
+                     std::size_t chain_length, std::size_t max_len,
+                     const std::vector<double>& window,
+                     const std::vector<double>& prev) {
+  const std::size_t wsize = window.size();
+  const std::size_t csize = prev.size();
+  double best_len = 2.0;
+  std::size_t match = cur_match;
+  std::size_t chain = chain_length;
+  while (chain > 0 && match > 0) {
+    const auto bl = static_cast<std::size_t>(best_len);
+    if (window[(match + bl) % wsize] == window[(strstart + bl) % wsize]) {
+      std::size_t len = 0;
+      while (len < max_len && window[(match + len) % wsize] ==
+                                  window[(strstart + len) % wsize])
+        ++len;
+      if (static_cast<double>(len) > best_len)
+        best_len = static_cast<double>(len);
+    }
+    match = static_cast<std::size_t>(prev[match % csize]);
+    --chain;
+  }
+  return best_len;
+}
+
+double attacked(std::size_t square, double side,
+                const std::vector<double>& board,
+                const std::vector<double>& dir_step,
+                const std::vector<double>& ray_len) {
+  constexpr std::size_t kSquares = 64;
+  constexpr std::size_t kDirs = 8;
+  double result = 0.0;
+  for (std::size_t d = 0; d < kDirs; ++d) {
+    double pos = static_cast<double>(square);
+    const auto len =
+        static_cast<std::size_t>(ray_len[square * kDirs + d]);
+    for (std::size_t s = 0; s < len; ++s) {
+      pos += dir_step[d];
+      const double piece =
+          board[static_cast<std::size_t>(
+              static_cast<std::int64_t>(pos + kSquares) %
+              static_cast<std::int64_t>(kSquares))];
+      if (piece == 0.0) continue;
+      if (piece * side > 0.0 && std::fabs(piece) >= 3.0) result = 1.0;
+      break;  // first blocker ends the ray
+    }
+  }
+  return result;
+}
+
+double primal_bea_mpp(std::size_t num_arcs,
+                      const std::vector<double>& cost,
+                      const std::vector<double>& tail,
+                      const std::vector<double>& head,
+                      const std::vector<double>& ident,
+                      const std::vector<double>& potential,
+                      std::vector<double>& basket) {
+  double basket_size = 0.0;
+  for (std::size_t i = 0; i < num_arcs; ++i) {
+    if (ident[i] == 0.0) continue;
+    const double red_cost =
+        cost[i] + potential[static_cast<std::size_t>(head[i])] -
+        potential[static_cast<std::size_t>(tail[i])];
+    if (red_cost < 0.0 &&
+        basket_size < static_cast<double>(basket.size())) {
+      basket[static_cast<std::size_t>(basket_size)] =
+          static_cast<double>(i);
+      basket_size += 1.0;
+    }
+  }
+  return basket_size;
+}
+
+double new_dbox_a(std::size_t num_terms,
+                  const std::vector<double>& pins_per_net,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  double cost = 0.0;
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    const std::size_t base = t * 16;
+    const auto npins = static_cast<std::size_t>(pins_per_net[t]);
+    double xmin = xs[base], xmax = xs[base];
+    double ymin = ys[base], ymax = ys[base];
+    for (std::size_t p = 1; p < npins; ++p) {
+      const double x = xs[base + p];
+      const double y = ys[base + p];
+      if (x < xmin) xmin = x;
+      if (x > xmax) xmax = x;
+      if (y < ymin) ymin = y;
+      if (y > ymax) ymax = y;
+    }
+    cost += (xmax - xmin) + (ymax - ymin);
+  }
+  return cost;
+}
+
+double chk_get_chunk(std::size_t handle, double expected_type,
+                     const std::vector<double>& chunks) {
+  constexpr std::size_t kFields = 4;
+  double status = 1.0;
+  std::size_t cur = handle;
+  for (int hops = 0; hops < 16; ++hops) {
+    const std::size_t f = cur * kFields;
+    if (chunks[f] != 1.0) {
+      status = 0.0;
+      break;
+    }
+    if (chunks[f + 1] != expected_type) {
+      status = 0.0;
+      break;
+    }
+    cur = static_cast<std::size_t>(chunks[f + 3]);
+    if (cur == 0) break;
+  }
+  return status;
+}
+
+void sample_1d_linear(double s, double size, double wrap,
+                      const std::vector<double>& image,
+                      std::vector<double>& rgba) {
+  const double u = s * size - 0.5;
+  double i0 = std::floor(u);
+  const double frac = u - i0;
+  double i1 = i0 + 1.0;
+  if (wrap == 1.0) {
+    i0 = static_cast<double>(
+        static_cast<std::int64_t>(i0 + size) %
+        static_cast<std::int64_t>(size));
+    i1 = static_cast<double>(
+        static_cast<std::int64_t>(i1 + size) %
+        static_cast<std::int64_t>(size));
+  } else {
+    if (i0 < 0.0) i0 = 0.0;
+    if (i1 >= size) i1 = size - 1.0;
+    if (i1 < 0.0) i1 = 0.0;
+    if (i0 >= size) i0 = size - 1.0;
+  }
+  const auto t0 = static_cast<std::size_t>(i0);
+  const auto t1 = static_cast<std::size_t>(i1);
+  for (std::size_t ch = 0; ch < 4; ++ch)
+    rgba[ch] = (1.0 - frac) * image[t0] + frac * image[t1];
+  if (frac < 0.02) rgba[1] = image[t0];
+  if (frac > 0.98) rgba[2] = image[t1];
+}
+
+void blts(std::size_t nx, std::size_t ny, std::size_t nz, double omega,
+          std::vector<double>& v, const std::vector<double>& ldz,
+          const std::vector<double>& ldy, const std::vector<double>& ldx) {
+  const std::size_t nyz = ny * nz;
+  for (std::size_t i = 1; i < nx; ++i) {
+    for (std::size_t j = 1; j < ny; ++j) {
+      for (std::size_t k = 1; k < nz; ++k) {
+        const std::size_t idx = i * nyz + j * nz + k;
+        const double tmp = ldz[idx] * v[idx - 1] +
+                           ldy[idx] * v[idx - nz] +
+                           ldx[idx] * v[idx - nyz];
+        v[idx] -= omega * tmp;
+      }
+    }
+  }
+}
+
+void radb4(std::size_t ido, std::size_t l1, const std::vector<double>& cc,
+           std::vector<double>& ch, const std::vector<double>& wa) {
+  for (std::size_t k = 0; k < l1; ++k) {
+    const std::size_t base = k * 4 * ido;
+    for (std::size_t i = 0; i < ido; ++i) {
+      const std::size_t p0 = base + i;
+      const std::size_t p1 = p0 + ido;
+      const std::size_t p2 = p1 + ido;
+      const std::size_t p3 = p2 + ido;
+      const double t1 = cc[p0] + cc[p2];
+      const double t2 = cc[p0] - cc[p2];
+      const double t3 = cc[p1] + cc[p3];
+      const double t4 = cc[p1] - cc[p3];
+      ch[p0] = t1 + t3;
+      ch[p1] = wa[i] * (t2 - t4);
+      ch[p2] = wa[i] * (t1 - t3);
+      ch[p3] = wa[i] * (t2 + t4);
+    }
+  }
+}
+
+void zgemm(std::size_t m, std::size_t n, std::size_t k,
+           const std::vector<double>& a, const std::vector<double>& b,
+           std::vector<double>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sr = 0.0, si = 0.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const std::size_t pa = 2 * (i * k + l);
+        const std::size_t pb = 2 * (l * n + j);
+        const double ar = a[pa], ai = a[pa + 1];
+        const double br = b[pb], bi = b[pb + 1];
+        sr += ar * br - ai * bi;
+        si += ar * bi + ai * br;
+      }
+      const std::size_t pc = 2 * (i * n + j);
+      c[pc] = sr;
+      c[pc + 1] = si;
+    }
+  }
+}
+
+}  // namespace peak::workloads::native

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file native.hpp
+/// Native C++ reference implementations of selected tuning-section
+/// kernels. They serve two purposes: (1) the test suite cross-validates
+/// the IR models and the interpreter against them — the same inputs must
+/// produce the same outputs; (2) examples can tune them with *real*
+/// wall-clock timings, demonstrating that the rating layer is independent
+/// of the simulator.
+
+#include <cstddef>
+#include <vector>
+
+namespace peak::workloads::native {
+
+/// SWIM.calc3: time smoothing over three fields.
+/// For each of (u, v, p): old = cur + alpha*(new - 2*cur + old); cur = new.
+void calc3(std::size_t n, std::size_t m, double alpha,
+           std::vector<double>& u, std::vector<double>& uold,
+           const std::vector<double>& unew, std::vector<double>& v,
+           std::vector<double>& vold, const std::vector<double>& vnew,
+           std::vector<double>& p, std::vector<double>& pold,
+           const std::vector<double>& pnew);
+
+/// EQUAKE.smvp: CSR-ish sparse matrix-vector product with the symmetric
+/// transpose update, exactly as the IR model performs it.
+void smvp(std::size_t nodes, const std::vector<double>& aindex,
+          const std::vector<double>& acol, const std::vector<double>& aval,
+          const std::vector<double>& v, std::vector<double>& w);
+
+/// ART.match: F1 activation, F2 activation, winner-take-all (the winner's
+/// activation is reset to 0). Returns the winner index.
+std::size_t art_match(std::size_t numf1s, std::size_t numf2s,
+                      const std::vector<double>& input,
+                      const std::vector<double>& bus,
+                      std::vector<double>& f1, std::vector<double>& y);
+
+/// BZIP2.fullGtU: compare the suffixes starting at i1 and i2 (wrapping at
+/// nblock); returns 1.0 when the first is greater, 0.0 otherwise —
+/// matching the IR model's `result` output.
+double full_gt_u(std::size_t i1, std::size_t i2, std::size_t nblock,
+                 const std::vector<double>& block);
+
+/// MGRID.resid: interior 7-point stencil r = v - A·u on an n³ grid, plus
+/// the every-other-sweep normalization pass.
+void resid(std::size_t n, std::size_t sweep, const std::vector<double>& u,
+           const std::vector<double>& v, std::vector<double>& r);
+
+/// GZIP.longest_match: follow the hash chain, fast-reject on the byte at
+/// best_len, full compare with early exit. Returns the best match length.
+double longest_match(std::size_t cur_match, std::size_t strstart,
+                     std::size_t chain_length, std::size_t max_len,
+                     const std::vector<double>& window,
+                     const std::vector<double>& prev);
+
+/// CRAFTY.Attacked: slide along the 8 rays from `square`, stop at the
+/// first occupied cell; attacked when it holds an enemy slider.
+double attacked(std::size_t square, double side,
+                const std::vector<double>& board,
+                const std::vector<double>& dir_step,
+                const std::vector<double>& ray_len);
+
+/// MCF.primal_bea_mpp: scan arcs, collect negative-reduced-cost
+/// candidates into the basket. Returns the basket size.
+double primal_bea_mpp(std::size_t num_arcs,
+                      const std::vector<double>& cost,
+                      const std::vector<double>& tail,
+                      const std::vector<double>& head,
+                      const std::vector<double>& ident,
+                      const std::vector<double>& potential,
+                      std::vector<double>& basket);
+
+/// TWOLF.new_dbox_a: per-terminal bounding-box half-perimeter sum.
+double new_dbox_a(std::size_t num_terms,
+                  const std::vector<double>& pins_per_net,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+/// VORTEX.ChkGetChunk: walk the chunk chain validating status and type.
+/// Returns 1.0 (OK) or 0.0.
+double chk_get_chunk(std::size_t handle, double expected_type,
+                     const std::vector<double>& chunks);
+
+/// MESA.sample_1d_linear: wrap/clamp the two texel indices, lerp into the
+/// four RGBA channels (plus the degenerate-weight shortcut channels).
+void sample_1d_linear(double s, double size, double wrap,
+                      const std::vector<double>& image,
+                      std::vector<double>& rgba);
+
+/// APPLU.blts: forward block-lower-triangular sweep updating v in place.
+void blts(std::size_t nx, std::size_t ny, std::size_t nz, double omega,
+          std::vector<double>& v, const std::vector<double>& ldz,
+          const std::vector<double>& ldy, const std::vector<double>& ldx);
+
+/// APSI.radb4: radix-4 butterfly cc -> ch with twiddle scaling.
+void radb4(std::size_t ido, std::size_t l1, const std::vector<double>& cc,
+           std::vector<double>& ch, const std::vector<double>& wa);
+
+/// WUPWISE.zgemm: complex matmul over interleaved re/im arrays.
+void zgemm(std::size_t m, std::size_t n, std::size_t k,
+           const std::vector<double>& a, const std::vector<double>& b,
+           std::vector<double>& c);
+
+}  // namespace peak::workloads::native

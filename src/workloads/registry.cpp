@@ -1,0 +1,47 @@
+/// \file registry.cpp
+/// Workload registry: Table 1 order (integer codes, then floating point).
+
+#include "workloads/applu.hpp"
+#include "workloads/apsi.hpp"
+#include "workloads/art.hpp"
+#include "workloads/equake.hpp"
+#include "workloads/integer_kernels.hpp"
+#include "workloads/mgrid.hpp"
+#include "workloads/swim.hpp"
+#include "workloads/workload.hpp"
+#include "workloads/wupwise.hpp"
+
+namespace peak::workloads {
+
+std::vector<std::unique_ptr<Workload>> all_workloads() {
+  std::vector<std::unique_ptr<Workload>> out;
+  // Integer benchmarks (upper half of Table 1).
+  out.push_back(std::make_unique<Bzip2FullGtU>());
+  out.push_back(std::make_unique<CraftyAttacked>());
+  out.push_back(std::make_unique<GzipLongestMatch>());
+  out.push_back(std::make_unique<McfPrimalBea>());
+  out.push_back(std::make_unique<TwolfNewDboxA>());
+  out.push_back(std::make_unique<VortexChkGetChunk>());
+  // Floating-point benchmarks (lower half).
+  out.push_back(std::make_unique<AppluBlts>());
+  out.push_back(std::make_unique<ApsiRadb4>());
+  out.push_back(std::make_unique<ArtMatch>());
+  out.push_back(std::make_unique<MgridResid>());
+  out.push_back(std::make_unique<EquakeSmvp>());
+  out.push_back(std::make_unique<MesaSample1d>());
+  out.push_back(std::make_unique<SwimCalc3>());
+  out.push_back(std::make_unique<WupwiseZgemm>());
+  return out;
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view benchmark) {
+  for (auto& w : all_workloads())
+    if (w->benchmark() == benchmark) return std::move(w);
+  return nullptr;
+}
+
+std::vector<std::string> figure7_benchmarks() {
+  return {"SWIM", "MGRID", "EQUAKE", "ART"};
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,105 @@
+/// \file swim.cpp
+/// SWIM.calc3 — the time-smoothing update of the shallow-water model.
+/// Perfectly regular double loop over the grid; control flow depends only
+/// on the grid dimensions (n, m), which are fixed for a run: exactly one
+/// context, the cleanest CBR case in Table 1 (σ·100 = 0.33 at w=10).
+
+#include "workloads/swim.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxGrid = 64 * 64;
+}
+
+std::string SwimCalc3::benchmark() const { return "SWIM"; }
+std::string SwimCalc3::ts_name() const { return "calc3"; }
+rating::Method SwimCalc3::paper_method() const {
+  return rating::Method::kCBR;
+}
+std::uint64_t SwimCalc3::paper_invocations() const { return 198; }
+
+ir::Function SwimCalc3::build() const {
+  ir::FunctionBuilder b("calc3");
+  const auto n = b.param_scalar("n");
+  const auto m = b.param_scalar("m");
+  const auto alpha = b.param_scalar("alpha", true);
+  const auto u = b.param_array("u", kMaxGrid, true);
+  const auto uold = b.param_array("uold", kMaxGrid, true);
+  const auto unew = b.param_array("unew", kMaxGrid, true);
+  const auto v = b.param_array("v", kMaxGrid, true);
+  const auto vold = b.param_array("vold", kMaxGrid, true);
+  const auto vnew = b.param_array("vnew", kMaxGrid, true);
+  const auto p = b.param_array("p", kMaxGrid, true);
+  const auto pold = b.param_array("pold", kMaxGrid, true);
+  const auto pnew = b.param_array("pnew", kMaxGrid, true);
+
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  const auto idx = b.scalar("idx");
+
+  // UOLD = U + ALPHA*(UNEW - 2*U + UOLD); U = UNEW  (same for V, P).
+  auto smooth = [&](ir::VarId cur, ir::VarId old, ir::VarId next) {
+    const auto c = b.at(cur, b.v(idx));
+    const auto o = b.at(old, b.v(idx));
+    const auto nw = b.at(next, b.v(idx));
+    b.store(old, b.v(idx),
+            b.add(c, b.mul(b.v(alpha),
+                           b.add(b.sub(nw, b.mul(b.c(2.0), c)), o))));
+    b.store(cur, b.v(idx), nw);
+  };
+
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.for_loop(j, b.c(0.0), b.v(m), [&] {
+      b.assign(idx, b.add(b.mul(b.v(i), b.v(m)), b.v(j)));
+      smooth(u, uold, unew);
+      smooth(v, vold, vnew);
+      smooth(p, pold, pnew);
+    });
+  });
+  return b.build();
+}
+
+void SwimCalc3::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 1.2;  // large regular FP section: quiet timings
+  t.reg_pressure = 14.0;
+}
+
+double SwimCalc3::ts_time_fraction() const {
+  return 0.3;  // calc3 dominates ~30% of SWIM runtime
+}
+
+Trace SwimCalc3::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const double n = ref ? 64 : 32;
+  const double m = ref ? 64 : 32;
+  const std::size_t invocations = ref ? 400 : 198;
+
+  const ir::Function& fn = function();
+  auto data_seed = support::hash_combine(seed, support::stable_hash("swim"));
+  for (std::size_t k = 0; k < invocations; ++k) {
+    sim::Invocation inv;
+    inv.id = k + 1;
+    inv.context = {n, m};
+    inv.context_determines_time = true;
+    inv.bind = [&fn, n, m, data_seed](ir::Memory& mem) {
+      mem.scalar(*fn.find_var("n")) = n;
+      mem.scalar(*fn.find_var("m")) = m;
+      mem.scalar(*fn.find_var("alpha")) = 0.001;
+      support::Rng rng(data_seed);
+      for (const char* name :
+           {"u", "uold", "unew", "v", "vold", "vnew", "p", "pold", "pnew"})
+        for (double& x : mem.array(*fn.find_var(name)))
+          x = rng.uniform(-1.0, 1.0);
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

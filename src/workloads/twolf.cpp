@@ -1,0 +1,120 @@
+/// \file twolf.cpp
+/// TWOLF.new_dbox_a — incremental wire-length evaluation of the placement
+/// annealer: for each terminal of the moved cell, recompute the bounding
+/// box of its net by scanning the net's pins with min/max conditionals.
+/// Pin coordinates change with every accepted move, so control flow
+/// depends on mutating data: RBR (Table 1: new_dbox_a → RBR, 3.19M
+/// invocations).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxTerms = 24;
+constexpr std::size_t kMaxPins = kMaxTerms * 16;
+}
+
+std::string TwolfNewDboxA::benchmark() const { return "TWOLF"; }
+std::string TwolfNewDboxA::ts_name() const { return "new_dbox_a"; }
+rating::Method TwolfNewDboxA::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t TwolfNewDboxA::paper_invocations() const {
+  return 3'190'000;
+}
+
+ir::Function TwolfNewDboxA::build() const {
+  ir::FunctionBuilder b("new_dbox_a");
+  const auto num_terms = b.param_scalar("num_terms");
+  const auto pins_per_net = b.param_array("pins_per_net", kMaxTerms);
+  const auto xs = b.param_array("xs", kMaxPins);
+  const auto ys = b.param_array("ys", kMaxPins);
+  const auto cost = b.param_scalar("cost");
+
+  const auto t = b.scalar("t");
+  const auto p = b.scalar("p");
+  const auto base = b.scalar("base");
+  const auto npins = b.scalar("npins");
+  const auto xmin = b.scalar("xmin");
+  const auto xmax = b.scalar("xmax");
+  const auto ymin = b.scalar("ymin");
+  const auto ymax = b.scalar("ymax");
+
+  b.assign(cost, b.c(0.0));
+  b.for_loop(t, b.c(0.0), b.v(num_terms), [&] {
+    b.assign(base, b.mul(b.v(t), b.c(16.0)));
+    b.assign(npins, b.at(pins_per_net, b.v(t)));
+    b.assign(xmin, b.at(xs, b.v(base)));
+    b.assign(xmax, b.at(xs, b.v(base)));
+    b.assign(ymin, b.at(ys, b.v(base)));
+    b.assign(ymax, b.at(ys, b.v(base)));
+    b.for_loop(p, b.c(1.0), b.v(npins), [&] {
+      const auto x = b.at(xs, b.add(b.v(base), b.v(p)));
+      const auto y = b.at(ys, b.add(b.v(base), b.v(p)));
+      b.if_then(b.lt(x, b.v(xmin)), [&] { b.assign(xmin, x); });
+      b.if_then(b.gt(x, b.v(xmax)), [&] { b.assign(xmax, x); });
+      b.if_then(b.lt(y, b.v(ymin)), [&] { b.assign(ymin, y); });
+      b.if_then(b.gt(y, b.v(ymax)), [&] { b.assign(ymax, y); });
+    });
+    b.assign(cost, b.add(b.v(cost),
+                         b.add(b.sub(b.v(xmax), b.v(xmin)),
+                               b.sub(b.v(ymax), b.v(ymin)))));
+  });
+  return b.build();
+}
+
+void TwolfNewDboxA::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 6.8;  // σ·100 = 1.9 at w=10
+  t.reg_pressure = 10.0;
+  t.loop_regularity = 0.3;
+}
+
+Trace TwolfNewDboxA::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const std::size_t invocations = ref ? 3500 : 2500;
+  const double terms = ref ? 16 : 10;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_terms = *fn.find_var("num_terms");
+  const ir::VarId v_ppn = *fn.find_var("pins_per_net");
+  const ir::VarId v_xs = *fn.find_var("xs");
+  const ir::VarId v_ys = *fn.find_var("ys");
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("twolf"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    inv.context = {terms};
+    inv.context_determines_time = false;  // pin counts & coords mutate
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.1);
+    inv.bind = [v_terms, v_ppn, v_xs, v_ys, terms,
+                inv_seed](ir::Memory& mem) {
+      mem.scalar(v_terms) = terms;
+      support::Rng rng(inv_seed ^ 0x701f);
+      auto& ppn = mem.array(v_ppn);
+      for (double& n : ppn)
+        n = static_cast<double>(rng.uniform_int(2, 15));
+      auto& xs = mem.array(v_xs);
+      auto& ys = mem.array(v_ys);
+      for (std::size_t i = 0; i < kMaxPins; ++i) {
+        xs[i] = static_cast<double>(rng.uniform_int(0, 4095));
+        ys[i] = static_cast<double>(rng.uniform_int(0, 4095));
+      }
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

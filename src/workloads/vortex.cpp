@@ -1,0 +1,121 @@
+/// \file vortex.cpp
+/// VORTEX.ChkGetChunk — the object-store chunk validator: walk the chunk
+/// descriptor table, check status/type/owner fields with early returns on
+/// the first inconsistency. The descriptor table mutates as objects are
+/// created and deleted, so control flow depends on changing memory: RBR
+/// (Table 1: ChkGetChunk → RBR, 80.4M invocations — the noisiest integer
+/// section, σ·100 = 3.0 at w=10, because each invocation is tiny).
+
+#include "workloads/integer_kernels.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kChunks = 256;
+constexpr std::size_t kFields = 4;  // status, type, owner, link
+}
+
+std::string VortexChkGetChunk::benchmark() const { return "VORTEX"; }
+std::string VortexChkGetChunk::ts_name() const { return "ChkGetChunk"; }
+rating::Method VortexChkGetChunk::paper_method() const {
+  return rating::Method::kRBR;
+}
+std::uint64_t VortexChkGetChunk::paper_invocations() const {
+  return 80'400'000;
+}
+
+ir::Function VortexChkGetChunk::build() const {
+  ir::FunctionBuilder b("ChkGetChunk");
+  const auto handle = b.param_scalar("handle");
+  const auto expected_type = b.param_scalar("expected_type");
+  const auto chunks = b.param_array("chunks", kChunks * kFields);
+  const auto status = b.param_scalar("status");
+
+  const auto cur = b.scalar("cur");
+  const auto hops = b.scalar("hops");
+  const auto f = b.scalar("f");
+
+  b.assign(status, b.c(1.0));  // OK until proven otherwise
+  b.assign(cur, b.v(handle));
+  // Follow the chunk chain (bounded), validating each descriptor.
+  b.for_loop(hops, b.c(0.0), b.c(16.0), [&] {
+    b.assign(f, b.mul(b.v(cur), b.c(static_cast<double>(kFields))));
+    // Status must be "allocated".
+    b.if_then(b.ne(b.at(chunks, b.v(f)), b.c(1.0)), [&] {
+      b.assign(status, b.c(0.0));
+    });
+    b.break_if(b.eq(b.v(status), b.c(0.0)));
+    // Type must match the requested one.
+    b.if_then(b.ne(b.at(chunks, b.add(b.v(f), b.c(1.0))),
+                   b.v(expected_type)),
+              [&] { b.assign(status, b.c(0.0)); });
+    b.break_if(b.eq(b.v(status), b.c(0.0)));
+    // End of chain?
+    b.assign(cur, b.at(chunks, b.add(b.v(f), b.c(3.0))));
+    b.break_if(b.eq(b.v(cur), b.c(0.0)));
+  });
+  return b.build();
+}
+
+void VortexChkGetChunk::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 10.5;  // tiniest integer TS: σ·100 = 3.0 at w=10
+  t.reg_pressure = 6.0;
+  t.loop_regularity = 0.1;
+}
+
+Trace VortexChkGetChunk::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  const std::size_t invocations = ref ? 4200 : 3000;
+
+  const ir::Function& fn = function();
+  const ir::VarId v_handle = *fn.find_var("handle");
+  const ir::VarId v_type = *fn.find_var("expected_type");
+  const ir::VarId v_chunks = *fn.find_var("chunks");
+
+  const auto base_seed =
+      support::hash_combine(seed, support::stable_hash("vortex"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    sim::Invocation inv;
+    inv.id = it + 1;
+    const auto inv_seed = support::hash_combine(base_seed, it + 1);
+    support::Rng pick(inv_seed);
+    const double handle =
+        static_cast<double>(pick.uniform_int(1, kChunks - 1));
+    const double type = pick.bernoulli(0.85)
+                            ? 1.0
+                            : static_cast<double>(pick.uniform_int(2, 4));
+    inv.context = {handle, type};
+    inv.context_determines_time = false;
+    // Data-dependent speed of this invocation (cache/branch behaviour
+    // of this particular input): shared by re-executions, unexplained
+    // by counters.
+    inv.irregularity = support::Rng(inv_seed ^ 0x177).lognormal(0.12);
+    inv.bind = [v_handle, v_type, v_chunks, handle, type,
+                inv_seed](ir::Memory& mem) {
+      mem.scalar(v_handle) = handle;
+      mem.scalar(v_type) = type;
+      support::Rng rng(inv_seed ^ 0x40e7);
+      auto& chunks = mem.array(v_chunks);
+      for (std::size_t c = 0; c < kChunks; ++c) {
+        chunks[c * kFields + 0] = rng.bernoulli(0.92) ? 1.0 : 0.0;
+        // Most chunks in a store hold the common object type, so chain
+        // walks usually validate several hops before a mismatch.
+        chunks[c * kFields + 1] = static_cast<double>(
+            rng.bernoulli(0.85) ? 1 : rng.uniform_int(2, 4));
+        chunks[c * kFields + 2] =
+            static_cast<double>(rng.uniform_int(0, 15));
+        chunks[c * kFields + 3] = static_cast<double>(
+            rng.bernoulli(0.25) ? 0 : rng.uniform_int(1, kChunks - 1));
+      }
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,20 @@
+#include "workloads/workload.hpp"
+
+namespace peak::workloads {
+
+const char* to_string(DataSet ds) {
+  return ds == DataSet::kTrain ? "train" : "ref";
+}
+
+const ir::Function& WorkloadBase::function() const {
+  if (!fn_) fn_ = std::make_unique<ir::Function>(build());
+  return *fn_;
+}
+
+sim::TsTraits WorkloadBase::traits() const {
+  sim::TsTraits t = sim::derive_traits(function(), benchmark());
+  adjust_traits(t);
+  return t;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,113 @@
+/// \file wupwise.cpp
+/// WUPWISE.zgemm — complex matrix-matrix multiply (BLAS zgemm) on the
+/// small SU(3)-like matrices of the lattice-QCD code. Called with two
+/// distinct (m, n, k) shapes during the Wilson-fermion update, giving the
+/// two contexts of Table 1 (zgemm → CBR, contexts 1 and 2). Complex
+/// arithmetic is modelled with interleaved re/im array layout.
+
+#include "workloads/wupwise.hpp"
+
+#include <array>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace peak::workloads {
+
+namespace {
+constexpr std::size_t kMaxElems = 2 * 24 * 24;  // re/im interleaved
+}
+
+std::string WupwiseZgemm::benchmark() const { return "WUPWISE"; }
+std::string WupwiseZgemm::ts_name() const { return "zgemm"; }
+rating::Method WupwiseZgemm::paper_method() const {
+  return rating::Method::kCBR;
+}
+std::uint64_t WupwiseZgemm::paper_invocations() const { return 22'500'000; }
+
+ir::Function WupwiseZgemm::build() const {
+  ir::FunctionBuilder b("zgemm");
+  const auto m = b.param_scalar("m");
+  const auto n = b.param_scalar("n");
+  const auto kk = b.param_scalar("k");
+  const auto a = b.param_array("a", kMaxElems, true);
+  const auto bb = b.param_array("b", kMaxElems, true);
+  const auto c = b.param_array("c", kMaxElems, true);
+
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  const auto l = b.scalar("l");
+  const auto sr = b.scalar("sr", true);
+  const auto si = b.scalar("si", true);
+  const auto pa = b.scalar("pa");
+  const auto pb = b.scalar("pb");
+
+  // c[i,j] = Σ_l a[i,l] * b[l,j] over complex values.
+  b.for_loop(i, b.c(0.0), b.v(m), [&] {
+    b.for_loop(j, b.c(0.0), b.v(n), [&] {
+      b.assign(sr, b.c(0.0));
+      b.assign(si, b.c(0.0));
+      b.for_loop(l, b.c(0.0), b.v(kk), [&] {
+        // a index: 2*(i*k + l); b index: 2*(l*n + j).
+        b.assign(pa, b.mul(b.c(2.0),
+                           b.add(b.mul(b.v(i), b.v(kk)), b.v(l))));
+        b.assign(pb, b.mul(b.c(2.0),
+                           b.add(b.mul(b.v(l), b.v(n)), b.v(j))));
+        const auto ar = b.at(a, b.v(pa));
+        const auto ai = b.at(a, b.add(b.v(pa), b.c(1.0)));
+        const auto br = b.at(bb, b.v(pb));
+        const auto bi = b.at(bb, b.add(b.v(pb), b.c(1.0)));
+        b.assign(sr, b.add(b.v(sr),
+                           b.sub(b.mul(ar, br), b.mul(ai, bi))));
+        b.assign(si, b.add(b.v(si),
+                           b.add(b.mul(ar, bi), b.mul(ai, br))));
+      });
+      const auto pc =
+          b.mul(b.c(2.0), b.add(b.mul(b.v(i), b.v(n)), b.v(j)));
+      b.store(c, pc, b.v(sr));
+      b.store(c, b.add(pc, b.c(1.0)), b.v(si));
+    });
+  });
+  return b.build();
+}
+
+void WupwiseZgemm::adjust_traits(sim::TsTraits& t) const {
+  t.noise_scale = 4.5;  // Table 1: σ·100 ≈ 1.3–1.5 at w=10
+  t.reg_pressure = 12.0;
+  t.loop_regularity = 0.95;
+}
+
+Trace WupwiseZgemm::trace(DataSet ds, std::uint64_t seed) const {
+  Trace trace;
+  const bool ref = ds == DataSet::kRef;
+  trace.workload_scale = ref ? 1.0 : 0.3;
+  // Two call shapes (the Table 1 contexts): a tall-skinny product and a
+  // compact square one.
+  const std::vector<std::array<double, 3>> shapes = {{12, 12, 12},
+                                                     {4, 24, 12}};
+  const std::size_t invocations = ref ? 4200 : 3000;
+
+  const ir::Function& fn = function();
+  const auto data_seed =
+      support::hash_combine(seed, support::stable_hash("wupwise"));
+  for (std::size_t it = 0; it < invocations; ++it) {
+    const auto& s = shapes[it % shapes.size()];
+    sim::Invocation inv;
+    inv.id = it + 1;
+    inv.context = {s[0], s[1], s[2]};
+    inv.context_determines_time = true;
+    inv.bind = [&fn, s, data_seed](ir::Memory& mem) {
+      mem.scalar(*fn.find_var("m")) = s[0];
+      mem.scalar(*fn.find_var("n")) = s[1];
+      mem.scalar(*fn.find_var("k")) = s[2];
+      support::Rng rng(data_seed);
+      for (const char* name : {"a", "b", "c"})
+        for (double& x : mem.array(*fn.find_var(name)))
+          x = rng.uniform(-1.0, 1.0);
+    };
+    trace.invocations.push_back(std::move(inv));
+  }
+  return trace;
+}
+
+}  // namespace peak::workloads

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/peak.hpp"
+#include "core/profile.hpp"
+#include "core/tuning_driver.hpp"
+#include "search/advisor.hpp"
+#include "search/combined_elimination.hpp"
+#include "sim/exec_backend.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak {
+namespace {
+
+TEST(Advisor, FindsTheArtStrictAliasingHazard) {
+  const auto& space = search::gcc33_o3_space();
+  const auto art = workloads::make_workload("ART");
+  const search::AdvisorVerdict verdict =
+      search::advise(space, art->traits(), sim::pentium4());
+  EXPECT_FALSE(
+      verdict.recommended.enabled(*space.index_of("-fstrict-aliasing")));
+  EXPECT_FALSE(verdict.reasoning.empty());
+}
+
+TEST(Advisor, LeavesStrictAliasingOnRegisterRichMachines) {
+  const auto& space = search::gcc33_o3_space();
+  const auto art = workloads::make_workload("ART");
+  const search::AdvisorVerdict verdict =
+      search::advise(space, art->traits(), sim::sparc2());
+  EXPECT_TRUE(
+      verdict.recommended.enabled(*space.index_of("-fstrict-aliasing")));
+}
+
+TEST(Advisor, QuietOnWellBehavedSections) {
+  const auto& space = search::gcc33_o3_space();
+  const auto swim = workloads::make_workload("SWIM");
+  const search::AdvisorVerdict verdict =
+      search::advise(space, swim->traits(), sim::sparc2());
+  // SPARC II has registers to spare: nothing to warn about.
+  EXPECT_EQ(verdict.recommended, search::o3_config(space));
+}
+
+TEST(RbrBatching, AmortizesOverheadPerPair) {
+  const auto workload = workloads::make_workload("ART");
+  const workloads::Trace trace =
+      workload->trace(workloads::DataSet::kTrain, 3);
+  const auto& space = search::gcc33_o3_space();
+  const sim::FlagEffectModel effects(space);
+  const search::FlagConfig o3 = search::o3_config(space);
+
+  auto overhead_per_pair = [&](std::size_t batch) {
+    sim::SimExecutionBackend backend(workload->function(),
+                                     workload->traits(), sim::sparc2(),
+                                     effects, 9);
+    backend.set_checkpoint_bytes(65536, 8192);
+    sim::RbrOptions opts;
+    opts.batch_pairs = batch;
+    double overhead = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < 40; ++i) {
+      for (const auto& pair : backend.invoke_rbr_batch(
+               o3, o3, trace.invocations[i % trace.invocations.size()],
+               opts)) {
+        overhead += pair.overhead;
+        ++pairs;
+      }
+    }
+    return overhead / static_cast<double>(pairs);
+  };
+
+  const double unbatched = overhead_per_pair(1);
+  const double batched = overhead_per_pair(4);
+  // Batching drops the save + precondition cost from 3 of every 4 pairs.
+  EXPECT_LT(batched, 0.9 * unbatched);
+}
+
+TEST(RbrBatching, RatiosStayUnbiased) {
+  const auto workload = workloads::make_workload("MCF");
+  const workloads::Trace trace =
+      workload->trace(workloads::DataSet::kTrain, 3);
+  const auto& space = search::gcc33_o3_space();
+  const sim::FlagEffectModel effects(space);
+  const search::FlagConfig o3 = search::o3_config(space);
+
+  sim::SimExecutionBackend backend(workload->function(),
+                                   workload->traits(), sim::sparc2(),
+                                   effects, 10);
+  sim::RbrOptions opts;
+  opts.batch_pairs = 4;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (const auto& pair : backend.invoke_rbr_batch(
+             o3, o3, trace.invocations[i % trace.invocations.size()],
+             opts)) {
+      sum += pair.time_best / pair.time_exp;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), 1.0, 0.02);
+}
+
+TEST(PluggableSearch, DriverAcceptsCombinedElimination) {
+  const auto workload = workloads::make_workload("SWIM");
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, 42);
+  const sim::MachineModel machine = sim::sparc2();
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, machine);
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+
+  core::DriverOptions options;
+  options.search_algorithm =
+      std::make_shared<search::CombinedElimination>(1.01);
+  core::TuningDriver driver(*workload, profile, train, machine, effects,
+                            options);
+  const core::TuningOutcome outcome = driver.tune(rating::Method::kCBR);
+  // CE must find the planted SWIM stories just like IE does.
+  const auto& space = search::gcc33_o3_space();
+  EXPECT_FALSE(
+      outcome.best_config.enabled(*space.index_of("-fschedule-insns")));
+  EXPECT_GT(outcome.search_improvement, 1.03);
+}
+
+TEST(PluggableSearch, BatchedRbrTuningReachesSameWinner) {
+  const auto workload = workloads::make_workload("ART");
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, 42);
+  const sim::MachineModel machine = sim::pentium4();
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, machine);
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+
+  core::DriverOptions options;
+  options.rbr_batch_pairs = 4;
+  core::TuningDriver driver(*workload, profile, train, machine, effects,
+                            options);
+  const core::TuningOutcome outcome = driver.tune(rating::Method::kRBR);
+  const auto& space = search::gcc33_o3_space();
+  EXPECT_FALSE(
+      outcome.best_config.enabled(*space.index_of("-fstrict-aliasing")));
+}
+
+}  // namespace
+}  // namespace peak

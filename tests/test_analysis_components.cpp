@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "analysis/component_analysis.hpp"
+#include "analysis/instrumentation.hpp"
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+
+namespace peak::analysis {
+namespace {
+
+ir::Function two_loop_fn() {
+  ir::FunctionBuilder b("two_loops");
+  const auto n = b.param_scalar("n");
+  const auto m = b.param_scalar("m");
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  b.assign(out, b.c(0.0));
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.assign(out, b.add(b.v(out), b.c(1.0)));
+  });
+  b.for_loop(i, b.c(0.0), b.v(m), [&] {
+    b.assign(out, b.add(b.v(out), b.c(2.0)));
+  });
+  return b.build();
+}
+
+/// Run the instrumented function over (n, m) pairs; rows are per-block
+/// entry counts.
+std::vector<std::vector<std::uint64_t>> profile(
+    const ir::Function& fn,
+    const std::vector<std::pair<double, double>>& shapes) {
+  const ir::Function inst = instrument_all_blocks(fn);
+  const ir::Interpreter interp(inst);
+  std::vector<std::vector<std::uint64_t>> rows;
+  for (const auto& [n, m] : shapes) {
+    ir::Memory mem = ir::Memory::for_function(inst);
+    mem.scalar(*fn.find_var("n")) = n;
+    mem.scalar(*fn.find_var("m")) = m;
+    rows.push_back(interp.run(mem).counters);
+  }
+  return rows;
+}
+
+TEST(ComponentAnalysis, IndependentLoopsBecomeSeparateComponents) {
+  const ir::Function fn = two_loop_fn();
+  const auto rows = profile(fn, {{3, 9}, {5, 2}, {7, 7}, {2, 11}});
+  const ComponentModel model = analyze_components(fn, rows);
+  ASSERT_TRUE(model.mbr_applicable);
+  // Two independent count dimensions (n-loop, m-loop) plus the constant.
+  EXPECT_EQ(model.varying.size(), 2u);
+  EXPECT_EQ(model.num_components(), 3u);
+}
+
+TEST(ComponentAnalysis, AffineDependentBlocksFold) {
+  // n and m locked together (m = 2n + 1): one varying component.
+  const ir::Function fn = two_loop_fn();
+  const auto rows = profile(fn, {{3, 7}, {5, 11}, {7, 15}, {2, 5}});
+  const ComponentModel model = analyze_components(fn, rows);
+  ASSERT_TRUE(model.mbr_applicable);
+  EXPECT_EQ(model.varying.size(), 1u);
+  // The folded blocks are attached to the surviving component.
+  std::size_t folded = 0;
+  for (const auto& comp : model.varying) folded += comp.blocks.size();
+  EXPECT_GT(folded, 1u);
+}
+
+TEST(ComponentAnalysis, ConstantCountsFoldIntoConstantComponent) {
+  const ir::Function fn = two_loop_fn();
+  // Same shape every invocation: everything is constant.
+  const auto rows = profile(fn, {{4, 6}, {4, 6}, {4, 6}});
+  const ComponentModel model = analyze_components(fn, rows);
+  ASSERT_TRUE(model.mbr_applicable);
+  EXPECT_TRUE(model.varying.empty());
+  EXPECT_EQ(model.num_components(), 1u);
+  EXPECT_EQ(model.constant_blocks.size(), fn.num_blocks());
+}
+
+TEST(ComponentAnalysis, CountRowBuildsRegressionInput) {
+  const ir::Function fn = two_loop_fn();
+  const auto rows = profile(fn, {{3, 9}, {5, 2}, {7, 7}});
+  const ComponentModel model = analyze_components(fn, rows);
+  ASSERT_TRUE(model.mbr_applicable);
+  const std::vector<double> row = model.count_row(rows[0]);
+  ASSERT_EQ(row.size(), model.num_components());
+  EXPECT_DOUBLE_EQ(row.back(), 1.0);  // constant column
+  for (std::size_t c = 0; c < model.varying.size(); ++c)
+    EXPECT_DOUBLE_EQ(
+        row[c],
+        static_cast<double>(rows[0][model.varying[c].representative]));
+}
+
+TEST(ComponentAnalysis, MaxComponentsGate) {
+  const ir::Function fn = two_loop_fn();
+  const auto rows = profile(fn, {{3, 9}, {5, 2}, {7, 7}, {2, 11}});
+  ComponentModelOptions options;
+  options.max_components = 2;  // needs 3
+  const ComponentModel model = analyze_components(fn, rows, options);
+  EXPECT_FALSE(model.mbr_applicable);
+  EXPECT_FALSE(model.failure_reason.empty());
+}
+
+TEST(ComponentAnalysis, TooFewInvocations) {
+  const ir::Function fn = two_loop_fn();
+  const auto rows = profile(fn, {{3, 9}});
+  EXPECT_FALSE(analyze_components(fn, rows).mbr_applicable);
+}
+
+TEST(ComponentAnalysis, SmallBlockFoldingReducesModel) {
+  const ir::Function fn = two_loop_fn();
+  // m-loop is tiny relative to the n-loop.
+  const auto rows =
+      profile(fn, {{300, 2}, {500, 3}, {700, 1}, {200, 2}});
+  ComponentModelOptions options;
+  options.small_block_fraction = 0.05;
+  const ComponentModel model = analyze_components(fn, rows, options);
+  ASSERT_TRUE(model.mbr_applicable);
+  EXPECT_EQ(model.varying.size(), 1u);  // the m-loop folded away
+}
+
+TEST(Instrumentation, AllBlocksThenStrip) {
+  const ir::Function fn = two_loop_fn();
+  const ir::Function inst = instrument_all_blocks(fn);
+  EXPECT_EQ(count_counter_stmts(inst), fn.num_blocks());
+  EXPECT_EQ(inst.num_counters(), fn.num_blocks());
+  const ir::Function clean = strip_counters(inst);
+  EXPECT_EQ(count_counter_stmts(clean), 0u);
+  EXPECT_EQ(clean.num_counters(), 0u);
+}
+
+TEST(Instrumentation, ComponentCountersMatchModelOrder) {
+  const ir::Function fn = two_loop_fn();
+  const auto rows = profile(fn, {{3, 9}, {5, 2}, {7, 7}});
+  const ComponentModel model = analyze_components(fn, rows);
+  ASSERT_TRUE(model.mbr_applicable);
+  const ir::Function inst = instrument_components(fn, model);
+  EXPECT_EQ(count_counter_stmts(inst), model.varying.size());
+
+  // Running the instrumented function yields counter values equal to the
+  // representative block counts.
+  ir::Memory mem = ir::Memory::for_function(inst);
+  mem.scalar(*fn.find_var("n")) = 6;
+  mem.scalar(*fn.find_var("m")) = 4;
+  const ir::RunResult run = ir::Interpreter(inst).run(mem);
+  ASSERT_EQ(run.counters.size(), model.varying.size());
+  // Counter i must equal the entry count of component i's representative
+  // block under the same shape (verified against a full-block profile).
+  const ir::Function all = instrument_all_blocks(fn);
+  ir::Memory mem2 = ir::Memory::for_function(all);
+  mem2.scalar(*fn.find_var("n")) = 6;
+  mem2.scalar(*fn.find_var("m")) = 4;
+  const ir::RunResult full = ir::Interpreter(all).run(mem2);
+  for (std::size_t c = 0; c < model.varying.size(); ++c)
+    EXPECT_EQ(run.counters[c], full.counters[model.varying[c].representative]);
+}
+
+TEST(Instrumentation, CountersDoNotPerturbResults) {
+  const ir::Function fn = two_loop_fn();
+  const ir::Function inst = instrument_all_blocks(fn);
+  ir::Memory plain = ir::Memory::for_function(fn);
+  ir::Memory with = ir::Memory::for_function(inst);
+  for (auto* mem : {&plain, &with}) {
+    mem->scalar(*fn.find_var("n")) = 5;
+    mem->scalar(*fn.find_var("m")) = 3;
+  }
+  ir::Interpreter(fn).run(plain);
+  ir::Interpreter(inst).run(with);
+  EXPECT_DOUBLE_EQ(plain.scalar(*fn.find_var("out")),
+                   with.scalar(*fn.find_var("out")));
+}
+
+}  // namespace
+}  // namespace peak::analysis

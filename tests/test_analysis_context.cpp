@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "analysis/context_analysis.hpp"
+#include "analysis/runtime_constants.hpp"
+#include "ir/builder.hpp"
+
+namespace peak::analysis {
+namespace {
+
+using ir::FunctionBuilder;
+
+TEST(ContextAnalysis, PlainScalarLoopBounds) {
+  // for (i = lo; i < hi; ++i) body — context must be {lo, hi}.
+  FunctionBuilder b("loop");
+  const auto lo = b.param_scalar("lo");
+  const auto hi = b.param_scalar("hi");
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  b.assign(out, b.c(0.0));
+  b.for_loop(i, b.v(lo), b.v(hi), [&] {
+    b.assign(out, b.add(b.v(out), b.v(i)));
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  ASSERT_TRUE(result.cbr_applicable);
+  ASSERT_EQ(result.context_vars.size(), 2u);
+  EXPECT_EQ(result.describe(fn), "lo, hi");
+  EXPECT_FALSE(result.needs_runtime_constant_check());
+}
+
+TEST(ContextAnalysis, TransitiveThroughDefiningStatements) {
+  // bound = n * m; loop to bound — context must reach back to {n, m}.
+  FunctionBuilder b("derived");
+  const auto n = b.param_scalar("n");
+  const auto m = b.param_scalar("m");
+  const auto i = b.scalar("i");
+  const auto bound = b.scalar("bound");
+  const auto out = b.param_scalar("out");
+  b.assign(bound, b.mul(b.v(n), b.v(m)));
+  b.for_loop(i, b.c(0.0), b.v(bound), [&] {
+    b.assign(out, b.add(b.v(out), b.c(1.0)));
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  ASSERT_TRUE(result.cbr_applicable);
+  EXPECT_EQ(result.describe(fn), "n, m");
+}
+
+TEST(ContextAnalysis, ConstantSubscriptArrayRefIsScalar) {
+  // Loop bound comes from params[3] — a "scalar" per the paper's taxonomy.
+  FunctionBuilder b("const_sub");
+  const auto params = b.param_array("params", 8);
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.at(params, b.c(3.0)), [&] {
+    b.assign(out, b.add(b.v(out), b.c(1.0)));
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  ASSERT_TRUE(result.cbr_applicable);
+  ASSERT_EQ(result.context_vars.size(), 1u);
+  EXPECT_EQ(result.context_vars[0].kind, ContextVarKind::kElement);
+  EXPECT_EQ(result.context_vars[0].element, 3);
+}
+
+TEST(ContextAnalysis, ConstantSubscriptOfModifiedArrayFails) {
+  FunctionBuilder b("modified");
+  const auto params = b.param_array("params", 8);
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  b.store(params, b.c(0.0), b.c(9.0));  // array written in TS
+  b.for_loop(i, b.c(0.0), b.at(params, b.c(3.0)), [&] {
+    b.assign(out, b.add(b.v(out), b.c(1.0)));
+  });
+  const ir::Function fn = b.build();
+  EXPECT_FALSE(analyze_context_variables(fn).cbr_applicable);
+}
+
+TEST(ContextAnalysis, VaryingSubscriptReadOnlyArrayNeedsRtcCheck) {
+  // Inner loop bound read from rowptr[i]: array content feeds control but
+  // the TS never writes it — admissible iff it is a run-time constant.
+  FunctionBuilder b("csr");
+  const auto n = b.param_scalar("n");
+  const auto rowptr = b.param_array("rowptr", 16);
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.for_loop(j, b.c(0.0), b.at(rowptr, b.v(i)), [&] {
+      b.assign(out, b.add(b.v(out), b.c(1.0)));
+    });
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  ASSERT_TRUE(result.cbr_applicable);
+  EXPECT_TRUE(result.needs_runtime_constant_check());
+  bool has_array_content = false;
+  for (const ContextVar& cv : result.context_vars)
+    has_array_content |= cv.kind == ContextVarKind::kArrayContent &&
+                         cv.var == *fn.find_var("rowptr");
+  EXPECT_TRUE(has_array_content);
+}
+
+TEST(ContextAnalysis, VaryingSubscriptOfWrittenArrayFails) {
+  // The array feeding control is also stored to: hard failure.
+  FunctionBuilder b("selfmod");
+  const auto n = b.param_scalar("n");
+  const auto data = b.param_array("data", 16);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.if_then(b.gt(b.at(data, b.v(i)), b.c(0.0)), [&] {
+      b.store(data, b.v(i), b.c(0.0));
+    });
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  EXPECT_FALSE(result.cbr_applicable);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(ContextAnalysis, UnmodifiedPointerDerefIsScalar) {
+  FunctionBuilder b("ptr");
+  const auto p = b.param_pointer("p");
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.deref(p, b.c(0.0)), [&] {
+    b.assign(out, b.add(b.v(out), b.c(1.0)));
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  ASSERT_TRUE(result.cbr_applicable);
+  ASSERT_EQ(result.context_vars.size(), 1u);
+  EXPECT_TRUE(result.context_vars[0].via_pointer);
+}
+
+TEST(ContextAnalysis, ModifiedPointerDerefFails) {
+  FunctionBuilder b("ptrmod");
+  const auto a = b.param_array("a", 4);
+  const auto p = b.pointer("p");
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  b.assign(p, b.address_of(a));  // p changes within the TS
+  b.for_loop(i, b.c(0.0), b.deref(p, b.c(0.0)), [&] {
+    b.assign(out, b.add(b.v(out), b.c(1.0)));
+  });
+  const ir::Function fn = b.build();
+  EXPECT_FALSE(analyze_context_variables(fn).cbr_applicable);
+}
+
+TEST(ContextAnalysis, LoopCarriedRecursionTerminates) {
+  // i = i + step inside the loop: Figure 1's "done" marking must stop the
+  // recursion on the cyclic UD chain.
+  FunctionBuilder b("cyclic");
+  const auto n = b.param_scalar("n");
+  const auto step = b.param_scalar("step");
+  const auto i = b.scalar("i");
+  const auto out = b.param_scalar("out");
+  b.assign(i, b.c(0.0));
+  b.while_loop(b.lt(b.v(i), b.v(n)), [&] {
+    b.assign(out, b.add(b.v(out), b.v(i)));
+    b.assign(i, b.add(b.v(i), b.v(step)));
+  });
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  ASSERT_TRUE(result.cbr_applicable);
+  EXPECT_EQ(result.describe(fn), "n, step");
+}
+
+TEST(ContextAnalysis, StraightLineCodeHasEmptyContext) {
+  FunctionBuilder b("straight");
+  const auto x = b.param_scalar("x");
+  const auto y = b.param_scalar("y");
+  b.assign(y, b.mul(b.v(x), b.c(2.0)));
+  const ir::Function fn = b.build();
+  const ContextAnalysisResult result = analyze_context_variables(fn);
+  EXPECT_TRUE(result.cbr_applicable);
+  EXPECT_TRUE(result.context_vars.empty());
+}
+
+TEST(RuntimeConstants, PrunesConstantColumns) {
+  const std::vector<ContextVar> vars = {
+      {ContextVarKind::kScalar, 0, -1, false},
+      {ContextVarKind::kScalar, 1, -1, false},
+      {ContextVarKind::kScalar, 2, -1, false},
+  };
+  const std::vector<ContextValues> obs = {
+      {5, 1, 7}, {5, 2, 7}, {5, 3, 7}};
+  const RuntimeConstantResult pruned = prune_runtime_constants(vars, obs);
+  ASSERT_EQ(pruned.kept.size(), 1u);
+  EXPECT_EQ(pruned.kept[0].var, 1u);
+  EXPECT_EQ(pruned.constant.size(), 2u);
+  EXPECT_EQ(project_context(pruned, {5, 9, 7}), ContextValues{9});
+}
+
+TEST(RuntimeConstants, NoObservationsKeepsAll) {
+  const std::vector<ContextVar> vars = {
+      {ContextVarKind::kScalar, 0, -1, false}};
+  const RuntimeConstantResult pruned = prune_runtime_constants(vars, {});
+  EXPECT_EQ(pruned.kept.size(), 1u);
+}
+
+}  // namespace
+}  // namespace peak::analysis

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/parallel.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::core {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+protected:
+  AdaptiveTest()
+      : workload_(workloads::make_workload("MGRID")),
+        machine_(sim::sparc2()),
+        effects_(search::gcc33_o3_space()) {}
+
+  std::unique_ptr<workloads::Workload> workload_;
+  sim::MachineModel machine_;
+  sim::FlagEffectModel effects_;
+};
+
+TEST_F(AdaptiveTest, ExperimentsSettleIntoMonitoring) {
+  AdaptiveTuner tuner(*workload_, machine_, effects_, {}, 3);
+  const workloads::Trace trace =
+      workload_->trace(workloads::DataSet::kTrain, 3);
+  std::size_t cursor = 0;
+  for (int i = 0; i < 30000 &&
+                  tuner.phase() == AdaptiveTuner::Phase::kExperiment;
+       ++i)
+    tuner.step(trace.invocations[cursor++ % trace.invocations.size()]);
+  EXPECT_EQ(tuner.phase(), AdaptiveTuner::Phase::kMonitor);
+  EXPECT_GT(tuner.experiments_run(), 0u);
+  // The MGRID stories (-fcaller-saves etc.) should have been found.
+  EXPECT_GE(tuner.promotions(), 1u);
+  EXPECT_LT(tuner.versions().best().config.count_enabled(), 38u);
+}
+
+TEST_F(AdaptiveTest, MonitoringAddsNoExperimentOverhead) {
+  AdaptiveTuner tuner(*workload_, machine_, effects_, {}, 3);
+  const workloads::Trace trace =
+      workload_->trace(workloads::DataSet::kTrain, 3);
+  std::size_t cursor = 0;
+  while (tuner.phase() == AdaptiveTuner::Phase::kExperiment)
+    tuner.step(trace.invocations[cursor++ % trace.invocations.size()]);
+  const std::size_t experiments = tuner.experiments_run();
+  for (int i = 0; i < 500; ++i)
+    tuner.step(trace.invocations[cursor++ % trace.invocations.size()]);
+  EXPECT_EQ(tuner.experiments_run(), experiments);  // plain production
+}
+
+TEST_F(AdaptiveTest, PhaseChangeTriggersRetuneAndFlipsStoryFlag) {
+  // Phase 1: train-scale grids — -fgcse-lm helps and must survive.
+  // Phase 2: ref-scale grids — the same flag hurts and must be evicted
+  // after the drift detector notices production slowing down.
+  AdaptiveOptions options;
+  options.drift_threshold = 0.02;  // the multiplier shift is a few percent
+  options.drift_patience = 6;
+  AdaptiveTuner tuner(*workload_, machine_, effects_, options, 3);
+  const std::size_t gcse_lm =
+      *search::gcc33_o3_space().index_of("-fgcse-lm");
+
+  const workloads::Trace phase1 =
+      workload_->trace(workloads::DataSet::kTrain, 3);
+  tuner.set_workload_scale(phase1.workload_scale);
+  std::size_t cursor = 0;
+  while (tuner.phase() == AdaptiveTuner::Phase::kExperiment)
+    tuner.step(phase1.invocations[cursor++ % phase1.invocations.size()]);
+  // Let the monitor build its baselines.
+  for (int i = 0; i < 3000; ++i)
+    tuner.step(phase1.invocations[cursor++ % phase1.invocations.size()]);
+  ASSERT_EQ(tuner.phase(), AdaptiveTuner::Phase::kMonitor);
+  EXPECT_TRUE(tuner.versions().best().config.enabled(gcse_lm));
+
+  // Phase change: same contexts would now run slower under the old best.
+  tuner.set_workload_scale(1.0);
+  std::size_t steps = 0;
+  while (tuner.retunes_triggered() == 0 && steps < 5000) {
+    tuner.step(phase1.invocations[cursor++ % phase1.invocations.size()]);
+    ++steps;
+  }
+  EXPECT_GE(tuner.retunes_triggered(), 1u);
+
+  // Re-tuning under the new phase evicts the now-harmful flag.
+  while (tuner.phase() == AdaptiveTuner::Phase::kExperiment &&
+         steps < 100000) {
+    tuner.step(phase1.invocations[cursor++ % phase1.invocations.size()]);
+    ++steps;
+  }
+  EXPECT_FALSE(tuner.versions().best().config.enabled(gcse_lm));
+}
+
+TEST(ParallelTuning, MatchesSequentialAndAggregates) {
+  const sim::MachineModel machine = sim::sparc2();
+  const auto swim = workloads::make_workload("SWIM");
+  const auto mgrid = workloads::make_workload("MGRID");
+  const std::vector<const workloads::Workload*> sections = {swim.get(),
+                                                            mgrid.get()};
+
+  const ApplicationOutcome parallel =
+      tune_application(sections, machine, {}, /*threads=*/2);
+  ASSERT_EQ(parallel.sections.size(), 2u);
+
+  // Deterministic: a sequential run of the same pipeline agrees exactly.
+  const auto swim2 = workloads::make_workload("SWIM");
+  PeakOptions options;
+  options.seed = support::hash_combine(PeakOptions{}.seed,
+                                       support::stable_hash("SWIM"));
+  Peak peak(machine, options);
+  const MethodRun sequential = peak.tune_with_consultant(*swim2);
+  EXPECT_DOUBLE_EQ(parallel.sections[0].run.ref_improvement_pct,
+                   sequential.ref_improvement_pct);
+  EXPECT_EQ(parallel.sections[0].run.best_config, sequential.best_config);
+
+  // Whole-program aggregate: positive, and smaller than the best section's
+  // improvement (Amdahl).
+  const double app = parallel.whole_program_improvement_pct();
+  EXPECT_GT(app, 0.0);
+  double best_section = 0.0;
+  for (const SectionOutcome& s : parallel.sections)
+    best_section = std::max(best_section, s.run.ref_improvement_pct);
+  EXPECT_LT(app, best_section);
+}
+
+TEST(ParallelTuning, EmptyApplication) {
+  const ApplicationOutcome outcome =
+      tune_application({}, sim::sparc2(), {}, 2);
+  EXPECT_TRUE(outcome.sections.empty());
+  EXPECT_DOUBLE_EQ(outcome.whole_program_improvement_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace peak::core

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/print.hpp"
+#include "support/check.hpp"
+
+namespace peak::ir {
+namespace {
+
+/// sum = Σ a[i] for i < n, with a branch skipping negatives.
+Function sum_positive() {
+  FunctionBuilder b("sum_positive");
+  const auto n = b.param_scalar("n");
+  const auto a = b.param_array("a", 64, true);
+  const auto sum = b.param_scalar("sum", true);
+  const auto i = b.scalar("i");
+  b.assign(sum, b.c(0.0));
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.if_then(b.gt(b.at(a, b.v(i)), b.c(0.0)), [&] {
+      b.assign(sum, b.add(b.v(sum), b.at(a, b.v(i))));
+    });
+  });
+  return b.build();
+}
+
+TEST(Builder, ProducesFinalizedCfg) {
+  const Function fn = sum_positive();
+  EXPECT_TRUE(fn.finalized());
+  EXPECT_GT(fn.num_blocks(), 4u);  // entry, header, body, then, join, ...
+  EXPECT_EQ(fn.params().size(), 3u);
+  EXPECT_TRUE(fn.find_var("sum").has_value());
+  EXPECT_FALSE(fn.find_var("nope").has_value());
+}
+
+TEST(Builder, PredecessorsAreConsistent) {
+  const Function fn = sum_positive();
+  const auto& preds = fn.predecessors();
+  for (BlockId b = 0; b < fn.num_blocks(); ++b)
+    for (BlockId s : fn.successors(b)) {
+      const auto& p = preds[s];
+      EXPECT_NE(std::find(p.begin(), p.end(), b), p.end());
+    }
+}
+
+TEST(Interpreter, ComputesCorrectResult) {
+  const Function fn = sum_positive();
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("n")) = 5;
+  auto& a = mem.array(*fn.find_var("a"));
+  a[0] = 1.0; a[1] = -2.0; a[2] = 3.0; a[3] = -4.0; a[4] = 5.0;
+  const Interpreter interp(fn);
+  const RunResult run = interp.run(mem);
+  EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("sum")), 9.0);
+  EXPECT_GT(run.cycles, 0.0);
+  EXPECT_GT(run.steps, 0u);
+}
+
+TEST(Interpreter, BlockEntriesMatchControlFlow) {
+  const Function fn = sum_positive();
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("n")) = 8;
+  auto& a = mem.array(*fn.find_var("a"));
+  for (int i = 0; i < 8; ++i) a[static_cast<std::size_t>(i)] = i % 2 ? 1.0 : -1.0;
+  const Interpreter interp(fn);
+  const RunResult run = interp.run(mem);
+  // Entry executes once; some block (the then-branch) executes 4 times;
+  // the loop body executes 8 times.
+  std::uint64_t max_entries = 0;
+  bool saw_four = false, saw_eight = false;
+  for (std::uint64_t e : run.block_entries) {
+    max_entries = std::max(max_entries, e);
+    saw_four |= e == 4;
+    saw_eight |= e == 8;
+  }
+  EXPECT_EQ(run.block_entries[fn.entry()], 1u);
+  EXPECT_TRUE(saw_four);
+  EXPECT_TRUE(saw_eight);
+  EXPECT_LE(max_entries, 9u);  // header: 9 entries
+}
+
+TEST(Interpreter, WhileLoopAndBreak) {
+  FunctionBuilder b("find_first");
+  const auto n = b.param_scalar("n");
+  const auto a = b.param_array("a", 32);
+  const auto target = b.param_scalar("target");
+  const auto pos = b.param_scalar("pos");
+  const auto i = b.scalar("i");
+  b.assign(pos, b.neg(b.c(1.0)));
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.if_then(b.eq(b.at(a, b.v(i)), b.v(target)),
+              [&] { b.assign(pos, b.v(i)); });
+    b.break_if(b.ge(b.v(pos), b.c(0.0)));
+  });
+  const Function fn = b.build();
+
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("n")) = 10;
+  mem.scalar(*fn.find_var("target")) = 7;
+  auto& arr = mem.array(*fn.find_var("a"));
+  for (int i = 0; i < 10; ++i) arr[static_cast<std::size_t>(i)] = i;
+  Interpreter(fn).run(mem);
+  EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("pos")), 7.0);
+}
+
+TEST(Interpreter, ContinueSkipsRestOfBody) {
+  FunctionBuilder b("count_odd");
+  const auto n = b.param_scalar("n");
+  const auto count = b.param_scalar("count");
+  const auto i = b.scalar("i");
+  b.assign(count, b.c(0.0));
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.continue_if(b.eq(b.mod(b.v(i), b.c(2.0)), b.c(0.0)));
+    b.assign(count, b.add(b.v(count), b.c(1.0)));
+  });
+  const Function fn = b.build();
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("n")) = 9;
+  Interpreter(fn).run(mem);
+  EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("count")), 4.0);  // 1,3,5,7
+}
+
+TEST(Interpreter, PointerDerefAndStoreThrough) {
+  FunctionBuilder b("through_pointer");
+  const auto a = b.param_array("a", 8, true);
+  const auto bb = b.param_array("b", 8, true);
+  const auto p = b.pointer("p");
+  const auto which = b.param_scalar("which");
+  b.if_else(b.gt(b.v(which), b.c(0.0)),
+            [&] { b.assign(p, b.address_of(a)); },
+            [&] { b.assign(p, b.address_of(bb)); });
+  b.store_through(p, b.c(2.0), b.add(b.deref(p, b.c(2.0)), b.c(10.0)));
+  const Function fn = b.build();
+
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("which")) = 1;
+  mem.array(*fn.find_var("a"))[2] = 5.0;
+  Interpreter(fn).run(mem);
+  EXPECT_DOUBLE_EQ(mem.array(*fn.find_var("a"))[2], 15.0);
+  EXPECT_DOUBLE_EQ(mem.array(*fn.find_var("b"))[2], 0.0);
+}
+
+TEST(Interpreter, StepLimitGuardsInfiniteLoops) {
+  FunctionBuilder b("forever");
+  const auto x = b.scalar("x");
+  b.assign(x, b.c(0.0));
+  b.while_loop(b.c(1.0), [&] { b.assign(x, b.add(b.v(x), b.c(1.0))); });
+  const Function fn = b.build();
+  Memory mem = Memory::for_function(fn);
+  InterpreterOptions opts;
+  opts.max_steps = 1000;
+  EXPECT_THROW(Interpreter(fn, opts).run(mem), support::CheckError);
+}
+
+TEST(Interpreter, ArrayBoundsChecked) {
+  FunctionBuilder b("oob");
+  const auto a = b.param_array("a", 4);
+  const auto i = b.param_scalar("i");
+  const auto out = b.param_scalar("out");
+  b.assign(out, b.at(a, b.v(i)));
+  const Function fn = b.build();
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("i")) = 4;  // one past the end
+  EXPECT_THROW(Interpreter(fn).run(mem), support::CheckError);
+}
+
+TEST(Interpreter, WriteHookObservesOldValues) {
+  FunctionBuilder b("wh");
+  const auto a = b.param_array("a", 4);
+  b.store(a, b.c(1.0), b.c(99.0));
+  b.store(a, b.c(1.0), b.c(100.0));
+  const Function fn = b.build();
+  Memory mem = Memory::for_function(fn);
+  mem.array(*fn.find_var("a"))[1] = 7.0;
+
+  std::vector<double> old_values;
+  InterpreterOptions opts;
+  opts.write_hook = [&](VarId, std::size_t index, double old_value) {
+    EXPECT_EQ(index, 1u);
+    old_values.push_back(old_value);
+  };
+  Interpreter(fn, opts).run(mem);
+  ASSERT_EQ(old_values.size(), 2u);
+  EXPECT_DOUBLE_EQ(old_values[0], 7.0);
+  EXPECT_DOUBLE_EQ(old_values[1], 99.0);
+}
+
+TEST(Interpreter, CountersAreRecorded) {
+  FunctionBuilder b("ctr");
+  const auto n = b.param_scalar("n");
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] { b.counter(3); });
+  const Function fn = b.build();
+  Memory mem = Memory::for_function(fn);
+  mem.scalar(*fn.find_var("n")) = 12;
+  const RunResult run = Interpreter(fn).run(mem);
+  ASSERT_EQ(run.counters.size(), 4u);
+  EXPECT_EQ(run.counters[3], 12u);
+}
+
+TEST(Print, RendersReadableListing) {
+  const Function fn = sum_positive();
+  const std::string text = to_string(fn);
+  EXPECT_NE(text.find("function sum_positive"), std::string::npos);
+  EXPECT_NE(text.find("for.header"), std::string::npos);
+  EXPECT_NE(text.find("sum ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace peak::ir

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "ir/liveness.hpp"
+#include "ir/points_to.hpp"
+#include "ir/use_def.hpp"
+
+namespace peak::ir {
+namespace {
+
+bool contains(const std::vector<VarId>& vars, std::optional<VarId> v) {
+  return v && std::find(vars.begin(), vars.end(), *v) != vars.end();
+}
+
+/// out = in * k; scratch initialized internally; arr updated in place.
+Function mixed_fn() {
+  FunctionBuilder b("mixed");
+  const auto in = b.param_scalar("in");
+  const auto k = b.param_scalar("k");
+  const auto out = b.param_scalar("out");
+  const auto arr = b.param_array("arr", 16, true);
+  const auto untouched = b.param_array("untouched", 16, true);
+  const auto scratch = b.scalar("scratch");
+  const auto i = b.scalar("i");
+  b.assign(scratch, b.mul(b.v(in), b.v(k)));
+  b.assign(out, b.v(scratch));
+  b.for_loop(i, b.c(0.0), b.c(8.0), [&] {
+    b.store(arr, b.v(i),
+            b.add(b.at(arr, b.v(i)), b.at(untouched, b.v(i))));
+  });
+  return b.build();
+}
+
+TEST(Liveness, InputSetIsLiveInAtEntry) {
+  const Function fn = mixed_fn();
+  const PointsTo pt(fn);
+  const Liveness live(fn, pt);
+  const std::vector<VarId> input = live.input_set();
+  // in, k are read before any def; arr is weakly defined so its incoming
+  // elements stay live; untouched is read-only.
+  EXPECT_TRUE(contains(input, fn.find_var("in")));
+  EXPECT_TRUE(contains(input, fn.find_var("k")));
+  EXPECT_TRUE(contains(input, fn.find_var("arr")));
+  EXPECT_TRUE(contains(input, fn.find_var("untouched")));
+  // scratch and out are defined before use, i is loop-local.
+  EXPECT_FALSE(contains(input, fn.find_var("scratch")));
+  EXPECT_FALSE(contains(input, fn.find_var("out")));
+  EXPECT_FALSE(contains(input, fn.find_var("i")));
+}
+
+TEST(Liveness, DefSetCoversStrongAndWeakDefs) {
+  const Function fn = mixed_fn();
+  const PointsTo pt(fn);
+  const std::vector<VarId> defs = def_set(fn, pt);
+  EXPECT_TRUE(contains(defs, fn.find_var("out")));
+  EXPECT_TRUE(contains(defs, fn.find_var("scratch")));
+  EXPECT_TRUE(contains(defs, fn.find_var("arr")));
+  EXPECT_FALSE(contains(defs, fn.find_var("untouched")));
+  EXPECT_FALSE(contains(defs, fn.find_var("in")));
+}
+
+TEST(Liveness, ModifiedInputIsIntersection) {
+  // Paper Eq. 6: Modified_Input = Input ∩ Def. Here only `arr` is both
+  // consumed (element reads) and written.
+  const Function fn = mixed_fn();
+  const PointsTo pt(fn);
+  const std::vector<VarId> mi = modified_input_set(fn, pt);
+  ASSERT_EQ(mi.size(), 1u);
+  EXPECT_EQ(mi[0], *fn.find_var("arr"));
+}
+
+TEST(PointsTo, TracksAddressOfBindings) {
+  FunctionBuilder b("pt");
+  const auto a = b.param_array("a", 8);
+  const auto c = b.param_array("c", 8);
+  const auto p = b.pointer("p");
+  const auto q = b.pointer("q");
+  const auto cond = b.param_scalar("cond");
+  b.if_else(b.gt(b.v(cond), b.c(0.0)),
+            [&] { b.assign(p, b.address_of(a)); },
+            [&] { b.assign(p, b.address_of(c)); });
+  b.assign(q, b.v(p));  // copies the points-to set
+  const Function fn = b.build();
+  const PointsTo pt(fn);
+
+  const VarId vp = *fn.find_var("p");
+  const VarId vq = *fn.find_var("q");
+  EXPECT_FALSE(pt.unknown(vp));
+  EXPECT_EQ(pt.targets(vp).size(), 2u);
+  EXPECT_EQ(pt.targets(vq).size(), 2u);
+  EXPECT_TRUE(pt.pointer_modified(vp));
+  EXPECT_TRUE(pt.pointer_modified(vq));
+}
+
+TEST(PointsTo, IncomingPointerIsUnknownButUnmodified) {
+  FunctionBuilder b("pt2");
+  const auto p = b.param_pointer("p");
+  const auto out = b.param_scalar("out");
+  b.assign(out, b.deref(p, b.c(0.0)));
+  const Function fn = b.build();
+  const PointsTo pt(fn);
+  const VarId vp = *fn.find_var("p");
+  EXPECT_TRUE(pt.unknown(vp));
+  EXPECT_FALSE(pt.pointer_modified(vp));
+  // Conservative: a store through it could hit any array.
+  EXPECT_EQ(pt.may_store_targets(vp).size(), 0u);  // no arrays declared
+}
+
+TEST(UseDef, EntryDefinitionReachesFirstUse) {
+  FunctionBuilder b("ud");
+  const auto x = b.param_scalar("x");
+  const auto y = b.param_scalar("y");
+  b.assign(y, b.v(x));       // stmt 0: use of x sees the entry def
+  b.assign(y, b.add(b.v(y), b.c(1.0)));  // stmt 1: use of y sees stmt 0
+  const Function fn = b.build();
+  const PointsTo pt(fn);
+  const UseDefChains ud(fn, pt);
+
+  const auto defs_x = ud.reaching_defs(*fn.find_var("x"), fn.entry(), 0);
+  ASSERT_EQ(defs_x.size(), 1u);
+  EXPECT_TRUE(defs_x[0].is_entry);
+
+  const auto defs_y = ud.reaching_defs(*fn.find_var("y"), fn.entry(), 1);
+  ASSERT_EQ(defs_y.size(), 1u);
+  EXPECT_FALSE(defs_y[0].is_entry);
+  EXPECT_EQ(defs_y[0].stmt, 0u);
+}
+
+TEST(UseDef, LoopCarriedDefsMerge) {
+  FunctionBuilder b("loop");
+  const auto n = b.param_scalar("n");
+  const auto acc = b.scalar("acc");
+  const auto i = b.scalar("i");
+  b.assign(acc, b.c(0.0));
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.assign(acc, b.add(b.v(acc), b.v(i)));
+  });
+  const Function fn = b.build();
+  const PointsTo pt(fn);
+  const UseDefChains ud(fn, pt);
+
+  // Inside the loop body, the use of acc can see both the init def and
+  // the loop-carried def.
+  BlockId body = kNoBlock;
+  for (BlockId blk = 0; blk < fn.num_blocks(); ++blk)
+    if (fn.block(blk).is_loop_body) body = blk;
+  ASSERT_NE(body, kNoBlock);
+  const auto defs = ud.reaching_defs(*fn.find_var("acc"), body, 0);
+  EXPECT_EQ(defs.size(), 2u);
+  for (const DefSite& d : defs) EXPECT_FALSE(d.is_entry);
+}
+
+TEST(UseDef, StrongDefKillsEntryDef) {
+  FunctionBuilder b("kill");
+  const auto x = b.param_scalar("x");
+  b.assign(x, b.c(5.0));
+  b.assign(x, b.add(b.v(x), b.c(1.0)));
+  const Function fn = b.build();
+  const PointsTo pt(fn);
+  const UseDefChains ud(fn, pt);
+  const auto defs = ud.reaching_defs(*fn.find_var("x"), fn.entry(), 1);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_FALSE(defs[0].is_entry);
+}
+
+TEST(UseDef, WeakArrayDefsDoNotKill) {
+  FunctionBuilder b("weak");
+  const auto a = b.param_array("a", 8);
+  const auto out = b.param_scalar("out");
+  b.store(a, b.c(0.0), b.c(1.0));
+  b.assign(out, b.at(a, b.c(3.0)));
+  const Function fn = b.build();
+  const PointsTo pt(fn);
+  const UseDefChains ud(fn, pt);
+  const auto defs = ud.reaching_defs(*fn.find_var("a"), fn.entry(), 1);
+  // Both the entry def (other elements) and the store reach.
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace peak::ir

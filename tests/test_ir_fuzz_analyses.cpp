@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "analysis/context_analysis.hpp"
+#include "analysis/input_sets.hpp"
+#include "ir/fuzz.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/liveness.hpp"
+#include "ir/loops.hpp"
+#include "ir/range_analysis.hpp"
+#include "ir/use_def.hpp"
+
+namespace peak::ir {
+namespace {
+
+TEST(Fuzzer, DeterministicAndRunnable) {
+  const Function a = fuzz_function(7);
+  const Function b = fuzz_function(7);
+  EXPECT_EQ(a.num_blocks(), b.num_blocks());
+  EXPECT_EQ(a.num_exprs(), b.num_exprs());
+
+  Memory mem = fuzz_memory(a, 7);
+  const RunResult run = Interpreter(a).run(mem);
+  EXPECT_GT(run.steps, 0u);
+}
+
+class AnalysisFuzz : public ::testing::TestWithParam<int> {
+protected:
+  const std::uint64_t seed_ = static_cast<std::uint64_t>(GetParam());
+  const Function fn_ = fuzz_function(seed_ + 1000);
+};
+
+TEST_P(AnalysisFuzz, AllAnalysesCompleteWithoutError) {
+  const PointsTo pt(fn_);
+  const Liveness live(fn_, pt);
+  const UseDefChains ud(fn_, pt);
+  const analysis::ContextAnalysisResult ctx =
+      analysis::analyze_context_variables(fn_, pt, ud);
+  const analysis::InputSetInfo inputs = analysis::analyze_input_sets(fn_, pt);
+  const LoopInfo loops = find_natural_loops(fn_);
+  (void)ctx;
+  // Modified input is always a subset of input.
+  for (VarId v : inputs.modified_input) {
+    EXPECT_NE(std::find(inputs.input.begin(), inputs.input.end(), v),
+              inputs.input.end());
+    EXPECT_NE(std::find(inputs.defs.begin(), inputs.defs.end(), v),
+              inputs.defs.end());
+  }
+  // Loop headers are members of their own loops.
+  for (const NaturalLoop& loop : loops.loops)
+    EXPECT_TRUE(loop.contains(loop.header));
+}
+
+TEST_P(AnalysisFuzz, LivenessCoversActualReads) {
+  // Soundness spot-check: every variable the interpreter actually reads
+  // before writing must be in the analysis' input set.
+  const PointsTo pt(fn_);
+  const Liveness live(fn_, pt);
+  const std::vector<VarId> input = live.input_set();
+
+  // Two runs with different values for a candidate variable: if changing
+  // an out-of-input-set param changes any observable output, liveness was
+  // wrong. (Weak but effective differential probe.)
+  for (VarId p : fn_.params()) {
+    if (fn_.var(p).kind != VarKind::kScalar) continue;
+    const bool in_input =
+        std::find(input.begin(), input.end(), p) != input.end();
+    if (in_input) continue;  // nothing to check
+
+    Memory m1 = fuzz_memory(fn_, seed_);
+    Memory m2 = fuzz_memory(fn_, seed_);
+    m2.scalar(p) = m1.scalar(p) + 17.0;  // perturb a "dead-in" param
+    Interpreter(fn_).run(m1);
+    Interpreter(fn_).run(m2);
+    m2.scalar(p) = m1.scalar(p);  // ignore the param slot itself
+    for (VarId q : fn_.params()) {
+      if (fn_.var(q).kind == VarKind::kScalar && q != p) {
+        EXPECT_DOUBLE_EQ(m1.scalar(q), m2.scalar(q)) << "seed " << seed_;
+      }
+      if (fn_.var(q).kind == VarKind::kArray) {
+        EXPECT_EQ(m1.array(q), m2.array(q)) << "seed " << seed_;
+      }
+    }
+  }
+}
+
+TEST_P(AnalysisFuzz, RangeAnalysisWrittenRangesAreSound) {
+  // Every index the interpreter actually stores to must lie within the
+  // analysis' written range (or the range must be unbounded).
+  std::map<VarId, Interval> bounds;
+  Memory mem = fuzz_memory(fn_, seed_);
+  for (VarId p : fn_.params())
+    if (fn_.var(p).kind == VarKind::kScalar)
+      bounds[p] = Interval::constant(mem.scalar(p));
+  const RangeAnalysis ranges(fn_, bounds);
+
+  InterpreterOptions opts;
+  std::vector<std::string> violations;
+  opts.write_hook = [&](VarId array, std::size_t index, double) {
+    const auto it = ranges.written_ranges().find(array);
+    if (it == ranges.written_ranges().end()) {
+      violations.push_back("write to array without range entry");
+      return;
+    }
+    if (!it->second.bounded) return;
+    if (index < it->second.lo || index > it->second.hi)
+      violations.push_back(
+          fn_.var(array).name + "[" + std::to_string(index) +
+          "] outside [" + std::to_string(it->second.lo) + ", " +
+          std::to_string(it->second.hi) + "]");
+  };
+  Interpreter(fn_, opts).run(mem);
+  EXPECT_TRUE(violations.empty())
+      << "seed " << seed_ << ": " << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, AnalysisFuzz,
+                         ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace peak::ir

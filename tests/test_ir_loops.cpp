@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/loops.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::ir {
+namespace {
+
+Function triple_nest() {
+  FunctionBuilder b("nest");
+  const auto n = b.param_scalar("n");
+  const auto out = b.param_scalar("out");
+  const auto i = b.scalar("i");
+  const auto j = b.scalar("j");
+  const auto k = b.scalar("k");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.for_loop(j, b.c(0.0), b.v(n), [&] {
+      b.for_loop(k, b.c(0.0), b.v(n), [&] {
+        b.assign(out, b.add(b.v(out), b.c(1.0)));
+      });
+    });
+  });
+  return b.build();
+}
+
+TEST(Dominators, EntryDominatesEverything) {
+  const Function fn = triple_nest();
+  const DominatorTree dom(fn);
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    ASSERT_TRUE(dom.reachable(b));
+    EXPECT_TRUE(dom.dominates(fn.entry(), b));
+  }
+  EXPECT_EQ(dom.idom(fn.entry()), fn.entry());
+}
+
+TEST(Dominators, HeaderDominatesBody) {
+  const Function fn = triple_nest();
+  const DominatorTree dom(fn);
+  const LoopInfo loops = find_natural_loops(fn, dom);
+  for (const NaturalLoop& loop : loops.loops)
+    for (BlockId b : loop.blocks)
+      EXPECT_TRUE(dom.dominates(loop.header, b));
+}
+
+TEST(Dominators, JoinPointNotDominatedByBranches) {
+  FunctionBuilder b("diamond");
+  const auto c = b.param_scalar("c");
+  const auto x = b.scalar("x");
+  b.if_else(b.gt(b.v(c), b.c(0.0)),
+            [&] { b.assign(x, b.c(1.0)); },
+            [&] { b.assign(x, b.c(2.0)); });
+  b.assign(x, b.add(b.v(x), b.c(1.0)));
+  const Function fn = b.build();
+  const DominatorTree dom(fn);
+  // The then/else arms do not dominate the join; entry does.
+  BlockId then_b = kNoBlock, join = kNoBlock;
+  for (BlockId blk = 0; blk < fn.num_blocks(); ++blk) {
+    if (fn.block(blk).label.starts_with("then")) then_b = blk;
+    if (fn.block(blk).label.starts_with("join")) join = blk;
+  }
+  ASSERT_NE(then_b, kNoBlock);
+  ASSERT_NE(join, kNoBlock);
+  EXPECT_FALSE(dom.dominates(then_b, join));
+  EXPECT_TRUE(dom.dominates(fn.entry(), join));
+}
+
+TEST(NaturalLoops, TripleNestDepths) {
+  const Function fn = triple_nest();
+  const LoopInfo loops = find_natural_loops(fn);
+  ASSERT_EQ(loops.loops.size(), 3u);
+  EXPECT_EQ(loops.max_depth(), 3u);
+  // Exactly one loop at each depth.
+  std::vector<std::size_t> depths;
+  for (const NaturalLoop& loop : loops.loops) depths.push_back(loop.depth);
+  std::sort(depths.begin(), depths.end());
+  EXPECT_EQ(depths, (std::vector<std::size_t>{1, 2, 3}));
+  // Outer loop strictly contains the inner ones.
+  const auto outer = std::find_if(
+      loops.loops.begin(), loops.loops.end(),
+      [](const NaturalLoop& l) { return l.depth == 1; });
+  const auto inner = std::find_if(
+      loops.loops.begin(), loops.loops.end(),
+      [](const NaturalLoop& l) { return l.depth == 3; });
+  EXPECT_GT(outer->blocks.size(), inner->blocks.size());
+  EXPECT_TRUE(outer->contains(inner->header));
+}
+
+TEST(NaturalLoops, StraightLineHasNone) {
+  FunctionBuilder b("straight");
+  const auto x = b.param_scalar("x");
+  b.assign(x, b.mul(b.v(x), b.c(2.0)));
+  const Function fn = b.build();
+  EXPECT_TRUE(find_natural_loops(fn).loops.empty());
+}
+
+TEST(NaturalLoops, WhileWithBreakStillOneLoop) {
+  FunctionBuilder b("breaky");
+  const auto n = b.param_scalar("n");
+  const auto i = b.scalar("i");
+  b.assign(i, b.c(0.0));
+  b.while_loop(b.lt(b.v(i), b.v(n)), [&] {
+    b.break_if(b.gt(b.v(i), b.c(100.0)));
+    b.assign(i, b.add(b.v(i), b.c(1.0)));
+  });
+  const Function fn = b.build();
+  const LoopInfo loops = find_natural_loops(fn);
+  ASSERT_EQ(loops.loops.size(), 1u);
+  EXPECT_EQ(loops.loops[0].depth, 1u);
+}
+
+TEST(NaturalLoops, DepthOfQueries) {
+  const Function fn = triple_nest();
+  const LoopInfo loops = find_natural_loops(fn);
+  EXPECT_EQ(loops.depth_of(fn.entry()), 0u);
+  const auto inner = std::find_if(
+      loops.loops.begin(), loops.loops.end(),
+      [](const NaturalLoop& l) { return l.depth == 3; });
+  for (BlockId b : inner->blocks)
+    EXPECT_EQ(loops.depth_of(b), 3u);
+  EXPECT_EQ(loops.innermost(fn.entry()), nullptr);
+}
+
+TEST(NaturalLoops, WorkloadKernelsHaveExpectedStructure) {
+  // The 3-deep stencils report depth 3; the branchy integer kernels have
+  // data branches that depress loop_regularity in the derived traits.
+  const auto mgrid = workloads::make_workload("MGRID");
+  EXPECT_EQ(find_natural_loops(mgrid->function()).max_depth(), 3u);
+  const auto swim = workloads::make_workload("SWIM");
+  EXPECT_EQ(find_natural_loops(swim->function()).max_depth(), 2u);
+  const auto crafty = workloads::make_workload("CRAFTY");
+  EXPECT_GE(find_natural_loops(crafty->function()).max_depth(), 2u);
+}
+
+}  // namespace
+}  // namespace peak::ir

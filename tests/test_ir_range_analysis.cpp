@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "analysis/input_sets.hpp"
+#include "core/profile.hpp"
+#include "ir/builder.hpp"
+#include "ir/range_analysis.hpp"
+#include "runtime/snapshot.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::ir {
+namespace {
+
+TEST(IntervalArith, BasicOperations) {
+  const Interval a{2, 5}, b{-1, 3};
+  EXPECT_EQ(iv_add(a, b), (Interval{1, 8}));
+  EXPECT_EQ(iv_sub(a, b), (Interval{-1, 6}));
+  EXPECT_EQ(iv_mul(a, b), (Interval{-5, 15}));
+  EXPECT_EQ(iv_neg(a), (Interval{-5, -2}));
+  EXPECT_EQ(iv_abs(b), (Interval{0, 3}));
+  EXPECT_EQ(hull(a, b), (Interval{-1, 5}));
+  EXPECT_EQ(intersect(a, b), (Interval{2, 3}));
+}
+
+TEST(IntervalArith, DivisionThroughZeroIsTop) {
+  EXPECT_TRUE(iv_div({1, 2}, {-1, 1}).is_top());
+  EXPECT_EQ(iv_div({4, 8}, {2, 4}), (Interval{1, 4}));
+}
+
+TEST(IntervalArith, ModBounds) {
+  const Interval r = iv_mod({0, 1000}, {16, 16});
+  EXPECT_GE(r.lo, 0.0);
+  EXPECT_LE(r.hi, 15.0);
+}
+
+TEST(RangeAnalysis, LoopInductionVariableBounded) {
+  FunctionBuilder b("loop");
+  const auto n = b.param_scalar("n");
+  const auto arr = b.param_array("arr", 128, true);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.store(arr, b.v(i), b.v(i));
+  });
+  const Function fn = b.build();
+
+  RangeAnalysis ranges(fn, {{n, Interval{0, 32}}});
+  const auto& written = ranges.written_ranges();
+  const auto it = written.find(arr);
+  ASSERT_NE(it, written.end());
+  EXPECT_TRUE(it->second.bounded);
+  EXPECT_EQ(it->second.lo, 0u);
+  // i < n <= 32; closure refinement allows i <= 32.
+  EXPECT_LE(it->second.hi, 32u);
+  EXPECT_GE(it->second.hi, 31u);
+}
+
+TEST(RangeAnalysis, UnknownParameterGivesUnbounded) {
+  FunctionBuilder b("loop");
+  const auto n = b.param_scalar("n");
+  const auto arr = b.param_array("arr", 128, true);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] { b.store(arr, b.v(i), b.v(i)); });
+  const Function fn = b.build();
+
+  RangeAnalysis ranges(fn);  // no entry bounds
+  const auto it = ranges.written_ranges().find(arr);
+  ASSERT_NE(it, ranges.written_ranges().end());
+  EXPECT_FALSE(it->second.bounded);
+}
+
+TEST(RangeAnalysis, OffsetWritesGetSubrange) {
+  // Writes land in arr[base .. base+n): with profiled bounds the slice is
+  // a strict subset of the 4096-element buffer.
+  FunctionBuilder b("offset");
+  const auto base = b.param_scalar("base");
+  const auto n = b.param_scalar("n");
+  const auto arr = b.param_array("arr", 4096, true);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.store(arr, b.add(b.v(base), b.v(i)), b.c(1.0));
+  });
+  const Function fn = b.build();
+
+  RangeAnalysis ranges(fn, {{base, Interval{256, 256}},
+                            {n, Interval{64, 128}}});
+  const auto it = ranges.written_ranges().find(arr);
+  ASSERT_NE(it, ranges.written_ranges().end());
+  ASSERT_TRUE(it->second.bounded);
+  EXPECT_EQ(it->second.lo, 256u);
+  EXPECT_LE(it->second.hi, 384u);
+}
+
+TEST(RangeAnalysis, DataDependentIndexUnbounded) {
+  FunctionBuilder b("scatter");
+  const auto n = b.param_scalar("n");
+  const auto idx = b.param_array("idx", 64);
+  const auto out = b.param_array("out", 64, true);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.store(out, b.at(idx, b.v(i)), b.c(1.0));
+  });
+  const Function fn = b.build();
+  RangeAnalysis ranges(fn, {{n, Interval{0, 64}}});
+  const auto it = ranges.written_ranges().find(out);
+  ASSERT_NE(it, ranges.written_ranges().end());
+  EXPECT_FALSE(it->second.bounded);  // idx contents are not tracked
+}
+
+TEST(RangeAnalysis, BranchRefinementOnGuards) {
+  FunctionBuilder b("guard");
+  const auto x = b.param_scalar("x");
+  const auto arr = b.param_array("arr", 10, true);
+  b.if_then(b.land(b.ge(b.v(x), b.c(2.0)), b.lt(b.v(x), b.c(8.0))),
+            [&] { b.store(arr, b.v(x), b.c(1.0)); });
+  const Function fn = b.build();
+  RangeAnalysis ranges(fn);  // x unknown at entry
+  const auto it = ranges.written_ranges().find(arr);
+  ASSERT_NE(it, ranges.written_ranges().end());
+  ASSERT_TRUE(it->second.bounded);
+  EXPECT_EQ(it->second.lo, 2u);
+  EXPECT_LE(it->second.hi, 8u);
+}
+
+TEST(CheckpointPlan, NarrowsModifiedInputToWrittenSlice) {
+  // mgrid-like: r is read+written but only indices [0, n^3) of a much
+  // larger buffer are touched.
+  FunctionBuilder b("stencilish");
+  const auto n = b.param_scalar("n");
+  const auto r = b.param_array("r", 4096, true);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.mul(b.v(n), b.v(n)), [&] {
+    b.store(r, b.v(i), b.mul(b.at(r, b.v(i)), b.c(0.5)));
+  });
+  const Function fn = b.build();
+
+  const analysis::InputSetInfo inputs = analysis::analyze_input_sets(fn);
+  RangeAnalysis ranges(fn, {{n, Interval{14, 14}}});
+  const analysis::CheckpointPlan plan =
+      analysis::plan_checkpoint(fn, inputs, ranges);
+
+  ASSERT_EQ(plan.regions.size(), 1u);
+  EXPECT_EQ(plan.regions[0].var, r);
+  ASSERT_FALSE(plan.regions[0].whole);
+  EXPECT_LE(plan.regions[0].hi, 196u);  // (closure: i <= n*n)
+  EXPECT_LT(plan.bytes(fn), inputs.modified_input_bytes(fn) / 10);
+  EXPECT_NE(plan.describe(fn).find("r[0.."), std::string::npos);
+}
+
+TEST(CheckpointPlan, SliceSnapshotRestoresExactly) {
+  FunctionBuilder b("slice");
+  const auto arr = b.param_array("arr", 100, true);
+  b.store(arr, b.c(10.0), b.c(-1.0));
+  const Function fn = b.build();
+  Memory mem = Memory::for_function(fn);
+  for (std::size_t i = 0; i < 100; ++i)
+    mem.array(arr)[i] = static_cast<double>(i);
+
+  runtime::MemorySnapshot snap(
+      fn, mem,
+      std::vector<runtime::SnapshotRegion>{
+          runtime::SnapshotRegion::slice(arr, 8, 12)});
+  EXPECT_EQ(snap.bytes(), 5 * sizeof(double));
+
+  for (std::size_t i = 0; i < 100; ++i) mem.array(arr)[i] = -7.0;
+  snap.restore(mem);
+  for (std::size_t i = 8; i <= 12; ++i)
+    EXPECT_DOUBLE_EQ(mem.array(arr)[i], static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(mem.array(arr)[7], -7.0);   // outside the slice
+  EXPECT_DOUBLE_EQ(mem.array(arr)[13], -7.0);
+}
+
+TEST(CheckpointPlan, ProfileIntegrationShrinksMgridCheckpoint) {
+  // End-to-end: the profile observes n <= 14, the range analysis bounds
+  // the written region of r, and the checkpoint plan beats whole-array
+  // Modified_Input by a wide margin.
+  const auto workload = workloads::make_workload("MGRID");
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, 42);
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, sim::sparc2());
+
+  const ir::Function& fn = workload->function();
+  const std::size_t whole = profile.input_sets.modified_input_bytes(fn);
+  const std::size_t planned = profile.checkpoint_plan.bytes(fn);
+  EXPECT_LT(planned, whole);
+  EXPECT_GT(planned, 0u);
+}
+
+}  // namespace
+}  // namespace peak::ir

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/per_context.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::core {
+namespace {
+
+TEST(ContextSensitiveEffects, ApsiRerunLoopOptFlipsWithShape) {
+  const auto& space = search::gcc33_o3_space();
+  const sim::FlagEffectModel effects(space);
+  const auto apsi = workloads::make_workload("APSI");
+  const sim::TsTraits traits = apsi->traits();
+  const sim::MachineModel machine = sim::sparc2();
+  EXPECT_TRUE(effects.context_sensitive(traits));
+
+  const search::FlagConfig with = search::o3_config(space);
+  const search::FlagConfig without =
+      with.with(*space.index_of("-frerun-loop-opt"), false);
+
+  // Narrow butterflies (ido < 8): the optimization hurts.
+  const std::vector<double> small = {4, 32};
+  EXPECT_GT(effects.time_multiplier(traits, machine, with, small),
+            effects.time_multiplier(traits, machine, without, small));
+  // Wide butterflies (ido = 16): it helps.
+  const std::vector<double> large = {16, 32};
+  EXPECT_LT(effects.time_multiplier(traits, machine, with, large),
+            effects.time_multiplier(traits, machine, without, large));
+
+  // Sections without stories are unchanged by the context overload.
+  const auto swim = workloads::make_workload("SWIM");
+  EXPECT_FALSE(effects.context_sensitive(swim->traits()));
+  EXPECT_DOUBLE_EQ(
+      effects.time_multiplier(swim->traits(), machine, with, {32, 32}),
+      effects.time_multiplier(swim->traits(), machine, with));
+}
+
+TEST(PerContextTuning, ContextWinnersDifferAndDispatchWins) {
+  const auto apsi = workloads::make_workload("APSI");
+  const sim::MachineModel machine = sim::sparc2();
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+
+  const PerContextOutcome outcome =
+      tune_per_context(*apsi, machine, effects);
+  ASSERT_EQ(outcome.winners.size(), 3u);  // radb4's three contexts
+
+  // The narrow contexts disable -frerun-loop-opt; the wide one keeps it.
+  const auto& space = search::gcc33_o3_space();
+  const std::size_t flag = *space.index_of("-frerun-loop-opt");
+  EXPECT_FALSE(outcome.winners.at({1, 6}).enabled(flag));
+  EXPECT_FALSE(outcome.winners.at({4, 32}).enabled(flag));
+  EXPECT_TRUE(outcome.winners.at({16, 32}).enabled(flag));
+
+  // Per-context dispatch beats the single tuned version (paper §2.2: the
+  // adaptive scenario "would make use of all versions"). The single
+  // version may even lose slightly overall — its winner is tuned for the
+  // dominant context at the expense of the others, the exact failure mode
+  // dispatch exists to avoid.
+  EXPECT_GT(outcome.dispatch_improvement_pct,
+            outcome.single_improvement_pct + 0.5);
+  EXPECT_GT(outcome.dispatch_improvement_pct, 0.0);
+  EXPECT_GT(outcome.single_improvement_pct, -2.0);
+}
+
+TEST(PerContextTuning, SingleContextSectionDegeneratesGracefully) {
+  const auto swim = workloads::make_workload("SWIM");
+  const sim::MachineModel machine = sim::sparc2();
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  const PerContextOutcome outcome =
+      tune_per_context(*swim, machine, effects);
+  ASSERT_EQ(outcome.winners.size(), 1u);
+  // With one context, dispatch and single-version deployment coincide.
+  EXPECT_DOUBLE_EQ(outcome.dispatch_improvement_pct,
+                   outcome.single_improvement_pct);
+}
+
+TEST(PerContextTuning, RejectsNonCbrSections) {
+  const auto bzip2 = workloads::make_workload("BZIP2");
+  const sim::MachineModel machine = sim::sparc2();
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  EXPECT_THROW(tune_per_context(*bzip2, machine, effects),
+               support::CheckError);
+}
+
+}  // namespace
+}  // namespace peak::core

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "rating/cbr.hpp"
+#include "rating/rbr.hpp"
+#include "support/check.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::rating {
+namespace {
+
+TEST(Cbr, BucketsByContext) {
+  ContextBasedRater rater;
+  support::Rng rng(1);
+  // Context {8}: ~80 cycles; context {16}: ~160 cycles.
+  for (int i = 0; i < 50; ++i) {
+    rater.add({8}, rng.normal(80, 1));
+    rater.add({16}, rng.normal(160, 2));
+  }
+  EXPECT_EQ(rater.num_contexts(), 2u);
+  EXPECT_EQ(rater.total_samples(), 100u);
+  EXPECT_NEAR(rater.rating_for({8}).eval, 80.0, 1.0);
+  EXPECT_NEAR(rater.rating_for({16}).eval, 160.0, 1.0);
+  // The dominant context carries the most total time: {16}.
+  EXPECT_EQ(rater.dominant_context(), (ContextKey{16}));
+  EXPECT_NEAR(rater.rating().eval, 160.0, 1.0);
+}
+
+TEST(Cbr, SameContextComparisonIsFairUnderShiftedMix) {
+  // The motivating failure of AVG: if version A is measured while small
+  // contexts dominate and version B while large ones do, raw averages
+  // mislead. CBR compares within a context, immune to the mix.
+  support::Rng rng(2);
+  ContextBasedRater version_a, version_b;
+  // Version A: measured mostly under context {1} (cheap).
+  for (int i = 0; i < 90; ++i) version_a.add({1}, rng.normal(10, 0.1));
+  for (int i = 0; i < 10; ++i) version_a.add({2}, rng.normal(100, 1));
+  // Version B: 10% faster but measured mostly under context {2}.
+  for (int i = 0; i < 10; ++i) version_b.add({1}, rng.normal(9, 0.1));
+  for (int i = 0; i < 90; ++i) version_b.add({2}, rng.normal(90, 1));
+
+  // Per-context comparison: B wins in both contexts.
+  EXPECT_LT(version_b.rating_for({1}).eval,
+            version_a.rating_for({1}).eval);
+  EXPECT_LT(version_b.rating_for({2}).eval,
+            version_a.rating_for({2}).eval);
+}
+
+TEST(Cbr, AllRatingsExposesEveryContext) {
+  ContextBasedRater rater;
+  for (int i = 0; i < 15; ++i) {
+    rater.add({1, 1}, 5.0);
+    rater.add({1, 2}, 6.0);
+    rater.add({2, 1}, 7.0);
+  }
+  const auto all = rater.all_ratings();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_NEAR(all.at({1, 2}).eval, 6.0, 1e-12);
+}
+
+TEST(Cbr, UnknownContextGivesEmptyRating) {
+  ContextBasedRater rater;
+  rater.add({1}, 5.0);
+  const Rating r = rater.rating_for({9});
+  EXPECT_EQ(r.samples, 0u);
+}
+
+TEST(Cbr, DominantContextThrowsWhenEmpty) {
+  ContextBasedRater rater;
+  EXPECT_THROW((void)rater.dominant_context(), support::CheckError);
+}
+
+TEST(Cbr, ResetClears) {
+  ContextBasedRater rater;
+  rater.add({1}, 5.0);
+  rater.reset();
+  EXPECT_EQ(rater.num_contexts(), 0u);
+  EXPECT_EQ(rater.total_samples(), 0u);
+}
+
+TEST(Rbr, IdenticalVersionsRateNearOne) {
+  ReexecutionRater rater;
+  support::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double base = 100.0 * rng.lognormal(0.02);
+    const double exp = 100.0 * rng.lognormal(0.02);
+    rater.add_pair(base, exp);
+  }
+  EXPECT_NEAR(rater.rating().eval, 1.0, 0.01);
+}
+
+TEST(Rbr, DetectsPlantedImprovement) {
+  ReexecutionRater rater;
+  support::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double base = 100.0 * rng.lognormal(0.02);
+    const double exp = 90.0 * rng.lognormal(0.02);  // 11% faster
+    rater.add_pair(base, exp);
+  }
+  EXPECT_NEAR(rater.rating().eval, 100.0 / 90.0, 0.01);
+}
+
+TEST(Rbr, RejectsNonPositiveTimes) {
+  ReexecutionRater rater;
+  EXPECT_THROW(rater.add_pair(0.0, 1.0), support::CheckError);
+  EXPECT_THROW(rater.add_pair(1.0, -2.0), support::CheckError);
+}
+
+TEST(Rbr, SharedPerInvocationFactorCancels) {
+  // The heart of RBR: a data-dependent speed factor common to both timed
+  // runs of an invocation divides out of the ratio.
+  ReexecutionRater rater;
+  support::Rng rng(5);
+  for (int i = 0; i < 80; ++i) {
+    const double shared = rng.lognormal(0.3);  // wild per-invocation swing
+    rater.add_pair(100.0 * shared, 95.0 * shared);
+  }
+  const Rating r = rater.rating();
+  EXPECT_NEAR(r.eval, 100.0 / 95.0, 1e-9);
+  EXPECT_NEAR(r.var, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace peak::rating

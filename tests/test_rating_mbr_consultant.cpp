@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "rating/consultant.hpp"
+#include "rating/mbr.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::rating {
+namespace {
+
+TEST(Mbr, PaperFigure2WorkedExample) {
+  // Figure 2: Y = [11015 5508 6626 6044 8793], C row 1 = [100 50 60 55 80],
+  // C row 2 = 1s. Regression yields T = [110.05, 3.75]; the first
+  // component dominates, so the version's rating is T_1.
+  MbrProfile profile;
+  profile.dominant_component = 0;
+  MbrPolicy policy;
+  policy.min_samples_per_component = 2;
+  ModelBasedRater rater(2, profile, policy);
+  const double counts[5] = {100, 50, 60, 55, 80};
+  const double times[5] = {11015, 5508, 6626, 6044, 8793};
+  for (int i = 0; i < 5; ++i) rater.add({counts[i], 1.0}, times[i]);
+
+  const Rating r = rater.rating();
+  EXPECT_NEAR(r.eval, 110.05, 0.3);
+  EXPECT_LT(r.var, 0.001);
+  const std::vector<double> t = rater.component_times();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_NEAR(t[0], 110.05, 0.3);
+}
+
+TEST(Mbr, RecoversPlantedComponentTimesUnderNoise) {
+  support::Rng rng(11);
+  MbrProfile profile;
+  profile.c_avg = {50.0, 20.0, 1.0};
+  ModelBasedRater rater(3, profile);
+  const double t1 = 7.0, t2 = 30.0, tc = 500.0;
+  for (int i = 0; i < 300; ++i) {
+    const double c1 = rng.uniform(20, 100);
+    const double c2 = rng.uniform(5, 40);
+    const double y = (t1 * c1 + t2 * c2 + tc) * rng.lognormal(0.01);
+    rater.add({c1, c2, 1.0}, y);
+  }
+  const std::vector<double> t = rater.component_times();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_NEAR(t[0], t1, 0.5);
+  EXPECT_NEAR(t[1], t2, 2.0);
+  // EVAL = T_avg with the profiled average counts.
+  const double expected_tavg = t1 * 50 + t2 * 20 + tc;
+  EXPECT_NEAR(rater.rating().eval, expected_tavg, 0.03 * expected_tavg);
+}
+
+TEST(Mbr, ConstantOnlyModelDegeneratesToMean) {
+  // Single-context sections have only the constant component; the paper
+  // notes MBR then equals CBR/AVG. Convergence must still work (by the
+  // standard error of the mean, not the residual ratio).
+  MbrProfile profile;  // no dominant, no c_avg
+  MbrPolicy policy;
+  policy.min_samples_per_component = 8;
+  ModelBasedRater rater(1, profile, policy);
+  support::Rng rng(12);
+  for (int i = 0; i < 400 && !rater.converged(); ++i)
+    rater.add({1.0}, rng.normal(250.0, 2.0));
+  EXPECT_TRUE(rater.converged());
+  EXPECT_NEAR(rater.rating().eval, 250.0, 1.0);
+}
+
+TEST(Mbr, VarReportsUnexplainedResidual) {
+  // Irregular behaviour (per-invocation factor uncorrelated with counts)
+  // shows up as a large VAR — the paper's accuracy caveat for MBR.
+  support::Rng rng(13);
+  MbrProfile profile;
+  profile.c_avg = {10.0, 1.0};
+  ModelBasedRater rater(2, profile);
+  for (int i = 0; i < 200; ++i) {
+    const double c = rng.uniform(5, 15);
+    rater.add({c, 1.0}, (5.0 * c + 50.0) * rng.lognormal(0.3));
+  }
+  EXPECT_GT(rater.rating().var, 0.2);
+}
+
+TEST(Mbr, TooFewSamplesNotConverged) {
+  ModelBasedRater rater(2, MbrProfile{});
+  rater.add({1.0, 1.0}, 10.0);
+  const Rating r = rater.rating();
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.samples, 1u);
+}
+
+TEST(Mbr, RejectsArityMismatch) {
+  ModelBasedRater rater(2, MbrProfile{});
+  EXPECT_THROW(rater.add({1.0}, 10.0), support::CheckError);
+}
+
+TEST(Consultant, RegularFewContextSection) {
+  ConsultantInputs in;
+  in.cbr_context_scalars_only = true;
+  in.num_contexts = 2;
+  in.invocations = 3000;
+  in.mbr_model_built = true;
+  in.num_components = 2;
+  in.rbr_no_side_effects = true;
+  const MethodDecision d = decide_rating_methods(in);
+  // Full chain, cheapest first — the paper's ordering CBR < MBR < RBR.
+  ASSERT_EQ(d.chain.size(), 3u);
+  EXPECT_EQ(d.chain[0], Method::kCBR);
+  EXPECT_EQ(d.chain[1], Method::kMBR);
+  EXPECT_EQ(d.chain[2], Method::kRBR);
+  EXPECT_EQ(d.initial(), Method::kCBR);
+}
+
+TEST(Consultant, TooManyContextsSkipsCbr) {
+  ConsultantInputs in;
+  in.cbr_context_scalars_only = true;
+  in.num_contexts = 500;
+  in.invocations = 3000;
+  in.mbr_model_built = true;
+  in.num_components = 3;
+  const MethodDecision d = decide_rating_methods(in);
+  EXPECT_FALSE(d.applicable(Method::kCBR));
+  EXPECT_EQ(d.initial(), Method::kMBR);
+  EXPECT_NE(d.rationale.find("contexts"), std::string::npos);
+}
+
+TEST(Consultant, FewInvocationsPerContextSkipsCbr) {
+  ConsultantInputs in;
+  in.cbr_context_scalars_only = true;
+  in.num_contexts = 20;
+  in.invocations = 50;  // 2.5 per context < the "10s of times" rule
+  in.mbr_model_built = false;
+  const MethodDecision d = decide_rating_methods(in);
+  EXPECT_FALSE(d.applicable(Method::kCBR));
+  EXPECT_EQ(d.initial(), Method::kRBR);
+}
+
+TEST(Consultant, NonScalarContextAndIrregularModel) {
+  ConsultantInputs in;
+  in.cbr_context_scalars_only = false;
+  in.mbr_model_built = false;
+  in.rbr_no_side_effects = true;
+  const MethodDecision d = decide_rating_methods(in);
+  ASSERT_EQ(d.chain.size(), 1u);
+  EXPECT_EQ(d.chain[0], Method::kRBR);
+}
+
+TEST(Consultant, SideEffectsRemoveRbr) {
+  ConsultantInputs in;
+  in.cbr_context_scalars_only = true;
+  in.num_contexts = 1;
+  in.invocations = 100;
+  in.mbr_model_built = true;
+  in.num_components = 1;
+  in.rbr_no_side_effects = false;
+  const MethodDecision d = decide_rating_methods(in);
+  EXPECT_FALSE(d.applicable(Method::kRBR));
+  EXPECT_EQ(d.chain.size(), 2u);
+}
+
+TEST(Consultant, TooManyComponentsSkipsMbr) {
+  ConsultantInputs in;
+  in.cbr_context_scalars_only = false;
+  in.mbr_model_built = true;
+  in.num_components = 12;
+  const MethodDecision d = decide_rating_methods(in);
+  EXPECT_FALSE(d.applicable(Method::kMBR));
+}
+
+TEST(Consultant, EmptyChainFallsBackToWhl) {
+  MethodDecision d;
+  EXPECT_EQ(d.initial(), Method::kWHL);
+}
+
+}  // namespace
+}  // namespace peak::rating

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "rating/baselines.hpp"
+#include "rating/window.hpp"
+#include "support/rng.hpp"
+
+namespace peak::rating {
+namespace {
+
+TEST(WindowedRater, EvalVarOverWindow) {
+  WindowedRater rater;
+  for (double x : {10.0, 11.0, 9.0, 10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9})
+    rater.add(x);
+  const Rating r = rater.rating();
+  EXPECT_EQ(r.samples, 10u);
+  EXPECT_NEAR(r.eval, 10.0, 0.1);
+  EXPECT_GT(r.var, 0.0);
+}
+
+TEST(WindowedRater, ConvergesAsWindowGrows) {
+  support::Rng rng(1);
+  WindowPolicy policy;
+  policy.cv_threshold = 0.01;
+  WindowedRater rater(policy);
+  int added = 0;
+  while (!rater.converged() && added < 10000) {
+    rater.add(rng.normal(100.0, 5.0));
+    ++added;
+  }
+  EXPECT_TRUE(rater.converged());
+  // sem = 5/sqrt(n) < 1.0 → n ≈ 25; allow generous slack.
+  EXPECT_LT(added, 400);
+  EXPECT_GE(added, 10);
+}
+
+TEST(WindowedRater, OutlierEliminationStabilizesEval) {
+  support::Rng rng(2);
+  WindowPolicy with, without;
+  without.outliers.rule = stats::OutlierRule::kNone;
+  WindowedRater filtered(with), raw(without);
+  for (int i = 0; i < 200; ++i) {
+    double t = rng.normal(100.0, 1.0);
+    if (i % 25 == 7) t *= 4.0;  // interrupt
+    filtered.add(t);
+    raw.add(t);
+  }
+  EXPECT_NEAR(filtered.rating().eval, 100.0, 0.5);
+  EXPECT_GT(raw.rating().eval, 101.0);  // dragged by spikes
+  EXPECT_GT(filtered.outliers_dropped(), 0u);
+}
+
+TEST(WindowedRater, ExhaustedAtMaxSamples) {
+  WindowPolicy policy;
+  policy.max_samples = 16;
+  policy.cv_threshold = 1e-9;  // unreachable
+  WindowedRater rater(policy);
+  support::Rng rng(3);
+  for (int i = 0; i < 16; ++i) rater.add(rng.normal(10, 1));
+  EXPECT_TRUE(rater.exhausted());
+  EXPECT_FALSE(rater.converged());
+}
+
+TEST(WindowedRater, EmptyRatingIsInert) {
+  WindowedRater rater;
+  const Rating r = rater.rating();
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Rating, ScoreTimeNormalizesRbr) {
+  Rating time_like;
+  time_like.eval = 50.0;
+  EXPECT_DOUBLE_EQ(time_like.score_time(Method::kCBR), 50.0);
+  Rating ratio_like;
+  ratio_like.eval = 1.25;  // 25% faster than base
+  EXPECT_DOUBLE_EQ(ratio_like.score_time(Method::kRBR), 0.8);
+}
+
+TEST(MethodNames, RoundTrip) {
+  EXPECT_STREQ(to_string(Method::kCBR), "CBR");
+  EXPECT_STREQ(to_string(Method::kMBR), "MBR");
+  EXPECT_STREQ(to_string(Method::kRBR), "RBR");
+  EXPECT_STREQ(to_string(Method::kAVG), "AVG");
+  EXPECT_STREQ(to_string(Method::kWHL), "WHL");
+}
+
+TEST(WholeProgramRater, AggregatesRuns) {
+  WholeProgramRater rater;
+  for (int run = 0; run < 3; ++run) {
+    for (int i = 0; i < 100; ++i) rater.add_invocation(10.0);
+    rater.end_run();
+  }
+  EXPECT_EQ(rater.runs(), 3u);
+  EXPECT_NEAR(rater.rating().eval, 1000.0, 1e-9);
+  EXPECT_TRUE(rater.converged());  // identical runs converge immediately
+}
+
+TEST(ContextObliviousRater, IsAPlainWindow) {
+  ContextObliviousRater rater;
+  for (int i = 0; i < 20; ++i) rater.add(5.0);
+  EXPECT_NEAR(rater.rating().eval, 5.0, 1e-12);
+}
+
+/// Property: the standard deviation of window means shrinks like 1/sqrt(w)
+/// — the mechanism behind Table 1's consistency-vs-window-size columns.
+class WindowSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSizeSweep, MeanSpreadShrinksWithWindow) {
+  const int w = GetParam();
+  support::Rng rng(4);
+  std::vector<double> window_means;
+  for (int rep = 0; rep < 60; ++rep) {
+    double sum = 0.0;
+    for (int i = 0; i < w; ++i) sum += rng.normal(100.0, 3.0);
+    window_means.push_back(sum / w);
+  }
+  double dev = 0.0;
+  for (double m : window_means) dev += (m - 100.0) * (m - 100.0);
+  dev = std::sqrt(dev / static_cast<double>(window_means.size()));
+  const double predicted = 3.0 / std::sqrt(static_cast<double>(w));
+  EXPECT_NEAR(dev, predicted, predicted);  // within 2x of theory
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Windows, WindowSizeSweep,
+                         ::testing::Values(10, 20, 40, 80, 160));
+
+}  // namespace
+}  // namespace peak::rating

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ir/builder.hpp"
+#include "support/check.hpp"
+#include "ir/interpreter.hpp"
+#include "runtime/inspector.hpp"
+#include "runtime/snapshot.hpp"
+#include "runtime/timer.hpp"
+#include "runtime/version_table.hpp"
+#include "support/rng.hpp"
+
+namespace peak::runtime {
+namespace {
+
+ir::Function scatter_fn() {
+  // Irregular writes: out[idx[i]] += w — the case where static analysis
+  // cannot bound Modified_Input and the inspector takes over.
+  ir::FunctionBuilder b("scatter");
+  const auto n = b.param_scalar("n");
+  const auto idx = b.param_array("idx", 32);
+  const auto out = b.param_array("out", 64, true);
+  const auto i = b.scalar("i");
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.store(out, b.at(idx, b.v(i)),
+            b.add(b.at(out, b.at(idx, b.v(i))), b.c(1.0)));
+  });
+  return b.build();
+}
+
+TEST(Snapshot, SaveRestoreRoundTrip) {
+  const ir::Function fn = scatter_fn();
+  ir::Memory mem = ir::Memory::for_function(fn);
+  const ir::VarId out = *fn.find_var("out");
+  const ir::VarId n = *fn.find_var("n");
+  mem.scalar(n) = 3;
+  for (std::size_t i = 0; i < 3; ++i) mem.array(*fn.find_var("idx"))[i] = 5;
+  mem.array(out)[5] = 100.0;
+
+  MemorySnapshot snap(fn, mem, std::vector<ir::VarId>{out, n});
+  ir::Interpreter(fn).run(mem);
+  EXPECT_DOUBLE_EQ(mem.array(out)[5], 103.0);  // mutated
+
+  snap.restore(mem);
+  EXPECT_DOUBLE_EQ(mem.array(out)[5], 100.0);  // back to the checkpoint
+  EXPECT_DOUBLE_EQ(mem.scalar(n), 3.0);
+}
+
+TEST(Snapshot, BytesReflectRegions) {
+  const ir::Function fn = scatter_fn();
+  ir::Memory mem = ir::Memory::for_function(fn);
+  const MemorySnapshot small(fn, mem,
+                             std::vector<ir::VarId>{*fn.find_var("n")});
+  const MemorySnapshot big(fn, mem,
+                           std::vector<ir::VarId>{*fn.find_var("out")});
+  EXPECT_EQ(small.bytes(), sizeof(double));
+  EXPECT_EQ(big.bytes(), 64 * sizeof(double));
+}
+
+TEST(Snapshot, RecaptureFollowsNewState) {
+  const ir::Function fn = scatter_fn();
+  ir::Memory mem = ir::Memory::for_function(fn);
+  const ir::VarId out = *fn.find_var("out");
+  MemorySnapshot snap(fn, mem, std::vector<ir::VarId>{out});
+  mem.array(out)[7] = 42.0;
+  snap.recapture(mem);
+  mem.array(out)[7] = 0.0;
+  snap.restore(mem);
+  EXPECT_DOUBLE_EQ(mem.array(out)[7], 42.0);
+}
+
+TEST(Inspector, UndoRestoresIrregularWrites) {
+  const ir::Function fn = scatter_fn();
+  ir::Memory mem = ir::Memory::for_function(fn);
+  const ir::VarId out = *fn.find_var("out");
+  support::Rng rng(77);
+  mem.scalar(*fn.find_var("n")) = 20;
+  for (std::size_t i = 0; i < 20; ++i)
+    mem.array(*fn.find_var("idx"))[i] =
+        static_cast<double>(rng.uniform_int(0, 63));
+  for (std::size_t i = 0; i < 64; ++i)
+    mem.array(out)[i] = rng.uniform(0.0, 10.0);
+  const std::vector<double> original = mem.array(out);
+
+  WriteInspector inspector;
+  ir::InterpreterOptions opts;
+  opts.write_hook = inspector.hook();
+  ir::Interpreter(fn, opts).run(mem);
+  EXPECT_NE(mem.array(out), original);
+  EXPECT_GT(inspector.entries(), 0u);
+  // Duplicate writes to the same slot are logged once (first write wins).
+  EXPECT_LE(inspector.entries(), 20u);
+
+  inspector.undo(mem);
+  EXPECT_EQ(mem.array(out), original);
+}
+
+TEST(Inspector, ClearResets) {
+  WriteInspector inspector;
+  auto hook = inspector.hook();
+  ir::Memory mem;
+  mem.arrays.resize(1);
+  mem.arrays[0] = {1.0, 2.0};
+  hook(0, 0, 1.0);
+  EXPECT_EQ(inspector.entries(), 1u);
+  inspector.clear();
+  EXPECT_EQ(inspector.entries(), 0u);
+}
+
+TEST(VersionTable, PromoteAndRetireLifecycle) {
+  const auto& space = search::gcc33_o3_space();
+  VersionTable table(search::o3_config(space));
+  EXPECT_EQ(table.best().id, 0u);
+
+  const auto id1 =
+      table.install_experimental(search::baseline_config(space));
+  EXPECT_EQ(id1, 1u);
+  table.rate_experimental(0.9, 0.001);
+  table.promote_experimental();
+  EXPECT_EQ(table.best().id, 1u);
+  EXPECT_EQ(table.retired().size(), 1u);
+
+  table.install_experimental(search::o3_config(space));
+  table.rate_experimental(1.5, 0.002);
+  table.retire_experimental();
+  EXPECT_EQ(table.best().id, 1u);
+  EXPECT_EQ(table.retired().size(), 2u);
+  EXPECT_GE(table.swap_count(), 4u);
+}
+
+TEST(VersionTable, GuardsProtocolViolations) {
+  const auto& space = search::gcc33_o3_space();
+  VersionTable table(search::o3_config(space));
+  EXPECT_THROW(table.promote_experimental(), support::CheckError);
+  table.install_experimental(search::baseline_config(space));
+  EXPECT_THROW(table.install_experimental(search::baseline_config(space)),
+               support::CheckError);
+  // Unrated experimental versions cannot be promoted.
+  EXPECT_THROW(table.promote_experimental(), support::CheckError);
+}
+
+TEST(VersionTable, ConcurrentReadsDuringSwaps) {
+  const auto& space = search::gcc33_o3_space();
+  VersionTable table(search::o3_config(space));
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const VersionRecord best = table.best();
+      (void)best;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    table.install_experimental(search::baseline_config(space));
+    table.rate_experimental(1.0, 0.0);
+    if (i % 2 == 0)
+      table.promote_experimental();
+    else
+      table.retire_experimental();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(table.retired().size(), 200u);
+}
+
+TEST(Timers, WallAndVirtual) {
+  WallTimer wall;
+  wall.start();
+  EXPECT_GE(wall.stop(), 0.0);
+
+  VirtualClock clock;
+  clock.advance(10.5);
+  clock.advance(4.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 15.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace peak::runtime

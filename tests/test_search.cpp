@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/iterative_elimination.hpp"
+#include "search/opt_config.hpp"
+#include "search/simple_searches.hpp"
+#include "support/check.hpp"
+
+namespace peak::search {
+namespace {
+
+/// Noise-free separable evaluator: each flag multiplies time by a fixed
+/// factor (< 1 helps, > 1 hurts). relative_improvement = time ratio.
+class SeparableEvaluator : public ConfigEvaluator {
+public:
+  explicit SeparableEvaluator(std::vector<double> factors)
+      : factors_(std::move(factors)) {}
+
+  double relative_improvement(const FlagConfig& base,
+                              const FlagConfig& cfg) override {
+    return time(base) / time(cfg);
+  }
+
+  double time(const FlagConfig& cfg) const {
+    double t = 1000.0;
+    for (std::size_t f = 0; f < factors_.size(); ++f)
+      if (cfg.enabled(f)) t *= factors_[f];
+    return t;
+  }
+
+private:
+  std::vector<double> factors_;
+};
+
+/// Evaluator with an interaction between *removals*: starting from both
+/// flags on, removing either 0 or 1 alone helps, but removing both is
+/// worse than removing just one. Batch Elimination probes removals
+/// one-at-a-time against the original base and then removes all "harmful"
+/// options together — blind to this interaction; Iterative Elimination
+/// re-probes after every removal and stops in time.
+class InteractingEvaluator : public ConfigEvaluator {
+public:
+  double relative_improvement(const FlagConfig& base,
+                              const FlagConfig& cfg) override {
+    return time(base) / time(cfg);
+  }
+
+  static double time(const FlagConfig& cfg) {
+    double t = 1000.0;
+    const bool a = cfg.enabled(0), b = cfg.enabled(1);
+    if (a && b)
+      t *= 1.10;  // both on: slow
+    else if (a || b)
+      t *= 1.02;  // exactly one on: best
+    else
+      t *= 1.08;  // both off: slow again
+    if (cfg.enabled(2)) t *= 1.10;  // plainly harmful, independent
+    return t;
+  }
+};
+
+OptimizationSpace small_space(std::size_t n) {
+  std::vector<FlagInfo> flags;
+  for (std::size_t i = 0; i < n; ++i)
+    flags.push_back({"-fopt" + std::to_string(i), FlagCategory::kMisc, 2});
+  return OptimizationSpace(std::move(flags));
+}
+
+TEST(IterativeElimination, RemovesExactlyTheHarmfulFlags) {
+  const OptimizationSpace space = small_space(8);
+  SeparableEvaluator eval({0.95, 1.08, 0.97, 1.03, 0.99, 1.0, 0.96, 1.12});
+  IterativeElimination ie;
+  const SearchResult result = ie.run(space, eval, o3_config(space));
+  EXPECT_FALSE(result.best.enabled(1));
+  EXPECT_FALSE(result.best.enabled(3));
+  EXPECT_FALSE(result.best.enabled(7));
+  EXPECT_TRUE(result.best.enabled(0));
+  EXPECT_TRUE(result.best.enabled(2));
+  EXPECT_TRUE(result.best.enabled(6));
+  EXPECT_GT(result.improvement_over_start, 1.2);
+  EXPECT_FALSE(result.log.empty());
+}
+
+TEST(IterativeElimination, QuadraticEvaluationBudget) {
+  const OptimizationSpace space = small_space(10);
+  std::vector<double> factors(10, 1.05);  // everything harmful
+  SeparableEvaluator eval(factors);
+  IterativeElimination ie;
+  const SearchResult result = ie.run(space, eval, o3_config(space));
+  EXPECT_EQ(result.best.count_enabled(), 0u);
+  // Removing all n flags costs n + (n-1) + ... + 1 = n(n+1)/2 evaluations
+  // plus one final all-clean round.
+  EXPECT_LE(result.configs_evaluated, 10u * 11u / 2u);
+}
+
+TEST(IterativeElimination, RespectsInteractions) {
+  const OptimizationSpace space = small_space(3);
+  InteractingEvaluator eval;
+  IterativeElimination ie;
+  const SearchResult result = ie.run(space, eval, o3_config(space));
+  // IE removes one of {0, 1}, then sees that removing the other would
+  // hurt, and stops — landing on the optimum (exactly one enabled).
+  EXPECT_NE(result.best.enabled(0), result.best.enabled(1));
+  EXPECT_FALSE(result.best.enabled(2));
+}
+
+TEST(BatchElimination, BlindToInteractions) {
+  const OptimizationSpace space = small_space(3);
+  InteractingEvaluator eval;
+  BatchElimination be;
+  const SearchResult result = be.run(space, eval, o3_config(space));
+  // Both removals look good in isolation, so BE takes both — and loses.
+  EXPECT_FALSE(result.best.enabled(0));
+  EXPECT_FALSE(result.best.enabled(1));
+  EXPECT_GT(InteractingEvaluator::time(result.best),
+            InteractingEvaluator::time(
+                IterativeElimination().run(space, eval, o3_config(space))
+                    .best));
+}
+
+TEST(BatchElimination, SingleRoundBudget) {
+  const OptimizationSpace space = small_space(12);
+  SeparableEvaluator eval(std::vector<double>(12, 1.02));
+  BatchElimination be;
+  const SearchResult result = be.run(space, eval, o3_config(space));
+  EXPECT_LE(result.configs_evaluated, 13u);  // n probes + 1 validation
+  EXPECT_EQ(result.best.count_enabled(), 0u);
+}
+
+TEST(Exhaustive, FindsGlobalOptimumOnSmallSpace) {
+  const OptimizationSpace space = small_space(6);
+  SeparableEvaluator eval({0.9, 1.1, 0.95, 1.05, 0.99, 1.01});
+  ExhaustiveSearch ex;
+  const SearchResult result = ex.run(space, eval, o3_config(space));
+  // Optimum: enable exactly the beneficial flags {0, 2, 4}.
+  EXPECT_TRUE(result.best.enabled(0));
+  EXPECT_TRUE(result.best.enabled(2));
+  EXPECT_TRUE(result.best.enabled(4));
+  EXPECT_FALSE(result.best.enabled(1));
+  EXPECT_FALSE(result.best.enabled(3));
+  EXPECT_FALSE(result.best.enabled(5));
+  EXPECT_EQ(result.configs_evaluated, (1u << 6) - 1);
+}
+
+TEST(Exhaustive, MatchesIterativeEliminationOnSeparableSpace) {
+  // On a separable (interaction-free) space IE is provably optimal; check
+  // it against the exhaustive ground truth.
+  const OptimizationSpace space = small_space(8);
+  SeparableEvaluator eval({0.95, 1.08, 0.97, 1.03, 0.99, 1.0, 0.96, 1.12});
+  const SearchResult exhaustive =
+      ExhaustiveSearch().run(space, eval, o3_config(space));
+  const SearchResult ie =
+      IterativeElimination().run(space, eval, o3_config(space));
+  EXPECT_NEAR(eval.time(exhaustive.best), eval.time(ie.best),
+              0.011 * eval.time(exhaustive.best));
+}
+
+TEST(Exhaustive, RefusesLargeSpaces) {
+  const OptimizationSpace space = small_space(24);
+  SeparableEvaluator eval(std::vector<double>(24, 1.0));
+  ExhaustiveSearch ex(16);
+  EXPECT_THROW(ex.run(space, eval, o3_config(space)),
+               support::CheckError);
+}
+
+TEST(RandomSearch, FindsSomethingBetterThanO3) {
+  const OptimizationSpace space = small_space(8);
+  SeparableEvaluator eval({0.95, 1.08, 0.97, 1.03, 0.99, 1.0, 0.96, 1.12});
+  RandomSearch rs(200, 42);
+  const SearchResult result = rs.run(space, eval, o3_config(space));
+  EXPECT_GT(result.improvement_over_start, 1.0);
+  EXPECT_EQ(result.configs_evaluated, 200u);
+}
+
+TEST(GreedyConstruction, BuildsBeneficialSetFromScratch) {
+  const OptimizationSpace space = small_space(6);
+  SeparableEvaluator eval({0.9, 1.1, 0.95, 1.05, 0.99, 1.01});
+  GreedyConstruction greedy;
+  const SearchResult result = greedy.run(space, eval, o3_config(space));
+  EXPECT_TRUE(result.best.enabled(0));
+  EXPECT_TRUE(result.best.enabled(2));
+  EXPECT_FALSE(result.best.enabled(1));
+  EXPECT_FALSE(result.best.enabled(3));
+}
+
+TEST(SearchNames, Stable) {
+  EXPECT_EQ(IterativeElimination().name(), "iterative-elimination");
+  EXPECT_EQ(BatchElimination().name(), "batch-elimination");
+  EXPECT_EQ(ExhaustiveSearch().name(), "exhaustive");
+  EXPECT_EQ(RandomSearch(1, 1).name(), "random");
+  EXPECT_EQ(GreedyConstruction().name(), "greedy-construction");
+}
+
+}  // namespace
+}  // namespace peak::search

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "search/combined_elimination.hpp"
+#include "search/iterative_elimination.hpp"
+#include "search/opt_config.hpp"
+#include "support/rng.hpp"
+
+namespace peak::search {
+namespace {
+
+class SeparableEvaluator : public ConfigEvaluator {
+public:
+  explicit SeparableEvaluator(std::vector<double> factors)
+      : factors_(std::move(factors)) {}
+
+  double relative_improvement(const FlagConfig& base,
+                              const FlagConfig& cfg) override {
+    ++calls;
+    return time(base) / time(cfg);
+  }
+
+  double time(const FlagConfig& cfg) const {
+    double t = 1000.0;
+    for (std::size_t f = 0; f < factors_.size(); ++f)
+      if (cfg.enabled(f)) t *= factors_[f];
+    return t;
+  }
+
+  std::size_t calls = 0;
+
+private:
+  std::vector<double> factors_;
+};
+
+OptimizationSpace small_space(std::size_t n) {
+  std::vector<FlagInfo> flags;
+  for (std::size_t i = 0; i < n; ++i)
+    flags.push_back({"-fopt" + std::to_string(i), FlagCategory::kMisc, 2});
+  return OptimizationSpace(std::move(flags));
+}
+
+TEST(CombinedElimination, RemovesHarmfulKeepsHelpful) {
+  const OptimizationSpace space = small_space(8);
+  SeparableEvaluator eval({0.95, 1.08, 0.97, 1.03, 0.99, 1.0, 0.96, 1.12});
+  CombinedElimination ce(1.01);
+  const SearchResult result = ce.run(space, eval, o3_config(space));
+  EXPECT_FALSE(result.best.enabled(1));
+  EXPECT_FALSE(result.best.enabled(3));
+  EXPECT_FALSE(result.best.enabled(7));
+  EXPECT_TRUE(result.best.enabled(0));
+  EXPECT_TRUE(result.best.enabled(6));
+  EXPECT_GT(result.improvement_over_start, 1.2);
+}
+
+TEST(CombinedElimination, CheaperThanIterativeSameQuality) {
+  const OptimizationSpace space = small_space(16);
+  std::vector<double> factors(16, 1.0);
+  support::Rng rng(5);
+  for (double& f : factors) f = rng.uniform(0.95, 1.08);
+  const FlagConfig start = o3_config(space);
+
+  SeparableEvaluator ce_eval(factors);
+  const SearchResult ce =
+      CombinedElimination(1.01).run(space, ce_eval, start);
+  SeparableEvaluator ie_eval(factors);
+  IterativeEliminationOptions opts;
+  opts.improvement_threshold = 1.01;
+  const SearchResult ie =
+      IterativeElimination(opts).run(space, ie_eval, start);
+
+  // On a separable space both reach the same configuration, but CE does
+  // it in roughly one probing round plus revalidations.
+  EXPECT_EQ(ce.best, ie.best);
+  EXPECT_LT(ce_eval.calls, ie_eval.calls);
+}
+
+TEST(CombinedElimination, CleanSpaceStopsAfterOneRound) {
+  const OptimizationSpace space = small_space(10);
+  SeparableEvaluator eval(std::vector<double>(10, 0.97));  // all helpful
+  const SearchResult result =
+      CombinedElimination(1.01).run(space, eval, o3_config(space));
+  EXPECT_EQ(result.best, o3_config(space));
+  EXPECT_LE(result.configs_evaluated, 11u);  // n probes + final validation
+}
+
+TEST(FactorialScreening, FindsMainEffects) {
+  const OptimizationSpace space = small_space(10);
+  std::vector<double> factors(10, 1.0);
+  factors[2] = 1.10;  // harmful
+  factors[5] = 1.06;  // harmful
+  factors[7] = 0.93;  // helpful
+  SeparableEvaluator eval(factors);
+  FactorialScreeningOptions options;
+  options.runs = 120;
+  const SearchResult result =
+      FactorialScreening(options).run(space, eval, o3_config(space));
+  EXPECT_FALSE(result.best.enabled(2));
+  EXPECT_FALSE(result.best.enabled(5));
+  EXPECT_TRUE(result.best.enabled(7));
+  EXPECT_GT(result.improvement_over_start, 1.1);
+  // Cost is the design size plus one validation, independent of n².
+  EXPECT_EQ(result.configs_evaluated, 121u);
+}
+
+TEST(FactorialScreening, DesignSizeClampedToFlagCount) {
+  const OptimizationSpace space = small_space(12);
+  SeparableEvaluator eval(std::vector<double>(12, 1.0));
+  FactorialScreeningOptions options;
+  options.runs = 4;  // too small: clamped to n + 8
+  const SearchResult result =
+      FactorialScreening(options).run(space, eval, o3_config(space));
+  EXPECT_GE(result.configs_evaluated, 12u + 8u);
+}
+
+TEST(SearchExtensionNames, Stable) {
+  EXPECT_EQ(CombinedElimination().name(), "combined-elimination");
+  EXPECT_EQ(FactorialScreening().name(), "factorial-screening");
+}
+
+}  // namespace
+}  // namespace peak::search

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "sim/exec_backend.hpp"
+#include "stats/descriptive.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::sim {
+namespace {
+
+class BackendTest : public ::testing::Test {
+protected:
+  BackendTest()
+      : workload_(workloads::make_workload("SWIM")),
+        machine_(sparc2()),
+        effects_(search::gcc33_o3_space()),
+        trace_(workload_->trace(workloads::DataSet::kTrain, 11)) {}
+
+  std::unique_ptr<SimExecutionBackend> make_backend(std::uint64_t seed = 1) {
+    auto backend = std::make_unique<SimExecutionBackend>(
+        workload_->function(), workload_->traits(), machine_, effects_,
+        seed);
+    backend->set_checkpoint_bytes(8192, 2048);
+    return backend;
+  }
+
+  std::unique_ptr<workloads::Workload> workload_;
+  MachineModel machine_;
+  FlagEffectModel effects_;
+  workloads::Trace trace_;
+};
+
+TEST_F(BackendTest, ExpectedTimeIsDeterministicAndPositive) {
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+  const double t1 = backend->expected_time(o3, trace_.invocations[0]);
+  const double t2 = backend->expected_time(o3, trace_.invocations[1]);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_DOUBLE_EQ(t1, t2);  // same context, cached base run
+}
+
+TEST_F(BackendTest, InvokeTimesFluctuateAroundExpected) {
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+  const double expected =
+      backend->expected_time(o3, trace_.invocations[0]);
+  std::vector<double> times;
+  for (int i = 0; i < 300; ++i)
+    times.push_back(backend->invoke(o3, trace_.invocations[0]).time);
+  const double m = stats::mean(times);
+  // Cold-start warmth inflates every fresh-data execution a bit.
+  EXPECT_GT(m, expected * 0.95);
+  EXPECT_LT(m, expected * 1.45);
+  EXPECT_GT(stats::stddev(times), 0.0);
+}
+
+TEST_F(BackendTest, FasterConfigGivesSmallerExpectedTime) {
+  auto backend = make_backend();
+  const auto& space = effects_.space();
+  const search::FlagConfig o3 = search::o3_config(space);
+  // SWIM story: -fschedule-insns hurts; removing it must speed things up.
+  const search::FlagConfig better =
+      o3.with(*space.index_of("-fschedule-insns"), false);
+  EXPECT_LT(backend->expected_time(better, trace_.invocations[0]),
+            backend->expected_time(o3, trace_.invocations[0]));
+}
+
+TEST_F(BackendTest, RbrPairSharesContext) {
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+  const RbrPairResult pair = backend->invoke_rbr_pair(
+      o3, o3, trace_.invocations[0], RbrOptions{true});
+  // Same version on both sides: ratio should be very close to 1.
+  EXPECT_NEAR(pair.time_best / pair.time_exp, 1.0, 0.15);
+  EXPECT_GT(pair.overhead, 0.0);
+}
+
+TEST_F(BackendTest, IrregularityCancelsInRbrButNotAcrossInvocations) {
+  // Build two invocations with very different data-dependent speeds.
+  sim::Invocation slow = trace_.invocations[0];
+  slow.irregularity = 1.5;
+  slow.context_determines_time = false;
+  sim::Invocation fast = trace_.invocations[0];
+  fast.irregularity = 0.7;
+  fast.context_determines_time = false;
+
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+
+  // Across invocations (what AVG/CBR see): times differ a lot.
+  const double t_slow = backend->invoke(o3, slow).time;
+  const double t_fast = backend->invoke(o3, fast).time;
+  EXPECT_GT(t_slow / t_fast, 1.5);
+
+  // Within one invocation (what RBR sees): the factor divides out.
+  std::vector<double> ratios;
+  for (int i = 0; i < 50; ++i) {
+    const RbrPairResult pair =
+        backend->invoke_rbr_pair(o3, o3, slow, RbrOptions{true});
+    ratios.push_back(pair.time_best / pair.time_exp);
+  }
+  EXPECT_NEAR(stats::mean(ratios), 1.0, 0.05);
+}
+
+TEST_F(BackendTest, BasicRbrIsBiasedByCacheWarmth) {
+  // Fig. 3 vs Fig. 4: in the basic method version 1 runs cold and version
+  // 2 warm, biasing the ratio above 1 even for identical versions. The
+  // improved method removes the bias via preconditioning.
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+
+  auto biased = make_backend(21);
+  std::vector<double> basic_ratios;
+  for (int i = 0; i < 200; ++i) {
+    const auto pair = biased->invoke_rbr_pair(
+        o3, o3, trace_.invocations[0], RbrOptions{false});
+    basic_ratios.push_back(pair.time_best / pair.time_exp);
+  }
+
+  auto fair = make_backend(21);
+  std::vector<double> improved_ratios;
+  for (int i = 0; i < 200; ++i) {
+    const auto pair = fair->invoke_rbr_pair(
+        o3, o3, trace_.invocations[0], RbrOptions{true});
+    improved_ratios.push_back(pair.time_best / pair.time_exp);
+  }
+
+  const double basic_bias = stats::mean(basic_ratios) - 1.0;
+  const double improved_bias =
+      std::fabs(stats::mean(improved_ratios) - 1.0);
+  EXPECT_GT(basic_bias, 0.05);  // v2 looks spuriously faster
+  EXPECT_LT(improved_bias, basic_bias / 3.0);
+}
+
+TEST_F(BackendTest, AccumulatedTimeGrowsWithWork) {
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+  EXPECT_DOUBLE_EQ(backend->accumulated_time(), 0.0);
+  backend->invoke(o3, trace_.invocations[0]);
+  const double after_one = backend->accumulated_time();
+  EXPECT_GT(after_one, 0.0);
+  backend->invoke_rbr_pair(o3, o3, trace_.invocations[0], RbrOptions{true});
+  // The RBR pair costs much more than a plain invocation (precondition +
+  // two timed runs + checkpoint traffic).
+  EXPECT_GT(backend->accumulated_time() - after_one, 2.0 * after_one);
+  backend->reset_accumulated_time();
+  EXPECT_DOUBLE_EQ(backend->accumulated_time(), 0.0);
+}
+
+TEST_F(BackendTest, ImprovedRbrAlternatesOrder) {
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+  const auto a = backend->invoke_rbr_pair(o3, o3, trace_.invocations[0],
+                                          RbrOptions{true});
+  const auto b = backend->invoke_rbr_pair(o3, o3, trace_.invocations[0],
+                                          RbrOptions{true});
+  EXPECT_NE(a.swapped, b.swapped);
+}
+
+}  // namespace
+}  // namespace peak::sim

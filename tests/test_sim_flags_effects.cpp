@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "search/opt_config.hpp"
+#include "sim/flag_effects.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::sim {
+namespace {
+
+using search::FlagConfig;
+using search::gcc33_o3_space;
+using search::OptimizationSpace;
+
+TEST(FlagSpace, Gcc33Has38Options) {
+  const OptimizationSpace& space = gcc33_o3_space();
+  EXPECT_EQ(space.size(), 38u);
+  // Spot-check the documented flags and their introduction levels.
+  ASSERT_TRUE(space.index_of("-fstrict-aliasing").has_value());
+  EXPECT_EQ(space.flag(*space.index_of("-fstrict-aliasing")).opt_level, 2);
+  ASSERT_TRUE(space.index_of("-finline-functions").has_value());
+  EXPECT_EQ(space.flag(*space.index_of("-finline-functions")).opt_level, 3);
+  ASSERT_TRUE(space.index_of("-fdefer-pop").has_value());
+  EXPECT_EQ(space.flag(*space.index_of("-fdefer-pop")).opt_level, 1);
+  EXPECT_FALSE(space.index_of("-fnot-a-flag").has_value());
+  // 9 at -O1, 27 more at -O2, 2 more at -O3.
+  int by_level[4] = {};
+  for (std::size_t i = 0; i < space.size(); ++i)
+    ++by_level[space.flag(i).opt_level];
+  EXPECT_EQ(by_level[1], 9);
+  EXPECT_EQ(by_level[2], 27);
+  EXPECT_EQ(by_level[3], 2);
+}
+
+TEST(FlagConfig, BasicOperations) {
+  const OptimizationSpace& space = gcc33_o3_space();
+  FlagConfig cfg = search::o3_config(space);
+  EXPECT_EQ(cfg.count_enabled(), 38u);
+  const std::size_t sa = *space.index_of("-fstrict-aliasing");
+  const FlagConfig without = cfg.with(sa, false);
+  EXPECT_EQ(without.count_enabled(), 37u);
+  EXPECT_TRUE(cfg.enabled(sa));
+  EXPECT_FALSE(without.enabled(sa));
+  EXPECT_NE(cfg.key(), without.key());
+  EXPECT_EQ(without.describe(space, /*invert=*/true), "-fstrict-aliasing");
+  EXPECT_EQ(search::baseline_config(space).count_enabled(), 0u);
+}
+
+class EffectModelTest : public ::testing::Test {
+protected:
+  const OptimizationSpace& space_ = gcc33_o3_space();
+  FlagEffectModel model_{space_};
+  MachineModel sparc_ = sparc2();
+  MachineModel p4_ = pentium4();
+
+  TsTraits art_traits() {
+    return workloads::make_workload("ART")->traits();
+  }
+};
+
+TEST_F(EffectModelTest, Deterministic) {
+  const TsTraits art = art_traits();
+  const FlagConfig o3 = search::o3_config(space_);
+  EXPECT_DOUBLE_EQ(model_.time_multiplier(art, p4_, o3),
+                   model_.time_multiplier(art, p4_, o3));
+}
+
+TEST_F(EffectModelTest, StrictAliasingStory) {
+  // Section 5.2: strict aliasing devastates ART on the Pentium 4 (register
+  // pressure → spills) but helps on the SPARC II.
+  const TsTraits art = art_traits();
+  const std::size_t sa = *space_.index_of("-fstrict-aliasing");
+  EXPECT_GT(model_.flag_effect(art, p4_, sa), 2.0);   // big penalty
+  EXPECT_LT(model_.flag_effect(art, sparc_, sa), 1.0);  // benefit
+}
+
+TEST_F(EffectModelTest, DisablingStrictAliasingYields178PercentShape) {
+  const TsTraits art = art_traits();
+  const FlagConfig o3 = search::o3_config(space_);
+  const FlagConfig no_sa =
+      o3.with(*space_.index_of("-fstrict-aliasing"), false);
+  const double ratio = model_.time_multiplier(art, p4_, o3) /
+                       model_.time_multiplier(art, p4_, no_sa);
+  // Improvement (ratio - 1) should be in the vicinity of the paper's 178%.
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 3.4);
+}
+
+TEST_F(EffectModelTest, WorkloadScaleFlipsTrainRefEffects) {
+  // MGRID/-fgcse-lm on SPARC II helps the small train grids but hurts ref.
+  TsTraits mgrid = workloads::make_workload("MGRID")->traits();
+  const std::size_t flag = *space_.index_of("-fgcse-lm");
+  mgrid.workload_scale = 0.3;  // train
+  EXPECT_LT(model_.flag_effect(mgrid, sparc_, flag), 1.0);
+  mgrid.workload_scale = 1.0;  // ref
+  EXPECT_GT(model_.flag_effect(mgrid, sparc_, flag), 1.0);
+}
+
+TEST_F(EffectModelTest, MultiplierComposesPerFlagEffects) {
+  const TsTraits art = art_traits();
+  FlagConfig one(space_);
+  const std::size_t f = *space_.index_of("-fgcse");
+  one.set(f, true);
+  // With interactions only active for pairs, a single flag's multiplier is
+  // its per-flag effect.
+  EXPECT_NEAR(model_.time_multiplier(art, sparc_, one),
+              model_.flag_effect(art, sparc_, f), 1e-12);
+}
+
+TEST_F(EffectModelTest, BaselineMultiplierIsOne) {
+  const TsTraits art = art_traits();
+  EXPECT_DOUBLE_EQ(
+      model_.time_multiplier(art, sparc_, search::baseline_config(space_)),
+      1.0);
+}
+
+TEST_F(EffectModelTest, SomeFlagsHarmfulPerSection) {
+  // The paper's premise: O3 is rarely optimal — each section sees a few
+  // mildly harmful options.
+  const TsTraits traits = workloads::make_workload("SWIM")->traits();
+  int harmful = 0;
+  for (std::size_t f = 0; f < space_.size(); ++f)
+    if (model_.flag_effect(traits, p4_, f) > 1.0) ++harmful;
+  EXPECT_GE(harmful, 3);
+  EXPECT_LE(harmful, 25);
+}
+
+TEST_F(EffectModelTest, O3UsuallyFasterThanUnoptimized) {
+  for (const char* bench : {"SWIM", "MGRID", "EQUAKE", "BZIP2"}) {
+    const TsTraits t = workloads::make_workload(bench)->traits();
+    EXPECT_LT(model_.time_multiplier(t, sparc_, search::o3_config(space_)),
+              1.0)
+        << bench;
+  }
+}
+
+TEST_F(EffectModelTest, DifferentSeedsGiveDifferentJitter) {
+  FlagEffectModel other(space_, 0x1234);
+  const TsTraits t = workloads::make_workload("SWIM")->traits();
+  const std::size_t f = *space_.index_of("-fpeephole2");
+  EXPECT_NE(model_.flag_effect(t, sparc_, f),
+            other.flag_effect(t, sparc_, f));
+}
+
+TEST(DerivedTraits, ReflectOpMix) {
+  auto w = workloads::make_workload("SWIM");
+  const TsTraits t = derive_traits(w->function(), "SWIM");
+  EXPECT_GT(t.fp_intensity, 0.1);  // FP-heavy stencil
+  EXPECT_LT(t.branchiness, 0.25);
+  EXPECT_EQ(t.key, "SWIM.calc3");
+}
+
+}  // namespace
+}  // namespace peak::sim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "sim/cache_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/perturbation.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::sim {
+namespace {
+
+TEST(Machine, PresetsReflectArchitectures) {
+  const MachineModel s = sparc2();
+  const MachineModel p = pentium4();
+  EXPECT_GT(s.int_registers, p.int_registers);  // the ART story hinges on this
+  EXPECT_GT(p.mispredict_penalty, s.mispredict_penalty);  // deep pipeline
+  EXPECT_NE(s.name, p.name);
+}
+
+TEST(MachineCostModel, PricesOpMix) {
+  ir::FunctionBuilder b("cost");
+  const auto a = b.param_array("a", 8, true);
+  const auto x = b.scalar("x", true);
+  b.assign(x, b.add(b.at(a, b.c(0.0)), b.at(a, b.c(1.0))));  // 2 loads + fp
+  b.store(a, b.c(2.0), b.v(x));                              // 1 store
+  const ir::Function fn = b.build();
+
+  const MachineModel m = sparc2();
+  const MachineCostModel cost(m);
+  const double entry = cost.block_entry_cost(fn, fn.entry());
+  // 1 (entry) + 2 loads + 1 store + fp ops for add and the two moves.
+  EXPECT_GT(entry, 1.0 + 2 * m.load_cost + m.store_cost);
+  EXPECT_LT(entry, 40.0);
+  EXPECT_DOUBLE_EQ(cost.counter_cost(), m.counter_cost);
+}
+
+TEST(SetAssocCache, ColdMissesThenHits) {
+  SetAssocCache cache(1024, 64, 2);  // 8 sets
+  for (std::uint64_t a = 0; a < 1024; a += 64) EXPECT_FALSE(cache.access(a));
+  for (std::uint64_t a = 0; a < 1024; a += 64) EXPECT_TRUE(cache.access(a));
+  EXPECT_EQ(cache.hits(), 16u);
+  EXPECT_EQ(cache.misses(), 16u);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  SetAssocCache cache(2 * 64, 64, 2);  // a single set, 2 ways
+  EXPECT_FALSE(cache.access(0));       // line A
+  EXPECT_FALSE(cache.access(64));      // line B
+  EXPECT_TRUE(cache.access(0));        // A again: A is MRU
+  EXPECT_FALSE(cache.access(128));     // line C evicts B (LRU)
+  EXPECT_TRUE(cache.access(0));        // A survives
+  EXPECT_FALSE(cache.access(64));      // B was evicted
+}
+
+TEST(SetAssocCache, FlushClearsState) {
+  SetAssocCache cache(1024, 64, 2);
+  cache.access(0);
+  cache.access(0);
+  cache.flush();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(SetAssocCache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(1000, 64, 2), support::CheckError);
+  EXPECT_THROW(SetAssocCache(0, 64, 2), support::CheckError);
+}
+
+TEST(WarmthModel, ColdThenWarm) {
+  WarmthModel warmth(0.25, 0.9);
+  warmth.on_new_data();
+  const double first = warmth.execute();
+  const double second = warmth.execute();
+  EXPECT_GT(first, second);        // cold start is slower
+  EXPECT_NEAR(first, 1.25, 1e-12); // fully cold
+  EXPECT_LT(second, 1.05);
+}
+
+TEST(WarmthModel, RestorePartiallyWarms) {
+  WarmthModel warmth(0.25, 0.9);
+  warmth.on_new_data();
+  warmth.on_restore();  // restore streams data through the cache
+  const double t = warmth.execute();
+  EXPECT_LT(t, 1.25);
+  EXPECT_GT(t, 1.0);
+}
+
+TEST(Perturbation, MultiplicativeNoiseCentersOnOne) {
+  NoiseProfile profile;
+  profile.sigma = 0.01;
+  profile.outlier_prob = 0.0;
+  Perturbation noise(profile, support::Rng(3));
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += noise.sample();
+  EXPECT_NEAR(sum / n, 1.0, 0.005);
+}
+
+TEST(Perturbation, OutliersAtConfiguredRate) {
+  NoiseProfile profile;
+  profile.sigma = 0.001;
+  profile.outlier_prob = 0.01;
+  profile.outlier_scale_lo = 2.0;
+  profile.outlier_scale_hi = 3.0;
+  Perturbation noise(profile, support::Rng(4));
+  int spikes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (noise.sample() > 1.5) ++spikes;
+  EXPECT_NEAR(static_cast<double>(spikes) / n, 0.01, 0.002);
+}
+
+TEST(Perturbation, AdditiveNoiseNonNegative) {
+  NoiseProfile profile;
+  Perturbation noise(profile, support::Rng(5));
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(noise.sample_additive(), 0.0);
+}
+
+TEST(Perturbation, ScaleSigmaAffectsSpread) {
+  NoiseProfile profile;
+  profile.sigma = 0.01;
+  profile.outlier_prob = 0.0;
+  Perturbation base(profile, support::Rng(6));
+  Perturbation scaled(profile, support::Rng(6));
+  scaled.scale_sigma(5.0);
+  double dev_base = 0.0, dev_scaled = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    dev_base += std::fabs(base.sample() - 1.0);
+    dev_scaled += std::fabs(scaled.sample() - 1.0);
+  }
+  EXPECT_GT(dev_scaled, 3.0 * dev_base);
+}
+
+}  // namespace
+}  // namespace peak::sim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "support/rng.hpp"
+
+namespace peak::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const std::vector<double> one = {3.5};
+  EXPECT_DOUBLE_EQ(mean(one), 3.5);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, MadEstimatesSigmaForNormalData) {
+  support::Rng rng(5);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(10.0, 2.0);
+  EXPECT_NEAR(mad(xs), 2.0, 0.1);
+}
+
+TEST(Descriptive, MadRobustToOutliers) {
+  std::vector<double> xs(100, 1.0);
+  for (int i = 0; i < 10; ++i) xs[static_cast<std::size_t>(i)] = 1000.0;
+  EXPECT_LT(mad(xs), 1.0);  // unchanged by the 10% contamination
+}
+
+TEST(Descriptive, Percentile) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Welford, MatchesBatchComputation) {
+  support::Rng rng(6);
+  std::vector<double> xs(500);
+  Welford acc;
+  for (double& x : xs) {
+    x = rng.uniform(0.0, 100.0);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-9);
+  EXPECT_EQ(acc.count(), xs.size());
+}
+
+TEST(Welford, MergeEqualsSinglePass) {
+  support::Rng rng(7);
+  Welford all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+}  // namespace
+}  // namespace peak::stats

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/outlier.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace peak::stats {
+namespace {
+
+std::vector<double> noisy_window(double spike_every, std::size_t n,
+                                 std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = rng.normal(100.0, 1.0);
+    if (spike_every > 0 && i % static_cast<std::size_t>(spike_every) == 7)
+      x *= 3.0;  // interrupt-like perturbation
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(Outlier, SigmaRuleDropsSpikes) {
+  const auto xs = noisy_window(20, 100, 1);
+  OutlierPolicy policy;  // default k=3 sigma
+  const OutlierResult result = filter_outliers(xs, policy);
+  EXPECT_EQ(result.dropped, 5u);  // i = 7, 27, 47, 67, 87
+  for (double x : result.kept) EXPECT_LT(x, 150.0);
+}
+
+TEST(Outlier, CleanWindowUntouched) {
+  const auto xs = noisy_window(0, 100, 2);
+  const OutlierResult result = filter_outliers(xs, OutlierPolicy{});
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.kept.size(), xs.size());
+}
+
+TEST(Outlier, NoneRuleKeepsEverything) {
+  const auto xs = noisy_window(10, 50, 3);
+  OutlierPolicy policy;
+  policy.rule = OutlierRule::kNone;
+  EXPECT_EQ(filter_outliers(xs, policy).dropped, 0u);
+}
+
+TEST(Outlier, MaxDropFractionGuards) {
+  // Bimodal data: a naive filter would eat one mode entirely.
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(10.0);
+  for (int i = 0; i < 40; ++i) xs.push_back(1000.0);
+  OutlierPolicy policy;
+  policy.k = 0.5;
+  policy.max_drop_fraction = 0.25;
+  const OutlierResult result = filter_outliers(xs, policy);
+  EXPECT_LE(result.dropped, 25u);
+}
+
+TEST(Outlier, MadRuleSurvivesHeavyContamination) {
+  // 20% outliers drag mean/sigma; MAD still identifies them.
+  std::vector<double> xs(80, 100.0);
+  support::Rng rng(4);
+  for (double& x : xs) x += rng.normal(0.0, 0.5);
+  for (int i = 0; i < 20; ++i) xs.push_back(400.0);
+  OutlierPolicy policy;
+  policy.rule = OutlierRule::kMad;
+  policy.k = 5.0;
+  policy.max_drop_fraction = 0.3;
+  const OutlierResult result = filter_outliers(xs, policy);
+  EXPECT_EQ(result.dropped, 20u);
+}
+
+TEST(Outlier, MaskMatchesFilter) {
+  const auto xs = noisy_window(15, 60, 5);
+  const OutlierPolicy policy;
+  const auto mask = outlier_mask(xs, policy);
+  const auto filtered = filter_outliers(xs, policy);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (mask[i]) ++kept;
+  EXPECT_EQ(kept, filtered.kept.size());
+}
+
+TEST(Outlier, ZeroSpreadWindow) {
+  const std::vector<double> xs(30, 42.0);
+  const OutlierResult result = filter_outliers(xs, OutlierPolicy{});
+  EXPECT_EQ(result.dropped, 0u);
+}
+
+TEST(Outlier, RejectsNonPositiveK) {
+  OutlierPolicy policy;
+  policy.k = 0.0;
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(filter_outliers(xs, policy), support::CheckError);
+}
+
+}  // namespace
+}  // namespace peak::stats

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/regression.hpp"
+#include "support/rng.hpp"
+
+namespace peak::stats {
+namespace {
+
+TEST(Regression, ExactLinearSystem) {
+  // y = 2*x1 + 3*x2 exactly.
+  Matrix a{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  const std::vector<double> y = {2, 3, 5, 7};
+  const RegressionResult fit = least_squares(a, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-10);
+  EXPECT_NEAR(fit.ss_residual, 0.0, 1e-18);
+  EXPECT_NEAR(fit.var_ratio(), 0.0, 1e-12);
+}
+
+TEST(Regression, PaperFigure2Example) {
+  // The worked MBR example of Figure 2: Y and C from the paper; the
+  // regression must recover T = [110.05, 3.75] (component times).
+  Matrix design(5, 2);
+  const double counts[5] = {100, 50, 60, 55, 80};
+  const double times[5] = {11015, 5508, 6626, 6044, 8793};
+  for (int i = 0; i < 5; ++i) {
+    design(static_cast<std::size_t>(i), 0) = counts[i];
+    design(static_cast<std::size_t>(i), 1) = 1.0;
+  }
+  const std::vector<double> y(times, times + 5);
+  const RegressionResult fit = least_squares(design, y);
+  ASSERT_TRUE(fit.ok);
+  // The paper rounds to 110.05 and 3.75.
+  EXPECT_NEAR(fit.coefficients[0], 110.05, 0.3);
+  EXPECT_NEAR(fit.coefficients[1], 3.75, 25.0);  // intercept poorly pinned
+  EXPECT_GT(fit.r_squared(), 0.999);
+}
+
+TEST(Regression, NoisyRecoveryWithinTolerance) {
+  support::Rng rng(21);
+  const std::size_t n = 200;
+  Matrix a(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, 0) = rng.uniform(0, 100);
+    a(i, 1) = rng.uniform(0, 10);
+    a(i, 2) = 1.0;
+    y[i] = 5.0 * a(i, 0) + 40.0 * a(i, 1) + 700.0 + rng.normal(0, 2.0);
+  }
+  const RegressionResult fit = least_squares(a, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 5.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 40.0, 0.5);
+  EXPECT_NEAR(fit.coefficients[2], 700.0, 5.0);
+}
+
+TEST(Regression, DetectsRankDeficiency) {
+  // Second column is 2x the first: rank 1.
+  Matrix a{{1, 2}, {2, 4}, {3, 6}, {4, 8}};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const RegressionResult fit = least_squares(a, y);
+  EXPECT_FALSE(fit.ok);
+  EXPECT_EQ(fit.rank, 1u);
+}
+
+TEST(Regression, UnderdeterminedRejected) {
+  Matrix a(2, 3);
+  const std::vector<double> y = {1, 2};
+  EXPECT_FALSE(least_squares(a, y).ok);
+}
+
+TEST(Regression, NonNegativeClampsAndRefits) {
+  // True model: y = 10*x1 + 0*x2 but noise would fit x2 slightly negative.
+  support::Rng rng(22);
+  const std::size_t n = 100;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, 0) = rng.uniform(1, 10);
+    a(i, 1) = 1.0;
+    y[i] = 10.0 * a(i, 0) - 0.5 + rng.normal(0, 0.1);
+  }
+  const RegressionResult fit = least_squares_nonneg(a, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GE(fit.coefficients[0], 0.0);
+  EXPECT_GE(fit.coefficients[1], 0.0);
+  EXPECT_DOUBLE_EQ(fit.coefficients[1], 0.0);  // clamped
+  EXPECT_NEAR(fit.coefficients[0], 10.0, 0.2);
+}
+
+TEST(Regression, VarRatioRobustToIdenticalObservations) {
+  Matrix a(40, 1, 1.0);
+  const std::vector<double> y(40, 83121.3);
+  const RegressionResult fit = least_squares(a, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_DOUBLE_EQ(fit.var_ratio(), 0.0);  // no 0/0 artifacts
+}
+
+TEST(Regression, FunctionalStdErrorShrinksWithSamples) {
+  support::Rng rng(23);
+  auto run = [&](std::size_t n) {
+    Matrix a(n, 2);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, 0) = rng.uniform(0, 50);
+      a(i, 1) = 1.0;
+      y[i] = 3.0 * a(i, 0) + 20.0 + rng.normal(0, 1.0);
+    }
+    const RegressionResult fit = least_squares(a, y);
+    return functional_std_error(a, fit, {1.0, 0.0});
+  };
+  const double se_small = run(20);
+  const double se_large = run(2000);
+  ASSERT_GT(se_small, 0.0);
+  ASSERT_GT(se_large, 0.0);
+  EXPECT_LT(se_large, se_small / 3.0);
+}
+
+TEST(Regression, GramInverseMatchesIdentity) {
+  Matrix a{{2, 0}, {0, 3}, {1, 1}};
+  const auto inv = gram_inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix g = a.gram();
+  // G * G^-1 == I.
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < 2; ++k) sum += g(i, k) * (*inv)(k, j);
+      EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Regression, GramInverseSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(gram_inverse(a).has_value());
+}
+
+class RegressionScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegressionScaleSweep, StableAcrossMagnitudes) {
+  // MBR systems are badly scaled: counts in the thousands against a ones
+  // column. The QR path must stay accurate across magnitudes.
+  const double scale = GetParam();
+  support::Rng rng(31);
+  const std::size_t n = 60;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, 0) = scale * rng.uniform(0.5, 1.5);
+    a(i, 1) = 1.0;
+    y[i] = 7.0 * a(i, 0) + 11.0;
+  }
+  const RegressionResult fit = least_squares(a, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 7.0, 1e-6);
+  EXPECT_NEAR(fit.coefficients[1], 11.0, 1e-4 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, RegressionScaleSweep,
+                         ::testing::Values(1.0, 1e3, 1e6, 1e9));
+
+}  // namespace
+}  // namespace peak::stats

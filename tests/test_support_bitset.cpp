@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "support/bitset.hpp"
+
+namespace peak::support {
+namespace {
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_TRUE(bits.none());
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(DynBitset, SetAllRespectsSize) {
+  DynBitset bits(70, true);
+  EXPECT_EQ(bits.count(), 70u);
+  bits.reset_all();
+  EXPECT_TRUE(bits.none());
+  bits.set_all();
+  EXPECT_EQ(bits.count(), 70u);
+}
+
+TEST(DynBitset, UnionIntersectSubtract) {
+  DynBitset a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+
+  DynBitset u = a | b;
+  EXPECT_TRUE(u.test(1) && u.test(50) && u.test(99));
+  EXPECT_EQ(u.count(), 3u);
+
+  DynBitset i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+
+  DynBitset d = a - b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(DynBitset, InPlaceOpsReportChange) {
+  DynBitset a(10), b(10);
+  b.set(3);
+  EXPECT_TRUE(a.union_with(b));
+  EXPECT_FALSE(a.union_with(b));  // already contained
+  DynBitset c(10);
+  c.set(3);
+  EXPECT_FALSE(a.intersect_with(c));
+  DynBitset empty(10);
+  EXPECT_TRUE(a.intersect_with(empty));
+  EXPECT_TRUE(a.none());
+}
+
+TEST(DynBitset, ForEachSetInOrder) {
+  DynBitset bits(200);
+  bits.set(5);
+  bits.set(63);
+  bits.set(64);
+  bits.set(199);
+  const std::vector<std::size_t> got = bits.to_indices();
+  const std::vector<std::size_t> want = {5, 63, 64, 199};
+  EXPECT_EQ(got, want);
+}
+
+TEST(DynBitset, Equality) {
+  DynBitset a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_FALSE(a == b);
+  b.set(64);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace peak::support

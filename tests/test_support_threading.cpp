@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peak::support {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 200; ++i)
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 200 * 201 / 2);
+}
+
+TEST(Table, RendersHeaderSeparatorAndAlignment) {
+  Table t("demo");
+  t.row({"name", "value"});
+  t.row({"alpha", "1.00"});
+  t.row({"b", "12.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("|-------|-------|"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1.00  |"), std::string::npos);
+}
+
+TEST(Table, NumericHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::mean_sd(0.5, 1.25, 2), "0.50(1.25)");
+}
+
+TEST(Table, RowBuilder) {
+  Table t;
+  t.row({"a", "b"});
+  t.add_row().cell("x").num(2.5, 1);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace peak::support

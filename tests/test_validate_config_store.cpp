@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/config_store.hpp"
+#include "ir/builder.hpp"
+#include "ir/fuzz.hpp"
+#include "ir/validate.hpp"
+#include "rating/consultant.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak {
+namespace {
+
+TEST(Validate, BuilderOutputIsClean) {
+  for (const auto& w : workloads::all_workloads()) {
+    const ir::ValidationReport report = ir::validate(w->function());
+    EXPECT_TRUE(report.ok()) << w->full_name() << "\n"
+                             << report.to_string();
+  }
+}
+
+TEST(Validate, FuzzedProgramsAreClean) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ir::Function fn = ir::fuzz_function(seed);
+    const ir::ValidationReport report = ir::validate(fn);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << "\n"
+                             << report.to_string();
+  }
+}
+
+TEST(Validate, CatchesBadBranchTarget) {
+  ir::FunctionBuilder b("bad");
+  const auto x = b.param_scalar("x");
+  b.assign(x, b.c(1));
+  ir::Function fn = b.build();
+  // Corrupt the terminator.
+  fn.block(fn.entry()).term =
+      ir::Terminator{ir::TermKind::kJump, ir::kNoExpr, 99, ir::kNoBlock};
+  const ir::ValidationReport report = ir::validate(fn);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("target out of range"),
+            std::string::npos);
+}
+
+TEST(Validate, CatchesKindMismatches) {
+  ir::FunctionBuilder b("kinds");
+  const auto arr = b.param_array("arr", 4);
+  const auto x = b.param_scalar("x");
+  b.assign(x, b.at(arr, b.c(0)));
+  ir::Function fn = b.build();
+  // Corrupt: make the ArrayRef base a scalar.
+  for (ir::ExprId e = 0; e < fn.num_exprs(); ++e) {
+    if (fn.expr(e).op == ir::ExprOp::kArrayRef)
+      fn.expr_mut(e).var = x;
+  }
+  const ir::ValidationReport report = ir::validate(fn);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("not an array"), std::string::npos);
+}
+
+TEST(Validate, WarnsOnUnreachableBlocks) {
+  ir::FunctionBuilder b("unreach");
+  const auto x = b.param_scalar("x");
+  b.if_else(b.gt(b.v(x), b.c(0)), [&] { b.assign(x, b.c(1)); },
+            [&] { b.assign(x, b.c(2)); });
+  ir::Function fn = b.build();
+  // Short-circuit the branch: else arm becomes unreachable.
+  auto& term = fn.block(fn.entry()).term;
+  const ir::BlockId then_target = term.on_true;
+  term = ir::Terminator{ir::TermKind::kJump, ir::kNoExpr, then_target,
+                        ir::kNoBlock};
+  const ir::ValidationReport report = ir::validate(fn);
+  EXPECT_TRUE(report.ok());  // warnings only
+  EXPECT_NE(report.to_string().find("unreachable"), std::string::npos);
+}
+
+TEST(ConfigStore, RoundTripsThroughText) {
+  const auto& space = search::gcc33_o3_space();
+  core::ConfigStore store(space);
+
+  core::StoredConfig entry;
+  entry.config = search::o3_config(space);
+  entry.config.set(*space.index_of("-fstrict-aliasing"), false);
+  entry.config.set(*space.index_of("-fgcse"), false);
+  entry.method = rating::Method::kRBR;
+  entry.improvement_pct = 174.27;
+  store.put("ART.match", "p4", entry);
+
+  core::StoredConfig swim;
+  swim.config = search::o3_config(space);
+  swim.config.set(*space.index_of("-fschedule-insns"), false);
+  swim.method = rating::Method::kCBR;
+  swim.improvement_pct = 5.06;
+  store.put("SWIM.calc3", "sparc2", swim);
+
+  const std::string text = store.serialize();
+  EXPECT_NE(text.find("[ART.match @ p4]"), std::string::npos);
+  EXPECT_NE(text.find("-fstrict-aliasing"), std::string::npos);
+
+  core::ConfigStore loaded(space);
+  ASSERT_TRUE(loaded.deserialize(text));
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto art = loaded.get("ART.match", "p4");
+  ASSERT_TRUE(art.has_value());
+  EXPECT_EQ(art->config, entry.config);
+  EXPECT_EQ(art->method, rating::Method::kRBR);
+  EXPECT_NEAR(art->improvement_pct, 174.27, 1e-9);
+  EXPECT_FALSE(loaded.get("ART.match", "sparc2").has_value());
+}
+
+TEST(ConfigStore, RejectsUnknownFlagsAndGarbage) {
+  const auto& space = search::gcc33_o3_space();
+  core::ConfigStore store(space);
+  EXPECT_FALSE(store.deserialize("[X @ m]\ndisabled = -fnot-a-flag\n"));
+  EXPECT_FALSE(store.deserialize("[missing-at]\nmethod = CBR\n"));
+  EXPECT_FALSE(store.deserialize("[X @ m]\nnonsense line\n"));
+  EXPECT_FALSE(store.deserialize("[X @ m]\nmethod = XYZ\n"));
+  EXPECT_EQ(store.size(), 0u);  // failed loads leave the store untouched
+}
+
+TEST(ConfigStore, FileRoundTrip) {
+  const auto& space = search::gcc33_o3_space();
+  core::ConfigStore store(space);
+  core::StoredConfig entry;
+  entry.config = search::o3_config(space);
+  entry.method = rating::Method::kMBR;
+  store.put("MGRID.resid", "sparc2", entry);
+
+  const std::string path = "/tmp/peak_config_store_test.txt";
+  ASSERT_TRUE(store.save_file(path));
+  core::ConfigStore loaded(space);
+  ASSERT_TRUE(loaded.load_file(path));
+  EXPECT_TRUE(loaded.get("MGRID.resid", "sparc2").has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.load_file("/nonexistent/nope.txt"));
+}
+
+TEST(ConsultantOverheads, EstimatesOrderCbrMbrRbrNormally) {
+  rating::ConsultantInputs in;
+  in.num_contexts = 2;
+  in.num_components = 2;
+  in.avg_invocation_cycles = 10'000.0;
+  in.checkpoint_cycles = 2'000.0;
+  in.counter_cycles = 5.0;
+  const auto costs = rating::estimate_overheads(in);
+  ASSERT_EQ(costs.size(), 3u);
+  double cbr = 0, mbr = 0, rbr = 0;
+  for (const auto& c : costs) {
+    if (c.method == rating::Method::kCBR) cbr = c.cycles_per_rating;
+    if (c.method == rating::Method::kMBR) mbr = c.cycles_per_rating;
+    if (c.method == rating::Method::kRBR) rbr = c.cycles_per_rating;
+  }
+  EXPECT_LT(cbr, rbr);
+  EXPECT_LT(mbr, rbr);
+}
+
+TEST(ConsultantOverheads, ManyContextsMakeCbrExpensive) {
+  rating::ConsultantInputs in;
+  in.cbr_context_scalars_only = true;
+  in.num_contexts = 30;       // admissible but pricey
+  in.invocations = 3000;
+  in.mbr_model_built = true;
+  in.num_components = 2;
+  in.avg_invocation_cycles = 10'000.0;
+  const rating::MethodDecision d = rating::decide_rating_methods(in);
+  // All three apply, but MBR is now the cheapest and leads the chain.
+  ASSERT_GE(d.chain.size(), 2u);
+  EXPECT_EQ(d.chain.front(), rating::Method::kMBR);
+  EXPECT_TRUE(d.applicable(rating::Method::kCBR));
+}
+
+}  // namespace
+}  // namespace peak

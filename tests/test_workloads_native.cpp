@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "ir/interpreter.hpp"
+#include "workloads/native.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::workloads {
+namespace {
+
+/// Cross-validation harness: bind a trace invocation into IR memory, copy
+/// the relevant buffers, run the interpreter and the native kernel on the
+/// same inputs, compare outputs.
+class CrossValidation : public ::testing::Test {
+protected:
+  static ir::Memory bound_memory(const Workload& w,
+                                 const sim::Invocation& inv) {
+    ir::Memory mem = ir::Memory::for_function(w.function());
+    inv.bind(mem);
+    return mem;
+  }
+};
+
+TEST_F(CrossValidation, SwimCalc3MatchesNative) {
+  const auto w = make_workload("SWIM");
+  const Trace trace = w->trace(DataSet::kTrain, 31);
+  const ir::Function& fn = w->function();
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    ir::Memory mem = bound_memory(*w, trace.invocations[k]);
+    const auto n = static_cast<std::size_t>(mem.scalar(*fn.find_var("n")));
+    const auto m = static_cast<std::size_t>(mem.scalar(*fn.find_var("m")));
+    const double alpha = mem.scalar(*fn.find_var("alpha"));
+
+    // Native copies of the mutable fields.
+    auto u = mem.array(*fn.find_var("u"));
+    auto uold = mem.array(*fn.find_var("uold"));
+    auto v = mem.array(*fn.find_var("v"));
+    auto vold = mem.array(*fn.find_var("vold"));
+    auto p = mem.array(*fn.find_var("p"));
+    auto pold = mem.array(*fn.find_var("pold"));
+    native::calc3(n, m, alpha, u, uold, mem.array(*fn.find_var("unew")),
+                  v, vold, mem.array(*fn.find_var("vnew")), p, pold,
+                  mem.array(*fn.find_var("pnew")));
+
+    ir::Interpreter(fn).run(mem);
+    EXPECT_EQ(mem.array(*fn.find_var("u")), u);
+    EXPECT_EQ(mem.array(*fn.find_var("uold")), uold);
+    EXPECT_EQ(mem.array(*fn.find_var("v")), v);
+    EXPECT_EQ(mem.array(*fn.find_var("p")), p);
+    EXPECT_EQ(mem.array(*fn.find_var("pold")), pold);
+  }
+}
+
+TEST_F(CrossValidation, EquakeSmvpMatchesNative) {
+  const auto w = make_workload("EQUAKE");
+  const Trace trace = w->trace(DataSet::kTrain, 32);
+  const ir::Function& fn = w->function();
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    ir::Memory mem = bound_memory(*w, trace.invocations[k]);
+    const auto nodes =
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("nodes")));
+    auto w_native = mem.array(*fn.find_var("w"));
+    native::smvp(nodes, mem.array(*fn.find_var("Aindex")),
+                 mem.array(*fn.find_var("Acol")),
+                 mem.array(*fn.find_var("Aval")),
+                 mem.array(*fn.find_var("v")), w_native);
+
+    ir::Interpreter(fn).run(mem);
+    const auto& w_ir = mem.array(*fn.find_var("w"));
+    ASSERT_EQ(w_ir.size(), w_native.size());
+    for (std::size_t i = 0; i < nodes; ++i)
+      EXPECT_NEAR(w_ir[i], w_native[i], 1e-9) << "node " << i;
+  }
+}
+
+TEST_F(CrossValidation, ArtMatchMatchesNative) {
+  const auto w = make_workload("ART");
+  const Trace trace = w->trace(DataSet::kTrain, 33);
+  const ir::Function& fn = w->function();
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    ir::Memory mem = bound_memory(*w, trace.invocations[k]);
+    const auto f1s =
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("numf1s")));
+    const auto f2s =
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("numf2s")));
+    auto f1 = mem.array(*fn.find_var("f1"));
+    auto y = mem.array(*fn.find_var("y"));
+    native::art_match(f1s, f2s, mem.array(*fn.find_var("input")),
+                      mem.array(*fn.find_var("bus")), f1, y);
+
+    ir::Interpreter(fn).run(mem);
+    const auto& y_ir = mem.array(*fn.find_var("y"));
+    for (std::size_t j = 0; j < f2s; ++j)
+      EXPECT_NEAR(y_ir[j], y[j], 1e-9) << "f2 " << j;
+  }
+}
+
+TEST_F(CrossValidation, Bzip2FullGtUMatchesNative) {
+  const auto w = make_workload("BZIP2");
+  const Trace trace = w->trace(DataSet::kTrain, 34);
+  const ir::Function& fn = w->function();
+
+  for (std::size_t k = 0; k < 10; ++k) {
+    ir::Memory mem = bound_memory(*w, trace.invocations[k]);
+    const auto i1 = static_cast<std::size_t>(mem.scalar(*fn.find_var("i1")));
+    const auto i2 = static_cast<std::size_t>(mem.scalar(*fn.find_var("i2")));
+    const auto nblock =
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("nblock")));
+    const double expected =
+        native::full_gt_u(i1, i2, nblock, mem.array(*fn.find_var("block")));
+
+    ir::Interpreter(fn).run(mem);
+    EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("result")), expected)
+        << "invocation " << k;
+  }
+}
+
+TEST_F(CrossValidation, MgridResidMatchesNative) {
+  const auto w = make_workload("MGRID");
+  const Trace trace = w->trace(DataSet::kTrain, 35);
+  const ir::Function& fn = w->function();
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    ir::Memory mem = bound_memory(*w, trace.invocations[k]);
+    const auto n = static_cast<std::size_t>(mem.scalar(*fn.find_var("n")));
+    const auto sweep =
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("sweep")));
+    auto r = mem.array(*fn.find_var("r"));
+    native::resid(n, sweep, mem.array(*fn.find_var("u")),
+                  mem.array(*fn.find_var("v")), r);
+
+    ir::Interpreter(fn).run(mem);
+    const auto& r_ir = mem.array(*fn.find_var("r"));
+    for (std::size_t i = 0; i < n * n * n; ++i)
+      EXPECT_NEAR(r_ir[i], r[i], 1e-9) << "cell " << i << " n " << n;
+  }
+}
+
+TEST(Report, CsvEscaping) {
+  using core::csv_escape;
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Report, CsvAndMarkdownRenderRuns) {
+  core::BenchmarkResult result;
+  result.benchmark = "SWIM";
+  result.ts_name = "calc3";
+  result.chosen = rating::Method::kCBR;
+  core::MethodRun run;
+  run.method = rating::Method::kCBR;
+  run.tuned_on = DataSet::kTrain;
+  run.ref_improvement_pct = 5.06;
+  run.cost.simulated_time = 1.0e8;
+  run.cost.invocations = 1234;
+  run.cost.program_runs = 6.2;
+  result.runs.push_back(run);
+  core::MethodRun whl = run;
+  whl.method = rating::Method::kWHL;
+  whl.cost.simulated_time = 1.0e10;
+  result.runs.push_back(whl);
+
+  const std::string csv = core::to_csv({result});
+  EXPECT_NE(csv.find("benchmark,section,method"), std::string::npos);
+  EXPECT_NE(csv.find("SWIM,calc3,CBR,train,5.06"), std::string::npos);
+  EXPECT_NE(csv.find(",yes"), std::string::npos);  // consultant choice
+
+  const std::string md = core::to_markdown({result});
+  EXPECT_NE(md.find("| SWIM | calc3 | CBR | train | 5.06 | 0.010 | ✔ |"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace peak::workloads

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "ir/interpreter.hpp"
+#include "workloads/native.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::workloads {
+namespace {
+
+/// Cross-validation for the remaining Table 1 kernels: bind a trace
+/// invocation, run the IR interpreter and the native reference on the same
+/// inputs, compare the observable outputs. Together with
+/// test_workloads_native.cpp this covers all 14 sections.
+ir::Memory bound(const Workload& w, const sim::Invocation& inv) {
+  ir::Memory mem = ir::Memory::for_function(w.function());
+  inv.bind(mem);
+  return mem;
+}
+
+TEST(CrossValidationFull, GzipLongestMatch) {
+  const auto w = make_workload("GZIP");
+  const Trace trace = w->trace(DataSet::kTrain, 41);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 10; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    const double expected = native::longest_match(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("cur_match"))),
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("strstart"))),
+        static_cast<std::size_t>(
+            mem.scalar(*fn.find_var("chain_length"))),
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("max_len"))),
+        mem.array(*fn.find_var("window")), mem.array(*fn.find_var("prev")));
+    ir::Interpreter(fn).run(mem);
+    EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("best_len")), expected)
+        << "invocation " << k;
+  }
+}
+
+TEST(CrossValidationFull, CraftyAttacked) {
+  const auto w = make_workload("CRAFTY");
+  const Trace trace = w->trace(DataSet::kTrain, 42);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 20; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    const double expected = native::attacked(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("square"))),
+        mem.scalar(*fn.find_var("side")), mem.array(*fn.find_var("board")),
+        mem.array(*fn.find_var("dir_step")),
+        mem.array(*fn.find_var("ray_len")));
+    ir::Interpreter(fn).run(mem);
+    EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("attacked")), expected)
+        << "invocation " << k;
+  }
+}
+
+TEST(CrossValidationFull, McfPrimalBeaMpp) {
+  const auto w = make_workload("MCF");
+  const Trace trace = w->trace(DataSet::kTrain, 43);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 5; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    std::vector<double> basket(mem.array(*fn.find_var("basket")).size(),
+                               0.0);
+    const double expected = native::primal_bea_mpp(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("num_arcs"))),
+        mem.array(*fn.find_var("cost")), mem.array(*fn.find_var("tail")),
+        mem.array(*fn.find_var("head")), mem.array(*fn.find_var("ident")),
+        mem.array(*fn.find_var("potential")), basket);
+    ir::Interpreter(fn).run(mem);
+    EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("basket_size")), expected);
+    const auto& basket_ir = mem.array(*fn.find_var("basket"));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(expected); ++i)
+      EXPECT_DOUBLE_EQ(basket_ir[i], basket[i]) << "slot " << i;
+  }
+}
+
+TEST(CrossValidationFull, TwolfNewDboxA) {
+  const auto w = make_workload("TWOLF");
+  const Trace trace = w->trace(DataSet::kTrain, 44);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 10; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    const double expected = native::new_dbox_a(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("num_terms"))),
+        mem.array(*fn.find_var("pins_per_net")),
+        mem.array(*fn.find_var("xs")), mem.array(*fn.find_var("ys")));
+    ir::Interpreter(fn).run(mem);
+    EXPECT_NEAR(mem.scalar(*fn.find_var("cost")), expected, 1e-9);
+  }
+}
+
+TEST(CrossValidationFull, VortexChkGetChunk) {
+  const auto w = make_workload("VORTEX");
+  const Trace trace = w->trace(DataSet::kTrain, 45);
+  const ir::Function& fn = w->function();
+  int ok = 0, bad = 0;
+  for (std::size_t k = 0; k < 40; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    const double expected = native::chk_get_chunk(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("handle"))),
+        mem.scalar(*fn.find_var("expected_type")),
+        mem.array(*fn.find_var("chunks")));
+    ir::Interpreter(fn).run(mem);
+    EXPECT_DOUBLE_EQ(mem.scalar(*fn.find_var("status")), expected)
+        << "invocation " << k;
+    (expected == 1.0 ? ok : bad) += 1;
+  }
+  // Both outcomes occur in the trace (the comparison is non-trivial).
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(bad, 0);
+}
+
+TEST(CrossValidationFull, MesaSample1dLinear) {
+  const auto w = make_workload("MESA");
+  const Trace trace = w->trace(DataSet::kTrain, 46);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 50; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    std::vector<double> rgba(4, 0.0);
+    native::sample_1d_linear(
+        mem.scalar(*fn.find_var("s")), mem.scalar(*fn.find_var("size")),
+        mem.scalar(*fn.find_var("wrap")), mem.array(*fn.find_var("image")),
+        rgba);
+    ir::Interpreter(fn).run(mem);
+    const auto& rgba_ir = mem.array(*fn.find_var("rgba"));
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(rgba_ir[c], rgba[c], 1e-12)
+          << "invocation " << k << " channel " << c;
+  }
+}
+
+TEST(CrossValidationFull, AppluBlts) {
+  const auto w = make_workload("APPLU");
+  const Trace trace = w->trace(DataSet::kTrain, 47);
+  const ir::Function& fn = w->function();
+  ir::Memory mem = bound(*w, trace.invocations[0]);
+  auto v = mem.array(*fn.find_var("v"));
+  native::blts(
+      static_cast<std::size_t>(mem.scalar(*fn.find_var("nx"))),
+      static_cast<std::size_t>(mem.scalar(*fn.find_var("ny"))),
+      static_cast<std::size_t>(mem.scalar(*fn.find_var("nz"))),
+      mem.scalar(*fn.find_var("omega")), v, mem.array(*fn.find_var("ldz")),
+      mem.array(*fn.find_var("ldy")), mem.array(*fn.find_var("ldx")));
+  ir::Interpreter(fn).run(mem);
+  const auto& v_ir = mem.array(*fn.find_var("v"));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(v_ir[i], v[i], 1e-9) << "cell " << i;
+}
+
+TEST(CrossValidationFull, ApsiRadb4AllContexts) {
+  const auto w = make_workload("APSI");
+  const Trace trace = w->trace(DataSet::kTrain, 48);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 3; ++k) {  // covers all three shapes
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    auto ch = mem.array(*fn.find_var("ch"));
+    native::radb4(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("ido"))),
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("l1"))),
+        mem.array(*fn.find_var("cc")), ch, mem.array(*fn.find_var("wa")));
+    ir::Interpreter(fn).run(mem);
+    const auto& ch_ir = mem.array(*fn.find_var("ch"));
+    for (std::size_t i = 0; i < ch.size(); ++i)
+      EXPECT_NEAR(ch_ir[i], ch[i], 1e-12) << "ctx " << k << " elem " << i;
+  }
+}
+
+TEST(CrossValidationFull, WupwiseZgemmBothShapes) {
+  const auto w = make_workload("WUPWISE");
+  const Trace trace = w->trace(DataSet::kTrain, 49);
+  const ir::Function& fn = w->function();
+  for (std::size_t k = 0; k < 2; ++k) {
+    ir::Memory mem = bound(*w, trace.invocations[k]);
+    auto c = mem.array(*fn.find_var("c"));
+    native::zgemm(
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("m"))),
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("n"))),
+        static_cast<std::size_t>(mem.scalar(*fn.find_var("k"))),
+        mem.array(*fn.find_var("a")), mem.array(*fn.find_var("b")), c);
+    ir::Interpreter(fn).run(mem);
+    const auto& c_ir = mem.array(*fn.find_var("c"));
+    for (std::size_t i = 0; i < c.size(); ++i)
+      EXPECT_NEAR(c_ir[i], c[i], 1e-9) << "shape " << k << " elem " << i;
+  }
+}
+
+}  // namespace
+}  // namespace peak::workloads

@@ -1,0 +1,274 @@
+/// \file peak_cli.cpp
+/// The `peak` command-line tool: drive the library without writing code.
+///
+///   peak list                          available benchmarks
+///   peak analyze  [--machine M]        consultant verdicts per section
+///   peak tune     --benchmark B [--machine M] [--method X] [--csv]
+///   peak sweep    [--machine M] [--csv|--markdown]   (the Figure 7 runs)
+///   peak app      [--machine M]        whole-application tuning
+///
+/// Machines: sparc2 (default), p4. Methods: CBR MBR RBR AVG WHL (default:
+/// consultant's choice).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/peak.hpp"
+#include "core/profile.hpp"
+#include "core/config_store.hpp"
+#include "core/report.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace peak;
+
+struct Args {
+  std::string command;
+  std::string benchmark;
+  std::string machine = "sparc2";
+  std::optional<rating::Method> method;
+  std::string save_path;  ///< persist tuned configs (tune)
+  std::string load_path;  ///< evaluate stored configs (apply)
+  bool csv = false;
+  bool markdown = false;
+};
+
+std::optional<rating::Method> parse_method(const std::string& name) {
+  for (rating::Method m :
+       {rating::Method::kCBR, rating::Method::kMBR, rating::Method::kRBR,
+        rating::Method::kAVG, rating::Method::kWHL})
+    if (name == rating::to_string(m)) return m;
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: peak <list|analyze|tune|sweep|app|apply> [options]\n"
+               "  --benchmark NAME   (tune)\n"
+               "  --machine sparc2|p4\n"
+               "  --method CBR|MBR|RBR|AVG|WHL\n"
+               "  --csv | --markdown\n"
+               "  --save FILE   (tune: persist the winning config)\n"
+               "  --load FILE   (apply: evaluate a stored config)\n");
+  return 2;
+}
+
+sim::MachineModel machine_of(const Args& args) {
+  return args.machine == "p4" ? sim::pentium4() : sim::sparc2();
+}
+
+int cmd_list() {
+  support::Table table;
+  table.row({"benchmark", "section", "paper method", "paper invocations"});
+  for (const auto& w : workloads::all_workloads())
+    table.add_row()
+        .cell(w->benchmark())
+        .cell(w->ts_name())
+        .cell(rating::to_string(w->paper_method()))
+        .cell(std::to_string(w->paper_invocations()));
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const sim::MachineModel machine = machine_of(args);
+  support::Table table;
+  table.row({"section", "context vars", "#ctx", "chain", "checkpoint"});
+  for (const auto& w : workloads::all_workloads()) {
+    if (!args.benchmark.empty() && w->benchmark() != args.benchmark)
+      continue;
+    const workloads::Trace train =
+        w->trace(workloads::DataSet::kTrain, 42);
+    const core::ProfileData p =
+        core::profile_workload(*w, train, machine);
+    std::string chain;
+    for (rating::Method m : p.decision.chain) {
+      if (!chain.empty()) chain += ">";
+      chain += rating::to_string(m);
+    }
+    table.add_row()
+        .cell(w->full_name())
+        .cell(p.context_analysis.describe(w->function()))
+        .cell(std::to_string(p.num_contexts))
+        .cell(chain)
+        .cell(p.checkpoint_plan.describe(w->function()));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  if (args.benchmark.empty()) return usage();
+  const auto workload = workloads::make_workload(args.benchmark);
+  if (!workload) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n",
+                 args.benchmark.c_str());
+    return 1;
+  }
+  const sim::MachineModel machine = machine_of(args);
+  core::Peak peak(machine);
+
+  core::MethodRun run;
+  if (args.method) {
+    const workloads::Trace train =
+        workload->trace(workloads::DataSet::kTrain, 1);
+    core::BenchmarkResult result =
+        peak.run_benchmark(*workload, /*all_methods=*/true, {*args.method});
+    const core::MethodRun* found =
+        result.find(*args.method, workloads::DataSet::kTrain);
+    if (!found) {
+      std::fprintf(stderr, "method did not run\n");
+      return 1;
+    }
+    run = *found;
+  } else {
+    run = peak.tune_with_consultant(*workload);
+  }
+
+  std::printf("%s on %s via %s\n", workload->full_name().c_str(),
+              machine.name.c_str(), rating::to_string(run.method));
+  std::printf("  improvement over -O3 (ref): %.2f%%\n",
+              run.ref_improvement_pct);
+  std::printf("  flags removed: %s\n",
+              run.best_config
+                  .describe(peak.effects().space(), /*invert=*/true)
+                  .c_str());
+  std::printf("  cost: %zu invocations (%.2f program runs)\n",
+              run.cost.invocations, run.cost.program_runs);
+
+  if (!args.save_path.empty()) {
+    core::ConfigStore store(peak.effects().space());
+    store.load_file(args.save_path);  // merge with existing records
+    core::StoredConfig entry;
+    entry.config = run.best_config;
+    entry.method = run.method;
+    entry.improvement_pct = run.ref_improvement_pct;
+    store.put(workload->full_name(), machine.name, entry);
+    if (!store.save_file(args.save_path)) {
+      std::fprintf(stderr, "failed to write %s\n", args.save_path.c_str());
+      return 1;
+    }
+    std::printf("  saved to %s\n", args.save_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_apply(const Args& args) {
+  if (args.benchmark.empty() || args.load_path.empty()) return usage();
+  const auto workload = workloads::make_workload(args.benchmark);
+  if (!workload) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n",
+                 args.benchmark.c_str());
+    return 1;
+  }
+  const sim::MachineModel machine = machine_of(args);
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  core::ConfigStore store(effects.space());
+  if (!store.load_file(args.load_path)) {
+    std::fprintf(stderr, "cannot read %s\n", args.load_path.c_str());
+    return 1;
+  }
+  const auto entry = store.get(workload->full_name(), machine.name);
+  if (!entry) {
+    std::fprintf(stderr, "no stored config for %s @ %s\n",
+                 workload->full_name().c_str(), machine.name.c_str());
+    return 1;
+  }
+  const workloads::Trace ref = workload->trace(workloads::DataSet::kRef, 1);
+  const double o3 = core::expected_trace_time(
+      *workload, ref, machine, effects, search::o3_config(effects.space()));
+  const double tuned = core::expected_trace_time(*workload, ref, machine,
+                                                 effects, entry->config);
+  std::printf("%s @ %s (stored via %s): improvement %.2f%% on ref\n",
+              workload->full_name().c_str(), machine.name.c_str(),
+              rating::to_string(entry->method),
+              (o3 / tuned - 1.0) * 100.0);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const sim::MachineModel machine = machine_of(args);
+  core::Peak peak(machine);
+  std::vector<core::BenchmarkResult> results;
+  for (const std::string& name : workloads::figure7_benchmarks()) {
+    const auto workload = workloads::make_workload(name);
+    std::vector<rating::Method> extra;
+    if (name == "MGRID") extra.push_back(rating::Method::kCBR);
+    results.push_back(peak.run_benchmark(*workload, true, extra));
+  }
+  if (args.csv)
+    std::cout << core::to_csv(results);
+  else
+    std::cout << core::to_markdown(results);
+  return 0;
+}
+
+int cmd_app(const Args& args) {
+  std::vector<std::unique_ptr<workloads::Workload>> owned;
+  std::vector<const workloads::Workload*> sections;
+  for (const std::string& name : workloads::figure7_benchmarks()) {
+    owned.push_back(workloads::make_workload(name));
+    sections.push_back(owned.back().get());
+  }
+  const core::ApplicationOutcome outcome =
+      core::tune_application(sections, machine_of(args), {}, 4);
+  std::cout << core::to_markdown(outcome);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return usage();
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--benchmark") {
+      const char* v = next();
+      if (!v) return usage();
+      args.benchmark = v;
+    } else if (arg == "--machine") {
+      const char* v = next();
+      if (!v) return usage();
+      args.machine = v;
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (!v) return usage();
+      args.method = parse_method(v);
+      if (!args.method) return usage();
+    } else if (arg == "--save") {
+      const char* v = next();
+      if (!v) return usage();
+      args.save_path = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (!v) return usage();
+      args.load_path = v;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--markdown") {
+      args.markdown = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (args.command == "list") return cmd_list();
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "tune") return cmd_tune(args);
+  if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "app") return cmd_app(args);
+  if (args.command == "apply") return cmd_apply(args);
+  return usage();
+}
