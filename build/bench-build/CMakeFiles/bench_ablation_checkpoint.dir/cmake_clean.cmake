@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_checkpoint"
+  "../bench/bench_ablation_checkpoint.pdb"
+  "CMakeFiles/bench_ablation_checkpoint.dir/bench_ablation_checkpoint.cpp.o"
+  "CMakeFiles/bench_ablation_checkpoint.dir/bench_ablation_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

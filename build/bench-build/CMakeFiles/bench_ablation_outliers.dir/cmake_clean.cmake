@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_outliers"
+  "../bench/bench_ablation_outliers.pdb"
+  "CMakeFiles/bench_ablation_outliers.dir/bench_ablation_outliers.cpp.o"
+  "CMakeFiles/bench_ablation_outliers.dir/bench_ablation_outliers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

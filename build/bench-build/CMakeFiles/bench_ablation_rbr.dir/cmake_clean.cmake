@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rbr"
+  "../bench/bench_ablation_rbr.pdb"
+  "CMakeFiles/bench_ablation_rbr.dir/bench_ablation_rbr.cpp.o"
+  "CMakeFiles/bench_ablation_rbr.dir/bench_ablation_rbr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

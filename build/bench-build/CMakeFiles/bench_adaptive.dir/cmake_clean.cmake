@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adaptive"
+  "../bench/bench_adaptive.pdb"
+  "CMakeFiles/bench_adaptive.dir/bench_adaptive.cpp.o"
+  "CMakeFiles/bench_adaptive.dir/bench_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_analysis"
+  "../bench/bench_analysis.pdb"
+  "CMakeFiles/bench_analysis.dir/bench_analysis.cpp.o"
+  "CMakeFiles/bench_analysis.dir/bench_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

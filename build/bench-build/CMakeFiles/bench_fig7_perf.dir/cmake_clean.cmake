@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_perf"
+  "../bench/bench_fig7_perf.pdb"
+  "CMakeFiles/bench_fig7_perf.dir/bench_fig7_perf.cpp.o"
+  "CMakeFiles/bench_fig7_perf.dir/bench_fig7_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

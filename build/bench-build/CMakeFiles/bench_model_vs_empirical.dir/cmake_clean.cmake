@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_vs_empirical"
+  "../bench/bench_model_vs_empirical.pdb"
+  "CMakeFiles/bench_model_vs_empirical.dir/bench_model_vs_empirical.cpp.o"
+  "CMakeFiles/bench_model_vs_empirical.dir/bench_model_vs_empirical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_vs_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_static_passes"
+  "../bench/bench_static_passes.pdb"
+  "CMakeFiles/bench_static_passes.dir/bench_static_passes.cpp.o"
+  "CMakeFiles/bench_static_passes.dir/bench_static_passes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_common.dir/fig7_common.cpp.o"
+  "CMakeFiles/fig7_common.dir/fig7_common.cpp.o.d"
+  "libfig7_common.a"
+  "libfig7_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

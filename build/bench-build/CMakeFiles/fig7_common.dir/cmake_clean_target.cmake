@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfig7_common.a"
+)

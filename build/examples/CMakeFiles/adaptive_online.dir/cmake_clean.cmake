@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_online.dir/adaptive_online.cpp.o"
+  "CMakeFiles/adaptive_online.dir/adaptive_online.cpp.o.d"
+  "adaptive_online"
+  "adaptive_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_walkthrough.dir/mbr_walkthrough.cpp.o"
+  "CMakeFiles/mbr_walkthrough.dir/mbr_walkthrough.cpp.o.d"
+  "mbr_walkthrough"
+  "mbr_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

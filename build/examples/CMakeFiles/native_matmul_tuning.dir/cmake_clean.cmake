@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_matmul_tuning.dir/native_matmul_tuning.cpp.o"
+  "CMakeFiles/native_matmul_tuning.dir/native_matmul_tuning.cpp.o.d"
+  "native_matmul_tuning"
+  "native_matmul_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_matmul_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

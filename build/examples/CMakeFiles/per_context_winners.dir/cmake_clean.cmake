@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_context_winners.dir/per_context_winners.cpp.o"
+  "CMakeFiles/per_context_winners.dir/per_context_winners.cpp.o.d"
+  "per_context_winners"
+  "per_context_winners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_context_winners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for per_context_winners.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for per_context_winners.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_application.dir/whole_application.cpp.o"
+  "CMakeFiles/whole_application.dir/whole_application.cpp.o.d"
+  "whole_application"
+  "whole_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

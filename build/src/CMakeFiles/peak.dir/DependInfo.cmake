@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/component_analysis.cpp" "src/CMakeFiles/peak.dir/analysis/component_analysis.cpp.o" "gcc" "src/CMakeFiles/peak.dir/analysis/component_analysis.cpp.o.d"
+  "/root/repo/src/analysis/context_analysis.cpp" "src/CMakeFiles/peak.dir/analysis/context_analysis.cpp.o" "gcc" "src/CMakeFiles/peak.dir/analysis/context_analysis.cpp.o.d"
+  "/root/repo/src/analysis/input_sets.cpp" "src/CMakeFiles/peak.dir/analysis/input_sets.cpp.o" "gcc" "src/CMakeFiles/peak.dir/analysis/input_sets.cpp.o.d"
+  "/root/repo/src/analysis/instrumentation.cpp" "src/CMakeFiles/peak.dir/analysis/instrumentation.cpp.o" "gcc" "src/CMakeFiles/peak.dir/analysis/instrumentation.cpp.o.d"
+  "/root/repo/src/analysis/runtime_constants.cpp" "src/CMakeFiles/peak.dir/analysis/runtime_constants.cpp.o" "gcc" "src/CMakeFiles/peak.dir/analysis/runtime_constants.cpp.o.d"
+  "/root/repo/src/analysis/ts_partitioner.cpp" "src/CMakeFiles/peak.dir/analysis/ts_partitioner.cpp.o" "gcc" "src/CMakeFiles/peak.dir/analysis/ts_partitioner.cpp.o.d"
+  "/root/repo/src/core/adaptive.cpp" "src/CMakeFiles/peak.dir/core/adaptive.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/config_store.cpp" "src/CMakeFiles/peak.dir/core/config_store.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/config_store.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/peak.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/peak.cpp" "src/CMakeFiles/peak.dir/core/peak.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/peak.cpp.o.d"
+  "/root/repo/src/core/per_context.cpp" "src/CMakeFiles/peak.dir/core/per_context.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/per_context.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/CMakeFiles/peak.dir/core/profile.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/profile.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/peak.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/tuning_driver.cpp" "src/CMakeFiles/peak.dir/core/tuning_driver.cpp.o" "gcc" "src/CMakeFiles/peak.dir/core/tuning_driver.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/peak.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/peak.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/fuzz.cpp" "src/CMakeFiles/peak.dir/ir/fuzz.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/fuzz.cpp.o.d"
+  "/root/repo/src/ir/interpreter.cpp" "src/CMakeFiles/peak.dir/ir/interpreter.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/interpreter.cpp.o.d"
+  "/root/repo/src/ir/liveness.cpp" "src/CMakeFiles/peak.dir/ir/liveness.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/liveness.cpp.o.d"
+  "/root/repo/src/ir/loops.cpp" "src/CMakeFiles/peak.dir/ir/loops.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/loops.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/CMakeFiles/peak.dir/ir/passes.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/passes.cpp.o.d"
+  "/root/repo/src/ir/points_to.cpp" "src/CMakeFiles/peak.dir/ir/points_to.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/points_to.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/CMakeFiles/peak.dir/ir/print.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/print.cpp.o.d"
+  "/root/repo/src/ir/range_analysis.cpp" "src/CMakeFiles/peak.dir/ir/range_analysis.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/range_analysis.cpp.o.d"
+  "/root/repo/src/ir/use_def.cpp" "src/CMakeFiles/peak.dir/ir/use_def.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/use_def.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/CMakeFiles/peak.dir/ir/validate.cpp.o" "gcc" "src/CMakeFiles/peak.dir/ir/validate.cpp.o.d"
+  "/root/repo/src/rating/cbr.cpp" "src/CMakeFiles/peak.dir/rating/cbr.cpp.o" "gcc" "src/CMakeFiles/peak.dir/rating/cbr.cpp.o.d"
+  "/root/repo/src/rating/consultant.cpp" "src/CMakeFiles/peak.dir/rating/consultant.cpp.o" "gcc" "src/CMakeFiles/peak.dir/rating/consultant.cpp.o.d"
+  "/root/repo/src/rating/mbr.cpp" "src/CMakeFiles/peak.dir/rating/mbr.cpp.o" "gcc" "src/CMakeFiles/peak.dir/rating/mbr.cpp.o.d"
+  "/root/repo/src/rating/rbr.cpp" "src/CMakeFiles/peak.dir/rating/rbr.cpp.o" "gcc" "src/CMakeFiles/peak.dir/rating/rbr.cpp.o.d"
+  "/root/repo/src/rating/window.cpp" "src/CMakeFiles/peak.dir/rating/window.cpp.o" "gcc" "src/CMakeFiles/peak.dir/rating/window.cpp.o.d"
+  "/root/repo/src/runtime/snapshot.cpp" "src/CMakeFiles/peak.dir/runtime/snapshot.cpp.o" "gcc" "src/CMakeFiles/peak.dir/runtime/snapshot.cpp.o.d"
+  "/root/repo/src/runtime/version_table.cpp" "src/CMakeFiles/peak.dir/runtime/version_table.cpp.o" "gcc" "src/CMakeFiles/peak.dir/runtime/version_table.cpp.o.d"
+  "/root/repo/src/search/advisor.cpp" "src/CMakeFiles/peak.dir/search/advisor.cpp.o" "gcc" "src/CMakeFiles/peak.dir/search/advisor.cpp.o.d"
+  "/root/repo/src/search/combined_elimination.cpp" "src/CMakeFiles/peak.dir/search/combined_elimination.cpp.o" "gcc" "src/CMakeFiles/peak.dir/search/combined_elimination.cpp.o.d"
+  "/root/repo/src/search/iterative_elimination.cpp" "src/CMakeFiles/peak.dir/search/iterative_elimination.cpp.o" "gcc" "src/CMakeFiles/peak.dir/search/iterative_elimination.cpp.o.d"
+  "/root/repo/src/search/opt_config.cpp" "src/CMakeFiles/peak.dir/search/opt_config.cpp.o" "gcc" "src/CMakeFiles/peak.dir/search/opt_config.cpp.o.d"
+  "/root/repo/src/search/simple_searches.cpp" "src/CMakeFiles/peak.dir/search/simple_searches.cpp.o" "gcc" "src/CMakeFiles/peak.dir/search/simple_searches.cpp.o.d"
+  "/root/repo/src/sim/cache_model.cpp" "src/CMakeFiles/peak.dir/sim/cache_model.cpp.o" "gcc" "src/CMakeFiles/peak.dir/sim/cache_model.cpp.o.d"
+  "/root/repo/src/sim/exec_backend.cpp" "src/CMakeFiles/peak.dir/sim/exec_backend.cpp.o" "gcc" "src/CMakeFiles/peak.dir/sim/exec_backend.cpp.o.d"
+  "/root/repo/src/sim/flag_effects.cpp" "src/CMakeFiles/peak.dir/sim/flag_effects.cpp.o" "gcc" "src/CMakeFiles/peak.dir/sim/flag_effects.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/peak.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/peak.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/peak.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/peak.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/CMakeFiles/peak.dir/stats/matrix.cpp.o" "gcc" "src/CMakeFiles/peak.dir/stats/matrix.cpp.o.d"
+  "/root/repo/src/stats/outlier.cpp" "src/CMakeFiles/peak.dir/stats/outlier.cpp.o" "gcc" "src/CMakeFiles/peak.dir/stats/outlier.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/CMakeFiles/peak.dir/stats/regression.cpp.o" "gcc" "src/CMakeFiles/peak.dir/stats/regression.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/peak.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/peak.dir/support/table.cpp.o.d"
+  "/root/repo/src/workloads/applu.cpp" "src/CMakeFiles/peak.dir/workloads/applu.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/applu.cpp.o.d"
+  "/root/repo/src/workloads/apsi.cpp" "src/CMakeFiles/peak.dir/workloads/apsi.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/apsi.cpp.o.d"
+  "/root/repo/src/workloads/art.cpp" "src/CMakeFiles/peak.dir/workloads/art.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/art.cpp.o.d"
+  "/root/repo/src/workloads/bzip2.cpp" "src/CMakeFiles/peak.dir/workloads/bzip2.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/bzip2.cpp.o.d"
+  "/root/repo/src/workloads/crafty.cpp" "src/CMakeFiles/peak.dir/workloads/crafty.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/crafty.cpp.o.d"
+  "/root/repo/src/workloads/equake.cpp" "src/CMakeFiles/peak.dir/workloads/equake.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/equake.cpp.o.d"
+  "/root/repo/src/workloads/gzip.cpp" "src/CMakeFiles/peak.dir/workloads/gzip.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/gzip.cpp.o.d"
+  "/root/repo/src/workloads/mcf.cpp" "src/CMakeFiles/peak.dir/workloads/mcf.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/mcf.cpp.o.d"
+  "/root/repo/src/workloads/mesa.cpp" "src/CMakeFiles/peak.dir/workloads/mesa.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/mesa.cpp.o.d"
+  "/root/repo/src/workloads/mgrid.cpp" "src/CMakeFiles/peak.dir/workloads/mgrid.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/mgrid.cpp.o.d"
+  "/root/repo/src/workloads/native.cpp" "src/CMakeFiles/peak.dir/workloads/native.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/native.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/peak.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/CMakeFiles/peak.dir/workloads/swim.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/swim.cpp.o.d"
+  "/root/repo/src/workloads/twolf.cpp" "src/CMakeFiles/peak.dir/workloads/twolf.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/twolf.cpp.o.d"
+  "/root/repo/src/workloads/vortex.cpp" "src/CMakeFiles/peak.dir/workloads/vortex.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/vortex.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/peak.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/workload.cpp.o.d"
+  "/root/repo/src/workloads/wupwise.cpp" "src/CMakeFiles/peak.dir/workloads/wupwise.cpp.o" "gcc" "src/CMakeFiles/peak.dir/workloads/wupwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_advisor_batching.cpp" "tests/CMakeFiles/peak_tests.dir/test_advisor_batching.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_advisor_batching.cpp.o.d"
+  "/root/repo/tests/test_analysis_components.cpp" "tests/CMakeFiles/peak_tests.dir/test_analysis_components.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_analysis_components.cpp.o.d"
+  "/root/repo/tests/test_analysis_context.cpp" "tests/CMakeFiles/peak_tests.dir/test_analysis_context.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_analysis_context.cpp.o.d"
+  "/root/repo/tests/test_analysis_misc.cpp" "tests/CMakeFiles/peak_tests.dir/test_analysis_misc.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_analysis_misc.cpp.o.d"
+  "/root/repo/tests/test_core_adaptive_parallel.cpp" "tests/CMakeFiles/peak_tests.dir/test_core_adaptive_parallel.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_core_adaptive_parallel.cpp.o.d"
+  "/root/repo/tests/test_core_pipeline.cpp" "tests/CMakeFiles/peak_tests.dir/test_core_pipeline.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_core_pipeline.cpp.o.d"
+  "/root/repo/tests/test_ir_builder_interpreter.cpp" "tests/CMakeFiles/peak_tests.dir/test_ir_builder_interpreter.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_ir_builder_interpreter.cpp.o.d"
+  "/root/repo/tests/test_ir_dataflow.cpp" "tests/CMakeFiles/peak_tests.dir/test_ir_dataflow.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_ir_dataflow.cpp.o.d"
+  "/root/repo/tests/test_ir_fuzz_analyses.cpp" "tests/CMakeFiles/peak_tests.dir/test_ir_fuzz_analyses.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_ir_fuzz_analyses.cpp.o.d"
+  "/root/repo/tests/test_ir_loops.cpp" "tests/CMakeFiles/peak_tests.dir/test_ir_loops.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_ir_loops.cpp.o.d"
+  "/root/repo/tests/test_ir_passes.cpp" "tests/CMakeFiles/peak_tests.dir/test_ir_passes.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_ir_passes.cpp.o.d"
+  "/root/repo/tests/test_ir_range_analysis.cpp" "tests/CMakeFiles/peak_tests.dir/test_ir_range_analysis.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_ir_range_analysis.cpp.o.d"
+  "/root/repo/tests/test_per_context.cpp" "tests/CMakeFiles/peak_tests.dir/test_per_context.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_per_context.cpp.o.d"
+  "/root/repo/tests/test_rating_cbr_rbr.cpp" "tests/CMakeFiles/peak_tests.dir/test_rating_cbr_rbr.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_rating_cbr_rbr.cpp.o.d"
+  "/root/repo/tests/test_rating_mbr_consultant.cpp" "tests/CMakeFiles/peak_tests.dir/test_rating_mbr_consultant.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_rating_mbr_consultant.cpp.o.d"
+  "/root/repo/tests/test_rating_window.cpp" "tests/CMakeFiles/peak_tests.dir/test_rating_window.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_rating_window.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/peak_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/peak_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_search_extensions.cpp" "tests/CMakeFiles/peak_tests.dir/test_search_extensions.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_search_extensions.cpp.o.d"
+  "/root/repo/tests/test_sim_exec_backend.cpp" "tests/CMakeFiles/peak_tests.dir/test_sim_exec_backend.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_sim_exec_backend.cpp.o.d"
+  "/root/repo/tests/test_sim_flags_effects.cpp" "tests/CMakeFiles/peak_tests.dir/test_sim_flags_effects.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_sim_flags_effects.cpp.o.d"
+  "/root/repo/tests/test_sim_machine_cache.cpp" "tests/CMakeFiles/peak_tests.dir/test_sim_machine_cache.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_sim_machine_cache.cpp.o.d"
+  "/root/repo/tests/test_stats_descriptive.cpp" "tests/CMakeFiles/peak_tests.dir/test_stats_descriptive.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_stats_descriptive.cpp.o.d"
+  "/root/repo/tests/test_stats_outlier.cpp" "tests/CMakeFiles/peak_tests.dir/test_stats_outlier.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_stats_outlier.cpp.o.d"
+  "/root/repo/tests/test_stats_regression.cpp" "tests/CMakeFiles/peak_tests.dir/test_stats_regression.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_stats_regression.cpp.o.d"
+  "/root/repo/tests/test_support_bitset.cpp" "tests/CMakeFiles/peak_tests.dir/test_support_bitset.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_support_bitset.cpp.o.d"
+  "/root/repo/tests/test_support_rng.cpp" "tests/CMakeFiles/peak_tests.dir/test_support_rng.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_support_rng.cpp.o.d"
+  "/root/repo/tests/test_support_threading.cpp" "tests/CMakeFiles/peak_tests.dir/test_support_threading.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_support_threading.cpp.o.d"
+  "/root/repo/tests/test_validate_config_store.cpp" "tests/CMakeFiles/peak_tests.dir/test_validate_config_store.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_validate_config_store.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/peak_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_workloads_native.cpp" "tests/CMakeFiles/peak_tests.dir/test_workloads_native.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_workloads_native.cpp.o.d"
+  "/root/repo/tests/test_workloads_native_full.cpp" "tests/CMakeFiles/peak_tests.dir/test_workloads_native_full.cpp.o" "gcc" "tests/CMakeFiles/peak_tests.dir/test_workloads_native_full.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/peak.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_cli.dir/peak_cli.cpp.o"
+  "CMakeFiles/peak_cli.dir/peak_cli.cpp.o.d"
+  "peak"
+  "peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
