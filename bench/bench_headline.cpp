@@ -3,11 +3,71 @@
 /// improvements (26% on average)" and "a reduction in program tuning time
 /// of up to 96% (80% on average)", aggregated over the consultant-chosen
 /// rating method for each benchmark × machine.
+///
+/// Besides the human-readable stdout report, writes BENCH_headline.json
+/// (machine-readable, schema checked by tools/check_bench_json.py).
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "fig7_common.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace peak;
+
+/// One "benchmark ran via method X" record as a JSON object.
+void append_run_json(std::ostream& os, const core::BenchmarkResult& b) {
+  const core::MethodRun* run = b.find(b.chosen, workloads::DataSet::kTrain);
+  if (!run) return;
+  os << "{\"benchmark\":\"" << obs::json_escape(b.benchmark)
+     << "\",\"method\":\"" << rating::to_string(b.chosen)
+     << "\",\"ref_improvement_pct\":" << run->ref_improvement_pct
+     << ",\"tuning_time_reduction_pct\":"
+     << 100.0 * (1.0 - b.normalized_tuning_time(b.chosen,
+                                                workloads::DataSet::kTrain))
+     << ",\"configs_evaluated\":" << run->cost.configs_evaluated
+     << ",\"invocations\":" << run->cost.invocations << "}";
+}
+
+bool write_json(const std::string& path,
+                const std::vector<bench::Figure7Results>& machines,
+                const bench::Headline& h) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\"bench\":\"headline\",\"schema\":1,\"machines\":[";
+  bool first_machine = true;
+  for (const bench::Figure7Results& results : machines) {
+    if (!first_machine) os << ",";
+    first_machine = false;
+    os << "{\"machine\":\"" << obs::json_escape(results.machine.name)
+       << "\",\"runs\":[";
+    bool first_run = true;
+    for (const core::BenchmarkResult& b : results.benchmarks) {
+      std::ostringstream one;
+      append_run_json(one, b);
+      if (one.str().empty()) continue;
+      if (!first_run) os << ",";
+      first_run = false;
+      os << one.str();
+    }
+    os << "]}";
+  }
+  os << "],\"headline\":{\"max_improvement_pct\":" << h.max_improvement_pct
+     << ",\"avg_improvement_pct\":" << h.avg_improvement_pct
+     << ",\"max_time_reduction_pct\":" << h.max_time_reduction_pct
+     << ",\"avg_time_reduction_pct\":" << h.avg_time_reduction_pct
+     << "},\"metrics\":";
+  obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
+  os << "}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace
 
 int main() {
   using namespace peak;
@@ -44,5 +104,11 @@ int main() {
   std::printf(
       "Paper:    up to 178%% performance improvement (26%% on average)\n"
       "          tuning-time reduction up to 96%% (80%% on average)\n");
+
+  const std::string json_path = "BENCH_headline.json";
+  if (write_json(json_path, machines, h))
+    std::printf("Wrote %s\n", json_path.c_str());
+  else
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
   return 0;
 }

@@ -115,10 +115,10 @@ int main() {
       runtime::WallTimer timer;
       timer.start();
       base.run(a, b, c);
-      const double t_base = timer.stop();
+      const double t_base = timer.elapsed();
       timer.start();
       version.run(a, b, c);
-      const double t_exp = timer.stop();
+      const double t_exp = timer.elapsed();
       rater.add_pair(t_base, t_exp);
     }
     const rating::Rating r = rater.rating();

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/instrumentation.hpp"
+#include "obs/trace.hpp"
 #include "stats/regression.hpp"
 #include "ir/interpreter.hpp"
 #include "support/check.hpp"
@@ -34,14 +35,22 @@ ProfileData profile_workload(const workloads::Workload& workload,
   ProfileData data;
   const ir::Function& fn = workload.function();
 
+  obs::ScopedSpan profile_span("profile", "profile");
+  if (profile_span.active())
+    profile_span.add(obs::attr("section", workload.full_name()));
+
   // --- static compiler analyses -------------------------------------------
-  data.context_analysis = analysis::analyze_context_variables(fn);
-  data.input_sets = analysis::analyze_input_sets(fn);
-  data.rbr_screen = analysis::screen_for_rbr(fn);
-  data.invocations_per_run = trace.invocations.size();
+  {
+    obs::ScopedSpan span("static_analysis", "profile");
+    data.context_analysis = analysis::analyze_context_variables(fn);
+    data.input_sets = analysis::analyze_input_sets(fn);
+    data.rbr_screen = analysis::screen_for_rbr(fn);
+    data.invocations_per_run = trace.invocations.size();
+  }
 
   // --- context census over the (bounded) trace ------------------------------
   {
+    obs::ScopedSpan span("context_census", "profile");
     std::set<std::vector<double>> distinct;
     const std::size_t limit =
         std::min(options.context_scan_limit, trace.invocations.size());
@@ -51,17 +60,20 @@ ProfileData profile_workload(const workloads::Workload& workload,
   }
 
   // --- detailed pass: block counts, content hashes, cycle costs -------------
-  const ir::Function instrumented = analysis::instrument_all_blocks(fn);
-  const ir::Interpreter interp(instrumented);
   const sim::MachineCostModel cost(machine);
-
   std::vector<std::vector<std::uint64_t>> block_profiles;
   std::vector<double> observed_times;  ///< cycles × data irregularity
+
+  {
+  obs::ScopedSpan span("detailed_pass", "profile");
+  const ir::Function instrumented = analysis::instrument_all_blocks(fn);
+  const ir::Interpreter interp(instrumented);
   std::map<ir::VarId, std::set<std::uint64_t>> content_hashes;
   double total_cycles = 0.0;
 
   const std::size_t detailed =
       std::min(options.detailed_invocations, trace.invocations.size());
+  if (span.active()) span.add(obs::attr("invocations", detailed));
   ir::Memory memory = ir::Memory::for_function(instrumented);
   for (std::size_t i = 0; i < detailed; ++i) {
     const sim::Invocation& inv = trace.invocations[i];
@@ -105,8 +117,11 @@ ProfileData profile_workload(const workloads::Workload& workload,
     data.run_total_cycles = data.avg_invocation_cycles *
                             static_cast<double>(trace.invocations.size());
   }
+  }  // detailed_pass span
 
   // --- component analysis for MBR -------------------------------------------
+  {
+  obs::ScopedSpan span("component_analysis", "profile");
   data.components =
       analysis::analyze_components(fn, block_profiles, options.components);
 
@@ -169,15 +184,18 @@ ProfileData profile_workload(const workloads::Workload& workload,
       }
     }
   }
+  }  // component_analysis span
 
   // --- checkpoint plan: range-analysis-narrowed Modified_Input --------------
   {
+    obs::ScopedSpan span("checkpoint_plan", "profile");
     const ir::RangeAnalysis ranges(fn, data.param_bounds);
     data.checkpoint_plan =
         analysis::plan_checkpoint(fn, data.input_sets, ranges);
   }
 
   // --- the consultant's decision ---------------------------------------------
+  obs::ScopedSpan consultant_span("consultant", "profile");
   rating::ConsultantInputs in;
   in.cbr_context_scalars_only = data.cbr_applicable();
   in.num_contexts = data.num_contexts;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "analysis/instrumentation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rating/baselines.hpp"
 #include "rating/cbr.hpp"
 #include "rating/mbr.hpp"
@@ -15,6 +17,25 @@
 namespace peak::core {
 
 namespace {
+
+/// Cached references into the global metrics registry; resolving by name
+/// once keeps the per-rating updates down to relaxed atomic ops.
+struct DriverMetrics {
+  obs::Counter& configs_evaluated =
+      obs::counter("search.configs_evaluated");
+  obs::Counter& ratings_started = obs::counter("rating.started");
+  obs::Counter& ratings_converged = obs::counter("rating.converged");
+  obs::Counter& ratings_exhausted = obs::counter("rating.exhausted");
+  obs::Counter& invocations = obs::counter("rating.invocations");
+  obs::Histogram& window_occupancy = obs::histogram(
+      "rating.window_samples", {10, 20, 40, 80, 160, 320, 640});
+  obs::Gauge& mbr_residual = obs::gauge("rating.mbr_residual");
+
+  static DriverMetrics& get() {
+    static DriverMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Raised when a rating method cannot produce any estimate within its
 /// sample budget; tune_auto() responds by switching down the method chain
@@ -51,6 +72,14 @@ public:
 
   double relative_improvement(const search::FlagConfig& base,
                               const search::FlagConfig& cfg) override {
+    // Counted at entry so an attempt abandoned mid-rating (see
+    // RatingNotConverging) is still accounted, keeping the registry
+    // counter equal to cost().configs_evaluated on every path.
+    ++evaluations_;
+    DriverMetrics::get().configs_evaluated.inc();
+    obs::ScopedSpan span("rate", "rating");
+    if (span.active())
+      span.add(obs::attr("method", rating::to_string(method_)));
     if (method_ == rating::Method::kRBR) return rbr_ratio(base, cfg);
     const double e_base = rate_time(base);
     const double e_cfg = rate_time(cfg);
@@ -58,11 +87,27 @@ public:
     return e_base / e_cfg;
   }
 
+  /// Fold this evaluator's per-phase simulated-cycle attribution into
+  /// the global metrics registry. Called once, after the search ends.
+  void publish_sim_metrics() const {
+    const sim::SimExecutionBackend::CycleBreakdown& b =
+        backend_.breakdown();
+    obs::gauge("sim.cycles_timed").add(b.timed);
+    obs::gauge("sim.cycles_precondition").add(b.precondition);
+    obs::gauge("sim.cycles_checkpoint").add(b.checkpoint);
+    obs::gauge("sim.cycles_whole_program_surcharge")
+        .add(whole_program_surcharge_);
+    obs::counter("rbr.checkpoint_saves").inc(b.saves);
+    obs::counter("rbr.checkpoint_restores").inc(b.restores);
+    obs::counter("rbr.checkpoint_bytes").inc(b.checkpoint_bytes);
+  }
+
   [[nodiscard]] TuningCost cost() const {
     TuningCost c;
     c.simulated_time =
         backend_.accumulated_time() + whole_program_surcharge_;
     c.invocations = invocations_;
+    c.configs_evaluated = evaluations_;
     c.program_runs = driver_.trace_.invocations.empty()
                          ? 0.0
                          : static_cast<double>(invocations_) /
@@ -83,12 +128,21 @@ private:
     const sim::Invocation& inv = invs[cursor_];
     cursor_ = (cursor_ + 1) % invs.size();
     ++invocations_;
+    DriverMetrics::get().invocations.inc();
     return inv;
+  }
+
+  /// Per-rating metrics: convergence tally plus window occupancy.
+  static void observe_rating(bool converged, std::size_t samples) {
+    DriverMetrics& m = DriverMetrics::get();
+    (converged ? m.ratings_converged : m.ratings_exhausted).inc();
+    m.window_occupancy.observe(static_cast<double>(samples));
   }
 
   double rbr_ratio(const search::FlagConfig& base,
                    const search::FlagConfig& cfg) {
     ++ratings_;
+    DriverMetrics::get().ratings_started.inc();
     rating::ReexecutionRater rater(driver_.options_.window);
     sim::RbrOptions rbr_opts;
     rbr_opts.improved = driver_.options_.improved_rbr;
@@ -103,6 +157,7 @@ private:
     }
     if (!rater.converged()) ++exhausted_;
     const rating::Rating r = rater.rating();
+    observe_rating(rater.converged(), r.samples);
     // Significance gate: with very noisy sections (EQUAKE's irregular
     // memory) the window may cap out with a standard error comparable to
     // the search's improvement threshold; reporting a statistically
@@ -123,6 +178,7 @@ private:
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     ++ratings_;
+    DriverMetrics::get().ratings_started.inc();
 
     double eval = 0.0;
     switch (method_) {
@@ -140,7 +196,9 @@ private:
           rater.add(inv.context, backend_.invoke(cfg, inv).time);
         }
         if (!rater.converged()) ++exhausted_;
-        eval = rater.rating().eval;
+        const rating::Rating r = rater.rating();
+        observe_rating(rater.converged(), r.samples);
+        eval = r.eval;
         break;
       }
       case rating::Method::kMBR: {
@@ -155,7 +213,12 @@ private:
           rater.add(counts, r.time);
         }
         if (!rater.converged()) ++exhausted_;
-        eval = rater.rating().eval;
+        const rating::Rating r = rater.rating();
+        observe_rating(rater.converged(), r.samples);
+        // r.var carries the fit's unexplained-variance ratio — the MBR
+        // regression residual the obs layer reports.
+        DriverMetrics::get().mbr_residual.set(r.var);
+        eval = r.eval;
         break;
       }
       case rating::Method::kAVG: {
@@ -165,7 +228,9 @@ private:
           rater.add(backend_.invoke(cfg, inv).time);
         }
         if (!rater.converged()) ++exhausted_;
-        eval = rater.rating().eval;
+        const rating::Rating r = rater.rating();
+        observe_rating(rater.converged(), r.samples);
+        eval = r.eval;
         break;
       }
       case rating::Method::kWHL: {
@@ -188,7 +253,9 @@ private:
           whole_program_surcharge_ +=
               run_ts_time * (1.0 / fraction - 1.0);
         }
-        eval = rater.rating().eval;
+        const rating::Rating r = rater.rating();
+        observe_rating(rater.converged(), r.samples);
+        eval = r.eval;
         break;
       }
       case rating::Method::kRBR:
@@ -211,6 +278,7 @@ private:
   std::map<std::string, double> memo_;
   std::size_t cursor_ = 0;
   std::size_t invocations_ = 0;
+  std::size_t evaluations_ = 0;  ///< relative_improvement() calls
   std::size_t ratings_ = 0;
   std::size_t exhausted_ = 0;
   double whole_program_surcharge_ = 0.0;
@@ -246,29 +314,45 @@ TuningOutcome TuningDriver::tune(rating::Method method) {
   search::SearchAlgorithm& algorithm =
       options_.search_algorithm ? *options_.search_algorithm : default_ie;
   const search::FlagConfig start = search::o3_config(effects_.space());
+
+  obs::ScopedSpan span("tune", "driver");
+  if (span.active()) {
+    span.add(obs::attr("method", rating::to_string(method)));
+    span.add(obs::attr("section", workload_.full_name()));
+    span.add(obs::attr("search", algorithm.name()));
+  }
+
   search::SearchResult sr;
   try {
     sr = algorithm.run(effects_.space(), evaluator, start);
   } catch (const RatingNotConverging& e) {
     // The method cannot rate anything here: abandon it, report the cost
     // spent so far, and let tune_auto() switch methods.
+    evaluator.publish_sim_metrics();
     TuningOutcome outcome;
     outcome.best_config = start;
     outcome.method = method;
     outcome.cost = evaluator.cost();
     outcome.exhausted_fraction = 1.0;
-    outcome.search_log.push_back(std::string("abandoned: ") + e.what());
+    search::SearchEvent abandoned;
+    abandoned.kind = search::SearchEvent::Kind::kAbandoned;
+    abandoned.flag = rating::to_string(method);
+    abandoned.note = e.what();
+    outcome.events.push_back(std::move(abandoned));
     return outcome;
   }
 
+  evaluator.publish_sim_metrics();
   TuningOutcome outcome;
   outcome.best_config = sr.best;
   outcome.method = method;
+  // cost.configs_evaluated comes from the evaluator (== the number of
+  // relative_improvement calls), which also equals sr.configs_evaluated
+  // for every in-tree search algorithm.
   outcome.cost = evaluator.cost();
-  outcome.cost.configs_evaluated = sr.configs_evaluated;
   outcome.search_improvement = sr.improvement_over_start;
   outcome.exhausted_fraction = evaluator.exhausted_fraction();
-  outcome.search_log = std::move(sr.log);
+  outcome.events = std::move(sr.events);
   return outcome;
 }
 
@@ -287,10 +371,15 @@ TuningOutcome TuningDriver::tune_auto() {
     const bool last = i + 1 == chain.size();
     if (last ||
         outcome.exhausted_fraction <= options_.max_exhausted_fraction) {
-      outcome.search_log.insert(
-          outcome.search_log.begin(),
-          "method " + std::string(rating::to_string(chain[i])) +
-              (i > 0 ? " (after fallback)" : " (consultant's first choice)"));
+      search::SearchEvent chosen;
+      chosen.kind = search::SearchEvent::Kind::kMethodChosen;
+      chosen.flag = rating::to_string(chain[i]);
+      chosen.round = i;  // render(): i > 0 reads "(after fallback)"
+      outcome.events.insert(outcome.events.begin(), std::move(chosen));
+      obs::Tracer::global().instant(
+          "method_chosen", "driver",
+          {obs::attr("method", rating::to_string(chain[i])),
+           obs::attr("fallbacks", i)});
       return outcome;
     }
     accumulated = outcome.cost;

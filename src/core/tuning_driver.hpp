@@ -56,7 +56,15 @@ struct TuningOutcome {
   TuningCost cost;
   double search_improvement = 1.0;  ///< measured R of best vs start
   double exhausted_fraction = 0.0;  ///< ratings that failed to converge
-  std::vector<std::string> search_log;
+  /// Structured decision trace: the search algorithm's events plus the
+  /// driver's method-selection / abandonment events.
+  std::vector<search::SearchEvent> events;
+
+  /// Legacy string rendering of `events` (the old `search_log` field),
+  /// byte-compatible with what the driver used to emit.
+  [[nodiscard]] std::vector<std::string> render_search_log() const {
+    return search::render_search_log(events);
+  }
 };
 
 class TuningDriver {

@@ -1,0 +1,227 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace peak::obs {
+
+namespace {
+
+/// Chrome's JSON parser rejects NaN/Inf literals; clamp to null-safe 0.
+std::string json_number(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void append_args(std::ostream& os, const std::vector<Attr>& args) {
+  os << "{";
+  bool first = true;
+  for (const Attr& a : args) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << json_escape(a.key) << "\":\"" << json_escape(a.value)
+       << '"';
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const TraceEvent& event) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+     << json_escape(event.category) << "\",\"ph\":\""
+     << (event.phase == EventPhase::kComplete ? 'X' : 'i')
+     << "\",\"pid\":1,\"tid\":" << event.tid << ",\"ts\":" << event.ts_us;
+  if (event.phase == EventPhase::kComplete)
+    os << ",\"dur\":" << event.dur_us;
+  else
+    os << ",\"s\":\"t\"";  // instant scope: thread
+  os << ",\"args\":";
+  // Nesting depth rides along as an ordinary arg so both sink formats
+  // carry it without a schema extension.
+  std::vector<Attr> args = event.args;
+  args.push_back(attr("depth", static_cast<std::uint64_t>(event.depth)));
+  append_args(os, args);
+  os << "}";
+  return os.str();
+}
+
+// --- JsonlSink -----------------------------------------------------------
+
+struct JsonlSink::Impl {
+  std::ofstream out;
+};
+
+JsonlSink::JsonlSink(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path);
+}
+
+JsonlSink::~JsonlSink() = default;
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  impl_->out << to_json(event) << '\n';
+}
+
+void JsonlSink::flush() { impl_->out.flush(); }
+
+bool JsonlSink::ok() const { return impl_->out.good(); }
+
+// --- ChromeTraceSink -----------------------------------------------------
+
+struct ChromeTraceSink::Impl {
+  std::string path;
+  std::vector<TraceEvent> events;
+  bool written = false;
+  bool ok = true;
+};
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : impl_(new Impl) {
+  impl_->path = path;
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::on_event(const TraceEvent& event) {
+  impl_->events.push_back(event);
+  impl_->written = false;
+}
+
+void ChromeTraceSink::flush() {
+  if (impl_->written) return;
+  std::ofstream out(impl_->path);
+  if (!out) {
+    impl_->ok = false;
+    return;
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < impl_->events.size(); ++i) {
+    out << to_json(impl_->events[i]);
+    if (i + 1 < impl_->events.size()) out << ',';
+    out << '\n';
+  }
+  out << "]}\n";
+  impl_->ok = out.good();
+  impl_->written = true;
+}
+
+bool ChromeTraceSink::ok() const { return impl_->ok; }
+
+std::shared_ptr<Sink> make_file_sink(const std::string& path) {
+  if (path.size() >= 6 &&
+      path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    auto sink = std::make_shared<JsonlSink>(path);
+    return sink->ok() ? sink : nullptr;
+  }
+  // Chrome sink opens the file lazily at flush; probe writability now so
+  // the caller can report a bad path up front.
+  {
+    std::ofstream probe(path);
+    if (!probe) return nullptr;
+  }
+  return std::make_shared<ChromeTraceSink>(path);
+}
+
+// --- metrics -------------------------------------------------------------
+
+void write_metrics_json(const MetricsRegistry::Snapshot& snapshot,
+                        std::ostream& os) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      os << (i ? "," : "") << json_number(h.bounds[i]);
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      os << (i ? "," : "") << h.counts[i];
+    os << "], \"count\": " << h.count
+       << ", \"sum\": " << json_number(h.sum) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool write_metrics_json_file(const MetricsRegistry::Snapshot& snapshot,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(snapshot, out);
+  return out.good();
+}
+
+support::Table metrics_table(const MetricsRegistry::Snapshot& snapshot) {
+  support::Table table("metrics");
+  table.row({"metric", "kind", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value == 0) continue;
+    table.row({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value == 0.0) continue;
+    table.row({name, "gauge", support::Table::fmt(value, 2)});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count == 0) continue;
+    std::string cells;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) cells += ' ';
+      cells += std::to_string(h.counts[i]);
+    }
+    table.row({name, "histogram",
+               "n=" + std::to_string(h.count) +
+                   " mean=" + support::Table::fmt(
+                                  h.count ? h.sum / static_cast<double>(
+                                                        h.count)
+                                          : 0.0,
+                                  2) +
+                   " buckets=[" + cells + "]"});
+  }
+  return table;
+}
+
+}  // namespace peak::obs

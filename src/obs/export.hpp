@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file export.hpp
+/// Sinks and serializers for `peak::obs`: a JSONL event stream, a Chrome
+/// `trace_event` JSON file loadable in chrome://tracing or Perfetto, an
+/// in-memory sink for tests, plus metrics serialization (JSON and a
+/// plain-text `support::Table` summary).
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/table.hpp"
+
+namespace peak::obs {
+
+/// Discards everything; equivalent to having no sink installed, but lets
+/// callers keep a non-null sink pipeline (e.g. a disabled --trace path).
+class NullSink final : public Sink {
+public:
+  void on_event(const TraceEvent&) override {}
+};
+
+/// Collects events in memory. The Tracer serializes on_event() calls,
+/// so reads are safe once tracing is disabled or flushed.
+class VectorSink final : public Sink {
+public:
+  void on_event(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams one JSON object per line as events complete:
+///   {"name":...,"cat":...,"ph":"X","ts":...,"dur":...,"tid":...,
+///    "depth":...,"args":{...}}
+class JsonlSink final : public Sink {
+public:
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+  [[nodiscard]] bool ok() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Buffers events and writes a complete Chrome trace_event JSON document
+/// ({"traceEvents":[...]}) on flush / destruction.
+class ChromeTraceSink final : public Sink {
+public:
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+  [[nodiscard]] bool ok() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Build a file sink from a path: ".jsonl" → JsonlSink, anything else →
+/// ChromeTraceSink. Returns null if the file cannot be opened.
+std::shared_ptr<Sink> make_file_sink(const std::string& path);
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Serialize one event as a single-line JSON object (no trailing \n).
+std::string to_json(const TraceEvent& event);
+
+/// Serialize a metrics snapshot:
+///   {"counters":{...},"gauges":{...},"histograms":{name:
+///    {"bounds":[...],"counts":[...],"count":N,"sum":S}}}
+void write_metrics_json(const MetricsRegistry::Snapshot& snapshot,
+                        std::ostream& os);
+
+/// Write the snapshot to a file; returns false on I/O failure.
+bool write_metrics_json_file(const MetricsRegistry::Snapshot& snapshot,
+                             const std::string& path);
+
+/// Human-readable summary of every non-zero instrument.
+support::Table metrics_table(const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace peak::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace peak::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  PEAK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+             "histogram bounds must ascend");
+  buckets_.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i)
+    buckets_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+}
+
+void Histogram::observe(double v) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+      bounds_.begin());
+  // upper_bound gives the first bound strictly greater than v; an
+  // observation exactly on a bound belongs to that bound's bucket.
+  const std::size_t bucket =
+      (i > 0 && bounds_[i - 1] == v) ? i - 1 : i;
+  buckets_[bucket]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_)
+    out.push_back(b->load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b->store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+Counter& counter(std::string_view name) {
+  return MetricsRegistry::global().counter(name);
+}
+Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::global().gauge(name);
+}
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+  return MetricsRegistry::global().histogram(name, std::move(bounds));
+}
+
+}  // namespace peak::obs

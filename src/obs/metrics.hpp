@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named counters, gauges, and fixed-bucket histograms (`peak::obs`).
+/// Instruments are registered lazily by name in a process-wide registry
+/// and never deallocated, so call sites can cache a reference once
+/// (`static obs::Counter& c = obs::counter("...")`) and afterwards pay
+/// only a relaxed atomic add per update — cheap enough for per-invocation
+/// hot paths. `reset()` zeroes values but keeps the instruments alive, so
+/// cached references stay valid across runs.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peak::obs {
+
+/// Monotonic counter (ratings started, configs evaluated, restores…).
+class Counter {
+public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Double-valued gauge with set and accumulate semantics (simulated
+/// cycles per phase, last regression residual…).
+class Gauge {
+public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are set on first
+/// registration and immutable afterwards.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket counts; size() == bounds().size() + 1 (overflow last).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+public:
+  static MetricsRegistry& global();
+
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime (process lifetime for global()).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is used only when the histogram does not exist yet.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Zero every instrument, keeping registrations (cached references
+  /// remain valid).
+  void reset();
+
+  /// Point-in-time copy for export; values are read with relaxed loads.
+  struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+/// Conveniences over the global registry.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+}  // namespace peak::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace peak::obs {
+
+namespace {
+
+/// Render doubles the way the search log always has: default ostream
+/// formatting (6 significant digits), so traces and rendered logs agree.
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::atomic<std::uint32_t> next_thread_id{0};
+
+thread_local std::uint32_t this_thread_id = 0xffffffffu;
+thread_local std::uint32_t span_depth = 0;
+
+}  // namespace
+
+Attr attr(std::string key, std::string value) {
+  return Attr{std::move(key), std::move(value)};
+}
+Attr attr(std::string key, const char* value) {
+  return Attr{std::move(key), std::string(value)};
+}
+Attr attr(std::string key, double value) {
+  return Attr{std::move(key), format_double(value)};
+}
+Attr attr(std::string key, unsigned long long value) {
+  return Attr{std::move(key), std::to_string(value)};
+}
+Attr attr(std::string key, unsigned long value) {
+  return Attr{std::move(key), std::to_string(value)};
+}
+Attr attr(std::string key, unsigned value) {
+  return Attr{std::move(key), std::to_string(value)};
+}
+Attr attr(std::string key, int value) {
+  return Attr{std::move(key), std::to_string(value)};
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_sink(std::shared_ptr<Sink> sink) {
+  std::shared_ptr<Sink> previous;
+  {
+    std::lock_guard lock(mutex_);
+    previous = std::move(sink_);
+    sink_ = std::move(sink);
+    enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
+  }
+  if (previous) previous->flush();
+}
+
+void Tracer::emit(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  if (sink_) sink_->on_event(event);
+}
+
+void Tracer::instant(std::string_view name, std::string_view category,
+                     std::vector<Attr> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = EventPhase::kInstant;
+  event.ts_us = now_us();
+  event.tid = thread_id();
+  event.depth = span_depth;
+  event.args = std::move(args);
+  emit(std::move(event));
+}
+
+void Tracer::flush() {
+  std::lock_guard lock(mutex_);
+  if (sink_) sink_->flush();
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t Tracer::thread_id() {
+  if (this_thread_id == 0xffffffffu)
+    this_thread_id = next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return this_thread_id;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
+                       std::vector<Attr> args) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  event_.name = std::string(name);
+  event_.category = std::string(category);
+  event_.phase = EventPhase::kComplete;
+  event_.ts_us = tracer.now_us();
+  event_.tid = Tracer::thread_id();
+  event_.depth = span_depth++;
+  event_.args = std::move(args);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --span_depth;
+  Tracer& tracer = Tracer::global();
+  const std::uint64_t end = tracer.now_us();
+  event_.dur_us = end > event_.ts_us ? end - event_.ts_us : 0;
+  tracer.emit(std::move(event_));
+}
+
+void ScopedSpan::add(Attr a) {
+  if (active_) event_.args.push_back(std::move(a));
+}
+
+}  // namespace peak::obs

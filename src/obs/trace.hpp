@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured tracing for PEAK (`peak::obs`). The library is instrumented
+/// with spans (named, nested, attributed durations) at its hot seams —
+/// profile passes, rating attempts, search probes — and with instant
+/// events for one-off facts. Events flow to a Sink; with no sink
+/// installed the instrumentation costs one relaxed atomic load per span,
+/// so tier-1 timing is unaffected.
+///
+/// Spans nest per thread: a thread-local depth counter is recorded on
+/// each event, and Chrome's trace viewer reconstructs the same nesting
+/// from the (tid, ts, dur) containment when a trace is exported.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peak::obs {
+
+/// One key=value attribute attached to a span or event. Values are
+/// pre-rendered strings so sinks never need type dispatch.
+struct Attr {
+  std::string key;
+  std::string value;
+};
+
+Attr attr(std::string key, std::string value);
+Attr attr(std::string key, const char* value);
+Attr attr(std::string key, double value);
+Attr attr(std::string key, unsigned long long value);
+Attr attr(std::string key, unsigned long value);
+Attr attr(std::string key, unsigned value);
+Attr attr(std::string key, int value);
+
+enum class EventPhase {
+  kComplete,  ///< a span: [ts_us, ts_us + dur_us)
+  kInstant,   ///< a point event
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  EventPhase phase = EventPhase::kInstant;
+  std::uint64_t ts_us = 0;   ///< start, µs since the tracer's epoch
+  std::uint64_t dur_us = 0;  ///< complete events only
+  std::uint32_t tid = 0;     ///< small sequential per-thread id
+  std::uint32_t depth = 0;   ///< span nesting depth on this thread
+  std::vector<Attr> args;
+};
+
+/// Receives completed events. The Tracer serializes on_event() calls
+/// under its own mutex, so implementations need no locking of their own.
+class Sink {
+public:
+  virtual ~Sink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Process-wide tracer. Disabled (null sink) by default; install a sink
+/// from export.hpp to start recording.
+class Tracer {
+public:
+  static Tracer& global();
+
+  /// Install a sink (null disables tracing). Flushes any previous sink.
+  void set_sink(std::shared_ptr<Sink> sink);
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Forward one finished event to the sink (no-op when disabled).
+  void emit(TraceEvent event);
+
+  /// Record a point event (no-op when disabled).
+  void instant(std::string_view name, std::string_view category,
+               std::vector<Attr> args = {});
+
+  void flush();
+
+  /// Microseconds since this tracer's construction.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Small sequential id of the calling thread (stable per thread).
+  static std::uint32_t thread_id();
+
+private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;
+  std::shared_ptr<Sink> sink_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span. Construction samples the clock only when tracing is
+/// enabled; destruction emits a kComplete event. Attributes whose
+/// computation is itself costly should be added behind `if (active())`.
+class ScopedSpan {
+public:
+  ScopedSpan(std::string_view name, std::string_view category,
+             std::vector<Attr> args = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Attach an attribute after construction (no-op when inactive).
+  void add(Attr a);
+
+private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace peak::obs

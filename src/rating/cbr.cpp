@@ -1,5 +1,6 @@
 #include "rating/cbr.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace peak::rating {
@@ -8,10 +9,15 @@ ContextBasedRater::ContextBasedRater(WindowPolicy policy)
     : policy_(policy) {}
 
 void ContextBasedRater::add(const ContextKey& context, double time) {
+  static obs::Counter& fills = obs::counter("cbr.bucket_fills");
+  static obs::Counter& buckets_created = obs::counter("cbr.buckets");
   auto it = buckets_.find(context);
-  if (it == buckets_.end())
+  if (it == buckets_.end()) {
     it = buckets_.emplace(context, Bucket{WindowedRater(policy_), 0.0})
              .first;
+    buckets_created.inc();
+  }
+  fills.inc();
   it->second.rater.add(time);
   it->second.total_time += time;
   ++total_;

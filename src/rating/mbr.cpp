@@ -1,5 +1,6 @@
 #include "rating/mbr.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace peak::rating {
@@ -19,13 +20,17 @@ ModelBasedRater::ModelBasedRater(std::size_t num_components,
 }
 
 void ModelBasedRater::add(const std::vector<double>& counts, double time) {
+  static obs::Counter& samples = obs::counter("mbr.samples");
   PEAK_CHECK(counts.size() == num_components_,
              "count row arity mismatch");
+  samples.inc();
   counts_.push_back(counts);
   times_.push_back(time);
 }
 
 stats::RegressionResult ModelBasedRater::fit() const {
+  static obs::Counter& fits = obs::counter("mbr.fits");
+  fits.inc();
   stats::Matrix design(times_.size(), num_components_);
   for (std::size_t r = 0; r < counts_.size(); ++r)
     for (std::size_t c = 0; c < num_components_; ++c)

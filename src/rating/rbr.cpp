@@ -1,5 +1,6 @@
 #include "rating/rbr.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace peak::rating {
@@ -7,8 +8,10 @@ namespace peak::rating {
 ReexecutionRater::ReexecutionRater(WindowPolicy policy) : rater_(policy) {}
 
 void ReexecutionRater::add_pair(double time_base, double time_exp) {
+  static obs::Counter& pairs = obs::counter("rbr.pairs");
   PEAK_CHECK(time_base > 0.0 && time_exp > 0.0,
              "non-positive execution time");
+  pairs.inc();
   rater_.add(time_base / time_exp);
 }
 

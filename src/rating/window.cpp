@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "stats/descriptive.hpp"
 
 namespace peak::rating {
@@ -20,7 +21,11 @@ const char* to_string(Method m) {
 WindowedRater::WindowedRater(WindowPolicy policy)
     : policy_(policy) {}
 
-void WindowedRater::add(double sample) { samples_.push_back(sample); }
+void WindowedRater::add(double sample) {
+  static obs::Counter& samples_added = obs::counter("window.samples");
+  samples_added.inc();
+  samples_.push_back(sample);
+}
 
 std::size_t WindowedRater::outliers_dropped() const {
   return stats::filter_outliers(samples_, policy_.outliers).dropped;

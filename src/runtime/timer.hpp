@@ -13,16 +13,27 @@ namespace peak::runtime {
 
 class WallTimer {
 public:
-  void start() { t0_ = clock::now(); }
+  void start() {
+    started_ = true;
+    t0_ = clock::now();
+  }
 
-  /// Seconds since start().
-  [[nodiscard]] double stop() const {
+  /// Seconds since start(); 0.0 if start() was never called (reading an
+  /// unstarted timer used to return garbage relative to the epoch).
+  [[nodiscard]] double elapsed() const {
+    if (!started_) return 0.0;
     return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+  [[deprecated("stop() never stopped anything; use elapsed()")]]
+  [[nodiscard]] double stop() const {
+    return elapsed();
   }
 
 private:
   using clock = std::chrono::steady_clock;
   clock::time_point t0_{};
+  bool started_ = false;
 };
 
 class VirtualClock {

@@ -19,40 +19,52 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
     std::vector<std::pair<double, std::size_t>> harmful;  // (R, flag)
     for (std::size_t f = 0; f < space.size(); ++f) {
       if (!base.enabled(f)) continue;
-      const double r =
-          evaluator.relative_improvement(base, base.with(f, false));
+      const double r = rate_config(evaluator, base, base.with(f, false),
+                                   space.flag(f).name);
       ++result.configs_evaluated;
       if (r > threshold_) harmful.emplace_back(r, f);
     }
     if (harmful.empty()) {
-      result.log.push_back("round " + std::to_string(round) +
-                           ": no harmful options remain");
+      SearchEvent ev;
+      ev.kind = SearchEvent::Kind::kCeExhausted;
+      ev.round = round;
+      result.events.push_back(std::move(ev));
       break;
     }
     std::sort(harmful.rbegin(), harmful.rend());
 
     // Remove the worst unconditionally ...
     base.set(harmful.front().second, false);
-    result.log.push_back("remove " +
-                         space.flag(harmful.front().second).name);
+    {
+      SearchEvent ev;
+      ev.kind = SearchEvent::Kind::kCeRemove;
+      ev.round = round;
+      ev.flag = space.flag(harmful.front().second).name;
+      ev.ratio = harmful.front().first;
+      result.events.push_back(std::move(ev));
+    }
 
     // ... then re-validate the rest against the updated base, in order.
     for (std::size_t i = 1; i < harmful.size(); ++i) {
       const std::size_t f = harmful[i].second;
-      const double r =
-          evaluator.relative_improvement(base, base.with(f, false));
+      const double r = rate_config(evaluator, base, base.with(f, false),
+                                   space.flag(f).name);
       ++result.configs_evaluated;
       if (r > threshold_) {
         base.set(f, false);
-        result.log.push_back("remove " + space.flag(f).name +
-                             " (revalidated)");
+        SearchEvent ev;
+        ev.kind = SearchEvent::Kind::kCeRevalidate;
+        ev.round = round;
+        ev.flag = space.flag(f).name;
+        ev.ratio = r;
+        result.events.push_back(std::move(ev));
       }
     }
   }
 
   result.best = base;
   result.improvement_over_start =
-      evaluator.relative_improvement(start, base);
+      rate_config(evaluator, start, base, "validate");
   ++result.configs_evaluated;
   return result;
 }
@@ -78,7 +90,7 @@ SearchResult FactorialScreening::run(const OptimizationSpace& space,
       design(r, f) = on ? 1.0 : -1.0;
     }
     design(r, n) = 1.0;  // intercept
-    const double rel = evaluator.relative_improvement(start, cfg);
+    const double rel = rate_config(evaluator, start, cfg, "screening");
     ++result.configs_evaluated;
     response[r] = std::log(std::max(rel, 1e-9));
   }
@@ -95,16 +107,22 @@ SearchResult FactorialScreening::run(const OptimizationSpace& space,
       // correlates with slower configs has a negative coefficient.
       if (fit.coefficients[f] < -options_.harm_threshold / 2.0) {
         best.set(f, false);
-        result.log.push_back("main effect harmful: " + space.flag(f).name);
+        SearchEvent ev;
+        ev.kind = SearchEvent::Kind::kMainEffect;
+        ev.flag = space.flag(f).name;
+        ev.ratio = fit.coefficients[f];
+        result.events.push_back(std::move(ev));
       }
     }
   } else {
-    result.log.push_back("screening regression degenerate; keeping start");
+    SearchEvent ev;
+    ev.kind = SearchEvent::Kind::kDegenerate;
+    result.events.push_back(std::move(ev));
   }
 
   result.best = best;
   result.improvement_over_start =
-      evaluator.relative_improvement(start, best);
+      rate_config(evaluator, start, best, "validate");
   ++result.configs_evaluated;
   return result;
 }

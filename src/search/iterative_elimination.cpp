@@ -1,7 +1,5 @@
 #include "search/iterative_elimination.hpp"
 
-#include <sstream>
-
 namespace peak::search {
 
 SearchResult IterativeElimination::run(const OptimizationSpace& space,
@@ -18,7 +16,8 @@ SearchResult IterativeElimination::run(const OptimizationSpace& space,
     for (std::size_t f = 0; f < space.size(); ++f) {
       if (!base.enabled(f)) continue;
       const FlagConfig candidate = base.with(f, false);
-      const double r = evaluator.relative_improvement(base, candidate);
+      const double r =
+          rate_config(evaluator, base, candidate, space.flag(f).name);
       ++result.configs_evaluated;
       if (r > best_gain) {
         best_gain = r;
@@ -27,18 +26,21 @@ SearchResult IterativeElimination::run(const OptimizationSpace& space,
     }
 
     if (best_flag == space.size()) {
-      std::ostringstream os;
-      os << "round " << round << ": no removal improves — stop";
-      result.log.push_back(os.str());
+      SearchEvent stop;
+      stop.kind = SearchEvent::Kind::kStop;
+      stop.round = round;
+      result.events.push_back(std::move(stop));
       break;
     }
 
     base.set(best_flag, false);
     cumulative *= best_gain;
-    std::ostringstream os;
-    os << "round " << round << ": remove " << space.flag(best_flag).name
-       << " (R=" << best_gain << ")";
-    result.log.push_back(os.str());
+    SearchEvent removed;
+    removed.kind = SearchEvent::Kind::kRemove;
+    removed.round = round;
+    removed.flag = space.flag(best_flag).name;
+    removed.ratio = best_gain;
+    result.events.push_back(std::move(removed));
   }
 
   result.best = base;
@@ -56,11 +58,16 @@ SearchResult BatchElimination::run(const OptimizationSpace& space,
   for (std::size_t f = 0; f < space.size(); ++f) {
     if (!base.enabled(f)) continue;
     const FlagConfig candidate = base.with(f, false);
-    const double r = evaluator.relative_improvement(base, candidate);
+    const double r =
+        rate_config(evaluator, base, candidate, space.flag(f).name);
     ++result.configs_evaluated;
     if (r > threshold_) {
       harmful.push_back(f);
-      result.log.push_back("harmful: " + space.flag(f).name);
+      SearchEvent ev;
+      ev.kind = SearchEvent::Kind::kHarmful;
+      ev.flag = space.flag(f).name;
+      ev.ratio = r;
+      result.events.push_back(std::move(ev));
     }
   }
 
@@ -69,7 +76,7 @@ SearchResult BatchElimination::run(const OptimizationSpace& space,
   // One validation measurement of the final configuration.
   if (!harmful.empty()) {
     result.improvement_over_start =
-        evaluator.relative_improvement(start, base);
+        rate_config(evaluator, start, base, "validate");
     ++result.configs_evaluated;
   }
   result.best = base;

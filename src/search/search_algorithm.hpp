@@ -7,6 +7,7 @@
 /// so the same algorithms work for any rating method, any backend.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "search/opt_config.hpp"
@@ -26,12 +27,59 @@ public:
                                       const FlagConfig& cfg) = 0;
 };
 
+/// One structured decision made by a search algorithm (or by the tuning
+/// driver's method-switching logic on top of it). Events replace the old
+/// stringly `log`; `render(event)` reproduces the exact strings the log
+/// used to carry, and the obs layer exports the structured form.
+struct SearchEvent {
+  enum class Kind {
+    kRemove,       ///< IE: remove `flag` in `round`, measured `ratio`
+    kStop,         ///< IE: no removal improves in `round`
+    kHarmful,      ///< BatchElimination: `flag` flagged harmful
+    kEnable,       ///< GreedyConstruction: `flag` enabled
+    kCeRemove,     ///< CombinedElimination: `flag` removed outright
+    kCeRevalidate, ///< CombinedElimination: `flag` removed on recheck
+    kCeExhausted,  ///< CombinedElimination: nothing harmful in `round`
+    kMainEffect,   ///< FactorialScreening: `flag`'s main effect harmful
+    kDegenerate,   ///< FactorialScreening: regression degenerate
+    kMethodChosen, ///< driver: rating method `flag` selected (round =
+                   ///< position in the consultant's chain)
+    kAbandoned,    ///< driver: method gave up; reason in `note`
+    kNote,         ///< free text in `note`
+  };
+  Kind kind = Kind::kNote;
+  std::size_t round = 0;
+  std::string flag;    ///< flag or method name, when applicable
+  double ratio = 0.0;  ///< measured R, when applicable
+  std::string note;    ///< free text for kAbandoned / kNote
+};
+
+/// Render one event exactly as the legacy string log did.
+std::string render(const SearchEvent& event);
+
+/// Render a whole event stream (byte-compatible with the old log).
+std::vector<std::string> render_search_log(
+    const std::vector<SearchEvent>& events);
+
 struct SearchResult {
   FlagConfig best;
   double improvement_over_start = 1.0;  ///< R of best vs the start config
   std::size_t configs_evaluated = 0;
-  std::vector<std::string> log;  ///< human-readable decision trace
+  std::vector<SearchEvent> events;  ///< structured decision trace
+
+  /// Legacy view of `events` (the old `log` member).
+  [[nodiscard]] std::vector<std::string> render_log() const {
+    return render_search_log(events);
+  }
 };
+
+/// Rate `cfg` against `base` under an obs "probe" span carrying the
+/// probed flag and the measured R. All search algorithms funnel their
+/// evaluator calls through here. (The `search.configs_evaluated` counter
+/// lives in the tuning driver's evaluator, so it also counts algorithms
+/// that bypass this helper.)
+double rate_config(ConfigEvaluator& evaluator, const FlagConfig& base,
+                   const FlagConfig& cfg, std::string_view label = {});
 
 class SearchAlgorithm {
 public:

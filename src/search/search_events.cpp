@@ -1,0 +1,73 @@
+#include "search/search_algorithm.hpp"
+
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace peak::search {
+
+double rate_config(ConfigEvaluator& evaluator, const FlagConfig& base,
+                   const FlagConfig& cfg, std::string_view label) {
+  obs::ScopedSpan span("probe", "search");
+  if (span.active() && !label.empty())
+    span.add(obs::attr("flag", std::string(label)));
+  const double r = evaluator.relative_improvement(base, cfg);
+  if (span.active()) span.add(obs::attr("R", r));
+  return r;
+}
+
+std::string render(const SearchEvent& event) {
+  std::ostringstream os;
+  switch (event.kind) {
+    case SearchEvent::Kind::kRemove:
+      os << "round " << event.round << ": remove " << event.flag
+         << " (R=" << event.ratio << ")";
+      break;
+    case SearchEvent::Kind::kStop:
+      os << "round " << event.round << ": no removal improves — stop";
+      break;
+    case SearchEvent::Kind::kHarmful:
+      os << "harmful: " << event.flag;
+      break;
+    case SearchEvent::Kind::kEnable:
+      os << "enable " << event.flag;
+      break;
+    case SearchEvent::Kind::kCeRemove:
+      os << "remove " << event.flag;
+      break;
+    case SearchEvent::Kind::kCeRevalidate:
+      os << "remove " << event.flag << " (revalidated)";
+      break;
+    case SearchEvent::Kind::kCeExhausted:
+      os << "round " << event.round << ": no harmful options remain";
+      break;
+    case SearchEvent::Kind::kMainEffect:
+      os << "main effect harmful: " << event.flag;
+      break;
+    case SearchEvent::Kind::kDegenerate:
+      os << "screening regression degenerate; keeping start";
+      break;
+    case SearchEvent::Kind::kMethodChosen:
+      os << "method " << event.flag
+         << (event.round > 0 ? " (after fallback)"
+                             : " (consultant's first choice)");
+      break;
+    case SearchEvent::Kind::kAbandoned:
+      os << "abandoned: " << event.note;
+      break;
+    case SearchEvent::Kind::kNote:
+      os << event.note;
+      break;
+  }
+  return os.str();
+}
+
+std::vector<std::string> render_search_log(
+    const std::vector<SearchEvent>& events) {
+  std::vector<std::string> out;
+  out.reserve(events.size());
+  for (const SearchEvent& e : events) out.push_back(render(e));
+  return out;
+}
+
+}  // namespace peak::search

@@ -20,7 +20,7 @@ SearchResult ExhaustiveSearch::run(const OptimizationSpace& space,
     for (std::size_t f = 0; f < space.size(); ++f)
       cfg.set(f, (mask >> f) & 1ULL);
     if (cfg == start) continue;
-    const double r = evaluator.relative_improvement(start, cfg);
+    const double r = rate_config(evaluator, start, cfg);
     ++result.configs_evaluated;
     if (r > best_r) {
       best_r = r;
@@ -42,7 +42,7 @@ SearchResult RandomSearch::run(const OptimizationSpace& space,
     FlagConfig cfg(space);
     for (std::size_t f = 0; f < space.size(); ++f)
       cfg.set(f, rng_.bernoulli(0.5));
-    const double r = evaluator.relative_improvement(start, cfg);
+    const double r = rate_config(evaluator, start, cfg);
     ++result.configs_evaluated;
     if (r > best_r) {
       best_r = r;
@@ -66,7 +66,8 @@ SearchResult GreedyConstruction::run(const OptimizationSpace& space,
     for (std::size_t f = 0; f < space.size(); ++f) {
       if (base.enabled(f)) continue;
       const FlagConfig candidate = base.with(f, true);
-      const double r = evaluator.relative_improvement(base, candidate);
+      const double r =
+          rate_config(evaluator, base, candidate, space.flag(f).name);
       ++result.configs_evaluated;
       if (r > best_gain) {
         best_gain = r;
@@ -76,13 +77,18 @@ SearchResult GreedyConstruction::run(const OptimizationSpace& space,
     if (best_flag == space.size()) break;
     base.set(best_flag, true);
     cumulative *= best_gain;
-    result.log.push_back("enable " + space.flag(best_flag).name);
+    SearchEvent ev;
+    ev.kind = SearchEvent::Kind::kEnable;
+    ev.round = round;
+    ev.flag = space.flag(best_flag).name;
+    ev.ratio = best_gain;
+    result.events.push_back(std::move(ev));
   }
 
   result.best = base;
   // Report improvement relative to the caller's start configuration.
   result.improvement_over_start =
-      evaluator.relative_improvement(start, base);
+      rate_config(evaluator, start, base, "validate");
   ++result.configs_evaluated;
   (void)cumulative;
   return result;

@@ -78,13 +78,34 @@ double SimExecutionBackend::checkpoint_cost(std::size_t bytes) const {
 }
 
 double SimExecutionBackend::timed_run(const BaseRun& base, double mult,
-                                      double irregularity) {
+                                      double irregularity,
+                                      bool precondition) {
   const double time =
       base.cycles * mult * irregularity * warmth_.execute() *
           noise_.sample() +
       noise_.sample_additive();
   accumulated_ += time;
+  (precondition ? breakdown_.precondition : breakdown_.timed) += time;
   return time;
+}
+
+double SimExecutionBackend::charge_save(std::size_t bytes) {
+  const double cost = checkpoint_cost(bytes);
+  accumulated_ += cost;
+  breakdown_.checkpoint += cost;
+  breakdown_.checkpoint_bytes += bytes;
+  ++breakdown_.saves;
+  return cost;
+}
+
+double SimExecutionBackend::charge_restore(std::size_t bytes) {
+  const double cost = checkpoint_cost(bytes);
+  accumulated_ += cost;
+  breakdown_.checkpoint += cost;
+  breakdown_.checkpoint_bytes += bytes;
+  ++breakdown_.restores;
+  warmth_.on_restore();
+  return cost;
 }
 
 InvocationResult SimExecutionBackend::invoke(const search::FlagConfig& cfg,
@@ -131,16 +152,10 @@ std::vector<RbrPairResult> SimExecutionBackend::invoke_rbr_batch(
     RbrPairResult r;
     r.swapped = swap_toggle_;
     swap_toggle_ = !swap_toggle_;
-    const double restore = checkpoint_cost(modified_input_bytes_);
-    accumulated_ += restore;
-    r.overhead += restore;
-    warmth_.on_restore();
+    r.overhead += charge_restore(modified_input_bytes_);
     const double first =
         timed_run(base, r.swapped ? m_exp : m_best, inv.irregularity);
-    const double restore2 = checkpoint_cost(modified_input_bytes_);
-    accumulated_ += restore2;
-    r.overhead += restore2;
-    warmth_.on_restore();
+    r.overhead += charge_restore(modified_input_bytes_);
     const double second =
         timed_run(base, r.swapped ? m_best : m_exp, inv.irregularity);
     r.time_best = r.swapped ? second : first;
@@ -169,26 +184,19 @@ RbrPairResult SimExecutionBackend::invoke_rbr_pair(
     result.swapped = swap_toggle_;
     swap_toggle_ = !swap_toggle_;
 
-    const double save = checkpoint_cost(modified_input_bytes_);
-    accumulated_ += save;
-    result.overhead += save;
+    result.overhead += charge_save(modified_input_bytes_);
 
     // Precondition run: brings the data into the cache; not timed.
-    const double precond = timed_run(base, m_best, inv.irregularity);
+    const double precond =
+        timed_run(base, m_best, inv.irregularity, /*precondition=*/true);
     result.overhead += precond;
 
-    const double restore1 = checkpoint_cost(modified_input_bytes_);
-    accumulated_ += restore1;
-    result.overhead += restore1;
-    warmth_.on_restore();
+    result.overhead += charge_restore(modified_input_bytes_);
 
     const double first =
         timed_run(base, result.swapped ? m_exp : m_best, inv.irregularity);
 
-    const double restore2 = checkpoint_cost(modified_input_bytes_);
-    accumulated_ += restore2;
-    result.overhead += restore2;
-    warmth_.on_restore();
+    result.overhead += charge_restore(modified_input_bytes_);
 
     const double second =
         timed_run(base, result.swapped ? m_best : m_exp, inv.irregularity);
@@ -204,16 +212,11 @@ RbrPairResult SimExecutionBackend::invoke_rbr_pair(
     // improved method exists to remove).
     result.swapped = false;
 
-    const double save = checkpoint_cost(full_input_bytes_);
-    accumulated_ += save;
-    result.overhead += save;
+    result.overhead += charge_save(full_input_bytes_);
 
     result.time_best = timed_run(base, m_best, inv.irregularity);  // cold
 
-    const double restore = checkpoint_cost(full_input_bytes_);
-    accumulated_ += restore;
-    result.overhead += restore;
-    warmth_.on_restore();
+    result.overhead += charge_restore(full_input_bytes_);
 
     result.time_exp =
         timed_run(base, m_exp, inv.irregularity);  // warm: biased faster

@@ -114,7 +114,25 @@ public:
   /// Accumulated simulated wall time of everything this backend executed
   /// (timed runs, preconditioning, save/restore). This is the tuning cost.
   [[nodiscard]] double accumulated_time() const { return accumulated_; }
-  void reset_accumulated_time() { accumulated_ = 0.0; }
+  void reset_accumulated_time() {
+    accumulated_ = 0.0;
+    breakdown_ = CycleBreakdown{};
+  }
+
+  /// Attribution of accumulated_time() to simulator phases, plus RBR
+  /// checkpoint traffic tallies — the per-phase cycle data the obs layer
+  /// exports after each tuning run.
+  struct CycleBreakdown {
+    double timed = 0.0;         ///< production-like and experimental runs
+    double precondition = 0.0;  ///< untimed cache-warming runs
+    double checkpoint = 0.0;    ///< save/restore traffic
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t checkpoint_bytes = 0;  ///< total bytes saved + restored
+  };
+  [[nodiscard]] const CycleBreakdown& breakdown() const {
+    return breakdown_;
+  }
 
   [[nodiscard]] const ir::Function& function() const { return fn_; }
   [[nodiscard]] TsTraits& traits() { return traits_; }
@@ -136,7 +154,12 @@ private:
   const BaseRun& base_run(const Invocation& inv);
   double multiplier(const search::FlagConfig& cfg, const Invocation& inv);
   double checkpoint_cost(std::size_t bytes) const;
-  double timed_run(const BaseRun& base, double mult, double irregularity);
+  double timed_run(const BaseRun& base, double mult, double irregularity,
+                   bool precondition = false);
+  /// Price a checkpoint save/restore: accumulates time, attributes it to
+  /// the checkpoint phase, and (restore only) resets cache warmth.
+  double charge_save(std::size_t bytes);
+  double charge_restore(std::size_t bytes);
 
   const ir::Function& fn_;
   TsTraits traits_;
@@ -157,6 +180,7 @@ private:
   std::size_t full_input_bytes_ = 4096;
   std::size_t modified_input_bytes_ = 1024;
   double accumulated_ = 0.0;
+  CycleBreakdown breakdown_;
   bool swap_toggle_ = false;
 };
 

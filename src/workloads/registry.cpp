@@ -1,6 +1,8 @@
 /// \file registry.cpp
 /// Workload registry: Table 1 order (integer codes, then floating point).
 
+#include <cctype>
+
 #include "workloads/applu.hpp"
 #include "workloads/apsi.hpp"
 #include "workloads/art.hpp"
@@ -35,8 +37,18 @@ std::vector<std::unique_ptr<Workload>> all_workloads() {
 }
 
 std::unique_ptr<Workload> make_workload(std::string_view benchmark) {
+  // Case-insensitive: registry names are the paper's uppercase spellings,
+  // but the CLI accepts `--benchmark mgrid`.
+  const auto matches = [&](std::string_view name) {
+    if (name.size() != benchmark.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i)
+      if (std::toupper(static_cast<unsigned char>(name[i])) !=
+          std::toupper(static_cast<unsigned char>(benchmark[i])))
+        return false;
+    return true;
+  };
   for (auto& w : all_workloads())
-    if (w->benchmark() == benchmark) return std::move(w);
+    if (matches(w->benchmark())) return std::move(w);
   return nullptr;
 }
 

@@ -116,7 +116,8 @@ TEST_F(PipelineTest, AutoFallbackSwitchesMethodWhenNotConverging) {
   // CBR and MBR both exhaust; RBR (pair windows also tiny but usable
   // ratios) is the terminal method.
   EXPECT_EQ(outcome.method, rating::Method::kRBR);
-  EXPECT_FALSE(outcome.search_log.empty());
+  EXPECT_FALSE(outcome.events.empty());
+  EXPECT_FALSE(outcome.render_search_log().empty());
 }
 
 TEST_F(PipelineTest, ArtOnPentium4FindsTheStrictAliasingWin) {

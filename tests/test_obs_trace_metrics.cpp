@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <latch>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/peak.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::obs {
+namespace {
+
+/// Minimal recursive-descent JSON validity checker — enough to prove the
+/// exporters emit well-formed documents without a JSON dependency.
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// RAII guard: uninstall the global sink even if an assertion fails.
+struct SinkGuard {
+  explicit SinkGuard(std::shared_ptr<Sink> sink) {
+    Tracer::global().set_sink(std::move(sink));
+  }
+  ~SinkGuard() { Tracer::global().set_sink(nullptr); }
+};
+
+TEST(Metrics, HistogramBucketMath) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0}) h.observe(v);
+  // Bucket i counts v <= bounds[i]; exact bound values land in their
+  // own bucket, not the next one up.
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 2, 2, 1}));
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 5.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(Metrics, CounterIsAtomicAcrossThreads) {
+  Counter& c = counter("test.parallel_increments");
+  c.reset();
+  support::ThreadPool pool(4);
+  pool.parallel_for(0, 10000, [&](std::size_t) { c.inc(); });
+  EXPECT_EQ(c.value(), 10000u);
+}
+
+TEST(Metrics, RegistryResetKeepsReferencesValid) {
+  Counter& c = counter("test.reset_survivor");
+  c.inc(5);
+  Gauge& g = gauge("test.reset_gauge");
+  g.set(2.5);
+  MetricsRegistry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  c.inc();  // the cached reference still points at a live instrument
+  EXPECT_EQ(counter("test.reset_survivor").value(), 1u);
+  EXPECT_EQ(&counter("test.reset_survivor"), &c);
+}
+
+TEST(Trace, SpansNestAcrossThreads) {
+  auto sink = std::make_shared<VectorSink>();
+  {
+    SinkGuard guard(sink);
+    support::ThreadPool pool(4);
+    std::latch ready(4);
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 4; ++i) {
+      futs.push_back(pool.submit([&ready] {
+        // The latch holds all four workers inside their task at once, so
+        // the four outer spans are guaranteed to come from four threads.
+        ready.arrive_and_wait();
+        ScopedSpan outer("outer", "test");
+        ScopedSpan inner("inner", "test", {attr("i", 1)});
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  const std::vector<TraceEvent>& events = sink->events();
+  ASSERT_EQ(events.size(), 8u);
+
+  std::set<std::uint32_t> tids;
+  std::size_t inners = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.phase, EventPhase::kComplete);
+    tids.insert(e.tid);
+    if (e.name != "inner") continue;
+    ++inners;
+    EXPECT_EQ(e.depth, 1u);
+    ASSERT_EQ(e.args.size(), 1u);
+    EXPECT_EQ(e.args[0].key, "i");
+    // The matching outer span (same thread) must contain the inner one
+    // in time — the containment Chrome's viewer uses for nesting.
+    bool contained = false;
+    for (const TraceEvent& o : events) {
+      if (o.name != "outer" || o.tid != e.tid) continue;
+      EXPECT_EQ(o.depth, 0u);
+      if (o.ts_us <= e.ts_us && e.ts_us + e.dur_us <= o.ts_us + o.dur_us)
+        contained = true;
+    }
+    EXPECT_TRUE(contained) << "inner span escapes its outer span";
+  }
+  EXPECT_EQ(inners, 4u);
+  EXPECT_EQ(tids.size(), 4u);  // one tid per pool worker
+}
+
+TEST(Trace, DisabledTracingRecordsNothing) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  ScopedSpan span("ignored", "test");
+  EXPECT_FALSE(span.active());
+  span.add(attr("k", "v"));  // must be a safe no-op
+  Tracer::global().instant("ignored", "test");
+}
+
+TEST(Export, JsonlRoundTrip) {
+  const std::string path = temp_path("obs_events.jsonl");
+  {
+    SinkGuard guard(std::make_shared<JsonlSink>(path));
+    ScopedSpan outer("step", "search", {attr("flag", "-fgcse")});
+    Tracer::global().instant("note", "driver", {attr("R", 0.95)});
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_span = false, saw_instant = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    if (line.find("\"ph\":\"X\"") != std::string::npos) saw_span = true;
+    if (line.find("\"ph\":\"i\"") != std::string::npos) saw_instant = true;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(Export, ChromeTraceRoundTrip) {
+  const std::string path = temp_path("obs_trace.json");
+  {
+    SinkGuard guard(std::make_shared<ChromeTraceSink>(path));
+    ScopedSpan outer("tune", "driver", {attr("method", "RBR")});
+    { ScopedSpan inner("probe", "search"); }
+  }
+
+  const std::string doc = slurp(path);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_TRUE(JsonChecker(doc).valid());
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"tune\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"probe\""), std::string::npos);
+  EXPECT_NE(doc.find("\"method\":\"RBR\""), std::string::npos);
+}
+
+TEST(Export, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  const std::string with_control = json_escape(std::string("a\x01z"));
+  EXPECT_TRUE(JsonChecker("\"" + with_control + "\"").valid());
+}
+
+TEST(Export, MetricsJsonSnapshot) {
+  MetricsRegistry::global().reset();
+  counter("test.export_counter").inc(3);
+  gauge("test.export_gauge").set(1.5);
+  histogram("test.export_hist", {10.0, 20.0}).observe(15.0);
+
+  std::ostringstream os;
+  write_metrics_json(MetricsRegistry::global().snapshot(), os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(JsonChecker(doc).valid());
+  EXPECT_NE(doc.find("\"test.export_counter\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"test.export_hist\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counts\": [0,1,0]"), std::string::npos);
+}
+
+TEST(Integration, DriverMetricsMatchReportedCost) {
+  // The acceptance invariant: after a tuning run, the registry's
+  // search.configs_evaluated equals the TuningCost the driver reports —
+  // on every path, including abandoned rating attempts.
+  MetricsRegistry::global().reset();
+  core::Peak peak(sim::sparc2());
+  auto w = workloads::make_workload("SWIM");
+  const core::MethodRun run = peak.tune_with_consultant(*w);
+
+  EXPECT_GT(run.cost.configs_evaluated, 0u);
+  EXPECT_EQ(counter("search.configs_evaluated").value(),
+            run.cost.configs_evaluated);
+  EXPECT_GT(counter("rating.started").value(), 0u);
+  EXPECT_GT(counter("rating.invocations").value(), 0u);
+}
+
+TEST(Integration, DriverEmitsSpansWhenTracing) {
+  auto sink = std::make_shared<VectorSink>();
+  {
+    SinkGuard guard(sink);
+    core::Peak peak(sim::sparc2());
+    auto w = workloads::make_workload("SWIM");
+    (void)peak.tune_with_consultant(*w);
+  }
+  std::set<std::string> names;
+  for (const TraceEvent& e : sink->events()) names.insert(e.name);
+  EXPECT_TRUE(names.count("profile"));
+  EXPECT_TRUE(names.count("tune"));
+  EXPECT_TRUE(names.count("rate"));
+  EXPECT_TRUE(names.count("probe"));
+}
+
+}  // namespace
+}  // namespace peak::obs

@@ -165,9 +165,12 @@ TEST(VersionTable, ConcurrentReadsDuringSwaps) {
 }
 
 TEST(Timers, WallAndVirtual) {
+  WallTimer unstarted;
+  EXPECT_EQ(unstarted.elapsed(), 0.0);  // guarded read before start()
+
   WallTimer wall;
   wall.start();
-  EXPECT_GE(wall.stop(), 0.0);
+  EXPECT_GE(wall.elapsed(), 0.0);
 
   VirtualClock clock;
   clock.advance(10.5);

@@ -79,7 +79,8 @@ TEST(IterativeElimination, RemovesExactlyTheHarmfulFlags) {
   EXPECT_TRUE(result.best.enabled(2));
   EXPECT_TRUE(result.best.enabled(6));
   EXPECT_GT(result.improvement_over_start, 1.2);
-  EXPECT_FALSE(result.log.empty());
+  EXPECT_FALSE(result.events.empty());
+  EXPECT_FALSE(result.render_log().empty());
 }
 
 TEST(IterativeElimination, QuadraticEvaluationBudget) {

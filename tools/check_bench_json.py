@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Schema validator for the machine-readable BENCH_*.json artifacts.
+
+The bench binaries (bench_headline and friends) emit JSON next to their
+stdout report so dashboards and regression drivers can consume the numbers
+without scraping text. This script checks those files against the expected
+schema — run it in CI after the benches, or standalone:
+
+    tools/check_bench_json.py BENCH_headline.json [...]
+    tools/check_bench_json.py --self-test
+
+Exit status: 0 if every file validates (or the self-test passes), 1
+otherwise. Stdlib only — no third-party dependencies.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _require(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def _check_number(obj, key, path, minimum=None):
+    _require(key in obj, path, f"missing key '{key}'")
+    value = obj[key]
+    _require(isinstance(value, NUMBER) and not isinstance(value, bool),
+             f"{path}.{key}", f"expected a number, got {type(value).__name__}")
+    if minimum is not None:
+        _require(value >= minimum, f"{path}.{key}",
+                 f"expected >= {minimum}, got {value}")
+
+
+def _check_string(obj, key, path):
+    _require(key in obj, path, f"missing key '{key}'")
+    _require(isinstance(obj[key], str) and obj[key],
+             f"{path}.{key}", "expected a non-empty string")
+
+
+def check_metrics(metrics, path):
+    _require(isinstance(metrics, dict), path, "expected an object")
+    for section in ("counters", "gauges", "histograms"):
+        _require(section in metrics, path, f"missing key '{section}'")
+        _require(isinstance(metrics[section], dict),
+                 f"{path}.{section}", "expected an object")
+    for name, value in metrics["counters"].items():
+        _require(isinstance(value, int) and value >= 0,
+                 f"{path}.counters.{name}", "expected a non-negative integer")
+    for name, value in metrics["gauges"].items():
+        _require(isinstance(value, NUMBER) and not isinstance(value, bool),
+                 f"{path}.gauges.{name}", "expected a number")
+    for name, hist in metrics["histograms"].items():
+        hpath = f"{path}.histograms.{name}"
+        _require(isinstance(hist, dict), hpath, "expected an object")
+        for key in ("bounds", "counts"):
+            _require(isinstance(hist.get(key), list), f"{hpath}.{key}",
+                     "expected an array")
+        _require(len(hist["counts"]) == len(hist["bounds"]) + 1, hpath,
+                 "counts must have len(bounds)+1 entries (overflow bucket)")
+        _require(list(hist["bounds"]) == sorted(hist["bounds"]), hpath,
+                 "bounds must be sorted ascending")
+        _check_number(hist, "count", hpath, minimum=0)
+        _check_number(hist, "sum", hpath)
+        _require(sum(hist["counts"]) == hist["count"], hpath,
+                 "bucket counts must sum to 'count'")
+
+
+def check_headline(doc, path):
+    _require(doc.get("schema") == 1, path, "expected schema 1")
+    _require(isinstance(doc.get("machines"), list) and doc["machines"],
+             f"{path}.machines", "expected a non-empty array")
+    for i, machine in enumerate(doc["machines"]):
+        mpath = f"{path}.machines[{i}]"
+        _check_string(machine, "machine", mpath)
+        _require(isinstance(machine.get("runs"), list) and machine["runs"],
+                 f"{mpath}.runs", "expected a non-empty array")
+        for j, run in enumerate(machine["runs"]):
+            rpath = f"{mpath}.runs[{j}]"
+            _check_string(run, "benchmark", rpath)
+            _check_string(run, "method", rpath)
+            _require(run["method"] in ("CBR", "MBR", "RBR", "AVG", "WHL"),
+                     f"{rpath}.method", f"unknown method {run['method']!r}")
+            _check_number(run, "ref_improvement_pct", rpath)
+            _check_number(run, "tuning_time_reduction_pct", rpath)
+            _check_number(run, "configs_evaluated", rpath, minimum=1)
+            _check_number(run, "invocations", rpath, minimum=1)
+    headline = doc.get("headline")
+    _require(isinstance(headline, dict), f"{path}.headline",
+             "expected an object")
+    for key in ("max_improvement_pct", "avg_improvement_pct",
+                "max_time_reduction_pct", "avg_time_reduction_pct"):
+        _check_number(headline, key, f"{path}.headline")
+    _require("metrics" in doc, path, "missing key 'metrics'")
+    check_metrics(doc["metrics"], f"{path}.metrics")
+
+
+CHECKERS = {"headline": check_headline}
+
+
+def check_document(doc, path="$"):
+    _require(isinstance(doc, dict), path, "top level must be an object")
+    _check_string(doc, "bench", path)
+    checker = CHECKERS.get(doc["bench"])
+    _require(checker is not None, f"{path}.bench",
+             f"no schema registered for bench {doc['bench']!r}")
+    checker(doc, path)
+
+
+def check_file(filename):
+    try:
+        with open(filename, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{filename}: FAIL ({exc})")
+        return False
+    try:
+        check_document(doc)
+    except SchemaError as exc:
+        print(f"{filename}: FAIL ({exc})")
+        return False
+    print(f"{filename}: OK")
+    return True
+
+
+# --- self-test fixtures -----------------------------------------------------
+
+GOOD = {
+    "bench": "headline",
+    "schema": 1,
+    "machines": [
+        {
+            "machine": "UltraSPARC-II",
+            "runs": [
+                {
+                    "benchmark": "MGRID",
+                    "method": "MBR",
+                    "ref_improvement_pct": 12.5,
+                    "tuning_time_reduction_pct": 80.0,
+                    "configs_evaluated": 40,
+                    "invocations": 12000,
+                }
+            ],
+        }
+    ],
+    "headline": {
+        "max_improvement_pct": 178.0,
+        "avg_improvement_pct": 26.0,
+        "max_time_reduction_pct": 96.0,
+        "avg_time_reduction_pct": 80.0,
+    },
+    "metrics": {
+        "counters": {"search.configs_evaluated": 40},
+        "gauges": {"rating.mbr_residual": 0.02},
+        "histograms": {
+            "rating.window_samples": {
+                "bounds": [10.0, 20.0],
+                "counts": [3, 1, 0],
+                "count": 4,
+                "sum": 55.0,
+            }
+        },
+    },
+}
+
+
+def _mutate(doc, fn):
+    clone = json.loads(json.dumps(doc))
+    fn(clone)
+    return clone
+
+
+def self_test():
+    failures = []
+
+    def expect(doc, valid, label):
+        try:
+            check_document(doc)
+            ok = True
+        except SchemaError:
+            ok = False
+        if ok != valid:
+            failures.append(label)
+
+    expect(GOOD, True, "good document rejected")
+    expect(_mutate(GOOD, lambda d: d.pop("headline")), False,
+           "missing headline accepted")
+    expect(_mutate(GOOD, lambda d: d.update(schema=2)), False,
+           "wrong schema accepted")
+    expect(
+        _mutate(GOOD, lambda d: d["machines"][0]["runs"][0].update(
+            method="XYZ")), False, "unknown method accepted")
+    expect(
+        _mutate(GOOD, lambda d: d["machines"][0]["runs"][0].update(
+            configs_evaluated=0)), False, "zero configs_evaluated accepted")
+    expect(
+        _mutate(
+            GOOD, lambda d: d["metrics"]["histograms"][
+                "rating.window_samples"].update(counts=[3, 1])), False,
+        "short histogram counts accepted")
+    expect(
+        _mutate(
+            GOOD, lambda d: d["metrics"]["histograms"][
+                "rating.window_samples"].update(count=99)), False,
+        "inconsistent histogram count accepted")
+    expect(_mutate(GOOD, lambda d: d["metrics"].pop("counters")), False,
+           "missing counters accepted")
+
+    if failures:
+        for failure in failures:
+            print(f"self-test: FAIL ({failure})")
+        return False
+    print("self-test: OK (8 cases)")
+    return True
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return 0 if self_test() else 1
+    if not argv:
+        print(__doc__.strip())
+        return 1
+    ok = all([check_file(f) for f in argv])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,9 @@
 #include "core/profile.hpp"
 #include "core/config_store.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -34,10 +37,13 @@ struct Args {
   std::string benchmark;
   std::string machine = "sparc2";
   std::optional<rating::Method> method;
-  std::string save_path;  ///< persist tuned configs (tune)
-  std::string load_path;  ///< evaluate stored configs (apply)
+  std::string save_path;     ///< persist tuned configs (tune)
+  std::string load_path;     ///< evaluate stored configs (apply)
+  std::string trace_path;    ///< span/event export (.jsonl or Chrome JSON)
+  std::string metrics_path;  ///< metrics registry snapshot (JSON)
   bool csv = false;
   bool markdown = false;
+  bool verbose = false;  ///< print the metrics table after the command
 };
 
 std::optional<rating::Method> parse_method(const std::string& name) {
@@ -56,7 +62,11 @@ int usage() {
                "  --method CBR|MBR|RBR|AVG|WHL\n"
                "  --csv | --markdown\n"
                "  --save FILE   (tune: persist the winning config)\n"
-               "  --load FILE   (apply: evaluate a stored config)\n");
+               "  --load FILE   (apply: evaluate a stored config)\n"
+               "  --trace FILE    span trace (.jsonl = JSONL, else Chrome "
+               "trace JSON)\n"
+               "  --metrics FILE  metrics registry snapshot as JSON\n"
+               "  --verbose       print the metrics table on exit\n");
   return 2;
 }
 
@@ -255,20 +265,61 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       args.load_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return usage();
+      args.trace_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return usage();
+      args.metrics_path = v;
     } else if (arg == "--csv") {
       args.csv = true;
     } else if (arg == "--markdown") {
       args.markdown = true;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
     } else {
       return usage();
     }
   }
 
-  if (args.command == "list") return cmd_list();
-  if (args.command == "analyze") return cmd_analyze(args);
-  if (args.command == "tune") return cmd_tune(args);
-  if (args.command == "sweep") return cmd_sweep(args);
-  if (args.command == "app") return cmd_app(args);
-  if (args.command == "apply") return cmd_apply(args);
-  return usage();
+  if (!args.trace_path.empty()) {
+    auto sink = obs::make_file_sink(args.trace_path);
+    if (!sink) {
+      std::fprintf(stderr, "cannot open trace file %s\n",
+                   args.trace_path.c_str());
+      return 1;
+    }
+    obs::Tracer::global().set_sink(std::move(sink));
+  }
+
+  int rc;
+  if (args.command == "list")
+    rc = cmd_list();
+  else if (args.command == "analyze")
+    rc = cmd_analyze(args);
+  else if (args.command == "tune")
+    rc = cmd_tune(args);
+  else if (args.command == "sweep")
+    rc = cmd_sweep(args);
+  else if (args.command == "app")
+    rc = cmd_app(args);
+  else if (args.command == "apply")
+    rc = cmd_apply(args);
+  else
+    rc = usage();
+
+  // Dropping the sink flushes and closes the trace file.
+  obs::Tracer::global().set_sink(nullptr);
+  if (!args.metrics_path.empty() &&
+      !obs::write_metrics_json_file(obs::MetricsRegistry::global().snapshot(),
+                                    args.metrics_path)) {
+    std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
+    if (rc == 0) rc = 1;
+  }
+  if (args.verbose)
+    obs::metrics_table(obs::MetricsRegistry::global().snapshot())
+        .print(std::cerr);
+  return rc;
 }
