@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "engine_compare.hpp"
 #include "fig7_common.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -36,7 +37,8 @@ void append_run_json(std::ostream& os, const core::BenchmarkResult& b) {
 
 bool write_json(const std::string& path,
                 const std::vector<bench::Figure7Results>& machines,
-                const bench::Headline& h) {
+                const bench::Headline& h,
+                const bench::EngineCompareResult& engines) {
   std::ofstream os(path);
   if (!os) return false;
   os << "{\"bench\":\"headline\",\"schema\":1,\"machines\":[";
@@ -61,7 +63,9 @@ bool write_json(const std::string& path,
      << ",\"avg_improvement_pct\":" << h.avg_improvement_pct
      << ",\"max_time_reduction_pct\":" << h.max_time_reduction_pct
      << ",\"avg_time_reduction_pct\":" << h.avg_time_reduction_pct
-     << "},\"metrics\":";
+     << "},\"engine_speedup\":";
+  bench::write_engine_speedup_fragment(os, engines);
+  os << ",\"metrics\":";
   obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
   os << "}\n";
   return static_cast<bool>(os);
@@ -105,8 +109,12 @@ int main() {
       "Paper:    up to 178%% performance improvement (26%% on average)\n"
       "          tuning-time reduction up to 96%% (80%% on average)\n");
 
+  const bench::EngineCompareResult engines = bench::run_engine_compare();
+  std::cout << "\n";
+  bench::print_engine_compare(engines, std::cout);
+
   const std::string json_path = "BENCH_headline.json";
-  if (write_json(json_path, machines, h))
+  if (write_json(json_path, machines, h, engines))
     std::printf("Wrote %s\n", json_path.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

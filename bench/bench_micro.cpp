@@ -7,7 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+
+#include "engine_compare.hpp"
 #include "ir/builder.hpp"
+#include "ir/bytecode.hpp"
 #include "ir/fuzz.hpp"
 #include "ir/interpreter.hpp"
 #include "ir/liveness.hpp"
@@ -96,6 +101,37 @@ void BM_InterpreterSwimInvocation(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterSwimInvocation);
 
+void BM_BytecodeVmSwimInvocation(benchmark::State& state) {
+  // Same workload as BM_InterpreterSwimInvocation, executed by the
+  // bytecode VM — the two items/sec numbers give the engine speedup on a
+  // real section.
+  const auto workload = workloads::make_workload("SWIM");
+  const workloads::Trace trace =
+      workload->trace(workloads::DataSet::kTrain, 1);
+  const ir::Function& fn = workload->function();
+  const ir::BytecodeProgram program = ir::BytecodeProgram::compile(fn);
+  ir::BytecodeVm vm(program);
+  ir::Memory mem = ir::Memory::for_function(fn);
+  trace.invocations[0].bind(mem);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const ir::RunResult run = vm.run(mem);
+    steps += run.steps;
+    benchmark::DoNotOptimize(run.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_BytecodeVmSwimInvocation);
+
+void BM_BytecodeCompile(benchmark::State& state) {
+  const ir::Function fn =
+      ir::fuzz_function(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::BytecodeProgram::compile(fn));
+  }
+}
+BENCHMARK(BM_BytecodeCompile)->Arg(3)->Arg(17);
+
 void BM_CacheAccess(benchmark::State& state) {
   sim::SetAssocCache cache(16 * 1024, 32, 4);
   support::Rng rng(4);
@@ -144,4 +180,29 @@ BENCHMARK(BM_PointsToAndLiveness);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// `--engine-compare-json=PATH` bypasses google-benchmark and runs the
+/// interpreter-vs-VM comparison kernels, writing a standalone
+/// ENGINE_compare.json for tools/check_bench_json.py --compare (the ctest
+/// regression gate). Any other arguments go to google-benchmark as usual.
+int main(int argc, char** argv) {
+  constexpr const char* kFlag = "--engine-compare-json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      const std::string path = argv[i] + std::strlen(kFlag);
+      const peak::bench::EngineCompareResult result =
+          peak::bench::run_engine_compare();
+      peak::bench::print_engine_compare(result, std::cout);
+      if (!peak::bench::write_engine_compare_json(path, result)) {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+      }
+      std::cout << "Wrote " << path << "\n";
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -186,7 +186,7 @@ void run_workload(const workloads::Workload& workload,
       for (std::size_t i = 0; i < kSamplesNeeded; ++i) {
         const sim::Invocation& inv = next();
         const sim::InvocationResult r = backend.invoke(o3, inv);
-        std::vector<double> row(r.counters.begin(), r.counters.end());
+        std::vector<double> row(r.counters->begin(), r.counters->end());
         row.push_back(1.0);
         counts.push_back(std::move(row));
         times.push_back(r.time);

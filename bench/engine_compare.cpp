@@ -1,0 +1,179 @@
+#include "engine_compare.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+
+#include "ir/builder.hpp"
+#include "ir/bytecode.hpp"
+#include "ir/interpreter.hpp"
+#include "support/check.hpp"
+
+namespace peak::bench {
+
+namespace {
+
+/// Small blocks, data-dependent branches, scalar arithmetic: the shape of
+/// the integer kernels that end up rated by RBR.
+ir::Function branchy_kernel() {
+  ir::FunctionBuilder b("branchy_small");
+  const auto n = b.scalar("n");
+  const auto i = b.scalar("i");
+  const auto acc = b.scalar("acc", true);
+  const auto parity = b.scalar("parity");
+  b.assign(n, b.c(512.0));
+  b.assign(acc, b.c(0.0));
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.assign(parity, b.mod(b.v(i), b.c(3.0)));
+    b.if_else(
+        b.eq(b.v(parity), b.c(0.0)),
+        [&] { b.assign(acc, b.add(b.v(acc), b.v(i))); },
+        [&] {
+          b.if_then(b.land(b.gt(b.v(i), b.c(10.0)),
+                           b.lt(b.v(acc), b.c(1.0e6))),
+                    [&] { b.assign(acc, b.sub(b.v(acc), b.c(1.0))); });
+        });
+  });
+  return b.build();
+}
+
+/// Dense array traffic with affine in-bounds subscripts — the loop-nest
+/// shape of the floating-point workloads, and the case bounds-check
+/// folding targets.
+ir::Function array_kernel() {
+  ir::FunctionBuilder b("array_sweep");
+  const auto a = b.array("a", 256, true);
+  const auto c = b.array("c", 256, true);
+  const auto i = b.scalar("i");
+  const auto t = b.scalar("t", true);
+  b.for_loop(i, b.c(0.0), b.c(256.0), [&] {
+    b.store(a, b.v(i), b.mul(b.v(i), b.c(0.5)));
+  });
+  b.for_loop(i, b.c(1.0), b.c(255.0), [&] {
+    b.assign(t, b.add(b.at(a, b.sub(b.v(i), b.c(1.0))),
+                      b.at(a, b.add(b.v(i), b.c(1.0)))));
+    b.store(c, b.v(i), b.mul(b.v(t), b.c(0.25)));
+  });
+  return b.build();
+}
+
+/// Per-block instrumentation counters in a hot loop — the profiling pass
+/// executes exactly this shape over every detailed invocation.
+ir::Function counter_kernel() {
+  ir::FunctionBuilder b("counter_heavy");
+  const auto i = b.scalar("i");
+  const auto x = b.scalar("x", true);
+  b.counter(0);
+  b.for_loop(i, b.c(0.0), b.c(400.0), [&] {
+    b.counter(1);
+    b.assign(x, b.add(b.v(x), b.c(1.5)));
+    b.if_then(b.gt(b.v(x), b.c(300.0)), [&] {
+      b.counter(2);
+      b.assign(x, b.mul(b.v(x), b.c(0.5)));
+    });
+  });
+  return b.build();
+}
+
+double time_runs_ns(const std::function<void()>& run, int trials) {
+  // Pick repetitions so one trial is ~milliseconds, then best-of-trials.
+  const int reps = 50;
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        reps;
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+EngineKernelResult compare_kernel(const ir::Function& fn, int trials) {
+  const ir::BytecodeProgram program = ir::BytecodeProgram::compile(fn);
+  const ir::Interpreter interp(fn);
+  ir::BytecodeVm vm(program);
+
+  // Cross-check before timing: a benchmark of two engines that disagree
+  // would be meaningless.
+  ir::Memory imem = ir::Memory::for_function(fn);
+  ir::Memory vmem = ir::Memory::for_function(fn);
+  const ir::RunResult ir_run = interp.run(imem);
+  const ir::RunResult vm_run = vm.run(vmem);
+  PEAK_CHECK(std::bit_cast<std::uint64_t>(ir_run.cycles) ==
+                     std::bit_cast<std::uint64_t>(vm_run.cycles) &&
+                 ir_run.steps == vm_run.steps &&
+                 ir_run.counters == vm_run.counters,
+             "engine mismatch on " + fn.name());
+
+  EngineKernelResult result;
+  result.name = fn.name();
+  ir::Memory mem = ir::Memory::for_function(fn);
+  result.interp_ns = time_runs_ns([&] { interp.run(mem); }, trials);
+  mem = ir::Memory::for_function(fn);
+  result.vm_ns = time_runs_ns([&] { vm.run(mem); }, trials);
+  result.speedup = result.interp_ns / result.vm_ns;
+  return result;
+}
+
+}  // namespace
+
+EngineCompareResult run_engine_compare(int trials) {
+  EngineCompareResult result;
+  const ir::Function kernels[] = {branchy_kernel(), array_kernel(),
+                                  counter_kernel()};
+  double log_sum = 0.0;
+  for (const ir::Function& fn : kernels) {
+    result.kernels.push_back(compare_kernel(fn, trials));
+    log_sum += std::log(result.kernels.back().speedup);
+  }
+  result.geomean_speedup =
+      std::exp(log_sum / static_cast<double>(std::size(kernels)));
+  return result;
+}
+
+void print_engine_compare(const EngineCompareResult& result,
+                          std::ostream& os) {
+  os << "Interpreter vs bytecode VM (ns per run, best-of-N):\n";
+  char line[160];
+  for (const EngineKernelResult& k : result.kernels) {
+    std::snprintf(line, sizeof(line),
+                  "  %-14s interp %10.0f ns   vm %10.0f ns   speedup %.2fx\n",
+                  k.name.c_str(), k.interp_ns, k.vm_ns, k.speedup);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "  geomean speedup: %.2fx\n",
+                result.geomean_speedup);
+  os << line;
+}
+
+void write_engine_speedup_fragment(std::ostream& os,
+                                   const EngineCompareResult& result) {
+  os << "{\"kernels\":[";
+  bool first = true;
+  for (const EngineKernelResult& k : result.kernels) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << k.name << "\",\"interp_ns\":" << k.interp_ns
+       << ",\"vm_ns\":" << k.vm_ns << ",\"speedup\":" << k.speedup << "}";
+  }
+  os << "],\"geomean\":" << result.geomean_speedup << "}";
+}
+
+bool write_engine_compare_json(const std::string& path,
+                               const EngineCompareResult& result) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\"bench\":\"engine_compare\",\"schema\":1,\"engine_speedup\":";
+  write_engine_speedup_fragment(os, result);
+  os << "}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace peak::bench

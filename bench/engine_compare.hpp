@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file engine_compare.hpp
+/// Interpreter-vs-bytecode-VM microbenchmark shared by bench_micro (which
+/// can emit a standalone ENGINE_compare.json for the ctest regression
+/// gate) and bench_headline (which embeds the speedups into
+/// BENCH_headline.json so the committed baseline carries them).
+///
+/// Three kernels cover the execution profiles that dominate tuning runs:
+/// small-and-branchy control flow, array-heavy inner loops (where bounds
+/// check folding pays), and counter-heavy instrumented code (the profiling
+/// pass shape).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace peak::bench {
+
+struct EngineKernelResult {
+  std::string name;
+  double interp_ns = 0.0;  ///< tree-walking interpreter, ns per run
+  double vm_ns = 0.0;      ///< bytecode VM, ns per run
+  double speedup = 0.0;    ///< interp_ns / vm_ns
+};
+
+struct EngineCompareResult {
+  std::vector<EngineKernelResult> kernels;
+  double geomean_speedup = 0.0;
+};
+
+/// Time every kernel under both engines (best-of-`trials` timing). The
+/// engines' results are asserted equal before timing — a benchmark of two
+/// engines that disagree would be meaningless.
+EngineCompareResult run_engine_compare(int trials = 3);
+
+/// Human-readable table on `os`.
+void print_engine_compare(const EngineCompareResult& result,
+                          std::ostream& os);
+
+/// Standalone {"bench":"engine_compare",...} document.
+bool write_engine_compare_json(const std::string& path,
+                               const EngineCompareResult& result);
+
+/// The {"kernels":[...],"geomean":...} fragment embedded into the headline
+/// document under "engine_speedup".
+void write_engine_speedup_fragment(std::ostream& os,
+                                   const EngineCompareResult& result);
+
+}  // namespace peak::bench

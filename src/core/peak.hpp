@@ -87,7 +87,10 @@ private:
                     workloads::DataSet tuned_on, rating::Method method,
                     double ref_o3_time);
 
-  const sim::MachineModel& machine_;
+  /// Stored by value: callers routinely pass temporaries
+  /// (`Peak(sim::sparc2())`), and every profile/tune call reads the
+  /// machine long after that full expression ends.
+  sim::MachineModel machine_;
   PeakOptions options_;
   sim::FlagEffectModel effects_;
 };

@@ -6,6 +6,7 @@
 #include "analysis/instrumentation.hpp"
 #include "obs/trace.hpp"
 #include "stats/regression.hpp"
+#include "ir/bytecode.hpp"
 #include "ir/interpreter.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -67,7 +68,11 @@ ProfileData profile_workload(const workloads::Workload& workload,
   {
   obs::ScopedSpan span("detailed_pass", "profile");
   const ir::Function instrumented = analysis::instrument_all_blocks(fn);
-  const ir::Interpreter interp(instrumented);
+  // Compiled once, executed per detailed invocation: the profiling pass is
+  // the second-hottest interpreter client after the simulation backend.
+  const ir::BytecodeProgram program =
+      ir::BytecodeProgram::compile(instrumented, cost);
+  ir::BytecodeVm vm(program);
   std::map<ir::VarId, std::set<std::uint64_t>> content_hashes;
   double total_cycles = 0.0;
 
@@ -98,7 +103,7 @@ ProfileData profile_workload(const workloads::Workload& workload,
       content_hashes[cv.var].insert(hash_array(memory.array(cv.var)));
     }
 
-    ir::RunResult run = interp.run(memory, cost);
+    ir::RunResult run = vm.run(memory);
     total_cycles += run.cycles;
     observed_times.push_back(run.cycles * inv.irregularity);
     // counters hold per-block entries (counter_id == BlockId).

@@ -208,7 +208,7 @@ private:
         while (!rater.converged() && !rater.exhausted()) {
           const sim::Invocation& inv = next_invocation();
           const sim::InvocationResult r = backend_.invoke(cfg, inv);
-          std::vector<double> counts(r.counters.begin(), r.counters.end());
+          std::vector<double> counts(r.counters->begin(), r.counters->end());
           counts.push_back(1.0);  // constant component
           rater.add(counts, r.time);
         }

@@ -1,0 +1,700 @@
+#include "ir/bytecode.hpp"
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "ir/range_analysis.hpp"
+#include "support/check.hpp"
+
+namespace peak::ir {
+
+namespace {
+
+/// Patch field selector for forward jumps.
+enum class Field : std::uint8_t { kA, kB, kC };
+
+}  // namespace
+
+class BytecodeCompiler {
+public:
+  BytecodeCompiler(const Function& fn, const CostModel& cost,
+           const BytecodeOptions& options)
+      : fn_(fn), cost_(cost), options_(options) {}
+
+  BytecodeProgram compile() {
+    PEAK_CHECK(fn_.finalized(), "bytecode-compile only finalized functions");
+    if (options_.fold_bounds_checks)
+      ranges_.emplace(fn_);
+
+    const std::uint32_t counter_cost_pool = pool_const(cost_.counter_cost());
+    std::vector<std::size_t> block_pc(fn_.num_blocks(), 0);
+    std::vector<std::pair<std::size_t, Field>> block_patches;
+    std::vector<BlockId> block_patch_targets;
+
+    for (BlockId b = 0; b < fn_.num_blocks(); ++b) {
+      block_pc[b] = prog_.code_.size();
+      emit(BcOp::kBlockBegin, b, pool_const(cost_.block_entry_cost(fn_, b)));
+
+      // Scalars assigned earlier in this block: their block-entry interval
+      // no longer describes their current value, so bounds-check folding
+      // must not rely on it.
+      dirty_.assign(fn_.num_vars(), false);
+      cur_block_ = b;
+
+      for (const Stmt& s : fn_.block(b).stmts) {
+        emit(BcOp::kStep);
+        switch (s.kind) {
+          case StmtKind::kAssign:
+            compile_assign(s);
+            break;
+          case StmtKind::kCall: {
+            BytecodeProgram::CallSite site;
+            site.callee = s.callee;
+            site.first_arg_reg = 0;
+            site.num_args = static_cast<std::uint32_t>(s.args.size());
+            for (std::size_t i = 0; i < s.args.size(); ++i)
+              compile_expr(s.args[i], static_cast<std::uint32_t>(i));
+            prog_.calls_.push_back(std::move(site));
+            emit(BcOp::kCall,
+                 static_cast<std::uint32_t>(prog_.calls_.size() - 1));
+            // The call handler receives a mutable Memory and may write
+            // any variable.
+            dirty_.assign(fn_.num_vars(), true);
+            break;
+          }
+          case StmtKind::kCounter:
+            emit(BcOp::kCounter, s.counter_id, counter_cost_pool);
+            break;
+          case StmtKind::kNop:
+            break;
+        }
+      }
+
+      const Terminator& t = fn_.block(b).term;
+      switch (t.kind) {
+        case TermKind::kJump:
+          block_patches.emplace_back(prog_.code_.size(), Field::kA);
+          block_patch_targets.push_back(t.on_true);
+          emit(BcOp::kJump);
+          break;
+        case TermKind::kBranch: {
+          compile_expr(t.cond, 0);
+          block_patches.emplace_back(prog_.code_.size(), Field::kB);
+          block_patch_targets.push_back(t.on_true);
+          block_patches.emplace_back(prog_.code_.size(), Field::kC);
+          block_patch_targets.push_back(t.on_false);
+          emit(BcOp::kBranch, 0);
+          break;
+        }
+        case TermKind::kReturn:
+          emit(BcOp::kReturn);
+          break;
+      }
+    }
+
+    for (std::size_t i = 0; i < block_patches.size(); ++i) {
+      const auto [pc, field] = block_patches[i];
+      const auto target =
+          static_cast<std::uint32_t>(block_pc[block_patch_targets[i]]);
+      patch(pc, field, target);
+    }
+
+    // The dispatch loop starts at pc 0; make that the entry block.
+    PEAK_CHECK(fn_.entry() < fn_.num_blocks(), "function has no entry");
+    entry_pc_ = block_pc[fn_.entry()];
+
+    prog_.fn_ = &fn_;
+    prog_.num_regs_ = max_reg_ + 1;
+    prog_.stats_.instructions = prog_.code_.size();
+    return std::move(prog_);
+  }
+
+  [[nodiscard]] std::size_t entry_pc() const { return entry_pc_; }
+
+private:
+  void emit(BcOp op, std::uint32_t a = 0, std::uint32_t b = 0,
+            std::uint32_t c = 0) {
+    prog_.code_.push_back(BcInsn{op, 0, 0, a, b, c});
+  }
+
+  void patch(std::size_t pc, Field field, std::uint32_t value) {
+    BcInsn& insn = prog_.code_[pc];
+    switch (field) {
+      case Field::kA: insn.a = value; break;
+      case Field::kB: insn.b = value; break;
+      case Field::kC: insn.c = value; break;
+    }
+  }
+
+  std::uint32_t pool_const(double v) {
+    // Dedup by bit pattern: double ordering would conflate -0.0 with 0.0
+    // and misbehave on NaN payloads.
+    const auto [it, inserted] = pool_index_.emplace(
+        std::bit_cast<std::uint64_t>(v),
+        static_cast<std::uint32_t>(prog_.pool_.size()));
+    if (inserted) prog_.pool_.push_back(v);
+    return it->second;
+  }
+
+  void touch_reg(std::uint32_t r) { max_reg_ = std::max(max_reg_, r); }
+
+  void compile_assign(const Stmt& s) {
+    // Same evaluation order as the interpreter: value, then (for pointer
+    // stores) the pointee resolution, then the index.
+    compile_expr(s.rhs, 0);
+    if (s.lhs.is_scalar()) {
+      emit(BcOp::kStoreScalar, s.lhs.var, 0);
+      dirty_[s.lhs.var] = true;
+      return;
+    }
+    if (s.lhs.via_pointer) {
+      emit(BcOp::kPointee, 1, s.lhs.var);
+      touch_reg(1);
+      compile_expr(s.lhs.index, 2);
+      emit(BcOp::kStoreDerefIdx, 1, 2, 0);
+      return;
+    }
+    compile_expr(s.lhs.index, 1);
+    ++prog_.stats_.array_accesses;
+    if (index_provably_safe(s.lhs.index, s.lhs.var)) {
+      ++prog_.stats_.bounds_checks_folded;
+      emit(BcOp::kStoreArrayNC, s.lhs.var, 1, 0);
+    } else {
+      emit(BcOp::kStoreArray, s.lhs.var, 1, 0);
+    }
+  }
+
+  void compile_expr(ExprId e, std::uint32_t dst) {
+    touch_reg(dst);
+    const Expr& node = fn_.expr(e);
+    switch (node.op) {
+      case ExprOp::kConst:
+        emit(BcOp::kLoadConst, dst, pool_const(node.constant));
+        return;
+      case ExprOp::kVarRef:
+        emit(BcOp::kLoadScalar, dst, node.var);
+        return;
+      case ExprOp::kArrayRef: {
+        compile_expr(node.lhs, dst);
+        ++prog_.stats_.array_accesses;
+        if (index_provably_safe(node.lhs, node.var)) {
+          ++prog_.stats_.bounds_checks_folded;
+          emit(BcOp::kLoadArrayNC, dst, node.var, dst);
+        } else {
+          emit(BcOp::kLoadArray, dst, node.var, dst);
+        }
+        return;
+      }
+      case ExprOp::kDeref:
+        // Pointee validation happens before the index is evaluated, as in
+        // the tree-walker.
+        emit(BcOp::kPointee, dst, node.var);
+        compile_expr(node.lhs, dst + 1);
+        emit(BcOp::kLoadDerefIdx, dst, dst, dst + 1);
+        return;
+      case ExprOp::kAddressOf:
+        emit(BcOp::kLoadConst, dst,
+             pool_const(static_cast<double>(node.var)));
+        return;
+      case ExprOp::kDiv:
+        // The divisor is evaluated and checked before the dividend.
+        compile_expr(node.rhs, dst);
+        emit(BcOp::kCheckDiv, dst);
+        compile_expr(node.lhs, dst + 1);
+        emit(BcOp::kDiv, dst, dst + 1, dst);
+        return;
+      case ExprOp::kNeg:
+      case ExprOp::kAbs:
+      case ExprOp::kSqrt:
+      case ExprOp::kFloor:
+      case ExprOp::kNot:
+        compile_expr(node.lhs, dst);
+        emit(unary_op(node.op), dst, dst);
+        return;
+      case ExprOp::kAnd: {
+        // Short-circuit exactly like `eval(lhs) != 0 && eval(rhs) != 0`:
+        // the right operand (and any error it raises) is skipped when the
+        // left is zero.
+        compile_expr(node.lhs, dst);
+        const std::size_t jz = prog_.code_.size();
+        emit(BcOp::kJumpIfZero, dst);
+        compile_expr(node.rhs, dst + 1);
+        emit(BcOp::kTestNonZero, dst, dst + 1);
+        const std::size_t jend = prog_.code_.size();
+        emit(BcOp::kJump);
+        patch(jz, Field::kB, static_cast<std::uint32_t>(prog_.code_.size()));
+        emit(BcOp::kLoadConst, dst, pool_const(0.0));
+        patch(jend, Field::kA,
+              static_cast<std::uint32_t>(prog_.code_.size()));
+        return;
+      }
+      case ExprOp::kOr: {
+        compile_expr(node.lhs, dst);
+        const std::size_t jnz = prog_.code_.size();
+        emit(BcOp::kJumpIfNonZero, dst);
+        compile_expr(node.rhs, dst + 1);
+        emit(BcOp::kTestNonZero, dst, dst + 1);
+        const std::size_t jend = prog_.code_.size();
+        emit(BcOp::kJump);
+        patch(jnz, Field::kB,
+              static_cast<std::uint32_t>(prog_.code_.size()));
+        emit(BcOp::kLoadConst, dst, pool_const(1.0));
+        patch(jend, Field::kA,
+              static_cast<std::uint32_t>(prog_.code_.size()));
+        return;
+      }
+      default: {
+        compile_expr(node.lhs, dst);
+        compile_expr(node.rhs, dst + 1);
+        emit(binary_op(node.op), dst, dst, dst + 1);
+        return;
+      }
+    }
+  }
+
+  static BcOp unary_op(ExprOp op) {
+    switch (op) {
+      case ExprOp::kNeg: return BcOp::kNeg;
+      case ExprOp::kAbs: return BcOp::kAbs;
+      case ExprOp::kSqrt: return BcOp::kSqrt;
+      case ExprOp::kFloor: return BcOp::kFloor;
+      case ExprOp::kNot: return BcOp::kNot;
+      default: break;
+    }
+    PEAK_CHECK(false, "not a unary op");
+    return BcOp::kReturn;
+  }
+
+  static BcOp binary_op(ExprOp op) {
+    switch (op) {
+      case ExprOp::kAdd: return BcOp::kAdd;
+      case ExprOp::kSub: return BcOp::kSub;
+      case ExprOp::kMul: return BcOp::kMul;
+      case ExprOp::kMod: return BcOp::kMod;
+      case ExprOp::kMin: return BcOp::kMin;
+      case ExprOp::kMax: return BcOp::kMax;
+      case ExprOp::kLt: return BcOp::kLt;
+      case ExprOp::kLe: return BcOp::kLe;
+      case ExprOp::kGt: return BcOp::kGt;
+      case ExprOp::kGe: return BcOp::kGe;
+      case ExprOp::kEq: return BcOp::kEq;
+      case ExprOp::kNe: return BcOp::kNe;
+      case ExprOp::kBitAnd: return BcOp::kBitAnd;
+      case ExprOp::kBitOr: return BcOp::kBitOr;
+      case ExprOp::kBitXor: return BcOp::kBitXor;
+      case ExprOp::kShl: return BcOp::kShl;
+      case ExprOp::kShr: return BcOp::kShr;
+      default: break;
+    }
+    PEAK_CHECK(false, "not a binary op");
+    return BcOp::kReturn;
+  }
+
+  /// True when the access `array[index]` needs no runtime bounds check:
+  /// the index expression provably evaluates (without overflow, NaN, or
+  /// reads of values modified since block entry) to a value in
+  /// [0, array_size - 1]. Conservative on purpose — any doubt keeps the
+  /// check.
+  bool index_provably_safe(ExprId index, VarId array) {
+    if (!ranges_) return false;
+    const std::size_t size = fn_.var(array).array_size;
+    if (size == 0) return false;
+    if (!interval_sound(index)) return false;
+    const Interval iv = ranges_->expr_range_at(cur_block_, index);
+    return iv.lo >= 0.0 &&
+           iv.hi <= static_cast<double>(size) - 1.0;
+  }
+
+  /// The runtime value of `e` is guaranteed to lie within its block-entry
+  /// interval (or execution throws first). Requires: a NaN/overflow-free
+  /// operator subset, a strictly bounded interval at every node (finite
+  /// values in, finite values out for these ops), and no operand variable
+  /// redefined earlier in the current block.
+  bool interval_sound(ExprId e) {
+    const Expr& node = fn_.expr(e);
+    switch (node.op) {
+      case ExprOp::kConst:
+        break;
+      case ExprOp::kVarRef:
+        if (fn_.var(node.var).kind != VarKind::kScalar) return false;
+        if (dirty_[node.var]) return false;
+        break;
+      case ExprOp::kAdd:
+      case ExprOp::kSub:
+      case ExprOp::kMul:
+      case ExprOp::kMin:
+      case ExprOp::kMax:
+      case ExprOp::kMod:
+        if (!interval_sound(node.lhs) || !interval_sound(node.rhs))
+          return false;
+        break;
+      case ExprOp::kNeg:
+      case ExprOp::kAbs:
+      case ExprOp::kFloor:
+        if (!interval_sound(node.lhs)) return false;
+        break;
+      default:
+        // Division and sqrt can produce NaN/inf from in-interval inputs;
+        // array reads, pointer reads, comparisons and bit ops are not
+        // tracked precisely enough. Keep the runtime check.
+        return false;
+    }
+    const Interval iv = ranges_->expr_range_at(cur_block_, e);
+    return iv.lo > -Interval::kInf && iv.hi < Interval::kInf;
+  }
+
+  const Function& fn_;
+  const CostModel& cost_;
+  BytecodeOptions options_;
+  BytecodeProgram prog_;
+  std::optional<RangeAnalysis> ranges_;
+  std::vector<bool> dirty_;
+  BlockId cur_block_ = 0;
+  std::map<std::uint64_t, std::uint32_t> pool_index_;
+  std::uint32_t max_reg_ = 0;
+  std::size_t entry_pc_ = 0;
+};
+
+BytecodeProgram BytecodeProgram::compile(const Function& fn,
+                                         const CostModel& cost,
+                                         const BytecodeOptions& options) {
+  BytecodeCompiler compiler(fn, cost, options);
+  BytecodeProgram program = compiler.compile();
+  program.entry_pc_ = compiler.entry_pc();
+  return program;
+}
+
+BytecodeProgram BytecodeProgram::compile(const Function& fn,
+                                         const BytecodeOptions& options) {
+  return compile(fn, UnitCostModel{}, options);
+}
+
+namespace {
+
+const char* op_name(BcOp op) {
+  switch (op) {
+    case BcOp::kBlockBegin: return "block";
+    case BcOp::kStep: return "step";
+    case BcOp::kLoadConst: return "ldc";
+    case BcOp::kLoadScalar: return "lds";
+    case BcOp::kStoreScalar: return "sts";
+    case BcOp::kLoadArray: return "lda";
+    case BcOp::kLoadArrayNC: return "lda.nc";
+    case BcOp::kPointee: return "pointee";
+    case BcOp::kLoadDerefIdx: return "lda.ind";
+    case BcOp::kStoreArray: return "sta";
+    case BcOp::kStoreArrayNC: return "sta.nc";
+    case BcOp::kStoreDerefIdx: return "sta.ind";
+    case BcOp::kAdd: return "add";
+    case BcOp::kSub: return "sub";
+    case BcOp::kMul: return "mul";
+    case BcOp::kMin: return "min";
+    case BcOp::kMax: return "max";
+    case BcOp::kLt: return "lt";
+    case BcOp::kLe: return "le";
+    case BcOp::kGt: return "gt";
+    case BcOp::kGe: return "ge";
+    case BcOp::kEq: return "eq";
+    case BcOp::kNe: return "ne";
+    case BcOp::kBitAnd: return "and";
+    case BcOp::kBitOr: return "or";
+    case BcOp::kBitXor: return "xor";
+    case BcOp::kShl: return "shl";
+    case BcOp::kShr: return "shr";
+    case BcOp::kCheckDiv: return "chkdiv";
+    case BcOp::kDiv: return "div";
+    case BcOp::kMod: return "mod";
+    case BcOp::kNeg: return "neg";
+    case BcOp::kAbs: return "abs";
+    case BcOp::kSqrt: return "sqrt";
+    case BcOp::kFloor: return "floor";
+    case BcOp::kNot: return "not";
+    case BcOp::kTestNonZero: return "tnz";
+    case BcOp::kJump: return "jmp";
+    case BcOp::kJumpIfZero: return "jz";
+    case BcOp::kJumpIfNonZero: return "jnz";
+    case BcOp::kBranch: return "br";
+    case BcOp::kCall: return "call";
+    case BcOp::kCounter: return "ctr";
+    case BcOp::kReturn: return "ret";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string BytecodeProgram::disassemble() const {
+  std::ostringstream os;
+  os << "; " << fn_->name() << ": " << code_.size() << " insns, "
+     << num_regs_ << " regs, " << pool_.size() << " consts\n";
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const BcInsn& in = code_[pc];
+    os << pc << ":\t" << op_name(in.op) << ' ' << in.a << ' ' << in.b
+       << ' ' << in.c;
+    if (in.op == BcOp::kLoadConst || in.op == BcOp::kBlockBegin ||
+        in.op == BcOp::kCounter)
+      os << "\t; pool=" << pool_[in.b];
+    os << '\n';
+  }
+  return os.str();
+}
+
+BytecodeVm::BytecodeVm(const BytecodeProgram& program, InterpreterOptions opts)
+    : program_(&program), opts_(std::move(opts)) {
+  regs_.assign(program.num_registers(), 0.0);
+}
+
+VarId BytecodeVm::pointee(VarId pointer, const Memory& memory) const {
+  const Function& fn = *program_->fn_;
+  const auto target = static_cast<VarId>(memory.scalar(pointer));
+  PEAK_CHECK(target != kNoVar && target < fn.num_vars(),
+             "dereference of unbound pointer in " + fn.name());
+  PEAK_CHECK(fn.var(target).kind == VarKind::kArray,
+             "pointer target is not an array");
+  return target;
+}
+
+std::size_t BytecodeVm::checked_index(VarId array, double idx,
+                                      const Memory& memory) const {
+  const Function& fn = *program_->fn_;
+  PEAK_CHECK(std::isfinite(idx), "non-finite array index in " + fn.name());
+  const auto i = static_cast<std::int64_t>(idx);
+  PEAK_CHECK(i >= 0 && static_cast<std::size_t>(i) <
+                           memory.array(array).size(),
+             "array index out of bounds: " + fn.var(array).name + "[" +
+                 std::to_string(i) + "] size " +
+                 std::to_string(memory.array(array).size()) + " in " +
+                 fn.name());
+  return static_cast<std::size_t>(i);
+}
+
+RunResult BytecodeVm::run(Memory& memory) {
+  const Function& fn = *program_->fn_;
+  RunResult result;
+  const bool record_blocks = opts_.record_block_entries;
+  if (record_blocks) result.block_entries.assign(fn.num_blocks(), 0);
+  result.counters.assign(fn.num_counters(), 0);
+
+  // Pre-bind array bases; array buffers are never resized mid-run (stores
+  // are bounds-checked and binders run before execution). Rebound after
+  // user call handlers, which receive a mutable Memory.
+  const std::size_t nv = fn.num_vars();
+  bases_.assign(nv, nullptr);
+  sizes_.assign(nv, 0);
+  auto rebind = [&] {
+    for (VarId v = 0; v < nv; ++v) {
+      if (fn.var(v).kind == VarKind::kArray) {
+        bases_[v] = memory.arrays[v].data();
+        sizes_[v] = memory.arrays[v].size();
+      }
+    }
+  };
+  rebind();
+
+  double* const scalars = memory.scalars.data();
+  double* const regs = regs_.data();
+  const BcInsn* const code = program_->code_.data();
+  const double* const pool = program_->pool_.data();
+  const bool has_hook = static_cast<bool>(opts_.write_hook);
+  const std::uint64_t max_steps = opts_.max_steps;
+
+  std::size_t pc = program_->entry_pc_;
+  for (;;) {
+    const BcInsn& in = code[pc];
+    switch (in.op) {
+      case BcOp::kBlockBegin:
+        if (record_blocks) ++result.block_entries[in.a];
+        result.cycles += pool[in.b];
+        break;
+      case BcOp::kStep:
+        ++result.steps;
+        PEAK_CHECK(result.steps <= max_steps,
+                   "interpreter step limit exceeded in " + fn.name());
+        break;
+      case BcOp::kLoadConst:
+        regs[in.a] = pool[in.b];
+        break;
+      case BcOp::kLoadScalar:
+        regs[in.a] = scalars[in.b];
+        break;
+      case BcOp::kStoreScalar:
+        scalars[in.a] = regs[in.b];
+        break;
+      case BcOp::kLoadArray:
+        regs[in.a] =
+            bases_[in.b][checked_index(in.b, regs[in.c], memory)];
+        break;
+      case BcOp::kLoadArrayNC:
+        regs[in.a] = bases_[in.b][static_cast<std::size_t>(
+            static_cast<std::int64_t>(regs[in.c]))];
+        break;
+      case BcOp::kPointee:
+        regs[in.a] = static_cast<double>(pointee(in.b, memory));
+        break;
+      case BcOp::kLoadDerefIdx: {
+        const auto target = static_cast<VarId>(regs[in.b]);
+        regs[in.a] =
+            bases_[target][checked_index(target, regs[in.c], memory)];
+        break;
+      }
+      case BcOp::kStoreArray: {
+        const std::size_t i = checked_index(in.a, regs[in.b], memory);
+        if (has_hook) opts_.write_hook(in.a, i, bases_[in.a][i]);
+        bases_[in.a][i] = regs[in.c];
+        break;
+      }
+      case BcOp::kStoreArrayNC: {
+        const auto i = static_cast<std::size_t>(
+            static_cast<std::int64_t>(regs[in.b]));
+        if (has_hook) opts_.write_hook(in.a, i, bases_[in.a][i]);
+        bases_[in.a][i] = regs[in.c];
+        break;
+      }
+      case BcOp::kStoreDerefIdx: {
+        const auto target = static_cast<VarId>(regs[in.a]);
+        const std::size_t i = checked_index(target, regs[in.b], memory);
+        if (has_hook) opts_.write_hook(target, i, bases_[target][i]);
+        bases_[target][i] = regs[in.c];
+        break;
+      }
+      case BcOp::kAdd:
+        regs[in.a] = regs[in.b] + regs[in.c];
+        break;
+      case BcOp::kSub:
+        regs[in.a] = regs[in.b] - regs[in.c];
+        break;
+      case BcOp::kMul:
+        regs[in.a] = regs[in.b] * regs[in.c];
+        break;
+      case BcOp::kMin:
+        regs[in.a] = std::min(regs[in.b], regs[in.c]);
+        break;
+      case BcOp::kMax:
+        regs[in.a] = std::max(regs[in.b], regs[in.c]);
+        break;
+      case BcOp::kLt:
+        regs[in.a] = regs[in.b] < regs[in.c] ? 1.0 : 0.0;
+        break;
+      case BcOp::kLe:
+        regs[in.a] = regs[in.b] <= regs[in.c] ? 1.0 : 0.0;
+        break;
+      case BcOp::kGt:
+        regs[in.a] = regs[in.b] > regs[in.c] ? 1.0 : 0.0;
+        break;
+      case BcOp::kGe:
+        regs[in.a] = regs[in.b] >= regs[in.c] ? 1.0 : 0.0;
+        break;
+      case BcOp::kEq:
+        regs[in.a] = regs[in.b] == regs[in.c] ? 1.0 : 0.0;
+        break;
+      case BcOp::kNe:
+        regs[in.a] = regs[in.b] != regs[in.c] ? 1.0 : 0.0;
+        break;
+      case BcOp::kBitAnd:
+        regs[in.a] = static_cast<double>(
+            static_cast<std::int64_t>(regs[in.b]) &
+            static_cast<std::int64_t>(regs[in.c]));
+        break;
+      case BcOp::kBitOr:
+        regs[in.a] = static_cast<double>(
+            static_cast<std::int64_t>(regs[in.b]) |
+            static_cast<std::int64_t>(regs[in.c]));
+        break;
+      case BcOp::kBitXor:
+        regs[in.a] = static_cast<double>(
+            static_cast<std::int64_t>(regs[in.b]) ^
+            static_cast<std::int64_t>(regs[in.c]));
+        break;
+      case BcOp::kShl:
+        regs[in.a] = static_cast<double>(
+            static_cast<std::int64_t>(regs[in.b])
+            << static_cast<std::int64_t>(regs[in.c]));
+        break;
+      case BcOp::kShr:
+        regs[in.a] = static_cast<double>(
+            static_cast<std::int64_t>(regs[in.b]) >>
+            static_cast<std::int64_t>(regs[in.c]));
+        break;
+      case BcOp::kCheckDiv:
+        PEAK_CHECK(regs[in.a] != 0.0, "division by zero in " + fn.name());
+        break;
+      case BcOp::kDiv:
+        regs[in.a] = regs[in.b] / regs[in.c];
+        break;
+      case BcOp::kMod: {
+        const double da = regs[in.b];
+        const double db = regs[in.c];
+        PEAK_CHECK(std::isfinite(da) && std::isfinite(db) &&
+                       std::fabs(da) < 9.2e18 && std::fabs(db) < 9.2e18,
+                   "mod operand out of integer range in " + fn.name());
+        const auto ia = static_cast<std::int64_t>(da);
+        const auto ib = static_cast<std::int64_t>(db);
+        PEAK_CHECK(ib != 0, "mod by zero in " + fn.name());
+        regs[in.a] = static_cast<double>(ia % ib);
+        break;
+      }
+      case BcOp::kNeg:
+        regs[in.a] = -regs[in.b];
+        break;
+      case BcOp::kAbs:
+        regs[in.a] = std::fabs(regs[in.b]);
+        break;
+      case BcOp::kSqrt:
+        regs[in.a] = std::sqrt(regs[in.b]);
+        break;
+      case BcOp::kFloor:
+        regs[in.a] = std::floor(regs[in.b]);
+        break;
+      case BcOp::kNot:
+        regs[in.a] = regs[in.b] == 0.0 ? 1.0 : 0.0;
+        break;
+      case BcOp::kTestNonZero:
+        regs[in.a] = regs[in.b] != 0.0 ? 1.0 : 0.0;
+        break;
+      case BcOp::kJump:
+        pc = in.a;
+        continue;
+      case BcOp::kJumpIfZero:
+        if (regs[in.a] == 0.0) {
+          pc = in.b;
+          continue;
+        }
+        break;
+      case BcOp::kJumpIfNonZero:
+        if (regs[in.a] != 0.0) {
+          pc = in.b;
+          continue;
+        }
+        break;
+      case BcOp::kBranch:
+        pc = regs[in.a] != 0.0 ? in.b : in.c;
+        continue;
+      case BcOp::kCall: {
+        const BytecodeProgram::CallSite& site = program_->calls_[in.a];
+        call_args_.assign(regs + site.first_arg_reg,
+                          regs + site.first_arg_reg + site.num_args);
+        if (opts_.call_handler) {
+          result.cycles +=
+              opts_.call_handler(site.callee, call_args_, memory);
+          // The handler may have grown or shrunk array buffers.
+          rebind();
+        } else {
+          result.cycles += default_call_cost(site.callee, call_args_, memory);
+        }
+        break;
+      }
+      case BcOp::kCounter:
+        ++result.counters[in.a];
+        result.cycles += pool[in.b];
+        break;
+      case BcOp::kReturn:
+        return result;
+    }
+    ++pc;
+  }
+}
+
+}  // namespace peak::ir

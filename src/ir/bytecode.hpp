@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file bytecode.hpp
+/// Bytecode compilation + VM execution engine for the mini-IR.
+///
+/// The tree-walking `ir::Interpreter` is the reference executor, but every
+/// rated invocation funnels through it — thousands per tuning run — and a
+/// recursive evaluator pays a call per expression node. This pass lowers a
+/// finalized `Function` once into a flat, cache-friendly instruction
+/// stream (expressions linearized into virtual registers, block entry
+/// costs pre-resolved against a `CostModel`, array bases pre-bound at run
+/// start, bounds checks folded where range analysis proves them safe) and
+/// executes it with a non-recursive dispatch loop.
+///
+/// Contract: for any finalized function, `BytecodeVm::run` produces a
+/// `RunResult` (cycles, block_entries, counters, steps) and memory effects
+/// **bit-identical** to `Interpreter::run` under the same options and cost
+/// model, including `write_hook` call order and `call_handler` semantics,
+/// and including error behavior (step limit, bounds, division by zero)
+/// with the same exception messages. The differential fuzz suite
+/// (`tests/test_ir_bytecode.cpp`) enforces this over hundreds of random
+/// programs; keep it green when touching either engine.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/interpreter.hpp"
+
+namespace peak::ir {
+
+/// VM opcodes. Operands a/b/c index virtual registers, variables, blocks,
+/// the constant pool, or instruction addresses depending on the opcode.
+enum class BcOp : std::uint8_t {
+  kBlockBegin,    ///< enter block a; cycles += pool[b]
+  kStep,          ///< statement guard: ++steps, enforce max_steps
+  kLoadConst,     ///< r[a] = pool[b]
+  kLoadScalar,    ///< r[a] = scalars[b]
+  kStoreScalar,   ///< scalars[a] = r[b]
+  kLoadArray,     ///< r[a] = array b[checked r[c]]
+  kLoadArrayNC,   ///< r[a] = array b[r[c]] (range analysis proved safe)
+  kPointee,       ///< r[a] = validated pointee VarId of pointer b
+  kLoadDerefIdx,  ///< r[a] = array VarId(r[b]) [checked r[c]]
+  kStoreArray,    ///< array a[checked r[b]] = r[c] (write hook fires)
+  kStoreArrayNC,  ///< array a[r[b]] = r[c] (proved safe; hook fires)
+  kStoreDerefIdx, ///< array VarId(r[a]) [checked r[b]] = r[c] (hook fires)
+  // Binary arithmetic/comparison: r[a] = r[b] op r[c].
+  kAdd, kSub, kMul, kMin, kMax,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kCheckDiv,      ///< throw "division by zero" unless r[a] != 0
+  kDiv,           ///< r[a] = r[b] / r[c]; divisor already checked
+  kMod,           ///< r[a] = int64(r[b]) % int64(r[c]) with range checks
+  // Unary: r[a] = op r[b].
+  kNeg, kAbs, kSqrt, kFloor, kNot,
+  kTestNonZero,   ///< r[a] = (r[b] != 0) ? 1 : 0
+  kJump,          ///< pc = a
+  kJumpIfZero,    ///< if (r[a] == 0) pc = b
+  kJumpIfNonZero, ///< if (r[a] != 0) pc = b
+  kBranch,        ///< pc = (r[a] != 0) ? b : c
+  kCall,          ///< invoke call site a; cycles += handler result
+  kCounter,       ///< ++counters[a]; cycles += pool[b] (counter cost)
+  kReturn,
+};
+
+/// One 16-byte VM instruction.
+struct BcInsn {
+  BcOp op = BcOp::kReturn;
+  std::uint8_t pad8 = 0;
+  std::uint16_t pad16 = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+struct BytecodeOptions {
+  /// Fold array bounds checks the symbolic range analysis proves
+  /// redundant (index interval within [0, size) from values that are
+  /// provably finite and unmodified since block entry).
+  bool fold_bounds_checks = true;
+};
+
+/// Compilation statistics (observability + tests).
+struct BytecodeStats {
+  std::size_t instructions = 0;
+  std::size_t array_accesses = 0;        ///< loads + stores, direct only
+  std::size_t bounds_checks_folded = 0;  ///< of those, proved safe
+};
+
+/// A compiled program: flat instruction stream + constant pool + call
+/// sites. Immutable after compile(); safe to share across VMs and threads.
+class BytecodeProgram {
+public:
+  /// Lower `fn` for execution under `cost`. Block entry prices and the
+  /// counter cost are resolved now, so they must not change between
+  /// compilation and execution (the simulation backend owns exactly one
+  /// cost model per section, making this a compile-once-per-(Function,
+  /// CostModel) cache).
+  static BytecodeProgram compile(const Function& fn, const CostModel& cost,
+                                 const BytecodeOptions& options = {});
+
+  /// Compile with the unit cost model (tests, fuzzing).
+  static BytecodeProgram compile(const Function& fn,
+                                 const BytecodeOptions& options = {});
+
+  [[nodiscard]] const Function& function() const { return *fn_; }
+  [[nodiscard]] const std::vector<BcInsn>& code() const { return code_; }
+  [[nodiscard]] std::size_t num_registers() const { return num_regs_; }
+  [[nodiscard]] const BytecodeStats& stats() const { return stats_; }
+
+  /// Human-readable listing (debugging / INTERNALS.md examples).
+  [[nodiscard]] std::string disassemble() const;
+
+private:
+  friend class BytecodeVm;
+  friend class BytecodeCompiler;
+  struct CallSite {
+    std::string callee;
+    std::uint32_t first_arg_reg = 0;
+    std::uint32_t num_args = 0;
+  };
+
+  const Function* fn_ = nullptr;  ///< must outlive the program
+  std::vector<BcInsn> code_;
+  std::vector<double> pool_;       ///< constants + pre-resolved costs
+  std::vector<CallSite> calls_;
+  std::size_t num_regs_ = 0;
+  std::size_t entry_pc_ = 0;
+  BytecodeStats stats_;
+};
+
+/// Executes a BytecodeProgram. Holds reusable scratch (virtual registers,
+/// pre-bound array bases, call argument buffer) so repeated runs perform
+/// no per-run allocations beyond the RunResult vectors. Not thread-safe;
+/// use one VM per thread over a shared program.
+class BytecodeVm {
+public:
+  explicit BytecodeVm(const BytecodeProgram& program,
+                      InterpreterOptions opts = {});
+
+  /// Execute from the entry block until return. Memory effects and the
+  /// RunResult match Interpreter::run bit for bit.
+  RunResult run(Memory& memory);
+
+  [[nodiscard]] const BytecodeProgram& program() const { return *program_; }
+  [[nodiscard]] const InterpreterOptions& options() const { return opts_; }
+  InterpreterOptions& options() { return opts_; }
+
+private:
+  [[nodiscard]] std::size_t checked_index(VarId array, double idx,
+                                          const Memory& memory) const;
+  [[nodiscard]] VarId pointee(VarId pointer, const Memory& memory) const;
+
+  const BytecodeProgram* program_;
+  InterpreterOptions opts_;
+  std::vector<double> regs_;
+  std::vector<double*> bases_;       ///< per-VarId array base, rebound per run
+  std::vector<std::size_t> sizes_;   ///< per-VarId array size
+  std::vector<double> call_args_;    ///< reused kCall argument buffer
+};
+
+}  // namespace peak::ir

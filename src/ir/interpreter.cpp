@@ -20,6 +20,18 @@ Memory Memory::for_function(const Function& fn) {
   return m;
 }
 
+void Memory::reset(const Function& fn) {
+  scalars.assign(fn.num_vars(), 0.0);
+  arrays.resize(fn.num_vars());
+  for (VarId v = 0; v < fn.num_vars(); ++v) {
+    const VarInfo& info = fn.var(v);
+    if (info.kind == VarKind::kArray)
+      arrays[v].assign(info.array_size, 0.0);
+    else if (info.kind == VarKind::kPointer)
+      scalars[v] = static_cast<double>(kNoVar);
+  }
+}
+
 Interpreter::Interpreter(const Function& fn, InterpreterOptions opts)
     : fn_(fn), opts_(std::move(opts)) {
   PEAK_CHECK(fn.finalized(), "interpret only finalized functions");
@@ -147,10 +159,8 @@ double Interpreter::eval(ExprId e, const Memory& memory) const {
   return 0.0;
 }
 
-namespace {
-
-double default_call(const std::string& callee,
-                    const std::vector<double>& args, Memory&) {
+double default_call_cost(const std::string& callee,
+                         const std::vector<double>& args, Memory&) {
   // Pure math intrinsics the kernels may use; results are discarded (calls
   // are statements), so only the cost matters here.
   (void)args;
@@ -159,8 +169,6 @@ double default_call(const std::string& callee,
     return 20.0;
   return 50.0;  // unknown external routine: flat cost
 }
-
-}  // namespace
 
 RunResult Interpreter::run(Memory& memory, const CostModel& cost) const {
   RunResult result;
@@ -207,7 +215,7 @@ RunResult Interpreter::run(Memory& memory, const CostModel& cost) const {
           for (ExprId a : s.args) args.push_back(eval(a, memory));
           result.cycles += opts_.call_handler
                                ? opts_.call_handler(s.callee, args, memory)
-                               : default_call(s.callee, args, memory);
+                               : default_call_cost(s.callee, args, memory);
           break;
         }
         case StmtKind::kCounter:

@@ -32,6 +32,12 @@ struct Memory {
   /// get their declared default size unless already sized larger.
   static Memory for_function(const Function& fn);
 
+  /// Restore the image to its for_function(fn) state without releasing
+  /// buffer capacity: zero scalars and arrays, re-null pointers. The hot
+  /// execution paths (one image per cached base run) reuse one pooled
+  /// image through this instead of reallocating the vector-of-vectors.
+  void reset(const Function& fn);
+
   double& scalar(VarId v) { return scalars[v]; }
   [[nodiscard]] double scalar(VarId v) const { return scalars[v]; }
   std::vector<double>& array(VarId v) { return arrays[v]; }
@@ -84,6 +90,12 @@ using WriteHook =
 /// charges a flat cost for anything else.
 using CallHandler = std::function<double(
     const std::string& callee, const std::vector<double>& args, Memory&)>;
+
+/// The pricing applied when no CallHandler is installed — shared by the
+/// tree-walking interpreter and the bytecode VM so both engines charge
+/// external calls identically.
+double default_call_cost(const std::string& callee,
+                         const std::vector<double>& args, Memory& memory);
 
 struct InterpreterOptions {
   /// Abort (throw) after this many executed statements; guards tests

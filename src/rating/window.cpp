@@ -1,9 +1,11 @@
 #include "rating/window.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.hpp"
 #include "stats/descriptive.hpp"
+#include "support/check.hpp"
 
 namespace peak::rating {
 
@@ -25,28 +27,80 @@ void WindowedRater::add(double sample) {
   static obs::Counter& samples_added = obs::counter("window.samples");
   samples_added.inc();
   samples_.push_back(sample);
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), sample),
+                 sample);
+  cache_valid_ = false;
 }
 
 std::size_t WindowedRater::outliers_dropped() const {
-  return stats::filter_outliers(samples_, policy_.outliers).dropped;
+  if (!cache_valid_) recompute();
+  return cached_dropped_;
+}
+
+/// Rebuild the cached rating. For the default MAD policy the filter is
+/// replicated here against the sorted mirror — same kept set and dropped
+/// count as stats::filter_outliers (covered by RatingMatchesFilterOutliers
+/// in tests/test_rating_window.cpp), without the three median selections
+/// and two temporary vectors per call. Other rules fall back to the
+/// generic filter.
+void WindowedRater::recompute() const {
+  Rating r;
+  r.samples = samples_.size();
+  cached_dropped_ = 0;
+  if (samples_.empty()) {
+    cached_ = r;
+    cache_valid_ = true;
+    return;
+  }
+
+  kept_scratch_.clear();
+  const stats::OutlierPolicy& policy = policy_.outliers;
+  if (policy.rule == stats::OutlierRule::kMad) {
+    PEAK_CHECK(policy.k > 0.0, "outlier threshold must be positive");
+    const double med = stats::median_sorted(sorted_);
+    const double spread =
+        samples_.size() < 3 ? 0.0 : stats::mad_sorted(sorted_);
+    if (spread == 0.0) {
+      kept_scratch_ = samples_;
+    } else {
+      const auto max_drop = static_cast<std::size_t>(
+          policy.max_drop_fraction * static_cast<double>(samples_.size()));
+      // Mirror of stats::mad_mask: drop in index order until the quota is
+      // hit, then keep everything from the first over-quota outlier on.
+      bool quota_hit = false;
+      for (const double x : samples_) {
+        if (!quota_hit && std::fabs(x - med) > policy.k * spread) {
+          if (cached_dropped_ >= max_drop)
+            quota_hit = true;
+          else {
+            ++cached_dropped_;
+            continue;
+          }
+        }
+        kept_scratch_.push_back(x);
+      }
+    }
+  } else {
+    const stats::OutlierResult filtered =
+        stats::filter_outliers(samples_, policy);
+    kept_scratch_ = filtered.kept;
+    cached_dropped_ = filtered.dropped;
+  }
+
+  r.eval = stats::mean(kept_scratch_);
+  r.var = stats::variance(kept_scratch_);
+  if (kept_scratch_.size() >= policy_.min_samples && r.eval != 0.0) {
+    const double sem = std::sqrt(
+        r.var / static_cast<double>(kept_scratch_.size()));
+    r.converged = sem / std::fabs(r.eval) < policy_.cv_threshold;
+  }
+  cached_ = r;
+  cache_valid_ = true;
 }
 
 Rating WindowedRater::rating() const {
-  Rating r;
-  r.samples = samples_.size();
-  if (samples_.empty()) return r;
-
-  const stats::OutlierResult filtered =
-      stats::filter_outliers(samples_, policy_.outliers);
-  r.eval = stats::mean(filtered.kept);
-  r.var = stats::variance(filtered.kept);
-
-  if (filtered.kept.size() >= policy_.min_samples && r.eval != 0.0) {
-    const double sem = std::sqrt(
-        r.var / static_cast<double>(filtered.kept.size()));
-    r.converged = sem / std::fabs(r.eval) < policy_.cv_threshold;
-  }
-  return r;
+  if (!cache_valid_) recompute();
+  return cached_;
 }
 
 }  // namespace peak::rating

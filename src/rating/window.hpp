@@ -35,7 +35,10 @@ public:
   void add(double sample);
 
   /// Current (EVAL, VAR) over the outlier-filtered window. EVAL = mean,
-  /// VAR = sample variance (paper Section 3, cases 1 and 3).
+  /// VAR = sample variance (paper Section 3, cases 1 and 3). Cached until
+  /// the next add(): the driver asks for the rating (directly and via
+  /// converged()) after every sample, and recomputing the MAD filter over
+  /// the whole window each time dominated tuning time.
   [[nodiscard]] Rating rating() const;
 
   [[nodiscard]] bool converged() const { return rating().converged; }
@@ -47,11 +50,24 @@ public:
   [[nodiscard]] const std::vector<double>& samples() const {
     return samples_;
   }
-  void reset() { samples_.clear(); }
+  void reset() {
+    samples_.clear();
+    sorted_.clear();
+    cache_valid_ = false;
+  }
 
 private:
+  void recompute() const;
+
   WindowPolicy policy_;
   std::vector<double> samples_;
+  /// Ascending mirror of samples_, maintained incrementally so the MAD
+  /// outlier filter needs no per-rating copy or selection.
+  std::vector<double> sorted_;
+  mutable std::vector<double> kept_scratch_;
+  mutable Rating cached_;
+  mutable std::size_t cached_dropped_ = 0;
+  mutable bool cache_valid_ = false;
 };
 
 }  // namespace peak::rating

@@ -77,6 +77,10 @@ public:
   /// Stable key for memoization (hex words of the bitset).
   [[nodiscard]] std::string key() const;
 
+  /// The underlying bit vector — hashed cache keys use its raw words
+  /// directly instead of formatting key() strings on hot paths.
+  [[nodiscard]] const support::DynBitset& bits() const { return bits_; }
+
   /// Human-readable "-fgcse -fstrict-aliasing ..." listing of enabled (or,
   /// with invert=true, disabled) flags.
   [[nodiscard]] std::string describe(const OptimizationSpace& space,

@@ -1,8 +1,27 @@
 #include "sim/exec_backend.hpp"
 
+#include <bit>
+
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace peak::sim {
+
+namespace {
+
+/// Statically cached metric references (registry lookups are mutex-guarded).
+struct BaseCacheMetrics {
+  obs::Counter& hit = obs::counter("sim.base_cache.hit");
+  obs::Counter& miss = obs::counter("sim.base_cache.miss");
+  obs::Counter& uncacheable = obs::counter("sim.base_cache.uncacheable");
+};
+
+BaseCacheMetrics& base_cache_metrics() {
+  static BaseCacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 SimExecutionBackend::SimExecutionBackend(const ir::Function& fn,
                                          TsTraits traits,
@@ -15,53 +34,78 @@ SimExecutionBackend::SimExecutionBackend(const ir::Function& fn,
       effects_(effects),
       interp_(fn),
       cost_model_(machine_),
+      program_(ir::BytecodeProgram::compile(fn, cost_model_)),
+      vm_(program_),
       noise_(machine.noise, support::Rng(seed)) {
   noise_.scale_sigma(traits_.noise_scale);
 }
 
 const SimExecutionBackend::BaseRun& SimExecutionBackend::base_run(
     const Invocation& inv) {
+  BaseCacheMetrics& metrics = base_cache_metrics();
   if (inv.context_determines_time) {
     auto it = base_cache_.find(inv.context);
-    if (it != base_cache_.end()) return it->second;
+    if (it != base_cache_.end()) {
+      metrics.hit.inc();
+      return it->second;
+    }
   } else if (inv.id != 0) {
     auto it = base_cache_by_id_.find(inv.id);
-    if (it != base_cache_by_id_.end()) return it->second;
+    if (it != base_cache_by_id_.end()) {
+      metrics.hit.inc();
+      return it->second;
+    }
   }
-  ir::Memory memory = ir::Memory::for_function(fn_);
+  pool_memory_.reset(fn_);
   PEAK_CHECK(static_cast<bool>(inv.bind), "invocation has no binder");
-  inv.bind(memory);
-  ir::RunResult run = interp_.run(memory, cost_model_);
+  inv.bind(pool_memory_);
+  ir::RunResult run = engine_ == ExecEngine::kBytecode
+                          ? vm_.run(pool_memory_)
+                          : interp_.run(pool_memory_, cost_model_);
 
   BaseRun base;
   base.cycles = run.cycles;
-  base.counters = std::move(run.counters);
+  base.counters = std::make_shared<const std::vector<std::uint64_t>>(
+      std::move(run.counters));
   if (inv.context_determines_time) {
+    metrics.miss.inc();
     auto [it, inserted] = base_cache_.emplace(inv.context, std::move(base));
     (void)inserted;
     return it->second;
   }
   if (inv.id != 0) {
+    metrics.miss.inc();
     auto [it, inserted] =
         base_cache_by_id_.emplace(inv.id, std::move(base));
     (void)inserted;
     return it->second;
   }
+  metrics.uncacheable.inc();
   scratch_base_ = std::move(base);
   return scratch_base_;
 }
 
+std::size_t SimExecutionBackend::MultKeyHash::operator()(
+    const MultKey& k) const {
+  // FNV-1a over the flag words and the context value bit patterns.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(k.flag_words.size());
+  for (std::uint64_t w : k.flag_words) mix(w);
+  mix(k.context.size());
+  for (double v : k.context) mix(std::bit_cast<std::uint64_t>(v));
+  return static_cast<std::size_t>(h);
+}
+
 double SimExecutionBackend::multiplier(const search::FlagConfig& cfg,
                                        const Invocation& inv) {
-  std::string key = cfg.key();
   const bool ctx_sensitive = effects_.context_sensitive(traits_);
-  if (ctx_sensitive) {
-    key += '|';
-    for (double v : inv.context) {
-      key += std::to_string(v);
-      key += ',';
-    }
-  }
+  MultKey key;
+  key.flag_words = cfg.bits().words();
+  if (ctx_sensitive) key.context = inv.context;
   auto it = mult_cache_.find(key);
   if (it != mult_cache_.end()) return it->second;
   const double m =

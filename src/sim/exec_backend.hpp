@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "ir/bytecode.hpp"
 #include "ir/interpreter.hpp"
 #include "search/opt_config.hpp"
 #include "sim/cache_model.hpp"
@@ -53,7 +56,19 @@ struct Invocation {
 
 struct InvocationResult {
   double time = 0.0;  ///< simulated cycles, noise included
-  std::vector<std::uint64_t> counters;  ///< instrumentation counters
+  /// Instrumentation counters. Shared with the backend's base-run cache
+  /// (counters are a function of the invocation's data, not of the flag
+  /// configuration), so repeated invocations under different configs do
+  /// not copy the vector. Never null after invoke(). Do not mutate.
+  std::shared_ptr<const std::vector<std::uint64_t>> counters;
+};
+
+/// Which engine executes base runs. Both produce bit-identical results
+/// (enforced by tests/test_ir_bytecode.cpp); the tree-walker is kept as
+/// the reference oracle and for debugging.
+enum class ExecEngine {
+  kBytecode,    ///< compiled dispatch loop (default)
+  kTreeWalker,  ///< recursive ir::Interpreter
 };
 
 struct RbrOptions {
@@ -80,6 +95,10 @@ public:
   SimExecutionBackend(const ir::Function& fn, TsTraits traits,
                       const MachineModel& machine,
                       const FlagEffectModel& effects, std::uint64_t seed);
+
+  /// Non-copyable: the VM holds a pointer into the member program.
+  SimExecutionBackend(const SimExecutionBackend&) = delete;
+  SimExecutionBackend& operator=(const SimExecutionBackend&) = delete;
 
   /// Production-like execution of one invocation under `cfg`.
   InvocationResult invoke(const search::FlagConfig& cfg,
@@ -145,12 +164,42 @@ public:
     mult_cache_.clear();
   }
 
+  /// Select the base-run execution engine. The switch exists so tests can
+  /// cross-check the engines against each other; production paths keep the
+  /// bytecode default.
+  void set_engine(ExecEngine engine) { engine_ = engine; }
+  [[nodiscard]] ExecEngine engine() const { return engine_; }
+
 private:
   struct BaseRun {
     double cycles = 0.0;
-    std::vector<std::uint64_t> counters;
+    /// Shared with every InvocationResult derived from this base run.
+    std::shared_ptr<const std::vector<std::uint64_t>> counters;
   };
 
+  /// Hashed multiplier-cache key: flag bitset words plus (only when the
+  /// effect model is context-sensitive for this section) the raw context
+  /// values. Replaces string concatenation of FlagConfig::key() and
+  /// std::to_string(double) on the per-invocation hot path.
+  struct MultKey {
+    std::vector<std::uint64_t> flag_words;
+    std::vector<double> context;
+    bool operator==(const MultKey&) const = default;
+  };
+  struct MultKeyHash {
+    std::size_t operator()(const MultKey& k) const;
+  };
+
+  /// Returns the interpreter result for this invocation's data under the
+  /// machine cost model, independent of flags/noise/warmth.
+  ///
+  /// Caching contract: results are memoized by context when
+  /// `context_determines_time`, else by non-zero `id`. An invocation with
+  /// `id == 0 && !context_determines_time` is *uncacheable* and re-executes
+  /// on every call — deliberate for one-shot probes, silent waste when a
+  /// trace producer forgets to assign ids. The obs counters
+  /// `sim.base_cache.{hit,miss,uncacheable}` make the split visible;
+  /// tests assert Table-1 workload traces never take the uncacheable path.
   const BaseRun& base_run(const Invocation& inv);
   double multiplier(const search::FlagConfig& cfg, const Invocation& inv);
   double checkpoint_cost(std::size_t bytes) const;
@@ -169,13 +218,21 @@ private:
   const FlagEffectModel& effects_;
   ir::Interpreter interp_;
   MachineCostModel cost_model_;
+  /// fn_ lowered once against cost_model_ (which is fixed per backend);
+  /// every base run reuses the compiled program.
+  ir::BytecodeProgram program_;
+  ir::BytecodeVm vm_;
+  ExecEngine engine_ = ExecEngine::kBytecode;
   Perturbation noise_;
   WarmthModel warmth_;
 
   std::map<std::vector<double>, BaseRun> base_cache_;
   std::map<std::uint64_t, BaseRun> base_cache_by_id_;
-  std::map<std::string, double> mult_cache_;
+  std::unordered_map<MultKey, double, MultKeyHash> mult_cache_;
   BaseRun scratch_base_;
+  /// Pooled memory image for base-run cache misses: reset() reuses the
+  /// buffers instead of reallocating the vector-of-vectors per miss.
+  ir::Memory pool_memory_;
 
   std::size_t full_input_bytes_ = 4096;
   std::size_t modified_input_bytes_ = 1024;

@@ -45,6 +45,43 @@ double mad(std::span<const double> xs) {
   return 1.4826 * median(dev);
 }
 
+double median_sorted(std::span<const double> sorted) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double mad_sorted(std::span<const double> sorted) {
+  if (sorted.empty()) return 0.0;
+  const double med = median_sorted(sorted);
+  const std::size_t n = sorted.size();
+  // Deviations |x - med| of the left run (x <= med) grow toward index 0,
+  // of the right run (x > med) toward index n-1. Merge the two runs from
+  // the split outward until the middle order statistics are reached.
+  std::size_t l = static_cast<std::size_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), med) - sorted.begin());
+  std::size_t r = l;
+  const std::size_t mid = n / 2;
+  double prev = 0.0;
+  double cur = 0.0;
+  for (std::size_t k = 0; k <= mid; ++k) {
+    prev = cur;
+    const double dl =
+        l > 0 ? med - sorted[l - 1] : std::numeric_limits<double>::infinity();
+    const double dr =
+        r < n ? sorted[r] - med : std::numeric_limits<double>::infinity();
+    if (dl <= dr) {
+      cur = dl;
+      --l;
+    } else {
+      cur = dr;
+      ++r;
+    }
+  }
+  return 1.4826 * (n % 2 == 1 ? cur : 0.5 * (prev + cur));
+}
+
 double min(std::span<const double> xs) {
   if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   return *std::min_element(xs.begin(), xs.end());

@@ -27,6 +27,19 @@ double median(std::span<const double> xs);
 /// normal data. Robust spread measure used by the outlier filter.
 double mad(std::span<const double> xs);
 
+/// Median of an already-sorted (ascending) span, O(1) and allocation-free.
+/// Same value as median() on any permutation of the data.
+double median_sorted(std::span<const double> sorted);
+
+/// mad() of an already-sorted (ascending) span without copying: the
+/// absolute deviations from the median form two sorted runs around the
+/// median split, so the middle order statistics are selected by walking
+/// the runs outward. O(n), allocation-free. The windowed rater keeps its
+/// samples sorted incrementally and calls this once per rating — with
+/// mad()'s copy + nth_element this was the single hottest path in the
+/// whole tuner.
+double mad_sorted(std::span<const double> sorted);
+
 double min(std::span<const double> xs);
 double max(std::span<const double> xs);
 

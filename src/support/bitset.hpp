@@ -137,6 +137,13 @@ public:
     }
   }
 
+  /// Raw 64-bit backing words (trailing bits beyond size() are zero).
+  /// Cheap structural identity for hashing: equal bitsets of equal size
+  /// have equal words.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
   [[nodiscard]] std::vector<std::size_t> to_indices() const {
     std::vector<std::size_t> out;
     out.reserve(count());

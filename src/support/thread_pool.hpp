@@ -8,8 +8,10 @@
 /// for results — predictable behaviour matters more here than peak queue
 /// throughput, since tasks are milliseconds long.
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -67,24 +69,46 @@ public:
   }
 
   /// Run fn(i) for i in [begin, end), blocking until all complete.
-  /// Exceptions from any iteration are rethrown (the first one observed).
+  ///
+  /// Iterations are claimed dynamically from an atomic counter rather than
+  /// pre-assigned in fixed chunks: iteration costs are routinely skewed
+  /// (tuning sections differ wildly in trace length), and static chunking
+  /// strands the iterations queued behind one slow index while other
+  /// workers sit idle. The calling thread participates in the drain, so
+  /// every iteration runs even when called from inside a pool worker.
+  ///
+  /// Every iteration executes even if one throws; the first exception
+  /// observed is rethrown after all iterations complete.
   template <typename Fn>
   void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
     if (begin >= end) return;
     const std::size_t n = end - begin;
-    const std::size_t chunks = std::min<std::size_t>(n, size() * 4);
-    const std::size_t per = (n + chunks - 1) / chunks;
+    std::atomic<std::size_t> next{begin};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto drain = [&next, end, &fn, &first_error, &error_mutex] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    // One helper per worker is enough: each drains until the counter runs
+    // out. The &-captures outlive the helpers because we join the futures
+    // before returning.
+    const std::size_t helpers = std::min<std::size_t>(n, size());
     std::vector<std::future<void>> futs;
-    futs.reserve(chunks);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t lo = begin + c * per;
-      const std::size_t hi = std::min(end, lo + per);
-      if (lo >= hi) break;
-      futs.push_back(submit([lo, hi, &fn] {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      }));
-    }
+    futs.reserve(helpers);
+    for (std::size_t c = 0; c < helpers; ++c)
+      futs.push_back(submit(drain));
+    drain();  // the caller works instead of idling
     for (auto& f : futs) f.get();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
 private:

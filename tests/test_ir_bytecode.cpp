@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/bytecode.hpp"
+#include "ir/fuzz.hpp"
+#include "ir/interpreter.hpp"
+#include "support/check.hpp"
+
+namespace peak::ir {
+namespace {
+
+// The bytecode VM's contract is bit-identical observable behavior vs the
+// tree-walking interpreter: RunResult (cycles compared as bit patterns,
+// not with tolerance), final memory image, write-hook call sequence, call
+// handler invocations, and error behavior. These tests enforce that
+// contract over >= 500 random programs plus targeted hand-built cases.
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// PEAK_CHECK prefixes the thrown message with the failing expression and
+/// source location; the engine contract covers the semantic payload after
+/// the em dash separator.
+std::string error_payload(const std::string& what) {
+  const std::size_t pos = what.rfind("— ");
+  return pos == std::string::npos ? what : what.substr(pos);
+}
+
+struct WriteEvent {
+  VarId array;
+  std::size_t index;
+  std::uint64_t old_bits;
+  bool operator==(const WriteEvent&) const = default;
+};
+
+void expect_same_result(const RunResult& a, const RunResult& b,
+                        const std::string& tag) {
+  EXPECT_EQ(bits(a.cycles), bits(b.cycles)) << tag << ": cycles "
+                                            << a.cycles << " vs " << b.cycles;
+  EXPECT_EQ(a.block_entries, b.block_entries) << tag;
+  EXPECT_EQ(a.counters, b.counters) << tag;
+  EXPECT_EQ(a.steps, b.steps) << tag;
+}
+
+void expect_same_memory(const Memory& a, const Memory& b,
+                        const std::string& tag) {
+  ASSERT_EQ(a.scalars.size(), b.scalars.size()) << tag;
+  for (std::size_t i = 0; i < a.scalars.size(); ++i)
+    EXPECT_EQ(bits(a.scalars[i]), bits(b.scalars[i]))
+        << tag << ": scalar " << i;
+  ASSERT_EQ(a.arrays.size(), b.arrays.size()) << tag;
+  for (std::size_t v = 0; v < a.arrays.size(); ++v) {
+    ASSERT_EQ(a.arrays[v].size(), b.arrays[v].size()) << tag << ": arr " << v;
+    for (std::size_t i = 0; i < a.arrays[v].size(); ++i)
+      EXPECT_EQ(bits(a.arrays[v][i]), bits(b.arrays[v][i]))
+          << tag << ": arr " << v << "[" << i << "]";
+  }
+}
+
+/// Run `fn` under both engines from identical memory images and require
+/// bit-identical results, memory effects, and write-hook sequences.
+void expect_engines_agree(const Function& fn, std::uint64_t mem_seed,
+                          const CostModel& cost, bool record_blocks,
+                          const std::string& tag) {
+  std::vector<WriteEvent> interp_writes;
+  std::vector<WriteEvent> vm_writes;
+
+  InterpreterOptions iopts;
+  iopts.record_block_entries = record_blocks;
+  iopts.write_hook = [&](VarId a, std::size_t i, double old) {
+    interp_writes.push_back({a, i, bits(old)});
+  };
+  Memory interp_mem = fuzz_memory(fn, mem_seed);
+  const RunResult ir = Interpreter(fn, iopts).run(interp_mem, cost);
+
+  InterpreterOptions vopts;
+  vopts.record_block_entries = record_blocks;
+  vopts.write_hook = [&](VarId a, std::size_t i, double old) {
+    vm_writes.push_back({a, i, bits(old)});
+  };
+  const BytecodeProgram prog = BytecodeProgram::compile(fn, cost);
+  Memory vm_mem = fuzz_memory(fn, mem_seed);
+  const RunResult vr = BytecodeVm(prog, vopts).run(vm_mem);
+
+  expect_same_result(ir, vr, tag);
+  expect_same_memory(interp_mem, vm_mem, tag);
+  EXPECT_EQ(interp_writes.size(), vm_writes.size()) << tag;
+  EXPECT_TRUE(interp_writes == vm_writes) << tag << ": write sequences differ";
+
+  // Folding disabled must also agree (exercises the checked opcodes on the
+  // same programs).
+  BytecodeOptions no_fold;
+  no_fold.fold_bounds_checks = false;
+  const BytecodeProgram prog_nf = BytecodeProgram::compile(fn, cost, no_fold);
+  Memory nf_mem = fuzz_memory(fn, mem_seed);
+  const RunResult nr = BytecodeVm(prog_nf, {}).run(nf_mem);
+  EXPECT_EQ(bits(ir.cycles), bits(nr.cycles)) << tag << " (no fold)";
+  EXPECT_EQ(ir.steps, nr.steps) << tag << " (no fold)";
+  expect_same_memory(interp_mem, nf_mem, tag + " (no fold)");
+}
+
+/// Non-trivial block pricing so cycle accumulation order is actually
+/// exercised (the unit model prices many blocks identically).
+class SkewedCostModel final : public CostModel {
+public:
+  [[nodiscard]] double block_entry_cost(const Function& fn,
+                                        BlockId block) const override {
+    return 1.0 + 0.37 * static_cast<double>(block) +
+           0.061 * static_cast<double>(fn.block(block).traits.total_ops());
+  }
+  [[nodiscard]] double counter_cost() const override { return 2.25; }
+};
+
+FuzzOptions variant_options(int variant) {
+  FuzzOptions o;
+  switch (variant) {
+    case 0:
+      break;  // defaults
+    case 1:   // deeper control flow
+      o.max_depth = 4;
+      o.max_stmts = 7;
+      o.loop_prob = 0.4;
+      break;
+    case 2:  // pointer/array heavy, small buffers
+      o.arrays = 3;
+      o.pointers = 2;
+      o.array_size = 8;
+      break;
+    default:  // expression heavy
+      o.max_expr_depth = 5;
+      o.max_stmts = 6;
+      o.if_prob = 0.4;
+      break;
+  }
+  return o;
+}
+
+// 125 seeds x 4 fuzz-option variants = 500 distinct random programs.
+class BytecodeDifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BytecodeDifferentialFuzz, MatchesInterpreterBitForBit) {
+  const int seed = GetParam();
+  for (int variant = 0; variant < 4; ++variant) {
+    const std::uint64_t fn_seed =
+        static_cast<std::uint64_t>(seed) * 4 + variant + 17;
+    const Function fn = fuzz_function(fn_seed, variant_options(variant));
+    const std::string tag =
+        "seed " + std::to_string(seed) + " variant " + std::to_string(variant);
+    expect_engines_agree(fn, fn_seed + 5, UnitCostModel{}, true, tag);
+  }
+}
+
+TEST_P(BytecodeDifferentialFuzz, MatchesUnderSkewedCostModel) {
+  const int seed = GetParam();
+  const std::uint64_t fn_seed = static_cast<std::uint64_t>(seed) + 9000;
+  const Function fn = fuzz_function(fn_seed, variant_options(seed % 4));
+  expect_engines_agree(fn, fn_seed, SkewedCostModel{}, true,
+                       "skewed seed " + std::to_string(seed));
+}
+
+TEST_P(BytecodeDifferentialFuzz, MatchesWithoutBlockRecording) {
+  const int seed = GetParam();
+  const std::uint64_t fn_seed = static_cast<std::uint64_t>(seed) + 21000;
+  const Function fn = fuzz_function(fn_seed, variant_options(seed % 4));
+  expect_engines_agree(fn, fn_seed + 1, UnitCostModel{}, false,
+                       "noblocks seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, BytecodeDifferentialFuzz,
+                         ::testing::Range(0, 125));
+
+TEST(Bytecode, CallHandlerParityIncludingMemoryMutation) {
+  FunctionBuilder b("with_calls");
+  const VarId n = b.param_scalar("n");
+  const VarId a = b.array("a", 16, true);
+  const VarId i = b.scalar("i");
+  b.counter(0);
+  b.for_loop(i, b.c(0.0), b.v(n), [&] {
+    b.call("sin", {b.v(i), b.at(a, b.mod(b.v(i), b.c(16.0)))});
+    b.counter(1);
+    b.store(a, b.mod(b.v(i), b.c(16.0)), b.add(b.v(i), b.c(0.5)));
+  });
+  b.call("mystery", {b.v(n)});
+  const Function fn = b.build();
+
+  struct CallEvent {
+    std::string callee;
+    std::vector<double> args;
+    bool operator==(const CallEvent&) const = default;
+  };
+
+  auto run_engine = [&](bool use_vm, std::vector<CallEvent>& calls,
+                        Memory& mem) {
+    InterpreterOptions opts;
+    // The handler mutates memory so the VM must observe handler writes and
+    // keep working if a buffer is reallocated under it.
+    opts.call_handler = [&](const std::string& callee,
+                            const std::vector<double>& args,
+                            Memory& m) -> double {
+      calls.push_back({callee, args});
+      m.scalar(i) = m.scalar(i);  // benign touch
+      if (callee == "mystery") m.array(a).resize(24, -1.0);
+      m.array(a)[static_cast<std::size_t>(calls.size()) % 16] += 0.25;
+      return 7.5 + static_cast<double>(args.size());
+    };
+    mem = Memory::for_function(fn);
+    mem.scalar(n) = 6.0;
+    if (use_vm) {
+      const BytecodeProgram prog = BytecodeProgram::compile(fn);
+      return BytecodeVm(prog, opts).run(mem);
+    }
+    return Interpreter(fn, opts).run(mem);
+  };
+
+  std::vector<CallEvent> icalls, vcalls;
+  Memory imem, vmem;
+  const RunResult ir = run_engine(false, icalls, imem);
+  const RunResult vr = run_engine(true, vcalls, vmem);
+  expect_same_result(ir, vr, "call handler");
+  expect_same_memory(imem, vmem, "call handler");
+  EXPECT_TRUE(icalls == vcalls);
+  EXPECT_EQ(ir.counters.size(), 2u);
+  EXPECT_EQ(ir.counters[1], 6u);
+}
+
+TEST(Bytecode, DefaultCallCostParity) {
+  FunctionBuilder b("intrinsics");
+  const VarId x = b.scalar("x", true);
+  b.call("sin", {b.c(1.0)});
+  b.call("log", {b.c(2.0)});
+  b.call("frobnicate", {b.c(3.0), b.c(4.0)});
+  b.assign(x, b.c(1.0));
+  const Function fn = b.build();
+
+  Memory m1 = Memory::for_function(fn);
+  Memory m2 = Memory::for_function(fn);
+  const RunResult ir = Interpreter(fn).run(m1);
+  const RunResult vr = BytecodeVm(BytecodeProgram::compile(fn)).run(m2);
+  expect_same_result(ir, vr, "default call cost");
+  // 20 + 20 + 50 from the shared default handler.
+  EXPECT_EQ(ir.cycles, vr.cycles);
+}
+
+TEST(Bytecode, StepLimitFiresIdentically) {
+  FunctionBuilder b("long_loop");
+  const VarId i = b.scalar("i");
+  const VarId s = b.scalar("s", true);
+  b.for_loop(i, b.c(0.0), b.c(1.0e6), [&] {
+    b.assign(s, b.add(b.v(s), b.v(i)));
+  });
+  const Function fn = b.build();
+
+  InterpreterOptions opts;
+  opts.max_steps = 1234;
+
+  Memory imem = Memory::for_function(fn);
+  std::string interp_msg;
+  try {
+    Interpreter(fn, opts).run(imem);
+    FAIL() << "interpreter did not hit the step limit";
+  } catch (const support::CheckError& e) {
+    interp_msg = e.what();
+  }
+
+  Memory vmem = Memory::for_function(fn);
+  std::string vm_msg;
+  try {
+    BytecodeVm(BytecodeProgram::compile(fn), opts).run(vmem);
+    FAIL() << "VM did not hit the step limit";
+  } catch (const support::CheckError& e) {
+    vm_msg = e.what();
+  }
+
+  EXPECT_EQ(error_payload(interp_msg), error_payload(vm_msg));
+  EXPECT_NE(interp_msg.find("interpreter step limit exceeded in long_loop"),
+            std::string::npos);
+  // Both engines stopped after the same statement prefix.
+  expect_same_memory(imem, vmem, "step limit");
+}
+
+TEST(Bytecode, OutOfBoundsAndDivByZeroParity) {
+  {
+    FunctionBuilder b("oob");
+    const VarId a = b.array("a", 8, true);
+    const VarId k = b.param_scalar("k");
+    b.store(a, b.v(k), b.c(1.0));
+    const Function fn = b.build();
+
+    auto message_of = [&](auto&& run) -> std::string {
+      try {
+        run();
+      } catch (const support::CheckError& e) {
+        return e.what();
+      }
+      return "(no error)";
+    };
+    Memory m1 = Memory::for_function(fn);
+    m1.scalar(k) = 100.0;
+    Memory m2 = Memory::for_function(fn);
+    m2.scalar(k) = 100.0;
+    const std::string im =
+        message_of([&] { Interpreter(fn).run(m1); });
+    const std::string vm =
+        message_of([&] { BytecodeVm(BytecodeProgram::compile(fn)).run(m2); });
+    EXPECT_EQ(error_payload(im), error_payload(vm));
+    EXPECT_NE(im.find("array index out of bounds: a[100] size 8 in oob"),
+              std::string::npos);
+  }
+  {
+    FunctionBuilder b("divz");
+    const VarId x = b.scalar("x", true);
+    const VarId d = b.param_scalar("d");
+    b.assign(x, b.div(b.c(1.0), b.v(d)));
+    const Function fn = b.build();
+    Memory m1 = Memory::for_function(fn);
+    Memory m2 = Memory::for_function(fn);
+    std::string im, vm;
+    try {
+      Interpreter(fn).run(m1);
+    } catch (const support::CheckError& e) {
+      im = e.what();
+    }
+    try {
+      BytecodeVm(BytecodeProgram::compile(fn)).run(m2);
+    } catch (const support::CheckError& e) {
+      vm = e.what();
+    }
+    EXPECT_EQ(error_payload(im), error_payload(vm));
+    EXPECT_NE(im.find("division by zero in divz"), std::string::npos);
+  }
+}
+
+TEST(Bytecode, ShortCircuitSkipsRhsErrors) {
+  // (0 && 1/0) and (1 || 1/0) must not raise in either engine; the
+  // non-short-circuit variants must raise in both.
+  FunctionBuilder b("shortcircuit");
+  const VarId x = b.scalar("x", true);
+  const VarId y = b.scalar("y", true);
+  b.assign(x, b.land(b.c(0.0), b.div(b.c(1.0), b.c(0.0))));
+  b.assign(y, b.lor(b.c(1.0), b.div(b.c(1.0), b.c(0.0))));
+  const Function fn = b.build();
+
+  Memory m1 = Memory::for_function(fn);
+  Memory m2 = Memory::for_function(fn);
+  const RunResult ir = Interpreter(fn).run(m1);
+  const RunResult vr = BytecodeVm(BytecodeProgram::compile(fn)).run(m2);
+  expect_same_result(ir, vr, "short circuit");
+  expect_same_memory(m1, m2, "short circuit");
+  EXPECT_EQ(m1.scalar(x), 0.0);
+  EXPECT_EQ(m1.scalar(y), 1.0);
+}
+
+TEST(Bytecode, FoldsProvablySafeBoundsChecks) {
+  FunctionBuilder b("foldable");
+  const VarId a = b.array("a", 16, true);
+  b.store(a, b.c(3.0), b.c(1.0));                    // constant: foldable
+  b.store(a, b.add(b.c(2.0), b.c(5.0)), b.c(2.0));   // const arith: foldable
+  const Function fn = b.build();
+
+  const BytecodeProgram folded = BytecodeProgram::compile(fn);
+  EXPECT_EQ(folded.stats().array_accesses, 2u);
+  EXPECT_EQ(folded.stats().bounds_checks_folded, 2u);
+
+  BytecodeOptions off;
+  off.fold_bounds_checks = false;
+  const BytecodeProgram unfolded = BytecodeProgram::compile(fn, off);
+  EXPECT_EQ(unfolded.stats().bounds_checks_folded, 0u);
+
+  Memory m1 = Memory::for_function(fn);
+  Memory m2 = Memory::for_function(fn);
+  BytecodeVm(folded).run(m1);
+  BytecodeVm(unfolded).run(m2);
+  expect_same_memory(m1, m2, "fold vs no fold");
+}
+
+TEST(Bytecode, NeverFoldsUnprovableChecks) {
+  FunctionBuilder b("unprovable");
+  const VarId a = b.array("a", 16, true);
+  const VarId k = b.param_scalar("k");  // unbounded at entry
+  b.store(a, b.v(k), b.c(1.0));
+  const Function fn = b.build();
+  const BytecodeProgram prog = BytecodeProgram::compile(fn);
+  EXPECT_EQ(prog.stats().array_accesses, 1u);
+  EXPECT_EQ(prog.stats().bounds_checks_folded, 0u);
+}
+
+TEST(Bytecode, DisassembleListsEveryInstruction) {
+  const Function fn = fuzz_function(42);
+  const BytecodeProgram prog = BytecodeProgram::compile(fn);
+  const std::string listing = prog.disassemble();
+  EXPECT_NE(listing.find(fn.name()), std::string::npos);
+  EXPECT_GT(prog.stats().instructions, 0u);
+  EXPECT_EQ(prog.code().size(), prog.stats().instructions);
+}
+
+}  // namespace
+}  // namespace peak::ir

@@ -2,6 +2,7 @@
 
 #include "rating/baselines.hpp"
 #include "rating/window.hpp"
+#include "stats/descriptive.hpp"
 #include "support/rng.hpp"
 
 namespace peak::rating {
@@ -99,6 +100,43 @@ TEST(ContextObliviousRater, IsAPlainWindow) {
   ContextObliviousRater rater;
   for (int i = 0; i < 20; ++i) rater.add(5.0);
   EXPECT_NEAR(rater.rating().eval, 5.0, 1e-12);
+}
+
+/// The rater's fast MAD path (sorted mirror + cached rating) must agree
+/// exactly with the reference computation it replaced: filter_outliers
+/// over the raw window, mean/variance over the kept samples.
+TEST(WindowedRater, RatingMatchesFilterOutliers) {
+  support::Rng rng(9);
+  WindowPolicy policy;
+  WindowedRater rater(policy);
+  for (int i = 0; i < 400; ++i) {
+    // Lognormal noise with occasional large spikes so the MAD filter
+    // actually drops samples (and eventually hits its drop quota).
+    double x = 100.0 * rng.lognormal(0.05);
+    if (i % 17 == 0) x *= 10.0;
+    rater.add(x);
+
+    const stats::OutlierResult ref =
+        stats::filter_outliers(rater.samples(), policy.outliers);
+    const Rating r = rater.rating();
+    EXPECT_EQ(stats::mean(ref.kept), r.eval) << "i=" << i;
+    EXPECT_EQ(stats::variance(ref.kept), r.var) << "i=" << i;
+    EXPECT_EQ(rater.outliers_dropped(), ref.dropped) << "i=" << i;
+  }
+}
+
+/// reset() must clear the sorted mirror and cached rating along with the
+/// samples, not just the sample list.
+TEST(WindowedRater, ResetClearsDerivedState) {
+  WindowedRater rater;
+  for (double x : {5.0, 500.0, 5.0, 5.0}) rater.add(x);
+  ASSERT_GT(rater.rating().eval, 0.0);
+  rater.reset();
+  EXPECT_EQ(rater.size(), 0u);
+  EXPECT_EQ(rater.rating().samples, 0u);
+  EXPECT_EQ(rater.rating().eval, 0.0);
+  rater.add(7.0);
+  EXPECT_DOUBLE_EQ(rater.rating().eval, 7.0);
 }
 
 /// Property: the standard deviation of window means shrinks like 1/sqrt(w)

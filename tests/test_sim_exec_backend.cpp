@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "sim/exec_backend.hpp"
 #include "stats/descriptive.hpp"
 #include "workloads/workload.hpp"
@@ -143,6 +144,88 @@ TEST_F(BackendTest, AccumulatedTimeGrowsWithWork) {
   EXPECT_GT(backend->accumulated_time() - after_one, 2.0 * after_one);
   backend->reset_accumulated_time();
   EXPECT_DOUBLE_EQ(backend->accumulated_time(), 0.0);
+}
+
+TEST_F(BackendTest, EnginesProduceBitIdenticalTimes) {
+  // Same seed, same call sequence: the bytecode engine (default) and the
+  // tree-walker must agree bitwise — base cycles feed multiplicative
+  // noise, so even 1-ulp drift would change every sampled time.
+  auto vm_backend = make_backend(77);
+  auto tree_backend = make_backend(77);
+  tree_backend->set_engine(ExecEngine::kTreeWalker);
+  ASSERT_EQ(vm_backend->engine(), ExecEngine::kBytecode);
+
+  const auto& space = effects_.space();
+  const search::FlagConfig o3 = search::o3_config(space);
+  const search::FlagConfig alt =
+      o3.with(*space.index_of("-fschedule-insns"), false);
+
+  for (std::size_t i = 0; i < 4 && i < trace_.invocations.size(); ++i) {
+    const sim::Invocation& inv = trace_.invocations[i];
+    for (const auto& cfg : {o3, alt}) {
+      EXPECT_EQ(vm_backend->expected_time(cfg, inv),
+                tree_backend->expected_time(cfg, inv));
+      const InvocationResult a = vm_backend->invoke(cfg, inv);
+      const InvocationResult b = tree_backend->invoke(cfg, inv);
+      EXPECT_EQ(a.time, b.time);
+      ASSERT_TRUE(a.counters && b.counters);
+      EXPECT_EQ(*a.counters, *b.counters);
+    }
+  }
+  EXPECT_EQ(vm_backend->accumulated_time(), tree_backend->accumulated_time());
+}
+
+TEST_F(BackendTest, RepeatedInvocationsShareCountersStorage) {
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+  const InvocationResult a = backend->invoke(o3, trace_.invocations[0]);
+  const InvocationResult b = backend->invoke(o3, trace_.invocations[0]);
+  // Both results alias the cached base run's counter vector: no per-invoke
+  // copy of the (potentially large) instrumentation array.
+  EXPECT_EQ(a.counters.get(), b.counters.get());
+}
+
+TEST_F(BackendTest, BaseCacheObsCountersTrackHitsMissesUncacheable) {
+  obs::Counter& hit = obs::counter("sim.base_cache.hit");
+  obs::Counter& miss = obs::counter("sim.base_cache.miss");
+  obs::Counter& uncacheable = obs::counter("sim.base_cache.uncacheable");
+
+  auto backend = make_backend();
+  const search::FlagConfig o3 = search::o3_config(effects_.space());
+
+  const auto h0 = hit.value();
+  const auto m0 = miss.value();
+  backend->invoke(o3, trace_.invocations[0]);
+  EXPECT_EQ(miss.value(), m0 + 1);  // first sight of this context
+  backend->invoke(o3, trace_.invocations[0]);
+  backend->expected_time(o3, trace_.invocations[0]);
+  EXPECT_EQ(hit.value(), h0 + 2);
+  EXPECT_EQ(miss.value(), m0 + 1);
+
+  // id == 0 with data-dependent timing cannot be cached: every call
+  // re-executes and says so.
+  sim::Invocation oneshot = trace_.invocations[0];
+  oneshot.id = 0;
+  oneshot.context_determines_time = false;
+  const auto u0 = uncacheable.value();
+  backend->invoke(o3, oneshot);
+  backend->invoke(o3, oneshot);
+  EXPECT_EQ(uncacheable.value(), u0 + 2);
+}
+
+TEST(BackendTraces, Table1WorkloadInvocationsAreAlwaysCacheable) {
+  // Guards the silent-recompute trap documented on base_run(): a trace
+  // producer that leaves id == 0 on a data-dependent invocation makes
+  // every rating run re-interpret the section. No shipped workload trace
+  // may do that unintentionally.
+  for (const auto& workload : workloads::all_workloads()) {
+    const workloads::Trace trace =
+        workload->trace(workloads::DataSet::kTrain, 3);
+    for (const sim::Invocation& inv : trace.invocations) {
+      EXPECT_TRUE(inv.context_determines_time || inv.id != 0)
+          << workload->full_name() << " has an uncacheable invocation";
+    }
+  }
 }
 
 TEST_F(BackendTest, ImprovedRbrAlternatesOrder) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -81,6 +82,36 @@ TEST(Welford, MergeEqualsSinglePass) {
   EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
   EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
   EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(SortedVariants, MedianSortedMatchesMedian) {
+  support::Rng rng(11);
+  for (int n = 0; n <= 64; ++n) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+      xs.push_back(rng.uniform(0, 10));  // duplicates likely
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(median_sorted(sorted), median(xs)) << "n=" << n;
+  }
+}
+
+TEST(SortedVariants, MadSortedMatchesMad) {
+  support::Rng rng(12);
+  for (int n = 0; n <= 64; ++n) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+      xs.push_back(rng.lognormal(0.5) * (i % 5 == 0 ? 100.0 : 1.0));
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(mad_sorted(sorted), mad(xs)) << "n=" << n;
+  }
+}
+
+TEST(SortedVariants, MadSortedHandlesConstantData) {
+  const std::vector<double> xs(9, 4.2);
+  EXPECT_DOUBLE_EQ(mad_sorted(xs), 0.0);
+  EXPECT_DOUBLE_EQ(median_sorted(xs), 4.2);
 }
 
 TEST(Welford, MergeWithEmpty) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -39,6 +41,49 @@ TEST(ThreadPool, ExceptionPropagates) {
   ThreadPool pool(2);
   auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForSurvivesSkewedTaskCosts) {
+  // Regression test for static chunking. Index 0 cannot finish until every
+  // other index has run. With pre-assigned chunks (e.g. 17 indices over 8
+  // chunks of 3), indices 1 and 2 sit *behind* index 0 in its chunk and
+  // can never run — deadlock. Dynamic claiming lets the other workers (and
+  // the calling thread) drain indices 1..16 while index 0 waits.
+  ThreadPool pool(2);
+  constexpr std::size_t kN = 17;
+  std::atomic<std::size_t> others_done{0};
+  std::atomic<bool> timed_out{false};
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    if (i != 0) {
+      others_done.fetch_add(1);
+      return;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (others_done.load() < kN - 1) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        timed_out.store(true);  // fail instead of hanging the suite
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_FALSE(timed_out.load())
+      << "parallel_for stranded iterations behind a slow index";
+  EXPECT_EQ(others_done.load(), kN - 1);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIterationDespiteExceptions) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.parallel_for(0, hits.size(),
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i % 7 == 3)
+                                     throw std::runtime_error("iteration");
+                                 }),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, ManySmallTasks) {

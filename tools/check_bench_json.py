@@ -9,6 +9,15 @@ schema — run it in CI after the benches, or standalone:
     tools/check_bench_json.py BENCH_headline.json [...]
     tools/check_bench_json.py --self-test
 
+Regression gate: with --compare BASELINE.json, the engine speedups of each
+candidate file (the "engine_speedup" section of a headline or
+engine_compare document) are checked against the baseline's. A kernel
+whose speedup falls more than --max-regress-pct percent (default 50) below
+the baseline fails the check:
+
+    tools/check_bench_json.py ENGINE_compare.json \
+        --compare BENCH_headline.json --max-regress-pct 50
+
 Exit status: 0 if every file validates (or the self-test passes), 1
 otherwise. Stdlib only — no third-party dependencies.
 """
@@ -72,6 +81,30 @@ def check_metrics(metrics, path):
                  "bucket counts must sum to 'count'")
 
 
+def check_engine_speedup(fragment, path):
+    _require(isinstance(fragment, dict), path, "expected an object")
+    _require(isinstance(fragment.get("kernels"), list) and
+             fragment["kernels"], f"{path}.kernels",
+             "expected a non-empty array")
+    for i, kernel in enumerate(fragment["kernels"]):
+        kpath = f"{path}.kernels[{i}]"
+        _check_string(kernel, "name", kpath)
+        _check_number(kernel, "interp_ns", kpath, minimum=0)
+        _check_number(kernel, "vm_ns", kpath, minimum=0)
+        _check_number(kernel, "speedup", kpath, minimum=0)
+        _require(kernel["interp_ns"] > 0 and kernel["vm_ns"] > 0,
+                 kpath, "timings must be positive")
+    _check_number(fragment, "geomean", path, minimum=0)
+    _require(fragment["geomean"] > 0, f"{path}.geomean",
+             "expected a positive geomean")
+
+
+def check_engine_compare(doc, path):
+    _require(doc.get("schema") == 1, path, "expected schema 1")
+    _require("engine_speedup" in doc, path, "missing key 'engine_speedup'")
+    check_engine_speedup(doc["engine_speedup"], f"{path}.engine_speedup")
+
+
 def check_headline(doc, path):
     _require(doc.get("schema") == 1, path, "expected schema 1")
     _require(isinstance(doc.get("machines"), list) and doc["machines"],
@@ -97,11 +130,16 @@ def check_headline(doc, path):
     for key in ("max_improvement_pct", "avg_improvement_pct",
                 "max_time_reduction_pct", "avg_time_reduction_pct"):
         _check_number(headline, key, f"{path}.headline")
+    if "engine_speedup" in doc:
+        check_engine_speedup(doc["engine_speedup"], f"{path}.engine_speedup")
     _require("metrics" in doc, path, "missing key 'metrics'")
     check_metrics(doc["metrics"], f"{path}.metrics")
 
 
-CHECKERS = {"headline": check_headline}
+CHECKERS = {
+    "headline": check_headline,
+    "engine_compare": check_engine_compare,
+}
 
 
 def check_document(doc, path="$"):
@@ -126,6 +164,62 @@ def check_file(filename):
         print(f"{filename}: FAIL ({exc})")
         return False
     print(f"{filename}: OK")
+    return True
+
+
+# --- engine-speedup regression gate -----------------------------------------
+
+def extract_speedups(doc, path):
+    """Return {kernel name: speedup} from a validated document."""
+    _require("engine_speedup" in doc, path, "missing key 'engine_speedup'")
+    fragment = doc["engine_speedup"]
+    return {k["name"]: k["speedup"] for k in fragment["kernels"]}
+
+
+def compare_speedups(candidate, baseline, max_regress_pct):
+    """Check candidate speedups against baseline; returns error strings.
+
+    Only kernels present in both documents are compared (so adding a new
+    kernel does not break the gate against an older baseline), but the two
+    sets must overlap — disjoint kernel lists mean the baseline is stale.
+    """
+    floor = 1.0 - max_regress_pct / 100.0
+    cand = extract_speedups(candidate, "candidate")
+    base = extract_speedups(baseline, "baseline")
+    shared = sorted(set(cand) & set(base))
+    if not shared:
+        return ["no kernels in common between candidate and baseline"]
+    errors = []
+    for name in shared:
+        allowed = base[name] * floor
+        if cand[name] < allowed:
+            errors.append(
+                f"kernel {name!r}: speedup {cand[name]:.3f}x regressed more "
+                f"than {max_regress_pct}% below baseline {base[name]:.3f}x "
+                f"(floor {allowed:.3f}x)")
+    return errors
+
+
+def check_file_against_baseline(filename, baseline_file, max_regress_pct):
+    try:
+        with open(baseline_file, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(filename, "r", encoding="utf-8") as handle:
+            candidate = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{filename}: COMPARE FAIL ({exc})")
+        return False
+    try:
+        errors = compare_speedups(candidate, baseline, max_regress_pct)
+    except SchemaError as exc:
+        print(f"{filename}: COMPARE FAIL ({exc})")
+        return False
+    if errors:
+        for error in errors:
+            print(f"{filename}: COMPARE FAIL ({error})")
+        return False
+    print(f"{filename}: COMPARE OK (vs {baseline_file}, "
+          f"max regress {max_regress_pct}%)")
     return True
 
 
@@ -166,6 +260,20 @@ GOOD = {
                 "sum": 55.0,
             }
         },
+    },
+}
+
+GOOD_ENGINE = {
+    "bench": "engine_compare",
+    "schema": 1,
+    "engine_speedup": {
+        "kernels": [
+            {"name": "branchy_small", "interp_ns": 90000.0,
+             "vm_ns": 30000.0, "speedup": 3.0},
+            {"name": "array_sweep", "interp_ns": 80000.0,
+             "vm_ns": 40000.0, "speedup": 2.0},
+        ],
+        "geomean": 2.449,
     },
 }
 
@@ -212,21 +320,90 @@ def self_test():
     expect(_mutate(GOOD, lambda d: d["metrics"].pop("counters")), False,
            "missing counters accepted")
 
+    expect(GOOD_ENGINE, True, "good engine_compare document rejected")
+    expect(_mutate(GOOD_ENGINE,
+                   lambda d: d["engine_speedup"].update(kernels=[])), False,
+           "empty kernel list accepted")
+    expect(
+        _mutate(GOOD_ENGINE, lambda d: d["engine_speedup"]["kernels"][0]
+                .update(vm_ns=0)), False, "zero vm_ns accepted")
+    expect(_mutate(GOOD_ENGINE,
+                   lambda d: d["engine_speedup"].pop("geomean")), False,
+           "missing geomean accepted")
+    expect(_mutate(GOOD, lambda d: d.update(
+        engine_speedup={"kernels": [], "geomean": 1.0})), False,
+        "headline with malformed engine_speedup accepted")
+    expect(_mutate(GOOD, lambda d: d.update(
+        engine_speedup=GOOD_ENGINE["engine_speedup"])), True,
+        "headline with engine_speedup rejected")
+
+    def expect_compare(cand, base, pct, ok_expected, label):
+        errors = compare_speedups(cand, base, pct)
+        if bool(not errors) != ok_expected:
+            failures.append(label)
+
+    regressed = _mutate(GOOD_ENGINE, lambda d: d["engine_speedup"][
+        "kernels"][0].update(speedup=1.0))
+    expect_compare(GOOD_ENGINE, GOOD_ENGINE, 50, True,
+                   "identical speedups failed the gate")
+    expect_compare(regressed, GOOD_ENGINE, 50, False,
+                   "3.0x -> 1.0x regression passed a 50% gate")
+    expect_compare(regressed, GOOD_ENGINE, 70, True,
+                   "3.0x -> 1.0x failed a 70% gate (floor 0.9x)")
+    disjoint = _mutate(GOOD_ENGINE, lambda d: d["engine_speedup"][
+        "kernels"][0].update(name="other"))
+    expect_compare(
+        _mutate(disjoint, lambda d: d["engine_speedup"]["kernels"].pop()),
+        _mutate(GOOD_ENGINE,
+                lambda d: d["engine_speedup"]["kernels"].pop(0)),
+        50, False, "disjoint kernel sets passed the gate")
+
     if failures:
         for failure in failures:
             print(f"self-test: FAIL ({failure})")
         return False
-    print("self-test: OK (8 cases)")
+    print("self-test: OK (18 cases)")
     return True
 
 
 def main(argv):
     if "--self-test" in argv:
         return 0 if self_test() else 1
-    if not argv:
+    files = []
+    baseline = None
+    max_regress_pct = 50.0
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--compare":
+            if i + 1 >= len(argv):
+                print("--compare requires a BASELINE.json argument")
+                return 1
+            baseline = argv[i + 1]
+            i += 2
+        elif arg == "--max-regress-pct":
+            if i + 1 >= len(argv):
+                print("--max-regress-pct requires a number")
+                return 1
+            try:
+                max_regress_pct = float(argv[i + 1])
+            except ValueError:
+                print(f"--max-regress-pct: not a number: {argv[i + 1]!r}")
+                return 1
+            i += 2
+        elif arg.startswith("--"):
+            print(f"unknown option {arg!r}")
+            return 1
+        else:
+            files.append(arg)
+            i += 1
+    if not files:
         print(__doc__.strip())
         return 1
-    ok = all([check_file(f) for f in argv])
+    ok = all([check_file(f) for f in files])
+    if baseline is not None:
+        ok = all([check_file_against_baseline(f, baseline, max_regress_pct)
+                  for f in files]) and ok
     return 0 if ok else 1
 
 
