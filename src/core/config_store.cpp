@@ -52,6 +52,9 @@ std::string ConfigStore::serialize() const {
     os << "improvement = " << entry.improvement_pct << '\n';
     os << "disabled = "
        << entry.config.describe(space_, /*invert=*/true) << '\n';
+    for (const QuarantineRecord& q : entry.quarantined)
+      os << "quarantine = " << fault::to_string(q.kind) << ' '
+         << q.failures << ' ' << q.config_key << '\n';
     os << '\n';
   }
   return os.str();
@@ -106,6 +109,17 @@ bool ConfigStore::deserialize(const std::string& text) {
         if (!idx) return false;  // unknown flag: reject the whole file
         entry.config.set(*idx, false);
       }
+    } else if (key == "quarantine") {
+      std::istringstream fields(value);
+      std::string kind_name;
+      std::size_t failures = 0;
+      QuarantineRecord q;
+      if (!(fields >> kind_name >> failures >> q.config_key)) return false;
+      const auto kind = fault::parse_fault_kind(kind_name);
+      if (!kind || *kind == fault::FaultKind::kNone) return false;
+      q.kind = *kind;
+      q.failures = failures;
+      entry.quarantined.push_back(std::move(q));
     } else {
       return false;
     }

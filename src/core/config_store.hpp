@@ -14,21 +14,44 @@
 ///   method = CBR
 ///   improvement = 5.06
 ///   disabled = -fgcse-sm -fschedule-insns
+///   quarantine = miscompile 1 0000001fffffbfff
 ///
 /// Flags not listed in `disabled` are enabled (the -O3 default).
+/// `quarantine` lines (zero or more) record configurations that failed
+/// deterministically during tuning — kind, observed failure count, and
+/// the config's bitset key — so a later run on the same machine never
+/// re-measures a known-broken configuration.
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/peak.hpp"
+#include "fault/fault.hpp"
 
 namespace peak::core {
+
+/// One quarantined configuration, persisted beside the tuned winner. The
+/// config is identified by its FlagConfig::key() — the same key the
+/// fault::Quarantine registry uses — so store → registry round trips are
+/// exact even for configs that have no human-readable description.
+struct QuarantineRecord {
+  std::string config_key;
+  fault::FaultKind kind = fault::FaultKind::kNone;
+  std::size_t failures = 0;
+
+  friend bool operator==(const QuarantineRecord&,
+                         const QuarantineRecord&) = default;
+};
 
 struct StoredConfig {
   search::FlagConfig config;
   rating::Method method = rating::Method::kWHL;
   double improvement_pct = 0.0;
+  /// Configurations quarantined while tuning this section.
+  std::vector<QuarantineRecord> quarantined;
 };
 
 class ConfigStore {

@@ -1,0 +1,391 @@
+#include "core/journal.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace peak::core {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Serialization helpers. Doubles travel as IEEE-754 bit patterns so the
+// journal round trip is exact; decimal formatting would lose ulps and
+// break the bit-identical-resume guarantee.
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex_double(double d) {
+  return hex_u64(std::bit_cast<std::uint64_t>(d));
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the journal's own output
+// (objects, arrays, strings, unsigned integers, booleans). No external
+// dependency is available in the container, and the full generality of
+// JSON (floats, unicode escapes, null) never appears in a journal line.
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+public:
+  enum class Type { kString, kNumber, kBool, kObject, kArray };
+  Type type = Type::kString;
+  std::string str;
+  std::uint64_t num = 0;
+  bool boolean = false;
+  std::shared_ptr<JsonObject> object;
+  std::shared_ptr<JsonArray> array;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    PEAK_CHECK(type == Type::kObject, "journal: not an object");
+    auto it = object->find(key);
+    PEAK_CHECK(it != object->end(), "journal: missing key " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return type == Type::kObject && object->count(key) > 0;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    PEAK_CHECK(type == Type::kString, "journal: not a string");
+    return str;
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    PEAK_CHECK(type == Type::kNumber, "journal: not a number");
+    return num;
+  }
+  [[nodiscard]] bool as_bool() const {
+    PEAK_CHECK(type == Type::kBool, "journal: not a bool");
+    return boolean;
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    PEAK_CHECK(type == Type::kArray, "journal: not an array");
+    return *array;
+  }
+  /// Hex-bit-pattern string back to double.
+  [[nodiscard]] double as_hex_double() const {
+    return std::bit_cast<double>(
+        static_cast<std::uint64_t>(std::stoull(as_string(), nullptr, 16)));
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    PEAK_CHECK(pos_ == text_.size(), "journal: trailing garbage");
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    PEAK_CHECK(pos_ < text_.size(), "journal: truncated record");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    PEAK_CHECK(peek() == c, std::string("journal: expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't':
+      case 'f': return boolean();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    v.object = std::make_shared<JsonObject>();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      JsonValue key = string();
+      skip_ws();
+      expect(':');
+      (*v.object)[key.str] = value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    v.array = std::make_shared<JsonArray>();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array->push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          default: v.str += esc;
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      PEAK_CHECK(false, "journal: bad literal");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    PEAK_CHECK(pos_ > begin, "journal: bad number");
+    v.num = std::stoull(std::string(text_.substr(begin, pos_ - begin)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+sim::SimExecutionBackend::Snapshot parse_backend_snapshot(
+    const JsonValue& j) {
+  sim::SimExecutionBackend::Snapshot s;
+  const JsonArray& rng = j.at("rng").as_array();
+  PEAK_CHECK(rng.size() == 4, "journal: rng state arity");
+  for (std::size_t i = 0; i < 4; ++i)
+    s.rng_state[i] = std::stoull(rng[i].as_string(), nullptr, 16);
+  s.warmth = j.at("warmth").as_hex_double();
+  s.accumulated = j.at("acc").as_hex_double();
+  s.timed = j.at("timed").as_hex_double();
+  s.precondition = j.at("pre").as_hex_double();
+  s.checkpoint = j.at("ckpt").as_hex_double();
+  s.faulted = j.at("faulted").as_hex_double();
+  s.saves = j.at("saves").as_u64();
+  s.restores = j.at("restores").as_u64();
+  s.checkpoint_bytes = j.at("ckpt_bytes").as_u64();
+  s.swap_toggle = j.at("swap").as_bool();
+  return s;
+}
+
+JournalEval parse_eval(const JsonValue& j) {
+  JournalEval e;
+  e.base_key = j.at("base").as_string();
+  e.cfg_key = j.at("cfg").as_string();
+  e.r = j.at("r").as_hex_double();
+  if (j.has("memo"))
+    for (const JsonValue& m : j.at("memo").as_array())
+      e.memo_added.emplace_back(m.at("k").as_string(),
+                                m.at("v").as_hex_double());
+  if (j.has("validated"))
+    for (const JsonValue& v : j.at("validated").as_array())
+      e.validated_added.push_back(v.as_string());
+  if (j.has("fails"))
+    for (const JsonValue& f : j.at("fails").as_array()) {
+      JournalEval::FailDelta d;
+      d.key = f.at("k").as_string();
+      const auto kind = fault::parse_fault_kind(f.at("kind").as_string());
+      PEAK_CHECK(kind.has_value(), "journal: unknown fault kind");
+      d.kind = *kind;
+      d.failures = f.at("n").as_u64();
+      d.quarantined = f.at("q").as_bool();
+      e.fails.push_back(std::move(d));
+    }
+  const JsonValue& snap = j.at("snap");
+  e.snap.backend = parse_backend_snapshot(snap.at("backend"));
+  e.snap.cursor = snap.at("cursor").as_u64();
+  e.snap.invocations = snap.at("inv").as_u64();
+  e.snap.evaluations = snap.at("evals").as_u64();
+  e.snap.ratings = snap.at("ratings").as_u64();
+  e.snap.exhausted = snap.at("exhausted").as_u64();
+  e.snap.whole_program_surcharge = snap.at("whl").as_hex_double();
+  return e;
+}
+
+}  // namespace
+
+TuningJournal::TuningJournal(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::app);
+  PEAK_CHECK(out_.good(), "cannot open tuning journal " + path_);
+}
+
+void TuningJournal::write_line(const std::string& line) {
+  out_ << line << '\n';
+  // Flush per record: a kill between lines then loses at most the record
+  // in flight, which load() skips as a partial trailing line.
+  out_.flush();
+}
+
+void TuningJournal::start_segment(const std::string& method) {
+  write_line("{\"type\":\"start\",\"method\":" + quote(method) + "}");
+}
+
+void TuningJournal::record_eval(const JournalEval& e) {
+  std::ostringstream os;
+  os << "{\"type\":\"eval\",\"base\":" << quote(e.base_key)
+     << ",\"cfg\":" << quote(e.cfg_key) << ",\"r\":" << quote(hex_double(e.r));
+  if (!e.memo_added.empty()) {
+    os << ",\"memo\":[";
+    for (std::size_t i = 0; i < e.memo_added.size(); ++i)
+      os << (i ? "," : "") << "{\"k\":" << quote(e.memo_added[i].first)
+         << ",\"v\":" << quote(hex_double(e.memo_added[i].second)) << "}";
+    os << "]";
+  }
+  if (!e.validated_added.empty()) {
+    os << ",\"validated\":[";
+    for (std::size_t i = 0; i < e.validated_added.size(); ++i)
+      os << (i ? "," : "") << quote(e.validated_added[i]);
+    os << "]";
+  }
+  if (!e.fails.empty()) {
+    os << ",\"fails\":[";
+    for (std::size_t i = 0; i < e.fails.size(); ++i) {
+      const JournalEval::FailDelta& d = e.fails[i];
+      os << (i ? "," : "") << "{\"k\":" << quote(d.key)
+         << ",\"kind\":" << quote(fault::to_string(d.kind))
+         << ",\"n\":" << d.failures
+         << ",\"q\":" << (d.quarantined ? "true" : "false") << "}";
+    }
+    os << "]";
+  }
+  const JournalEval::Snapshot& s = e.snap;
+  os << ",\"snap\":{\"backend\":{\"rng\":[";
+  for (std::size_t i = 0; i < 4; ++i)
+    os << (i ? "," : "") << quote(hex_u64(s.backend.rng_state[i]));
+  os << "],\"warmth\":" << quote(hex_double(s.backend.warmth))
+     << ",\"acc\":" << quote(hex_double(s.backend.accumulated))
+     << ",\"timed\":" << quote(hex_double(s.backend.timed))
+     << ",\"pre\":" << quote(hex_double(s.backend.precondition))
+     << ",\"ckpt\":" << quote(hex_double(s.backend.checkpoint))
+     << ",\"faulted\":" << quote(hex_double(s.backend.faulted))
+     << ",\"saves\":" << s.backend.saves
+     << ",\"restores\":" << s.backend.restores
+     << ",\"ckpt_bytes\":" << s.backend.checkpoint_bytes
+     << ",\"swap\":" << (s.backend.swap_toggle ? "true" : "false")
+     << "},\"cursor\":" << s.cursor << ",\"inv\":" << s.invocations
+     << ",\"evals\":" << s.evaluations << ",\"ratings\":" << s.ratings
+     << ",\"exhausted\":" << s.exhausted
+     << ",\"whl\":" << quote(hex_double(s.whole_program_surcharge)) << "}}";
+  write_line(os.str());
+}
+
+void TuningJournal::record_fault(const fault::FaultEvent& ev) {
+  std::ostringstream os;
+  os << "{\"type\":\"fault\",\"kind\":" << quote(fault::to_string(ev.kind))
+     << ",\"cfg\":" << quote(ev.config_key) << ",\"inv\":" << ev.invocation_id
+     << ",\"attempt\":" << ev.attempt
+     << ",\"gave_up\":" << (ev.gave_up ? "true" : "false")
+     << ",\"q\":" << (ev.quarantined ? "true" : "false") << "}";
+  write_line(os.str());
+}
+
+std::vector<JournalSegment> TuningJournal::load(const std::string& path) {
+  std::ifstream in(path);
+  PEAK_CHECK(in.good(), "cannot read tuning journal " + path);
+  std::vector<JournalSegment> segments;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A partial trailing line (no closing brace) is the record that was
+    // being written when the process died; skip it — resume re-runs that
+    // evaluation live.
+    if (line.back() != '}') continue;
+    JsonValue record;
+    try {
+      record = JsonParser(line).parse();
+    } catch (const support::CheckError&) {
+      continue;  // damaged line: treat like a partial write
+    }
+    const std::string& type = record.at("type").as_string();
+    if (type == "start") {
+      JournalSegment seg;
+      seg.method = record.at("method").as_string();
+      segments.push_back(std::move(seg));
+    } else if (type == "eval") {
+      PEAK_CHECK(!segments.empty(), "journal: eval before any start");
+      segments.back().evals.push_back(parse_eval(record));
+    }
+    // Other record types (fault, …) are informational.
+  }
+  return segments;
+}
+
+}  // namespace peak::core

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/instrumentation.hpp"
+#include "core/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rating/baselines.hpp"
@@ -53,7 +57,8 @@ struct RatingNotConverging : std::runtime_error {
 class TuningDriver::Evaluator final : public search::ConfigEvaluator {
 public:
   Evaluator(const TuningDriver& driver, rating::Method method,
-            const ir::Function& fn)
+            const ir::Function& fn, fault::Quarantine& quarantine,
+            TuningJournal* journal, const JournalSegment* replay)
       : driver_(driver),
         method_(method),
         backend_(fn, [&] {
@@ -62,16 +67,32 @@ public:
           return t;
         }(), driver.machine_, driver.effects_,
         support::hash_combine(driver.options_.seed,
-                              support::stable_hash(fn.name()))) {
+                              support::stable_hash(fn.name()))),
+        quarantine_(quarantine),
+        journal_(journal),
+        replay_(replay) {
     // Basic RBR saves the full input set; improved RBR saves the
     // range-analysis-narrowed Modified_Input slices.
     backend_.set_checkpoint_bytes(
         driver.profile_.input_sets.input_bytes(fn),
         driver.profile_.checkpoint_plan.bytes(fn));
+    if (driver.options_.fault.injector != nullptr) {
+      backend_.set_fault_injector(driver.options_.fault.injector);
+      if (driver.options_.fault.guard_execution) {
+        guard_.emplace(backend_, quarantine_,
+                       driver.options_.fault.guard);
+        guard_->set_on_fault([this](const fault::FaultEvent& ev) {
+          pending_fail_keys_.insert(ev.config_key);
+          if (journal_ != nullptr) journal_->record_fault(ev);
+        });
+      }
+    }
   }
 
   double relative_improvement(const search::FlagConfig& base,
                               const search::FlagConfig& cfg) override {
+    if (replay_ != nullptr && replay_pos_ < replay_->evals.size())
+      return replay_eval(base, cfg);
     // Counted at entry so an attempt abandoned mid-rating (see
     // RatingNotConverging) is still accounted, keeping the registry
     // counter equal to cost().configs_evaluated on every path.
@@ -80,11 +101,36 @@ public:
     obs::ScopedSpan span("rate", "rating");
     if (span.active())
       span.add(obs::attr("method", rating::to_string(method_)));
-    if (method_ == rating::Method::kRBR) return rbr_ratio(base, cfg);
-    const double e_base = rate_time(base);
-    const double e_cfg = rate_time(cfg);
-    PEAK_CHECK(e_cfg > 0.0, "non-positive rating");
-    return e_base / e_cfg;
+    pending_memo_.clear();
+    pending_validated_.clear();
+    pending_fail_keys_.clear();
+    // Deadlines and backoff are priced off the current best version.
+    if (guard_) guard_->set_reference(base);
+    double r = 0.0;
+    try {
+      if (method_ == rating::Method::kRBR) {
+        r = rbr_ratio(base, cfg);
+      } else {
+        const double e_base = rate_time(base);
+        const double e_cfg = rate_time(cfg);
+        PEAK_CHECK(e_cfg > 0.0, "non-positive rating");
+        r = e_base / e_cfg;
+      }
+      maybe_validate(cfg, r);
+    } catch (const fault::ConfigFailed&) {
+      // The configuration cannot be measured: quarantined, retry budget
+      // exhausted, or miscompiled. Report "no improvement" so the search
+      // moves on; excluded() keeps it from ever being probed again.
+      r = 0.0;
+    }
+    record_eval(base, cfg, r);
+    return r;
+  }
+
+  /// Quarantined configurations are hard-excluded: the search emits a
+  /// kQuarantined event and skips the candidate instead of probing it.
+  [[nodiscard]] bool excluded(const search::FlagConfig& cfg) const override {
+    return quarantine_.contains(cfg.key());
   }
 
   /// Fold this evaluator's per-phase simulated-cycle attribution into
@@ -132,6 +178,96 @@ private:
     return inv;
   }
 
+  /// Measurement entry points: guarded when fault tolerance is on,
+  /// the raw backend otherwise (bit-identical to the fault-oblivious
+  /// driver — the guard is not even constructed).
+  sim::InvocationResult measure(const search::FlagConfig& cfg,
+                                const sim::Invocation& inv) {
+    return guard_ ? guard_->invoke(cfg, inv) : backend_.invoke(cfg, inv);
+  }
+  std::vector<sim::RbrPairResult> measure_rbr(
+      const search::FlagConfig& best, const search::FlagConfig& exp,
+      const sim::Invocation& inv, const sim::RbrOptions& opts) {
+    return guard_ ? guard_->invoke_rbr_batch(best, exp, inv, opts)
+                  : backend_.invoke_rbr_batch(best, exp, inv, opts);
+  }
+
+  /// Validate the output digest of an improving configuration before the
+  /// search may adopt it. Throws fault::ConfigFailed on a miscompile
+  /// (which also quarantines the config).
+  void maybe_validate(const search::FlagConfig& cfg, double r) {
+    if (!guard_ || !driver_.options_.fault.validate_improvements) return;
+    if (r <= 1.0) return;
+    const std::string key = cfg.key();
+    if (validated_.count(key) != 0) return;
+    guard_->validate(cfg, next_invocation());
+    validated_.insert(key);
+    pending_validated_.push_back(key);
+  }
+
+  /// Append this evaluation (rating, state deltas, post-state snapshot)
+  /// to the journal.
+  void record_eval(const search::FlagConfig& base,
+                   const search::FlagConfig& cfg, double r) {
+    if (journal_ == nullptr) return;
+    JournalEval e;
+    e.base_key = base.key();
+    e.cfg_key = cfg.key();
+    e.r = r;
+    e.memo_added = std::move(pending_memo_);
+    e.validated_added = std::move(pending_validated_);
+    for (const std::string& key : pending_fail_keys_) {
+      const auto it = quarantine_.entries().find(key);
+      if (it == quarantine_.entries().end()) continue;
+      JournalEval::FailDelta d;
+      d.key = key;
+      d.kind = it->second.kind;
+      d.failures = it->second.failures;
+      d.quarantined = it->second.quarantined;
+      e.fails.push_back(std::move(d));
+    }
+    e.snap.backend = backend_.snapshot_state();
+    e.snap.cursor = cursor_;
+    e.snap.invocations = invocations_;
+    e.snap.evaluations = evaluations_;
+    e.snap.ratings = ratings_;
+    e.snap.exhausted = exhausted_;
+    e.snap.whole_program_surcharge = whole_program_surcharge_;
+    journal_->record_eval(e);
+    pending_memo_.clear();
+    pending_validated_.clear();
+    pending_fail_keys_.clear();
+  }
+
+  /// Replay one recorded evaluation: return the recorded rating without
+  /// touching the backend, re-apply the state deltas, and restore the
+  /// bit-exact post-evaluation snapshot. Once the recorded evaluations
+  /// run out the very next call measures live — from exactly the state
+  /// the interrupted run was in.
+  double replay_eval(const search::FlagConfig& base,
+                     const search::FlagConfig& cfg) {
+    static obs::Counter& replayed = obs::counter("journal.replayed");
+    const JournalEval& e = replay_->evals[replay_pos_++];
+    PEAK_CHECK(e.base_key == base.key() && e.cfg_key == cfg.key(),
+               "journal does not match this tuning run (stale journal, or "
+               "different seed/options)");
+    for (const auto& [key, eval] : e.memo_added) memo_.emplace(key, eval);
+    for (const std::string& key : e.validated_added) validated_.insert(key);
+    for (const JournalEval::FailDelta& d : e.fails) {
+      quarantine_.restore_failures(d.key, d.kind, d.failures);
+      if (d.quarantined) quarantine_.quarantine(d.key, d.kind);
+    }
+    backend_.restore_state(e.snap.backend);
+    cursor_ = e.snap.cursor;
+    invocations_ = e.snap.invocations;
+    evaluations_ = e.snap.evaluations;
+    ratings_ = e.snap.ratings;
+    exhausted_ = e.snap.exhausted;
+    whole_program_surcharge_ = e.snap.whole_program_surcharge;
+    replayed.inc();
+    return e.r;
+  }
+
   /// Per-rating metrics: convergence tally plus window occupancy.
   static void observe_rating(bool converged, std::size_t samples) {
     DriverMetrics& m = DriverMetrics::get();
@@ -150,7 +286,7 @@ private:
     while (!rater.converged() && !rater.exhausted()) {
       const sim::Invocation& inv = next_invocation();
       for (const sim::RbrPairResult& pair :
-           backend_.invoke_rbr_batch(base, cfg, inv, rbr_opts)) {
+           measure_rbr(base, cfg, inv, rbr_opts)) {
         rater.add_pair(pair.time_best, pair.time_exp);
         if (rater.converged() || rater.exhausted()) break;
       }
@@ -193,7 +329,7 @@ private:
             std::clamp<std::size_t>(driver_.profile_.num_contexts, 1, 50);
         while (!rater.converged() && rater.total_samples() < budget) {
           const sim::Invocation& inv = next_invocation();
-          rater.add(inv.context, backend_.invoke(cfg, inv).time);
+          rater.add(inv.context, measure(cfg, inv).time);
         }
         if (!rater.converged()) ++exhausted_;
         const rating::Rating r = rater.rating();
@@ -207,7 +343,7 @@ private:
             driver_.profile_.mbr_profile, driver_.options_.mbr);
         while (!rater.converged() && !rater.exhausted()) {
           const sim::Invocation& inv = next_invocation();
-          const sim::InvocationResult r = backend_.invoke(cfg, inv);
+          const sim::InvocationResult r = measure(cfg, inv);
           std::vector<double> counts(r.counters->begin(), r.counters->end());
           counts.push_back(1.0);  // constant component
           rater.add(counts, r.time);
@@ -225,7 +361,7 @@ private:
         rating::ContextObliviousRater rater(driver_.options_.window);
         while (!rater.converged() && !rater.exhausted()) {
           const sim::Invocation& inv = next_invocation();
-          rater.add(backend_.invoke(cfg, inv).time);
+          rater.add(measure(cfg, inv).time);
         }
         if (!rater.converged()) ++exhausted_;
         const rating::Rating r = rater.rating();
@@ -235,16 +371,14 @@ private:
       }
       case rating::Method::kWHL: {
         rating::WholeProgramRater rater;
-        while (!rater.converged() &&
-               rater.runs() < rating::WholeProgramRater::whl_policy()
-                                  .max_samples) {
+        while (!rater.converged() && !rater.exhausted()) {
           // One full application run per sample. The run also executes
           // everything *around* the tuning section, which WHL must pay
           // for — that surcharge is the core of its cost disadvantage.
           double run_ts_time = 0.0;
           for (std::size_t i = 0; i < driver_.trace_.invocations.size();
                ++i) {
-            const double t = backend_.invoke(cfg, next_invocation()).time;
+            const double t = measure(cfg, next_invocation()).time;
             rater.add_invocation(t);
             run_ts_time += t;
           }
@@ -269,6 +403,7 @@ private:
           " produced no estimate for " + driver_.workload_.full_name());
     }
     memo_.emplace(key, eval);
+    pending_memo_.emplace_back(key, eval);
     return eval;
   }
 
@@ -282,6 +417,18 @@ private:
   std::size_t ratings_ = 0;
   std::size_t exhausted_ = 0;
   double whole_program_surcharge_ = 0.0;
+
+  fault::Quarantine& quarantine_;
+  TuningJournal* journal_;              ///< null = no journaling
+  const JournalSegment* replay_;        ///< null = nothing to replay
+  std::size_t replay_pos_ = 0;
+  std::optional<fault::GuardedExecutor> guard_;
+  /// Configs whose output digest already passed validation.
+  std::set<std::string> validated_;
+  /// Per-evaluation state deltas, harvested into the journal record.
+  std::vector<std::pair<std::string, double>> pending_memo_;
+  std::vector<std::string> pending_validated_;
+  std::set<std::string> pending_fail_keys_;
 };
 
 TuningDriver::TuningDriver(const workloads::Workload& workload,
@@ -304,11 +451,34 @@ TuningDriver::TuningDriver(const workloads::Workload& workload,
   PEAK_CHECK(!trace_.invocations.empty(), "empty tuning trace");
 }
 
+TuningDriver::~TuningDriver() = default;
+
+void TuningDriver::prepare_journal() {
+  if (options_.fault.journal_path.empty() || journal_ != nullptr) return;
+  if (options_.fault.resume)
+    replay_segments_ = TuningJournal::load(options_.fault.journal_path);
+  journal_ = std::make_unique<TuningJournal>(options_.fault.journal_path);
+}
+
 TuningOutcome TuningDriver::tune(rating::Method method) {
   const ir::Function& fn = method == rating::Method::kMBR
                                ? mbr_instrumented_
                                : workload_.function();
-  Evaluator evaluator(*this, method, fn);
+  prepare_journal();
+  // On resume, each tune() call consumes one recorded segment: its evals
+  // replay instead of measuring, and the journal's existing "start" line
+  // stands in for the one a fresh segment would write.
+  const JournalSegment* replay = nullptr;
+  if (replay_index_ < replay_segments_.size()) {
+    PEAK_CHECK(
+        replay_segments_[replay_index_].method == rating::to_string(method),
+        "journal method sequence does not match this run");
+    replay = &replay_segments_[replay_index_++];
+  } else if (journal_ != nullptr) {
+    journal_->start_segment(rating::to_string(method));
+  }
+  Evaluator evaluator(*this, method, fn, quarantine_, journal_.get(),
+                      replay);
 
   search::IterativeElimination default_ie(options_.ie);
   search::SearchAlgorithm& algorithm =

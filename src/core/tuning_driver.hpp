@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/profile.hpp"
+#include "fault/guarded_executor.hpp"
 #include "rating/rating.hpp"
 #include "rating/window.hpp"
 #include "search/iterative_elimination.hpp"
@@ -24,6 +25,36 @@
 #include "workloads/workload.hpp"
 
 namespace peak::core {
+
+class TuningJournal;
+struct JournalSegment;
+
+/// Fault-tolerance knobs. With no injector installed the driver's
+/// measurement path is bit-identical to the fault-oblivious one (no
+/// guarded wrapper, no validation runs); journaling alone never perturbs
+/// a run, so crash-safe resume also works for fault-free tuning.
+struct FaultOptions {
+  /// Fault model layered onto the execution backend; nullptr = fault-free.
+  /// The injector outlives the driver (it is shared across methods and
+  /// across a resume so the same seed reproduces the same faults).
+  const fault::FaultInjector* injector = nullptr;
+  /// Deadline / retry / quarantine policy of the guarded executor.
+  fault::GuardPolicy guard{};
+  /// Route measurements through the guarded executor. Turning this off
+  /// with an injector installed reproduces the paper driver's blind spot
+  /// (only the rating windows' non-finite-sample guard remains) — used by
+  /// tests and the fault-sweep bench as the "unprotected" arm.
+  bool guard_execution = true;
+  /// Validate the output digest of any config that rates as an
+  /// improvement before the search may adopt it (one extra invocation
+  /// per distinct improving config; miscompiles are quarantined).
+  bool validate_improvements = true;
+  /// Append-only JSONL tuning journal ("" = no journal).
+  std::string journal_path;
+  /// Replay the journal at `journal_path` first, then continue live from
+  /// the last recorded evaluation — the crash-safe resume path.
+  bool resume = false;
+};
 
 struct DriverOptions {
   rating::WindowPolicy window{};  ///< CBR / RBR / AVG windows
@@ -41,6 +72,8 @@ struct DriverOptions {
   /// with the `ie` options. The pointer is shared so a caller can reuse
   /// one algorithm instance across drivers.
   std::shared_ptr<search::SearchAlgorithm> search_algorithm;
+  /// Fault injection, guarded execution, and crash-safe resume.
+  FaultOptions fault{};
 };
 
 struct TuningCost {
@@ -48,6 +81,8 @@ struct TuningCost {
   std::size_t invocations = 0;   ///< TS invocations consumed
   double program_runs = 0.0;     ///< invocations / invocations-per-run
   std::size_t configs_evaluated = 0;
+
+  friend bool operator==(const TuningCost&, const TuningCost&) = default;
 };
 
 struct TuningOutcome {
@@ -65,6 +100,11 @@ struct TuningOutcome {
   [[nodiscard]] std::vector<std::string> render_search_log() const {
     return search::render_search_log(events);
   }
+
+  /// Bit-exact equality — what the crash-safe-resume tests assert between
+  /// an uninterrupted run and a journal-resumed one.
+  friend bool operator==(const TuningOutcome&,
+                         const TuningOutcome&) = default;
 };
 
 class TuningDriver {
@@ -74,6 +114,7 @@ public:
                const ProfileData& profile, const workloads::Trace& trace,
                const sim::MachineModel& machine,
                const sim::FlagEffectModel& effects, DriverOptions options);
+  ~TuningDriver();
 
   /// Tune with a fixed rating method (used by the Figure 7 sweeps, which
   /// compare all applicable methods).
@@ -83,8 +124,20 @@ public:
   /// not converge (PEAK's automatic mode).
   TuningOutcome tune_auto();
 
+  /// Configurations quarantined so far (across every tune() call of this
+  /// driver: the registry is shared between methods, so a config that
+  /// miscompiled under CBR is never re-measured under RBR either).
+  [[nodiscard]] const fault::Quarantine& quarantine() const {
+    return quarantine_;
+  }
+  /// Mutable access, for preloading entries persisted in a ConfigStore.
+  [[nodiscard]] fault::Quarantine& quarantine() { return quarantine_; }
+
 private:
   class Evaluator;
+
+  /// Open the journal (and, on resume, load its segments) on first use.
+  void prepare_journal();
 
   const workloads::Workload& workload_;
   const ProfileData& profile_;
@@ -93,6 +146,12 @@ private:
   const sim::FlagEffectModel& effects_;
   DriverOptions options_;
   ir::Function mbr_instrumented_;  ///< component-counter version
+
+  fault::Quarantine quarantine_;
+  std::unique_ptr<TuningJournal> journal_;
+  /// Loaded on resume; tune() consumes one segment per call.
+  std::vector<JournalSegment> replay_segments_;
+  std::size_t replay_index_ = 0;
 };
 
 /// Noise-free total execution time of a whole trace under one

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file fault.hpp
+/// Fault taxonomy and typed errors for fault-tolerant tuning. Real
+/// optimization configurations crash, hang, and miscompile — failure modes
+/// the paper's driver (Figure 5) silently assumes away. The simulator
+/// reproduces them deterministically (see injector.hpp) so the tolerance
+/// machinery (guarded_executor.hpp) can be tested end to end:
+///
+///   kCrash             the experimental run aborts partway through
+///   kHang              infinite-loop semantics; only a deadline ends it
+///   kMiscompile        the run completes but Modified_Input is wrong
+///   kTimerGlitch       the run completes but the reported time is absurd
+///   kCheckpointCorrupt the RBR checkpoint save/restore produced garbage
+///
+/// Every injected fault surfaces as a FaultError subclass carrying its
+/// kind and whether a retry of the same invocation can succeed.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace peak::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kCrash,
+  kHang,
+  kMiscompile,
+  kTimerGlitch,
+  kCheckpointCorrupt,
+};
+
+const char* to_string(FaultKind kind);
+std::optional<FaultKind> parse_fault_kind(std::string_view name);
+
+/// Base of every injected-fault error. `transient()` is the retry hint:
+/// true means the same (config, invocation) may succeed on another
+/// attempt; false means the failure is a property of the configuration.
+class FaultError : public std::runtime_error {
+public:
+  FaultError(FaultKind kind, bool transient, const std::string& what)
+      : std::runtime_error(what), kind_(kind), transient_(transient) {}
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] bool transient() const { return transient_; }
+
+private:
+  FaultKind kind_;
+  bool transient_;
+};
+
+/// The experimental run aborted partway through its invocation.
+class CrashFault : public FaultError {
+public:
+  CrashFault(bool transient, const std::string& what)
+      : FaultError(FaultKind::kCrash, transient, what) {}
+};
+
+/// An unguarded hang: the run would never return. Raised only when no
+/// deadline is armed on the backend — guarded execution never sees this.
+class HangFault : public FaultError {
+public:
+  explicit HangFault(const std::string& what)
+      : FaultError(FaultKind::kHang, /*transient=*/false, what) {}
+};
+
+/// A hang cut short by the watchdog deadline: the guarded executor paid
+/// `deadline_cycles` of wall time and gave up on the run.
+class DeadlineExceeded : public FaultError {
+public:
+  DeadlineExceeded(double deadline_cycles, const std::string& what)
+      : FaultError(FaultKind::kHang, /*transient=*/false, what),
+        deadline_cycles_(deadline_cycles) {}
+
+  [[nodiscard]] double deadline_cycles() const { return deadline_cycles_; }
+
+private:
+  double deadline_cycles_;
+};
+
+/// The RBR checkpoint save produced a corrupt image (detected when the
+/// restore verification fails); the measurement pair is discarded.
+class CheckpointCorruptFault : public FaultError {
+public:
+  CheckpointCorruptFault(bool transient, const std::string& what)
+      : FaultError(FaultKind::kCheckpointCorrupt, transient, what) {}
+};
+
+/// Raised by the guarded executor when a configuration cannot be measured:
+/// its retry budget is exhausted, its output failed validation, or it was
+/// already quarantined. `quarantined()` tells the evaluator whether the
+/// config is now hard-excluded from the search.
+class ConfigFailed : public FaultError {
+public:
+  ConfigFailed(FaultKind kind, std::string config_key, bool quarantined,
+               const std::string& what)
+      : FaultError(kind, /*transient=*/false, what),
+        config_key_(std::move(config_key)),
+        quarantined_(quarantined) {}
+
+  [[nodiscard]] const std::string& config_key() const { return config_key_; }
+  [[nodiscard]] bool quarantined() const { return quarantined_; }
+
+private:
+  std::string config_key_;
+  bool quarantined_;
+};
+
+}  // namespace peak::fault

@@ -1,0 +1,148 @@
+#include "fault/guarded_executor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace peak::fault {
+
+namespace {
+
+struct GuardMetrics {
+  obs::Counter& retried = obs::counter("fault.retried");
+  obs::Counter& config_failed = obs::counter("fault.config_failed");
+  obs::Counter& validations = obs::counter("fault.validations");
+  obs::Counter& miscompiles = obs::counter("fault.miscompile_detected");
+
+  static GuardMetrics& get() {
+    static GuardMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+GuardedExecutor::GuardedExecutor(sim::SimExecutionBackend& backend,
+                                 Quarantine& quarantine, GuardPolicy policy)
+    : backend_(backend), quarantine_(quarantine), policy_(policy) {
+  PEAK_CHECK(policy_.deadline_factor > 1.0,
+             "deadline factor must exceed 1");
+  PEAK_CHECK(policy_.quarantine_after > 0, "quarantine threshold is zero");
+}
+
+void GuardedExecutor::note_failure(FaultKind kind,
+                                   const search::FlagConfig& cfg,
+                                   const sim::Invocation& inv,
+                                   std::size_t attempt, bool gave_up) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.config_key = cfg.key();
+  ev.invocation_id = inv.id;
+  ev.attempt = attempt;
+  ev.gave_up = gave_up;
+  ev.quarantined = quarantine_.record_failure(ev.config_key, kind,
+                                              policy_.quarantine_after);
+  obs::Tracer::global().instant(
+      "fault", "fault",
+      {obs::attr("kind", to_string(kind)), obs::attr("attempt", attempt),
+       obs::attr("quarantined", ev.quarantined ? 1 : 0)});
+  if (on_fault_) on_fault_(ev);
+}
+
+void GuardedExecutor::fail_config(FaultKind kind,
+                                  const search::FlagConfig& cfg) {
+  GuardMetrics::get().config_failed.inc();
+  const std::string key = cfg.key();
+  throw ConfigFailed(kind, key, quarantine_.contains(key),
+                     std::string("configuration failed: ") +
+                         to_string(kind));
+}
+
+template <typename Body>
+auto GuardedExecutor::guarded(const search::FlagConfig& cfg,
+                              const sim::Invocation& inv, Body&& body) {
+  const std::string key = cfg.key();
+  if (quarantine_.contains(key))
+    throw ConfigFailed(
+        quarantine_.kind_of(key).value_or(FaultKind::kNone), key,
+        /*quarantined=*/true, "configuration is quarantined");
+
+  // Deadline and backoff are priced off the best-known version: a run
+  // that exceeds deadline_factor times the best time is written off.
+  const double expected = backend_.expected_time(
+      has_reference_ ? reference_ : cfg, inv);
+  const double deadline = policy_.deadline_factor * expected;
+
+  FaultKind last = FaultKind::kNone;
+  for (std::size_t attempt = 0; attempt <= policy_.max_retries;
+       ++attempt) {
+    backend_.set_fault_attempt(attempt);
+    backend_.set_deadline_cycles(deadline);
+    try {
+      auto result = body();
+      backend_.set_fault_attempt(0);
+      backend_.set_deadline_cycles(0.0);
+      return result;
+    } catch (const FaultError& e) {
+      last = e.kind();
+      const bool can_retry =
+          e.transient() && attempt < policy_.max_retries;
+      note_failure(e.kind(), cfg, inv, attempt, !can_retry);
+      if (!can_retry) break;
+      // Backoff wait before the re-measurement, charged to tuning cost.
+      backend_.charge_penalty(policy_.backoff_fraction * expected *
+                              static_cast<double>(attempt + 1));
+      GuardMetrics::get().retried.inc();
+    }
+  }
+  backend_.set_fault_attempt(0);
+  backend_.set_deadline_cycles(0.0);
+  fail_config(last, cfg);
+}
+
+sim::InvocationResult GuardedExecutor::invoke(
+    const search::FlagConfig& cfg, const sim::Invocation& inv) {
+  return guarded(cfg, inv, [&] {
+    sim::InvocationResult r = backend_.invoke(cfg, inv);
+    if (!std::isfinite(r.time))
+      // An absurd timer reading is discarded like any transient fault —
+      // a deterministic glitch exhausts the retries and is quarantined.
+      throw FaultError(FaultKind::kTimerGlitch, /*transient=*/true,
+                       "absurd timer reading");
+    return r;
+  });
+}
+
+std::vector<sim::RbrPairResult> GuardedExecutor::invoke_rbr_batch(
+    const search::FlagConfig& best, const search::FlagConfig& exp,
+    const sim::Invocation& inv, const sim::RbrOptions& opts) {
+  return guarded(exp, inv,
+                 [&] { return backend_.invoke_rbr_batch(best, exp, inv, opts); });
+}
+
+void GuardedExecutor::validate(const search::FlagConfig& cfg,
+                               const sim::Invocation& inv) {
+  GuardMetrics::get().validations.inc();
+  const sim::InvocationResult r = invoke(cfg, inv);
+  if (r.output_digest == backend_.reference_digest(inv)) return;
+  GuardMetrics::get().miscompiles.inc();
+  const std::string key = cfg.key();
+  quarantine_.quarantine(key, FaultKind::kMiscompile);
+  FaultEvent ev;
+  ev.kind = FaultKind::kMiscompile;
+  ev.config_key = key;
+  ev.invocation_id = inv.id;
+  ev.gave_up = true;
+  ev.quarantined = true;
+  obs::Tracer::global().instant(
+      "fault", "fault", {obs::attr("kind", "miscompile"),
+                         obs::attr("quarantined", 1)});
+  if (on_fault_) on_fault_(ev);
+  throw ConfigFailed(FaultKind::kMiscompile, key, /*quarantined=*/true,
+                     "output digest mismatch (miscompiled configuration)");
+}
+
+}  // namespace peak::fault

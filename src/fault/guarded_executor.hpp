@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file guarded_executor.hpp
+/// Guarded execution of experimental versions: wraps the simulated
+/// backend with a watchdog deadline (derived from the best-known
+/// version's expected time), a bounded retry budget for transient faults
+/// (with backoff accounted into the tuning cost), output validation
+/// against the reference digest, and quarantine of configurations that
+/// fail deterministically. The tuning driver's evaluator routes every
+/// measurement through this wrapper when fault tolerance is enabled;
+/// without an injector the wrapper adds validation only and leaves the
+/// measured times bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/quarantine.hpp"
+#include "search/opt_config.hpp"
+#include "sim/exec_backend.hpp"
+
+namespace peak::fault {
+
+struct GuardPolicy {
+  /// Watchdog deadline, as a multiple of the reference (best-known)
+  /// version's expected time for the invocation. A correct version that
+  /// is 20x slower than the best would be a terrible config anyway, so
+  /// cutting it off loses nothing.
+  double deadline_factor = 20.0;
+  /// Retries per invocation after a transient fault (crash, glitch,
+  /// checkpoint corruption). Deterministic faults are never retried.
+  std::size_t max_retries = 2;
+  /// Failures after which a configuration is quarantined.
+  std::size_t quarantine_after = 2;
+  /// Backoff wait charged per retry, as a fraction of the reference
+  /// version's expected time for the invocation (the tuner pauses before
+  /// re-measuring, hoping the perturbation passes).
+  double backoff_fraction = 0.25;
+};
+
+/// One observed fault, reported through the on_fault callback so the
+/// driver can journal it and bump the obs counters.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNone;
+  std::string config_key;
+  std::uint64_t invocation_id = 0;
+  std::size_t attempt = 0;
+  bool gave_up = false;      ///< retry budget exhausted (or not retryable)
+  bool quarantined = false;  ///< this failure crossed the threshold
+};
+
+class GuardedExecutor {
+public:
+  GuardedExecutor(sim::SimExecutionBackend& backend, Quarantine& quarantine,
+                  GuardPolicy policy = {});
+
+  /// The current best-known configuration; deadlines and backoff waits
+  /// are priced off its expected time.
+  void set_reference(const search::FlagConfig& reference) {
+    reference_ = reference;
+    has_reference_ = true;
+  }
+
+  /// Guarded production-like invocation. Throws ConfigFailed when the
+  /// config is quarantined or its retry budget is exhausted.
+  sim::InvocationResult invoke(const search::FlagConfig& cfg,
+                               const sim::Invocation& inv);
+
+  /// Guarded RBR measurement batch (faults attributed to `exp`).
+  std::vector<sim::RbrPairResult> invoke_rbr_batch(
+      const search::FlagConfig& best, const search::FlagConfig& exp,
+      const sim::Invocation& inv, const sim::RbrOptions& opts);
+
+  /// Validate one invocation of `cfg` against the reference output
+  /// digest; quarantines and throws ConfigFailed on a miscompile.
+  void validate(const search::FlagConfig& cfg, const sim::Invocation& inv);
+
+  /// Observer for journal/metrics; called once per observed fault.
+  void set_on_fault(std::function<void(const FaultEvent&)> cb) {
+    on_fault_ = std::move(cb);
+  }
+
+  [[nodiscard]] const GuardPolicy& policy() const { return policy_; }
+  [[nodiscard]] Quarantine& quarantine() { return quarantine_; }
+
+private:
+  /// Shared retry loop: runs `body` under an armed deadline for up to
+  /// 1 + max_retries attempts. Records failures, charges backoff, and
+  /// converts exhaustion into ConfigFailed.
+  template <typename Body>
+  auto guarded(const search::FlagConfig& cfg, const sim::Invocation& inv,
+               Body&& body);
+
+  void note_failure(FaultKind kind, const search::FlagConfig& cfg,
+                    const sim::Invocation& inv, std::size_t attempt,
+                    bool gave_up);
+  [[noreturn]] void fail_config(FaultKind kind,
+                                const search::FlagConfig& cfg);
+
+  sim::SimExecutionBackend& backend_;
+  Quarantine& quarantine_;
+  GuardPolicy policy_;
+  search::FlagConfig reference_;
+  bool has_reference_ = false;
+  std::function<void(const FaultEvent&)> on_fault_;
+};
+
+}  // namespace peak::fault

@@ -1,0 +1,58 @@
+#include "fault/quarantine.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace peak::fault {
+
+bool Quarantine::contains(const std::string& config_key) const {
+  const auto it = entries_.find(config_key);
+  return it != entries_.end() && it->second.quarantined;
+}
+
+std::optional<FaultKind> Quarantine::kind_of(
+    const std::string& config_key) const {
+  const auto it = entries_.find(config_key);
+  if (it == entries_.end() || !it->second.quarantined) return std::nullopt;
+  return it->second.kind;
+}
+
+bool Quarantine::record_failure(const std::string& config_key,
+                                FaultKind kind, std::size_t threshold) {
+  Entry& e = entries_[config_key];
+  ++e.failures;
+  e.kind = kind;
+  if (e.quarantined || e.failures < threshold) return false;
+  e.quarantined = true;
+  obs::counter("fault.quarantined").inc();
+  return true;
+}
+
+void Quarantine::quarantine(const std::string& config_key, FaultKind kind) {
+  Entry& e = entries_[config_key];
+  if (e.quarantined) return;
+  e.quarantined = true;
+  e.kind = kind;
+  if (e.failures == 0) e.failures = 1;
+  obs::counter("fault.quarantined").inc();
+}
+
+void Quarantine::restore_failures(const std::string& config_key,
+                                  FaultKind kind, std::size_t failures) {
+  Entry& e = entries_[config_key];
+  e.failures = failures;
+  if (kind != FaultKind::kNone) e.kind = kind;
+}
+
+std::size_t Quarantine::failures_of(const std::string& config_key) const {
+  const auto it = entries_.find(config_key);
+  return it == entries_.end() ? 0 : it->second.failures;
+}
+
+std::size_t Quarantine::size() const {
+  std::size_t n = 0;
+  for (const auto& [key, e] : entries_)
+    if (e.quarantined) ++n;
+  return n;
+}
+
+}  // namespace peak::fault

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file quarantine.hpp
+/// Registry of configurations the tuner must never measure again. A config
+/// enters quarantine when it fails deterministically often enough (crash /
+/// hang retry budget exhausted) or immediately on a validation failure
+/// (miscompiled output). The search algorithms consult the registry
+/// through ConfigEvaluator::excluded() and skip quarantined flag sets, so
+/// the search degrades gracefully instead of aborting; core::ConfigStore
+/// persists the entries beside the tuned configurations.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "fault/fault.hpp"
+
+namespace peak::fault {
+
+class Quarantine {
+public:
+  struct Entry {
+    FaultKind kind = FaultKind::kNone;  ///< kind of the decisive failure
+    std::size_t failures = 0;           ///< observed failure count
+    bool quarantined = false;
+  };
+
+  [[nodiscard]] bool contains(const std::string& config_key) const;
+  [[nodiscard]] std::optional<FaultKind> kind_of(
+      const std::string& config_key) const;
+
+  /// Record one observed failure. Once the count reaches `threshold` the
+  /// config is quarantined; returns true when this call crossed it.
+  bool record_failure(const std::string& config_key, FaultKind kind,
+                      std::size_t threshold);
+
+  /// Quarantine immediately (validation failures: a wrong answer is
+  /// disqualifying on the first observation).
+  void quarantine(const std::string& config_key, FaultKind kind);
+
+  /// Restore a failure count verbatim (journal replay).
+  void restore_failures(const std::string& config_key, FaultKind kind,
+                        std::size_t failures);
+
+  [[nodiscard]] std::size_t failures_of(
+      const std::string& config_key) const;
+
+  /// Number of quarantined configs (not merely failure-counted ones).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace peak::fault

@@ -52,6 +52,10 @@ public:
   [[nodiscard]] Rating rating() const { return rater_.rating(); }
   [[nodiscard]] std::size_t runs() const { return rater_.size(); }
   [[nodiscard]] bool converged() const { return rater_.converged(); }
+  /// True once the window's sample budget is spent. Counts dropped
+  /// non-finite run totals too (see WindowedRater::add), so a stream of
+  /// garbage timings exhausts the rater instead of looping forever.
+  [[nodiscard]] bool exhausted() const { return rater_.exhausted(); }
 
   /// Whole-run samples are few and already heavily averaged; a small
   /// window with a looser convergence bound matches how such systems are

@@ -24,6 +24,18 @@ WindowedRater::WindowedRater(WindowPolicy policy)
     : policy_(policy) {}
 
 void WindowedRater::add(double sample) {
+  // A non-finite sample (glitched timer, faulted run) must never enter
+  // the window: one NaN makes mean/variance NaN forever, and an Inf
+  // defeats the MAD filter's median arithmetic. Drop it — the stream
+  // simply yields the next invocation — and count the drop so fault
+  // sweeps can assert contamination stayed out of the ratings.
+  if (!std::isfinite(sample)) {
+    static obs::Counter& nonfinite_dropped =
+        obs::counter("rating.nonfinite_dropped");
+    nonfinite_dropped.inc();
+    ++nonfinite_dropped_;
+    return;
+  }
   static obs::Counter& samples_added = obs::counter("window.samples");
   samples_added.inc();
   samples_.push_back(sample);

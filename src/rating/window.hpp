@@ -32,6 +32,10 @@ class WindowedRater {
 public:
   explicit WindowedRater(WindowPolicy policy = {});
 
+  /// Insert one sample. Non-finite samples are rejected (dropped and
+  /// counted, both here and on the `rating.nonfinite_dropped` obs
+  /// counter); they still count toward exhaustion so a stream of garbage
+  /// measurements exhausts the window instead of spinning forever.
   void add(double sample);
 
   /// Current (EVAL, VAR) over the outlier-filtered window. EVAL = mean,
@@ -43,16 +47,20 @@ public:
 
   [[nodiscard]] bool converged() const { return rating().converged; }
   [[nodiscard]] bool exhausted() const {
-    return samples_.size() >= policy_.max_samples;
+    return samples_.size() + nonfinite_dropped_ >= policy_.max_samples;
   }
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
   [[nodiscard]] std::size_t outliers_dropped() const;
+  [[nodiscard]] std::size_t nonfinite_dropped() const {
+    return nonfinite_dropped_;
+  }
   [[nodiscard]] const std::vector<double>& samples() const {
     return samples_;
   }
   void reset() {
     samples_.clear();
     sorted_.clear();
+    nonfinite_dropped_ = 0;
     cache_valid_ = false;
   }
 
@@ -61,6 +69,7 @@ private:
 
   WindowPolicy policy_;
   std::vector<double> samples_;
+  std::size_t nonfinite_dropped_ = 0;
   /// Ascending mirror of samples_, maintained incrementally so the MAD
   /// outlier filter needs no per-rating copy or selection.
   std::vector<double> sorted_;

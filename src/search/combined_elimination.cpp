@@ -19,6 +19,14 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
     std::vector<std::pair<double, std::size_t>> harmful;  // (R, flag)
     for (std::size_t f = 0; f < space.size(); ++f) {
       if (!base.enabled(f)) continue;
+      if (evaluator.excluded(base.with(f, false))) {
+        SearchEvent skip;
+        skip.kind = SearchEvent::Kind::kQuarantined;
+        skip.round = round;
+        skip.flag = space.flag(f).name;
+        result.events.push_back(std::move(skip));
+        continue;
+      }
       const double r = rate_config(evaluator, base, base.with(f, false),
                                    space.flag(f).name);
       ++result.configs_evaluated;
@@ -47,6 +55,14 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
     // ... then re-validate the rest against the updated base, in order.
     for (std::size_t i = 1; i < harmful.size(); ++i) {
       const std::size_t f = harmful[i].second;
+      if (evaluator.excluded(base.with(f, false))) {
+        SearchEvent skip;
+        skip.kind = SearchEvent::Kind::kQuarantined;
+        skip.round = round;
+        skip.flag = space.flag(f).name;
+        result.events.push_back(std::move(skip));
+        continue;
+      }
       const double r = rate_config(evaluator, base, base.with(f, false),
                                    space.flag(f).name);
       ++result.configs_evaluated;

@@ -16,6 +16,14 @@ SearchResult IterativeElimination::run(const OptimizationSpace& space,
     for (std::size_t f = 0; f < space.size(); ++f) {
       if (!base.enabled(f)) continue;
       const FlagConfig candidate = base.with(f, false);
+      if (evaluator.excluded(candidate)) {
+        SearchEvent skip;
+        skip.kind = SearchEvent::Kind::kQuarantined;
+        skip.round = round;
+        skip.flag = space.flag(f).name;
+        result.events.push_back(std::move(skip));
+        continue;
+      }
       const double r =
           rate_config(evaluator, base, candidate, space.flag(f).name);
       ++result.configs_evaluated;
@@ -58,6 +66,13 @@ SearchResult BatchElimination::run(const OptimizationSpace& space,
   for (std::size_t f = 0; f < space.size(); ++f) {
     if (!base.enabled(f)) continue;
     const FlagConfig candidate = base.with(f, false);
+    if (evaluator.excluded(candidate)) {
+      SearchEvent skip;
+      skip.kind = SearchEvent::Kind::kQuarantined;
+      skip.flag = space.flag(f).name;
+      result.events.push_back(std::move(skip));
+      continue;
+    }
     const double r =
         rate_config(evaluator, base, candidate, space.flag(f).name);
     ++result.configs_evaluated;

@@ -25,6 +25,14 @@ public:
   /// faster. (For time-based raters this is time(base)/time(cfg).)
   virtual double relative_improvement(const FlagConfig& base,
                                       const FlagConfig& cfg) = 0;
+
+  /// True when `cfg` must not be measured at all (quarantined after
+  /// deterministic failures). Search algorithms skip such candidates and
+  /// emit a kQuarantined event instead of probing them.
+  [[nodiscard]] virtual bool excluded(const FlagConfig& cfg) const {
+    (void)cfg;
+    return false;
+  }
 };
 
 /// One structured decision made by a search algorithm (or by the tuning
@@ -45,6 +53,7 @@ struct SearchEvent {
     kMethodChosen, ///< driver: rating method `flag` selected (round =
                    ///< position in the consultant's chain)
     kAbandoned,    ///< driver: method gave up; reason in `note`
+    kQuarantined,  ///< candidate touching `flag` skipped: quarantined
     kNote,         ///< free text in `note`
   };
   Kind kind = Kind::kNote;
@@ -52,6 +61,8 @@ struct SearchEvent {
   std::string flag;    ///< flag or method name, when applicable
   double ratio = 0.0;  ///< measured R, when applicable
   std::string note;    ///< free text for kAbandoned / kNote
+
+  friend bool operator==(const SearchEvent&, const SearchEvent&) = default;
 };
 
 /// Render one event exactly as the legacy string log did.

@@ -55,6 +55,9 @@ std::string render(const SearchEvent& event) {
     case SearchEvent::Kind::kAbandoned:
       os << "abandoned: " << event.note;
       break;
+    case SearchEvent::Kind::kQuarantined:
+      os << "skip " << event.flag << " (quarantined)";
+      break;
     case SearchEvent::Kind::kNote:
       os << event.note;
       break;

@@ -79,6 +79,9 @@ public:
 
   [[nodiscard]] double warmth() const { return warmth_; }
 
+  /// Restore a previously observed warmth verbatim (snapshot/resume).
+  void set_warmth(double warmth) { warmth_ = warmth; }
+
 private:
   double cold_penalty_;
   double warmup_rate_;

@@ -1,9 +1,11 @@
 #include "sim/exec_backend.hpp"
 
 #include <bit>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace peak::sim {
 
@@ -19,6 +21,42 @@ struct BaseCacheMetrics {
 BaseCacheMetrics& base_cache_metrics() {
   static BaseCacheMetrics metrics;
   return metrics;
+}
+
+struct FaultMetrics {
+  obs::Counter& injected = obs::counter("fault.injected");
+  obs::Counter& deadline = obs::counter("fault.deadline_exceeded");
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics metrics;
+  return metrics;
+}
+
+/// FNV-1a over the bit patterns of a post-run memory image — the
+/// Modified_Input digest that validation compares against the reference.
+std::uint64_t memory_digest(const ir::Memory& memory) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(memory.scalars.size());
+  for (double v : memory.scalars) mix(std::bit_cast<std::uint64_t>(v));
+  mix(memory.arrays.size());
+  for (const auto& arr : memory.arrays) {
+    mix(arr.size());
+    for (double v : arr) mix(std::bit_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+/// Nonzero, config-dependent corruption applied to a miscompiled
+/// version's output digest.
+std::uint64_t digest_corruption(const search::FlagConfig& cfg) {
+  std::uint64_t h = 0x6d69736f757470ULL;  // "misoutp"
+  for (std::uint64_t w : cfg.bits().words()) h = support::hash_combine(h, w);
+  return h | 1;
 }
 
 }  // namespace
@@ -67,6 +105,10 @@ const SimExecutionBackend::BaseRun& SimExecutionBackend::base_run(
   base.cycles = run.cycles;
   base.counters = std::make_shared<const std::vector<std::uint64_t>>(
       std::move(run.counters));
+  // Both engines leave bit-identical memory images (the differential
+  // contract in tests/test_ir_bytecode.cpp), so the digest is
+  // engine-independent.
+  base.digest = memory_digest(pool_memory_);
   if (inv.context_determines_time) {
     metrics.miss.inc();
     auto [it, inserted] = base_cache_.emplace(inv.context, std::move(base));
@@ -152,13 +194,92 @@ double SimExecutionBackend::charge_restore(std::size_t bytes) {
   return cost;
 }
 
+fault::FaultKind SimExecutionBackend::fault_kind(
+    const search::FlagConfig& cfg, const Invocation& inv) const {
+  if (injector_ == nullptr) return fault::FaultKind::kNone;
+  return injector_->fire(cfg, inv.id, fault_attempt_);
+}
+
+void SimExecutionBackend::raise_fault(fault::FaultKind kind,
+                                      const search::FlagConfig& cfg,
+                                      const Invocation& inv,
+                                      double nominal) {
+  fault_metrics().injected.inc();
+  const bool transient = !injector_->decide(cfg).deterministic;
+  const std::string where =
+      " (config " + cfg.key() + ", invocation " + std::to_string(inv.id) +
+      ")";
+  switch (kind) {
+    case fault::FaultKind::kCrash: {
+      // The run aborted partway: half the nominal duration was spent.
+      const double partial = 0.5 * nominal;
+      accumulated_ += partial;
+      breakdown_.faulted += partial;
+      throw fault::CrashFault(transient, "injected crash" + where);
+    }
+    case fault::FaultKind::kHang: {
+      if (deadline_cycles_ > 0.0) {
+        // The watchdog waited out the full deadline before giving up.
+        accumulated_ += deadline_cycles_;
+        breakdown_.faulted += deadline_cycles_;
+        fault_metrics().deadline.inc();
+        throw fault::DeadlineExceeded(
+            deadline_cycles_, "injected hang hit the deadline" + where);
+      }
+      throw fault::HangFault("injected hang with no deadline armed" +
+                             where);
+    }
+    case fault::FaultKind::kTimerGlitch: {
+      // RBR path: the pair ran (charge its duration) but the timer
+      // glitched, so the measurements are unusable and discarded.
+      accumulated_ += nominal;
+      breakdown_.faulted += nominal;
+      throw fault::FaultError(fault::FaultKind::kTimerGlitch, transient,
+                              "injected timer glitch" + where);
+    }
+    case fault::FaultKind::kCheckpointCorrupt: {
+      // The save completed (and is charged) but verification of the
+      // restored image failed; the measurement pair is lost.
+      charge_save(modified_input_bytes_);
+      throw fault::CheckpointCorruptFault(
+          transient, "injected checkpoint corruption" + where);
+    }
+    case fault::FaultKind::kNone:
+    case fault::FaultKind::kMiscompile:
+      break;
+  }
+  PEAK_CHECK(false, "raise_fault called with a non-raising kind");
+}
+
 InvocationResult SimExecutionBackend::invoke(const search::FlagConfig& cfg,
                                              const Invocation& inv) {
   const BaseRun& base = base_run(inv);
+  const double mult = multiplier(cfg, inv);
+  const fault::FaultKind fk = fault_kind(cfg, inv);
+  const double nominal = base.cycles * mult * inv.irregularity;
+  // Fault paths throw before any noise draw: a retried transient fault
+  // resumes the perturbation stream exactly where a fault-free run would
+  // be, so transient faults cost time but never skew samples.
+  if (fk == fault::FaultKind::kCrash || fk == fault::FaultKind::kHang)
+    raise_fault(fk, cfg, inv, nominal);
   warmth_.on_new_data();
   InvocationResult result;
-  result.time = timed_run(base, multiplier(cfg, inv), inv.irregularity);
+  if (fk == fault::FaultKind::kTimerGlitch) {
+    // The run completes (charge its nominal duration) but the timer
+    // wrapped: report an absurd reading, again without a noise draw.
+    fault_metrics().injected.inc();
+    accumulated_ += nominal;
+    breakdown_.faulted += nominal;
+    result.time = std::numeric_limits<double>::infinity();
+  } else {
+    result.time = timed_run(base, mult, inv.irregularity);
+  }
   result.counters = base.counters;
+  result.output_digest = base.digest;
+  if (fk == fault::FaultKind::kMiscompile) {
+    fault_metrics().injected.inc();
+    result.output_digest ^= digest_corruption(cfg);
+  }
   return result;
 }
 
@@ -219,6 +340,14 @@ RbrPairResult SimExecutionBackend::invoke_rbr_pair(
   const double m_best = multiplier(best, inv);
   const double m_exp = multiplier(exp, inv);
 
+  // Faults are attributed to the experimental version (the current best
+  // already survived validation). All raising kinds throw here, before
+  // any noise draw; a miscompiled version times normally and is caught by
+  // the guarded executor's digest validation instead.
+  const fault::FaultKind fk = fault_kind(exp, inv);
+  if (fk != fault::FaultKind::kNone && fk != fault::FaultKind::kMiscompile)
+    raise_fault(fk, exp, inv, base.cycles * m_exp * inv.irregularity);
+
   RbrPairResult result;
   warmth_.on_new_data();
 
@@ -267,6 +396,36 @@ RbrPairResult SimExecutionBackend::invoke_rbr_pair(
     result.overhead += result.time_exp;
   }
   return result;
+}
+
+SimExecutionBackend::Snapshot SimExecutionBackend::snapshot_state() const {
+  Snapshot s;
+  s.rng_state = noise_.rng().state();
+  s.warmth = warmth_.warmth();
+  s.accumulated = accumulated_;
+  s.timed = breakdown_.timed;
+  s.precondition = breakdown_.precondition;
+  s.checkpoint = breakdown_.checkpoint;
+  s.faulted = breakdown_.faulted;
+  s.saves = breakdown_.saves;
+  s.restores = breakdown_.restores;
+  s.checkpoint_bytes = breakdown_.checkpoint_bytes;
+  s.swap_toggle = swap_toggle_;
+  return s;
+}
+
+void SimExecutionBackend::restore_state(const Snapshot& snap) {
+  noise_.rng().set_state(snap.rng_state);
+  warmth_.set_warmth(snap.warmth);
+  accumulated_ = snap.accumulated;
+  breakdown_.timed = snap.timed;
+  breakdown_.precondition = snap.precondition;
+  breakdown_.checkpoint = snap.checkpoint;
+  breakdown_.faulted = snap.faulted;
+  breakdown_.saves = snap.saves;
+  breakdown_.restores = snap.restores;
+  breakdown_.checkpoint_bytes = snap.checkpoint_bytes;
+  swap_toggle_ = snap.swap_toggle;
 }
 
 }  // namespace peak::sim

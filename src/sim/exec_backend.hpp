@@ -10,6 +10,7 @@
 /// overhead accounting, which the tuning-time experiments (Figure 7 c,d)
 /// read back.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "ir/bytecode.hpp"
 #include "ir/interpreter.hpp"
 #include "search/opt_config.hpp"
@@ -61,6 +63,11 @@ struct InvocationResult {
   /// configuration), so repeated invocations under different configs do
   /// not copy the vector. Never null after invoke(). Do not mutate.
   std::shared_ptr<const std::vector<std::uint64_t>> counters;
+  /// Digest of the post-run Modified_Input memory effects. Equals
+  /// reference_digest(inv) for a correct code version; an injected
+  /// miscompile corrupts it, which is how the guarded executor's
+  /// validation step detects wrong-answer configurations.
+  std::uint64_t output_digest = 0;
 };
 
 /// Which engine executes base runs. Both produce bit-identical results
@@ -130,6 +137,63 @@ public:
   /// the ground truth the consistency experiments compare ratings against.
   double expected_time(const search::FlagConfig& cfg, const Invocation& inv);
 
+  /// Layer a fault injector onto this backend (nullptr = fault-free).
+  /// With an injector installed, invoke() and the RBR entry points may
+  /// throw fault::FaultError subclasses or report corrupted results, per
+  /// the injector's verdict for (config, invocation, attempt). The
+  /// fault-free path is bit-identical to a backend without an injector:
+  /// fault checks consume no randomness.
+  void set_fault_injector(const fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return injector_;
+  }
+
+  /// Retry attempt number the next invocation runs under (the guarded
+  /// executor bumps this so transient faults can clear on retry).
+  void set_fault_attempt(std::size_t attempt) { fault_attempt_ = attempt; }
+
+  /// Arm the watchdog deadline: an injected hang charges this many cycles
+  /// and surfaces as fault::DeadlineExceeded instead of never returning.
+  /// 0 disarms the watchdog (hangs then throw fault::HangFault).
+  void set_deadline_cycles(double cycles) { deadline_cycles_ = cycles; }
+  [[nodiscard]] double deadline_cycles() const { return deadline_cycles_; }
+
+  /// Charge tuning overhead that did not come from a simulated run (retry
+  /// backoff waits); attributed to the faulted phase.
+  void charge_penalty(double cycles) {
+    accumulated_ += cycles;
+    breakdown_.faulted += cycles;
+  }
+
+  /// Digest of the reference (correct) post-run memory effects for this
+  /// invocation — what validation compares an experimental version's
+  /// InvocationResult::output_digest against.
+  std::uint64_t reference_digest(const Invocation& inv) {
+    return base_run(inv).digest;
+  }
+
+  /// Bit-exact snapshot of the backend's mutable stochastic state, enough
+  /// to resume an interrupted tuning run deterministically. The base-run
+  /// and multiplier caches are deliberately absent: they memoize pure
+  /// functions and rebuild on demand without consuming randomness.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> rng_state{};
+    double warmth = 0.0;
+    double accumulated = 0.0;
+    double timed = 0.0;
+    double precondition = 0.0;
+    double checkpoint = 0.0;
+    double faulted = 0.0;
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    bool swap_toggle = false;
+  };
+  [[nodiscard]] Snapshot snapshot_state() const;
+  void restore_state(const Snapshot& snap);
+
   /// Accumulated simulated wall time of everything this backend executed
   /// (timed runs, preconditioning, save/restore). This is the tuning cost.
   [[nodiscard]] double accumulated_time() const { return accumulated_; }
@@ -145,6 +209,9 @@ public:
     double timed = 0.0;         ///< production-like and experimental runs
     double precondition = 0.0;  ///< untimed cache-warming runs
     double checkpoint = 0.0;    ///< save/restore traffic
+    /// Cycles lost to injected faults: partial crashed runs, hang time up
+    /// to the watchdog deadline, retry backoff waits.
+    double faulted = 0.0;
     std::uint64_t saves = 0;
     std::uint64_t restores = 0;
     std::uint64_t checkpoint_bytes = 0;  ///< total bytes saved + restored
@@ -175,6 +242,8 @@ private:
     double cycles = 0.0;
     /// Shared with every InvocationResult derived from this base run.
     std::shared_ptr<const std::vector<std::uint64_t>> counters;
+    /// FNV-1a over the post-run memory image (the reference output).
+    std::uint64_t digest = 0;
   };
 
   /// Hashed multiplier-cache key: flag bitset words plus (only when the
@@ -202,6 +271,17 @@ private:
   /// tests assert Table-1 workload traces never take the uncacheable path.
   const BaseRun& base_run(const Invocation& inv);
   double multiplier(const search::FlagConfig& cfg, const Invocation& inv);
+  /// Injector verdict for this (config, invocation) under the current
+  /// retry attempt; kNone when no injector is installed.
+  fault::FaultKind fault_kind(const search::FlagConfig& cfg,
+                              const Invocation& inv) const;
+  /// Price and raise an injected crash/hang/checkpoint fault. `nominal`
+  /// is the noise-free expected duration of the faulted run. Fault paths
+  /// deliberately consume no randomness: a retried transient fault
+  /// resumes the noise stream exactly where a fault-free run would be.
+  [[noreturn]] void raise_fault(fault::FaultKind kind,
+                                const search::FlagConfig& cfg,
+                                const Invocation& inv, double nominal);
   double checkpoint_cost(std::size_t bytes) const;
   double timed_run(const BaseRun& base, double mult, double irregularity,
                    bool precondition = false);
@@ -239,6 +319,10 @@ private:
   double accumulated_ = 0.0;
   CycleBreakdown breakdown_;
   bool swap_toggle_ = false;
+
+  const fault::FaultInjector* injector_ = nullptr;
+  std::size_t fault_attempt_ = 0;
+  double deadline_cycles_ = 0.0;
 };
 
 }  // namespace peak::sim

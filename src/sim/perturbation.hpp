@@ -41,6 +41,11 @@ public:
 
   [[nodiscard]] const NoiseProfile& profile() const { return profile_; }
 
+  /// The underlying stream, exposed so the execution backend can snapshot
+  /// and restore it bit-exactly for crash-safe resume.
+  [[nodiscard]] support::Rng& rng() { return rng_; }
+  [[nodiscard]] const support::Rng& rng() const { return rng_; }
+
 private:
   NoiseProfile profile_;
   support::Rng rng_;

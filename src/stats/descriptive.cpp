@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "support/check.hpp"
+
 namespace peak::stats {
 
 double mean(std::span<const double> xs) {
@@ -47,6 +49,10 @@ double mad(std::span<const double> xs) {
 
 double median_sorted(std::span<const double> sorted) {
   if (sorted.empty()) return 0.0;
+  // A NaN sorts to the front (comparisons are all-false), an Inf to either
+  // end; checking the two ends therefore guards the whole span in O(1).
+  PEAK_CHECK(std::isfinite(sorted.front()) && std::isfinite(sorted.back()),
+             "median_sorted: non-finite sample in window");
   const std::size_t mid = sorted.size() / 2;
   if (sorted.size() % 2 == 1) return sorted[mid];
   return 0.5 * (sorted[mid - 1] + sorted[mid]);
@@ -54,6 +60,8 @@ double median_sorted(std::span<const double> sorted) {
 
 double mad_sorted(std::span<const double> sorted) {
   if (sorted.empty()) return 0.0;
+  PEAK_CHECK(std::isfinite(sorted.front()) && std::isfinite(sorted.back()),
+             "mad_sorted: non-finite sample in window");
   const double med = median_sorted(sorted);
   const std::size_t n = sorted.size();
   // Deviations |x - med| of the left run (x <= med) grow toward index 0,

@@ -66,6 +66,15 @@ RegressionResult least_squares(const Matrix& design,
   PEAK_CHECK(y.size() == m, "y length must match design rows");
   if (m == 0 || n == 0 || m < n) return result;  // under-determined
 
+  // A single NaN/Inf observation (a glitched timer, a corrupted counter)
+  // would silently poison every coefficient; fail the fit instead, which
+  // the MBR rater already treats as "not converged yet".
+  for (double v : y)
+    if (!std::isfinite(v)) return result;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (!std::isfinite(design(i, j))) return result;
+
   QrState qr = householder_qr(design, y);
 
   // Rank detection from |R_kk| relative to the largest diagonal entry.

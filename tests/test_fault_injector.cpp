@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
+#include "search/opt_config.hpp"
+#include "support/rng.hpp"
+
+namespace peak::fault {
+namespace {
+
+search::FlagConfig random_config(support::Rng& rng) {
+  const auto& space = search::gcc33_o3_space();
+  search::FlagConfig cfg(space);
+  for (std::size_t f = 0; f < space.size(); ++f)
+    cfg.set(f, rng.uniform() < 0.5);
+  return cfg;
+}
+
+TEST(FaultKindTest, NamesRoundTrip) {
+  for (FaultKind k :
+       {FaultKind::kNone, FaultKind::kCrash, FaultKind::kHang,
+        FaultKind::kMiscompile, FaultKind::kTimerGlitch,
+        FaultKind::kCheckpointCorrupt}) {
+    const auto parsed = parse_fault_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_fault_kind("sigsegv").has_value());
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverFaults) {
+  FaultInjector injector;  // default model: fault_prob = 0
+  support::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const search::FlagConfig cfg = random_config(rng);
+    EXPECT_EQ(injector.decide(cfg).kind, FaultKind::kNone);
+    EXPECT_EQ(injector.fire(cfg, 0, 0), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedReproducesVerdictsAcrossInstances) {
+  FaultModel model;
+  model.fault_prob = 0.3;
+  model.seed = 0xabcdef;
+  const FaultInjector a(model);
+  const FaultInjector b(model);
+  support::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const search::FlagConfig cfg = random_config(rng);
+    const FaultDecision da = a.decide(cfg);
+    const FaultDecision db = b.decide(cfg);
+    EXPECT_EQ(da.kind, db.kind);
+    EXPECT_EQ(da.deterministic, db.deterministic);
+    for (std::uint64_t inv = 0; inv < 4; ++inv)
+      for (std::size_t attempt = 0; attempt < 3; ++attempt)
+        EXPECT_EQ(a.fire(cfg, inv, attempt), b.fire(cfg, inv, attempt));
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentFaultSets) {
+  FaultModel m1;
+  m1.fault_prob = 0.3;
+  m1.seed = 1;
+  FaultModel m2 = m1;
+  m2.seed = 2;
+  const FaultInjector a(m1);
+  const FaultInjector b(m2);
+  support::Rng rng(13);
+  int differing = 0;
+  for (int i = 0; i < 300; ++i) {
+    const search::FlagConfig cfg = random_config(rng);
+    if (a.decide(cfg).kind != b.decide(cfg).kind) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(FaultInjectorTest, StochasticRateTracksFaultProbability) {
+  FaultModel model;
+  model.fault_prob = 0.05;
+  const FaultInjector injector(model);
+  support::Rng rng(17);
+  int faulty = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    if (injector.decide(random_config(rng)).kind != FaultKind::kNone)
+      ++faulty;
+  const double rate = static_cast<double>(faulty) / n;
+  EXPECT_GT(rate, 0.03);
+  EXPECT_LT(rate, 0.08);
+}
+
+TEST(FaultInjectorTest, HangsAndMiscompilesAreAlwaysDeterministic) {
+  FaultModel model;
+  model.fault_prob = 0.5;
+  model.deterministic_fraction = 0.0;  // everything else transient
+  const FaultInjector injector(model);
+  support::Rng rng(19);
+  int seen = 0;
+  for (int i = 0; i < 2000 && seen < 50; ++i) {
+    const search::FlagConfig cfg = random_config(rng);
+    const FaultDecision d = injector.decide(cfg);
+    if (d.kind == FaultKind::kHang || d.kind == FaultKind::kMiscompile) {
+      EXPECT_TRUE(d.deterministic) << to_string(d.kind);
+      ++seen;
+    } else if (d.kind != FaultKind::kNone) {
+      EXPECT_FALSE(d.deterministic) << to_string(d.kind);
+    }
+  }
+  EXPECT_GT(seen, 0);
+}
+
+TEST(FaultInjectorTest, TransientFaultsClearOnSomeAttempts) {
+  FaultModel model;
+  model.fault_prob = 1.0;
+  model.crash_weight = 1.0;
+  model.hang_weight = model.miscompile_weight = 0.0;
+  model.glitch_weight = model.checkpoint_weight = 0.0;
+  model.deterministic_fraction = 0.0;
+  model.transient_fire_prob = 0.5;
+  const FaultInjector injector(model);
+  support::Rng rng(23);
+  int fired = 0;
+  int clear = 0;
+  for (int i = 0; i < 100; ++i) {
+    const search::FlagConfig cfg = random_config(rng);
+    for (std::uint64_t inv = 0; inv < 4; ++inv)
+      for (std::size_t attempt = 0; attempt < 3; ++attempt)
+        (injector.fire(cfg, inv, attempt) == FaultKind::kCrash ? fired
+                                                               : clear)++;
+  }
+  // ~half of the (invocation, attempt) draws fire; both outcomes occur.
+  EXPECT_GT(fired, 300);
+  EXPECT_GT(clear, 300);
+}
+
+TEST(FaultInjectorTest, ExemptConfigNeverFaults) {
+  FaultModel model;
+  model.fault_prob = 1.0;  // everything is faulty...
+  FaultInjector injector(model);
+  const search::FlagConfig o3 =
+      search::o3_config(search::gcc33_o3_space());
+  injector.exempt(o3);  // ...except the shipping -O3 configuration
+  EXPECT_EQ(injector.decide(o3).kind, FaultKind::kNone);
+  EXPECT_EQ(injector.fire(o3, 0, 0), FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, ScriptedFaultOverridesStochasticVerdict) {
+  FaultInjector injector;  // fault_prob = 0: nothing fires stochastically
+  const search::FlagConfig o3 =
+      search::o3_config(search::gcc33_o3_space());
+  ScriptedFault sf;
+  sf.config_key = o3.key();
+  sf.invocation_id = 3;
+  sf.kind = FaultKind::kCrash;
+  sf.sticky = false;  // transient: clears after the first attempt
+  injector.script(sf);
+
+  EXPECT_EQ(injector.fire(o3, 2, 0), FaultKind::kNone);  // other invocation
+  EXPECT_EQ(injector.fire(o3, 3, 0), FaultKind::kCrash);
+  EXPECT_EQ(injector.fire(o3, 3, 1), FaultKind::kNone);  // retry succeeds
+
+  ScriptedFault sticky = sf;
+  sticky.invocation_id = 5;
+  sticky.kind = FaultKind::kHang;
+  sticky.sticky = true;
+  injector.script(sticky);
+  EXPECT_EQ(injector.fire(o3, 5, 0), FaultKind::kHang);
+  EXPECT_EQ(injector.fire(o3, 5, 2), FaultKind::kHang);  // never clears
+}
+
+TEST(FaultInjectorTest, KindWeightsSelectKinds) {
+  FaultModel model;
+  model.fault_prob = 1.0;
+  model.crash_weight = 0.0;
+  model.hang_weight = 0.0;
+  model.miscompile_weight = 1.0;
+  model.glitch_weight = 0.0;
+  model.checkpoint_weight = 0.0;
+  const FaultInjector injector(model);
+  support::Rng rng(29);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(injector.decide(random_config(rng)).kind,
+              FaultKind::kMiscompile);
+}
+
+}  // namespace
+}  // namespace peak::fault

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rating/baselines.hpp"
 #include "rating/window.hpp"
 #include "stats/descriptive.hpp"
@@ -161,6 +163,64 @@ TEST_P(WindowSizeSweep, MeanSpreadShrinksWithWindow) {
 
 INSTANTIATE_TEST_SUITE_P(Table1Windows, WindowSizeSweep,
                          ::testing::Values(10, 20, 40, 80, 160));
+
+TEST(WindowedRater, NonFiniteSamplesAreDroppedNotRated) {
+  WindowedRater clean, dirty;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double x : {10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1}) {
+    clean.add(x);
+    dirty.add(x);
+    dirty.add(nan);  // a glitched timer reading between every good sample
+  }
+  dirty.add(inf);
+  dirty.add(-inf);
+  EXPECT_EQ(dirty.nonfinite_dropped(), 10u);
+  EXPECT_EQ(dirty.size(), clean.size());
+  // The rating is computed from the good samples only, bit for bit.
+  EXPECT_EQ(dirty.rating().eval, clean.rating().eval);
+  EXPECT_EQ(dirty.rating().var, clean.rating().var);
+}
+
+TEST(WindowedRater, AllNonFiniteStreamExhaustsInsteadOfSpinning) {
+  WindowPolicy policy;
+  policy.max_samples = 16;
+  WindowedRater rater(policy);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Dropped samples count toward the budget: a measurement loop of the
+  // form `while (!converged() && !exhausted())` must terminate even when
+  // every reading is garbage.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_FALSE(rater.exhausted());
+    rater.add(nan);
+  }
+  EXPECT_TRUE(rater.exhausted());
+  EXPECT_FALSE(rater.converged());
+  EXPECT_EQ(rater.size(), 0u);
+  EXPECT_EQ(rater.rating().samples, 0u);
+}
+
+TEST(WindowedRater, ResetClearsNonFiniteTally) {
+  WindowedRater rater;
+  rater.add(std::numeric_limits<double>::infinity());
+  ASSERT_EQ(rater.nonfinite_dropped(), 1u);
+  rater.reset();
+  EXPECT_EQ(rater.nonfinite_dropped(), 0u);
+}
+
+TEST(WholeProgramRater, GarbageRunTotalsExhaustTheRater) {
+  WholeProgramRater rater;
+  const std::size_t budget =
+      WholeProgramRater::whl_policy().max_samples;
+  for (std::size_t run = 0; run < budget; ++run) {
+    ASSERT_FALSE(rater.exhausted());
+    rater.add_invocation(std::numeric_limits<double>::infinity());
+    rater.end_run();  // inf run total: dropped, but budgeted
+  }
+  EXPECT_TRUE(rater.exhausted());
+  EXPECT_FALSE(rater.converged());
+  EXPECT_EQ(rater.runs(), 0u);
+}
 
 }  // namespace
 }  // namespace peak::rating

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/descriptive.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace peak::stats {
@@ -112,6 +114,21 @@ TEST(SortedVariants, MadSortedHandlesConstantData) {
   const std::vector<double> xs(9, 4.2);
   EXPECT_DOUBLE_EQ(mad_sorted(xs), 0.0);
   EXPECT_DOUBLE_EQ(median_sorted(xs), 4.2);
+}
+
+TEST(SortedVariants, NonFiniteSamplesAreRejectedLoudly) {
+  // A NaN poisons order-statistics silently (std::sort's ordering becomes
+  // meaningless); the sorted variants must refuse the window instead of
+  // returning a garbage estimate. NaN sorts to an end under the library's
+  // upper_bound insertion, so the O(1) front/back check suffices.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> with_nan = {nan, 1.0, 2.0};
+  const std::vector<double> with_inf = {1.0, 2.0, inf};
+  EXPECT_THROW(median_sorted(with_nan), support::CheckError);
+  EXPECT_THROW(median_sorted(with_inf), support::CheckError);
+  EXPECT_THROW(mad_sorted(with_nan), support::CheckError);
+  EXPECT_THROW(mad_sorted(with_inf), support::CheckError);
 }
 
 TEST(Welford, MergeWithEmpty) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/regression.hpp"
@@ -163,6 +164,29 @@ TEST_P(RegressionScaleSweep, StableAcrossMagnitudes) {
 
 INSTANTIATE_TEST_SUITE_P(Magnitudes, RegressionScaleSweep,
                          ::testing::Values(1.0, 1e3, 1e6, 1e9));
+
+TEST(Regression, NonFiniteInputsFailTheFitInsteadOfPoisoningIt) {
+  // A single Inf sample (a glitched timer feeding MBR) must not leak NaN
+  // coefficients out of the QR solve: the fit reports ok = false and the
+  // caller falls back to "rating did not converge".
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix a{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  {
+    const std::vector<double> y = {2, 3, inf, 7};
+    EXPECT_FALSE(least_squares(a, y).ok);
+  }
+  {
+    const std::vector<double> y = {2, nan, 5, 7};
+    EXPECT_FALSE(least_squares(a, y).ok);
+  }
+  {
+    Matrix bad = a;
+    bad(2, 0) = nan;
+    const std::vector<double> y = {2, 3, 5, 7};
+    EXPECT_FALSE(least_squares(bad, y).ok);
+  }
+}
 
 }  // namespace
 }  // namespace peak::stats

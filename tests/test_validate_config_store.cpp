@@ -119,6 +119,39 @@ TEST(ConfigStore, RejectsUnknownFlagsAndGarbage) {
   EXPECT_EQ(store.size(), 0u);  // failed loads leave the store untouched
 }
 
+TEST(ConfigStore, QuarantineRecordsRoundTrip) {
+  const auto& space = search::gcc33_o3_space();
+  core::ConfigStore store(space);
+
+  search::FlagConfig broken = search::o3_config(space);
+  broken.set(0, false);
+  search::FlagConfig hung = search::o3_config(space);
+  hung.set(1, false);
+
+  core::StoredConfig entry;
+  entry.config = search::o3_config(space);
+  entry.method = rating::Method::kCBR;
+  entry.quarantined.push_back(
+      {broken.key(), fault::FaultKind::kMiscompile, 1});
+  entry.quarantined.push_back({hung.key(), fault::FaultKind::kHang, 2});
+  store.put("SWIM.calc3", "sparc2", entry);
+
+  const std::string text = store.serialize();
+  EXPECT_NE(text.find("quarantine = miscompile 1 " + broken.key()),
+            std::string::npos);
+
+  core::ConfigStore loaded(space);
+  ASSERT_TRUE(loaded.deserialize(text));
+  const auto got = loaded.get("SWIM.calc3", "sparc2");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->quarantined, entry.quarantined);
+
+  // Bad quarantine lines reject the whole file (no silent data loss).
+  EXPECT_FALSE(store.deserialize("[X @ m]\nquarantine = nope 1 00ff\n"));
+  EXPECT_FALSE(store.deserialize("[X @ m]\nquarantine = none 1 00ff\n"));
+  EXPECT_FALSE(store.deserialize("[X @ m]\nquarantine = crash\n"));
+}
+
 TEST(ConfigStore, FileRoundTrip) {
   const auto& space = search::gcc33_o3_space();
   core::ConfigStore store(space);

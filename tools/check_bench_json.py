@@ -4,7 +4,8 @@
 The bench binaries (bench_headline and friends) emit JSON next to their
 stdout report so dashboards and regression drivers can consume the numbers
 without scraping text. This script checks those files against the expected
-schema — run it in CI after the benches, or standalone:
+schema (headline, engine_compare, fault_sweep) and rejects NaN/Infinity
+anywhere in a document — run it in CI after the benches, or standalone:
 
     tools/check_bench_json.py BENCH_headline.json [...]
     tools/check_bench_json.py --self-test
@@ -23,6 +24,7 @@ otherwise. Stdlib only — no third-party dependencies.
 """
 
 import json
+import math
 import sys
 
 NUMBER = (int, float)
@@ -51,6 +53,32 @@ def _check_string(obj, key, path):
     _require(key in obj, path, f"missing key '{key}'")
     _require(isinstance(obj[key], str) and obj[key],
              f"{path}.{key}", "expected a non-empty string")
+
+
+def _check_bool(obj, key, path):
+    _require(key in obj, path, f"missing key '{key}'")
+    _require(isinstance(obj[key], bool), f"{path}.{key}",
+             "expected a boolean")
+
+
+def _check_all_finite(value, path):
+    """Reject NaN/Infinity anywhere in the document.
+
+    Python's json module happily parses the (non-standard) NaN/Infinity
+    literals, and a bench that averages a failed run into its summary will
+    emit exactly those. A NaN in a dashboard artifact is always a bug.
+    """
+    if isinstance(value, bool):
+        return
+    if isinstance(value, NUMBER):
+        _require(math.isfinite(value), path,
+                 f"non-finite number {value!r}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            _check_all_finite(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_all_finite(item, f"{path}[{i}]")
 
 
 def check_metrics(metrics, path):
@@ -136,14 +164,50 @@ def check_headline(doc, path):
     check_metrics(doc["metrics"], f"{path}.metrics")
 
 
+def check_fault_sweep(doc, path):
+    _require(doc.get("schema") == 1, path, "expected schema 1")
+    _require(isinstance(doc.get("sweep"), list) and doc["sweep"],
+             f"{path}.sweep", "expected a non-empty array")
+    for i, point in enumerate(doc["sweep"]):
+        ppath = f"{path}.sweep[{i}]"
+        _check_string(point, "benchmark", ppath)
+        _check_number(point, "fault_prob", ppath, minimum=0)
+        _require(point["fault_prob"] <= 1.0, f"{ppath}.fault_prob",
+                 "expected a probability in [0, 1]")
+        _check_number(point, "seed", ppath, minimum=0)
+        _check_bool(point, "guarded", ppath)
+        _check_bool(point, "completed", ppath)
+        _check_bool(point, "matches_baseline", ppath)
+        _check_number(point, "ref_improvement_pct", ppath)
+        _check_number(point, "quarantined", ppath, minimum=0)
+        _check_number(point, "invocations", ppath, minimum=0)
+        if point["completed"]:
+            _require(point["invocations"] >= 1, f"{ppath}.invocations",
+                     "a completed run consumed at least one invocation")
+        else:
+            _require(not point["matches_baseline"],
+                     f"{ppath}.matches_baseline",
+                     "a run that did not complete cannot match")
+    summary = doc.get("summary")
+    _require(isinstance(summary, dict), f"{path}.summary",
+             "expected an object")
+    for key in ("guarded_completion_rate", "unguarded_completion_rate",
+                "guarded_match_rate"):
+        _check_number(summary, key, f"{path}.summary", minimum=0)
+        _require(summary[key] <= 1.0, f"{path}.summary.{key}",
+                 "expected a rate in [0, 1]")
+
+
 CHECKERS = {
     "headline": check_headline,
     "engine_compare": check_engine_compare,
+    "fault_sweep": check_fault_sweep,
 }
 
 
 def check_document(doc, path="$"):
     _require(isinstance(doc, dict), path, "top level must be an object")
+    _check_all_finite(doc, path)
     _check_string(doc, "bench", path)
     checker = CHECKERS.get(doc["bench"])
     _require(checker is not None, f"{path}.bench",
@@ -263,6 +327,40 @@ GOOD = {
     },
 }
 
+GOOD_FAULT = {
+    "bench": "fault_sweep",
+    "schema": 1,
+    "sweep": [
+        {
+            "benchmark": "SWIM",
+            "fault_prob": 0.05,
+            "seed": 1,
+            "guarded": True,
+            "completed": True,
+            "matches_baseline": True,
+            "ref_improvement_pct": 5.3,
+            "quarantined": 4,
+            "invocations": 1452,
+        },
+        {
+            "benchmark": "SWIM",
+            "fault_prob": 0.05,
+            "seed": 1,
+            "guarded": False,
+            "completed": False,
+            "matches_baseline": False,
+            "ref_improvement_pct": 0.0,
+            "quarantined": 0,
+            "invocations": 0,
+        },
+    ],
+    "summary": {
+        "guarded_completion_rate": 1.0,
+        "unguarded_completion_rate": 0.0,
+        "guarded_match_rate": 1.0,
+    },
+}
+
 GOOD_ENGINE = {
     "bench": "engine_compare",
     "schema": 1,
@@ -337,6 +435,31 @@ def self_test():
         engine_speedup=GOOD_ENGINE["engine_speedup"])), True,
         "headline with engine_speedup rejected")
 
+    expect(GOOD_FAULT, True, "good fault_sweep document rejected")
+    expect(_mutate(GOOD_FAULT, lambda d: d.update(sweep=[])), False,
+           "empty sweep accepted")
+    expect(_mutate(GOOD_FAULT, lambda d: d["sweep"][0].update(
+        fault_prob=1.5)), False, "fault_prob > 1 accepted")
+    expect(_mutate(GOOD_FAULT, lambda d: d["sweep"][0].update(
+        guarded="yes")), False, "non-boolean guarded accepted")
+    expect(_mutate(GOOD_FAULT, lambda d: d["sweep"][1].update(
+        matches_baseline=True)), False,
+        "incomplete run claiming a baseline match accepted")
+    expect(_mutate(GOOD_FAULT, lambda d: d["summary"].update(
+        guarded_match_rate=1.2)), False, "rate > 1 accepted")
+    expect(_mutate(GOOD_FAULT, lambda d: d.pop("summary")), False,
+           "missing fault_sweep summary accepted")
+
+    # NaN/Inf rejection applies to every schema, at any depth.
+    expect(_mutate(GOOD_FAULT, lambda d: d["sweep"][0].update(
+        ref_improvement_pct=float("nan"))), False,
+        "NaN in fault_sweep accepted")
+    expect(_mutate(GOOD, lambda d: d["headline"].update(
+        avg_improvement_pct=float("inf"))), False,
+        "Infinity in headline accepted")
+    expect(_mutate(GOOD, lambda d: d["metrics"]["gauges"].update(
+        bad=float("nan"))), False, "NaN metric gauge accepted")
+
     def expect_compare(cand, base, pct, ok_expected, label):
         errors = compare_speedups(cand, base, pct)
         if bool(not errors) != ok_expected:
@@ -362,7 +485,7 @@ def self_test():
         for failure in failures:
             print(f"self-test: FAIL ({failure})")
         return False
-    print("self-test: OK (18 cases)")
+    print("self-test: OK (28 cases)")
     return True
 
 

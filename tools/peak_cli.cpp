@@ -11,6 +11,7 @@
 /// consultant's choice).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -22,6 +23,8 @@
 #include "core/profile.hpp"
 #include "core/config_store.hpp"
 #include "core/report.hpp"
+#include "core/tuning_driver.hpp"
+#include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -41,9 +44,20 @@ struct Args {
   std::string load_path;     ///< evaluate stored configs (apply)
   std::string trace_path;    ///< span/event export (.jsonl or Chrome JSON)
   std::string metrics_path;  ///< metrics registry snapshot (JSON)
+  double fault_prob = 0.0;        ///< per-config fault probability (tune)
+  std::uint64_t fault_seed = 0x5eed;  ///< fault injector seed
+  bool no_guard = false;          ///< disable the guarded executor
+  std::string journal_path;       ///< crash-safe tuning journal (tune)
+  bool resume = false;            ///< replay the journal before tuning
   bool csv = false;
   bool markdown = false;
   bool verbose = false;  ///< print the metrics table after the command
+
+  /// True when the tune command must run through the fault-aware driver
+  /// instead of the plain Peak facade.
+  [[nodiscard]] bool wants_driver() const {
+    return fault_prob > 0.0 || no_guard || !journal_path.empty() || resume;
+  }
 };
 
 std::optional<rating::Method> parse_method(const std::string& name) {
@@ -66,6 +80,11 @@ int usage() {
                "  --trace FILE    span trace (.jsonl = JSONL, else Chrome "
                "trace JSON)\n"
                "  --metrics FILE  metrics registry snapshot as JSON\n"
+               "  --fault-prob P  (tune) inject faults into P of configs\n"
+               "  --fault-seed S  (tune) fault injector seed\n"
+               "  --no-guard      (tune) disable the guarded executor\n"
+               "  --journal FILE  (tune) append-only crash-safe journal\n"
+               "  --resume        (tune) replay the journal, then continue\n"
                "  --verbose       print the metrics table on exit\n");
   return 2;
 }
@@ -114,6 +133,97 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+/// Fault-aware tuning: drives a TuningDriver directly so the fault
+/// injector, guarded executor, and crash-safe journal can be wired in.
+int cmd_tune_driver(const Args& args,
+                    const workloads::Workload& workload) {
+  const sim::MachineModel machine = machine_of(args);
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  const workloads::Trace train =
+      workload.trace(workloads::DataSet::kTrain, 42);
+  const core::ProfileData profile =
+      core::profile_workload(workload, train, machine);
+
+  fault::FaultModel model;
+  model.fault_prob = args.fault_prob;
+  model.seed = args.fault_seed;
+  fault::FaultInjector injector(model);
+  // The -O3 start config is shipping production code; faulting it would
+  // only test the harness, not the tuner.
+  injector.exempt(search::o3_config(effects.space()));
+
+  core::DriverOptions options;
+  if (args.fault_prob > 0.0) options.fault.injector = &injector;
+  options.fault.guard_execution = !args.no_guard;
+  options.fault.journal_path = args.journal_path;
+  options.fault.resume = args.resume;
+
+  core::TuningDriver driver(workload, profile, train, machine, effects,
+                            options);
+  core::TuningOutcome outcome;
+  try {
+    outcome = args.method ? driver.tune(*args.method) : driver.tune_auto();
+  } catch (const fault::FaultError& e) {
+    std::fprintf(stderr, "tuning died on an unguarded fault: %s\n",
+                 e.what());
+    return 1;
+  }
+
+  const workloads::Trace ref = workload.trace(workloads::DataSet::kRef, 1);
+  const double o3 = core::expected_trace_time(
+      workload, ref, machine, effects, search::o3_config(effects.space()));
+  const double tuned = core::expected_trace_time(workload, ref, machine,
+                                                 effects,
+                                                 outcome.best_config);
+
+  std::printf("%s on %s via %s\n", workload.full_name().c_str(),
+              machine.name.c_str(), rating::to_string(outcome.method));
+  std::printf("  improvement over -O3 (ref): %.2f%%\n",
+              (o3 / tuned - 1.0) * 100.0);
+  std::printf("  flags removed: %s\n",
+              outcome.best_config
+                  .describe(effects.space(), /*invert=*/true)
+                  .c_str());
+  std::printf("  cost: %zu invocations (%.2f program runs)\n",
+              outcome.cost.invocations, outcome.cost.program_runs);
+  if (args.fault_prob > 0.0)
+    std::printf("  faults: prob %.3f seed %llu, guard %s\n",
+                args.fault_prob,
+                static_cast<unsigned long long>(args.fault_seed),
+                args.no_guard ? "OFF" : "on");
+  if (!args.journal_path.empty())
+    std::printf("  journal: %s%s\n", args.journal_path.c_str(),
+                args.resume ? " (resumed)" : "");
+  const auto& quarantine = driver.quarantine();
+  if (quarantine.size() > 0 || args.fault_prob > 0.0) {
+    std::printf("  quarantined configs: %zu\n", quarantine.size());
+    for (const auto& [key, entry] : quarantine.entries()) {
+      if (!entry.quarantined) continue;
+      std::printf("    %s  (%s, %zu failures)\n", key.c_str(),
+                  fault::to_string(entry.kind), entry.failures);
+    }
+  }
+
+  if (!args.save_path.empty()) {
+    core::ConfigStore store(effects.space());
+    store.load_file(args.save_path);  // merge with existing records
+    core::StoredConfig entry;
+    entry.config = outcome.best_config;
+    entry.method = outcome.method;
+    entry.improvement_pct = (o3 / tuned - 1.0) * 100.0;
+    for (const auto& [key, q] : quarantine.entries())
+      if (q.quarantined)
+        entry.quarantined.push_back({key, q.kind, q.failures});
+    store.put(workload.full_name(), machine.name, entry);
+    if (!store.save_file(args.save_path)) {
+      std::fprintf(stderr, "failed to write %s\n", args.save_path.c_str());
+      return 1;
+    }
+    std::printf("  saved to %s\n", args.save_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_tune(const Args& args) {
   if (args.benchmark.empty()) return usage();
   const auto workload = workloads::make_workload(args.benchmark);
@@ -122,6 +232,7 @@ int cmd_tune(const Args& args) {
                  args.benchmark.c_str());
     return 1;
   }
+  if (args.wants_driver()) return cmd_tune_driver(args, *workload);
   const sim::MachineModel machine = machine_of(args);
   core::Peak peak(machine);
 
@@ -273,6 +384,23 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       args.metrics_path = v;
+    } else if (arg == "--fault-prob") {
+      const char* v = next();
+      if (!v) return usage();
+      args.fault_prob = std::strtod(v, nullptr);
+      if (args.fault_prob < 0.0 || args.fault_prob > 1.0) return usage();
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!v) return usage();
+      args.fault_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--no-guard") {
+      args.no_guard = true;
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (!v) return usage();
+      args.journal_path = v;
+    } else if (arg == "--resume") {
+      args.resume = true;
     } else if (arg == "--csv") {
       args.csv = true;
     } else if (arg == "--markdown") {
