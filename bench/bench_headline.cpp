@@ -15,6 +15,7 @@
 #include "engine_compare.hpp"
 #include "fig7_common.hpp"
 #include "obs/export.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
@@ -67,6 +68,8 @@ bool write_json(const std::string& path,
   bench::write_engine_speedup_fragment(os, engines);
   os << ",\"metrics\":";
   obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
+  os << ",\"cost_attribution\":";
+  obs::write_ledger_json(obs::Ledger::global().snapshot(), os);
   os << "}\n";
   return static_cast<bool>(os);
 }

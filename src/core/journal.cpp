@@ -239,6 +239,9 @@ sim::SimExecutionBackend::Snapshot parse_backend_snapshot(
   s.precondition = j.at("pre").as_hex_double();
   s.checkpoint = j.at("ckpt").as_hex_double();
   s.faulted = j.at("faulted").as_hex_double();
+  // Absent in journals written before the retry phase existed; those
+  // runs folded backoff into "faulted", so zero is the faithful value.
+  if (j.has("retry")) s.retry = j.at("retry").as_hex_double();
   s.saves = j.at("saves").as_u64();
   s.restores = j.at("restores").as_u64();
   s.checkpoint_bytes = j.at("ckpt_bytes").as_u64();
@@ -258,6 +261,13 @@ JournalEval parse_eval(const JsonValue& j) {
   if (j.has("validated"))
     for (const JsonValue& v : j.at("validated").as_array())
       e.validated_added.push_back(v.as_string());
+  if (j.has("robs"))
+    for (const JsonValue& o : j.at("robs").as_array()) {
+      JournalEval::RatingObs obs;
+      obs.converged = o.at("c").as_bool();
+      obs.samples = o.at("s").as_u64();
+      e.ratings_observed.push_back(obs);
+    }
   if (j.has("fails"))
     for (const JsonValue& f : j.at("fails").as_array()) {
       JournalEval::FailDelta d;
@@ -315,6 +325,14 @@ void TuningJournal::record_eval(const JournalEval& e) {
       os << (i ? "," : "") << quote(e.validated_added[i]);
     os << "]";
   }
+  if (!e.ratings_observed.empty()) {
+    os << ",\"robs\":[";
+    for (std::size_t i = 0; i < e.ratings_observed.size(); ++i)
+      os << (i ? "," : "") << "{\"c\":"
+         << (e.ratings_observed[i].converged ? "true" : "false")
+         << ",\"s\":" << e.ratings_observed[i].samples << "}";
+    os << "]";
+  }
   if (!e.fails.empty()) {
     os << ",\"fails\":[";
     for (std::size_t i = 0; i < e.fails.size(); ++i) {
@@ -336,6 +354,7 @@ void TuningJournal::record_eval(const JournalEval& e) {
      << ",\"pre\":" << quote(hex_double(s.backend.precondition))
      << ",\"ckpt\":" << quote(hex_double(s.backend.checkpoint))
      << ",\"faulted\":" << quote(hex_double(s.backend.faulted))
+     << ",\"retry\":" << quote(hex_double(s.backend.retry))
      << ",\"saves\":" << s.backend.saves
      << ",\"restores\":" << s.backend.restores
      << ",\"ckpt_bytes\":" << s.backend.checkpoint_bytes

@@ -50,6 +50,17 @@ struct JournalEval {
   };
   std::vector<FailDelta> fails;
 
+  /// Ratings completed during this evaluation, in order: whether each
+  /// converged and how many window samples it consumed. Replay feeds
+  /// these into the obs registry so a resumed run's rating.* counters and
+  /// window-occupancy histogram match the uninterrupted run, instead of
+  /// silently restarting from zero.
+  struct RatingObs {
+    bool converged = false;
+    std::uint64_t samples = 0;
+  };
+  std::vector<RatingObs> ratings_observed;
+
   /// Bit-exact evaluator state after this evaluation. Replay restores the
   /// snapshot of the last recorded evaluation only; earlier snapshots are
   /// dead weight kept for debuggability.

@@ -4,7 +4,10 @@
 #include <set>
 
 #include "analysis/instrumentation.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/timer.hpp"
 #include "stats/regression.hpp"
 #include "ir/bytecode.hpp"
 #include "ir/interpreter.hpp"
@@ -40,6 +43,15 @@ ProfileData profile_workload(const workloads::Workload& workload,
   if (profile_span.active())
     profile_span.add(obs::attr("section", workload.full_name()));
 
+  // The profile phase charges the ledger at the section level — a
+  // sibling of the per-method subtrees tune() builds, since profiling
+  // happens once before any rating method runs.
+  obs::AttributionScope machine_scope(machine.name);
+  obs::AttributionScope benchmark_scope(workload.benchmark());
+  obs::AttributionScope section_scope(workload.ts_name());
+  runtime::WallTimer profile_wall;
+  profile_wall.start();
+
   // --- static compiler analyses -------------------------------------------
   {
     obs::ScopedSpan span("static_analysis", "profile");
@@ -64,6 +76,7 @@ ProfileData profile_workload(const workloads::Workload& workload,
   const sim::MachineCostModel cost(machine);
   std::vector<std::vector<std::uint64_t>> block_profiles;
   std::vector<double> observed_times;  ///< cycles × data irregularity
+  double profiled_cycles = 0.0;        ///< detailed-pass simulated cost
 
   {
   obs::ScopedSpan span("detailed_pass", "profile");
@@ -122,6 +135,7 @@ ProfileData profile_workload(const workloads::Workload& workload,
     data.run_total_cycles = data.avg_invocation_cycles *
                             static_cast<double>(trace.invocations.size());
   }
+  profiled_cycles = total_cycles;
   }  // detailed_pass span
 
   // --- component analysis for MBR -------------------------------------------
@@ -219,6 +233,13 @@ ProfileData profile_workload(const workloads::Workload& workload,
       machine.counter_cost *
       static_cast<double>(data.components.varying.size());
   data.decision = rating::decide_rating_methods(in);
+
+  // Cycles = the detailed pass's instrumented executions (the analyses
+  // around it are pure compiler work — wall only); the gauge lets the
+  // drift sentinel reconcile the ledger's profile phase on its own.
+  obs::gauge("profile.cycles").add(profiled_cycles);
+  obs::charge_phase("profile", profiled_cycles,
+                    profile_wall.elapsed() * 1e6);
   return data;
 }
 

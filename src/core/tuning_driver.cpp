@@ -9,6 +9,7 @@
 
 #include "analysis/instrumentation.hpp"
 #include "core/journal.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rating/baselines.hpp"
@@ -104,6 +105,7 @@ public:
     pending_memo_.clear();
     pending_validated_.clear();
     pending_fail_keys_.clear();
+    pending_rating_obs_.clear();
     // Deadlines and backoff are priced off the current best version.
     if (guard_) guard_->set_reference(base);
     double r = 0.0;
@@ -134,18 +136,36 @@ public:
   }
 
   /// Fold this evaluator's per-phase simulated-cycle attribution into
-  /// the global metrics registry. Called once, after the search ends.
-  void publish_sim_metrics() const {
+  /// the global metrics registry and the cost ledger (under the caller's
+  /// attribution path — tune() has machine/benchmark/section/method
+  /// scopes open). Called once, after the search ends; on a resumed run
+  /// the restored breakdown already contains the replayed cycles, so the
+  /// ledger of a resumed run matches the uninterrupted one.
+  void publish_costs() const {
     const sim::SimExecutionBackend::CycleBreakdown& b =
         backend_.breakdown();
     obs::gauge("sim.cycles_timed").add(b.timed);
     obs::gauge("sim.cycles_precondition").add(b.precondition);
     obs::gauge("sim.cycles_checkpoint").add(b.checkpoint);
+    obs::gauge("sim.cycles_faulted").add(b.faulted);
+    obs::gauge("sim.cycles_retry").add(b.retry);
     obs::gauge("sim.cycles_whole_program_surcharge")
         .add(whole_program_surcharge_);
     obs::counter("rbr.checkpoint_saves").inc(b.saves);
     obs::counter("rbr.checkpoint_restores").inc(b.restores);
     obs::counter("rbr.checkpoint_bytes").inc(b.checkpoint_bytes);
+
+    obs::charge_phase("timed", b.timed);
+    obs::charge_phase("precondition", b.precondition);
+    obs::charge_phase("checkpoint", b.checkpoint);
+    obs::charge_phase("faulted", b.faulted);
+    obs::charge_phase("retry", b.retry);
+    obs::charge_phase("whole_program", whole_program_surcharge_);
+    // Wall spent inside this evaluator's rating calls goes to the method
+    // node itself (it spans several cycle phases at once); the method's
+    // wall total is then rating wall + the search_overhead phase.
+    obs::charge_phase("", 0.0,
+                      obs::evaluator_wall_us() - evaluator_wall_at_start_);
   }
 
   [[nodiscard]] TuningCost cost() const {
@@ -233,10 +253,12 @@ private:
     e.snap.ratings = ratings_;
     e.snap.exhausted = exhausted_;
     e.snap.whole_program_surcharge = whole_program_surcharge_;
+    e.ratings_observed = std::move(pending_rating_obs_);
     journal_->record_eval(e);
     pending_memo_.clear();
     pending_validated_.clear();
     pending_fail_keys_.clear();
+    pending_rating_obs_.clear();
   }
 
   /// Replay one recorded evaluation: return the recorded rating without
@@ -258,6 +280,29 @@ private:
       if (d.quarantined) quarantine_.quarantine(d.key, d.kind);
     }
     backend_.restore_state(e.snap.backend);
+    // Metric continuity: a resumed run must report the same rating.* /
+    // search.* registry values as the uninterrupted one, so the global
+    // counters advance by exactly what this recorded evaluation consumed
+    // (the snapshot fields are absolute; the members still hold the
+    // previous record's values, making the subtraction a delta).
+    DriverMetrics& m = DriverMetrics::get();
+    m.invocations.inc(e.snap.invocations - invocations_);
+    m.configs_evaluated.inc(e.snap.evaluations - evaluations_);
+    if (!e.ratings_observed.empty()) {
+      for (const JournalEval::RatingObs& o : e.ratings_observed) {
+        m.ratings_started.inc();
+        observe_rating(o.converged, o.samples);
+      }
+      pending_rating_obs_.clear();  // observe_rating() re-collected them
+    } else {
+      // Journal predates per-rating observations: restore the tallies
+      // from the snapshot deltas (the window histogram stays short).
+      const std::size_t started = e.snap.ratings - ratings_;
+      const std::size_t exhausted = e.snap.exhausted - exhausted_;
+      m.ratings_started.inc(started);
+      m.ratings_exhausted.inc(exhausted);
+      m.ratings_converged.inc(started - exhausted);
+    }
     cursor_ = e.snap.cursor;
     invocations_ = e.snap.invocations;
     evaluations_ = e.snap.evaluations;
@@ -268,11 +313,15 @@ private:
     return e.r;
   }
 
-  /// Per-rating metrics: convergence tally plus window occupancy.
-  static void observe_rating(bool converged, std::size_t samples) {
+  /// Per-rating metrics: convergence tally plus window occupancy; also
+  /// collected per evaluation for the journal, so replay can restore the
+  /// registry exactly.
+  void observe_rating(bool converged, std::size_t samples) {
     DriverMetrics& m = DriverMetrics::get();
     (converged ? m.ratings_converged : m.ratings_exhausted).inc();
     m.window_occupancy.observe(static_cast<double>(samples));
+    pending_rating_obs_.push_back(
+        {converged, static_cast<std::uint64_t>(samples)});
   }
 
   double rbr_ratio(const search::FlagConfig& base,
@@ -429,6 +478,10 @@ private:
   std::vector<std::pair<std::string, double>> pending_memo_;
   std::vector<std::string> pending_validated_;
   std::set<std::string> pending_fail_keys_;
+  std::vector<JournalEval::RatingObs> pending_rating_obs_;
+  /// evaluator_wall_us() at construction; publish_costs() charges the
+  /// delta as this method's rating wall.
+  double evaluator_wall_at_start_ = obs::evaluator_wall_us();
 };
 
 TuningDriver::TuningDriver(const workloads::Workload& workload,
@@ -477,6 +530,14 @@ TuningOutcome TuningDriver::tune(rating::Method method) {
   } else if (journal_ != nullptr) {
     journal_->start_segment(rating::to_string(method));
   }
+  // Attribution path for every cost this tune() charges: the ledger's
+  // machine → benchmark → section → method hierarchy. Thread-local, so
+  // parallel section tuning attributes each worker's costs correctly.
+  obs::AttributionScope machine_scope(machine_.name);
+  obs::AttributionScope benchmark_scope(workload_.benchmark());
+  obs::AttributionScope section_scope(workload_.ts_name());
+  obs::AttributionScope method_scope(rating::to_string(method));
+
   Evaluator evaluator(*this, method, fn, quarantine_, journal_.get(),
                       replay);
 
@@ -498,7 +559,7 @@ TuningOutcome TuningDriver::tune(rating::Method method) {
   } catch (const RatingNotConverging& e) {
     // The method cannot rate anything here: abandon it, report the cost
     // spent so far, and let tune_auto() switch methods.
-    evaluator.publish_sim_metrics();
+    evaluator.publish_costs();
     TuningOutcome outcome;
     outcome.best_config = start;
     outcome.method = method;
@@ -512,7 +573,7 @@ TuningOutcome TuningDriver::tune(rating::Method method) {
     return outcome;
   }
 
-  evaluator.publish_sim_metrics();
+  evaluator.publish_costs();
   TuningOutcome outcome;
   outcome.best_config = sr.best;
   outcome.method = method;

@@ -92,9 +92,10 @@ auto GuardedExecutor::guarded(const search::FlagConfig& cfg,
           e.transient() && attempt < policy_.max_retries;
       note_failure(e.kind(), cfg, inv, attempt, !can_retry);
       if (!can_retry) break;
-      // Backoff wait before the re-measurement, charged to tuning cost.
-      backend_.charge_penalty(policy_.backoff_fraction * expected *
-                              static_cast<double>(attempt + 1));
+      // Backoff wait before the re-measurement, charged to tuning cost
+      // under the retry phase.
+      backend_.charge_retry(policy_.backoff_fraction * expected *
+                            static_cast<double>(attempt + 1));
       GuardMetrics::get().retried.inc();
     }
   }

@@ -1,0 +1,62 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/ledger.hpp"
+
+namespace peak::obs {
+
+namespace {
+
+thread_local std::vector<std::string> t_path;
+thread_local double t_evaluator_wall_us = 0.0;
+thread_local bool t_in_evaluator = false;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AttributionScope::AttributionScope(std::string component) {
+  t_path.push_back(std::move(component));
+}
+
+AttributionScope::~AttributionScope() { t_path.pop_back(); }
+
+std::vector<std::string> attribution_path() { return t_path; }
+
+void charge_phase(std::string_view phase, double cycles, double wall_us) {
+  std::vector<std::string> path = t_path;
+  if (!phase.empty()) path.emplace_back(phase);
+  Ledger::global().charge(path, cycles, wall_us);
+}
+
+double evaluator_wall_us() { return t_evaluator_wall_us; }
+
+EvaluatorWallGate::EvaluatorWallGate()
+    : start_us_(now_us()), outermost_(!t_in_evaluator) {
+  t_in_evaluator = true;
+}
+
+EvaluatorWallGate::~EvaluatorWallGate() {
+  if (!outermost_) return;
+  t_in_evaluator = false;
+  t_evaluator_wall_us += now_us() - start_us_;
+}
+
+SearchOverheadScope::SearchOverheadScope()
+    : start_us_(now_us()), evaluator_us_at_start_(t_evaluator_wall_us) {}
+
+SearchOverheadScope::~SearchOverheadScope() {
+  const double elapsed = now_us() - start_us_;
+  const double inside_evaluator =
+      t_evaluator_wall_us - evaluator_us_at_start_;
+  charge_phase("search_overhead", 0.0,
+               std::max(0.0, elapsed - inside_evaluator));
+}
+
+}  // namespace peak::obs

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file attribution.hpp
+/// Thread-local attribution context for the cost ledger. Components of
+/// the pipeline push their identity (machine, benchmark, tuning section,
+/// rating method) onto a per-thread path stack with AttributionScope;
+/// charge points then call charge_phase() and the cost lands on
+/// `<current path>/<phase>` in Ledger::global() without any component
+/// having to know what is above it.
+///
+/// Also home of the search-overhead split: rate_config() brackets every
+/// evaluator call with an EvaluatorWallGate, and SearchOverheadScope
+/// charges (its own elapsed wall − evaluator wall inside it) as the
+/// `search_overhead` phase — the cycles the search algorithm itself
+/// spends choosing candidates, as opposed to measuring them.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peak::obs {
+
+/// RAII component of the calling thread's attribution path.
+class AttributionScope {
+public:
+  explicit AttributionScope(std::string component);
+  ~AttributionScope();
+
+  AttributionScope(const AttributionScope&) = delete;
+  AttributionScope& operator=(const AttributionScope&) = delete;
+};
+
+/// The calling thread's current attribution path, outermost scope first.
+[[nodiscard]] std::vector<std::string> attribution_path();
+
+/// Charge Ledger::global() at `<current path>/<phase>`; an empty phase
+/// charges the current path's node itself.
+void charge_phase(std::string_view phase, double cycles,
+                  double wall_us = 0.0);
+
+/// Wall microseconds this thread has spent inside evaluator calls since
+/// thread start — the quantity SearchOverheadScope subtracts.
+[[nodiscard]] double evaluator_wall_us();
+
+/// RAII bracket around one evaluator call; accumulates its elapsed wall
+/// time into evaluator_wall_us().
+class EvaluatorWallGate {
+public:
+  EvaluatorWallGate();
+  ~EvaluatorWallGate();
+
+  EvaluatorWallGate(const EvaluatorWallGate&) = delete;
+  EvaluatorWallGate& operator=(const EvaluatorWallGate&) = delete;
+
+private:
+  double start_us_;
+  bool outermost_;  ///< nested gates only count the outermost interval
+};
+
+/// RAII bracket around a search algorithm's run(): on destruction charges
+/// max(0, elapsed − evaluator wall inside) to phase "search_overhead"
+/// (wall only; the search itself burns no simulated cycles).
+class SearchOverheadScope {
+public:
+  SearchOverheadScope();
+  ~SearchOverheadScope();
+
+  SearchOverheadScope(const SearchOverheadScope&) = delete;
+  SearchOverheadScope& operator=(const SearchOverheadScope&) = delete;
+
+private:
+  double start_us_;
+  double evaluator_us_at_start_;
+};
+
+}  // namespace peak::obs

@@ -180,7 +180,12 @@ void write_metrics_json(const MetricsRegistry::Snapshot& snapshot,
     for (std::size_t i = 0; i < h.counts.size(); ++i)
       os << (i ? "," : "") << h.counts[i];
     os << "], \"count\": " << h.count
-       << ", \"sum\": " << json_number(h.sum) << "}";
+       << ", \"sum\": " << json_number(h.sum);
+    if (h.count > 0)
+      os << ", \"p50\": " << json_number(h.percentile(50.0))
+         << ", \"p90\": " << json_number(h.percentile(90.0))
+         << ", \"p99\": " << json_number(h.percentile(99.0));
+    os << "}";
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";

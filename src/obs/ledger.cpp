@@ -1,0 +1,171 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace peak::obs {
+
+struct Ledger::TreeNode {
+  double self_cycles = 0.0;
+  double self_wall_us = 0.0;
+  double total_cycles = 0.0;
+  double total_wall_us = 0.0;
+  std::map<std::string, TreeNode, std::less<>> children;
+};
+
+Ledger::Ledger() : root_(std::make_unique<TreeNode>()) {}
+Ledger::~Ledger() = default;
+
+Ledger& Ledger::global() {
+  static Ledger ledger;
+  return ledger;
+}
+
+void Ledger::charge(const std::vector<std::string>& path, double cycles,
+                    double wall_us) {
+  std::lock_guard lock(mutex_);
+  TreeNode* node = root_.get();
+  node->total_cycles += cycles;
+  node->total_wall_us += wall_us;
+  for (const std::string& component : path) {
+    node = &node->children[component];
+    node->total_cycles += cycles;
+    node->total_wall_us += wall_us;
+  }
+  node->self_cycles += cycles;
+  node->self_wall_us += wall_us;
+  ++charges_;
+}
+
+Ledger::Node Ledger::snapshot() const {
+  std::lock_guard lock(mutex_);
+  const auto copy = [](const auto& self, const std::string& name,
+                       const TreeNode& node) -> Node {
+    Node out;
+    out.name = name;
+    out.self_cycles = node.self_cycles;
+    out.self_wall_us = node.self_wall_us;
+    out.total_cycles = node.total_cycles;
+    out.total_wall_us = node.total_wall_us;
+    out.children.reserve(node.children.size());
+    for (const auto& [child_name, child] : node.children)
+      out.children.push_back(self(self, child_name, child));
+    return out;
+  };
+  return copy(copy, "all", *root_);
+}
+
+std::uint64_t Ledger::charges() const {
+  std::lock_guard lock(mutex_);
+  return charges_;
+}
+
+void Ledger::reset() {
+  std::lock_guard lock(mutex_);
+  *root_ = TreeNode{};
+  charges_ = 0;
+}
+
+const Ledger::Node* Ledger::Node::child(std::string_view name) const {
+  for (const Node& c : children)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+namespace {
+
+/// Path components double as folded-stack frames, whose grammar reserves
+/// ';' (frame separator) and ' ' (value separator).
+std::string fold_component(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), ';', '_');
+  std::replace(out.begin(), out.end(), ' ', '_');
+  return out;
+}
+
+void write_folded_rec(const Ledger::Node& node, std::string& prefix,
+                      std::ostream& os) {
+  const std::size_t mark = prefix.size();
+  if (!prefix.empty()) prefix += ';';
+  prefix += fold_component(node.name);
+  if (node.self_cycles >= 0.5)
+    os << prefix << ' '
+       << static_cast<long long>(std::llround(node.self_cycles)) << '\n';
+  for (const Ledger::Node& child : node.children)
+    write_folded_rec(child, prefix, os);
+  prefix.resize(mark);
+}
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+void write_json_rec(const Ledger::Node& node, std::ostream& os) {
+  std::ostringstream num;
+  num.precision(17);
+  num << "{\"name\":\"" << json_escape(node.name)
+      << "\",\"cycles_self\":" << finite_or_zero(node.self_cycles)
+      << ",\"cycles_total\":" << finite_or_zero(node.total_cycles)
+      << ",\"wall_us_self\":" << finite_or_zero(node.self_wall_us)
+      << ",\"wall_us_total\":" << finite_or_zero(node.total_wall_us)
+      << ",\"children\":[";
+  os << num.str();
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) os << ',';
+    write_json_rec(node.children[i], os);
+  }
+  os << "]}";
+}
+
+void conservation_rec(const Ledger::Node& node, double& worst) {
+  double child_cycles = 0.0, child_wall = 0.0;
+  for (const Ledger::Node& c : node.children) {
+    child_cycles += c.total_cycles;
+    child_wall += c.total_wall_us;
+    conservation_rec(c, worst);
+  }
+  const double cycles_err =
+      std::fabs(node.total_cycles - node.self_cycles - child_cycles) /
+      std::max(std::fabs(node.total_cycles), 1.0);
+  const double wall_err =
+      std::fabs(node.total_wall_us - node.self_wall_us - child_wall) /
+      std::max(std::fabs(node.total_wall_us), 1.0);
+  worst = std::max({worst, cycles_err, wall_err});
+}
+
+}  // namespace
+
+void write_folded(const Ledger::Node& root, std::ostream& os) {
+  std::string prefix;
+  write_folded_rec(root, prefix, os);
+}
+
+bool write_folded_file(const Ledger::Node& root, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_folded(root, out);
+  return out.good();
+}
+
+void write_ledger_json(const Ledger::Node& root, std::ostream& os) {
+  write_json_rec(root, os);
+}
+
+double conservation_error(const Ledger::Node& root) {
+  double worst = 0.0;
+  conservation_rec(root, worst);
+  return worst;
+}
+
+double phase_total_cycles(const Ledger::Node& root,
+                          std::string_view phase) {
+  double total = root.name == phase ? root.self_cycles : 0.0;
+  for (const Ledger::Node& c : root.children)
+    total += phase_total_cycles(c, phase);
+  return total;
+}
+
+}  // namespace peak::obs

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file ledger.hpp
+/// Hierarchical cost-accounting ledger (`peak::obs`). A tree of named
+/// nodes — by convention machine → benchmark → tuning section → rating
+/// method → phase — each accumulating two cost axes: simulated cycles
+/// (from sim::SimExecutionBackend) and wall microseconds. charge() adds
+/// the amount to the *self* cost of the addressed node and to the *total*
+/// of every node on the path, so the conservation invariant
+///
+///     total(node) == self(node) + Σ total(children)
+///
+/// holds structurally (within floating-point accumulation error; the
+/// ctest tolerance is 0.1%). The ledger is the source of the three
+/// attribution artifacts: folded-stack flamegraph lines, the
+/// `cost_attribution` section of BENCH_headline.json, and the `--progress`
+/// live view.
+///
+/// Charges are coarse-grained (one per tuning run per phase, one per
+/// profile pass), so a single mutex is plenty; nothing here sits on the
+/// per-invocation hot path.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace peak::obs {
+
+class Ledger {
+public:
+  /// Copyable point-in-time view of one ledger node and its subtree.
+  /// Children are ordered by name (deterministic export).
+  struct Node {
+    std::string name;
+    double self_cycles = 0.0;
+    double self_wall_us = 0.0;
+    double total_cycles = 0.0;
+    double total_wall_us = 0.0;
+    std::vector<Node> children;
+
+    /// Child by name, or nullptr.
+    [[nodiscard]] const Node* child(std::string_view name) const;
+  };
+
+  Ledger();
+  ~Ledger();
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  /// Process-wide ledger every charge point in the library feeds.
+  static Ledger& global();
+
+  /// Add `cycles` and `wall_us` to the node addressed by `path` (created
+  /// on demand), its self cost, and the totals of every ancestor. An
+  /// empty path charges the root directly (rarely useful outside tests).
+  void charge(const std::vector<std::string>& path, double cycles,
+              double wall_us = 0.0);
+
+  /// Snapshot of the whole tree; the root's name is "all".
+  [[nodiscard]] Node snapshot() const;
+
+  /// Number of charge() calls since construction / reset.
+  [[nodiscard]] std::uint64_t charges() const;
+
+  /// Drop every node and zero the totals (tests, fresh runs).
+  void reset();
+
+private:
+  struct TreeNode;
+  mutable std::mutex mutex_;
+  std::unique_ptr<TreeNode> root_;
+  std::uint64_t charges_ = 0;
+};
+
+/// Folded-stack flamegraph lines, one per node with non-zero self cycles:
+///   all;sparc2;SWIM;calc1;RBR;timed 12345678
+/// Values are cycles rounded to integers (flamegraph.pl and speedscope
+/// both take the last space-separated token as the count). Path components
+/// have ';' and ' ' replaced with '_'.
+void write_folded(const Ledger::Node& root, std::ostream& os);
+
+/// write_folded to a file; false on I/O failure.
+bool write_folded_file(const Ledger::Node& root, const std::string& path);
+
+/// JSON tree — the `cost_attribution` artifact:
+///   {"name":"all","cycles_self":0,"cycles_total":C,
+///    "wall_us_self":0,"wall_us_total":W,"children":[...]}
+/// Non-finite values are clamped to 0 (same policy as the metrics export).
+void write_ledger_json(const Ledger::Node& root, std::ostream& os);
+
+/// Largest relative conservation violation over the subtree, separately
+/// for cycles and wall:  max |total − self − Σ children.total| / max(total, 1).
+/// ~0 for any tree built through charge(); the ctest asserts ≤ 1e-3.
+double conservation_error(const Ledger::Node& root);
+
+/// Sum of `self` cycles over every node whose name equals `phase`
+/// (phases are leaves, but the scan is tree-wide so tests can aggregate
+/// any label). Used to reconcile the ledger against the sim.cycles_*
+/// gauges.
+double phase_total_cycles(const Ledger::Node& root, std::string_view phase);
+
+}  // namespace peak::obs

@@ -23,12 +23,28 @@ void Histogram::observe(double v) {
   // observation exactly on a bound belongs to that bound's bucket.
   const std::size_t bucket =
       (i > 0 && bounds_[i - 1] == v) ? i - 1 : i;
+  // Shared: observers stay concurrent with each other (the adds below
+  // are atomic); only snapshot()/reset() exclude them, so a snapshot
+  // never splits one observation across bucket, count, and sum.
+  std::shared_lock lock(snapshot_lock_);
   buckets_[bucket]->fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double current = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(current, current + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::unique_lock lock(snapshot_lock_);
+  HistogramSnapshot hs;
+  hs.bounds = bounds_;
+  hs.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_)
+    hs.counts.push_back(b->load(std::memory_order_relaxed));
+  hs.count = count_.load(std::memory_order_relaxed);
+  hs.sum = sum_.load(std::memory_order_relaxed);
+  return hs;
 }
 
 std::vector<std::uint64_t> Histogram::counts() const {
@@ -40,9 +56,32 @@ std::vector<std::uint64_t> Histogram::counts() const {
 }
 
 void Histogram::reset() {
+  std::unique_lock lock(snapshot_lock_);
   for (auto& b : buckets_) b->store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The overflow bucket has no upper edge; clamp to the last bound
+    // (the estimate cannot exceed what the buckets resolve).
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double hi = bounds[i];
+    const double lo = i > 0 ? bounds[i - 1] : std::min(0.0, bounds[0]);
+    const double fraction =
+        (rank - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -95,14 +134,8 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     snap.counters.emplace(name, c->value());
   for (const auto& [name, g] : gauges_)
     snap.gauges.emplace(name, g->value());
-  for (const auto& [name, h] : histograms_) {
-    HistogramSnapshot hs;
-    hs.bounds = h->bounds();
-    hs.counts = h->counts();
-    hs.count = h->count();
-    hs.sum = h->sum();
-    snap.histograms.emplace(name, std::move(hs));
-  }
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.emplace(name, h->snapshot());
   return snap;
 }
 

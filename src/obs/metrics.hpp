@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +56,22 @@ private:
   std::atomic<double> value_{0.0};
 };
 
+/// Point-in-time copy of one histogram, internally consistent:
+/// sum(counts) == count even when taken during concurrent observe()s.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Percentile estimate by linear interpolation within the bucket that
+  /// crosses rank p/100·count (Prometheus histogram_quantile style).
+  /// The first bucket interpolates from min(0, bounds[0]); ranks landing
+  /// in the overflow bucket clamp to bounds.back(). p in [0, 100];
+  /// returns 0 when the histogram is empty.
+  [[nodiscard]] double percentile(double p) const;
+};
+
 /// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i];
 /// one implicit overflow bucket counts the rest. Bounds are set on first
 /// registration and immutable afterwards.
@@ -68,6 +85,9 @@ public:
     return bounds_;
   }
   /// Per-bucket counts; size() == bounds().size() + 1 (overflow last).
+  /// Unsynchronized relaxed reads — may tear against concurrent
+  /// observe()s (likewise count() and sum()); use snapshot() when the
+  /// three must be mutually consistent.
   [[nodiscard]] std::vector<std::uint64_t> counts() const;
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
@@ -75,6 +95,9 @@ public:
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Consistent view: excludes observe()s in flight, so bucket counts,
+  /// count, and sum always agree with each other.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
   void reset();
 
 private:
@@ -82,6 +105,10 @@ private:
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  /// observe() holds this shared (writers stay concurrent — the updates
+  /// themselves are atomic); snapshot() and reset() hold it exclusive so
+  /// no observation is mid-flight while they read or zero the parts.
+  mutable std::shared_mutex snapshot_lock_;
 };
 
 class MetricsRegistry {
@@ -99,13 +126,10 @@ public:
   /// remain valid).
   void reset();
 
-  /// Point-in-time copy for export; values are read with relaxed loads.
-  struct HistogramSnapshot {
-    std::vector<double> bounds;
-    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
-    std::uint64_t count = 0;
-    double sum = 0.0;
-  };
+  /// Point-in-time copy for export. Counters and gauges are read with
+  /// relaxed loads; histograms through Histogram::snapshot(), so each is
+  /// internally consistent.
+  using HistogramSnapshot = obs::HistogramSnapshot;
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;

@@ -1,0 +1,179 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace peak::obs {
+
+namespace {
+
+std::uint64_t counter_or_zero(const MetricsRegistry::Snapshot& snap,
+                              const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// "1.23e+09" is unreadable in a dashboard; render cycles with a metric
+/// suffix instead (4.2G, 831M, 12.5k).
+std::string human_cycles(double cycles) {
+  static constexpr struct {
+    double scale;
+    char suffix;
+  } kUnits[] = {{1e12, 'T'}, {1e9, 'G'}, {1e6, 'M'}, {1e3, 'k'}};
+  std::ostringstream os;
+  for (const auto& u : kUnits) {
+    if (cycles >= u.scale) {
+      os << std::fixed << std::setprecision(cycles >= 10 * u.scale ? 0 : 1)
+         << cycles / u.scale << u.suffix;
+      return os.str();
+    }
+  }
+  os << std::fixed << std::setprecision(0) << cycles;
+  return os.str();
+}
+
+std::string percent(double part, double whole) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << (whole > 0.0 ? 100.0 * part / whole : 0.0) << '%';
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_progress_frame(const MetricsRegistry::Snapshot& metrics,
+                                  const Ledger::Node& costs) {
+  std::ostringstream os;
+
+  const std::uint64_t configs =
+      counter_or_zero(metrics, "search.configs_evaluated");
+  const std::uint64_t started = counter_or_zero(metrics, "rating.started");
+  const std::uint64_t converged =
+      counter_or_zero(metrics, "rating.converged");
+  const std::uint64_t invocations =
+      counter_or_zero(metrics, "rating.invocations");
+
+  os << "peak: " << configs << " configs | " << started << " ratings";
+  if (started > 0)
+    os << " (" << percent(static_cast<double>(converged),
+                          static_cast<double>(started))
+       << " converged)";
+  os << " | " << invocations << " invocations | "
+     << human_cycles(costs.total_cycles) << " cycles\n";
+
+  // Phase split, summed over the whole tree. Phases are the leaves the
+  // charge points use, so a depth-first sum per known phase name covers
+  // every path without assuming tree depth.
+  static constexpr const char* kPhases[] = {
+      "profile", "timed",   "precondition",    "checkpoint", "whole_program",
+      "retry",   "faulted", "search_overhead",
+  };
+  os << "  phases:";
+  bool any_phase = false;
+  for (const char* phase : kPhases) {
+    const double cycles = phase_total_cycles(costs, phase);
+    if (cycles <= 0.0) continue;
+    any_phase = true;
+    os << ' ' << phase << ' '
+       << percent(cycles, costs.total_cycles > 0.0 ? costs.total_cycles
+                                                   : cycles);
+  }
+  if (!any_phase) os << " (no cycles charged yet)";
+  os << '\n';
+
+  // Hottest tuning sections: machine/benchmark/section rows sorted by
+  // simulated cost, most expensive first.
+  struct Row {
+    std::string label;
+    double cycles;
+  };
+  std::vector<Row> rows;
+  for (const Ledger::Node& machine : costs.children)
+    for (const Ledger::Node& bench : machine.children)
+      for (const Ledger::Node& section : bench.children)
+        rows.push_back({machine.name + "/" + bench.name + "/" + section.name,
+                        section.total_cycles});
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.cycles > b.cycles; });
+  constexpr std::size_t kMaxRows = 6;
+  const std::size_t shown = std::min(rows.size(), kMaxRows);
+  for (std::size_t i = 0; i < shown; ++i)
+    os << "  " << std::left << std::setw(32) << rows[i].label << ' '
+       << std::right << std::setw(8) << human_cycles(rows[i].cycles)
+       << "  (" << percent(rows[i].cycles, costs.total_cycles) << ")\n";
+  if (rows.size() > shown)
+    os << "  … " << rows.size() - shown << " more sections\n";
+
+  return os.str();
+}
+
+struct ProgressView::Impl {
+  Options options;
+  std::thread ticker;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool running = false;
+  std::size_t last_lines = 0;  ///< lines drawn by the previous frame
+
+  std::ostream& out() { return options.out ? *options.out : std::cerr; }
+
+  void draw() {
+    const std::string frame = render_progress_frame(
+        MetricsRegistry::global().snapshot(), Ledger::global().snapshot());
+    std::ostream& os = out();
+    if (options.ansi && last_lines > 0) {
+      // Cursor to the start of the previous frame, then erase below.
+      os << "\x1b[" << last_lines << "F\x1b[0J";
+    }
+    os << frame << std::flush;
+    last_lines = static_cast<std::size_t>(
+        std::count(frame.begin(), frame.end(), '\n'));
+  }
+
+  void loop() {
+    std::unique_lock lock(mutex);
+    while (running) {
+      cv.wait_for(lock, options.interval, [this] { return !running; });
+      if (!running) break;
+      lock.unlock();
+      draw();
+      lock.lock();
+    }
+  }
+};
+
+ProgressView::ProgressView() : ProgressView(Options{}) {}
+
+ProgressView::ProgressView(Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+ProgressView::~ProgressView() { stop(); }
+
+void ProgressView::start() {
+  std::unique_lock lock(impl_->mutex);
+  if (impl_->running) return;
+  impl_->running = true;
+  impl_->ticker = std::thread([this] { impl_->loop(); });
+}
+
+void ProgressView::stop() {
+  {
+    std::unique_lock lock(impl_->mutex);
+    if (!impl_->running && !impl_->ticker.joinable()) return;
+    impl_->running = false;
+  }
+  impl_->cv.notify_all();
+  if (impl_->ticker.joinable()) impl_->ticker.join();
+  impl_->draw();  // final frame with end-of-run numbers
+}
+
+}  // namespace peak::obs

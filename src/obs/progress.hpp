@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file progress.hpp
+/// `peak top`: a live terminal progress view over the metrics registry
+/// and the cost ledger. A background thread samples both on an interval
+/// timer and redraws a small dashboard — configs evaluated, rating
+/// convergence, the cost split across ledger phases, and the most
+/// expensive tuning sections so far. Sampling only reads (registry
+/// snapshot + ledger snapshot under their mutexes), so the view never
+/// perturbs measurements.
+///
+/// Rendering is a pure function of the two snapshots
+/// (render_progress_frame), so tests cover the formatting without
+/// timers or threads.
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace peak::obs {
+
+/// One frame of the dashboard (multi-line, trailing newline).
+std::string render_progress_frame(const MetricsRegistry::Snapshot& metrics,
+                                  const Ledger::Node& costs);
+
+class ProgressView {
+public:
+  struct Options {
+    std::chrono::milliseconds interval{500};
+    /// Destination stream; nullptr = std::cerr. Must outlive the view.
+    std::ostream* out = nullptr;
+    /// Redraw in place with ANSI cursor movement; off = append frames.
+    bool ansi = true;
+  };
+
+  ProgressView();  ///< default Options
+  explicit ProgressView(Options options);
+  ~ProgressView();  ///< stops the ticker if still running
+
+  ProgressView(const ProgressView&) = delete;
+  ProgressView& operator=(const ProgressView&) = delete;
+
+  void start();
+  /// Stop the ticker and draw one final frame (so the numbers shown are
+  /// the end-of-run ones, not the last tick's). Idempotent.
+  void stop();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace peak::obs

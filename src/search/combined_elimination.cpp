@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/attribution.hpp"
 #include "stats/regression.hpp"
 #include "support/check.hpp"
 
@@ -11,6 +12,8 @@ namespace peak::search {
 SearchResult CombinedElimination::run(const OptimizationSpace& space,
                                       ConfigEvaluator& evaluator,
                                       const FlagConfig& start) {
+  // Same search_overhead accounting as IterativeElimination::run.
+  obs::SearchOverheadScope overhead;
   SearchResult result;
   FlagConfig base = start;
 

@@ -1,10 +1,15 @@
 #include "search/iterative_elimination.hpp"
 
+#include "obs/attribution.hpp"
+
 namespace peak::search {
 
 SearchResult IterativeElimination::run(const OptimizationSpace& space,
                                        ConfigEvaluator& evaluator,
                                        const FlagConfig& start) {
+  // Wall the algorithm spends choosing candidates (elapsed minus rating
+  // wall) lands on the caller's ledger path as `search_overhead`.
+  obs::SearchOverheadScope overhead;
   SearchResult result;
   FlagConfig base = start;
   double cumulative = 1.0;

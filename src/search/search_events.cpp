@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/attribution.hpp"
 #include "obs/trace.hpp"
 
 namespace peak::search {
@@ -11,6 +12,10 @@ double rate_config(ConfigEvaluator& evaluator, const FlagConfig& base,
   obs::ScopedSpan span("probe", "search");
   if (span.active() && !label.empty())
     span.add(obs::attr("flag", std::string(label)));
+  // Every search algorithm funnels evaluator calls through here, so this
+  // gate is what lets SearchOverheadScope subtract rating wall from the
+  // algorithm's own elapsed time.
+  obs::EvaluatorWallGate gate;
   const double r = evaluator.relative_improvement(base, cfg);
   if (span.active()) span.add(obs::attr("R", r));
   return r;

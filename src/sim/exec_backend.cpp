@@ -407,6 +407,7 @@ SimExecutionBackend::Snapshot SimExecutionBackend::snapshot_state() const {
   s.precondition = breakdown_.precondition;
   s.checkpoint = breakdown_.checkpoint;
   s.faulted = breakdown_.faulted;
+  s.retry = breakdown_.retry;
   s.saves = breakdown_.saves;
   s.restores = breakdown_.restores;
   s.checkpoint_bytes = breakdown_.checkpoint_bytes;
@@ -422,6 +423,7 @@ void SimExecutionBackend::restore_state(const Snapshot& snap) {
   breakdown_.precondition = snap.precondition;
   breakdown_.checkpoint = snap.checkpoint;
   breakdown_.faulted = snap.faulted;
+  breakdown_.retry = snap.retry;
   breakdown_.saves = snap.saves;
   breakdown_.restores = snap.restores;
   breakdown_.checkpoint_bytes = snap.checkpoint_bytes;

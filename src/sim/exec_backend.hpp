@@ -160,11 +160,20 @@ public:
   void set_deadline_cycles(double cycles) { deadline_cycles_ = cycles; }
   [[nodiscard]] double deadline_cycles() const { return deadline_cycles_; }
 
-  /// Charge tuning overhead that did not come from a simulated run (retry
-  /// backoff waits); attributed to the faulted phase.
+  /// Charge tuning overhead that did not come from a simulated run;
+  /// attributed to the faulted phase (partial crashed runs and similar
+  /// write-offs the caller prices itself).
   void charge_penalty(double cycles) {
     accumulated_ += cycles;
     breakdown_.faulted += cycles;
+  }
+
+  /// Like charge_penalty(), but attributed to the retry phase — backoff
+  /// waits before a re-measurement, which the cost ledger reports
+  /// separately from cycles lost to the faults themselves.
+  void charge_retry(double cycles) {
+    accumulated_ += cycles;
+    breakdown_.retry += cycles;
   }
 
   /// Digest of the reference (correct) post-run memory effects for this
@@ -186,6 +195,7 @@ public:
     double precondition = 0.0;
     double checkpoint = 0.0;
     double faulted = 0.0;
+    double retry = 0.0;
     std::uint64_t saves = 0;
     std::uint64_t restores = 0;
     std::uint64_t checkpoint_bytes = 0;
@@ -210,8 +220,11 @@ public:
     double precondition = 0.0;  ///< untimed cache-warming runs
     double checkpoint = 0.0;    ///< save/restore traffic
     /// Cycles lost to injected faults: partial crashed runs, hang time up
-    /// to the watchdog deadline, retry backoff waits.
+    /// to the watchdog deadline.
     double faulted = 0.0;
+    /// Backoff waits before re-measurements (charge_retry), separated
+    /// from `faulted` so the ledger can report retry cost on its own.
+    double retry = 0.0;
     std::uint64_t saves = 0;
     std::uint64_t restores = 0;
     std::uint64_t checkpoint_bytes = 0;  ///< total bytes saved + restored

@@ -138,8 +138,10 @@ TEST_F(GuardedTest, TransientCrashIsRetriedWithBackoffAndSucceeds) {
   EXPECT_FALSE(events[0].gave_up);
   EXPECT_FALSE(events[0].quarantined);
   EXPECT_FALSE(quarantine.contains(exp_.key()));
-  // The partial crashed run and the backoff wait were charged.
+  // The partial crashed run was charged to the faulted phase, the
+  // backoff wait before the re-measurement to the retry phase.
   EXPECT_GT(backend->breakdown().faulted, 0.0);
+  EXPECT_GT(backend->breakdown().retry, 0.0);
 }
 
 TEST_F(GuardedTest, RetriedTransientFaultDoesNotSkewTheMeasurement) {

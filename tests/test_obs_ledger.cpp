@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/peak.hpp"
+#include "json_checker.hpp"
+#include "obs/attribution.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::obs {
+namespace {
+
+using testutil::JsonChecker;
+
+TEST(Ledger, ChargePropagatesTotalsUpThePath) {
+  Ledger ledger;
+  ledger.charge({"m", "bench", "ts", "CBR", "timed"}, 100.0, 5.0);
+  ledger.charge({"m", "bench", "ts", "CBR", "checkpoint"}, 20.0);
+  ledger.charge({"m", "bench", "ts", "profile"}, 7.0, 1.0);
+
+  const Ledger::Node root = ledger.snapshot();
+  EXPECT_EQ(root.name, "all");
+  EXPECT_DOUBLE_EQ(root.total_cycles, 127.0);
+  EXPECT_DOUBLE_EQ(root.total_wall_us, 6.0);
+  EXPECT_DOUBLE_EQ(root.self_cycles, 0.0);
+
+  const Ledger::Node* ts = root.child("m")->child("bench")->child("ts");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_DOUBLE_EQ(ts->total_cycles, 127.0);
+  const Ledger::Node* method = ts->child("CBR");
+  ASSERT_NE(method, nullptr);
+  EXPECT_DOUBLE_EQ(method->total_cycles, 120.0);
+  EXPECT_DOUBLE_EQ(method->child("timed")->self_cycles, 100.0);
+  EXPECT_DOUBLE_EQ(method->child("checkpoint")->self_cycles, 20.0);
+  EXPECT_DOUBLE_EQ(ts->child("profile")->self_cycles, 7.0);
+  EXPECT_EQ(ledger.charges(), 3u);
+
+  EXPECT_LE(conservation_error(root), 1e-12);
+  EXPECT_DOUBLE_EQ(phase_total_cycles(root, "timed"), 100.0);
+  EXPECT_DOUBLE_EQ(phase_total_cycles(root, "profile"), 7.0);
+  EXPECT_DOUBLE_EQ(phase_total_cycles(root, "missing"), 0.0);
+}
+
+TEST(Ledger, ConservationErrorDetectsTamperedTotals) {
+  Ledger ledger;
+  ledger.charge({"a", "b"}, 50.0);
+  Ledger::Node root = ledger.snapshot();
+  root.children[0].total_cycles = 10.0;  // break a == self + Σ children
+  EXPECT_GT(conservation_error(root), 0.1);
+}
+
+TEST(Ledger, FoldedOutputMatchesFlamegraphGrammar) {
+  Ledger ledger;
+  ledger.charge({"sparc2", "SWIM", "calc1", "RBR", "timed"}, 1234.6);
+  ledger.charge({"sparc2", "SWIM", "calc1", "RBR", "checkpoint"}, 10.0);
+  // Components with folded-format metacharacters get sanitized.
+  ledger.charge({"weird name", "a;b"}, 5.0);
+  // Wall-only charges (search_overhead) round to zero cycles: no line.
+  ledger.charge({"sparc2", "SWIM", "calc1", "search_overhead"}, 0.0, 99.0);
+
+  std::ostringstream os;
+  write_folded(ledger.snapshot(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("all;sparc2;SWIM;calc1;RBR;timed 1235\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("all;sparc2;SWIM;calc1;RBR;checkpoint 10\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("all;weird_name;a_b 5\n"), std::string::npos);
+  EXPECT_EQ(out.find("search_overhead"), std::string::npos);
+
+  // Every line is "semicolon-joined-frames space integer".
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty());
+    for (char c : value) EXPECT_TRUE(std::isdigit(c)) << line;
+    EXPECT_EQ(line.find(' '), space) << "frames must not contain spaces";
+  }
+}
+
+TEST(Ledger, JsonExportIsWellFormed) {
+  Ledger ledger;
+  ledger.charge({"sparc2", "SWIM \"q\"", "calc1", "CBR", "timed"}, 42.0,
+                3.5);
+  std::ostringstream os;
+  write_ledger_json(ledger.snapshot(), os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"cycles_total\":42"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"SWIM \\\"q\\\"\""), std::string::npos);
+}
+
+TEST(Ledger, ConcurrentChargesFromManyThreadsStayConserved) {
+  Ledger ledger;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ledger, t] {
+      const std::string section = "ts" + std::to_string(t);
+      for (int i = 0; i < 1000; ++i)
+        ledger.charge({"m", "bench", section, "CBR", "timed"}, 1.0, 0.25);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Ledger::Node root = ledger.snapshot();
+  EXPECT_DOUBLE_EQ(root.total_cycles, 4000.0);
+  EXPECT_DOUBLE_EQ(root.total_wall_us, 1000.0);
+  EXPECT_LE(conservation_error(root), 1e-9);
+  EXPECT_EQ(ledger.charges(), 4000u);
+}
+
+TEST(Attribution, ScopesComposeIntoLedgerPaths) {
+  Ledger::global().reset();
+  {
+    AttributionScope machine("m1");
+    AttributionScope bench("b1");
+    charge_phase("profile", 10.0);
+    {
+      AttributionScope section("s1");
+      AttributionScope method("RBR");
+      charge_phase("timed", 90.0, 2.0);
+    }
+  }
+  const Ledger::Node root = Ledger::global().snapshot();
+  const Ledger::Node* b1 = root.child("m1")->child("b1");
+  ASSERT_NE(b1, nullptr);
+  EXPECT_DOUBLE_EQ(b1->child("profile")->self_cycles, 10.0);
+  EXPECT_DOUBLE_EQ(
+      b1->child("s1")->child("RBR")->child("timed")->self_cycles, 90.0);
+  EXPECT_LE(conservation_error(root), 1e-12);
+  Ledger::global().reset();
+}
+
+TEST(Attribution, PathIsThreadLocal) {
+  Ledger::global().reset();
+  AttributionScope outer("main-thread");
+  std::thread worker([] {
+    // A fresh thread starts with an empty path — it does not inherit
+    // (or disturb) the spawning thread's scopes.
+    AttributionScope scope("worker-thread");
+    charge_phase("timed", 5.0);
+  });
+  worker.join();
+  charge_phase("timed", 7.0);
+
+  const Ledger::Node root = Ledger::global().snapshot();
+  EXPECT_DOUBLE_EQ(root.child("worker-thread")->total_cycles, 5.0);
+  EXPECT_DOUBLE_EQ(root.child("main-thread")->total_cycles, 7.0);
+  Ledger::global().reset();
+}
+
+TEST(Progress, FrameRendersCountersAndHotSections) {
+  MetricsRegistry::Snapshot metrics;
+  metrics.counters["search.configs_evaluated"] = 12;
+  metrics.counters["rating.started"] = 10;
+  metrics.counters["rating.converged"] = 9;
+  metrics.counters["rating.invocations"] = 4567;
+
+  Ledger ledger;
+  ledger.charge({"sparc2", "SWIM", "calc1", "RBR", "timed"}, 9.0e8);
+  ledger.charge({"sparc2", "SWIM", "calc2", "CBR", "timed"}, 1.0e8);
+  ledger.charge({"sparc2", "SWIM", "calc1", "profile"}, 0.0, 50.0);
+
+  const std::string frame =
+      render_progress_frame(metrics, ledger.snapshot());
+  EXPECT_NE(frame.find("12 configs"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("10 ratings"), std::string::npos);
+  EXPECT_NE(frame.find("90.0% converged"), std::string::npos);
+  EXPECT_NE(frame.find("4567 invocations"), std::string::npos);
+  EXPECT_NE(frame.find("timed 100.0%"), std::string::npos);
+  // Hottest section first, with its share of total cycles.
+  const std::size_t calc1 = frame.find("sparc2/SWIM/calc1");
+  const std::size_t calc2 = frame.find("sparc2/SWIM/calc2");
+  ASSERT_NE(calc1, std::string::npos);
+  ASSERT_NE(calc2, std::string::npos);
+  EXPECT_LT(calc1, calc2);
+  EXPECT_NE(frame.find("(90.0%)"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("900M"), std::string::npos);
+}
+
+TEST(Progress, EmptyFrameIsStillRenderable) {
+  const std::string frame =
+      render_progress_frame(MetricsRegistry::Snapshot{}, Ledger::Node{});
+  EXPECT_NE(frame.find("0 configs"), std::string::npos);
+  EXPECT_NE(frame.find("no cycles charged yet"), std::string::npos);
+}
+
+TEST(Progress, ViewStartStopWritesFramesToStream) {
+  std::ostringstream os;
+  ProgressView::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  options.out = &os;
+  options.ansi = false;
+  ProgressView view(options);
+  view.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  view.stop();
+  view.stop();  // idempotent
+  EXPECT_NE(os.str().find("configs"), std::string::npos);
+}
+
+TEST(LedgerIntegration, TuningRunConservesAndReconcilesWithGauges) {
+  // The acceptance invariant for the cost ledger: after a real tuning
+  // run, (1) every node's total equals self + Σ children within 0.1%,
+  // and (2) the ledger's per-phase cycles reconcile with the sim.cycles_*
+  // and profile.cycles gauges the driver publishes.
+  Ledger::global().reset();
+  MetricsRegistry::global().reset();
+
+  core::Peak peak(sim::sparc2());
+  auto w = workloads::make_workload("SWIM");
+  const core::MethodRun run = peak.tune_with_consultant(*w);
+  EXPECT_GT(run.cost.invocations, 0u);
+
+  const Ledger::Node root = Ledger::global().snapshot();
+  EXPECT_GT(root.total_cycles, 0.0);
+  EXPECT_GT(root.total_wall_us, 0.0);
+  EXPECT_LE(conservation_error(root), 1e-3);
+
+  const MetricsRegistry::Snapshot metrics =
+      MetricsRegistry::global().snapshot();
+  const struct {
+    const char* phase;
+    const char* gauge;
+  } kReconcile[] = {
+      {"timed", "sim.cycles_timed"},
+      {"precondition", "sim.cycles_precondition"},
+      {"checkpoint", "sim.cycles_checkpoint"},
+      {"faulted", "sim.cycles_faulted"},
+      {"retry", "sim.cycles_retry"},
+      {"whole_program", "sim.cycles_whole_program_surcharge"},
+      {"profile", "profile.cycles"},
+  };
+  double gauge_total = 0.0;
+  for (const auto& [phase, gauge_name] : kReconcile) {
+    const auto it = metrics.gauges.find(gauge_name);
+    const double gauge = it == metrics.gauges.end() ? 0.0 : it->second;
+    gauge_total += gauge;
+    EXPECT_NEAR(phase_total_cycles(root, phase), gauge,
+                1e-3 * std::max(gauge, 1.0))
+        << "phase " << phase << " does not reconcile with " << gauge_name;
+  }
+  // Grand total: every simulated cycle the backend charged is attributed
+  // somewhere in the tree (search_overhead is wall-only, so the gauges
+  // cover everything).
+  EXPECT_NEAR(root.total_cycles, gauge_total,
+              1e-3 * std::max(gauge_total, 1.0));
+  EXPECT_GT(phase_total_cycles(root, "timed"), 0.0);
+  EXPECT_GT(phase_total_cycles(root, "profile"), 0.0);
+
+  Ledger::global().reset();
+}
+
+}  // namespace
+}  // namespace peak::obs

@@ -1,16 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <latch>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/peak.hpp"
+#include "json_checker.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,110 +23,7 @@
 namespace peak::obs {
 namespace {
 
-/// Minimal recursive-descent JSON validity checker — enough to prove the
-/// exporters emit well-formed documents without a JSON dependency.
-class JsonChecker {
-public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
-private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    return pos_ > start;
-  }
-
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  [[nodiscard]] char peek() const {
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using testutil::JsonChecker;
 
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + name;
@@ -156,6 +56,84 @@ TEST(Metrics, HistogramBucketMath) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(Metrics, HistogramSnapshotNeverTearsUnderConcurrentObserves) {
+  // Regression test: snapshot() used to read buckets, count, and sum with
+  // independent relaxed loads, so a snapshot taken mid-observe() could
+  // see sum(counts) != count. The shared_mutex fix makes every snapshot
+  // internally consistent no matter how hard writers hammer.
+  Histogram h({1.0, 2.0, 4.0});
+  std::atomic<bool> done{false};
+  support::ThreadPool pool(4);
+  std::vector<std::future<void>> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.push_back(pool.submit([&h, &done, t] {
+      std::uint64_t i = 0;
+      while (!done.load(std::memory_order_relaxed))
+        h.observe(static_cast<double>((i++ + t) % 6));
+    }));
+  }
+
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSnapshot snap = h.snapshot();
+    std::uint64_t total = 0;
+    for (std::uint64_t c : snap.counts) total += c;
+    ASSERT_EQ(total, snap.count)
+        << "snapshot tore: bucket counts disagree with count";
+  }
+  done.store(true);
+  for (auto& w : writers) w.get();
+
+  // And the final quiescent snapshot agrees with the plain accessors.
+  const HistogramSnapshot final_snap = h.snapshot();
+  EXPECT_EQ(final_snap.count, h.count());
+  EXPECT_EQ(final_snap.counts, h.counts());
+}
+
+TEST(Metrics, PercentilesInterpolateWithinBuckets) {
+  // 100 observations spread uniformly over (0, 10]: bounds every 1.0,
+  // 10 per bucket. The interpolated percentiles land on p/10.
+  Histogram h({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  for (int i = 1; i <= 100; ++i) h.observe(i / 10.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_NEAR(snap.percentile(50.0), 5.0, 1e-9);
+  EXPECT_NEAR(snap.percentile(90.0), 9.0, 1e-9);
+  EXPECT_NEAR(snap.percentile(99.0), 9.9, 1e-9);
+  EXPECT_NEAR(snap.percentile(10.0), 1.0, 1e-9);
+  // p=100 is the top of the highest non-empty bucket; p=0 its bottom edge.
+  EXPECT_NEAR(snap.percentile(100.0), 10.0, 1e-9);
+  EXPECT_NEAR(snap.percentile(0.0), 0.0, 1e-9);
+}
+
+TEST(Metrics, PercentileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_EQ(empty.snapshot().percentile(50.0), 0.0);
+
+  // Observations beyond the last bound land in the overflow bucket; the
+  // estimate clamps to the highest bound rather than extrapolating.
+  Histogram overflow({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) overflow.observe(100.0);
+  EXPECT_EQ(overflow.snapshot().percentile(50.0), 2.0);
+  EXPECT_EQ(overflow.snapshot().percentile(99.0), 2.0);
+
+  // A single observation in the first bucket interpolates from 0.
+  Histogram single({4.0, 8.0});
+  single.observe(3.0);
+  EXPECT_NEAR(single.snapshot().percentile(50.0), 2.0, 1e-9);
+  EXPECT_NEAR(single.snapshot().percentile(100.0), 4.0, 1e-9);
+}
+
+TEST(Metrics, PercentilesAreMonotone) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 57; ++i) h.observe((i * 37 % 100) / 10.0);
+  const HistogramSnapshot snap = h.snapshot();
+  double prev = snap.percentile(0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double q = snap.percentile(p);
+    EXPECT_GE(q, prev) << "percentile(" << p << ") went backwards";
+    prev = q;
+  }
 }
 
 TEST(Metrics, CounterIsAtomicAcrossThreads) {
@@ -273,6 +251,84 @@ TEST(Export, ChromeTraceRoundTrip) {
   EXPECT_NE(doc.find("\"name\":\"tune\""), std::string::npos);
   EXPECT_NE(doc.find("\"name\":\"probe\""), std::string::npos);
   EXPECT_NE(doc.find("\"method\":\"RBR\""), std::string::npos);
+}
+
+TEST(Export, ChromeTraceStaysValidUnderConcurrentEmission) {
+  // Hammer the tracer from a thread pool and check the Chrome trace still
+  // holds up: well-formed JSON, every span a matched "X" complete event,
+  // per-thread spans properly nested (never partially overlapping), and
+  // close-order timestamps monotone per thread.
+  const std::string path = temp_path("obs_trace_concurrent.json");
+  constexpr std::size_t kItems = 64;
+  {
+    SinkGuard guard(std::make_shared<ChromeTraceSink>(path));
+    support::ThreadPool pool(4);
+    pool.parallel_for(0, kItems, [](std::size_t i) {
+      ScopedSpan outer("outer", "test", {attr("i", i)});
+      ScopedSpan inner("inner", "test");
+    });
+  }
+
+  const std::string doc = slurp(path);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_TRUE(JsonChecker(doc).valid());
+
+  struct Span {
+    std::uint64_t tid = 0;
+    double ts = 0.0, dur = 0.0;
+  };
+  std::vector<Span> spans;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    Span s;
+    ASSERT_EQ(std::sscanf(line.c_str() + line.find("\"tid\":"),
+                          "\"tid\":%lu,\"ts\":%lf,\"dur\":%lf",
+                          &s.tid, &s.ts, &s.dur), 3)
+        << line;
+    spans.push_back(s);
+  }
+  ASSERT_EQ(spans.size(), 2 * kItems);  // every span closed and exported
+
+  std::map<std::uint64_t, std::vector<Span>> by_tid;
+  for (const Span& s : spans) by_tid[s.tid].push_back(s);
+  for (const auto& [tid, list] : by_tid) {
+    // Complete events are appended when a span *closes*, so end times
+    // must be non-decreasing in file order within one thread.
+    for (std::size_t i = 1; i < list.size(); ++i)
+      EXPECT_LE(list[i - 1].ts + list[i - 1].dur,
+                list[i].ts + list[i].dur)
+          << "tid " << tid << ": close order not monotone";
+    // Any two spans on one thread either nest or are disjoint.
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        const Span& a = list[i];
+        const Span& b = list[j];
+        const double a_end = a.ts + a.dur, b_end = b.ts + b.dur;
+        const bool disjoint = a_end <= b.ts || b_end <= a.ts;
+        const bool a_in_b = b.ts <= a.ts && a_end <= b_end;
+        const bool b_in_a = a.ts <= b.ts && b_end <= a_end;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "tid " << tid << ": spans partially overlap";
+      }
+    }
+  }
+}
+
+TEST(Export, MetricsJsonIncludesPercentiles) {
+  MetricsRegistry::global().reset();
+  Histogram& h = histogram("test.export_percentiles",
+                           {1.0, 2.0, 3.0, 4.0});
+  for (int i = 1; i <= 40; ++i) h.observe(i / 10.0);
+
+  std::ostringstream os;
+  write_metrics_json(MetricsRegistry::global().snapshot(), os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(JsonChecker(doc).valid());
+  EXPECT_NE(doc.find("\"p50\": 2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\":"), std::string::npos);
 }
 
 TEST(Export, EscapesControlCharactersAndQuotes) {

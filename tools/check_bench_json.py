@@ -19,6 +19,18 @@ the baseline fails the check:
     tools/check_bench_json.py ENGINE_compare.json \
         --compare BENCH_headline.json --max-regress-pct 50
 
+Metrics-drift sentinel: with --compare-metrics BASELINE.json, the
+candidate's "metrics" section (counters, gauges, histogram counts) and the
+cycle totals of its "cost_attribution" ledger are diffed against the
+baseline's. The simulation is deterministic, so these should be identical
+run to run; a key that drifts more than --max-metric-drift-pct percent
+(default 10), or that exists in the baseline but not the candidate, fails
+the check. Wall-clock-based values (anything matching a --waive-metric
+substring; "wall" is always waived) are exempt:
+
+    tools/check_bench_json.py BENCH_headline.json \
+        --compare-metrics baselines/BENCH_headline.json
+
 Exit status: 0 if every file validates (or the self-test passes), 1
 otherwise. Stdlib only — no third-party dependencies.
 """
@@ -107,6 +119,84 @@ def check_metrics(metrics, path):
         _check_number(hist, "sum", hpath)
         _require(sum(hist["counts"]) == hist["count"], hpath,
                  "bucket counts must sum to 'count'")
+        # Percentile summaries are optional (only emitted for non-empty
+        # histograms) but must be ordered when present.
+        quantiles = [hist[k] for k in ("p50", "p90", "p99") if k in hist]
+        for q in quantiles:
+            _require(isinstance(q, NUMBER) and not isinstance(q, bool),
+                     hpath, "percentiles must be numbers")
+        _require(quantiles == sorted(quantiles), hpath,
+                 "percentiles must be non-decreasing (p50 <= p90 <= p99)")
+
+
+#: ledger phase leaf -> the metrics gauge that accumulates the same cycles.
+#: search_overhead is wall-only (charged with 0 cycles), so it has no
+#: gauge counterpart.
+PHASE_GAUGES = {
+    "timed": "sim.cycles_timed",
+    "precondition": "sim.cycles_precondition",
+    "checkpoint": "sim.cycles_checkpoint",
+    "faulted": "sim.cycles_faulted",
+    "retry": "sim.cycles_retry",
+    "whole_program": "sim.cycles_whole_program_surcharge",
+    "profile": "profile.cycles",
+}
+
+#: |a - b| <= CONSERVATION_TOL * max(|b|, 1): the ledger's float
+#: accumulation slack, matching the C++-side ctest tolerance.
+CONSERVATION_TOL = 1e-3
+
+
+def _close(a, b):
+    return abs(a - b) <= CONSERVATION_TOL * max(abs(b), 1.0)
+
+
+def _check_ledger_node(node, path):
+    """Validate one cost_attribution node and return phase self-cycle sums."""
+    _require(isinstance(node, dict), path, "expected an object")
+    _check_string(node, "name", path)
+    for key in ("cycles_self", "cycles_total", "wall_us_self",
+                "wall_us_total"):
+        _check_number(node, key, path, minimum=0)
+    _require(isinstance(node.get("children"), list), f"{path}.children",
+             "expected an array")
+    phase_cycles = {}
+    if node["name"] in PHASE_GAUGES:
+        phase_cycles[node["name"]] = node["cycles_self"]
+    child_cycles = 0.0
+    child_wall = 0.0
+    for i, child in enumerate(node["children"]):
+        for phase, cycles in _check_ledger_node(
+                child, f"{path}.children[{i}]").items():
+            phase_cycles[phase] = phase_cycles.get(phase, 0.0) + cycles
+        child_cycles += child["cycles_total"]
+        child_wall += child["wall_us_total"]
+    _require(_close(node["cycles_self"] + child_cycles,
+                    node["cycles_total"]), path,
+             "conservation violated: cycles_total != cycles_self + "
+             "sum(children cycles_total)")
+    _require(_close(node["wall_us_self"] + child_wall,
+                    node["wall_us_total"]), path,
+             "conservation violated: wall_us_total != wall_us_self + "
+             "sum(children wall_us_total)")
+    return phase_cycles
+
+
+def check_cost_attribution(ledger, metrics, path):
+    """Schema + conservation for the ledger, reconciled against gauges."""
+    phase_cycles = _check_ledger_node(ledger, path)
+    _require(ledger["name"] == "all", f"{path}.name",
+             "the ledger root must be named 'all'")
+    if not isinstance(metrics, dict):
+        return
+    gauges = metrics.get("gauges", {})
+    for phase, gauge in PHASE_GAUGES.items():
+        if gauge not in gauges:
+            continue
+        _require(_close(phase_cycles.get(phase, 0.0), gauges[gauge]),
+                 f"{path}", f"ledger phase {phase!r} "
+                 f"({phase_cycles.get(phase, 0.0)!r} cycles) does not "
+                 f"reconcile with gauge {gauge!r} ({gauges[gauge]!r})")
 
 
 def check_engine_speedup(fragment, path):
@@ -162,6 +252,11 @@ def check_headline(doc, path):
         check_engine_speedup(doc["engine_speedup"], f"{path}.engine_speedup")
     _require("metrics" in doc, path, "missing key 'metrics'")
     check_metrics(doc["metrics"], f"{path}.metrics")
+    # cost_attribution joined the artifact after the metrics section, so
+    # it is optional for old files — but validated whenever present.
+    if "cost_attribution" in doc:
+        check_cost_attribution(doc["cost_attribution"], doc["metrics"],
+                               f"{path}.cost_attribution")
 
 
 def check_fault_sweep(doc, path):
@@ -287,6 +382,87 @@ def check_file_against_baseline(filename, baseline_file, max_regress_pct):
     return True
 
 
+# --- metrics drift sentinel --------------------------------------------------
+
+def _flatten_ledger(node, prefix=""):
+    """{'all;sparc2;SWIM': cycles_total, ...} — wall is deliberately
+    excluded (it varies run to run; cycles are deterministic)."""
+    path = f"{prefix};{node['name']}" if prefix else node["name"]
+    out = {path: node["cycles_total"]}
+    for child in node.get("children", []):
+        out.update(_flatten_ledger(child, path))
+    return out
+
+
+def _flatten_metrics(doc):
+    """One {label: value} map covering everything the sentinel watches."""
+    flat = {}
+    metrics = doc.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        flat[f"counters.{name}"] = value
+    for name, value in metrics.get("gauges", {}).items():
+        flat[f"gauges.{name}"] = value
+    for name, hist in metrics.get("histograms", {}).items():
+        flat[f"histograms.{name}.count"] = hist.get("count", 0)
+        flat[f"histograms.{name}.sum"] = hist.get("sum", 0.0)
+    if "cost_attribution" in doc:
+        for path, cycles in _flatten_ledger(doc["cost_attribution"]).items():
+            flat[f"ledger.{path}"] = cycles
+    return flat
+
+
+def compare_metrics(candidate, baseline, max_drift_pct, waived=()):
+    """Diff two documents' metrics + ledger; returns error strings.
+
+    The PEAK pipeline is a deterministic simulation, so counters, gauges,
+    and ledger cycle totals should reproduce exactly; the tolerance only
+    absorbs float accumulation order. Keys in the baseline but not the
+    candidate fail (a silently vanishing metric is instrumentation rot);
+    new keys in the candidate are fine (adding metrics must not break the
+    gate against an older baseline). Wall-clock values are waived.
+    """
+    waived = tuple(waived) + ("wall",)
+    cand = _flatten_metrics(candidate)
+    base = _flatten_metrics(baseline)
+    if not base:
+        return ["baseline has no metrics to compare against"]
+    errors = []
+    for key in sorted(base):
+        if any(w in key for w in waived):
+            continue
+        if key not in cand:
+            errors.append(f"metric {key!r} present in baseline but missing "
+                          f"from candidate")
+            continue
+        b, c = base[key], cand[key]
+        allowed = abs(b) * max_drift_pct / 100.0
+        if abs(c - b) > allowed:
+            errors.append(
+                f"metric {key!r} drifted out of band: {c!r} vs baseline "
+                f"{b!r} (allowed +/-{max_drift_pct}%)")
+    return errors
+
+
+def check_file_metrics_against_baseline(filename, baseline_file,
+                                        max_drift_pct, waived):
+    try:
+        with open(baseline_file, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(filename, "r", encoding="utf-8") as handle:
+            candidate = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{filename}: METRICS FAIL ({exc})")
+        return False
+    errors = compare_metrics(candidate, baseline, max_drift_pct, waived)
+    if errors:
+        for error in errors:
+            print(f"{filename}: METRICS FAIL ({error})")
+        return False
+    print(f"{filename}: METRICS OK (vs {baseline_file}, "
+          f"max drift {max_drift_pct}%)")
+    return True
+
+
 # --- self-test fixtures -----------------------------------------------------
 
 GOOD = {
@@ -314,16 +490,49 @@ GOOD = {
         "avg_time_reduction_pct": 80.0,
     },
     "metrics": {
-        "counters": {"search.configs_evaluated": 40},
-        "gauges": {"rating.mbr_residual": 0.02},
+        "counters": {"search.configs_evaluated": 40,
+                     "rating.invocations": 12000},
+        "gauges": {"rating.mbr_residual": 0.02,
+                   "sim.cycles_timed": 900.0,
+                   "profile.cycles": 100.0},
         "histograms": {
             "rating.window_samples": {
                 "bounds": [10.0, 20.0],
                 "counts": [3, 1, 0],
                 "count": 4,
                 "sum": 55.0,
+                "p50": 8.3,
+                "p90": 16.0,
+                "p99": 19.0,
             }
         },
+    },
+    "cost_attribution": {
+        "name": "all", "cycles_self": 0.0, "cycles_total": 1000.0,
+        "wall_us_self": 0.0, "wall_us_total": 50.0, "children": [
+            {"name": "UltraSPARC-II", "cycles_self": 0.0,
+             "cycles_total": 1000.0, "wall_us_self": 0.0,
+             "wall_us_total": 50.0, "children": [
+                 {"name": "MGRID", "cycles_self": 0.0,
+                  "cycles_total": 1000.0, "wall_us_self": 0.0,
+                  "wall_us_total": 50.0, "children": [
+                      {"name": "resid", "cycles_self": 0.0,
+                       "cycles_total": 1000.0, "wall_us_self": 0.0,
+                       "wall_us_total": 50.0, "children": [
+                           {"name": "profile", "cycles_self": 100.0,
+                            "cycles_total": 100.0, "wall_us_self": 10.0,
+                            "wall_us_total": 10.0, "children": []},
+                           {"name": "MBR", "cycles_self": 0.0,
+                            "cycles_total": 900.0, "wall_us_self": 30.0,
+                            "wall_us_total": 40.0, "children": [
+                                {"name": "timed", "cycles_self": 900.0,
+                                 "cycles_total": 900.0, "wall_us_self": 10.0,
+                                 "wall_us_total": 10.0, "children": []},
+                            ]},
+                       ]},
+                  ]},
+             ]},
+        ],
     },
 }
 
@@ -384,8 +593,10 @@ def _mutate(doc, fn):
 
 def self_test():
     failures = []
+    cases = [0]
 
     def expect(doc, valid, label):
+        cases[0] += 1
         try:
             check_document(doc)
             ok = True
@@ -417,6 +628,27 @@ def self_test():
         "inconsistent histogram count accepted")
     expect(_mutate(GOOD, lambda d: d["metrics"].pop("counters")), False,
            "missing counters accepted")
+    expect(_mutate(GOOD, lambda d: d["metrics"]["histograms"][
+        "rating.window_samples"].update(p90=5.0)), False,
+        "out-of-order percentiles accepted")
+    expect(_mutate(GOOD, lambda d: d.pop("cost_attribution")), True,
+           "headline without cost_attribution rejected")
+
+    # cost_attribution: structure, conservation, gauge reconciliation.
+    def ledger_method(d):
+        return (d["cost_attribution"]["children"][0]["children"][0]
+                ["children"][0]["children"][1])
+
+    expect(_mutate(GOOD, lambda d: d["cost_attribution"].update(name="x")),
+           False, "ledger root not named 'all' accepted")
+    expect(_mutate(GOOD, lambda d: ledger_method(d).update(
+        cycles_total=500.0)), False, "conservation violation accepted")
+    expect(_mutate(GOOD, lambda d: ledger_method(d)["children"][0].update(
+        cycles_self=float("nan"), cycles_total=float("nan"))), False,
+        "NaN in cost_attribution accepted")
+    expect(_mutate(GOOD, lambda d: d["metrics"]["gauges"].update(
+        **{"sim.cycles_timed": 500.0})), False,
+        "ledger/gauge cycle mismatch accepted")
 
     expect(GOOD_ENGINE, True, "good engine_compare document rejected")
     expect(_mutate(GOOD_ENGINE,
@@ -461,6 +693,7 @@ def self_test():
         bad=float("nan"))), False, "NaN metric gauge accepted")
 
     def expect_compare(cand, base, pct, ok_expected, label):
+        cases[0] += 1
         errors = compare_speedups(cand, base, pct)
         if bool(not errors) != ok_expected:
             failures.append(label)
@@ -481,11 +714,36 @@ def self_test():
                 lambda d: d["engine_speedup"]["kernels"].pop(0)),
         50, False, "disjoint kernel sets passed the gate")
 
+    # The metrics-drift sentinel.
+    def expect_drift(cand, base, pct, ok_expected, label):
+        cases[0] += 1
+        errors = compare_metrics(cand, base, pct)
+        if bool(not errors) != ok_expected:
+            failures.append(label)
+
+    expect_drift(GOOD, GOOD, 10, True, "identical metrics failed the gate")
+    expect_drift(_mutate(GOOD, lambda d: d["metrics"]["counters"].update(
+        **{"rating.invocations": 18000})), GOOD, 10, False,
+        "50% drift in rating.invocations passed a 10% gate")
+    expect_drift(_mutate(GOOD, lambda d: d["metrics"]["counters"].pop(
+        "rating.invocations")), GOOD, 10, False,
+        "metric missing from candidate passed the gate")
+    expect_drift(_mutate(GOOD, lambda d: d["metrics"]["counters"].update(
+        extra=1)), GOOD, 10, True,
+        "new metric in candidate failed the gate")
+    expect_drift(_mutate(GOOD, lambda d: d["cost_attribution"].update(
+        wall_us_self=99999.0, wall_us_total=99999.0 + 50.0)), GOOD, 10,
+        True, "wall drift was not waived")
+    deep_drift = _mutate(GOOD, lambda d: ledger_method(d)["children"][0]
+                         .update(cycles_self=300.0, cycles_total=300.0))
+    expect_drift(deep_drift, GOOD, 10, False,
+                 "ledger cycle drift passed the gate")
+
     if failures:
         for failure in failures:
             print(f"self-test: FAIL ({failure})")
         return False
-    print("self-test: OK (28 cases)")
+    print(f"self-test: OK ({cases[0]} cases)")
     return True
 
 
@@ -494,25 +752,49 @@ def main(argv):
         return 0 if self_test() else 1
     files = []
     baseline = None
+    metrics_baseline = None
     max_regress_pct = 50.0
+    max_metric_drift_pct = 10.0
+    waived = []
+
+    def value_of(flag, index):
+        if index + 1 >= len(argv):
+            print(f"{flag} requires an argument")
+            return None
+        return argv[index + 1]
+
     i = 0
     while i < len(argv):
         arg = argv[i]
         if arg == "--compare":
-            if i + 1 >= len(argv):
-                print("--compare requires a BASELINE.json argument")
+            baseline = value_of(arg, i)
+            if baseline is None:
                 return 1
-            baseline = argv[i + 1]
             i += 2
-        elif arg == "--max-regress-pct":
-            if i + 1 >= len(argv):
-                print("--max-regress-pct requires a number")
+        elif arg == "--compare-metrics":
+            metrics_baseline = value_of(arg, i)
+            if metrics_baseline is None:
+                return 1
+            i += 2
+        elif arg == "--waive-metric":
+            waiver = value_of(arg, i)
+            if waiver is None:
+                return 1
+            waived.append(waiver)
+            i += 2
+        elif arg in ("--max-regress-pct", "--max-metric-drift-pct"):
+            raw = value_of(arg, i)
+            if raw is None:
                 return 1
             try:
-                max_regress_pct = float(argv[i + 1])
+                pct = float(raw)
             except ValueError:
-                print(f"--max-regress-pct: not a number: {argv[i + 1]!r}")
+                print(f"{arg}: not a number: {raw!r}")
                 return 1
+            if arg == "--max-regress-pct":
+                max_regress_pct = pct
+            else:
+                max_metric_drift_pct = pct
             i += 2
         elif arg.startswith("--"):
             print(f"unknown option {arg!r}")
@@ -527,6 +809,10 @@ def main(argv):
     if baseline is not None:
         ok = all([check_file_against_baseline(f, baseline, max_regress_pct)
                   for f in files]) and ok
+    if metrics_baseline is not None:
+        ok = all([check_file_metrics_against_baseline(
+            f, metrics_baseline, max_metric_drift_pct, waived)
+            for f in files]) and ok
     return 0 if ok else 1
 
 

@@ -26,7 +26,9 @@
 #include "core/tuning_driver.hpp"
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
@@ -44,6 +46,8 @@ struct Args {
   std::string load_path;     ///< evaluate stored configs (apply)
   std::string trace_path;    ///< span/event export (.jsonl or Chrome JSON)
   std::string metrics_path;  ///< metrics registry snapshot (JSON)
+  std::string folded_path;   ///< cost ledger as folded stacks (flamegraph)
+  bool progress = false;     ///< live dashboard on stderr while running
   double fault_prob = 0.0;        ///< per-config fault probability (tune)
   std::uint64_t fault_seed = 0x5eed;  ///< fault injector seed
   bool no_guard = false;          ///< disable the guarded executor
@@ -80,6 +84,9 @@ int usage() {
                "  --trace FILE    span trace (.jsonl = JSONL, else Chrome "
                "trace JSON)\n"
                "  --metrics FILE  metrics registry snapshot as JSON\n"
+               "  --cost-folded FILE  cost ledger as folded stacks "
+               "(flamegraph.pl input)\n"
+               "  --progress      live progress dashboard on stderr\n"
                "  --fault-prob P  (tune) inject faults into P of configs\n"
                "  --fault-seed S  (tune) fault injector seed\n"
                "  --no-guard      (tune) disable the guarded executor\n"
@@ -384,6 +391,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       args.metrics_path = v;
+    } else if (arg == "--cost-folded") {
+      const char* v = next();
+      if (!v) return usage();
+      args.folded_path = v;
+    } else if (arg == "--progress") {
+      args.progress = true;
     } else if (arg == "--fault-prob") {
       const char* v = next();
       if (!v) return usage();
@@ -422,6 +435,9 @@ int main(int argc, char** argv) {
     obs::Tracer::global().set_sink(std::move(sink));
   }
 
+  obs::ProgressView progress;
+  if (args.progress) progress.start();
+
   int rc;
   if (args.command == "list")
     rc = cmd_list();
@@ -438,8 +454,16 @@ int main(int argc, char** argv) {
   else
     rc = usage();
 
+  if (args.progress) progress.stop();
+
   // Dropping the sink flushes and closes the trace file.
   obs::Tracer::global().set_sink(nullptr);
+  if (!args.folded_path.empty() &&
+      !obs::write_folded_file(obs::Ledger::global().snapshot(),
+                              args.folded_path)) {
+    std::fprintf(stderr, "failed to write %s\n", args.folded_path.c_str());
+    if (rc == 0) rc = 1;
+  }
   if (!args.metrics_path.empty() &&
       !obs::write_metrics_json_file(obs::MetricsRegistry::global().snapshot(),
                                     args.metrics_path)) {
