@@ -7,11 +7,15 @@
 /// Besides the human-readable stdout report, writes BENCH_headline.json
 /// (machine-readable, schema checked by tools/check_bench_json.py).
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
+#include "core/rating_cache.hpp"
+#include "core/tuning_driver.hpp"
 #include "engine_compare.hpp"
 #include "fig7_common.hpp"
 #include "obs/export.hpp"
@@ -21,6 +25,135 @@
 namespace {
 
 using namespace peak;
+
+/// Wall time and cache effectiveness of the batched search fan-out: the
+/// serial-vs-parallel timing of identical tuning runs, whether the
+/// outcomes matched bit for bit, and the hit rate of a warm rating-cache
+/// rerun. Feeds the "search" section of BENCH_headline.json.
+struct SearchBench {
+  unsigned threads = 0;
+  unsigned hardware_concurrency = 0;
+  double serial_wall_s = 0.0;
+  double parallel_wall_s = 0.0;
+  double search_speedup = 0.0;
+  bool outcome_identical = false;
+  std::uint64_t cold_stores = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  double warm_hit_rate = 0.0;
+  bool warm_outcome_identical = false;
+};
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+SearchBench run_search_bench() {
+  SearchBench out;
+  out.threads = 4;
+  out.hardware_concurrency =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  const sim::MachineModel machine = sim::sparc2();
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  const std::unique_ptr<workloads::Workload> workload =
+      workloads::make_workload("SWIM");
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, 42);
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, machine);
+
+  auto tune = [&](unsigned threads, std::uint64_t seed,
+                  core::RatingCache* cache) {
+    core::DriverOptions options;
+    options.seed = seed;
+    options.search_threads = threads;
+    options.rating_cache = cache;
+    core::TuningDriver driver(*workload, profile, train, machine, effects,
+                              options);
+    return driver.tune(rating::Method::kCBR);
+  };
+  constexpr std::uint64_t kSeeds = 5;
+  using clock = std::chrono::steady_clock;
+
+  std::vector<core::TuningOutcome> serial;
+  const clock::time_point t0 = clock::now();
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+    serial.push_back(tune(1, seed, nullptr));
+  const clock::time_point t1 = clock::now();
+  std::vector<core::TuningOutcome> parallel;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+    parallel.push_back(tune(out.threads, seed, nullptr));
+  const clock::time_point t2 = clock::now();
+
+  out.serial_wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.parallel_wall_s = std::chrono::duration<double>(t2 - t1).count();
+  out.search_speedup =
+      out.parallel_wall_s > 0.0 ? out.serial_wall_s / out.parallel_wall_s
+                                : 0.0;
+  out.outcome_identical = serial == parallel;
+
+  // Cold run populates an on-disk rating cache; a warm rerun with a fresh
+  // cache object (same file) must reproduce the outcome from disk.
+  const std::string cache_path = "BENCH_rating_cache.jsonl";
+  std::remove(cache_path.c_str());
+  const std::uint64_t stores_before = counter_value("search.cache.store");
+  core::TuningOutcome cold;
+  {
+    core::RatingCache cache(cache_path);
+    cold = tune(out.threads, 1, &cache);
+  }
+  out.cold_stores = counter_value("search.cache.store") - stores_before;
+  const std::uint64_t hits_before = counter_value("search.cache.hit");
+  const std::uint64_t misses_before = counter_value("search.cache.miss");
+  core::TuningOutcome warm;
+  {
+    core::RatingCache cache(cache_path);
+    warm = tune(out.threads, 1, &cache);
+  }
+  out.warm_hits = counter_value("search.cache.hit") - hits_before;
+  out.warm_misses = counter_value("search.cache.miss") - misses_before;
+  const std::uint64_t lookups = out.warm_hits + out.warm_misses;
+  out.warm_hit_rate =
+      lookups > 0 ? static_cast<double>(out.warm_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  out.warm_outcome_identical = warm == cold;
+  return out;
+}
+
+void print_search_bench(const SearchBench& s) {
+  std::printf(
+      "Parallel batched search (SWIM, CBR, %u threads on %u cores):\n"
+      "  serial %.3fs  parallel %.3fs  speedup %.2fx  outcomes %s\n"
+      "  rating cache: %llu stored cold, warm rerun %llu/%llu hits "
+      "(%.0f%%), outcome %s\n",
+      s.threads, s.hardware_concurrency, s.serial_wall_s, s.parallel_wall_s,
+      s.search_speedup, s.outcome_identical ? "identical" : "DIFFER",
+      static_cast<unsigned long long>(s.cold_stores),
+      static_cast<unsigned long long>(s.warm_hits),
+      static_cast<unsigned long long>(s.warm_hits + s.warm_misses),
+      100.0 * s.warm_hit_rate,
+      s.warm_outcome_identical ? "identical" : "DIFFERS");
+}
+
+void append_search_json(std::ostream& os, const SearchBench& s) {
+  os << "{\"benchmark\":\"SWIM\",\"threads\":" << s.threads
+     << ",\"hardware_concurrency\":" << s.hardware_concurrency
+     << ",\"serial_wall_s\":" << s.serial_wall_s
+     << ",\"parallel_wall_s\":" << s.parallel_wall_s
+     << ",\"search_speedup\":" << s.search_speedup
+     << ",\"outcome_identical\":"
+     << (s.outcome_identical ? "true" : "false")
+     << ",\"cache\":{\"cold_stores\":" << s.cold_stores
+     << ",\"warm_hits\":" << s.warm_hits
+     << ",\"warm_misses\":" << s.warm_misses
+     << ",\"warm_hit_rate\":" << s.warm_hit_rate
+     << ",\"warm_outcome_identical\":"
+     << (s.warm_outcome_identical ? "true" : "false") << "}}";
+}
 
 /// One "benchmark ran via method X" record as a JSON object.
 void append_run_json(std::ostream& os, const core::BenchmarkResult& b) {
@@ -39,7 +172,8 @@ void append_run_json(std::ostream& os, const core::BenchmarkResult& b) {
 bool write_json(const std::string& path,
                 const std::vector<bench::Figure7Results>& machines,
                 const bench::Headline& h,
-                const bench::EngineCompareResult& engines) {
+                const bench::EngineCompareResult& engines,
+                const SearchBench& search) {
   std::ofstream os(path);
   if (!os) return false;
   os << "{\"bench\":\"headline\",\"schema\":1,\"machines\":[";
@@ -66,6 +200,8 @@ bool write_json(const std::string& path,
      << ",\"avg_time_reduction_pct\":" << h.avg_time_reduction_pct
      << "},\"engine_speedup\":";
   bench::write_engine_speedup_fragment(os, engines);
+  os << ",\"search\":";
+  append_search_json(os, search);
   os << ",\"metrics\":";
   obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
   os << ",\"cost_attribution\":";
@@ -116,8 +252,12 @@ int main() {
   std::cout << "\n";
   bench::print_engine_compare(engines, std::cout);
 
+  const SearchBench search = run_search_bench();
+  std::cout << "\n";
+  print_search_bench(search);
+
   const std::string json_path = "BENCH_headline.json";
-  if (write_json(json_path, machines, h, engines))
+  if (write_json(json_path, machines, h, engines, search))
     std::printf("Wrote %s\n", json_path.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -1,230 +1,26 @@
 #include "core/journal.hpp"
 
-#include <bit>
-#include <cctype>
-#include <cstdio>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string_view>
 
+#include "core/jsonl.hpp"
 #include "support/check.hpp"
 
 namespace peak::core {
 
 namespace {
 
-// ---------------------------------------------------------------------
-// Serialization helpers. Doubles travel as IEEE-754 bit patterns so the
-// journal round trip is exact; decimal formatting would lose ulps and
-// break the bit-identical-resume guarantee.
-
-std::string hex_u64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-std::string hex_double(double d) {
-  return hex_u64(std::bit_cast<std::uint64_t>(d));
-}
-
-std::string quote(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON reader — just enough for the journal's own output
-// (objects, arrays, strings, unsigned integers, booleans). No external
-// dependency is available in the container, and the full generality of
-// JSON (floats, unicode escapes, null) never appears in a journal line.
-
-class JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-class JsonValue {
-public:
-  enum class Type { kString, kNumber, kBool, kObject, kArray };
-  Type type = Type::kString;
-  std::string str;
-  std::uint64_t num = 0;
-  bool boolean = false;
-  std::shared_ptr<JsonObject> object;
-  std::shared_ptr<JsonArray> array;
-
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    PEAK_CHECK(type == Type::kObject, "journal: not an object");
-    auto it = object->find(key);
-    PEAK_CHECK(it != object->end(), "journal: missing key " + key);
-    return it->second;
-  }
-  [[nodiscard]] bool has(const std::string& key) const {
-    return type == Type::kObject && object->count(key) > 0;
-  }
-  [[nodiscard]] const std::string& as_string() const {
-    PEAK_CHECK(type == Type::kString, "journal: not a string");
-    return str;
-  }
-  [[nodiscard]] std::uint64_t as_u64() const {
-    PEAK_CHECK(type == Type::kNumber, "journal: not a number");
-    return num;
-  }
-  [[nodiscard]] bool as_bool() const {
-    PEAK_CHECK(type == Type::kBool, "journal: not a bool");
-    return boolean;
-  }
-  [[nodiscard]] const JsonArray& as_array() const {
-    PEAK_CHECK(type == Type::kArray, "journal: not an array");
-    return *array;
-  }
-  /// Hex-bit-pattern string back to double.
-  [[nodiscard]] double as_hex_double() const {
-    return std::bit_cast<double>(
-        static_cast<std::uint64_t>(std::stoull(as_string(), nullptr, 16)));
-  }
-};
-
-class JsonParser {
-public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    PEAK_CHECK(pos_ == text_.size(), "journal: trailing garbage");
-    return v;
-  }
-
-private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-  char peek() {
-    PEAK_CHECK(pos_ < text_.size(), "journal: truncated record");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    PEAK_CHECK(peek() == c, std::string("journal: expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't':
-      case 'f': return boolean();
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    v.object = std::make_shared<JsonObject>();
-    expect('{');
-    skip_ws();
-    if (peek() == '}') { ++pos_; return v; }
-    while (true) {
-      skip_ws();
-      JsonValue key = string();
-      skip_ws();
-      expect(':');
-      (*v.object)[key.str] = value();
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    v.array = std::make_shared<JsonArray>();
-    expect('[');
-    skip_ws();
-    if (peek() == ']') { ++pos_; return v; }
-    while (true) {
-      v.array->push_back(value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string() {
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    expect('"');
-    while (true) {
-      char c = peek();
-      ++pos_;
-      if (c == '"') return v;
-      if (c == '\\') {
-        char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case 'n': v.str += '\n'; break;
-          case 't': v.str += '\t'; break;
-          default: v.str += esc;
-        }
-      } else {
-        v.str += c;
-      }
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      PEAK_CHECK(false, "journal: bad literal");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    const std::size_t begin = pos_;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-    PEAK_CHECK(pos_ > begin, "journal: bad number");
-    v.num = std::stoull(std::string(text_.substr(begin, pos_ - begin)));
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// Serialization lives in core/jsonl.{hpp,cpp} (shared with the rating
+// cache); this file only knows the journal's record shapes. Doubles
+// travel as IEEE-754 bit patterns so the journal round trip is exact;
+// decimal formatting would lose ulps and break the bit-identical-resume
+// guarantee.
+using jsonl::hex_double;
+using jsonl::hex_u64;
+using jsonl::JsonArray;
+using jsonl::JsonParser;
+using jsonl::JsonValue;
+using jsonl::quote;
 
 sim::SimExecutionBackend::Snapshot parse_backend_snapshot(
     const JsonValue& j) {

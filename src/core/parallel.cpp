@@ -26,6 +26,16 @@ ApplicationOutcome tune_application(
   outcome.sections.resize(sections.size());
 
   support::ThreadPool pool(threads);
+  // Two parallelism layers compose here: sections fan out over this pool,
+  // and each section's driver may fan its probe rounds out again
+  // (options.driver.search_threads). Since batch-mode results are
+  // bit-identical for every thread count >= 1, the inner width is free to
+  // shrink: divide it by the concurrent-section count so the two layers
+  // multiply out to roughly the machine's cores, not to their product.
+  // A shared options.driver.rating_cache is safe across sections — the
+  // cache is thread-safe and its keys include the section identity.
+  const unsigned concurrent = std::min<unsigned>(
+      pool.size(), static_cast<unsigned>(sections.size()));
   pool.parallel_for(0, sections.size(), [&](std::size_t i) {
     const workloads::Workload& w = *sections[i];
     // Touch the lazily built IR up front inside this task: each workload
@@ -34,6 +44,9 @@ ApplicationOutcome tune_application(
     PeakOptions local = options;
     local.seed = support::hash_combine(options.seed,
                                        support::stable_hash(w.benchmark()));
+    if (local.driver.search_threads > 1 && concurrent > 1)
+      local.driver.search_threads = std::max(
+          1u, local.driver.search_threads / concurrent);
     Peak peak(machine, local);
     SectionOutcome& s = outcome.sections[i];
     s.section = w.full_name();

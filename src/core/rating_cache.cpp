@@ -1,0 +1,157 @@
+#include "core/rating_cache.hpp"
+
+#include <sstream>
+
+#include "core/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "support/check.hpp"
+
+namespace peak::core {
+
+namespace {
+
+using jsonl::hex_double;
+using jsonl::JsonParser;
+using jsonl::JsonValue;
+using jsonl::quote;
+
+struct CacheMetrics {
+  obs::Counter& hits = obs::counter("search.cache.hit");
+  obs::Counter& misses = obs::counter("search.cache.miss");
+  obs::Counter& stores = obs::counter("search.cache.store");
+
+  static CacheMetrics& get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
+
+std::string render_entry(const std::string& key,
+                         const RatingCacheEntry& e) {
+  std::ostringstream os;
+  os << "{\"type\":\"rating\",\"key\":" << quote(key)
+     << ",\"r\":" << quote(hex_double(e.r));
+  if (!e.memo_added.empty()) {
+    os << ",\"memo\":[";
+    for (std::size_t i = 0; i < e.memo_added.size(); ++i)
+      os << (i ? "," : "") << "{\"k\":" << quote(e.memo_added[i].first)
+         << ",\"v\":" << quote(hex_double(e.memo_added[i].second)) << "}";
+    os << "]";
+  }
+  if (!e.rating_obs.empty()) {
+    os << ",\"robs\":[";
+    for (std::size_t i = 0; i < e.rating_obs.size(); ++i)
+      os << (i ? "," : "") << "{\"c\":"
+         << (e.rating_obs[i].converged ? "true" : "false")
+         << ",\"s\":" << e.rating_obs[i].samples << "}";
+    os << "]";
+  }
+  os << ",\"inv\":" << e.invocations << ",\"rs\":" << e.ratings_started
+     << ",\"rx\":" << e.exhausted
+     << ",\"whl\":" << quote(hex_double(e.whole_program_surcharge));
+  const sim::SimExecutionBackend::CostDeltas& c = e.cost;
+  os << ",\"cost\":{\"acc\":" << quote(hex_double(c.accumulated))
+     << ",\"timed\":" << quote(hex_double(c.timed))
+     << ",\"pre\":" << quote(hex_double(c.precondition))
+     << ",\"ckpt\":" << quote(hex_double(c.checkpoint))
+     << ",\"faulted\":" << quote(hex_double(c.faulted))
+     << ",\"retry\":" << quote(hex_double(c.retry))
+     << ",\"saves\":" << c.saves << ",\"restores\":" << c.restores
+     << ",\"ckpt_bytes\":" << c.checkpoint_bytes << "}";
+  if (e.mbr_residual.has_value())
+    os << ",\"mbr\":" << quote(hex_double(*e.mbr_residual));
+  os << "}";
+  return os.str();
+}
+
+RatingCacheEntry parse_entry(const JsonValue& j) {
+  RatingCacheEntry e;
+  e.r = j.at("r").as_hex_double();
+  if (j.has("memo"))
+    for (const JsonValue& m : j.at("memo").as_array())
+      e.memo_added.emplace_back(m.at("k").as_string(),
+                                m.at("v").as_hex_double());
+  if (j.has("robs"))
+    for (const JsonValue& o : j.at("robs").as_array()) {
+      RatingCacheEntry::RatingObs obs;
+      obs.converged = o.at("c").as_bool();
+      obs.samples = o.at("s").as_u64();
+      e.rating_obs.push_back(obs);
+    }
+  e.invocations = j.at("inv").as_u64();
+  e.ratings_started = j.at("rs").as_u64();
+  e.exhausted = j.at("rx").as_u64();
+  e.whole_program_surcharge = j.at("whl").as_hex_double();
+  const JsonValue& c = j.at("cost");
+  e.cost.accumulated = c.at("acc").as_hex_double();
+  e.cost.timed = c.at("timed").as_hex_double();
+  e.cost.precondition = c.at("pre").as_hex_double();
+  e.cost.checkpoint = c.at("ckpt").as_hex_double();
+  e.cost.faulted = c.at("faulted").as_hex_double();
+  e.cost.retry = c.at("retry").as_hex_double();
+  e.cost.saves = c.at("saves").as_u64();
+  e.cost.restores = c.at("restores").as_u64();
+  e.cost.checkpoint_bytes = c.at("ckpt_bytes").as_u64();
+  if (j.has("mbr")) e.mbr_residual = j.at("mbr").as_hex_double();
+  return e;
+}
+
+}  // namespace
+
+RatingCache::RatingCache(std::string path) : path_(std::move(path)) {
+  // Load whatever a previous run left behind; a missing file just means
+  // a cold cache. Damaged or partial trailing lines (a kill mid-store)
+  // are skipped, same policy as the tuning journal.
+  std::ifstream in(path_);
+  if (in.good()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line.back() != '}') continue;
+      JsonValue record;
+      try {
+        record = JsonParser(line).parse();
+      } catch (const support::CheckError&) {
+        continue;
+      }
+      if (!record.has("type") ||
+          record.at("type").as_string() != "rating")
+        continue;
+      try {
+        entries_.emplace(record.at("key").as_string(),
+                         parse_entry(record));
+      } catch (const support::CheckError&) {
+        continue;
+      }
+    }
+  }
+  out_.open(path_, std::ios::app);
+  PEAK_CHECK(out_.good(), "cannot open rating cache " + path_);
+}
+
+std::optional<RatingCacheEntry> RatingCache::lookup(
+    const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    CacheMetrics::get().misses.inc();
+    return std::nullopt;
+  }
+  CacheMetrics::get().hits.inc();
+  return it->second;
+}
+
+void RatingCache::store(const std::string& key,
+                        const RatingCacheEntry& entry) {
+  std::lock_guard lock(mutex_);
+  if (!entries_.emplace(key, entry).second) return;
+  out_ << render_entry(key, entry) << '\n';
+  out_.flush();
+  CacheMetrics::get().stores.inc();
+}
+
+std::size_t RatingCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace peak::core

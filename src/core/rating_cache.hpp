@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file rating_cache.hpp
+/// Persistent content-addressed rating cache. Batched evaluation makes
+/// every candidate rating a pure function of
+/// (machine, section, trace, seed, rating method + params, base bits,
+/// candidate bits) — the measurement stream is reseeded per rating from
+/// exactly those inputs — so the complete outcome of a rating (the R
+/// value plus every state delta it caused: memo entries, rating
+/// observations, counter advances, simulated-cycle costs) can be keyed by
+/// a digest of them and replayed from disk on any later run that asks the
+/// same question. The file is append-only JSONL (same dialect as the
+/// tuning journal, see core/jsonl.hpp) shared across rounds, sections,
+/// and repeated runs; a warm rerun applies cached deltas instead of
+/// simulating, which makes it near-instant while still producing a
+/// bit-identical TuningOutcome (costs included — tuning cost is part of
+/// the cached deltas, not of the wall clock).
+///
+/// The cache is disabled whenever a fault injector is installed: injector
+/// verdicts depend on state that is not part of the key (attempt numbers,
+/// quarantine history), so cached ratings would be unsound there.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/exec_backend.hpp"
+
+namespace peak::core {
+
+/// Everything one batched candidate rating did to the evaluator, in
+/// position-independent form. Applying an entry at merge time is
+/// indistinguishable from having run the rating live.
+struct RatingCacheEntry {
+  double r = 0.0;
+  /// rate_time memo entries added (key → EVAL).
+  std::vector<std::pair<std::string, double>> memo_added;
+  /// Per-rating observations (converged?, window samples), in order.
+  struct RatingObs {
+    bool converged = false;
+    std::uint64_t samples = 0;
+  };
+  std::vector<RatingObs> rating_obs;
+  std::uint64_t invocations = 0;
+  std::uint64_t ratings_started = 0;
+  std::uint64_t exhausted = 0;
+  double whole_program_surcharge = 0.0;
+  /// Simulated-cycle cost of the rating, per phase.
+  sim::SimExecutionBackend::CostDeltas cost;
+  /// Last MBR regression residual the rating reported (MBR only).
+  std::optional<double> mbr_residual;
+};
+
+/// Append-only on-disk cache, keyed by 128-bit content digests rendered
+/// as 32 hex digits. Opening loads every complete record into memory
+/// (damaged or partial trailing lines are skipped, like the journal);
+/// store() appends one line and flushes. Thread-safe; in the driver all
+/// lookups and stores happen on the batch-merge (primary) thread anyway.
+class RatingCache {
+public:
+  /// Opens `path` for appending, creating it if absent, and loads any
+  /// existing entries.
+  explicit RatingCache(std::string path);
+
+  /// Entry for `key`, if present. Bumps `search.cache.hit` / `.miss`.
+  [[nodiscard]] std::optional<RatingCacheEntry> lookup(
+      const std::string& key) const;
+
+  /// Insert and append to disk (first writer wins; a duplicate store of
+  /// the same key keeps the existing entry). Bumps `search.cache.store`.
+  void store(const std::string& key, const RatingCacheEntry& entry);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, RatingCacheEntry> entries_;
+  std::ofstream out_;
+};
+
+}  // namespace peak::core

@@ -1,7 +1,10 @@
 #include "core/tuning_driver.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -9,6 +12,7 @@
 
 #include "analysis/instrumentation.hpp"
 #include "core/journal.hpp"
+#include "core/rating_cache.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +22,7 @@
 #include "rating/rbr.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace peak::core {
 
@@ -62,13 +67,14 @@ public:
             TuningJournal* journal, const JournalSegment* replay)
       : driver_(driver),
         method_(method),
+        fn_(fn),
+        backend_seed_(support::hash_combine(
+            driver.options_.seed, support::stable_hash(fn.name()))),
         backend_(fn, [&] {
           sim::TsTraits t = driver.workload_.traits();
           t.workload_scale = driver.trace_.workload_scale;
           return t;
-        }(), driver.machine_, driver.effects_,
-        support::hash_combine(driver.options_.seed,
-                              support::stable_hash(fn.name()))),
+        }(), driver.machine_, driver.effects_, backend_seed_),
         quarantine_(quarantine),
         journal_(journal),
         replay_(replay) {
@@ -88,10 +94,25 @@ public:
         });
       }
     }
+    // The persistent rating cache is sound only for batch-semantics
+    // ratings (content-seeded streams) without a fault injector
+    // (injector verdicts depend on attempt/quarantine state that is not
+    // part of the key).
+    if (driver.options_.rating_cache != nullptr && batched() &&
+        driver.options_.fault.injector == nullptr) {
+      cache_ = driver.options_.rating_cache;
+      init_cache_fingerprint();
+    }
   }
 
   double relative_improvement(const search::FlagConfig& base,
                               const search::FlagConfig& cfg) override {
+    // Batch mode funnels *every* rating through the batch machinery (as a
+    // singleton batch when a search asks for one config at a time), so
+    // stream seeding, caching, and journaling are uniform. rate_batch()
+    // does its own replay check.
+    if (batched())
+      return rate_batch(base, std::vector<search::FlagConfig>{cfg}).front();
     if (replay_ != nullptr && replay_pos_ < replay_->evals.size())
       return replay_eval(base, cfg);
     // Counted at entry so an attempt abandoned mid-rating (see
@@ -135,6 +156,148 @@ public:
     return quarantine_.contains(cfg.key());
   }
 
+  [[nodiscard]] bool batched() const override {
+    return driver_.options_.search_threads >= 1;
+  }
+
+  /// Batch-semantics evaluation of one probe round. Every candidate is a
+  /// pure function of (seed, base, candidate): its measurement stream is
+  /// reseeded from that content and it runs on a per-slot backend clone,
+  /// so results do not depend on thread count, scheduling, or position in
+  /// the batch. Members are merged on the calling thread in canonical
+  /// candidate order, which makes the TuningOutcome, event stream, and
+  /// journal bit-identical for every search_threads >= 1.
+  std::vector<double> rate_batch(
+      const search::FlagConfig& base,
+      const std::vector<search::FlagConfig>& candidates) override {
+    if (!batched()) return ConfigEvaluator::rate_batch(base, candidates);
+    std::vector<double> out;
+    out.reserve(candidates.size());
+    // Replay prefix: recorded evaluations replay one by one, in the same
+    // canonical order they were journaled in (which is independent of the
+    // thread count that produced them).
+    std::size_t start = 0;
+    while (start < candidates.size() && replay_ != nullptr &&
+           replay_pos_ < replay_->evals.size()) {
+      out.push_back(replay_eval(base, candidates[start]));
+      ++start;
+    }
+    if (start == candidates.size()) return out;
+
+    obs::ScopedSpan span("rate_batch", "rating");
+    if (span.active()) {
+      span.add(obs::attr("method", rating::to_string(method_)));
+      span.add(obs::attr("candidates", candidates.size() - start));
+    }
+
+    std::vector<MemberState> members;
+    members.reserve(candidates.size() - start);
+    for (std::size_t i = start; i < candidates.size(); ++i) {
+      MemberState m;
+      m.base = &base;
+      m.cfg = &candidates[i];
+      m.seed = member_seed(base, candidates[i], /*prologue=*/false);
+      members.push_back(std::move(m));
+    }
+
+    // Time-based methods rate the base by memoized EVAL; when the memo
+    // does not hold it yet, a prologue member computes it *before* the
+    // fan-out so every member sees the frozen memo entry (instead of all
+    // of them redundantly re-measuring the base).
+    std::optional<MemberState> prologue;
+    if (method_ != rating::Method::kRBR &&
+        memo_.find(base.key()) == memo_.end()) {
+      prologue.emplace();
+      prologue->base = &base;
+      prologue->cfg = &base;
+      prologue->prologue = true;
+      prologue->seed = member_seed(base, base, /*prologue=*/true);
+    }
+
+    // Cache lookups happen up front on the calling thread; hits are
+    // normalized into regular member outputs so the merge loop below does
+    // not care where a result came from.
+    if (cache_ != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (prologue) {
+        prologue->cache_key = make_cache_key(base, base, /*prologue=*/true);
+        load_cached(*prologue);
+      }
+      for (MemberState& m : members) {
+        m.cache_key = make_cache_key(base, *m.cfg, /*prologue=*/false);
+        load_cached(m);
+      }
+      cache_wall_us_ += std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    }
+
+    ensure_slots(1);
+    if (prologue && !prologue->from_cache) {
+      prologue->backend = slots_[0].get();
+      run_member(*prologue);
+    }
+    if (prologue) {
+      merge_member(*prologue);
+      maybe_store(*prologue);
+      if (prologue->error) {
+        // The base itself cannot be rated: account the first candidate's
+        // evaluation (the serial path counts it at entry before the base
+        // rating throws) and let tune() abandon the method.
+        ++evaluations_;
+        DriverMetrics::get().configs_evaluated.inc();
+        std::rethrow_exception(prologue->error);
+      }
+    }
+
+    // Fan the non-cached members out over the pool, slot-scheduled so the
+    // item → backend-clone mapping is a pure function of the batch shape.
+    std::vector<std::size_t> to_run;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      if (!members[i].from_cache) to_run.push_back(i);
+    const unsigned threads = driver_.options_.search_threads;
+    if (threads <= 1 || to_run.size() <= 1) {
+      for (std::size_t i : to_run) {
+        members[i].backend = slots_[0].get();
+        run_member(members[i]);
+      }
+    } else {
+      const std::size_t slots =
+          std::min<std::size_t>(threads, to_run.size());
+      ensure_slots(slots);
+      if (pool_ == nullptr)
+        pool_ = std::make_unique<support::ThreadPool>(threads);
+      // Workers adopt the submitting thread's attribution path so their
+      // costs land on the same machine/benchmark/section/method node.
+      const std::vector<std::string> path = obs::attribution_path();
+      pool_->slotted_for(
+          to_run.size(), slots, [&](std::size_t j, std::size_t slot) {
+            obs::AttributionPathScope scope(path);
+            MemberState& m = members[to_run[j]];
+            m.backend = slots_[slot].get();
+            run_member(m);  // never throws: errors land in m.error
+          });
+    }
+
+    // Canonical merge, in candidate order. Every member ran to completion
+    // before this loop (on every thread count), so the global state both
+    // paths produced is identical; a member's error is rethrown only
+    // after its own (partial) deltas are applied, exactly like the serial
+    // path abandoning mid-rating.
+    const MemberState* pro = prologue ? &*prologue : nullptr;
+    for (MemberState& m : members) {
+      merge_member(m);
+      ++evaluations_;
+      DriverMetrics::get().configs_evaluated.inc();
+      if (m.error) std::rethrow_exception(m.error);
+      record_member_eval(m, pro);
+      pro = nullptr;  // the prologue rides along on the first record only
+      maybe_store(m);
+      out.push_back(m.r);
+    }
+    return out;
+  }
+
   /// Fold this evaluator's per-phase simulated-cycle attribution into
   /// the global metrics registry and the cost ledger (under the caller's
   /// attribution path — tune() has machine/benchmark/section/method
@@ -161,6 +324,10 @@ public:
     obs::charge_phase("faulted", b.faulted);
     obs::charge_phase("retry", b.retry);
     obs::charge_phase("whole_program", whole_program_surcharge_);
+    // Wall-only phase: the rating cache consumes no simulated cycles
+    // (the cycles a hit *saves* re-enter through the cached cost deltas).
+    if (cache_wall_us_ > 0.0)
+      obs::charge_phase("cache", 0.0, cache_wall_us_);
     // Wall spent inside this evaluator's rating calls goes to the method
     // node itself (it spans several cycle phases at once); the method's
     // wall total is then rating wall + the search_overhead phase.
@@ -456,8 +623,494 @@ private:
     return eval;
   }
 
+  // ---- Batched evaluation -----------------------------------------------
+
+  /// One candidate of a batch. Everything its rating *reads* is either
+  /// immutable during the fan-out (the shared memo, the trace) or copied
+  /// in here at rating start (quarantine, validated set); everything it
+  /// *writes* is buffered in the output fields and folded into the
+  /// evaluator by merge_member(), on the primary thread, in canonical
+  /// candidate order.
+  struct MemberState {
+    const search::FlagConfig* base = nullptr;
+    const search::FlagConfig* cfg = nullptr;
+    bool prologue = false;  ///< rates the base EVAL only
+    std::uint64_t seed = 0;
+    sim::SimExecutionBackend* backend = nullptr;
+    std::optional<fault::GuardedExecutor> guard;
+    fault::Quarantine quarantine;     ///< copy of the shared registry
+    std::set<std::string> validated;  ///< copy of the validated set
+    std::size_t cursor = 0;           ///< member-local stream cursor
+
+    // Outputs: the complete state delta of this rating.
+    double r = 0.0;
+    std::vector<std::pair<std::string, double>> memo_added;
+    std::vector<std::string> validated_added;
+    std::vector<JournalEval::RatingObs> robs;
+    std::set<std::string> fail_keys;
+    std::vector<fault::FaultEvent> fault_events;
+    std::uint64_t invocations = 0;
+    std::uint64_t ratings_started = 0;
+    std::uint64_t exhausted = 0;
+    double whole_program_surcharge = 0.0;
+    std::optional<double> mbr_residual;
+    std::exception_ptr error;
+    sim::SimExecutionBackend::Snapshot before, after;
+    bool from_cache = false;
+    sim::SimExecutionBackend::CostDeltas cached_cost;
+    std::string cache_key;  ///< "" = cache disabled
+  };
+
+  /// Stream seed of one member: a pure function of (run seed, section,
+  /// base bits, candidate bits), so a candidate's measurement stream is
+  /// independent of batch position, thread count, and everything rated
+  /// before it — the property both the N-independence guarantee and the
+  /// persistent cache rest on.
+  [[nodiscard]] std::uint64_t member_seed(const search::FlagConfig& base,
+                                          const search::FlagConfig& cfg,
+                                          bool prologue) const {
+    std::uint64_t s = support::hash_combine(
+        support::hash_combine(backend_seed_,
+                              support::stable_hash(base.key())),
+        support::stable_hash(cfg.key()));
+    // The prologue rates (base, base) with a distinct stream from a
+    // hypothetical (base, base) candidate.
+    if (prologue) s = support::hash_combine(s, 0x70726f6c6f677565ULL);
+    return s;
+  }
+
+  void ensure_slots(std::size_t n) {
+    while (slots_.size() < n) {
+      auto clone = std::make_unique<sim::SimExecutionBackend>(
+          fn_, backend_.traits(), driver_.machine_, driver_.effects_,
+          backend_seed_);
+      clone->set_checkpoint_bytes(
+          driver_.profile_.input_sets.input_bytes(fn_),
+          driver_.profile_.checkpoint_plan.bytes(fn_));
+      if (driver_.options_.fault.injector != nullptr)
+        clone->set_fault_injector(driver_.options_.fault.injector);
+      slots_.push_back(std::move(clone));
+    }
+  }
+
+  /// Rate one member on its slot backend. Never throws: an unexpected
+  /// exception (e.g. RatingNotConverging) is captured so the merge loop
+  /// can rethrow it at the member's canonical position, after applying
+  /// the partial deltas — exactly like a serial rating abandoning
+  /// mid-flight.
+  void run_member(MemberState& m) {
+    m.quarantine = quarantine_;
+    m.validated = validated_;
+    if (driver_.options_.fault.injector != nullptr &&
+        driver_.options_.fault.guard_execution) {
+      m.guard.emplace(*m.backend, m.quarantine,
+                      driver_.options_.fault.guard);
+      m.guard->set_on_fault([&m](const fault::FaultEvent& ev) {
+        m.fail_keys.insert(ev.config_key);
+        m.fault_events.push_back(ev);
+      });
+      m.guard->set_reference(*m.base);
+    }
+    m.backend->reset_measurement_stream(m.seed);
+    // Zero the clone's cost tallies so this member's deltas are sums that
+    // start from 0.0 — `after - before` with a non-zero `before` rounds
+    // differently depending on what the slot accumulated earlier, which
+    // would make simulated_time depend on the member → slot assignment
+    // (i.e. on the thread count). With the reset, the delta is the exact
+    // member-local sum for every slot layout.
+    m.backend->reset_accumulated_time();
+    m.before = m.backend->snapshot_state();
+    try {
+      try {
+        if (m.prologue) {
+          rate_time_m(m, *m.base);
+        } else if (method_ == rating::Method::kRBR) {
+          m.r = rbr_ratio_m(m);
+        } else {
+          const double e_base = rate_time_m(m, *m.base);
+          const double e_cfg = rate_time_m(m, *m.cfg);
+          PEAK_CHECK(e_cfg > 0.0, "non-positive rating");
+          m.r = e_base / e_cfg;
+        }
+        if (!m.prologue) maybe_validate_m(m, m.r);
+      } catch (const fault::ConfigFailed&) {
+        m.r = 0.0;
+      }
+    } catch (...) {
+      m.error = std::current_exception();
+    }
+    m.after = m.backend->snapshot_state();
+  }
+
+  const sim::Invocation& next_invocation_m(MemberState& m) {
+    const auto& invs = driver_.trace_.invocations;
+    const sim::Invocation& inv = invs[m.cursor];
+    m.cursor = (m.cursor + 1) % invs.size();
+    ++m.invocations;
+    return inv;
+  }
+
+  sim::InvocationResult measure_m(MemberState& m,
+                                  const search::FlagConfig& cfg,
+                                  const sim::Invocation& inv) {
+    return m.guard ? m.guard->invoke(cfg, inv)
+                   : m.backend->invoke(cfg, inv);
+  }
+
+  void maybe_validate_m(MemberState& m, double r) {
+    if (!m.guard || !driver_.options_.fault.validate_improvements) return;
+    if (r <= 1.0) return;
+    const std::string key = m.cfg->key();
+    if (m.validated.count(key) != 0) return;
+    m.guard->validate(*m.cfg, next_invocation_m(m));
+    m.validated.insert(key);
+    m.validated_added.push_back(key);
+  }
+
+  void observe_rating_m(MemberState& m, bool converged,
+                        std::size_t samples) {
+    m.robs.push_back({converged, static_cast<std::uint64_t>(samples)});
+  }
+
+  /// Member-local mirror of rbr_ratio(): same protocol, same significance
+  /// gate, but all tallies land on the member and the registry updates
+  /// are deferred to the merge.
+  double rbr_ratio_m(MemberState& m) {
+    ++m.ratings_started;
+    rating::ReexecutionRater rater(driver_.options_.window);
+    sim::RbrOptions rbr_opts;
+    rbr_opts.improved = driver_.options_.improved_rbr;
+    rbr_opts.batch_pairs = driver_.options_.rbr_batch_pairs;
+    while (!rater.converged() && !rater.exhausted()) {
+      const sim::Invocation& inv = next_invocation_m(m);
+      const std::vector<sim::RbrPairResult> pairs =
+          m.guard ? m.guard->invoke_rbr_batch(*m.base, *m.cfg, inv,
+                                              rbr_opts)
+                  : m.backend->invoke_rbr_batch(*m.base, *m.cfg, inv,
+                                                rbr_opts);
+      for (const sim::RbrPairResult& pair : pairs) {
+        rater.add_pair(pair.time_best, pair.time_exp);
+        if (rater.converged() || rater.exhausted()) break;
+      }
+    }
+    if (!rater.converged()) ++m.exhausted;
+    const rating::Rating r = rater.rating();
+    observe_rating_m(m, rater.converged(), r.samples);
+    const double sem =
+        r.samples > 0 ? std::sqrt(r.var / static_cast<double>(r.samples))
+                      : 0.0;
+    if (std::fabs(r.eval - 1.0) < 3.0 * sem) return 1.0;
+    return r.eval;
+  }
+
+  /// Member-local mirror of rate_time(). The shared memo is frozen during
+  /// a batch (the prologue published the base EVAL before the fan-out);
+  /// a member additionally sees its own additions.
+  double rate_time_m(MemberState& m, const search::FlagConfig& cfg) {
+    const std::string key = cfg.key();
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    for (const auto& [k, v] : m.memo_added)
+      if (k == key) return v;
+    ++m.ratings_started;
+
+    double eval = 0.0;
+    switch (method_) {
+      case rating::Method::kCBR: {
+        rating::ContextBasedRater rater(driver_.options_.window);
+        const std::size_t budget =
+            driver_.options_.window.max_samples *
+            std::clamp<std::size_t>(driver_.profile_.num_contexts, 1, 50);
+        while (!rater.converged() && rater.total_samples() < budget) {
+          const sim::Invocation& inv = next_invocation_m(m);
+          rater.add(inv.context, measure_m(m, cfg, inv).time);
+        }
+        if (!rater.converged()) ++m.exhausted;
+        const rating::Rating r = rater.rating();
+        observe_rating_m(m, rater.converged(), r.samples);
+        eval = r.eval;
+        break;
+      }
+      case rating::Method::kMBR: {
+        rating::ModelBasedRater rater(
+            driver_.profile_.components.num_components(),
+            driver_.profile_.mbr_profile, driver_.options_.mbr);
+        while (!rater.converged() && !rater.exhausted()) {
+          const sim::Invocation& inv = next_invocation_m(m);
+          const sim::InvocationResult r = measure_m(m, cfg, inv);
+          std::vector<double> counts(r.counters->begin(),
+                                     r.counters->end());
+          counts.push_back(1.0);  // constant component
+          rater.add(counts, r.time);
+        }
+        if (!rater.converged()) ++m.exhausted;
+        const rating::Rating r = rater.rating();
+        observe_rating_m(m, rater.converged(), r.samples);
+        m.mbr_residual = r.var;
+        eval = r.eval;
+        break;
+      }
+      case rating::Method::kAVG: {
+        rating::ContextObliviousRater rater(driver_.options_.window);
+        while (!rater.converged() && !rater.exhausted()) {
+          const sim::Invocation& inv = next_invocation_m(m);
+          rater.add(measure_m(m, cfg, inv).time);
+        }
+        if (!rater.converged()) ++m.exhausted;
+        const rating::Rating r = rater.rating();
+        observe_rating_m(m, rater.converged(), r.samples);
+        eval = r.eval;
+        break;
+      }
+      case rating::Method::kWHL: {
+        rating::WholeProgramRater rater;
+        while (!rater.converged() && !rater.exhausted()) {
+          double run_ts_time = 0.0;
+          for (std::size_t i = 0; i < driver_.trace_.invocations.size();
+               ++i) {
+            const double t = measure_m(m, cfg, next_invocation_m(m)).time;
+            rater.add_invocation(t);
+            run_ts_time += t;
+          }
+          rater.end_run();
+          const double fraction = driver_.workload_.ts_time_fraction();
+          m.whole_program_surcharge +=
+              run_ts_time * (1.0 / fraction - 1.0);
+        }
+        const rating::Rating r = rater.rating();
+        observe_rating_m(m, rater.converged(), r.samples);
+        eval = r.eval;
+        break;
+      }
+      case rating::Method::kRBR:
+        PEAK_CHECK(false, "RBR is pair-based; use rbr_ratio_m");
+        break;
+    }
+    if (eval <= 0.0) {
+      ++m.exhausted;
+      throw RatingNotConverging(
+          std::string(rating::to_string(method_)) +
+          " produced no estimate for " + driver_.workload_.full_name());
+    }
+    m.memo_added.emplace_back(key, eval);
+    return eval;
+  }
+
+  /// Fold one member's buffered deltas into the evaluator, exactly as a
+  /// serial rating would have applied them interleaved. Primary thread
+  /// only, canonical candidate order. Quarantine counts merge by
+  /// restoring the member's observed counts verbatim; two members of one
+  /// batch failing on the *same* key keep the higher count rather than
+  /// the sum (documented undercount — deterministic, and conservative in
+  /// the direction of re-measuring).
+  void merge_member(const MemberState& m) {
+    for (const fault::FaultEvent& ev : m.fault_events)
+      if (journal_ != nullptr) journal_->record_fault(ev);
+    for (const std::string& key : m.fail_keys) {  // std::set: sorted
+      const auto it = m.quarantine.entries().find(key);
+      if (it == m.quarantine.entries().end()) continue;
+      if (it->second.failures > quarantine_.failures_of(key))
+        quarantine_.restore_failures(key, it->second.kind,
+                                     it->second.failures);
+      if (it->second.quarantined)
+        quarantine_.quarantine(key, it->second.kind);
+    }
+    for (const auto& [key, eval] : m.memo_added) memo_.emplace(key, eval);
+    for (const std::string& key : m.validated_added)
+      validated_.insert(key);
+
+    DriverMetrics& dm = DriverMetrics::get();
+    dm.invocations.inc(m.invocations);
+    dm.ratings_started.inc(m.ratings_started);
+    for (const JournalEval::RatingObs& o : m.robs) {
+      (o.converged ? dm.ratings_converged : dm.ratings_exhausted).inc();
+      dm.window_occupancy.observe(static_cast<double>(o.samples));
+    }
+    if (m.mbr_residual) dm.mbr_residual.set(*m.mbr_residual);
+
+    invocations_ += m.invocations;
+    ratings_ += m.ratings_started;
+    exhausted_ += m.exhausted;
+    whole_program_surcharge_ += m.whole_program_surcharge;
+    // Simulated-cycle costs fold into the primary backend (cost side
+    // only: its own unconsumed rng/warmth state stays untouched).
+    backend_.absorb_cost_deltas(
+        m.from_cache
+            ? m.cached_cost
+            : sim::SimExecutionBackend::cost_deltas(m.before, m.after));
+  }
+
+  /// Journal one batch member. The batch's prologue (base rating) rides
+  /// along on the first live record — its memo entry, observations, and
+  /// fail deltas concatenate in front of the member's own — so replay
+  /// reproduces the evaluator state without a dedicated prologue record.
+  void record_member_eval(const MemberState& m, const MemberState* pro) {
+    if (journal_ == nullptr) return;
+    JournalEval e;
+    e.base_key = m.base->key();
+    e.cfg_key = m.cfg->key();
+    e.r = m.r;
+    if (pro != nullptr) e.memo_added = pro->memo_added;
+    e.memo_added.insert(e.memo_added.end(), m.memo_added.begin(),
+                        m.memo_added.end());
+    e.validated_added = m.validated_added;
+    std::set<std::string> fails = m.fail_keys;
+    if (pro != nullptr)
+      fails.insert(pro->fail_keys.begin(), pro->fail_keys.end());
+    for (const std::string& key : fails) {
+      const auto it = quarantine_.entries().find(key);
+      if (it == quarantine_.entries().end()) continue;
+      JournalEval::FailDelta d;
+      d.key = key;
+      d.kind = it->second.kind;
+      d.failures = it->second.failures;
+      d.quarantined = it->second.quarantined;
+      e.fails.push_back(std::move(d));
+    }
+    if (pro != nullptr) e.ratings_observed = pro->robs;
+    e.ratings_observed.insert(e.ratings_observed.end(), m.robs.begin(),
+                              m.robs.end());
+    e.snap.backend = backend_.snapshot_state();
+    e.snap.cursor = cursor_;
+    e.snap.invocations = invocations_;
+    e.snap.evaluations = evaluations_;
+    e.snap.ratings = ratings_;
+    e.snap.exhausted = exhausted_;
+    e.snap.whole_program_surcharge = whole_program_surcharge_;
+    journal_->record_eval(e);
+  }
+
+  /// Normalize a cache hit into regular member outputs, so merging and
+  /// journaling do not care whether a rating ran live or replayed from
+  /// disk.
+  void load_cached(MemberState& m) {
+    const std::optional<RatingCacheEntry> e = cache_->lookup(m.cache_key);
+    if (!e) return;
+    m.from_cache = true;
+    m.r = e->r;
+    m.memo_added = e->memo_added;
+    for (const RatingCacheEntry::RatingObs& o : e->rating_obs)
+      m.robs.push_back({o.converged, o.samples});
+    m.invocations = e->invocations;
+    m.ratings_started = e->ratings_started;
+    m.exhausted = e->exhausted;
+    m.whole_program_surcharge = e->whole_program_surcharge;
+    m.cached_cost = e->cost;
+    m.mbr_residual = e->mbr_residual;
+  }
+
+  void maybe_store(const MemberState& m) {
+    if (cache_ == nullptr || m.from_cache || m.error) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    RatingCacheEntry e;
+    e.r = m.r;
+    e.memo_added = m.memo_added;
+    for (const JournalEval::RatingObs& o : m.robs)
+      e.rating_obs.push_back({o.converged, o.samples});
+    e.invocations = m.invocations;
+    e.ratings_started = m.ratings_started;
+    e.exhausted = m.exhausted;
+    e.whole_program_surcharge = m.whole_program_surcharge;
+    e.cost = sim::SimExecutionBackend::cost_deltas(m.before, m.after);
+    e.mbr_residual = m.mbr_residual;
+    cache_->store(m.cache_key, e);
+    cache_wall_us_ += std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  }
+
+  /// Everything a batched rating's outcome is a function of, besides the
+  /// (base, candidate) bits: machine, section, trace content, run seed,
+  /// rating method and its parameters, and the effect model's behaviour.
+  /// Mixed into two independent 64-bit chains; each cache key extends
+  /// them with the config bits (128-bit keys make accidental collisions
+  /// implausible at any realistic cache size).
+  void init_cache_fingerprint() {
+    std::uint64_t h1 = support::stable_hash("peak.rating_cache.v1");
+    std::uint64_t h2 = support::stable_hash("peak.rating_cache.v1.alt");
+    const auto mix = [&](std::uint64_t v) {
+      h1 = support::hash_combine(h1, v);
+      h2 = support::hash_combine(h2, v ^ 0x636f6e74656e7431ULL);
+    };
+    const auto mix_d = [&](double d) {
+      mix(std::bit_cast<std::uint64_t>(d));
+    };
+    const auto mix_s = [&](std::string_view s) {
+      mix(support::stable_hash(s));
+    };
+    mix_s(driver_.machine_.name);
+    mix_s(driver_.workload_.full_name());
+    mix(driver_.options_.seed);
+    mix_s(rating::to_string(method_));
+    const rating::WindowPolicy& w = driver_.options_.window;
+    mix(w.min_samples);
+    mix(w.max_samples);
+    mix_d(w.cv_threshold);
+    mix(static_cast<std::uint64_t>(w.outliers.rule));
+    mix_d(w.outliers.k);
+    mix_d(w.outliers.max_drop_fraction);
+    mix(static_cast<std::uint64_t>(w.outliers.max_iterations));
+    const rating::MbrPolicy& mb = driver_.options_.mbr;
+    mix(mb.min_samples_per_component);
+    mix(mb.max_samples);
+    mix_d(mb.var_threshold);
+    mix_d(mb.cv_threshold);
+    mix_d(mb.dominant_share);
+    mix(driver_.options_.improved_rbr ? 1 : 0);
+    mix(driver_.options_.rbr_batch_pairs);
+    mix(driver_.profile_.num_contexts);
+    mix(driver_.profile_.input_sets.input_bytes(fn_));
+    mix(driver_.profile_.checkpoint_plan.bytes(fn_));
+    mix_d(driver_.workload_.ts_time_fraction());
+    // Trace content: ids, contexts, cacheability, irregularity.
+    mix_d(driver_.trace_.workload_scale);
+    mix(driver_.trace_.invocations.size());
+    for (const sim::Invocation& inv : driver_.trace_.invocations) {
+      mix(inv.id);
+      mix(inv.context_determines_time ? 1 : 0);
+      mix_d(inv.irregularity);
+      mix(inv.context.size());
+      for (double c : inv.context) mix_d(c);
+    }
+    // Effect-model fingerprint: the multipliers of the two canonical
+    // configurations pin down the model's seed and curated story (any
+    // change to either moves these bit patterns).
+    const search::OptimizationSpace& space = driver_.effects_.space();
+    mix_d(driver_.effects_.time_multiplier(backend_.traits(),
+                                           driver_.machine_,
+                                           search::o3_config(space)));
+    mix_d(driver_.effects_.time_multiplier(backend_.traits(),
+                                           driver_.machine_,
+                                           search::baseline_config(space)));
+    cache_salt_ = {h1, h2};
+  }
+
+  [[nodiscard]] std::string make_cache_key(const search::FlagConfig& base,
+                                           const search::FlagConfig& cfg,
+                                           bool prologue) const {
+    std::uint64_t h1 = cache_salt_.first;
+    std::uint64_t h2 = cache_salt_.second;
+    const auto mix = [&](std::uint64_t v) {
+      h1 = support::hash_combine(h1, v);
+      h2 = support::hash_combine(h2, v ^ 0x636f6e74656e7431ULL);
+    };
+    for (std::uint64_t word : base.bits().words()) mix(word);
+    mix(0x2f);  // separator: bits are length-prefixed by space size anyway
+    for (std::uint64_t word : cfg.bits().words()) mix(word);
+    mix(prologue ? 0x70726f6c6f677565ULL : 0);
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(h1),
+                  static_cast<unsigned long long>(h2));
+    return std::string(buf);
+  }
+
   const TuningDriver& driver_;
   rating::Method method_;
+  const ir::Function& fn_;
+  /// Seed of the primary backend; batch-member stream seeds and backend
+  /// clones derive from it, so they are content-addressed too.
+  std::uint64_t backend_seed_;
   sim::SimExecutionBackend backend_;
   std::map<std::string, double> memo_;
   std::size_t cursor_ = 0;
@@ -482,6 +1135,20 @@ private:
   /// evaluator_wall_us() at construction; publish_costs() charges the
   /// delta as this method's rating wall.
   double evaluator_wall_at_start_ = obs::evaluator_wall_us();
+
+  // Batched evaluation (search_threads >= 1). Per-slot backend clones;
+  // slot s rates the batch items i with i % slots == s, so the item →
+  // backend mapping is a pure function of the batch shape (and, because
+  // every rating resets its clone's measurement stream, the results do
+  // not depend on the mapping at all).
+  std::vector<std::unique_ptr<sim::SimExecutionBackend>> slots_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  /// Persistent rating cache; null unless batch mode without an injector.
+  RatingCache* cache_ = nullptr;
+  /// Run-fingerprint halves every cache key starts from.
+  std::pair<std::uint64_t, std::uint64_t> cache_salt_{};
+  /// Wall spent on cache lookups/stores, charged as the "cache" phase.
+  double cache_wall_us_ = 0.0;
 };
 
 TuningDriver::TuningDriver(const workloads::Workload& workload,

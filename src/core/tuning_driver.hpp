@@ -28,6 +28,7 @@ namespace peak::core {
 
 class TuningJournal;
 struct JournalSegment;
+class RatingCache;
 
 /// Fault-tolerance knobs. With no injector installed the driver's
 /// measurement path is bit-identical to the fault-oblivious one (no
@@ -74,6 +75,22 @@ struct DriverOptions {
   std::shared_ptr<search::SearchAlgorithm> search_algorithm;
   /// Fault injection, guarded execution, and crash-safe resume.
   FaultOptions fault{};
+  /// Batched evaluation of the search probe loops. 0 (default) keeps the
+  /// classic serial path, where every rating consumes the next stretch of
+  /// one chained measurement stream — the historical behaviour all
+  /// pre-batching baselines were recorded against. N >= 1 switches to
+  /// batch semantics: each candidate's measurement stream is reseeded
+  /// from the (seed, base, candidate) content, candidates are rated on
+  /// per-slot backend clones — fanned out over a thread pool when N > 1 —
+  /// and merged in canonical candidate order, so the TuningOutcome,
+  /// event stream, and journal are bit-identical for every N >= 1.
+  unsigned search_threads = 0;
+  /// Persistent content-addressed rating cache shared across sections and
+  /// runs (not owned; may be null). Only consulted in batch mode
+  /// (search_threads >= 1) and ignored whenever a fault injector is
+  /// installed — injector verdicts depend on retry/quarantine state that
+  /// is not part of the cache key.
+  RatingCache* rating_cache = nullptr;
 };
 
 struct TuningCost {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "obs/ledger.hpp"
 
@@ -28,6 +29,13 @@ AttributionScope::AttributionScope(std::string component) {
 AttributionScope::~AttributionScope() { t_path.pop_back(); }
 
 std::vector<std::string> attribution_path() { return t_path; }
+
+AttributionPathScope::AttributionPathScope(std::vector<std::string> path)
+    : saved_(std::exchange(t_path, std::move(path))) {}
+
+AttributionPathScope::~AttributionPathScope() {
+  t_path = std::move(saved_);
+}
 
 void charge_phase(std::string_view phase, double cycles, double wall_us) {
   std::vector<std::string> path = t_path;

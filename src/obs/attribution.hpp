@@ -33,6 +33,23 @@ public:
 /// The calling thread's current attribution path, outermost scope first.
 [[nodiscard]] std::vector<std::string> attribution_path();
 
+/// RAII adoption of a complete attribution path on the calling thread —
+/// how pool workers of a batched evaluation charge costs to the
+/// submitting thread's ledger node (machine → benchmark → section →
+/// method) instead of to an empty worker-thread path. Restores the
+/// thread's previous path on destruction.
+class AttributionPathScope {
+public:
+  explicit AttributionPathScope(std::vector<std::string> path);
+  ~AttributionPathScope();
+
+  AttributionPathScope(const AttributionPathScope&) = delete;
+  AttributionPathScope& operator=(const AttributionPathScope&) = delete;
+
+private:
+  std::vector<std::string> saved_;
+};
+
 /// Charge Ledger::global() at `<current path>/<phase>`; an empty phase
 /// charges the current path's node itself.
 void charge_phase(std::string_view phase, double cycles,

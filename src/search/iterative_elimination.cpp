@@ -18,23 +18,29 @@ SearchResult IterativeElimination::run(const OptimizationSpace& space,
     double best_gain = options_.improvement_threshold;
     std::size_t best_flag = space.size();
 
-    for (std::size_t f = 0; f < space.size(); ++f) {
-      if (!base.enabled(f)) continue;
-      const FlagConfig candidate = base.with(f, false);
-      if (evaluator.excluded(candidate)) {
-        SearchEvent skip;
-        skip.kind = SearchEvent::Kind::kQuarantined;
-        skip.round = round;
-        skip.flag = space.flag(f).name;
-        result.events.push_back(std::move(skip));
-        continue;
+    if (evaluator.batched()) {
+      // The probes of one round are mutually independent: submit them as
+      // one batch so the evaluator can fan them out / serve them cached.
+      std::vector<std::size_t> flags;
+      for (std::size_t f = 0; f < space.size(); ++f)
+        if (base.enabled(f)) flags.push_back(f);
+      for (const auto& [f, r] :
+           probe_flags(evaluator, result, space, base, round, flags)) {
+        if (r > best_gain) {
+          best_gain = r;
+          best_flag = f;
+        }
       }
-      const double r =
-          rate_config(evaluator, base, candidate, space.flag(f).name);
-      ++result.configs_evaluated;
-      if (r > best_gain) {
-        best_gain = r;
-        best_flag = f;
+    } else {
+      for (std::size_t f = 0; f < space.size(); ++f) {
+        if (!base.enabled(f)) continue;
+        const std::optional<double> r =
+            probe_candidate(evaluator, result, base, base.with(f, false),
+                            space.flag(f).name, round);
+        if (r && *r > best_gain) {
+          best_gain = *r;
+          best_flag = f;
+        }
       }
     }
 
@@ -70,23 +76,15 @@ SearchResult BatchElimination::run(const OptimizationSpace& space,
   std::vector<std::size_t> harmful;
   for (std::size_t f = 0; f < space.size(); ++f) {
     if (!base.enabled(f)) continue;
-    const FlagConfig candidate = base.with(f, false);
-    if (evaluator.excluded(candidate)) {
-      SearchEvent skip;
-      skip.kind = SearchEvent::Kind::kQuarantined;
-      skip.flag = space.flag(f).name;
-      result.events.push_back(std::move(skip));
-      continue;
-    }
-    const double r =
-        rate_config(evaluator, base, candidate, space.flag(f).name);
-    ++result.configs_evaluated;
-    if (r > threshold_) {
+    const std::optional<double> r = probe_candidate(
+        evaluator, result, base, base.with(f, false), space.flag(f).name,
+        /*round=*/0);
+    if (r && *r > threshold_) {
       harmful.push_back(f);
       SearchEvent ev;
       ev.kind = SearchEvent::Kind::kHarmful;
       ev.flag = space.flag(f).name;
-      ev.ratio = r;
+      ev.ratio = *r;
       result.events.push_back(std::move(ev));
     }
   }

@@ -6,8 +6,10 @@
 /// machinery (CBR/MBR/RBR/AVG/WHL) measuring real or simulated executions,
 /// so the same algorithms work for any rating method, any backend.
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "search/opt_config.hpp"
@@ -33,6 +35,21 @@ public:
     (void)cfg;
     return false;
   }
+
+  /// True when this evaluator wants whole rounds submitted through
+  /// rate_batch() (it can evaluate the independent candidates of a round
+  /// concurrently and/or serve them from a cache). Searches with
+  /// batchable loops consult this to pick the batched code path.
+  [[nodiscard]] virtual bool batched() const { return false; }
+
+  /// Rate every candidate against `base`; result i corresponds to
+  /// candidates[i]. The candidates of one call must be mutually
+  /// independent (none depends on another's outcome) — exactly the shape
+  /// of one elimination-search probe round. The default implementation
+  /// is a serial relative_improvement() loop, so plain evaluators work
+  /// with batching searches unchanged.
+  virtual std::vector<double> rate_batch(
+      const FlagConfig& base, const std::vector<FlagConfig>& candidates);
 };
 
 /// One structured decision made by a search algorithm (or by the tuning
@@ -91,6 +108,31 @@ struct SearchResult {
 /// that bypass this helper.)
 double rate_config(ConfigEvaluator& evaluator, const FlagConfig& base,
                    const FlagConfig& cfg, std::string_view label = {});
+
+/// One probe of an elimination-style search — the block IE's probe loop,
+/// CE's probe loop, CE's re-validation loop, and BatchElimination all
+/// repeat: if `candidate` is quarantined, record the kQuarantined event
+/// on `result` and return nothing; otherwise rate it against `base`
+/// (probe span, wall gate) and count it in `result.configs_evaluated`.
+std::optional<double> probe_candidate(ConfigEvaluator& evaluator,
+                                      SearchResult& result,
+                                      const FlagConfig& base,
+                                      const FlagConfig& candidate,
+                                      std::string_view flag_name,
+                                      std::size_t round);
+
+/// Batched counterpart of a probe_candidate() loop over `flags`
+/// (candidate = `base` with the flag turned off): quarantined candidates
+/// get their kQuarantined events up front, the survivors go to the
+/// evaluator as one rate_batch() call, and (flag, R) pairs come back in
+/// canonical flag order. Moving the quarantine checks ahead of the
+/// measurements cannot change what is skipped: a probe only ever
+/// quarantines configurations it measured (the base or the candidate
+/// itself), and no later candidate of the round equals either.
+std::vector<std::pair<std::size_t, double>> probe_flags(
+    ConfigEvaluator& evaluator, SearchResult& result,
+    const OptimizationSpace& space, const FlagConfig& base,
+    std::size_t round, const std::vector<std::size_t>& flags);
 
 class SearchAlgorithm {
 public:

@@ -1,11 +1,22 @@
 #include "search/search_algorithm.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "obs/attribution.hpp"
 #include "obs/trace.hpp"
+#include "support/check.hpp"
 
 namespace peak::search {
+
+std::vector<double> ConfigEvaluator::rate_batch(
+    const FlagConfig& base, const std::vector<FlagConfig>& candidates) {
+  std::vector<double> ratings;
+  ratings.reserve(candidates.size());
+  for (const FlagConfig& cfg : candidates)
+    ratings.push_back(relative_improvement(base, cfg));
+  return ratings;
+}
 
 double rate_config(ConfigEvaluator& evaluator, const FlagConfig& base,
                    const FlagConfig& cfg, std::string_view label) {
@@ -19,6 +30,64 @@ double rate_config(ConfigEvaluator& evaluator, const FlagConfig& base,
   const double r = evaluator.relative_improvement(base, cfg);
   if (span.active()) span.add(obs::attr("R", r));
   return r;
+}
+
+std::optional<double> probe_candidate(ConfigEvaluator& evaluator,
+                                      SearchResult& result,
+                                      const FlagConfig& base,
+                                      const FlagConfig& candidate,
+                                      std::string_view flag_name,
+                                      std::size_t round) {
+  if (evaluator.excluded(candidate)) {
+    SearchEvent skip;
+    skip.kind = SearchEvent::Kind::kQuarantined;
+    skip.round = round;
+    skip.flag = std::string(flag_name);
+    result.events.push_back(std::move(skip));
+    return std::nullopt;
+  }
+  const double r = rate_config(evaluator, base, candidate, flag_name);
+  ++result.configs_evaluated;
+  return r;
+}
+
+std::vector<std::pair<std::size_t, double>> probe_flags(
+    ConfigEvaluator& evaluator, SearchResult& result,
+    const OptimizationSpace& space, const FlagConfig& base,
+    std::size_t round, const std::vector<std::size_t>& flags) {
+  std::vector<std::size_t> live;
+  std::vector<FlagConfig> candidates;
+  live.reserve(flags.size());
+  candidates.reserve(flags.size());
+  for (std::size_t f : flags) {
+    FlagConfig candidate = base.with(f, false);
+    if (evaluator.excluded(candidate)) {
+      SearchEvent skip;
+      skip.kind = SearchEvent::Kind::kQuarantined;
+      skip.round = round;
+      skip.flag = space.flag(f).name;
+      result.events.push_back(std::move(skip));
+      continue;
+    }
+    live.push_back(f);
+    candidates.push_back(std::move(candidate));
+  }
+  std::vector<double> ratings;
+  if (!candidates.empty()) {
+    obs::ScopedSpan span("probe_batch", "search");
+    if (span.active())
+      span.add(obs::attr("candidates", candidates.size()));
+    obs::EvaluatorWallGate gate;
+    ratings = evaluator.rate_batch(base, candidates);
+  }
+  PEAK_CHECK(ratings.size() == candidates.size(),
+             "rate_batch returned wrong arity");
+  result.configs_evaluated += candidates.size();
+  std::vector<std::pair<std::size_t, double>> rated;
+  rated.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i)
+    rated.emplace_back(live[i], ratings[i]);
+  return rated;
 }
 
 std::string render(const SearchEvent& event) {

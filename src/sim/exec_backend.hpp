@@ -97,6 +97,10 @@ struct RbrPairResult {
   bool swapped = false;  ///< experimental version ran first
 };
 
+/// Thread-compatibility: a backend is confined to one thread at a time
+/// (no internal locking). Concurrent evaluation uses one clone per worker
+/// slot — clones share only `fn`/`effects` (const) — and serializes all
+/// cross-clone merging through cost_deltas()/absorb_cost_deltas().
 class SimExecutionBackend {
 public:
   SimExecutionBackend(const ir::Function& fn, TsTraits traits,
@@ -183,6 +187,19 @@ public:
     return base_run(inv).digest;
   }
 
+  /// Reset the measurement stream to a pure function of `seed`: reseed
+  /// the noise RNG, drop cache warmth to cold, and reset the RBR swap
+  /// order. Batched evaluation calls this at the start of every candidate
+  /// rating, which makes the rating a function of (seed, base, cfg) alone
+  /// — independent of which backend clone runs it and of everything that
+  /// clone measured before. Cost tallies are left untouched (the caller
+  /// extracts them as snapshot deltas).
+  void reset_measurement_stream(std::uint64_t seed) {
+    noise_.rng().reseed(seed);
+    warmth_.set_warmth(0.0);
+    swap_toggle_ = false;
+  }
+
   /// Bit-exact snapshot of the backend's mutable stochastic state, enough
   /// to resume an interrupted tuning run deterministically. The base-run
   /// and multiplier caches are deliberately absent: they memoize pure
@@ -231,6 +248,52 @@ public:
   };
   [[nodiscard]] const CycleBreakdown& breakdown() const {
     return breakdown_;
+  }
+
+  /// Cost tallies a span of work accumulated on one backend, expressed as
+  /// the difference between two of its snapshots. Exchange currency of
+  /// batched evaluation: a worker's clone measures a candidate, the merge
+  /// step folds the clone's deltas into the primary backend.
+  struct CostDeltas {
+    double accumulated = 0.0;
+    double timed = 0.0;
+    double precondition = 0.0;
+    double checkpoint = 0.0;
+    double faulted = 0.0;
+    double retry = 0.0;
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t checkpoint_bytes = 0;
+  };
+  [[nodiscard]] static CostDeltas cost_deltas(const Snapshot& before,
+                                              const Snapshot& after) {
+    CostDeltas d;
+    d.accumulated = after.accumulated - before.accumulated;
+    d.timed = after.timed - before.timed;
+    d.precondition = after.precondition - before.precondition;
+    d.checkpoint = after.checkpoint - before.checkpoint;
+    d.faulted = after.faulted - before.faulted;
+    d.retry = after.retry - before.retry;
+    d.saves = after.saves - before.saves;
+    d.restores = after.restores - before.restores;
+    d.checkpoint_bytes = after.checkpoint_bytes - before.checkpoint_bytes;
+    return d;
+  }
+
+  /// Fold cost deltas measured on a clone into this backend's tallies.
+  /// Only the cost side is touched — rng, warmth, and swap order stay as
+  /// they are, so a backend that merges batch results never perturbs its
+  /// own (unconsumed) measurement stream.
+  void absorb_cost_deltas(const CostDeltas& d) {
+    accumulated_ += d.accumulated;
+    breakdown_.timed += d.timed;
+    breakdown_.precondition += d.precondition;
+    breakdown_.checkpoint += d.checkpoint;
+    breakdown_.faulted += d.faulted;
+    breakdown_.retry += d.retry;
+    breakdown_.saves += d.saves;
+    breakdown_.restores += d.restores;
+    breakdown_.checkpoint_bytes += d.checkpoint_bytes;
   }
 
   [[nodiscard]] const ir::Function& function() const { return fn_; }

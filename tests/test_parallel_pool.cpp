@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace peak::support {
+namespace {
+
+/// Determinism stress tests for ThreadPool::slotted_for — the schedule
+/// batched evaluation rides on. The item → slot mapping, the per-slot
+/// item order, and the choice of rethrown exception must all be pure
+/// functions of (n, slots), independent of worker interleaving.
+
+TEST(SlottedFor, AssignsItemsToSlotsByModulusInOrder) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 37;
+  constexpr std::size_t kSlots = 4;
+  // One sequence per slot; slots never run concurrently with themselves,
+  // so per-slot vectors need no locking.
+  std::vector<std::vector<std::size_t>> per_slot(kSlots);
+  pool.slotted_for(kItems, kSlots, [&](std::size_t i, std::size_t slot) {
+    per_slot[slot].push_back(i);
+  });
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    std::vector<std::size_t> expected;
+    for (std::size_t i = s; i < kItems; i += kSlots) expected.push_back(i);
+    EXPECT_EQ(per_slot[s], expected) << "slot " << s;
+  }
+}
+
+TEST(SlottedFor, EveryItemRunsExactlyOnceUnderContention) {
+  ThreadPool pool(8);
+  for (int rep = 0; rep < 20; ++rep) {
+    constexpr std::size_t kItems = 101;
+    std::vector<std::atomic<int>> runs(kItems);
+    pool.slotted_for(kItems, 8, [&](std::size_t i, std::size_t slot) {
+      EXPECT_EQ(slot, i % 8);
+      runs[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kItems; ++i)
+      ASSERT_EQ(runs[i].load(), 1) << "item " << i << " rep " << rep;
+  }
+}
+
+TEST(SlottedFor, ResultsIndependentOfSlotAndPoolWidth) {
+  // A pure per-item computation must produce the same result vector for
+  // every (pool width, slot count) combination — the property that makes
+  // batch-merge ordering equal to serial ordering.
+  constexpr std::size_t kItems = 64;
+  auto run = [&](unsigned pool_width, std::size_t slots) {
+    ThreadPool pool(pool_width);
+    std::vector<std::uint64_t> out(kItems);
+    pool.slotted_for(kItems, slots, [&](std::size_t i, std::size_t) {
+      std::uint64_t v = i;
+      for (int k = 0; k < 1000; ++k) v = v * 6364136223846793005ULL + i;
+      out[i] = v;
+    });
+    return out;
+  };
+  const std::vector<std::uint64_t> reference = run(1, 1);
+  EXPECT_EQ(run(2, 2), reference);
+  EXPECT_EQ(run(4, 4), reference);
+  EXPECT_EQ(run(8, 3), reference);
+  EXPECT_EQ(run(4, 64), reference);
+}
+
+TEST(SlottedFor, RethrowsLowestItemIndexException) {
+  ThreadPool pool(4);
+  // Items 5, 12, and 31 throw; every repetition must surface item 5's
+  // exception regardless of which worker hit which failure first, and
+  // every non-throwing item must still have run.
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::atomic<int>> runs(40);
+    std::string what;
+    try {
+      pool.slotted_for(40, 4, [&](std::size_t i, std::size_t) {
+        runs[i].fetch_add(1, std::memory_order_relaxed);
+        if (i == 5 || i == 12 || i == 31)
+          throw std::runtime_error("item " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "item 5") << "rep " << rep;
+    for (std::size_t i = 0; i < 40; ++i)
+      ASSERT_EQ(runs[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(SlottedFor, ClampsSlotsAndHandlesEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.slotted_for(0, 4, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // More slots than items: slot index never exceeds n - 1.
+  std::vector<std::size_t> slots_seen;
+  std::mutex mu;
+  pool.slotted_for(3, 16, [&](std::size_t i, std::size_t slot) {
+    std::lock_guard lock(mu);
+    EXPECT_EQ(slot, i);  // clamped to 3 slots, i % 3 == i
+    slots_seen.push_back(slot);
+  });
+  EXPECT_EQ(slots_seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace peak::support

@@ -217,6 +217,50 @@ def check_engine_speedup(fragment, path):
              "expected a positive geomean")
 
 
+def check_search(fragment, path):
+    """The parallel-search / rating-cache section of a headline document.
+
+    Two hard gates live here rather than in the drift sentinel, because
+    they are correctness claims, not reproducibility claims: the batched
+    parallel run must produce the bit-identical outcome of the serial run,
+    and a warm rating-cache rerun must serve >90% of lookups from disk.
+    The wall-clock speedup gate only applies when the recording machine
+    had at least 4 hardware threads — on a 1- or 2-core CI box the >= 2x
+    target is unreachable no matter how good the fan-out is.
+    """
+    _require(isinstance(fragment, dict), path, "expected an object")
+    _check_string(fragment, "benchmark", path)
+    _check_number(fragment, "threads", path, minimum=1)
+    _check_number(fragment, "hardware_concurrency", path, minimum=1)
+    _check_number(fragment, "serial_wall_s", path, minimum=0)
+    _check_number(fragment, "parallel_wall_s", path, minimum=0)
+    _check_number(fragment, "search_speedup", path, minimum=0)
+    _check_bool(fragment, "outcome_identical", path)
+    _require(fragment["outcome_identical"], f"{path}.outcome_identical",
+             "parallel search outcome differs from the serial outcome")
+    if fragment["hardware_concurrency"] >= 4:
+        _require(fragment["search_speedup"] >= 2.0,
+                 f"{path}.search_speedup",
+                 f"expected >= 2.0x on a {fragment['hardware_concurrency']}"
+                 f"-thread machine, got {fragment['search_speedup']!r}")
+    cache = fragment.get("cache")
+    _require(isinstance(cache, dict), f"{path}.cache", "expected an object")
+    cpath = f"{path}.cache"
+    _check_number(cache, "cold_stores", cpath, minimum=1)
+    _check_number(cache, "warm_hits", cpath, minimum=0)
+    _check_number(cache, "warm_misses", cpath, minimum=0)
+    _check_number(cache, "warm_hit_rate", cpath, minimum=0)
+    _require(cache["warm_hit_rate"] <= 1.0, f"{cpath}.warm_hit_rate",
+             "expected a rate in [0, 1]")
+    _require(cache["warm_hit_rate"] > 0.9, f"{cpath}.warm_hit_rate",
+             f"warm rerun served only {cache['warm_hit_rate']!r} "
+             "of lookups from the cache (gate: > 0.9)")
+    _check_bool(cache, "warm_outcome_identical", cpath)
+    _require(cache["warm_outcome_identical"],
+             f"{cpath}.warm_outcome_identical",
+             "warm cache rerun outcome differs from the cold run")
+
+
 def check_engine_compare(doc, path):
     _require(doc.get("schema") == 1, path, "expected schema 1")
     _require("engine_speedup" in doc, path, "missing key 'engine_speedup'")
@@ -250,6 +294,10 @@ def check_headline(doc, path):
         _check_number(headline, key, f"{path}.headline")
     if "engine_speedup" in doc:
         check_engine_speedup(doc["engine_speedup"], f"{path}.engine_speedup")
+    # The parallel-search section joined the artifact later still, so it is
+    # also optional for old files — but gated whenever present.
+    if "search" in doc:
+        check_search(doc["search"], f"{path}.search")
     _require("metrics" in doc, path, "missing key 'metrics'")
     check_metrics(doc["metrics"], f"{path}.metrics")
     # cost_attribution joined the artifact after the metrics section, so
@@ -536,6 +584,23 @@ GOOD = {
     },
 }
 
+GOOD_SEARCH = {
+    "benchmark": "SWIM",
+    "threads": 4,
+    "hardware_concurrency": 8,
+    "serial_wall_s": 1.2,
+    "parallel_wall_s": 0.4,
+    "search_speedup": 3.0,
+    "outcome_identical": True,
+    "cache": {
+        "cold_stores": 112,
+        "warm_hits": 112,
+        "warm_misses": 0,
+        "warm_hit_rate": 1.0,
+        "warm_outcome_identical": True,
+    },
+}
+
 GOOD_FAULT = {
     "bench": "fault_sweep",
     "schema": 1,
@@ -649,6 +714,32 @@ def self_test():
     expect(_mutate(GOOD, lambda d: d["metrics"]["gauges"].update(
         **{"sim.cycles_timed": 500.0})), False,
         "ledger/gauge cycle mismatch accepted")
+
+    # The parallel-search section: optional, but hard-gated when present.
+    def with_search(fn=None):
+        def apply(d):
+            d["search"] = json.loads(json.dumps(GOOD_SEARCH))
+            if fn is not None:
+                fn(d["search"])
+        return _mutate(GOOD, apply)
+
+    expect(with_search(), True, "headline with good search section rejected")
+    expect(with_search(lambda s: s.update(outcome_identical=False)), False,
+           "non-identical parallel outcome accepted")
+    expect(with_search(lambda s: s["cache"].update(
+        warm_hit_rate=0.5)), False, "50% warm hit rate accepted")
+    expect(with_search(lambda s: s["cache"].update(
+        warm_outcome_identical=False)), False,
+        "non-identical warm cache outcome accepted")
+    expect(with_search(lambda s: s.update(search_speedup=1.1)), False,
+           "1.1x speedup on an 8-thread machine accepted")
+    expect(with_search(lambda s: s.update(
+        hardware_concurrency=1, search_speedup=1.0)), True,
+        "speedup gate applied on a 1-thread machine")
+    expect(with_search(lambda s: s.pop("cache")), False,
+           "search section without cache stats accepted")
+    expect(with_search(lambda s: s["cache"].update(cold_stores=0)), False,
+           "cold run that stored nothing accepted")
 
     expect(GOOD_ENGINE, True, "good engine_compare document rejected")
     expect(_mutate(GOOD_ENGINE,

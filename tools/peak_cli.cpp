@@ -10,18 +10,21 @@
 /// Machines: sparc2 (default), p4. Methods: CBR MBR RBR AVG WHL (default:
 /// consultant's choice).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/parallel.hpp"
 #include "core/peak.hpp"
 #include "core/profile.hpp"
 #include "core/config_store.hpp"
+#include "core/rating_cache.hpp"
 #include "core/report.hpp"
 #include "core/tuning_driver.hpp"
 #include "fault/injector.hpp"
@@ -53,6 +56,12 @@ struct Args {
   bool no_guard = false;          ///< disable the guarded executor
   std::string journal_path;       ///< crash-safe tuning journal (tune)
   bool resume = false;            ///< replay the journal before tuning
+  /// Batched search probing: 1 = batch semantics on one thread, N > 1
+  /// fans each probe round out over N workers (bit-identical outcome for
+  /// every N >= 1), 0 = the classic serial chained-stream path.
+  unsigned search_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::string rating_cache_path;  ///< persistent rating cache (tune)
   bool csv = false;
   bool markdown = false;
   bool verbose = false;  ///< print the metrics table after the command
@@ -92,6 +101,13 @@ int usage() {
                "  --no-guard      (tune) disable the guarded executor\n"
                "  --journal FILE  (tune) append-only crash-safe journal\n"
                "  --resume        (tune) replay the journal, then continue\n"
+               "  --search-threads N  (tune) parallel batched probing; "
+               "default = cores,\n"
+               "                  1 = same result serially, 0 = classic "
+               "serial path\n"
+               "  --rating-cache FILE (tune) persistent content-addressed "
+               "rating cache\n"
+               "                  (ignored when --fault-prob > 0)\n"
                "  --verbose       print the metrics table on exit\n");
   return 2;
 }
@@ -164,6 +180,14 @@ int cmd_tune_driver(const Args& args,
   options.fault.guard_execution = !args.no_guard;
   options.fault.journal_path = args.journal_path;
   options.fault.resume = args.resume;
+  options.search_threads = args.search_threads;
+  // Must outlive the driver; the evaluator ignores it whenever a fault
+  // injector is installed (cached ratings would be unsound there).
+  std::optional<core::RatingCache> cache;
+  if (!args.rating_cache_path.empty()) {
+    cache.emplace(args.rating_cache_path);
+    options.rating_cache = &*cache;
+  }
 
   core::TuningDriver driver(workload, profile, train, machine, effects,
                             options);
@@ -201,6 +225,10 @@ int cmd_tune_driver(const Args& args,
   if (!args.journal_path.empty())
     std::printf("  journal: %s%s\n", args.journal_path.c_str(),
                 args.resume ? " (resumed)" : "");
+  if (cache)
+    std::printf("  rating cache: %s (%zu entries%s)\n",
+                cache->path().c_str(), cache->size(),
+                args.fault_prob > 0.0 ? ", disabled under faults" : "");
   const auto& quarantine = driver.quarantine();
   if (quarantine.size() > 0 || args.fault_prob > 0.0) {
     std::printf("  quarantined configs: %zu\n", quarantine.size());
@@ -241,7 +269,14 @@ int cmd_tune(const Args& args) {
   }
   if (args.wants_driver()) return cmd_tune_driver(args, *workload);
   const sim::MachineModel machine = machine_of(args);
-  core::Peak peak(machine);
+  core::PeakOptions popts;
+  popts.driver.search_threads = args.search_threads;
+  std::optional<core::RatingCache> cache;  // must outlive `peak`
+  if (!args.rating_cache_path.empty()) {
+    cache.emplace(args.rating_cache_path);
+    popts.driver.rating_cache = &*cache;
+  }
+  core::Peak peak(machine, popts);
 
   core::MethodRun run;
   if (args.method) {
@@ -270,6 +305,9 @@ int cmd_tune(const Args& args) {
                   .c_str());
   std::printf("  cost: %zu invocations (%.2f program runs)\n",
               run.cost.invocations, run.cost.program_runs);
+  if (cache)
+    std::printf("  rating cache: %s (%zu entries)\n",
+                cache->path().c_str(), cache->size());
 
   if (!args.save_path.empty()) {
     core::ConfigStore store(peak.effects().space());
@@ -414,6 +452,15 @@ int main(int argc, char** argv) {
       args.journal_path = v;
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg == "--search-threads") {
+      const char* v = next();
+      if (!v) return usage();
+      args.search_threads =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--rating-cache") {
+      const char* v = next();
+      if (!v) return usage();
+      args.rating_cache_path = v;
     } else if (arg == "--csv") {
       args.csv = true;
     } else if (arg == "--markdown") {
