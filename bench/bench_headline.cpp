@@ -7,10 +7,13 @@
 /// Besides the human-readable stdout report, writes BENCH_headline.json
 /// (machine-readable, schema checked by tools/check_bench_json.py).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -21,6 +24,8 @@
 #include "obs/export.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry_server.hpp"
+#include "support/http_server.hpp"
 
 namespace {
 
@@ -124,6 +129,118 @@ SearchBench run_search_bench() {
   return out;
 }
 
+/// Scrape latency and non-perturbation of the live telemetry server:
+/// client-observed /metrics + /snapshot round-trip percentiles while a
+/// tuning run is hammered, and whether the hammered run's outcome stayed
+/// bit-identical to an unobserved one. Feeds the "telemetry" section of
+/// BENCH_headline.json. Runs LAST, after the drift-compared metrics and
+/// ledger sections are snapshotted — its counters and latency histograms
+/// are wall-clock-driven and differ run to run.
+struct TelemetryBench {
+  std::uint64_t scrapes = 0;
+  std::uint64_t errors = 0;
+  double scrape_p50_us = 0.0;
+  double scrape_p99_us = 0.0;
+  bool outcome_identical = false;
+};
+
+TelemetryBench run_telemetry_bench() {
+  TelemetryBench out;
+
+  const sim::MachineModel machine = sim::sparc2();
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  const std::unique_ptr<workloads::Workload> workload =
+      workloads::make_workload("SWIM");
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, 42);
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, machine);
+  auto tune = [&] {
+    core::TuningDriver driver(*workload, profile, train, machine, effects,
+                              {});
+    return driver.tune(rating::Method::kCBR);
+  };
+  const core::TuningOutcome baseline = tune();
+
+  obs::TelemetryServer server({});
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "telemetry bench: server failed to start: %s\n",
+                 error.c_str());
+    return out;  // outcome_identical=false fails the JSON gate loudly
+  }
+  server.set_run_phase("tuning");
+
+  std::atomic<bool> done{false};
+  std::mutex latencies_mutex;
+  std::vector<double> latencies_us;
+  std::atomic<std::uint64_t> errors{0};
+  const char* paths[] = {"/metrics", "/snapshot"};
+  std::vector<std::thread> scrapers;
+  for (const char* path : paths)
+    scrapers.emplace_back([&, path] {
+      using clock = std::chrono::steady_clock;
+      int mine = 0;
+      // Keep going past `done` until a latency floor is sampled even if
+      // the observed tunes outran the first scrape.
+      while (!done.load() || mine < 10) {
+        const clock::time_point t0 = clock::now();
+        const support::HttpClientResult r =
+            support::http_get("127.0.0.1", server.port(), path);
+        const double us =
+            std::chrono::duration<double, std::micro>(clock::now() - t0)
+                .count();
+        if (r.ok && r.status == 200) {
+          ++mine;
+          std::lock_guard lock(latencies_mutex);
+          latencies_us.push_back(us);
+        } else {
+          ++errors;
+        }
+      }
+    });
+
+  out.outcome_identical = true;
+  for (int run = 0; run < 3; ++run)
+    if (!(tune() == baseline)) out.outcome_identical = false;
+
+  done = true;
+  for (std::thread& s : scrapers) s.join();
+  server.stop();
+
+  out.errors = errors.load();
+  out.scrapes = latencies_us.size();
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const auto at = [&](double p) {
+      return latencies_us[static_cast<std::size_t>(
+          p * static_cast<double>(latencies_us.size() - 1))];
+    };
+    out.scrape_p50_us = at(0.5);
+    out.scrape_p99_us = at(0.99);
+  }
+  return out;
+}
+
+void print_telemetry_bench(const TelemetryBench& t) {
+  std::printf(
+      "Telemetry server (SWIM, CBR, scrape hammer on /metrics + "
+      "/snapshot):\n"
+      "  %llu scrapes (%llu errors)  latency p50 %.0fus  p99 %.0fus  "
+      "outcomes %s\n",
+      static_cast<unsigned long long>(t.scrapes),
+      static_cast<unsigned long long>(t.errors), t.scrape_p50_us,
+      t.scrape_p99_us, t.outcome_identical ? "identical" : "DIFFER");
+}
+
+void append_telemetry_json(std::ostream& os, const TelemetryBench& t) {
+  os << "{\"scrapes\":" << t.scrapes << ",\"errors\":" << t.errors
+     << ",\"scrape_p50_us\":" << t.scrape_p50_us
+     << ",\"scrape_p99_us\":" << t.scrape_p99_us
+     << ",\"outcome_identical\":"
+     << (t.outcome_identical ? "true" : "false") << "}";
+}
+
 void print_search_bench(const SearchBench& s) {
   std::printf(
       "Parallel batched search (SWIM, CBR, %u threads on %u cores):\n"
@@ -173,7 +290,9 @@ bool write_json(const std::string& path,
                 const std::vector<bench::Figure7Results>& machines,
                 const bench::Headline& h,
                 const bench::EngineCompareResult& engines,
-                const SearchBench& search) {
+                const SearchBench& search, const TelemetryBench& telemetry,
+                const obs::MetricsRegistry::Snapshot& metrics,
+                const obs::Ledger::Node& costs) {
   std::ofstream os(path);
   if (!os) return false;
   os << "{\"bench\":\"headline\",\"schema\":1,\"machines\":[";
@@ -202,10 +321,12 @@ bool write_json(const std::string& path,
   bench::write_engine_speedup_fragment(os, engines);
   os << ",\"search\":";
   append_search_json(os, search);
+  os << ",\"telemetry\":";
+  append_telemetry_json(os, telemetry);
   os << ",\"metrics\":";
-  obs::write_metrics_json(obs::MetricsRegistry::global().snapshot(), os);
+  obs::write_metrics_json(metrics, os);
   os << ",\"cost_attribution\":";
-  obs::write_ledger_json(obs::Ledger::global().snapshot(), os);
+  obs::write_ledger_json(costs, os);
   os << "}\n";
   return static_cast<bool>(os);
 }
@@ -256,8 +377,20 @@ int main() {
   std::cout << "\n";
   print_search_bench(search);
 
+  // Snapshot the drift-compared sections NOW: the telemetry bench below
+  // feeds wall-clock-driven scrape counters and latency histograms into
+  // the global registry, which would trip the metrics-drift sentinel.
+  const obs::MetricsRegistry::Snapshot metrics =
+      obs::MetricsRegistry::global().snapshot();
+  const obs::Ledger::Node costs = obs::Ledger::global().snapshot();
+
+  const TelemetryBench telemetry = run_telemetry_bench();
+  std::cout << "\n";
+  print_telemetry_bench(telemetry);
+
   const std::string json_path = "BENCH_headline.json";
-  if (write_json(json_path, machines, h, engines, search))
+  if (write_json(json_path, machines, h, engines, search, telemetry,
+                 metrics, costs))
     std::printf("Wrote %s\n", json_path.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -53,8 +53,13 @@ const std::string& JsonValue::as_string() const {
 }
 
 std::uint64_t JsonValue::as_u64() const {
-  PEAK_CHECK(type == Type::kNumber, "jsonl: not a number");
+  PEAK_CHECK(type == Type::kNumber && !is_real, "jsonl: not an integer");
   return num;
+}
+
+double JsonValue::as_double() const {
+  PEAK_CHECK(type == Type::kNumber, "jsonl: not a number");
+  return is_real ? real : static_cast<double>(num);
 }
 
 bool JsonValue::as_bool() const {
@@ -184,11 +189,47 @@ JsonValue JsonParser::number() {
   JsonValue v;
   v.type = JsonValue::Type::kNumber;
   const std::size_t begin = pos_;
-  while (pos_ < text_.size() &&
-         std::isdigit(static_cast<unsigned char>(text_[pos_])))
+  bool real = false;
+  if (pos_ < text_.size() && text_[pos_] == '-') {
+    real = true;
     ++pos_;
-  PEAK_CHECK(pos_ > begin, "jsonl: bad number");
-  v.num = std::stoull(std::string(text_.substr(begin, pos_ - begin)));
+  }
+  const std::size_t digits_begin = pos_;
+  auto take_digits = [&] {
+    const std::size_t at = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    return pos_ > at;
+  };
+  PEAK_CHECK(take_digits(), "jsonl: bad number");
+  if (pos_ < text_.size() && text_[pos_] == '.') {
+    real = true;
+    ++pos_;
+    PEAK_CHECK(take_digits(), "jsonl: bad number");
+  }
+  if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    real = true;
+    ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    PEAK_CHECK(take_digits(), "jsonl: bad number");
+  }
+  const std::string lit(text_.substr(begin, pos_ - begin));
+  if (real) {
+    v.is_real = true;
+    v.real = std::stod(lit);
+  } else {
+    // 20 digits can overflow stoull; journal/cache writers only emit
+    // in-range values, but a hostile record must throw CheckError, not
+    // std::out_of_range.
+    const std::string digits(text_.substr(digits_begin, pos_ - digits_begin));
+    PEAK_CHECK(
+        digits.size() < 20 ||
+            (digits.size() == 20 && digits <= "18446744073709551615"),
+        "jsonl: integer out of range");
+    v.num = std::stoull(lit);
+  }
   return v;
 }
 

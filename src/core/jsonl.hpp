@@ -5,10 +5,13 @@
 /// the tuning journal and the persistent rating cache both speak the same
 /// dialect: one JSON object per line, doubles as 16-hex-digit IEEE-754
 /// bit patterns (never decimal text, so round trips are bit-exact), and a
-/// minimal reader covering only what the writers emit (objects, arrays,
-/// strings, unsigned integers, booleans). No external JSON dependency is
-/// available in the container, and the full generality of JSON (floats,
-/// unicode escapes, null) never appears in a record.
+/// minimal reader covering what the writers emit (objects, arrays,
+/// strings, numbers, booleans). Numbers parse in both flavours: plain
+/// unsigned integers keep their exact 64-bit value, while anything with a
+/// sign, fraction, or exponent (as served by the telemetry endpoints)
+/// parses as a double — as_double() reads either. No external JSON
+/// dependency is available in the container, and the remaining generality
+/// of JSON (unicode escapes, null) never appears in a record.
 
 #include <cstdint>
 #include <map>
@@ -38,7 +41,9 @@ public:
   enum class Type { kString, kNumber, kBool, kObject, kArray };
   Type type = Type::kString;
   std::string str;
-  std::uint64_t num = 0;
+  std::uint64_t num = 0;  ///< exact value of a plain unsigned integer
+  bool is_real = false;   ///< number carried a sign/fraction/exponent
+  double real = 0.0;      ///< value when is_real
   bool boolean = false;
   std::shared_ptr<JsonObject> object;
   std::shared_ptr<JsonArray> array;
@@ -47,6 +52,8 @@ public:
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] std::uint64_t as_u64() const;
+  /// Any number as a double (integers convert; reals read directly).
+  [[nodiscard]] double as_double() const;
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] const JsonArray& as_array() const;
   /// Hex-bit-pattern string back to double.

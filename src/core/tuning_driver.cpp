@@ -14,6 +14,7 @@
 #include "core/journal.hpp"
 #include "core/rating_cache.hpp"
 #include "obs/attribution.hpp"
+#include "obs/event_ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rating/baselines.hpp"
@@ -1236,7 +1237,7 @@ TuningOutcome TuningDriver::tune(rating::Method method) {
     abandoned.kind = search::SearchEvent::Kind::kAbandoned;
     abandoned.flag = rating::to_string(method);
     abandoned.note = e.what();
-    outcome.events.push_back(std::move(abandoned));
+    search::record_event(outcome.events, std::move(abandoned));
     return outcome;
   }
 
@@ -1273,6 +1274,10 @@ TuningOutcome TuningDriver::tune_auto() {
       chosen.kind = search::SearchEvent::Kind::kMethodChosen;
       chosen.flag = rating::to_string(chain[i]);
       chosen.round = i;  // render(): i > 0 reads "(after fallback)"
+      // Prepended to the trace (the chosen method heads the log), but
+      // published live in real order — the stream is chronological.
+      obs::publish_run_event(std::string(search::to_string(chosen.kind)),
+                             search::to_json(chosen));
       outcome.events.insert(outcome.events.begin(), std::move(chosen));
       obs::Tracer::global().instant(
           "method_chosen", "driver",

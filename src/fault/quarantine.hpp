@@ -8,9 +8,15 @@
 /// through ConfigEvaluator::excluded() and skip quarantined flag sets, so
 /// the search degrades gracefully instead of aborting; core::ConfigStore
 /// persists the entries beside the tuned configurations.
+///
+/// All operations take an internal mutex: the telemetry server's
+/// /quarantine endpoint reads the table (via snapshot()) from its worker
+/// threads while the driver mutates it. entries() stays lock-free and is
+/// only safe on the mutating thread (persistence, tests).
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -25,6 +31,13 @@ public:
     std::size_t failures = 0;           ///< observed failure count
     bool quarantined = false;
   };
+
+  Quarantine() = default;
+  /// Copyable (the driver's member-tuning state carries per-member
+  /// copies): the source is read under its lock; the mutex itself is not
+  /// copied.
+  Quarantine(const Quarantine& other);
+  Quarantine& operator=(const Quarantine& other);
 
   [[nodiscard]] bool contains(const std::string& config_key) const;
   [[nodiscard]] std::optional<FaultKind> kind_of(
@@ -49,13 +62,20 @@ public:
   /// Number of quarantined configs (not merely failure-counted ones).
   [[nodiscard]] std::size_t size() const;
 
+  /// Direct view for same-thread use (persistence, tests). Not
+  /// synchronized — concurrent readers must use snapshot().
   [[nodiscard]] const std::map<std::string, Entry>& entries() const {
     return entries_;
   }
 
-  void clear() { entries_.clear(); }
+  /// Point-in-time copy of the table, safe to take from any thread while
+  /// the driver keeps recording failures (the /quarantine endpoint).
+  [[nodiscard]] std::map<std::string, Entry> snapshot() const;
+
+  void clear();
 
 private:
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };
 

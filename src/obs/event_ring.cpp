@@ -1,0 +1,81 @@
+#include "obs/event_ring.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace peak::obs {
+
+EventRing::EventRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+EventRing& EventRing::global() {
+  static EventRing ring;
+  return ring;
+}
+
+std::uint64_t EventRing::publish(std::string kind, std::string data) {
+  std::uint64_t seq;
+  {
+    std::lock_guard lock(mutex_);
+    seq = next_seq_++;
+    entries_.push_back(
+        {seq, Tracer::global().now_us(), std::move(kind), std::move(data)});
+    if (entries_.size() > capacity_) entries_.pop_front();
+  }
+  cv_.notify_all();
+  return seq;
+}
+
+EventRing::Fetch EventRing::fetch(std::uint64_t from,
+                                  std::size_t max) const {
+  Fetch out;
+  std::lock_guard lock(mutex_);
+  if (from == 0) from = 1;
+  out.next_seq = from;
+  if (entries_.empty()) {
+    out.next_seq = std::max(from, next_seq_);
+    return out;
+  }
+  const std::uint64_t oldest = entries_.front().seq;
+  if (from < oldest) {
+    out.dropped = oldest - from;
+    from = oldest;
+  }
+  // seq is dense (every publish advances it by one), so the first
+  // wanted entry sits at a computable offset.
+  const std::size_t offset = static_cast<std::size_t>(from - oldest);
+  for (std::size_t i = offset;
+       i < entries_.size() && out.entries.size() < max; ++i)
+    out.entries.push_back(entries_[i]);
+  out.next_seq = out.entries.empty()
+                     ? std::max(from, next_seq_)
+                     : out.entries.back().seq + 1;
+  return out;
+}
+
+std::uint64_t EventRing::head_seq() const {
+  std::lock_guard lock(mutex_);
+  return next_seq_ - 1;
+}
+
+bool EventRing::wait(std::uint64_t from,
+                     std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, timeout, [&] { return next_seq_ > from; });
+  return next_seq_ > from;
+}
+
+void EventRing::wake_all() const { cv_.notify_all(); }
+
+void EventRing::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  next_seq_ = 1;
+}
+
+std::uint64_t publish_run_event(std::string kind, std::string data) {
+  return EventRing::global().publish(std::move(kind), std::move(data));
+}
+
+}  // namespace peak::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file event_ring.hpp
+/// Bounded in-memory ring of structured run events (`peak::obs`) — the
+/// buffer behind the telemetry server's `/events` Server-Sent-Events
+/// stream. Producers (the search algorithms, the tuning driver, the CLI)
+/// publish never-blocking: when the ring is full the oldest entries are
+/// overwritten. Consumers poll by sequence number; a consumer that fell
+/// behind the ring's tail learns exactly how many events it lost
+/// (`Fetch::dropped`) so the SSE stream can emit a gap marker instead of
+/// silently skipping — slow scrapers never back-pressure the search.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <condition_variable>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace peak::obs {
+
+class EventRing {
+public:
+  struct Entry {
+    std::uint64_t seq = 0;    ///< 1-based, monotonically increasing
+    std::uint64_t ts_us = 0;  ///< Tracer::now_us() timebase
+    std::string kind;         ///< event type ("remove", "tune_start", …)
+    std::string data;         ///< pre-rendered JSON object payload
+  };
+
+  explicit EventRing(std::size_t capacity = 1024);
+
+  /// Process-wide ring every publisher feeds and /events drains.
+  static EventRing& global();
+
+  /// Append one event; never blocks, evicting the oldest entry when
+  /// full. Returns the assigned sequence number.
+  std::uint64_t publish(std::string kind, std::string data);
+
+  struct Fetch {
+    std::vector<Entry> entries;
+    std::uint64_t next_seq = 1;   ///< pass back as `from` next time
+    std::uint64_t dropped = 0;    ///< events evicted before `from`
+  };
+
+  /// Entries with seq >= `from`, up to `max` of them. When `from` has
+  /// already been evicted, `dropped` counts the lost events and the
+  /// fetch resumes from the oldest retained entry.
+  [[nodiscard]] Fetch fetch(std::uint64_t from, std::size_t max) const;
+
+  /// Sequence number of the newest published event (0 = none yet).
+  [[nodiscard]] std::uint64_t head_seq() const;
+
+  /// Block until an event with seq >= `from` exists, the timeout lapses,
+  /// or wake_all() is called; true when there is something to fetch.
+  bool wait(std::uint64_t from, std::chrono::milliseconds timeout) const;
+
+  /// Wake every wait()er (server shutdown).
+  void wake_all() const;
+
+  /// Drop all entries and restart sequencing (tests, fresh runs).
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::deque<Entry> entries_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Publish to the global ring with the tracer's timebase.
+std::uint64_t publish_run_event(std::string kind, std::string data);
+
+}  // namespace peak::obs

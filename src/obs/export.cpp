@@ -7,15 +7,14 @@
 
 namespace peak::obs {
 
-namespace {
-
-/// Chrome's JSON parser rejects NaN/Inf literals; clamp to null-safe 0.
 std::string json_number(double v) {
   if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "0";
   std::ostringstream os;
   os << v;
   return os.str();
 }
+
+namespace {
 
 void append_args(std::ostream& os, const std::vector<Attr>& args) {
   os << "{";

@@ -78,6 +78,10 @@ std::shared_ptr<Sink> make_file_sink(const std::string& path);
 /// JSON-escape a string (quotes, backslashes, control characters).
 std::string json_escape(std::string_view s);
 
+/// Render a double as a JSON number, clamping NaN/Inf to 0 (strict JSON
+/// parsers reject the literals) — the shared policy of every obs export.
+std::string json_number(double v);
+
 /// Serialize one event as a single-line JSON object (no trailing \n).
 std::string to_json(const TraceEvent& event);
 

@@ -6,6 +6,17 @@
 
 namespace peak::obs {
 
+std::string sanitize_metric_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)) {
   PEAK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
@@ -90,32 +101,31 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::string clean = sanitize_metric_name(name);
   std::lock_guard lock(mutex_);
-  auto it = counters_.find(name);
+  auto it = counters_.find(clean);
   if (it == counters_.end())
-    it = counters_
-             .emplace(std::string(name), std::make_unique<Counter>())
-             .first;
+    it = counters_.emplace(clean, std::make_unique<Counter>()).first;
   return *it->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::string clean = sanitize_metric_name(name);
   std::lock_guard lock(mutex_);
-  auto it = gauges_.find(name);
+  auto it = gauges_.find(clean);
   if (it == gauges_.end())
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
-             .first;
+    it = gauges_.emplace(clean, std::make_unique<Gauge>()).first;
   return *it->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
+  const std::string clean = sanitize_metric_name(name);
   std::lock_guard lock(mutex_);
-  auto it = histograms_.find(name);
+  auto it = histograms_.find(clean);
   if (it == histograms_.end())
     it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(std::move(bounds)))
+             .emplace(clean, std::make_unique<Histogram>(std::move(bounds)))
              .first;
   return *it->second;
 }

@@ -21,6 +21,14 @@
 
 namespace peak::obs {
 
+/// Canonical registry form of a metric name: every character outside
+/// `[a-zA-Z0-9_.]` becomes '_' (and an empty name becomes "_"). Applied
+/// at registration, so a hostile or typo'd name (spaces, quotes,
+/// newlines) can never corrupt a JSON export or a Prometheus scrape —
+/// look-ups with the unsanitized spelling still find the instrument
+/// because they pass through the same mapping.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
 /// Monotonic counter (ratings started, configs evaluated, restores…).
 class Counter {
 public:

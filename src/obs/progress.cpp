@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include "obs/export.hpp"
 
 namespace peak::obs {
 
@@ -48,71 +52,128 @@ std::string percent(double part, double whole) {
 
 }  // namespace
 
-std::string render_progress_frame(const MetricsRegistry::Snapshot& metrics,
-                                  const Ledger::Node& costs) {
-  std::ostringstream os;
-
-  const std::uint64_t configs =
+ProgressModel build_progress_model(const MetricsRegistry::Snapshot& metrics,
+                                   const Ledger::Node& costs) {
+  ProgressModel model;
+  model.configs_evaluated =
       counter_or_zero(metrics, "search.configs_evaluated");
-  const std::uint64_t started = counter_or_zero(metrics, "rating.started");
-  const std::uint64_t converged =
-      counter_or_zero(metrics, "rating.converged");
-  const std::uint64_t invocations =
-      counter_or_zero(metrics, "rating.invocations");
-
-  os << "peak: " << configs << " configs | " << started << " ratings";
-  if (started > 0)
-    os << " (" << percent(static_cast<double>(converged),
-                          static_cast<double>(started))
-       << " converged)";
-  os << " | " << invocations << " invocations | "
-     << human_cycles(costs.total_cycles) << " cycles\n";
+  model.ratings_started = counter_or_zero(metrics, "rating.started");
+  model.ratings_converged = counter_or_zero(metrics, "rating.converged");
+  model.invocations = counter_or_zero(metrics, "rating.invocations");
+  model.total_cycles = costs.total_cycles;
 
   // Phase split, summed over the whole tree. Phases are the leaves the
   // charge points use, so a depth-first sum per known phase name covers
   // every path without assuming tree depth.
   static constexpr const char* kPhases[] = {
       "profile", "timed",   "precondition",    "checkpoint", "whole_program",
-      "retry",   "faulted", "search_overhead",
+      "retry",   "faulted", "search_overhead", "cache",
   };
-  os << "  phases:";
-  bool any_phase = false;
   for (const char* phase : kPhases) {
     const double cycles = phase_total_cycles(costs, phase);
     if (cycles <= 0.0) continue;
-    any_phase = true;
-    os << ' ' << phase << ' '
-       << percent(cycles, costs.total_cycles > 0.0 ? costs.total_cycles
-                                                   : cycles);
+    model.phases.push_back({phase, cycles});
   }
-  if (!any_phase) os << " (no cycles charged yet)";
-  os << '\n';
 
-  // Hottest tuning sections: machine/benchmark/section rows sorted by
-  // simulated cost, most expensive first.
-  struct Row {
-    std::string label;
-    double cycles;
-  };
-  std::vector<Row> rows;
+  // Tuning sections: machine/benchmark/section rows sorted by simulated
+  // cost, most expensive first.
   for (const Ledger::Node& machine : costs.children)
     for (const Ledger::Node& bench : machine.children)
       for (const Ledger::Node& section : bench.children)
-        rows.push_back({machine.name + "/" + bench.name + "/" + section.name,
-                        section.total_cycles});
-  std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.cycles > b.cycles; });
+        model.sections.push_back(
+            {machine.name + "/" + bench.name + "/" + section.name,
+             section.total_cycles});
+  std::sort(model.sections.begin(), model.sections.end(),
+            [](const ProgressModel::Section& a,
+               const ProgressModel::Section& b) {
+              return a.cycles > b.cycles;
+            });
+  return model;
+}
+
+std::string render_progress_frame(const ProgressModel& model) {
+  std::ostringstream os;
+
+  os << "peak: " << model.configs_evaluated << " configs | "
+     << model.ratings_started << " ratings";
+  if (model.ratings_started > 0)
+    os << " ("
+       << percent(static_cast<double>(model.ratings_converged),
+                  static_cast<double>(model.ratings_started))
+       << " converged)";
+  os << " | " << model.invocations << " invocations | "
+     << human_cycles(model.total_cycles) << " cycles\n";
+
+  os << "  phases:";
+  for (const ProgressModel::Phase& phase : model.phases)
+    os << ' ' << phase.name << ' '
+       << percent(phase.cycles, model.total_cycles > 0.0
+                                    ? model.total_cycles
+                                    : phase.cycles);
+  if (model.phases.empty()) os << " (no cycles charged yet)";
+  os << '\n';
+
   constexpr std::size_t kMaxRows = 6;
-  const std::size_t shown = std::min(rows.size(), kMaxRows);
+  const std::size_t shown = std::min(model.sections.size(), kMaxRows);
   for (std::size_t i = 0; i < shown; ++i)
-    os << "  " << std::left << std::setw(32) << rows[i].label << ' '
-       << std::right << std::setw(8) << human_cycles(rows[i].cycles)
-       << "  (" << percent(rows[i].cycles, costs.total_cycles) << ")\n";
-  if (rows.size() > shown)
-    os << "  … " << rows.size() - shown << " more sections\n";
+    os << "  " << std::left << std::setw(32) << model.sections[i].label
+       << ' ' << std::right << std::setw(8)
+       << human_cycles(model.sections[i].cycles) << "  ("
+       << percent(model.sections[i].cycles, model.total_cycles) << ")\n";
+  if (model.sections.size() > shown)
+    os << "  … " << model.sections.size() - shown << " more sections\n";
 
   return os.str();
 }
+
+std::string render_progress_frame(const MetricsRegistry::Snapshot& metrics,
+                                  const Ledger::Node& costs) {
+  return render_progress_frame(build_progress_model(metrics, costs));
+}
+
+void write_progress_json(const ProgressModel& model, std::ostream& os) {
+  os << "{\"configs_evaluated\":" << model.configs_evaluated
+     << ",\"ratings_started\":" << model.ratings_started
+     << ",\"ratings_converged\":" << model.ratings_converged
+     << ",\"invocations\":" << model.invocations
+     << ",\"total_cycles\":" << json_number(model.total_cycles)
+     << ",\"phases\":[";
+  for (std::size_t i = 0; i < model.phases.size(); ++i)
+    os << (i ? "," : "") << "{\"name\":\""
+       << json_escape(model.phases[i].name)
+       << "\",\"cycles\":" << json_number(model.phases[i].cycles) << "}";
+  os << "],\"sections\":[";
+  for (std::size_t i = 0; i < model.sections.size(); ++i)
+    os << (i ? "," : "") << "{\"label\":\""
+       << json_escape(model.sections[i].label)
+       << "\",\"cycles\":" << json_number(model.sections[i].cycles) << "}";
+  os << "]}";
+}
+
+std::string progress_json(const ProgressModel& model) {
+  std::ostringstream os;
+  write_progress_json(model, os);
+  return os.str();
+}
+
+bool write_progress_json_atomic(const ProgressModel& model,
+                                const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    write_progress_json(model, out);
+    out << '\n';
+    if (!out.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- ProgressView --------------------------------------------------------
 
 struct ProgressView::Impl {
   Options options;
@@ -174,6 +235,61 @@ void ProgressView::stop() {
   impl_->cv.notify_all();
   if (impl_->ticker.joinable()) impl_->ticker.join();
   impl_->draw();  // final frame with end-of-run numbers
+}
+
+// --- ProgressJsonWriter --------------------------------------------------
+
+struct ProgressJsonWriter::Impl {
+  Options options;
+  std::thread ticker;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool running = false;
+  bool ever_started = false;
+
+  void write_once() {
+    write_progress_json_atomic(
+        build_progress_model(MetricsRegistry::global().snapshot(),
+                             Ledger::global().snapshot()),
+        options.path);
+  }
+
+  void loop() {
+    std::unique_lock lock(mutex);
+    while (running) {
+      cv.wait_for(lock, options.interval, [this] { return !running; });
+      if (!running) break;
+      lock.unlock();
+      write_once();
+      lock.lock();
+    }
+  }
+};
+
+ProgressJsonWriter::ProgressJsonWriter(Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+}
+
+ProgressJsonWriter::~ProgressJsonWriter() { stop(); }
+
+void ProgressJsonWriter::start() {
+  std::unique_lock lock(impl_->mutex);
+  if (impl_->running || impl_->options.path.empty()) return;
+  impl_->running = true;
+  impl_->ever_started = true;
+  impl_->ticker = std::thread([this] { impl_->loop(); });
+}
+
+void ProgressJsonWriter::stop() {
+  {
+    std::unique_lock lock(impl_->mutex);
+    if (!impl_->running && !impl_->ticker.joinable()) return;
+    impl_->running = false;
+  }
+  impl_->cv.notify_all();
+  if (impl_->ticker.joinable()) impl_->ticker.join();
+  impl_->write_once();  // final end-of-run document
 }
 
 }  // namespace peak::obs

@@ -1,30 +1,83 @@
 #pragma once
 
 /// \file progress.hpp
-/// `peak top`: a live terminal progress view over the metrics registry
-/// and the cost ledger. A background thread samples both on an interval
-/// timer and redraws a small dashboard — configs evaluated, rating
-/// convergence, the cost split across ledger phases, and the most
-/// expensive tuning sections so far. Sampling only reads (registry
-/// snapshot + ledger snapshot under their mutexes), so the view never
-/// perturbs measurements.
+/// `peak top`: a live progress view over the metrics registry and the
+/// cost ledger. A background thread samples both on an interval timer and
+/// redraws a small dashboard — configs evaluated, rating convergence, the
+/// cost split across ledger phases, and the most expensive tuning
+/// sections so far. Sampling only reads (registry snapshot + ledger
+/// snapshot under their mutexes), so the view never perturbs
+/// measurements.
 ///
-/// Rendering is a pure function of the two snapshots
-/// (render_progress_frame), so tests cover the formatting without
-/// timers or threads.
+/// The pipeline is split into pure stages so every consumer shares one
+/// derivation: build_progress_model() reduces the two snapshots to a
+/// ProgressModel, which render_progress_frame() turns into the TTY frame,
+/// write_progress_json() into the `/snapshot` + `--progress-json`
+/// document, and the `peak monitor` client rebuilds from that JSON to
+/// render the identical frame remotely.
 
 #include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 
 namespace peak::obs {
 
-/// One frame of the dashboard (multi-line, trailing newline).
+/// Everything one dashboard frame shows, already aggregated. A pure
+/// function of (metrics snapshot, ledger snapshot); serializable, so a
+/// remote monitor renders exactly what a local `--progress` view would.
+struct ProgressModel {
+  std::uint64_t configs_evaluated = 0;
+  std::uint64_t ratings_started = 0;
+  std::uint64_t ratings_converged = 0;
+  std::uint64_t invocations = 0;
+  double total_cycles = 0.0;
+
+  struct Phase {
+    std::string name;
+    double cycles = 0.0;
+    friend bool operator==(const Phase&, const Phase&) = default;
+  };
+  /// Known ledger phases with non-zero cycles, in canonical phase order.
+  std::vector<Phase> phases;
+
+  struct Section {
+    std::string label;  ///< machine/benchmark/section
+    double cycles = 0.0;
+    friend bool operator==(const Section&, const Section&) = default;
+  };
+  /// Every tuning section, most expensive first.
+  std::vector<Section> sections;
+
+  friend bool operator==(const ProgressModel&,
+                         const ProgressModel&) = default;
+};
+
+/// Reduce the two snapshots to the model (pure).
+ProgressModel build_progress_model(const MetricsRegistry::Snapshot& metrics,
+                                   const Ledger::Node& costs);
+
+/// One frame of the dashboard (multi-line, trailing newline; pure).
+std::string render_progress_frame(const ProgressModel& model);
+
+/// Convenience overload: build + render.
 std::string render_progress_frame(const MetricsRegistry::Snapshot& metrics,
                                   const Ledger::Node& costs);
+
+/// The model as one JSON object (what /snapshot's "progress" member and
+/// --progress-json carry).
+void write_progress_json(const ProgressModel& model, std::ostream& os);
+std::string progress_json(const ProgressModel& model);
+
+/// Atomically replace `path` with the model's JSON (write to a sibling
+/// temp file, then rename), so a reader never sees a torn document.
+/// False on I/O failure.
+bool write_progress_json_atomic(const ProgressModel& model,
+                                const std::string& path);
 
 class ProgressView {
 public:
@@ -46,6 +99,31 @@ public:
   void start();
   /// Stop the ticker and draw one final frame (so the numbers shown are
   /// the end-of-run ones, not the last tick's). Idempotent.
+  void stop();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// File-based monitoring without opening a port: a ticker thread
+/// periodically rewrites one JSON file (atomically) with the current
+/// ProgressModel — the same document the telemetry server serves.
+class ProgressJsonWriter {
+public:
+  struct Options {
+    std::string path;
+    std::chrono::milliseconds interval{500};
+  };
+
+  explicit ProgressJsonWriter(Options options);
+  ~ProgressJsonWriter();  ///< stops (and writes a final snapshot)
+
+  ProgressJsonWriter(const ProgressJsonWriter&) = delete;
+  ProgressJsonWriter& operator=(const ProgressJsonWriter&) = delete;
+
+  void start();
+  /// Stop the ticker and write one final end-of-run document. Idempotent.
   void stop();
 
 private:

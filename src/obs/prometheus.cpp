@@ -1,0 +1,116 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace peak::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+/// Prometheus floats: plain shortest-round-trip decimal is fine; the
+/// exposition format accepts anything strtod does.
+std::string number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << finite_or_zero(v);
+  return os.str();
+}
+
+struct LedgerRow {
+  std::string path;
+  double total_cycles;
+  double self_cycles;
+};
+
+void flatten_ledger(const Ledger::Node& node, const std::string& prefix,
+                    std::vector<LedgerRow>& rows) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + ";" + node.name;
+  rows.push_back({path, node.total_cycles, node.self_cycles});
+  for (const Ledger::Node& child : node.children)
+    flatten_ledger(child, path, rows);
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view registry_name,
+                            std::string_view suffix) {
+  std::string out = "peak_";
+  out.reserve(out.size() + registry_name.size() + suffix.size());
+  for (char c : registry_name) out += valid_name_char(c) ? c : '_';
+  out.append(suffix);
+  return out;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsRegistry::Snapshot& metrics,
+                      const Ledger::Node& costs, std::ostream& os) {
+  for (const auto& [name, value] : metrics.counters) {
+    const std::string pname = prometheus_name(name, "_total");
+    os << "# TYPE " << pname << " counter\n"
+       << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n"
+       << pname << ' ' << number(value) << '\n';
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " histogram\n";
+    // Registry buckets are disjoint; Prometheus buckets are cumulative.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      os << pname << "_bucket{le=\"" << number(h.bounds[i]) << "\"} "
+         << cumulative << '\n';
+    }
+    os << pname << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+       << pname << "_sum " << number(h.sum) << '\n'
+       << pname << "_count " << h.count << '\n';
+  }
+  // All samples of one metric family must form a single group, so the
+  // tree is flattened first and each family emitted in full.
+  std::vector<LedgerRow> rows;
+  flatten_ledger(costs, "", rows);
+  os << "# TYPE peak_cost_cycles gauge\n";
+  for (const LedgerRow& row : rows)
+    os << "peak_cost_cycles{path=\"" << prometheus_label_escape(row.path)
+       << "\"} " << number(row.total_cycles) << '\n';
+  os << "# TYPE peak_cost_self_cycles gauge\n";
+  for (const LedgerRow& row : rows)
+    os << "peak_cost_self_cycles{path=\""
+       << prometheus_label_escape(row.path) << "\"} "
+       << number(row.self_cycles) << '\n';
+}
+
+std::string prometheus_text(const MetricsRegistry::Snapshot& metrics,
+                            const Ledger::Node& costs) {
+  std::ostringstream os;
+  write_prometheus(metrics, costs, os);
+  return os.str();
+}
+
+}  // namespace peak::obs

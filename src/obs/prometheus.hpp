@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file prometheus.hpp
+/// Prometheus text exposition (version 0.0.4) for the PEAK metrics
+/// registry and cost ledger. Registry names use dots as separators
+/// (`search.configs_evaluated`); the exposition maps every instrument to
+/// `peak_` + the name with non-`[a-zA-Z0-9_]` characters replaced by `_`,
+/// plus the conventional suffixes: counters end in `_total`, histograms
+/// expand into cumulative `_bucket{le="..."}` series closed by
+/// `le="+Inf"`, `_sum`, and `_count`. Ledger nodes export as
+/// `peak_cost_cycles{path="all;sparc2;SWIM;..."}` (subtree totals) and
+/// `peak_cost_self_cycles{...}` (the node's own share). Non-finite values
+/// are clamped to 0, the same policy as the JSON exports.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace peak::obs {
+
+/// `peak_<sanitized name><suffix>`: '.' and every other character outside
+/// `[a-zA-Z0-9_]` become '_', so any name the registry accepts (see
+/// sanitize_metric_name) yields a valid Prometheus metric name.
+std::string prometheus_name(std::string_view registry_name,
+                            std::string_view suffix = "");
+
+/// Escape a label value: backslash, double quote, and newline.
+std::string prometheus_label_escape(std::string_view value);
+
+/// Full scrape document: every counter, gauge, and histogram in
+/// `metrics`, then the ledger tree flattened into labelled cost series.
+void write_prometheus(const MetricsRegistry::Snapshot& metrics,
+                      const Ledger::Node& costs, std::ostream& os);
+
+/// write_prometheus into a string (the /metrics handler body).
+std::string prometheus_text(const MetricsRegistry::Snapshot& metrics,
+                            const Ledger::Node& costs);
+
+}  // namespace peak::obs

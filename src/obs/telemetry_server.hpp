@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file telemetry_server.hpp
+/// Live telemetry over HTTP for an in-flight tuning run (`peak::obs`).
+/// `peak tune --telemetry-port N` starts one TelemetryServer next to the
+/// driver; operators (or `peak monitor`) then read:
+///
+///   GET /metrics      Prometheus text exposition of the metrics registry
+///                     and the cost ledger (see prometheus.hpp)
+///   GET /snapshot     one JSON document: run phase, uptime, the
+///                     ProgressModel, the full metrics snapshot, and the
+///                     cost-attribution ledger tree
+///   GET /events       Server-Sent Events tail of the run-event ring;
+///                     slow consumers get a `gap` event naming how many
+///                     events they lost, never back-pressure
+///   GET /healthz      {"status":"ok","run_phase":...,"uptime_us":...}
+///   GET /quarantine   quarantine table (when the CLI wires a provider)
+///   GET /cache/stats  rating-cache statistics (ditto)
+///
+/// Every handler only *reads*, each under the owning structure's snapshot
+/// discipline (registry mutex, ledger mutex, ring mutex), so serving a
+/// scrape can delay a metric update by a mutex hold but can never change
+/// what the tuner computes: a run scraped at full tilt produces the
+/// bit-identical TuningOutcome of an unobserved run (ctest asserts this).
+///
+/// The quarantine / cache providers are injected as callables so obs
+/// stays independent of the fault and core layers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+
+namespace peak::obs {
+
+/// Build the /snapshot document from point-in-time copies (pure — tests
+/// and the server share it).
+std::string telemetry_snapshot_json(
+    const MetricsRegistry::Snapshot& metrics, const Ledger::Node& costs,
+    const std::string& run_phase, std::uint64_t uptime_us,
+    std::uint64_t events_head_seq);
+
+/// The /healthz document (pure).
+std::string telemetry_healthz_json(const std::string& run_phase,
+                                   std::uint64_t uptime_us);
+
+/// A /snapshot document parsed back — what `peak monitor` renders.
+struct RemoteSnapshot {
+  std::string run_phase;
+  std::uint64_t uptime_us = 0;
+  std::uint64_t events_head_seq = 0;
+  ProgressModel progress;
+};
+
+/// Parse a /snapshot document (throws support::CheckError on malformed
+/// input). Round trip: parse(telemetry_snapshot_json(...)).progress ==
+/// build_progress_model(...).
+RemoteSnapshot parse_snapshot_json(const std::string& json);
+
+/// Parse one ProgressModel JSON object (the "progress" member of
+/// /snapshot, or a --progress-json document).
+ProgressModel progress_model_from_json(const std::string& json);
+
+class TelemetryServer {
+public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    /// When non-empty, the bound port is written here as one decimal
+    /// line on start() and the file is removed on stop() — the
+    /// rendezvous `peak monitor <file>` reads.
+    std::string port_file;
+    unsigned workers = 4;
+    /// Optional endpoint providers (null → that endpoint answers 404).
+    std::function<std::string()> quarantine_json;
+    std::function<std::string()> cache_stats_json;
+  };
+
+  explicit TelemetryServer(Options options);
+  ~TelemetryServer();  ///< stops if still running
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind + serve. False (with `error` filled in) when the port cannot
+  /// be bound or the port file cannot be written.
+  bool start(std::string* error = nullptr);
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] bool running() const;
+
+  /// Unblock streams, join the server threads, remove the port file.
+  /// Idempotent.
+  void stop();
+
+  /// Coarse run phase shown by /healthz and /snapshot ("starting",
+  /// "tuning", "reporting", "done" — free-form, set by the CLI).
+  void set_run_phase(std::string phase);
+  [[nodiscard]] std::string run_phase() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace peak::obs

@@ -42,7 +42,7 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
       SearchEvent ev;
       ev.kind = SearchEvent::Kind::kCeExhausted;
       ev.round = round;
-      result.events.push_back(std::move(ev));
+      record_event(result.events, std::move(ev));
       break;
     }
     std::sort(harmful.rbegin(), harmful.rend());
@@ -55,7 +55,7 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
       ev.round = round;
       ev.flag = space.flag(harmful.front().second).name;
       ev.ratio = harmful.front().first;
-      result.events.push_back(std::move(ev));
+      record_event(result.events, std::move(ev));
     }
 
     // ... then re-validate the rest, in order. Batched mode rates every
@@ -77,7 +77,7 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
           ev.round = round;
           ev.flag = space.flag(f).name;
           ev.ratio = r;
-          result.events.push_back(std::move(ev));
+          record_event(result.events, std::move(ev));
         }
       }
     } else {
@@ -93,7 +93,7 @@ SearchResult CombinedElimination::run(const OptimizationSpace& space,
           ev.round = round;
           ev.flag = space.flag(f).name;
           ev.ratio = *r;
-          result.events.push_back(std::move(ev));
+          record_event(result.events, std::move(ev));
         }
       }
     }
@@ -148,13 +148,13 @@ SearchResult FactorialScreening::run(const OptimizationSpace& space,
         ev.kind = SearchEvent::Kind::kMainEffect;
         ev.flag = space.flag(f).name;
         ev.ratio = fit.coefficients[f];
-        result.events.push_back(std::move(ev));
+        record_event(result.events, std::move(ev));
       }
     }
   } else {
     SearchEvent ev;
     ev.kind = SearchEvent::Kind::kDegenerate;
-    result.events.push_back(std::move(ev));
+    record_event(result.events, std::move(ev));
   }
 
   result.best = best;

@@ -48,7 +48,7 @@ SearchResult IterativeElimination::run(const OptimizationSpace& space,
       SearchEvent stop;
       stop.kind = SearchEvent::Kind::kStop;
       stop.round = round;
-      result.events.push_back(std::move(stop));
+      record_event(result.events, std::move(stop));
       break;
     }
 
@@ -59,7 +59,7 @@ SearchResult IterativeElimination::run(const OptimizationSpace& space,
     removed.round = round;
     removed.flag = space.flag(best_flag).name;
     removed.ratio = best_gain;
-    result.events.push_back(std::move(removed));
+    record_event(result.events, std::move(removed));
   }
 
   result.best = base;
@@ -85,7 +85,7 @@ SearchResult BatchElimination::run(const OptimizationSpace& space,
       ev.kind = SearchEvent::Kind::kHarmful;
       ev.flag = space.flag(f).name;
       ev.ratio = *r;
-      result.events.push_back(std::move(ev));
+      record_event(result.events, std::move(ev));
     }
   }
 

@@ -85,6 +85,25 @@ struct SearchEvent {
 /// Render one event exactly as the legacy string log did.
 std::string render(const SearchEvent& event);
 
+/// Stable identifier of an event kind ("remove", "method_chosen",
+/// "quarantined", …) — used as the SSE event name on /events.
+std::string_view to_string(SearchEvent::Kind kind);
+
+/// One event as a single-line JSON object:
+///   {"kind":"remove","round":2,"flag":"...","ratio":...,"note":"...",
+///    "text":"round 2: remove ... (R=...)"}
+/// ratio/note/flag appear only when set; "text" always carries
+/// render(event) so stream consumers need no kind-specific formatting.
+std::string to_json(const SearchEvent& event);
+
+/// Append `event` to `events` AND publish it to the global obs event
+/// ring, so a live `/events` SSE stream sees every search decision the
+/// moment it is made. Publishing is never-blocking and in-memory (the
+/// ring evicts when full); with no telemetry consumer attached the cost
+/// is one mutex acquisition per decision, far off the per-invocation hot
+/// path.
+void record_event(std::vector<SearchEvent>& events, SearchEvent event);
+
 /// Render a whole event stream (byte-compatible with the old log).
 std::vector<std::string> render_search_log(
     const std::vector<SearchEvent>& events);

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "obs/attribution.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
@@ -43,7 +45,7 @@ std::optional<double> probe_candidate(ConfigEvaluator& evaluator,
     skip.kind = SearchEvent::Kind::kQuarantined;
     skip.round = round;
     skip.flag = std::string(flag_name);
-    result.events.push_back(std::move(skip));
+    record_event(result.events, std::move(skip));
     return std::nullopt;
   }
   const double r = rate_config(evaluator, base, candidate, flag_name);
@@ -66,7 +68,7 @@ std::vector<std::pair<std::size_t, double>> probe_flags(
       skip.kind = SearchEvent::Kind::kQuarantined;
       skip.round = round;
       skip.flag = space.flag(f).name;
-      result.events.push_back(std::move(skip));
+      record_event(result.events, std::move(skip));
       continue;
     }
     live.push_back(f);
@@ -145,6 +147,45 @@ std::vector<std::string> render_search_log(
   out.reserve(events.size());
   for (const SearchEvent& e : events) out.push_back(render(e));
   return out;
+}
+
+std::string_view to_string(SearchEvent::Kind kind) {
+  switch (kind) {
+    case SearchEvent::Kind::kRemove: return "remove";
+    case SearchEvent::Kind::kStop: return "stop";
+    case SearchEvent::Kind::kHarmful: return "harmful";
+    case SearchEvent::Kind::kEnable: return "enable";
+    case SearchEvent::Kind::kCeRemove: return "ce_remove";
+    case SearchEvent::Kind::kCeRevalidate: return "ce_revalidate";
+    case SearchEvent::Kind::kCeExhausted: return "ce_exhausted";
+    case SearchEvent::Kind::kMainEffect: return "main_effect";
+    case SearchEvent::Kind::kDegenerate: return "degenerate";
+    case SearchEvent::Kind::kMethodChosen: return "method_chosen";
+    case SearchEvent::Kind::kAbandoned: return "abandoned";
+    case SearchEvent::Kind::kQuarantined: return "quarantined";
+    case SearchEvent::Kind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+std::string to_json(const SearchEvent& event) {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << to_string(event.kind) << "\",\"round\":"
+     << event.round;
+  if (!event.flag.empty())
+    os << ",\"flag\":\"" << obs::json_escape(event.flag) << "\"";
+  if (event.ratio != 0.0)
+    os << ",\"ratio\":" << obs::json_number(event.ratio);
+  if (!event.note.empty())
+    os << ",\"note\":\"" << obs::json_escape(event.note) << "\"";
+  os << ",\"text\":\"" << obs::json_escape(render(event)) << "\"}";
+  return os.str();
+}
+
+void record_event(std::vector<SearchEvent>& events, SearchEvent event) {
+  obs::publish_run_event(std::string(to_string(event.kind)),
+                         to_json(event));
+  events.push_back(std::move(event));
 }
 
 }  // namespace peak::search

@@ -82,7 +82,7 @@ SearchResult GreedyConstruction::run(const OptimizationSpace& space,
     ev.round = round;
     ev.flag = space.flag(best_flag).name;
     ev.ratio = best_gain;
-    result.events.push_back(std::move(ev));
+    record_event(result.events, std::move(ev));
   }
 
   result.best = base;

@@ -1,0 +1,604 @@
+#include "support/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace peak::support {
+
+namespace {
+
+/// send() the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL turns a dead peer into an error return instead of
+/// SIGPIPE, which would kill the tuning process.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+std::string HttpRequest::query_param(std::string_view name,
+                                     std::string_view fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair =
+        std::string_view(query).substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name)
+      return std::string(pair.substr(eq + 1));
+    if (eq == std::string_view::npos && pair == name) return "";
+    pos = amp + 1;
+  }
+  return std::string(fallback);
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::json(std::string body) {
+  HttpResponse r;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+// --- HttpParser ----------------------------------------------------------
+
+HttpParser::State HttpParser::fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpParser::State HttpParser::feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  if (buffer_.size() + data.size() > max_bytes_) {
+    // Too large before the header/body split is even known: whichever
+    // part is ballooning, the request is rejected.
+    const bool in_headers =
+        buffer_.find("\r\n\r\n") == std::string::npos;
+    return fail(in_headers ? 431 : 413, "request too large");
+  }
+  buffer_.append(data.data(), data.size());
+  return try_parse();
+}
+
+HttpParser::State HttpParser::try_parse() {
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) return state_;
+
+  // Request line.
+  const std::size_t line_end = buffer_.find("\r\n");
+  const std::string_view line =
+      std::string_view(buffer_).substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp2 + 1 >= line.size())
+    return fail(400, "malformed request line");
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.version.rfind("HTTP/", 0) != 0)
+    return fail(400, "malformed request line");
+  const std::size_t q = request_.target.find('?');
+  request_.path = request_.target.substr(0, q);
+  request_.query =
+      q == std::string::npos ? "" : request_.target.substr(q + 1);
+
+  // Header lines.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buffer_.find("\r\n", pos);
+    const std::string_view header =
+        std::string_view(buffer_).substr(pos, eol - pos);
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return fail(400, "malformed header line");
+    request_.headers[lower(std::string(header.substr(0, colon)))] =
+        trim(header.substr(colon + 1));
+    pos = eol + 2;
+  }
+
+  // Optional body, sized by Content-Length (the only framing the
+  // telemetry surface accepts).
+  std::size_t content_length = 0;
+  const auto it = request_.headers.find("content-length");
+  if (it != request_.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+      return fail(400, "bad content-length");
+    content_length = static_cast<std::size_t>(v);
+    if (header_end + 4 + content_length > max_bytes_)
+      return fail(413, "body too large");
+  }
+  const std::size_t have = buffer_.size() - header_end - 4;
+  if (have < content_length) return state_;  // body still arriving
+  request_.body = buffer_.substr(header_end + 4, content_length);
+  state_ = State::kDone;
+  return state_;
+}
+
+// --- HttpServer ----------------------------------------------------------
+
+struct HttpServer::Impl {
+  Options options;
+
+  std::map<std::string, Handler> handlers;
+  std::map<std::string, StreamHandler> stream_handlers;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable queue_cv;   ///< work available / stopping
+  std::condition_variable stream_cv;  ///< wakes StreamWriter::wait
+  std::deque<int> pending;            ///< accepted, not yet served
+  std::set<int> active;               ///< fds a worker currently owns
+  bool stopping = false;
+  bool started = false;
+
+  class SocketWriter final : public StreamWriter {
+  public:
+    SocketWriter(Impl& impl, int fd) : impl_(impl), fd_(fd) {}
+
+    bool write(std::string_view data) override {
+      if (!alive_) return false;
+      if (!send_all(fd_, data)) alive_ = false;
+      return alive_;
+    }
+
+    [[nodiscard]] bool alive() const override {
+      if (!alive_) return false;
+      std::lock_guard lock(impl_.mutex);
+      return !impl_.stopping;
+    }
+
+    bool wait(std::chrono::milliseconds timeout) override {
+      std::unique_lock lock(impl_.mutex);
+      impl_.stream_cv.wait_for(lock, timeout,
+                               [this] { return impl_.stopping; });
+      return !impl_.stopping && alive_;
+    }
+
+   private:
+    Impl& impl_;
+    int fd_;
+    bool alive_ = true;
+  };
+
+  void write_response(int fd, const HttpRequest& request,
+                      const HttpResponse& response) {
+    std::ostringstream os;
+    os << "HTTP/1.1 " << response.status << ' '
+       << reason_phrase(response.status) << "\r\n"
+       << "Content-Type: " << response.content_type << "\r\n"
+       << "Content-Length: " << response.body.size() << "\r\n"
+       << "Connection: close\r\n";
+    for (const auto& [name, value] : response.headers)
+      os << name << ": " << value << "\r\n";
+    os << "\r\n";
+    // HEAD answers with the same headers (Content-Length included) but
+    // no body.
+    if (request.method != "HEAD") os << response.body;
+    send_all(fd, os.str());
+  }
+
+  void serve(int fd) {
+    HttpParser parser(options.max_request_bytes);
+    char buf[4096];
+    while (parser.state() == HttpParser::State::kNeedMore) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // peer vanished mid-request: nothing to answer
+      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+
+    HttpRequest fallback_request;
+    fallback_request.method = "GET";
+    if (parser.state() == HttpParser::State::kError) {
+      write_response(fd, fallback_request,
+                     HttpResponse::text(parser.error_status(),
+                                        parser.error() + "\n"));
+      return;
+    }
+
+    const HttpRequest& request = parser.request();
+    if (request.method != "GET" && request.method != "HEAD") {
+      write_response(fd, request,
+                     HttpResponse::text(405, "method not allowed\n"));
+      return;
+    }
+    if (const auto it = stream_handlers.find(request.path);
+        it != stream_handlers.end()) {
+      if (request.method == "HEAD") {
+        write_response(fd, request, HttpResponse::text(200, ""));
+        return;
+      }
+      std::ostringstream os;
+      os << "HTTP/1.1 200 OK\r\n"
+         << "Content-Type: text/event-stream\r\n"
+         << "Cache-Control: no-cache\r\n"
+         << "Connection: close\r\n\r\n";
+      if (!send_all(fd, os.str())) return;
+      SocketWriter writer(*this, fd);
+      it->second(request, writer);
+      return;
+    }
+    const auto it = handlers.find(request.path);
+    if (it == handlers.end()) {
+      write_response(fd, request, HttpResponse::text(404, "not found\n"));
+      return;
+    }
+    HttpResponse response;
+    try {
+      response = it->second(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse::text(500, std::string(e.what()) + "\n");
+    }
+    write_response(fd, request, response);
+  }
+
+  void worker_loop() {
+    while (true) {
+      int fd = -1;
+      {
+        std::unique_lock lock(mutex);
+        queue_cv.wait(lock, [this] { return stopping || !pending.empty(); });
+        if (pending.empty()) return;  // stopping with nothing queued
+        fd = pending.front();
+        pending.pop_front();
+        active.insert(fd);
+      }
+      serve(fd);
+      {
+        std::lock_guard lock(mutex);
+        active.erase(fd);
+      }
+      ::close(fd);
+    }
+  }
+
+  void accept_loop() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listen socket closed: shutting down
+      }
+      std::lock_guard lock(mutex);
+      if (stopping) {
+        ::close(fd);
+        return;
+      }
+      pending.push_back(fd);
+      queue_cv.notify_one();
+    }
+  }
+};
+
+HttpServer::HttpServer() : HttpServer(Options()) {}
+
+HttpServer::HttpServer(Options options) : impl_(new Impl) {
+  impl_->options = options;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  impl_->handlers[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::handle_stream(std::string path, StreamHandler handler) {
+  impl_->stream_handlers[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (impl_->listen_fd >= 0) {
+      ::close(impl_->listen_fd);
+      impl_->listen_fd = -1;
+    }
+    return false;
+  };
+  impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(impl_->options.port);
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0)
+    return fail("bind");
+  if (::listen(impl_->listen_fd, impl_->options.backlog) != 0)
+    return fail("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0)
+    return fail("getsockname");
+  impl_->bound_port = ntohs(addr.sin_port);
+
+  impl_->stopping = false;
+  impl_->started = true;
+  const unsigned workers = std::max(1u, impl_->options.workers);
+  impl_->workers.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+  return true;
+}
+
+std::uint16_t HttpServer::port() const { return impl_->bound_port; }
+
+bool HttpServer::running() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->started && !impl_->stopping;
+}
+
+void HttpServer::stop() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (!impl_->started) return;
+    impl_->stopping = true;
+    // Unblock workers stuck in recv()/send() on live connections —
+    // notably SSE streams, which otherwise outlive the run.
+    for (int fd : impl_->active) ::shutdown(fd, SHUT_RDWR);
+    for (int fd : impl_->pending) ::close(fd);
+    impl_->pending.clear();
+  }
+  impl_->queue_cv.notify_all();
+  impl_->stream_cv.notify_all();
+  if (impl_->listen_fd >= 0) {
+    // shutdown() unblocks accept() on Linux; close() finishes the job.
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  for (std::thread& w : impl_->workers)
+    if (w.joinable()) w.join();
+  impl_->workers.clear();
+  impl_->started = false;
+}
+
+// --- client --------------------------------------------------------------
+
+namespace {
+
+int connect_to(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return -1;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "unsupported host '" + host +
+                                   "' (numeric IPv4 only, e.g. 127.0.0.1)";
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    errno = saved_errno;
+    return fail("connect");
+  }
+  return fd;
+}
+
+bool send_request(int fd, const std::string& host, const std::string& path) {
+  std::ostringstream os;
+  os << "GET " << path << " HTTP/1.1\r\nHost: " << host
+     << "\r\nConnection: close\r\n\r\n";
+  return send_all(fd, os.str());
+}
+
+/// Read until the header/body split; returns {status, headers, leftover
+/// body bytes already read} or nullopt on a malformed response.
+struct ResponseHead {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string leftover;
+};
+
+bool read_head(int fd, ResponseHead* head, std::string* error) {
+  std::string buffer;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error != nullptr) *error = "connection closed before headers";
+      return false;
+    }
+    buffer.append(buf, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > 256 * 1024) {
+      if (error != nullptr) *error = "response headers too large";
+      return false;
+    }
+  }
+  const std::size_t line_end = buffer.find("\r\n");
+  const std::string line = buffer.substr(0, line_end);
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    if (error != nullptr) *error = "malformed status line";
+    return false;
+  }
+  head->status = std::atoi(line.c_str() + sp + 1);
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buffer.find("\r\n", pos);
+    const std::string header = buffer.substr(pos, eol - pos);
+    const std::size_t colon = header.find(':');
+    if (colon != std::string::npos)
+      head->headers[lower(header.substr(0, colon))] =
+          trim(std::string_view(header).substr(colon + 1));
+    pos = eol + 2;
+  }
+  head->leftover = buffer.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace
+
+HttpClientResult http_get(const std::string& host, std::uint16_t port,
+                          const std::string& path,
+                          std::chrono::milliseconds timeout) {
+  HttpClientResult result;
+  const int fd = connect_to(host, port, timeout, &result.error);
+  if (fd < 0) return result;
+  if (!send_request(fd, host, path)) {
+    result.error = "send failed";
+    ::close(fd);
+    return result;
+  }
+  ResponseHead head;
+  if (!read_head(fd, &head, &result.error)) {
+    ::close(fd);
+    return result;
+  }
+  result.status = head.status;
+  result.headers = std::move(head.headers);
+  result.body = std::move(head.leftover);
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // close = end of body (Connection: close framing)
+    result.body.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  result.ok = true;
+  return result;
+}
+
+bool http_stream(const std::string& host, std::uint16_t port,
+                 const std::string& path,
+                 const std::function<bool(std::string_view chunk)>& on_chunk,
+                 std::string* error) {
+  const int fd = connect_to(host, port, std::chrono::milliseconds(5000),
+                            error);
+  if (fd < 0) return false;
+  if (!send_request(fd, host, path)) {
+    if (error != nullptr) *error = "send failed";
+    ::close(fd);
+    return false;
+  }
+  ResponseHead head;
+  if (!read_head(fd, &head, error)) {
+    ::close(fd);
+    return false;
+  }
+  if (head.status != 200) {
+    if (error != nullptr)
+      *error = "server answered status " + std::to_string(head.status);
+    ::close(fd);
+    return false;
+  }
+  if (!head.leftover.empty() && !on_chunk(head.leftover)) {
+    ::close(fd);
+    return true;
+  }
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Receive timeout between events: surface an empty chunk so the
+      // caller can decide to keep waiting or bail.
+      if (!on_chunk(std::string_view())) break;
+      continue;
+    }
+    if (n <= 0) break;
+    if (!on_chunk(std::string_view(buf, static_cast<std::size_t>(n))))
+      break;
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace peak::support

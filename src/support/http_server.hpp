@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file http_server.hpp
+/// A small dependency-free HTTP/1.1 server (and matching blocking client)
+/// over POSIX sockets, written for PEAK's live telemetry endpoints. One
+/// acceptor thread hands accepted connections to a bounded worker pool;
+/// request parsing is incremental (a scrape arriving in torn reads is
+/// reassembled byte by byte), responses are written with Content-Length
+/// and `Connection: close` — no keep-alive, no TLS, no chunked encoding.
+/// Handlers either return a complete HttpResponse or, for streaming
+/// endpoints (Server-Sent Events), write through a StreamWriter until the
+/// client disconnects or the server stops.
+///
+/// The server binds 127.0.0.1 only: telemetry is an operator loopback /
+/// SSH-tunnel surface, not an internet-facing one.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace peak::support {
+
+/// One parsed request. Header names are lower-cased; `path` is the
+/// request target up to '?', `query` the raw text after it.
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< raw request target as sent
+  std::string path;
+  std::string query;
+  std::string version;  ///< "HTTP/1.1"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Value of `?name=value` in the query string, or `fallback`.
+  [[nodiscard]] std::string query_param(std::string_view name,
+                                        std::string_view fallback = "") const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra headers beyond Content-Type/Content-Length/Connection.
+  std::map<std::string, std::string> headers;
+
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse json(std::string body);
+};
+
+/// Standard reason phrase for the handful of statuses PEAK emits.
+[[nodiscard]] std::string_view reason_phrase(int status);
+
+/// Incremental request parser: feed() bytes as they arrive until it
+/// reports kDone (request() is valid) or kError (error_status() says
+/// which 4xx to answer). Tolerates any fragmentation, including one byte
+/// at a time; enforces a total size cap so a hostile peer cannot balloon
+/// the buffer.
+class HttpParser {
+public:
+  explicit HttpParser(std::size_t max_bytes = 64 * 1024)
+      : max_bytes_(max_bytes) {}
+
+  enum class State { kNeedMore, kDone, kError };
+
+  State feed(std::string_view data);
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const HttpRequest& request() const { return request_; }
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+private:
+  State fail(int status, std::string message);
+  State try_parse();
+
+  std::size_t max_bytes_;
+  std::string buffer_;
+  HttpRequest request_;
+  State state_ = State::kNeedMore;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+class HttpServer {
+public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+    unsigned workers = 4;
+    int backlog = 16;
+    std::size_t max_request_bytes = 64 * 1024;
+  };
+
+  /// Write side of a streaming response. write() returns false once the
+  /// client is gone or the server is stopping; wait() sleeps up to
+  /// `timeout` but returns early (false) on server shutdown.
+  class StreamWriter {
+  public:
+    virtual ~StreamWriter() = default;
+    virtual bool write(std::string_view data) = 0;
+    [[nodiscard]] virtual bool alive() const = 0;
+    virtual bool wait(std::chrono::milliseconds timeout) = 0;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using StreamHandler =
+      std::function<void(const HttpRequest&, StreamWriter&)>;
+
+  HttpServer();  ///< default Options
+  explicit HttpServer(Options options);
+  ~HttpServer();  ///< stops if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for an exact path. GET and HEAD are served (HEAD
+  /// gets headers only); other methods answer 405. Must be called before
+  /// start().
+  void handle(std::string path, Handler handler);
+  void handle_stream(std::string path, StreamHandler handler);
+
+  /// Bind + listen + spin up the acceptor and workers. False (with
+  /// `error` filled in) when the port cannot be bound.
+  bool start(std::string* error = nullptr);
+
+  /// Bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] bool running() const;
+
+  /// Shut down: stop accepting, unblock in-flight streams, join all
+  /// threads. Idempotent.
+  void stop();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// --- minimal blocking client (peak monitor, tests) -----------------------
+
+struct HttpClientResult {
+  bool ok = false;        ///< transport-level success (any status counts)
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  std::string error;  ///< transport error when !ok
+};
+
+/// One-shot GET http://host:port/path, reading until the server closes.
+HttpClientResult http_get(const std::string& host, std::uint16_t port,
+                          const std::string& path,
+                          std::chrono::milliseconds timeout =
+                              std::chrono::milliseconds(5000));
+
+/// Streaming GET: invokes `on_chunk` with each raw chunk as it arrives
+/// (after the response headers) until the server closes the connection or
+/// the callback returns false. Returns transport success.
+bool http_stream(const std::string& host, std::uint16_t port,
+                 const std::string& path,
+                 const std::function<bool(std::string_view chunk)>& on_chunk,
+                 std::string* error = nullptr);
+
+}  // namespace peak::support

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/http_server.hpp"
+
+namespace peak::support {
+namespace {
+
+/// Raw-socket client for the cases the convenience client does not cover
+/// (HEAD, POST, hand-torn requests): send `request` in `pieces` chunks
+/// with tiny pauses, then read the full response until close.
+std::string raw_round_trip(std::uint16_t port, const std::string& request,
+                           std::size_t pieces = 1) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::size_t step =
+      pieces == 0 ? request.size() : (request.size() + pieces - 1) / pieces;
+  for (std::size_t off = 0; off < request.size(); off += step) {
+    const std::size_t n = std::min(step, request.size() - off);
+    EXPECT_EQ(::send(fd, request.data() + off, n, 0),
+              static_cast<ssize_t>(n));
+    if (pieces > 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(got));
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpParser, ParsesARequestFedOneByteAtATime) {
+  HttpParser parser;
+  const std::string request =
+      "GET /metrics?from=3&max=10 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Custom-Header: value with spaces\r\n"
+      "\r\n";
+  for (std::size_t i = 0; i + 1 < request.size(); ++i)
+    ASSERT_EQ(parser.feed(request.substr(i, 1)),
+              HttpParser::State::kNeedMore)
+        << "byte " << i;
+  ASSERT_EQ(parser.feed(request.substr(request.size() - 1)),
+            HttpParser::State::kDone);
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(req.query, "from=3&max=10");
+  EXPECT_EQ(req.query_param("from"), "3");
+  EXPECT_EQ(req.query_param("max"), "10");
+  EXPECT_EQ(req.query_param("missing", "fallback"), "fallback");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  // Header names are lower-cased on parse.
+  EXPECT_EQ(req.headers.at("x-custom-header"), "value with spaces");
+  EXPECT_EQ(req.headers.at("host"), "localhost");
+}
+
+TEST(HttpParser, OversizedHeadersReport431) {
+  HttpParser parser(/*max_bytes=*/256);
+  std::string request = "GET / HTTP/1.1\r\nX-Big: ";
+  request.append(1024, 'a');
+  EXPECT_EQ(parser.feed(request), HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, MalformedRequestLineReports400) {
+  HttpParser parser;
+  EXPECT_EQ(parser.feed("NOT-A-REQUEST\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, BodyRespectsContentLength) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel"),
+            HttpParser::State::kNeedMore);
+  ASSERT_EQ(parser.feed("lo"), HttpParser::State::kDone);
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParser, OversizedBodyReports413) {
+  HttpParser parser(/*max_bytes=*/128);
+  EXPECT_EQ(
+      parser.feed("POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n"),
+      HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+class HttpServerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    server_.handle("/hello", [](const HttpRequest&) {
+      return HttpResponse::text(200, "hello world\n");
+    });
+    server_.handle("/count", [this](const HttpRequest&) {
+      ++hits_;
+      return HttpResponse::json("{\"ok\":true}");
+    });
+    std::string error;
+    ASSERT_TRUE(server_.start(&error)) << error;
+  }
+
+  HttpServer server_;
+  std::atomic<int> hits_{0};
+};
+
+TEST_F(HttpServerTest, ServesRegisteredPaths) {
+  const HttpClientResult r =
+      http_get("127.0.0.1", server_.port(), "/hello");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "hello world\n");
+  EXPECT_EQ(r.headers.at("connection"), "close");
+  EXPECT_EQ(r.headers.at("content-length"),
+            std::to_string(r.body.size()));
+}
+
+TEST_F(HttpServerTest, UnknownPathsAnswer404) {
+  const HttpClientResult r =
+      http_get("127.0.0.1", server_.port(), "/no/such/path");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 404);
+}
+
+TEST_F(HttpServerTest, HeadGetsHeadersButNoBody) {
+  const std::string response = raw_round_trip(
+      server_.port(), "HEAD /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  // Content-Length still describes the GET body; the body is absent.
+  EXPECT_NE(response.find("Content-Length: 12\r\n"), std::string::npos);
+  const std::size_t end = response.find("\r\n\r\n");
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(response.substr(end + 4), "");
+}
+
+TEST_F(HttpServerTest, NonGetMethodsAnswer405) {
+  const std::string response = raw_round_trip(
+      server_.port(),
+      "POST /hello HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, TornRequestsReassemble) {
+  const std::string response = raw_round_trip(
+      server_.port(), "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n",
+      /*pieces=*/9);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("hello world\n"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestAnswers400) {
+  const std::string response =
+      raw_round_trip(server_.port(), "garbage\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+/// The TSan-labelled hammer: many clients scraping concurrently must all
+/// get complete responses and count exactly once each.
+TEST_F(HttpServerTest, ConcurrentScrapeHammer) {
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    clients.emplace_back([this, &ok] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const HttpClientResult r =
+            http_get("127.0.0.1", server_.port(), "/count");
+        if (r.ok && r.status == 200 && r.body == "{\"ok\":true}") ++ok;
+      }
+    });
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kThreads * kRequestsPerThread);
+  EXPECT_EQ(hits_.load(), kThreads * kRequestsPerThread);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndUnbindsThePort) {
+  const std::uint16_t port = server_.port();
+  server_.stop();
+  server_.stop();
+  EXPECT_FALSE(server_.running());
+  const HttpClientResult r = http_get("127.0.0.1", port, "/hello",
+                                      std::chrono::milliseconds(500));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(HttpServerStream, StreamHandlerDeliversChunksUntilClientBails) {
+  HttpServer server;
+  server.handle_stream("/stream", [](const HttpRequest&,
+                                     HttpServer::StreamWriter& writer) {
+    for (int i = 0; i < 100 && writer.alive(); ++i)
+      if (!writer.write("data: tick " + std::to_string(i) + "\n\n"))
+        return;
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::string collected;
+  const bool ok = http_stream(
+      "127.0.0.1", server.port(), "/stream",
+      [&collected](std::string_view chunk) {
+        collected.append(chunk);
+        return collected.find("tick 5") == std::string::npos;
+      },
+      &error);
+  EXPECT_TRUE(ok) << error;
+  EXPECT_NE(collected.find("data: tick 0"), std::string::npos);
+  EXPECT_NE(collected.find("tick 5"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace peak::support

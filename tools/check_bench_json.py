@@ -261,6 +261,30 @@ def check_search(fragment, path):
              "warm cache rerun outcome differs from the cold run")
 
 
+def check_telemetry(fragment, path):
+    """The live-telemetry section of a headline document.
+
+    The hard gate is non-perturbation: a tuning run scraped at full tilt
+    must produce the bit-identical outcome of an unobserved run. Scrape
+    latency percentiles are recorded for dashboards but not gated (they
+    are wall-clock, machine-dependent); errors are gated at zero because
+    every hammered request hit a handler the server itself registered.
+    """
+    _require(isinstance(fragment, dict), path, "expected an object")
+    _check_number(fragment, "scrapes", path, minimum=1)
+    _check_number(fragment, "errors", path, minimum=0)
+    _require(fragment["errors"] == 0, f"{path}.errors",
+             f"scrape hammer saw {fragment['errors']!r} failed requests")
+    _check_number(fragment, "scrape_p50_us", path, minimum=0)
+    _check_number(fragment, "scrape_p99_us", path, minimum=0)
+    _require(fragment["scrape_p50_us"] <= fragment["scrape_p99_us"],
+             path, "scrape_p50_us must be <= scrape_p99_us")
+    _check_bool(fragment, "outcome_identical", path)
+    _require(fragment["outcome_identical"], f"{path}.outcome_identical",
+             "tuning outcome under scrape load differs from the "
+             "unobserved outcome")
+
+
 def check_engine_compare(doc, path):
     _require(doc.get("schema") == 1, path, "expected schema 1")
     _require("engine_speedup" in doc, path, "missing key 'engine_speedup'")
@@ -298,6 +322,9 @@ def check_headline(doc, path):
     # also optional for old files — but gated whenever present.
     if "search" in doc:
         check_search(doc["search"], f"{path}.search")
+    # Ditto the live-telemetry section.
+    if "telemetry" in doc:
+        check_telemetry(doc["telemetry"], f"{path}.telemetry")
     _require("metrics" in doc, path, "missing key 'metrics'")
     check_metrics(doc["metrics"], f"{path}.metrics")
     # cost_attribution joined the artifact after the metrics section, so
@@ -601,6 +628,14 @@ GOOD_SEARCH = {
     },
 }
 
+GOOD_TELEMETRY = {
+    "scrapes": 240,
+    "errors": 0,
+    "scrape_p50_us": 180.0,
+    "scrape_p99_us": 2400.0,
+    "outcome_identical": True,
+}
+
 GOOD_FAULT = {
     "bench": "fault_sweep",
     "schema": 1,
@@ -740,6 +775,28 @@ def self_test():
            "search section without cache stats accepted")
     expect(with_search(lambda s: s["cache"].update(cold_stores=0)), False,
            "cold run that stored nothing accepted")
+
+    # The live-telemetry section: optional, but hard-gated when present.
+    def with_telemetry(fn=None):
+        def apply(d):
+            d["telemetry"] = json.loads(json.dumps(GOOD_TELEMETRY))
+            if fn is not None:
+                fn(d["telemetry"])
+        return _mutate(GOOD, apply)
+
+    expect(with_telemetry(), True,
+           "headline with good telemetry section rejected")
+    expect(with_telemetry(lambda t: t.update(outcome_identical=False)),
+           False, "perturbed outcome under scrape load accepted")
+    expect(with_telemetry(lambda t: t.update(errors=3)), False,
+           "failed scrapes accepted")
+    expect(with_telemetry(lambda t: t.update(scrapes=0)), False,
+           "telemetry section with zero scrapes accepted")
+    expect(with_telemetry(lambda t: t.update(
+        scrape_p50_us=5000.0, scrape_p99_us=100.0)), False,
+        "p50 > p99 accepted")
+    expect(with_telemetry(lambda t: t.pop("scrape_p99_us")), False,
+           "missing scrape_p99_us accepted")
 
     expect(GOOD_ENGINE, True, "good engine_compare document rejected")
     expect(_mutate(GOOD_ENGINE,

@@ -1,0 +1,390 @@
+#!/usr/bin/env python3
+"""Lint for the Prometheus text exposition served at /metrics.
+
+The telemetry server renders the metrics registry and the cost ledger in
+text exposition format 0.0.4. This script validates a scrape (the
+TELEMETRY_metrics.txt file the telemetry ctest fixture dumps, or a live
+`curl .../metrics` capture) against the format rules a real Prometheus
+server enforces, plus this repo's own conventions:
+
+  - every line is a `# HELP`, `# TYPE`, or sample line; the file ends in
+    a newline
+  - metric and label names match the Prometheus grammar; label values use
+    only the three legal escapes (\\\\, \\", \\n)
+  - each family is TYPE-declared exactly once, before its first sample,
+    with a known type, and all of its samples are contiguous
+  - counter sample names end in `_total`
+  - histograms expose cumulative, non-decreasing `_bucket{le="..."}`
+    series closed by `le="+Inf"`, plus `_sum` and `_count`, with
+    count == the +Inf bucket
+  - no duplicate series (same name and label set), no NaN/Infinity sample
+    values (the exporters clamp non-finite values to 0, so one showing up
+    here is a bug), and every family carries the `peak_` prefix
+
+Usage:
+    tools/check_prometheus.py TELEMETRY_metrics.txt [...]
+    tools/check_prometheus.py --self-test
+
+Exit status: 0 if every file lints (or the self-test passes), 1 otherwise.
+Stdlib only — no third-party dependencies.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$")
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class LintError(Exception):
+    def __init__(self, line_no, message):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def parse_labels(raw, line_no):
+    """`k="v",k2="v2"` -> dict, enforcing name and escape rules."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.find("=", i)
+        if eq < 0:
+            raise LintError(line_no, f"malformed labels {raw!r}")
+        name = raw[i:eq]
+        if not LABEL_NAME.match(name):
+            raise LintError(line_no, f"bad label name {name!r}")
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            raise LintError(line_no, f"label {name!r}: value not quoted")
+        j = eq + 2
+        value = []
+        while j < len(raw) and raw[j] != '"':
+            if raw[j] == "\\":
+                if j + 1 >= len(raw) or raw[j + 1] not in ("\\", '"', "n"):
+                    raise LintError(
+                        line_no, f"label {name!r}: illegal escape")
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[raw[j + 1]])
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        if j >= len(raw):
+            raise LintError(line_no, f"label {name!r}: unterminated value")
+        if name in labels:
+            raise LintError(line_no, f"duplicate label {name!r}")
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < len(raw):
+            if raw[i] != ",":
+                raise LintError(line_no, f"expected ',' in labels {raw!r}")
+            i += 1
+    return labels
+
+
+def parse_value(raw, line_no):
+    if raw in ("+Inf", "-Inf", "Inf", "NaN", "nan"):
+        raise LintError(line_no, f"non-finite sample value {raw!r}")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise LintError(line_no, f"bad sample value {raw!r}") from None
+    if not math.isfinite(value):
+        raise LintError(line_no, f"non-finite sample value {raw!r}")
+    return value
+
+
+def family_of(name):
+    """Strip the histogram sub-series suffix to get the declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Family:
+    def __init__(self, kind, line_no):
+        self.kind = kind
+        self.line_no = line_no
+        self.samples = []  # (line_no, name, labels, value)
+        self.closed = False
+
+
+def lint_text(text):
+    """Lint one exposition document; raises LintError on the first fault."""
+    if not text:
+        raise LintError(0, "empty exposition")
+    if not text.endswith("\n"):
+        raise LintError(text.count("\n") + 1, "missing trailing newline")
+
+    families = {}
+    current = None  # family name whose block we are inside
+    series_seen = set()
+
+    for line_no, line in enumerate(text.split("\n")[:-1], start=1):
+        if line == "":
+            raise LintError(line_no, "blank line in exposition")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Arbitrary comments are legal; ours are always HELP/TYPE.
+                continue
+            name = parts[2]
+            if not METRIC_NAME.match(name):
+                raise LintError(line_no, f"bad metric name {name!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in KNOWN_TYPES:
+                    raise LintError(line_no, f"bad TYPE line {line!r}")
+                if name in families:
+                    raise LintError(
+                        line_no, f"family {name!r} TYPE-declared twice")
+                if not name.startswith("peak_"):
+                    raise LintError(
+                        line_no, f"family {name!r} lacks the peak_ prefix")
+                if current is not None:
+                    families[current].closed = True
+                families[name] = Family(parts[3], line_no)
+                current = name
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            raise LintError(line_no, f"malformed sample line {line!r}")
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "", line_no)
+        value = parse_value(match.group("value"), line_no)
+
+        family_name = family_of(name)
+        if family_name not in families and name in families:
+            family_name = name  # e.g. a gauge literally named *_count
+        family = families.get(family_name)
+        if family is None:
+            raise LintError(
+                line_no, f"sample {name!r} has no preceding TYPE line")
+        if family_name != current:
+            if family.closed:
+                raise LintError(
+                    line_no,
+                    f"samples of {family_name!r} are not contiguous")
+            raise LintError(
+                line_no,
+                f"sample {name!r} inside the {current!r} block")
+
+        if family.kind == "counter" and not name.endswith("_total"):
+            raise LintError(
+                line_no, f"counter sample {name!r} must end in _total")
+        if family.kind == "histogram":
+            if name == family_name:
+                raise LintError(
+                    line_no,
+                    f"histogram {name!r} exposed without a sub-series "
+                    "suffix")
+            if name.endswith("_bucket") and "le" not in labels:
+                raise LintError(
+                    line_no, f"bucket sample {name!r} lacks an le label")
+        elif name != family_name:
+            raise LintError(
+                line_no,
+                f"sample {name!r} does not match family {family_name!r}")
+
+        series = (name, tuple(sorted(labels.items())))
+        if series in series_seen:
+            raise LintError(line_no, f"duplicate series {series!r}")
+        series_seen.add(series)
+        family.samples.append((line_no, name, labels, value))
+
+    for name, family in families.items():
+        if not family.samples:
+            raise LintError(family.line_no,
+                            f"family {name!r} declared but has no samples")
+        if family.kind == "histogram":
+            _lint_histogram(name, family)
+    return len(series_seen)
+
+
+def _lint_histogram(name, family):
+    """Cumulative buckets closed by +Inf; count == the +Inf bucket."""
+    def bucket_key(labels):
+        return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+    buckets = {}
+    sums = {}
+    counts = {}
+    for line_no, sample, labels, value in family.samples:
+        if sample.endswith("_bucket"):
+            buckets.setdefault(bucket_key(labels), []).append(
+                (line_no, labels["le"], value))
+        elif sample.endswith("_sum"):
+            sums[bucket_key(labels)] = line_no
+        elif sample.endswith("_count"):
+            counts[bucket_key(labels)] = (line_no, value)
+
+    if not buckets:
+        raise LintError(family.line_no,
+                        f"histogram {name!r} has no _bucket samples")
+    for key, series in buckets.items():
+        if key not in sums:
+            raise LintError(series[0][0],
+                            f"histogram {name!r} lacks a _sum sample")
+        if key not in counts:
+            raise LintError(series[0][0],
+                            f"histogram {name!r} lacks a _count sample")
+        if series[-1][1] != "+Inf":
+            raise LintError(
+                series[-1][0],
+                f"histogram {name!r}: last bucket must be le=\"+Inf\"")
+        previous_le = None
+        previous_value = None
+        for line_no, le, value in series:
+            if le != "+Inf":
+                try:
+                    le_value = float(le)
+                except ValueError:
+                    raise LintError(
+                        line_no, f"bad le value {le!r}") from None
+                if previous_le is not None and le_value <= previous_le:
+                    raise LintError(
+                        line_no,
+                        f"histogram {name!r}: le bounds not increasing")
+                previous_le = le_value
+            if previous_value is not None and value < previous_value:
+                raise LintError(
+                    line_no,
+                    f"histogram {name!r}: bucket counts not cumulative")
+            previous_value = value
+        count_line, count_value = counts[key]
+        if count_value != series[-1][2]:
+            raise LintError(
+                count_line,
+                f"histogram {name!r}: _count {count_value!r} != +Inf "
+                f"bucket {series[-1][2]!r}")
+
+
+def check_file(filename):
+    try:
+        with open(filename, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"{filename}: FAIL ({exc})")
+        return False
+    try:
+        series = lint_text(text)
+    except LintError as exc:
+        print(f"{filename}: FAIL ({exc})")
+        return False
+    print(f"{filename}: OK ({series} series)")
+    return True
+
+
+# --- self-test fixtures -----------------------------------------------------
+
+GOOD = """\
+# HELP peak_search_configs_evaluated_total total configs evaluated
+# TYPE peak_search_configs_evaluated_total counter
+peak_search_configs_evaluated_total 111
+# TYPE peak_sim_cycles_timed gauge
+peak_sim_cycles_timed 1.5e+06
+# TYPE peak_telemetry_scrape_us histogram
+peak_telemetry_scrape_us_bucket{le="100"} 3
+peak_telemetry_scrape_us_bucket{le="1000"} 5
+peak_telemetry_scrape_us_bucket{le="+Inf"} 6
+peak_telemetry_scrape_us_sum 4200
+peak_telemetry_scrape_us_count 6
+# TYPE peak_cost_cycles gauge
+peak_cost_cycles{path="all"} 1000
+peak_cost_cycles{path="all;sparc2;SWIM \\"x\\";calc1"} 1000
+"""
+
+
+def self_test():
+    failures = []
+    cases = [0]
+
+    def expect(text, valid, label):
+        cases[0] += 1
+        try:
+            lint_text(text)
+            ok = True
+        except LintError:
+            ok = False
+        if ok != valid:
+            failures.append(label)
+
+    expect(GOOD, True, "good exposition rejected")
+    expect("", False, "empty exposition accepted")
+    expect(GOOD[:-1], False, "missing trailing newline accepted")
+    expect(GOOD + "\n", False, "blank line accepted")
+    expect("peak_x_total 1\n", False, "sample without TYPE accepted")
+    expect("# TYPE peak_x counter\npeak_x 1\n", False,
+           "counter sample without _total accepted")
+    expect("# TYPE peak_x_total wibble\npeak_x_total 1\n", False,
+           "unknown TYPE accepted")
+    expect("# TYPE x_total counter\nx_total 1\n", False,
+           "family without peak_ prefix accepted")
+    expect("# TYPE peak_x_total counter\npeak_x_total NaN\n", False,
+           "NaN sample accepted")
+    expect("# TYPE peak_x_total counter\npeak_x_total 1\n"
+           "peak_x_total 2\n", False, "duplicate series accepted")
+    expect("# TYPE peak_x_total counter\n"
+           "peak_x_total{q=\"a\"} 1\npeak_x_total{q=\"b\"} 2\n", True,
+           "distinct label sets rejected as duplicates")
+    expect("# TYPE peak_x_total counter\npeak_x_total{q=\"a\\t\"} 1\n",
+           False, "illegal label escape accepted")
+    expect("# TYPE peak_x_total counter\npeak_x_total{9q=\"a\"} 1\n",
+           False, "bad label name accepted")
+    expect("# TYPE peak_x_total counter\n"
+           "# TYPE peak_x_total counter\npeak_x_total 1\n", False,
+           "double TYPE declaration accepted")
+    expect("# TYPE peak_x_total counter\n", False,
+           "family without samples accepted")
+    expect("# TYPE peak_a_total counter\npeak_a_total 1\n"
+           "# TYPE peak_b gauge\npeak_b 1\npeak_a_total{q=\"x\"} 2\n",
+           False, "non-contiguous family accepted")
+
+    histogram = ("# TYPE peak_h histogram\n"
+                 "peak_h_bucket{le=\"10\"} 3\n"
+                 "peak_h_bucket{le=\"20\"} 5\n"
+                 "peak_h_bucket{le=\"+Inf\"} 6\n"
+                 "peak_h_sum 50\n"
+                 "peak_h_count 6\n")
+    expect(histogram, True, "good histogram rejected")
+    expect(histogram.replace("peak_h_bucket{le=\"+Inf\"} 6\n", ""), False,
+           "histogram without +Inf bucket accepted")
+    expect(histogram.replace("peak_h_count 6", "peak_h_count 9"), False,
+           "count != +Inf bucket accepted")
+    expect(histogram.replace("le=\"20\"} 5", "le=\"20\"} 2"), False,
+           "non-cumulative buckets accepted")
+    expect(histogram.replace("le=\"20\"", "le=\"5\""), False,
+           "non-increasing le bounds accepted")
+    expect(histogram.replace("peak_h_sum 50\n", ""), False,
+           "histogram without _sum accepted")
+
+    if failures:
+        for failure in failures:
+            print(f"self-test: FAIL ({failure})")
+        return False
+    print(f"self-test: OK ({cases[0]} cases)")
+    return True
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return 0 if self_test() else 1
+    files = [arg for arg in argv if not arg.startswith("--")]
+    if len(files) != len(argv):
+        unknown = [arg for arg in argv if arg.startswith("--")]
+        print(f"unknown option {unknown[0]!r}")
+        return 1
+    if not files:
+        print(__doc__.strip())
+        return 1
+    return 0 if all([check_file(f) for f in files]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,16 +6,22 @@
 ///   peak tune     --benchmark B [--machine M] [--method X] [--csv]
 ///   peak sweep    [--machine M] [--csv|--markdown]   (the Figure 7 runs)
 ///   peak app      [--machine M]        whole-application tuning
+///   peak monitor  <host:port|port|port-file> [--once]   watch a live run
 ///
 /// Machines: sparc2 (default), p4. Methods: CBR MBR RBR AVG WHL (default:
 /// consultant's choice).
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,13 +32,18 @@
 #include "core/config_store.hpp"
 #include "core/rating_cache.hpp"
 #include "core/report.hpp"
+#include "core/jsonl.hpp"
 #include "core/tuning_driver.hpp"
 #include "fault/injector.hpp"
+#include "fault/quarantine.hpp"
+#include "obs/event_ring.hpp"
 #include "obs/export.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
+#include "support/http_server.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -62,6 +73,11 @@ struct Args {
   unsigned search_threads =
       std::max(1u, std::thread::hardware_concurrency());
   std::string rating_cache_path;  ///< persistent rating cache (tune)
+  /// -1 = telemetry off; 0 = serve on an ephemeral port; else that port.
+  int telemetry_port = -1;
+  std::string progress_json_path;  ///< periodic atomic ProgressModel JSON
+  std::string monitor_target;      ///< host:port, port, or port file
+  bool once = false;               ///< monitor: one snapshot, no tail
   bool csv = false;
   bool markdown = false;
   bool verbose = false;  ///< print the metrics table after the command
@@ -83,7 +99,8 @@ std::optional<rating::Method> parse_method(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: peak <list|analyze|tune|sweep|app|apply> [options]\n"
+               "usage: peak <list|analyze|tune|sweep|app|apply|monitor> "
+               "[options]\n"
                "  --benchmark NAME   (tune)\n"
                "  --machine sparc2|p4\n"
                "  --method CBR|MBR|RBR|AVG|WHL\n"
@@ -108,6 +125,18 @@ int usage() {
                "  --rating-cache FILE (tune) persistent content-addressed "
                "rating cache\n"
                "                  (ignored when --fault-prob > 0)\n"
+               "  --telemetry-port N  (tune) serve /metrics /snapshot "
+               "/events /healthz\n"
+               "                  /quarantine /cache/stats on 127.0.0.1:N "
+               "(0 = ephemeral;\n"
+               "                  bound port printed and written to "
+               "<journal>.port or peak.port)\n"
+               "  --progress-json FILE  (tune) periodically rewrite FILE "
+               "(atomic) with\n"
+               "                  the progress model as JSON\n"
+               "  peak monitor <host:port|port|port-file> [--once]\n"
+               "                  render a remote /snapshot, then tail "
+               "/events (SSE)\n"
                "  --verbose       print the metrics table on exit\n");
   return 2;
 }
@@ -115,6 +144,109 @@ int usage() {
 sim::MachineModel machine_of(const Args& args) {
   return args.machine == "p4" ? sim::pentium4() : sim::sparc2();
 }
+
+std::string quarantine_json_of(const fault::Quarantine& quarantine) {
+  const auto entries = quarantine.snapshot();
+  std::ostringstream os;
+  std::size_t quarantined = 0;
+  for (const auto& [key, e] : entries)
+    if (e.quarantined) ++quarantined;
+  os << "{\"size\":" << quarantined << ",\"entries\":[";
+  bool first = true;
+  for (const auto& [key, e] : entries) {
+    os << (first ? "" : ",") << "{\"config\":\"" << obs::json_escape(key)
+       << "\",\"kind\":\"" << fault::to_string(e.kind)
+       << "\",\"failures\":" << e.failures << ",\"quarantined\":"
+       << (e.quarantined ? "true" : "false") << "}";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string cache_stats_json_of(const core::RatingCache* cache) {
+  std::ostringstream os;
+  os << "{\"path\":\""
+     << obs::json_escape(cache ? cache->path() : std::string())
+     << "\",\"entries\":" << (cache ? cache->size() : 0)
+     << ",\"hits\":" << obs::counter("search.cache.hit").value()
+     << ",\"misses\":" << obs::counter("search.cache.miss").value()
+     << ",\"stores\":" << obs::counter("search.cache.store").value()
+     << "}";
+  return os.str();
+}
+
+/// RAII wiring of --telemetry-port and --progress-json around a tune
+/// command: starts the server (port file `<journal>.port`, or `peak.port`
+/// without a journal) and the JSON writer, forwards run-phase changes,
+/// stops both — final progress document included — on scope exit.
+class TelemetryScope {
+public:
+  /// `quarantine` may start null and be filled in later (the driver that
+  /// owns it is constructed after profiling); the provider reads it
+  /// atomically per request.
+  TelemetryScope(
+      const Args& args,
+      std::shared_ptr<std::atomic<const fault::Quarantine*>> quarantine,
+      const core::RatingCache* cache) {
+    if (!args.progress_json_path.empty()) {
+      obs::ProgressJsonWriter::Options wo;
+      wo.path = args.progress_json_path;
+      writer_.emplace(wo);
+      writer_->start();
+    }
+    if (args.telemetry_port < 0) return;
+    obs::TelemetryServer::Options o;
+    o.port = static_cast<std::uint16_t>(args.telemetry_port);
+    o.port_file = args.journal_path.empty() ? "peak.port"
+                                            : args.journal_path + ".port";
+    if (quarantine)
+      o.quarantine_json = [quarantine] {
+        const fault::Quarantine* q = quarantine->load();
+        return q ? quarantine_json_of(*q)
+                 : std::string("{\"size\":0,\"entries\":[]}");
+      };
+    o.cache_stats_json = [cache] { return cache_stats_json_of(cache); };
+    const std::string port_file = o.port_file;
+    server_.emplace(std::move(o));
+    std::string error;
+    if (!server_->start(&error)) {
+      std::fprintf(stderr, "telemetry: %s\n", error.c_str());
+      server_.reset();
+      failed_ = true;
+      return;
+    }
+    obs::publish_run_event("tune_start",
+                           "{\"kind\":\"tune_start\",\"text\":\"tuning "
+                           "run started\"}");
+    std::printf("  telemetry: http://127.0.0.1:%u/ (port file %s)\n",
+                server_->port(), port_file.c_str());
+  }
+
+  ~TelemetryScope() {
+    if (server_) {
+      server_->set_run_phase("done");
+      obs::publish_run_event("tune_done",
+                             "{\"kind\":\"tune_done\",\"text\":\"tuning "
+                             "run finished\"}");
+      server_->stop();
+    }
+    if (writer_) writer_->stop();
+  }
+
+  /// False when --telemetry-port was given but the server could not
+  /// start — the operator asked to observe this run and cannot.
+  [[nodiscard]] bool ok() const { return !failed_; }
+
+  void phase(const char* p) {
+    if (server_) server_->set_run_phase(p);
+  }
+
+private:
+  std::optional<obs::TelemetryServer> server_;
+  std::optional<obs::ProgressJsonWriter> writer_;
+  bool failed_ = false;
+};
 
 int cmd_list() {
   support::Table table;
@@ -162,6 +294,22 @@ int cmd_tune_driver(const Args& args,
                     const workloads::Workload& workload) {
   const sim::MachineModel machine = machine_of(args);
   const sim::FlagEffectModel effects(search::gcc33_o3_space());
+
+  // Must outlive the driver (and the telemetry server, whose /cache/stats
+  // provider reads it); the evaluator ignores it whenever a fault
+  // injector is installed (cached ratings would be unsound there).
+  std::optional<core::RatingCache> cache;
+  if (!args.rating_cache_path.empty()) cache.emplace(args.rating_cache_path);
+
+  // The quarantine lives in the driver, which is built only after
+  // profiling; the /quarantine provider reads this pointer per request.
+  auto quarantine_view =
+      std::make_shared<std::atomic<const fault::Quarantine*>>(nullptr);
+  TelemetryScope telemetry(args, quarantine_view,
+                           cache ? &*cache : nullptr);
+  if (!telemetry.ok()) return 1;
+  telemetry.phase("profiling");
+
   const workloads::Trace train =
       workload.trace(workloads::DataSet::kTrain, 42);
   const core::ProfileData profile =
@@ -181,16 +329,12 @@ int cmd_tune_driver(const Args& args,
   options.fault.journal_path = args.journal_path;
   options.fault.resume = args.resume;
   options.search_threads = args.search_threads;
-  // Must outlive the driver; the evaluator ignores it whenever a fault
-  // injector is installed (cached ratings would be unsound there).
-  std::optional<core::RatingCache> cache;
-  if (!args.rating_cache_path.empty()) {
-    cache.emplace(args.rating_cache_path);
-    options.rating_cache = &*cache;
-  }
+  if (cache) options.rating_cache = &*cache;
 
   core::TuningDriver driver(workload, profile, train, machine, effects,
                             options);
+  quarantine_view->store(&driver.quarantine());
+  telemetry.phase("tuning");
   core::TuningOutcome outcome;
   try {
     outcome = args.method ? driver.tune(*args.method) : driver.tune_auto();
@@ -199,6 +343,7 @@ int cmd_tune_driver(const Args& args,
                  e.what());
     return 1;
   }
+  telemetry.phase("reporting");
 
   const workloads::Trace ref = workload.trace(workloads::DataSet::kRef, 1);
   const double o3 = core::expected_trace_time(
@@ -276,6 +421,11 @@ int cmd_tune(const Args& args) {
     cache.emplace(args.rating_cache_path);
     popts.driver.rating_cache = &*cache;
   }
+  // The facade path has no quarantine (no fault wiring) — /quarantine
+  // answers 404 there.
+  TelemetryScope telemetry(args, nullptr, cache ? &*cache : nullptr);
+  if (!telemetry.ok()) return 1;
+  telemetry.phase("tuning");
   core::Peak peak(machine, popts);
 
   core::MethodRun run;
@@ -294,6 +444,7 @@ int cmd_tune(const Args& args) {
   } else {
     run = peak.tune_with_consultant(*workload);
   }
+  telemetry.phase("reporting");
 
   std::printf("%s on %s via %s\n", workload->full_name().c_str(),
               machine.name.c_str(), rating::to_string(run.method));
@@ -356,6 +507,114 @@ int cmd_apply(const Args& args) {
               workload->full_name().c_str(), machine.name.c_str(),
               rating::to_string(entry->method),
               (o3 / tuned - 1.0) * 100.0);
+  return 0;
+}
+
+/// Resolve the `peak monitor` target — "host:port", a bare port (host
+/// 127.0.0.1), or a port file as written next to the journal.
+bool resolve_monitor_target(const std::string& target, std::string* host,
+                            std::uint16_t* port) {
+  const auto parse_port = [&](const std::string& text) {
+    char* end = nullptr;
+    const unsigned long p = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || p == 0 || p > 65535)
+      return false;
+    *port = static_cast<std::uint16_t>(p);
+    return true;
+  };
+  const auto colon = target.rfind(':');
+  if (colon != std::string::npos) {
+    *host = target.substr(0, colon);
+    return !host->empty() && parse_port(target.substr(colon + 1));
+  }
+  *host = "127.0.0.1";
+  if (!target.empty() &&
+      std::all_of(target.begin(), target.end(), [](unsigned char c) {
+        return std::isdigit(c);
+      }))
+    return parse_port(target);
+  std::ifstream in(target);
+  std::string line;
+  if (!in || !std::getline(in, line)) return false;
+  return parse_port(line);
+}
+
+/// Print one complete SSE frame: `[kind] text`, where text comes from the
+/// data payload's "text" member (raw data when it has none).
+void print_sse_frame(const std::string& frame) {
+  std::string event = "message", data;
+  std::size_t pos = 0;
+  while (pos <= frame.size()) {
+    const std::size_t eol = std::min(frame.find('\n', pos), frame.size());
+    const std::string line = frame.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("event: ", 0) == 0) event = line.substr(7);
+    else if (line.rfind("data: ", 0) == 0) data = line.substr(6);
+    // ignore "id: " bookkeeping and ":" comments (keepalives)
+  }
+  if (data.empty()) return;
+  std::string text = data;
+  try {
+    const core::jsonl::JsonValue v = core::jsonl::JsonParser(data).parse();
+    if (v.has("text")) text = v.at("text").as_string();
+  } catch (const std::exception&) {
+    // non-JSON payload: print it raw
+  }
+  std::printf("  [%s] %s\n", event.c_str(), text.c_str());
+  std::fflush(stdout);
+}
+
+int cmd_monitor(const Args& args) {
+  if (args.monitor_target.empty()) return usage();
+  std::string host;
+  std::uint16_t port = 0;
+  if (!resolve_monitor_target(args.monitor_target, &host, &port)) {
+    std::fprintf(stderr, "monitor: cannot resolve '%s'\n",
+                 args.monitor_target.c_str());
+    return 1;
+  }
+  const support::HttpClientResult snap =
+      support::http_get(host, port, "/snapshot");
+  if (!snap.ok || snap.status != 200) {
+    std::fprintf(stderr, "monitor: GET /snapshot failed: %s\n",
+                 snap.ok ? ("HTTP " + std::to_string(snap.status)).c_str()
+                         : snap.error.c_str());
+    return 1;
+  }
+  obs::RemoteSnapshot remote;
+  try {
+    remote = obs::parse_snapshot_json(snap.body);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "monitor: malformed snapshot: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s:%u  phase %s  up %.1fs\n", host.c_str(), port,
+              remote.run_phase.c_str(),
+              static_cast<double>(remote.uptime_us) / 1e6);
+  std::fputs(obs::render_progress_frame(remote.progress).c_str(), stdout);
+  if (args.once) return 0;
+
+  // Tail events published after the snapshot; the stream ends when the
+  // run finishes (the server closes every connection on stop).
+  const std::string path =
+      "/events?from=" + std::to_string(remote.events_head_seq + 1);
+  std::string buffer, error;
+  const bool ok = support::http_stream(
+      host, port, path,
+      [&buffer](std::string_view chunk) {
+        buffer.append(chunk);
+        std::size_t sep;
+        while ((sep = buffer.find("\n\n")) != std::string::npos) {
+          print_sse_frame(buffer.substr(0, sep));
+          buffer.erase(0, sep + 2);
+        }
+        return true;  // empty chunk = read timeout; keep waiting
+      },
+      &error);
+  if (!ok) {
+    std::fprintf(stderr, "monitor: %s\n", error.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -461,12 +720,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       args.rating_cache_path = v;
+    } else if (arg == "--telemetry-port") {
+      const char* v = next();
+      if (!v) return usage();
+      char* end = nullptr;
+      const unsigned long p = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || p > 65535) return usage();
+      args.telemetry_port = static_cast<int>(p);
+    } else if (arg == "--progress-json") {
+      const char* v = next();
+      if (!v) return usage();
+      args.progress_json_path = v;
+    } else if (arg == "--once") {
+      args.once = true;
     } else if (arg == "--csv") {
       args.csv = true;
     } else if (arg == "--markdown") {
       args.markdown = true;
     } else if (arg == "--verbose") {
       args.verbose = true;
+    } else if (args.command == "monitor" && args.monitor_target.empty() &&
+               arg.rfind("--", 0) != 0) {
+      args.monitor_target = arg;
     } else {
       return usage();
     }
@@ -498,6 +773,8 @@ int main(int argc, char** argv) {
     rc = cmd_app(args);
   else if (args.command == "apply")
     rc = cmd_apply(args);
+  else if (args.command == "monitor")
+    rc = cmd_monitor(args);
   else
     rc = usage();
 
