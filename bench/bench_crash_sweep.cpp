@@ -1,0 +1,44 @@
+/// \file bench_crash_sweep.cpp
+/// Robustness sweep for the out-of-process rating sandbox: real abort()ing
+/// hard-crash faults under --isolate-workers, against the same faults
+/// rated in-process.
+///
+/// Per benchmark: a transient arm (scripted non-sticky crashes must be
+/// survived with the bit-identical outcome of a crash-free run), a sticky
+/// arm (deterministic crashers must land in quarantine while tuning
+/// completes), and an unisolated arm (the sticky model run without
+/// isolation, in a forked child, documenting the death isolation
+/// prevents).
+///
+/// Besides the human-readable stdout report, writes BENCH_crash_sweep.json
+/// (machine-readable, schema checked by tools/check_bench_json.py).
+
+#include <cstdio>
+#include <iostream>
+
+#include "crash_sweep.hpp"
+
+int main() {
+  using namespace peak;
+  std::cout << "Out-of-process rating sandbox under injected hard "
+               "crashes\n\n";
+
+  const bench::CrashSweepResult result = bench::run_crash_sweep();
+  bench::print_crash_sweep(result, std::cout);
+
+  std::cout << "\nShape: isolated arms always complete (a crashed worker "
+               "is respawned and the\ntask retried; deterministic "
+               "crashers are quarantined after the retry budget),\nand "
+               "survived transient crashes leave no trace — the outcome "
+               "is bit-identical\nto a run that never crashed. The "
+               "in-process arm dies on the first abort().\n";
+
+  const std::string json_path = "BENCH_crash_sweep.json";
+  if (bench::write_crash_sweep_json(json_path, result))
+    std::printf("\nWrote %s\n", json_path.c_str());
+  else {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

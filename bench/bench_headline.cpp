@@ -19,6 +19,7 @@
 
 #include "core/rating_cache.hpp"
 #include "core/tuning_driver.hpp"
+#include "crash_sweep.hpp"
 #include "engine_compare.hpp"
 #include "fig7_common.hpp"
 #include "obs/export.hpp"
@@ -291,6 +292,7 @@ bool write_json(const std::string& path,
                 const bench::Headline& h,
                 const bench::EngineCompareResult& engines,
                 const SearchBench& search, const TelemetryBench& telemetry,
+                const bench::CrashSweepResult& crashes,
                 const obs::MetricsRegistry::Snapshot& metrics,
                 const obs::Ledger::Node& costs) {
   std::ofstream os(path);
@@ -323,6 +325,8 @@ bool write_json(const std::string& path,
   append_search_json(os, search);
   os << ",\"telemetry\":";
   append_telemetry_json(os, telemetry);
+  os << ",\"crash_sweep\":";
+  bench::write_crash_sweep_fragment(os, crashes);
   os << ",\"metrics\":";
   obs::write_metrics_json(metrics, os);
   os << ",\"cost_attribution\":";
@@ -388,9 +392,16 @@ int main() {
   std::cout << "\n";
   print_telemetry_bench(telemetry);
 
+  // Also after the snapshot: worker forks feed proc.* counters and wall-
+  // driven heartbeat gaps into the registry, which must stay out of the
+  // drift-compared metrics section.
+  const bench::CrashSweepResult crashes = bench::run_crash_sweep();
+  std::cout << "\n";
+  bench::print_crash_sweep(crashes, std::cout);
+
   const std::string json_path = "BENCH_headline.json";
   if (write_json(json_path, machines, h, engines, search, telemetry,
-                 metrics, costs))
+                 crashes, metrics, costs))
     std::printf("Wrote %s\n", json_path.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file crash_sweep.hpp
+/// Worker-isolation robustness sweep shared by bench_crash_sweep (which
+/// emits a standalone BENCH_crash_sweep.json) and bench_headline (which
+/// embeds the same fragment so the committed baseline carries it).
+///
+/// Three arms per benchmark, all against one crash-free baseline tune:
+///
+///   transient   scripted non-sticky hard crashes (the worker abort()s
+///               once per firing, the respawned attempt clears) under
+///               --isolate-workers; gated on completing with the
+///               bit-identical TuningOutcome of the crash-free run and
+///               an empty quarantine
+///   sticky      stochastic deterministic hard-crashers (every attempt
+///               aborts) under --isolate-workers; gated on completing,
+///               with the crashers landed in quarantine
+///   unisolated  the sticky model rated in-process (no isolation),
+///               executed in a forked child so the abort() kills the
+///               child instead of the bench; documents the baseline
+///               completion rate isolation exists to fix
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace peak::bench {
+
+struct CrashArm {
+  std::string benchmark;
+  std::string mode;  ///< "transient" | "sticky" | "unisolated"
+  bool isolated = false;
+  bool completed = false;
+  bool identical = false;  ///< TuningOutcome == crash-free baseline
+  std::uint64_t respawns = 0;  ///< workers re-forked after real aborts
+  std::uint64_t quarantined = 0;
+};
+
+struct CrashSweepResult {
+  std::vector<CrashArm> arms;
+  double isolated_completion_rate = 0.0;
+  double transient_identity_rate = 0.0;
+  double unisolated_completion_rate = 0.0;
+  std::uint64_t total_respawns = 0;
+};
+
+/// Run the sweep (deterministic: seeded simulation, scripted faults).
+/// `workers` is the --isolate-workers fan-out of the isolated arms.
+CrashSweepResult run_crash_sweep(std::size_t workers = 4);
+
+/// Human-readable table on `os`.
+void print_crash_sweep(const CrashSweepResult& result, std::ostream& os);
+
+/// The {"arms":[...],"summary":{...}} fragment embedded into the headline
+/// document under "crash_sweep".
+void write_crash_sweep_fragment(std::ostream& os,
+                                const CrashSweepResult& result);
+
+/// Standalone {"bench":"crash_sweep",...} document.
+bool write_crash_sweep_json(const std::string& path,
+                            const CrashSweepResult& result);
+
+}  // namespace peak::bench

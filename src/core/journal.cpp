@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "core/jsonl.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace peak::core {
@@ -172,34 +173,73 @@ void TuningJournal::record_fault(const fault::FaultEvent& ev) {
   write_line(os.str());
 }
 
-std::vector<JournalSegment> TuningJournal::load(const std::string& path) {
-  std::ifstream in(path);
+std::vector<JournalSegment> TuningJournal::load(const std::string& path,
+                                                bool strict,
+                                                LoadStats* stats) {
+  std::ifstream in(path, std::ios::binary);
   PEAK_CHECK(in.good(), "cannot read tuning journal " + path);
   std::vector<JournalSegment> segments;
+  LoadStats local;
   std::string line;
+  std::uint64_t offset = 0;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    // A partial trailing line (no closing brace) is the record that was
-    // being written when the process died; skip it — resume re-runs that
-    // evaluation live.
-    if (line.back() != '}') continue;
-    JsonValue record;
+    ++line_no;
+    // getline() stops at '\n' or EOF; eof() after a successful read means
+    // this final line has no terminator — i.e. the record that was being
+    // written when the process died.
+    const bool complete = !in.eof();
+    const std::uint64_t line_end = offset + line.size() + (complete ? 1 : 0);
+    if (line.empty()) {
+      offset = line_end;
+      continue;
+    }
+    std::string damage;
     try {
-      record = JsonParser(line).parse();
-    } catch (const support::CheckError&) {
-      continue;  // damaged line: treat like a partial write
+      if (line.back() != '}')
+        throw support::CheckError("journal: unterminated record");
+      const JsonValue record = JsonParser(line).parse();
+      const std::string& type = record.at("type").as_string();
+      if (type == "start") {
+        JournalSegment seg;
+        seg.method = record.at("method").as_string();
+        segments.push_back(std::move(seg));
+      } else if (type == "eval") {
+        PEAK_CHECK(!segments.empty(), "journal: eval before any start");
+        segments.back().evals.push_back(parse_eval(record));
+      }
+      // Other record types (fault, …) are informational.
+    } catch (const std::exception& e) {
+      // std::exception, not just CheckError: a flipped bit inside a hex
+      // field surfaces as std::invalid_argument from stoull, and a
+      // missing key as whatever jsonl throws — all of it is damage.
+      damage = e.what();
     }
-    const std::string& type = record.at("type").as_string();
-    if (type == "start") {
-      JournalSegment seg;
-      seg.method = record.at("method").as_string();
-      segments.push_back(std::move(seg));
-    } else if (type == "eval") {
-      PEAK_CHECK(!segments.empty(), "journal: eval before any start");
-      segments.back().evals.push_back(parse_eval(record));
+    if (damage.empty()) {
+      offset = line_end;
+      local.good_bytes = offset;
+      continue;
     }
-    // Other record types (fault, …) are informational.
+    if (!complete) break;  // partial trailing line: tolerated in any mode
+    if (strict)
+      throw support::CheckError("journal " + path + " line " +
+                                std::to_string(line_no) +
+                                " is corrupt: " + damage);
+    // Lenient: the replayable prefix ends here. Everything from this line
+    // on — including later lines that would parse — is discarded, because
+    // replay consumes evals in key-checked sequence and cannot skip over
+    // a hole. Resume re-measures the lost tail live, which stays
+    // bit-identical (the journal only caches what the evaluator would
+    // recompute).
+    local.truncated = true;
+    ++local.corrupt_lines;
+    while (std::getline(in, line))
+      if (!line.empty()) ++local.corrupt_lines;
+    break;
   }
+  if (local.corrupt_lines > 0)
+    obs::counter("journal.corrupt_lines").inc(local.corrupt_lines);
+  if (stats != nullptr) *stats = local;
   return segments;
 }
 

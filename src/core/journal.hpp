@@ -102,11 +102,33 @@ public:
   [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  /// What load() found besides the records: how much of the file is
+  /// replayable and how much was rejected.
+  struct LoadStats {
+    /// Lines discarded as corrupt: the first damaged complete line plus
+    /// everything after it. The eval chain is sequence-checked, so a
+    /// record past a damaged one cannot be replayed even if it parses —
+    /// the whole tail counts as lost.
+    std::uint64_t corrupt_lines = 0;
+    /// Byte offset just past the last replayable record. A resume that
+    /// appends must truncate the file here first, or its new records
+    /// would land after the corrupt tail and be lost on the next load.
+    std::uint64_t good_bytes = 0;
+    /// True when load() stopped before the end of the file (mid-file
+    /// corruption; a partial trailing line alone does not set this).
+    bool truncated = false;
+  };
+
   /// Parse a journal back into segments. Unknown record types and a
   /// trailing partial line (the record being written when the process
-  /// died) are skipped. Throws support::CheckError on structural damage
-  /// within a complete line.
-  static std::vector<JournalSegment> load(const std::string& path);
+  /// died) are skipped in either mode. A damaged *complete* line mid-file
+  /// ends the replayable prefix: lenient mode (strict == false, the
+  /// default) returns the records before it, counts the discarded tail in
+  /// `stats` and the "journal.corrupt_lines" obs counter; strict mode
+  /// throws support::CheckError instead.
+  static std::vector<JournalSegment> load(const std::string& path,
+                                          bool strict = false,
+                                          LoadStats* stats = nullptr);
 
 private:
   void write_line(const std::string& line);

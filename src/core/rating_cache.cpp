@@ -1,5 +1,11 @@
 #include "core/rating_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
 #include <sstream>
 
 #include "core/jsonl.hpp"
@@ -19,12 +25,29 @@ struct CacheMetrics {
   obs::Counter& hits = obs::counter("search.cache.hit");
   obs::Counter& misses = obs::counter("search.cache.miss");
   obs::Counter& stores = obs::counter("search.cache.store");
+  obs::Counter& corrupt = obs::counter("search.cache.corrupt_lines");
 
   static CacheMetrics& get() {
     static CacheMetrics metrics;
     return metrics;
   }
 };
+
+/// EINTR-safe full write of `data` to `fd`; false on any hard error.
+bool full_write(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
 
 std::string render_entry(const std::string& key,
                          const RatingCacheEntry& e) {
@@ -100,32 +123,39 @@ RatingCacheEntry parse_entry(const JsonValue& j) {
 
 RatingCache::RatingCache(std::string path) : path_(std::move(path)) {
   // Load whatever a previous run left behind; a missing file just means
-  // a cold cache. Damaged or partial trailing lines (a kill mid-store)
-  // are skipped, same policy as the tuning journal.
-  std::ifstream in(path_);
+  // a cold cache. Damaged complete lines (a garbage write, a flipped bit)
+  // are skipped and counted; a partial trailing line (a kill mid-store)
+  // is skipped silently — that one is expected, not damage. Entries are
+  // keyed, not sequenced, so a skipped line costs only itself.
+  std::ifstream in(path_, std::ios::binary);
   if (in.good()) {
     std::string line;
     while (std::getline(in, line)) {
-      if (line.empty() || line.back() != '}') continue;
-      JsonValue record;
+      if (line.empty()) continue;
+      const bool complete = !in.eof();  // terminated by '\n'
       try {
-        record = JsonParser(line).parse();
-      } catch (const support::CheckError&) {
-        continue;
-      }
-      if (!record.has("type") ||
-          record.at("type").as_string() != "rating")
-        continue;
-      try {
+        if (line.back() != '}')
+          throw support::CheckError("unterminated cache record");
+        const JsonValue record = JsonParser(line).parse();
+        if (!record.has("type") ||
+            record.at("type").as_string() != "rating")
+          continue;  // unknown record type: forward-compat, not damage
         entries_.emplace(record.at("key").as_string(),
                          parse_entry(record));
-      } catch (const support::CheckError&) {
-        continue;
+      } catch (const std::exception&) {
+        // std::exception, not just CheckError: a flipped bit inside a
+        // hex field surfaces as std::invalid_argument from stoull.
+        if (complete) CacheMetrics::get().corrupt.inc();
       }
     }
   }
-  out_.open(path_, std::ios::app);
-  PEAK_CHECK(out_.good(), "cannot open rating cache " + path_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  PEAK_CHECK(fd_ >= 0, "cannot open rating cache " + path_);
+}
+
+RatingCache::~RatingCache() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 std::optional<RatingCacheEntry> RatingCache::lookup(
@@ -144,8 +174,17 @@ void RatingCache::store(const std::string& key,
                         const RatingCacheEntry& entry) {
   std::lock_guard lock(mutex_);
   if (!entries_.emplace(key, entry).second) return;
-  out_ << render_entry(key, entry) << '\n';
-  out_.flush();
+  const std::string line = render_entry(key, entry) + "\n";
+  // flock serializes whole-line appends against every other writer —
+  // other processes, and other RatingCache instances in this process
+  // (flock is per open file description, and each instance holds its
+  // own) — so two simultaneous stores interleave as two complete lines,
+  // never as spliced bytes.
+  while (::flock(fd_, LOCK_EX) != 0) {
+    if (errno != EINTR) break;  // lock unavailable: still write the line
+  }
+  full_write(fd_, line);
+  ::flock(fd_, LOCK_UN);
   CacheMetrics::get().stores.inc();
 }
 

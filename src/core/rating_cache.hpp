@@ -21,7 +21,6 @@
 /// quarantine history), so cached ratings would be unsound there.
 
 #include <cstdint>
-#include <fstream>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -58,14 +57,22 @@ struct RatingCacheEntry {
 
 /// Append-only on-disk cache, keyed by 128-bit content digests rendered
 /// as 32 hex digits. Opening loads every complete record into memory
-/// (damaged or partial trailing lines are skipped, like the journal);
-/// store() appends one line and flushes. Thread-safe; in the driver all
-/// lookups and stores happen on the batch-merge (primary) thread anyway.
+/// (damaged lines are skipped and counted in `search.cache.corrupt_lines`
+/// — cache entries are position-independent, so unlike the journal a hole
+/// costs only that entry); store() appends one line under an exclusive
+/// flock(2), so concurrent writers — other processes, or another
+/// RatingCache on the same path in this process — interleave whole lines,
+/// never bytes. Thread-safe; in the driver all lookups and stores happen
+/// on the batch-merge (primary) thread anyway.
 class RatingCache {
 public:
   /// Opens `path` for appending, creating it if absent, and loads any
   /// existing entries.
   explicit RatingCache(std::string path);
+  ~RatingCache();
+
+  RatingCache(const RatingCache&) = delete;
+  RatingCache& operator=(const RatingCache&) = delete;
 
   /// Entry for `key`, if present. Bumps `search.cache.hit` / `.miss`.
   [[nodiscard]] std::optional<RatingCacheEntry> lookup(
@@ -82,7 +89,10 @@ private:
   std::string path_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, RatingCacheEntry> entries_;
-  std::ofstream out_;
+  /// POSIX fd (O_WRONLY | O_APPEND): flock() needs a file descriptor and
+  /// O_APPEND makes each single write() land atomically at the current
+  /// end of file — std::ofstream exposes neither guarantee.
+  int fd_ = -1;
 };
 
 }  // namespace peak::core

@@ -1,5 +1,7 @@
 #include "core/tuning_driver.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -7,22 +9,26 @@
 #include <cstdio>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/instrumentation.hpp"
 #include "core/journal.hpp"
+#include "core/jsonl.hpp"
 #include "core/rating_cache.hpp"
 #include "obs/attribution.hpp"
 #include "obs/event_ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "proc/supervisor.hpp"
 #include "rating/baselines.hpp"
 #include "rating/cbr.hpp"
 #include "rating/mbr.hpp"
 #include "rating/rbr.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/shutdown.hpp"
 #include "support/thread_pool.hpp"
 
 namespace peak::core {
@@ -108,6 +114,10 @@ public:
 
   double relative_improvement(const search::FlagConfig& base,
                               const search::FlagConfig& cfg) override {
+    // A pending SIGINT/SIGTERM surfaces here, between ratings — the last
+    // journaled evaluation is complete, so a later --resume run replays
+    // up to exactly this point.
+    support::check_shutdown();
     // Batch mode funnels *every* rating through the batch machinery (as a
     // singleton batch when a search asks for one config at a time), so
     // stream seeding, caching, and journaling are uniform. rate_batch()
@@ -158,7 +168,8 @@ public:
   }
 
   [[nodiscard]] bool batched() const override {
-    return driver_.options_.search_threads >= 1;
+    return driver_.options_.search_threads >= 1 ||
+           driver_.options_.isolate_workers >= 1;
   }
 
   /// Batch-semantics evaluation of one probe round. Every candidate is a
@@ -172,6 +183,7 @@ public:
       const search::FlagConfig& base,
       const std::vector<search::FlagConfig>& candidates) override {
     if (!batched()) return ConfigEvaluator::rate_batch(base, candidates);
+    support::check_shutdown();
     std::vector<double> out;
     out.reserve(candidates.size());
     // Replay prefix: recorded evaluations replay one by one, in the same
@@ -235,8 +247,14 @@ public:
 
     ensure_slots(1);
     if (prologue && !prologue->from_cache) {
-      prologue->backend = slots_[0].get();
-      run_member(*prologue);
+      if (driver_.options_.isolate_workers >= 1) {
+        // The base rating runs isolated too — it is just as capable of
+        // taking a process down as any candidate.
+        run_members_isolated({&*prologue});
+      } else {
+        prologue->backend = slots_[0].get();
+        run_member(*prologue);
+      }
     }
     if (prologue) {
       merge_member(*prologue);
@@ -257,7 +275,12 @@ public:
     for (std::size_t i = 0; i < members.size(); ++i)
       if (!members[i].from_cache) to_run.push_back(i);
     const unsigned threads = driver_.options_.search_threads;
-    if (threads <= 1 || to_run.size() <= 1) {
+    if (driver_.options_.isolate_workers >= 1) {
+      std::vector<MemberState*> targets;
+      targets.reserve(to_run.size());
+      for (std::size_t i : to_run) targets.push_back(&members[i]);
+      run_members_isolated(targets);
+    } else if (threads <= 1 || to_run.size() <= 1) {
       for (std::size_t i : to_run) {
         members[i].backend = slots_[0].get();
         run_member(members[i]);
@@ -329,6 +352,13 @@ public:
     // (the cycles a hit *saves* re-enter through the cached cost deltas).
     if (cache_wall_us_ > 0.0)
       obs::charge_phase("cache", 0.0, cache_wall_us_);
+    // Wall burned by dead worker processes (isolate_workers). Wall-only
+    // for the same reason as the cache phase: simulated time must stay
+    // bit-identical to the crash-free run.
+    if (proc_retry_wall_us_ > 0.0)
+      obs::charge_phase("retry", 0.0, proc_retry_wall_us_);
+    if (proc_faulted_wall_us_ > 0.0)
+      obs::charge_phase("faulted", 0.0, proc_faulted_wall_us_);
     // Wall spent inside this evaluator's rating calls goes to the method
     // node itself (it spans several cycle phases at once); the method's
     // wall total is then rating wall + the search_overhead phase.
@@ -1020,6 +1050,271 @@ private:
                           .count();
   }
 
+  // ---- Out-of-process isolation (isolate_workers >= 1) ------------------
+
+  /// Run `targets` (canonical batch order) in forked worker subprocesses
+  /// under a proc::Supervisor. Task i maps to worker i % W — the same
+  /// schedule slotted_for uses — and each task rates its member with the
+  /// exact run_member() code the in-process path runs, on the same slot
+  /// clone, so the member outputs are bit-identical; only the transport
+  /// differs (a JSONL frame instead of shared memory). A worker death
+  /// requeues the task onto a fresh fork with a bumped process-attempt
+  /// counter; after max_task_attempts the config is treated as a
+  /// deterministic crasher (see synthesize_process_failure).
+  void run_members_isolated(const std::vector<MemberState*>& targets) {
+    if (targets.empty()) return;
+    const std::size_t slots = std::min<std::size_t>(
+        driver_.options_.isolate_workers, targets.size());
+    ensure_slots(slots);
+    proc::SupervisorPolicy policy;
+    policy.workers = slots;
+    // The TaskFn body executes in the forked child: it inherits the
+    // evaluator frozen at fork time (members, memo, quarantine, slot
+    // clones) by copy-on-write and ships the member's buffered deltas
+    // back as one frame. Nothing the child mutates is visible here.
+    proc::Supervisor sup(
+        [this, &targets, slots](std::size_t task, std::size_t attempt) {
+          MemberState& m = *targets[task];
+          m.backend = slots_[task % slots].get();
+          // Lets a transient hard-crash verdict clear on the retry fork
+          // (and a deterministic one keep firing until quarantine).
+          m.backend->set_process_attempt(attempt);
+          run_member(m);
+          return serialize_member(m);
+        },
+        policy);
+    const std::vector<proc::TaskOutcome> outs = sup.run(targets.size());
+    PEAK_CHECK(outs.size() == targets.size(), "supervisor outcome arity");
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      MemberState& m = *targets[i];
+      if (outs[i].ok)
+        apply_member_payload(m, outs[i].payload);
+      else
+        synthesize_process_failure(m, outs[i]);
+      // Wall burned on dead attempts is real tuning overhead, but never
+      // simulated cycles: charging cycles would perturb simulated_time
+      // and break bit-identity with the crash-free run. Retried-then-
+      // succeeded attempts land on "retry", given-up ones on "faulted".
+      for (const proc::WorkerFailure& f : outs[i].failures)
+        (outs[i].ok ? proc_retry_wall_us_ : proc_faulted_wall_us_) +=
+            f.burned_wall_us;
+    }
+  }
+
+  /// Wire format of one rated member: the complete buffered delta of
+  /// run_member(), in the journal's JSONL dialect (hex doubles, so the
+  /// pipe round trip is exact). Runs in the child.
+  [[nodiscard]] std::string serialize_member(const MemberState& m) const {
+    using jsonl::hex_double;
+    using jsonl::quote;
+    std::ostringstream os;
+    os << "{\"r\":" << quote(hex_double(m.r));
+    if (!m.memo_added.empty()) {
+      os << ",\"memo\":[";
+      for (std::size_t i = 0; i < m.memo_added.size(); ++i)
+        os << (i ? "," : "") << "{\"k\":" << quote(m.memo_added[i].first)
+           << ",\"v\":" << quote(hex_double(m.memo_added[i].second)) << "}";
+      os << "]";
+    }
+    if (!m.validated_added.empty()) {
+      os << ",\"validated\":[";
+      for (std::size_t i = 0; i < m.validated_added.size(); ++i)
+        os << (i ? "," : "") << quote(m.validated_added[i]);
+      os << "]";
+    }
+    if (!m.robs.empty()) {
+      os << ",\"robs\":[";
+      for (std::size_t i = 0; i < m.robs.size(); ++i)
+        os << (i ? "," : "") << "{\"c\":"
+           << (m.robs[i].converged ? "true" : "false")
+           << ",\"s\":" << m.robs[i].samples << "}";
+      os << "]";
+    }
+    if (!m.fail_keys.empty()) {
+      os << ",\"failk\":[";
+      std::size_t i = 0;
+      for (const std::string& key : m.fail_keys)
+        os << (i++ ? "," : "") << quote(key);
+      os << "],\"fails\":[";
+      i = 0;
+      for (const std::string& key : m.fail_keys) {
+        const auto it = m.quarantine.entries().find(key);
+        if (it == m.quarantine.entries().end()) continue;
+        os << (i++ ? "," : "") << "{\"k\":" << quote(key)
+           << ",\"kind\":" << quote(fault::to_string(it->second.kind))
+           << ",\"n\":" << it->second.failures
+           << ",\"q\":" << (it->second.quarantined ? "true" : "false")
+           << "}";
+      }
+      os << "]";
+    }
+    if (!m.fault_events.empty()) {
+      os << ",\"events\":[";
+      for (std::size_t i = 0; i < m.fault_events.size(); ++i) {
+        const fault::FaultEvent& ev = m.fault_events[i];
+        os << (i ? "," : "")
+           << "{\"kind\":" << quote(fault::to_string(ev.kind))
+           << ",\"cfg\":" << quote(ev.config_key)
+           << ",\"inv\":" << ev.invocation_id
+           << ",\"attempt\":" << ev.attempt
+           << ",\"gave_up\":" << (ev.gave_up ? "true" : "false")
+           << ",\"q\":" << (ev.quarantined ? "true" : "false") << "}";
+      }
+      os << "]";
+    }
+    os << ",\"inv\":" << m.invocations << ",\"rs\":" << m.ratings_started
+       << ",\"rx\":" << m.exhausted
+       << ",\"whl\":" << quote(hex_double(m.whole_program_surcharge));
+    if (m.mbr_residual)
+      os << ",\"mbr\":" << quote(hex_double(*m.mbr_residual));
+    const sim::SimExecutionBackend::CostDeltas c =
+        sim::SimExecutionBackend::cost_deltas(m.before, m.after);
+    os << ",\"cost\":{\"acc\":" << quote(hex_double(c.accumulated))
+       << ",\"timed\":" << quote(hex_double(c.timed))
+       << ",\"pre\":" << quote(hex_double(c.precondition))
+       << ",\"ckpt\":" << quote(hex_double(c.checkpoint))
+       << ",\"faulted\":" << quote(hex_double(c.faulted))
+       << ",\"retry\":" << quote(hex_double(c.retry))
+       << ",\"saves\":" << c.saves << ",\"restores\":" << c.restores
+       << ",\"ckpt_bytes\":" << c.checkpoint_bytes << "}";
+    if (m.error) {
+      // Exceptions do not fit through a pipe; a (tag, what) pair does,
+      // and the parent rebuilds the matching type so the merge loop's
+      // rethrow behaves exactly like the in-process path.
+      std::string tag = "std";
+      std::string what = "unknown error";
+      try {
+        std::rethrow_exception(m.error);
+      } catch (const RatingNotConverging& e) {
+        tag = "rnc";
+        what = e.what();
+      } catch (const support::CheckError& e) {
+        tag = "check";
+        what = e.what();
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      os << ",\"err\":{\"tag\":" << quote(tag)
+         << ",\"what\":" << quote(what) << "}";
+    }
+    os << "}";
+    return os.str();
+  }
+
+  /// Parent-side inverse of serialize_member(): rebuild the member's
+  /// output fields so merge_member()/record_member_eval()/maybe_store()
+  /// run unchanged on an isolated result. `before` stays default-zeroed
+  /// and `after` carries the deltas directly — x - 0.0 == x bitwise, so
+  /// cost_deltas(before, after) reproduces the child's exact values.
+  void apply_member_payload(MemberState& m, const std::string& payload) {
+    const jsonl::JsonValue j = jsonl::JsonParser(payload).parse();
+    m.r = j.at("r").as_hex_double();
+    if (j.has("memo"))
+      for (const jsonl::JsonValue& e : j.at("memo").as_array())
+        m.memo_added.emplace_back(e.at("k").as_string(),
+                                  e.at("v").as_hex_double());
+    if (j.has("validated"))
+      for (const jsonl::JsonValue& v : j.at("validated").as_array())
+        m.validated_added.push_back(v.as_string());
+    if (j.has("robs"))
+      for (const jsonl::JsonValue& o : j.at("robs").as_array())
+        m.robs.push_back({o.at("c").as_bool(), o.at("s").as_u64()});
+    if (j.has("failk")) {
+      for (const jsonl::JsonValue& k : j.at("failk").as_array())
+        m.fail_keys.insert(k.as_string());
+      m.quarantine = quarantine_;
+      for (const jsonl::JsonValue& f : j.at("fails").as_array()) {
+        const auto kind = fault::parse_fault_kind(f.at("kind").as_string());
+        PEAK_CHECK(kind.has_value(), "worker frame: unknown fault kind");
+        m.quarantine.restore_failures(f.at("k").as_string(), *kind,
+                                      f.at("n").as_u64());
+        if (f.at("q").as_bool())
+          m.quarantine.quarantine(f.at("k").as_string(), *kind);
+      }
+    }
+    if (j.has("events"))
+      for (const jsonl::JsonValue& e : j.at("events").as_array()) {
+        fault::FaultEvent ev;
+        const auto kind = fault::parse_fault_kind(e.at("kind").as_string());
+        PEAK_CHECK(kind.has_value(), "worker frame: unknown fault kind");
+        ev.kind = *kind;
+        ev.config_key = e.at("cfg").as_string();
+        ev.invocation_id = e.at("inv").as_u64();
+        ev.attempt = e.at("attempt").as_u64();
+        ev.gave_up = e.at("gave_up").as_bool();
+        ev.quarantined = e.at("q").as_bool();
+        m.fault_events.push_back(std::move(ev));
+      }
+    m.invocations = j.at("inv").as_u64();
+    m.ratings_started = j.at("rs").as_u64();
+    m.exhausted = j.at("rx").as_u64();
+    m.whole_program_surcharge = j.at("whl").as_hex_double();
+    if (j.has("mbr")) m.mbr_residual = j.at("mbr").as_hex_double();
+    const jsonl::JsonValue& c = j.at("cost");
+    m.before = sim::SimExecutionBackend::Snapshot{};
+    m.after = sim::SimExecutionBackend::Snapshot{};
+    m.after.accumulated = c.at("acc").as_hex_double();
+    m.after.timed = c.at("timed").as_hex_double();
+    m.after.precondition = c.at("pre").as_hex_double();
+    m.after.checkpoint = c.at("ckpt").as_hex_double();
+    m.after.faulted = c.at("faulted").as_hex_double();
+    m.after.retry = c.at("retry").as_hex_double();
+    m.after.saves = c.at("saves").as_u64();
+    m.after.restores = c.at("restores").as_u64();
+    m.after.checkpoint_bytes = c.at("ckpt_bytes").as_u64();
+    if (j.has("err")) {
+      const jsonl::JsonValue& err = j.at("err");
+      const std::string tag = err.at("tag").as_string();
+      const std::string what = err.at("what").as_string();
+      if (tag == "rnc")
+        m.error = std::make_exception_ptr(RatingNotConverging(what));
+      else if (tag == "check")
+        m.error = std::make_exception_ptr(support::CheckError(what));
+      else
+        m.error = std::make_exception_ptr(std::runtime_error(what));
+    }
+  }
+
+  /// The member's rating never completed on any process attempt. The
+  /// config gets "no improvement" (the serial path's ConfigFailed answer)
+  /// and, when every attempt died the same way, a quarantine entry — a
+  /// deterministic crasher must never be probed again. Mixed failure
+  /// signatures record the failures without quarantining (conservative in
+  /// the direction of re-measuring). Nothing here touches the simulated
+  /// clock, so the surviving members stay bit-identical.
+  void synthesize_process_failure(MemberState& m,
+                                  const proc::TaskOutcome& out) {
+    m.r = 0.0;
+    m.before = sim::SimExecutionBackend::Snapshot{};
+    m.after = sim::SimExecutionBackend::Snapshot{};
+    const std::string key = m.cfg->key();
+    fault::FaultKind kind = fault::FaultKind::kHardCrash;
+    if (!out.failures.empty() &&
+        out.failures.front().cls == proc::ExitClass::kTimeout)
+      kind = fault::FaultKind::kHang;
+    const bool deterministic = out.failures_identical();
+    m.fail_keys.insert(key);
+    m.quarantine = quarantine_;
+    m.quarantine.restore_failures(
+        key, kind, quarantine_.failures_of(key) + out.failures.size());
+    if (deterministic) m.quarantine.quarantine(key, kind);
+    fault::FaultEvent ev;
+    ev.kind = kind;
+    ev.config_key = key;
+    ev.attempt = out.attempts == 0 ? 0 : out.attempts - 1;
+    ev.gave_up = true;
+    ev.quarantined = deterministic;
+    m.fault_events.push_back(std::move(ev));
+    if (m.prologue)
+      // The *base* crashes its process deterministically: no candidate
+      // can be rated against it, so the method is unusable here — same
+      // answer RatingNotConverging gives for an unmeasurable base.
+      m.error = std::make_exception_ptr(RatingNotConverging(
+          "base rating crashed its worker process for " +
+          driver_.workload_.full_name()));
+  }
+
   /// Everything a batched rating's outcome is a function of, besides the
   /// (base, candidate) bits: machine, section, trace content, run seed,
   /// rating method and its parameters, and the effect model's behaviour.
@@ -1150,6 +1445,11 @@ private:
   std::pair<std::uint64_t, std::uint64_t> cache_salt_{};
   /// Wall spent on cache lookups/stores, charged as the "cache" phase.
   double cache_wall_us_ = 0.0;
+  /// Wall burned by worker-process deaths (isolate_workers): attempts
+  /// that were retried successfully vs. given up on. Charged wall-only
+  /// into the "retry" / "faulted" ledger phases by publish_costs().
+  double proc_retry_wall_us_ = 0.0;
+  double proc_faulted_wall_us_ = 0.0;
 };
 
 TuningDriver::TuningDriver(const workloads::Workload& workload,
@@ -1176,8 +1476,18 @@ TuningDriver::~TuningDriver() = default;
 
 void TuningDriver::prepare_journal() {
   if (options_.fault.journal_path.empty() || journal_ != nullptr) return;
-  if (options_.fault.resume)
-    replay_segments_ = TuningJournal::load(options_.fault.journal_path);
+  if (options_.fault.resume) {
+    TuningJournal::LoadStats stats;
+    replay_segments_ = TuningJournal::load(options_.fault.journal_path,
+                                           options_.fault.journal_strict,
+                                           &stats);
+    // Lenient load stopped at a corrupt mid-file line: physically drop
+    // the damaged tail before appending. Records written after it would
+    // otherwise sit behind the damage and be discarded by the next load.
+    if (stats.truncated)
+      ::truncate(options_.fault.journal_path.c_str(),
+                 static_cast<off_t>(stats.good_bytes));
+  }
   journal_ = std::make_unique<TuningJournal>(options_.fault.journal_path);
 }
 

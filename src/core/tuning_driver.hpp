@@ -55,6 +55,10 @@ struct FaultOptions {
   /// Replay the journal at `journal_path` first, then continue live from
   /// the last recorded evaluation — the crash-safe resume path.
   bool resume = false;
+  /// Fail resume on a corrupt mid-file journal line instead of the
+  /// default lenient policy (replay the good prefix, count the discarded
+  /// tail in `journal.corrupt_lines`, truncate, and re-measure live).
+  bool journal_strict = false;
 };
 
 struct DriverOptions {
@@ -91,6 +95,16 @@ struct DriverOptions {
   /// installed — injector verdicts depend on retry/quarantine state that
   /// is not part of the cache key.
   RatingCache* rating_cache = nullptr;
+  /// Out-of-process rating isolation (src/proc/): N >= 1 runs every batch
+  /// member in a forked, supervised worker subprocess instead of a pool
+  /// thread, so a rating that takes its process down (FaultKind::
+  /// kHardCrash, a real SIGSEGV, an rlimit kill) costs one worker, not
+  /// the run. Implies batch semantics; members keep the same per-slot
+  /// clone + frozen-state + buffered-delta contract, so the TuningOutcome
+  /// is bit-identical to `search_threads N` for any worker count — even
+  /// across transient worker deaths, whose retries re-run the identical
+  /// content-seeded rating. 0 (default) keeps ratings in-process.
+  unsigned isolate_workers = 0;
 };
 
 struct TuningCost {

@@ -12,6 +12,10 @@
 ///   kMiscompile        the run completes but Modified_Input is wrong
 ///   kTimerGlitch       the run completes but the reported time is absurd
 ///   kCheckpointCorrupt the RBR checkpoint save/restore produced garbage
+///   kHardCrash         the run takes the whole process down with it
+///                      (a genuine abort(), not a throw) — survivable
+///                      only when the rating runs in an isolated worker
+///                      subprocess (src/proc/)
 ///
 /// Every injected fault surfaces as a FaultError subclass carrying its
 /// kind and whether a retry of the same invocation can succeed.
@@ -31,6 +35,7 @@ enum class FaultKind : std::uint8_t {
   kMiscompile,
   kTimerGlitch,
   kCheckpointCorrupt,
+  kHardCrash,
 };
 
 const char* to_string(FaultKind kind);

@@ -29,6 +29,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kMiscompile: return "miscompile";
     case FaultKind::kTimerGlitch: return "glitch";
     case FaultKind::kCheckpointCorrupt: return "checkpoint";
+    case FaultKind::kHardCrash: return "hard-crash";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ std::optional<FaultKind> parse_fault_kind(std::string_view name) {
   for (FaultKind k :
        {FaultKind::kNone, FaultKind::kCrash, FaultKind::kHang,
         FaultKind::kMiscompile, FaultKind::kTimerGlitch,
-        FaultKind::kCheckpointCorrupt})
+        FaultKind::kCheckpointCorrupt, FaultKind::kHardCrash})
     if (name == to_string(k)) return k;
   return std::nullopt;
 }
@@ -66,7 +67,7 @@ FaultDecision FaultInjector::decide(const search::FlagConfig& cfg) const {
 
   const double total = model_.crash_weight + model_.hang_weight +
                        model_.miscompile_weight + model_.glitch_weight +
-                       model_.checkpoint_weight;
+                       model_.checkpoint_weight + model_.hard_crash_weight;
   PEAK_CHECK(total > 0.0, "fault kind weights sum to zero");
   double v = u01(support::hash_combine(h, kSaltKind)) * total;
   if ((v -= model_.crash_weight) < 0.0)
@@ -77,8 +78,14 @@ FaultDecision FaultInjector::decide(const search::FlagConfig& cfg) const {
     d.kind = FaultKind::kMiscompile;
   else if ((v -= model_.glitch_weight) < 0.0)
     d.kind = FaultKind::kTimerGlitch;
-  else
+  else if ((v -= model_.checkpoint_weight) < 0.0 ||
+           model_.hard_crash_weight <= 0.0)
+    // Checkpoint stays the catch-all whenever hard crashes are disabled,
+    // so rounding at the top edge of the draw can never select an
+    // unsurvivable kind that no one opted into.
     d.kind = FaultKind::kCheckpointCorrupt;
+  else
+    d.kind = FaultKind::kHardCrash;
 
   d.deterministic =
       d.kind == FaultKind::kHang || d.kind == FaultKind::kMiscompile ||

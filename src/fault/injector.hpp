@@ -38,6 +38,11 @@ struct FaultModel {
   double miscompile_weight = 0.20;
   double glitch_weight = 0.20;
   double checkpoint_weight = 0.10;
+  /// Weight of process-killing crashes (abort(), no throw). Zero by
+  /// default: every pre-existing seed keeps its exact fault draws, and
+  /// hard crashes only appear where a test or sweep opts in (they are
+  /// unsurvivable without --isolate-workers).
+  double hard_crash_weight = 0.0;
   /// Fraction of faulty crash/glitch/checkpoint configs that fail on every
   /// invocation. Hangs and miscompiles are always deterministic: they are
   /// properties of the generated code, not of the measurement.

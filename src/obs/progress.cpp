@@ -88,6 +88,14 @@ ProgressModel build_progress_model(const MetricsRegistry::Snapshot& metrics,
                const ProgressModel::Section& b) {
               return a.cycles > b.cycles;
             });
+
+  model.workers.spawned = counter_or_zero(metrics, "proc.workers.spawned");
+  model.workers.respawned =
+      counter_or_zero(metrics, "proc.workers.respawned");
+  model.workers.killed = counter_or_zero(metrics, "proc.kills.term") +
+                         counter_or_zero(metrics, "proc.kills.kill");
+  model.workers.heartbeat_gaps =
+      counter_or_zero(metrics, "proc.heartbeat.gaps");
   return model;
 }
 
@@ -112,6 +120,12 @@ std::string render_progress_frame(const ProgressModel& model) {
                                     : phase.cycles);
   if (model.phases.empty()) os << " (no cycles charged yet)";
   os << '\n';
+
+  if (model.workers.spawned > 0)
+    os << "  workers: " << model.workers.spawned << " spawned, "
+       << model.workers.respawned << " respawned, " << model.workers.killed
+       << " killed, " << model.workers.heartbeat_gaps
+       << " heartbeat gaps\n";
 
   constexpr std::size_t kMaxRows = 6;
   const std::size_t shown = std::min(model.sections.size(), kMaxRows);
@@ -147,7 +161,15 @@ void write_progress_json(const ProgressModel& model, std::ostream& os) {
     os << (i ? "," : "") << "{\"label\":\""
        << json_escape(model.sections[i].label)
        << "\",\"cycles\":" << json_number(model.sections[i].cycles) << "}";
-  os << "]}";
+  os << "]";
+  // Emitted only when workers ever forked, so pre-isolation documents
+  // stay byte-identical (and the parse side tolerates absence).
+  if (model.workers.spawned > 0)
+    os << ",\"workers\":{\"spawned\":" << model.workers.spawned
+       << ",\"respawned\":" << model.workers.respawned
+       << ",\"killed\":" << model.workers.killed
+       << ",\"heartbeat_gaps\":" << model.workers.heartbeat_gaps << "}";
+  os << "}";
 }
 
 std::string progress_json(const ProgressModel& model) {

@@ -53,6 +53,19 @@ struct ProgressModel {
   /// Every tuning section, most expensive first.
   std::vector<Section> sections;
 
+  /// Out-of-process worker fleet (`--isolate-workers`), from the proc.*
+  /// counters. All zero when the run never forked a worker — the JSON
+  /// document then omits the member entirely, keeping pre-isolation
+  /// consumers byte-compatible.
+  struct Workers {
+    std::uint64_t spawned = 0;
+    std::uint64_t respawned = 0;
+    std::uint64_t killed = 0;  ///< watchdog SIGTERM + SIGKILL escalations
+    std::uint64_t heartbeat_gaps = 0;
+    friend bool operator==(const Workers&, const Workers&) = default;
+  };
+  Workers workers;
+
   friend bool operator==(const ProgressModel&,
                          const ProgressModel&) = default;
 };

@@ -44,6 +44,15 @@ ProgressModel progress_model_from_value(const core::jsonl::JsonValue& v) {
   for (const auto& s : v.at("sections").as_array())
     m.sections.push_back(
         {s.at("label").as_string(), s.at("cycles").as_double()});
+  // Absent unless the run forked isolated workers (and in every document
+  // written before worker isolation existed).
+  if (v.has("workers")) {
+    const core::jsonl::JsonValue& w = v.at("workers");
+    m.workers.spawned = w.at("spawned").as_u64();
+    m.workers.respawned = w.at("respawned").as_u64();
+    m.workers.killed = w.at("killed").as_u64();
+    m.workers.heartbeat_gaps = w.at("heartbeat_gaps").as_u64();
+  }
   return m;
 }
 
@@ -212,6 +221,14 @@ struct TelemetryServer::Impl {
         if (!options.cache_stats_json)
           return HttpResponse::text(404, "cache stats not wired\n");
         return HttpResponse::json(options.cache_stats_json());
+      });
+    });
+
+    server->handle("/workers", [this](const HttpRequest&) {
+      return timed([this] {
+        if (!options.workers_json)
+          return HttpResponse::text(404, "worker table not wired\n");
+        return HttpResponse::json(options.workers_json());
       });
     });
 

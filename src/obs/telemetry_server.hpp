@@ -16,6 +16,8 @@
 ///   GET /healthz      {"status":"ok","run_phase":...,"uptime_us":...}
 ///   GET /quarantine   quarantine table (when the CLI wires a provider)
 ///   GET /cache/stats  rating-cache statistics (ditto)
+///   GET /workers      per-worker subprocess states (ditto; the
+///                     --isolate-workers fleet)
 ///
 /// Every handler only *reads*, each under the owning structure's snapshot
 /// discipline (registry mutex, ledger mutex, ring mutex), so serving a
@@ -77,6 +79,9 @@ public:
     /// Optional endpoint providers (null → that endpoint answers 404).
     std::function<std::string()> quarantine_json;
     std::function<std::string()> cache_stats_json;
+    /// Per-worker subprocess rows (`--isolate-workers`); the CLI wires
+    /// proc::WorkerTable::global().json here.
+    std::function<std::string()> workers_json;
   };
 
   explicit TelemetryServer(Options options);

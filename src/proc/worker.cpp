@@ -1,0 +1,184 @@
+#include "proc/worker.hpp"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "core/jsonl.hpp"
+#include "proc/protocol.hpp"
+
+namespace peak::proc {
+
+namespace {
+
+void apply_limits(const ResourceLimits& limits) {
+  if (limits.cpu_seconds > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = limits.cpu_seconds;
+    rl.rlim_max = limits.cpu_seconds + 1;  // SIGKILL backstop at hard cap
+    setrlimit(RLIMIT_CPU, &rl);
+  }
+  if (limits.address_space_bytes > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = limits.address_space_bytes;
+    rl.rlim_max = limits.address_space_bytes;
+    setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.disable_core) {
+    struct rlimit rl;
+    rl.rlim_cur = 0;
+    rl.rlim_max = 0;
+    setrlimit(RLIMIT_CORE, &rl);
+  }
+}
+
+/// Serializes concurrent frame writes (task results from the serve loop,
+/// heartbeats from the ticker thread) so frames never interleave.
+struct ChildWriter {
+  int fd;
+  std::mutex mutex;
+
+  bool write(const std::string& payload) {
+    std::lock_guard lock(mutex);
+    return write_frame(fd, payload);
+  }
+};
+
+[[noreturn]] void serve(const TaskFn& fn,
+                        const WorkerProcess::Options& options, int in_fd,
+                        int out_fd) {
+  // The parent's shutdown/telemetry signal handling must not run here:
+  // the supervisor owns this process's lifecycle, and SIGTERM must
+  // terminate it so watchdog escalation is observable.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGPIPE, SIG_DFL);
+
+  apply_limits(options.limits);
+
+  ChildWriter writer{out_fd, {}};
+  writer.write("{\"op\":\"hello\",\"pid\":" + std::to_string(getpid()) +
+               "}");
+
+  // Liveness ticker: beats as long as the process is scheduled at all,
+  // so a missing beat means the worker is stopped or gone, while a
+  // stalled *task* is caught by the supervisor's per-dispatch deadline.
+  std::atomic<bool> stop_heartbeat{false};
+  std::thread heartbeat([&writer, &stop_heartbeat, &options] {
+    std::uint64_t seq = 0;
+    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(options.heartbeat_interval);
+      if (!writer.write("{\"op\":\"hb\",\"seq\":" + std::to_string(++seq) +
+                        "}"))
+        return;  // parent gone; the serve loop will notice on read
+    }
+  });
+  heartbeat.detach();  // _exit() below never joins; detach is deliberate
+
+  FrameReader reader;
+  char buf[4096];
+  for (;;) {
+    std::optional<std::string> payload;
+    while (!(payload = reader.next())) {
+      if (reader.corrupted()) _exit(kExitProtocol);
+      const ssize_t n = read(in_fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        _exit(kExitProtocol);
+      }
+      if (n == 0) _exit(kExitProtocol);  // parent died / closed pipe
+      reader.feed(buf, static_cast<std::size_t>(n));
+    }
+
+    try {
+      core::jsonl::JsonParser parser(*payload);
+      const core::jsonl::JsonValue cmd = parser.parse();
+      const std::string& op = cmd.at("op").as_string();
+      if (op == "exit") _exit(0);
+      if (op != "run") _exit(kExitProtocol);
+      const std::size_t task = cmd.at("task").as_u64();
+      const std::size_t attempt = cmd.at("attempt").as_u64();
+
+      std::string result;
+      try {
+        result = fn(task, attempt);
+      } catch (const std::bad_alloc&) {
+        _exit(kExitOom);  // RLIMIT_AS (or genuine exhaustion) tripped
+      } catch (...) {
+        _exit(kExitTaskError);
+      }
+      if (!writer.write("{\"op\":\"result\",\"task\":" +
+                        std::to_string(task) + ",\"payload\":" +
+                        core::jsonl::quote(result) + "}"))
+        _exit(kExitProtocol);
+    } catch (...) {
+      _exit(kExitProtocol);  // malformed command frame
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<WorkerProcess> WorkerProcess::spawn(
+    const TaskFn& fn, const Options& options,
+    const std::vector<int>& close_in_child) {
+  int to_child[2];    // parent writes commands, child reads
+  int from_child[2];  // child writes frames, parent reads
+  if (pipe(to_child) != 0) return nullptr;
+  if (pipe(from_child) != 0) {
+    close(to_child[0]);
+    close(to_child[1]);
+    return nullptr;
+  }
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]})
+      close(fd);
+    return nullptr;
+  }
+
+  if (pid == 0) {
+    // Child. Drop the parent-side ends plus every other worker's pipes
+    // (an inherited write end would keep a sibling's pipe "open" after
+    // that sibling dies, masking its EOF from the supervisor).
+    close(to_child[1]);
+    close(from_child[0]);
+    for (int fd : close_in_child) close(fd);
+    serve(fn, options, to_child[0], from_child[1]);
+  }
+
+  // Parent.
+  close(to_child[0]);
+  close(from_child[1]);
+  auto worker = std::unique_ptr<WorkerProcess>(new WorkerProcess);
+  worker->pid_ = pid;
+  worker->to_child_ = to_child[1];
+  worker->from_child_ = from_child[0];
+  return worker;
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (to_child_ >= 0) close(to_child_);
+  if (from_child_ >= 0) close(from_child_);
+}
+
+bool WorkerProcess::send_run(std::size_t task, std::size_t attempt) {
+  return write_frame(to_child_,
+                     "{\"op\":\"run\",\"task\":" + std::to_string(task) +
+                         ",\"attempt\":" + std::to_string(attempt) + "}");
+}
+
+bool WorkerProcess::send_exit() {
+  return write_frame(to_child_, "{\"op\":\"exit\"}");
+}
+
+}  // namespace peak::proc

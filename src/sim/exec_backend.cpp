@@ -1,6 +1,7 @@
 #include "sim/exec_backend.hpp"
 
 #include <bit>
+#include <cstdlib>
 #include <limits>
 
 #include "obs/metrics.hpp"
@@ -197,7 +198,22 @@ double SimExecutionBackend::charge_restore(std::size_t bytes) {
 fault::FaultKind SimExecutionBackend::fault_kind(
     const search::FlagConfig& cfg, const Invocation& inv) const {
   if (injector_ == nullptr) return fault::FaultKind::kNone;
-  return injector_->fire(cfg, inv.id, fault_attempt_);
+  const fault::FaultKind kind = injector_->fire(cfg, inv.id, fault_attempt_);
+  if (kind == fault::FaultKind::kHardCrash) {
+    // A hard crash is process death, not an exception. The verdict is
+    // re-queried with the *process*-level attempt: a respawned worker
+    // retries under attempt > 0, so a transient hard crash clears on the
+    // second process, while a deterministic (or sticky scripted) one
+    // aborts every attempt until the supervisor gives up and the config
+    // lands in quarantine. Nothing is charged and no randomness is
+    // consumed before the abort, so a survived retry is bit-identical to
+    // a run that never crashed. Only --isolate-workers runs survive this.
+    if (injector_->fire(cfg, inv.id, process_attempt_) ==
+        fault::FaultKind::kHardCrash)
+      std::abort();
+    return fault::FaultKind::kNone;
+  }
+  return kind;
 }
 
 void SimExecutionBackend::raise_fault(fault::FaultKind kind,
@@ -246,6 +262,7 @@ void SimExecutionBackend::raise_fault(fault::FaultKind kind,
     }
     case fault::FaultKind::kNone:
     case fault::FaultKind::kMiscompile:
+    case fault::FaultKind::kHardCrash:  // handled (fatally) in fault_kind
       break;
   }
   PEAK_CHECK(false, "raise_fault called with a non-raising kind");

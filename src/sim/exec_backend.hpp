@@ -158,6 +158,16 @@ public:
   /// executor bumps this so transient faults can clear on retry).
   void set_fault_attempt(std::size_t attempt) { fault_attempt_ = attempt; }
 
+  /// Process-level attempt number (the worker supervisor bumps this when
+  /// it respawns a crashed worker and requeues its task). A hard-crash
+  /// verdict is re-queried with this attempt before aborting, so a
+  /// transient hard crash fires only in the first worker process and the
+  /// respawned retry survives — while a deterministic one aborts every
+  /// attempt until the supervisor gives up and quarantines the config.
+  void set_process_attempt(std::size_t attempt) {
+    process_attempt_ = attempt;
+  }
+
   /// Arm the watchdog deadline: an injected hang charges this many cycles
   /// and surfaces as fault::DeadlineExceeded instead of never returning.
   /// 0 disarms the watchdog (hangs then throw fault::HangFault).
@@ -398,6 +408,7 @@ private:
 
   const fault::FaultInjector* injector_ = nullptr;
   std::size_t fault_attempt_ = 0;
+  std::size_t process_attempt_ = 0;
   double deadline_cycles_ = 0.0;
 };
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -193,7 +194,11 @@ struct HttpServer::Impl {
   std::map<std::string, Handler> handlers;
   std::map<std::string, StreamHandler> stream_handlers;
 
-  int listen_fd = -1;
+  // Atomic because stop() invalidates it concurrently with the
+  // acceptor's blocking accept() — the fd shutdown/close is what
+  // actually unblocks the acceptor; the atomic keeps the handoff a
+  // defined read.
+  std::atomic<int> listen_fd{-1};
   std::uint16_t bound_port = 0;
   std::thread acceptor;
   std::vector<std::thread> workers;
@@ -218,6 +223,27 @@ struct HttpServer::Impl {
 
     [[nodiscard]] bool alive() const override {
       if (!alive_) return false;
+      // A vanished client is invisible to write() until the next write —
+      // and an idle SSE stream only writes a keepalive every ~10s, which
+      // would park this pool thread on a dead socket for that long. Poll
+      // the fd instead: SSE clients send nothing after the request, so a
+      // readable socket means EOF and HUP/ERR means the peer is gone —
+      // either way the thread goes back to serving live requests.
+      struct pollfd p{};
+      p.fd = fd_;
+      p.events = POLLIN;
+      if (::poll(&p, 1, 0) > 0) {
+        if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+          alive_ = false;
+        } else if ((p.revents & POLLIN) != 0) {
+          char c = 0;
+          const ssize_t n = ::recv(fd_, &c, 1, MSG_PEEK | MSG_DONTWAIT);
+          if (n == 0 || (n < 0 && errno != EAGAIN &&
+                         errno != EWOULDBLOCK && errno != EINTR))
+            alive_ = false;
+        }
+      }
+      if (!alive_) return false;
       std::lock_guard lock(impl_.mutex);
       return !impl_.stopping;
     }
@@ -232,7 +258,7 @@ struct HttpServer::Impl {
    private:
     Impl& impl_;
     int fd_;
-    bool alive_ = true;
+    mutable bool alive_ = true;
   };
 
   void write_response(int fd, const HttpRequest& request,

@@ -1,0 +1,56 @@
+#include "support/shutdown.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+namespace peak::support {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+extern "C" void shutdown_handler(int sig) {
+  int expected = 0;
+  if (!g_shutdown_signal.compare_exchange_strong(expected, sig)) {
+    // Second signal: the graceful path is taking too long (or is itself
+    // stuck) — exit now with the conventional fatal-signal status.
+    _exit(128 + sig);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = shutdown_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESETHAND: the second delivery must be seen
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() {
+  int expected = 0;
+  g_shutdown_signal.compare_exchange_strong(expected, SIGINT);
+}
+
+void check_shutdown() {
+  const int sig = g_shutdown_signal.load(std::memory_order_relaxed);
+  if (sig != 0) throw ShutdownRequested(sig);
+}
+
+void reset_shutdown() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace peak::support

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include "proc/protocol.hpp"
+
+namespace peak::proc {
+namespace {
+
+TEST(FrameEncoding, PrefixIsEightLowercaseHexDigits) {
+  const std::string frame = encode_frame("hello");
+  ASSERT_EQ(frame.size(), kFramePrefixLen + 5);
+  EXPECT_EQ(frame.substr(0, kFramePrefixLen), "00000005");
+  EXPECT_EQ(frame.substr(kFramePrefixLen), "hello");
+  EXPECT_EQ(encode_frame("").substr(0, kFramePrefixLen), "00000000");
+}
+
+TEST(FrameReader, SingleFrameRoundTrips) {
+  FrameReader reader;
+  const std::string frame = encode_frame("{\"a\":1}");
+  reader.feed(frame.data(), frame.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "{\"a\":1}");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.corrupted());
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameReader, DrainsMultipleFramesFromOneFeed) {
+  FrameReader reader;
+  const std::string bytes =
+      encode_frame("one") + encode_frame("") + encode_frame("three");
+  reader.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(reader.next().value(), "one");
+  EXPECT_EQ(reader.next().value(), "");
+  EXPECT_EQ(reader.next().value(), "three");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameReader, ReassemblesAcrossByteAtATimeFeeds) {
+  // Pipes deliver arbitrary splits; the reader must be byte-incremental.
+  FrameReader reader;
+  const std::string frame = encode_frame("payload with spaces");
+  std::size_t delivered = 0;
+  for (char byte : frame) {
+    EXPECT_FALSE(reader.next().has_value())
+        << "frame completed early at byte " << delivered;
+    reader.feed(&byte, 1);
+    ++delivered;
+  }
+  EXPECT_EQ(reader.next().value(), "payload with spaces");
+}
+
+TEST(FrameReader, PartialFrameReportsPendingBytesNotCorruption) {
+  // A worker killed mid-write leaves a prefix + partial payload: that is
+  // "peer died", not "stream garbage".
+  FrameReader reader;
+  const std::string frame = encode_frame("abcdefgh");
+  reader.feed(frame.data(), frame.size() - 3);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.corrupted());
+  EXPECT_GT(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameReader, NonHexPrefixFlagsCorruption) {
+  FrameReader reader;
+  const std::string garbage = "this is not a frame\n";
+  reader.feed(garbage.data(), garbage.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupted());
+}
+
+TEST(FrameReader, AbsurdLengthFlagsCorruption) {
+  // "ffffffff" decodes to ~4 GiB, far past kMaxFramePayload: the stream
+  // is garbage, not a huge frame — flag it instead of buffering forever.
+  FrameReader reader;
+  const std::string bytes = "ffffffffrest";
+  reader.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupted());
+}
+
+TEST(FrameReader, CorruptionIsSticky) {
+  FrameReader reader;
+  reader.feed("zzzzzzzz", 8);
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.corrupted());
+  const std::string good = encode_frame("late");
+  reader.feed(good.data(), good.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupted());
+}
+
+TEST(FrameIo, WriteFrameRoundTripsThroughARealPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload(100'000, 'x');  // forces short writes
+  ASSERT_TRUE(write_frame(fds[1], "first"));
+
+  FrameReader reader;
+  char buffer[4096];
+  // Drain the small frame before pushing the large one so the writer
+  // cannot deadlock against a full pipe.
+  for (;;) {
+    const ssize_t n = ::read(fds[0], buffer, sizeof buffer);
+    ASSERT_GT(n, 0);
+    reader.feed(buffer, static_cast<std::size_t>(n));
+    if (auto first = reader.next()) {
+      EXPECT_EQ(*first, "first");
+      break;
+    }
+  }
+
+  bool wrote_large = false;
+  std::string large_payload;
+  // Writer on a helper thread; the test thread drains.
+  std::thread writer([&] { wrote_large = write_frame(fds[1], payload); });
+  for (;;) {
+    const ssize_t n = ::read(fds[0], buffer, sizeof buffer);
+    ASSERT_GT(n, 0);
+    reader.feed(buffer, static_cast<std::size_t>(n));
+    if (auto frame = reader.next()) {
+      large_payload = std::move(*frame);
+      break;
+    }
+  }
+  writer.join();
+  EXPECT_TRUE(wrote_large);
+  EXPECT_EQ(large_payload, payload);
+  EXPECT_FALSE(reader.corrupted());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameIo, WriteToClosedPipeReturnsFalseNotSigpipe) {
+  // The supervisor installs SIG_IGN process-wide before it ever writes;
+  // this standalone test needs the same arrangement.
+  std::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  EXPECT_FALSE(write_frame(fds[1], "nobody listening"));
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace peak::proc

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+
+#include "core/profile.hpp"
+#include "core/tuning_driver.hpp"
+#include "support/shutdown.hpp"
+#include "workloads/workload.hpp"
+
+namespace peak::support {
+namespace {
+
+/// Every test leaves the process-wide flag clean for its neighbours.
+class ShutdownTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset_shutdown(); }
+  void TearDown() override { reset_shutdown(); }
+};
+
+TEST_F(ShutdownTest, CheckShutdownIsANoOpUntilRequested) {
+  EXPECT_FALSE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), 0);
+  EXPECT_NO_THROW(check_shutdown());
+}
+
+TEST_F(ShutdownTest, RequestShutdownMakesCheckThrowWithSigint) {
+  request_shutdown();
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), SIGINT);
+  try {
+    check_shutdown();
+    FAIL() << "check_shutdown did not throw";
+  } catch (const ShutdownRequested& e) {
+    EXPECT_EQ(e.signal(), SIGINT);
+  }
+  // Still pending until reset: graceful unwinding may poll repeatedly.
+  EXPECT_THROW(check_shutdown(), ShutdownRequested);
+  reset_shutdown();
+  EXPECT_NO_THROW(check_shutdown());
+}
+
+TEST_F(ShutdownTest, FirstRealSignalSetsTheFlagGracefully) {
+  // In a forked child (signals aimed at the test runner would be rude):
+  // install the handlers, raise SIGINT once, and verify the process is
+  // still alive with the flag set.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    install_shutdown_handlers();
+    ::raise(SIGINT);
+    ::usleep(10'000);
+    const bool ok = shutdown_requested() && shutdown_signal() == SIGINT;
+    ::_exit(ok ? 0 : 1);
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST_F(ShutdownTest, SecondSignalForceExitsWithConventionalStatus) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    install_shutdown_handlers();
+    ::raise(SIGINT);   // first: graceful flag
+    ::raise(SIGINT);   // second: _exit(128 + SIGINT)
+    ::_exit(99);       // unreachable if escalation works
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGINT);
+}
+
+TEST_F(ShutdownTest, SigtermIsHandledLikeSigint) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    install_shutdown_handlers();
+    ::raise(SIGTERM);
+    ::usleep(10'000);
+    const bool ok = shutdown_requested() && shutdown_signal() == SIGTERM;
+    ::raise(SIGTERM);  // escalation works for SIGTERM too
+    ::_exit(ok ? 98 : 1);
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+}
+
+/// Interrupting a journaled tune and resuming it must land on the
+/// bit-identical outcome — the acceptance contract behind the CLI's
+/// "resume with: peak tune ... --resume" hint.
+TEST_F(ShutdownTest, InterruptedJournaledTuneResumesBitIdentical) {
+  const sim::MachineModel machine = sim::sparc2();
+  const sim::FlagEffectModel effects(search::gcc33_o3_space());
+  const auto workload = workloads::make_workload("SWIM");
+  const workloads::Trace train =
+      workload->trace(workloads::DataSet::kTrain, 42);
+  const core::ProfileData profile =
+      core::profile_workload(*workload, train, machine);
+
+  const auto tune = [&](const core::DriverOptions& options) {
+    core::TuningDriver driver(*workload, profile, train, machine, effects,
+                              options);
+    return driver.tune(rating::Method::kCBR);
+  };
+
+  core::DriverOptions plain;
+  plain.search_threads = 1;
+  const core::TuningOutcome baseline = tune(plain);
+
+  const std::string path = ::testing::TempDir() + "peak_shutdown.jsonl";
+  std::remove(path.c_str());
+
+  // A shutdown already pending when the tune starts: the driver must
+  // unwind via ShutdownRequested at its first safe boundary, leaving at
+  // most a valid journal prefix behind.
+  core::DriverOptions interrupted;
+  interrupted.search_threads = 1;
+  interrupted.fault.journal_path = path;
+  request_shutdown();
+  EXPECT_THROW(tune(interrupted), ShutdownRequested);
+  reset_shutdown();
+
+  // Resume from whatever the interrupted run left: bit-identical end
+  // state, as if the interruption never happened.
+  core::DriverOptions resume;
+  resume.search_threads = 1;
+  resume.fault.journal_path = path;
+  resume.fault.resume = true;
+  EXPECT_EQ(tune(resume), baseline);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace peak::support

@@ -198,6 +198,10 @@ ProgressModel sample_model() {
   m.total_cycles = 1.25e9;
   m.phases = {{"profile", 2.0e8}, {"timed", 9.5e8}};
   m.sections = {{"sparc2/SWIM/calc1", 7.0e8}, {"sparc2/SWIM/calc2", 3.0e8}};
+  m.workers.spawned = 4;
+  m.workers.respawned = 1;
+  m.workers.killed = 1;
+  m.workers.heartbeat_gaps = 2;
   return m;
 }
 
@@ -205,10 +209,22 @@ TEST(ProgressJson, ModelRoundTripsThroughJson) {
   const ProgressModel model = sample_model();
   const std::string json = progress_json(model);
   EXPECT_TRUE(testutil::JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"workers\""), std::string::npos);
   const ProgressModel back = progress_model_from_json(json);
   EXPECT_EQ(back, model);
   // The remote monitor renders the identical frame from the rebuilt model.
   EXPECT_EQ(render_progress_frame(back), render_progress_frame(model));
+}
+
+TEST(ProgressJson, WorkersMemberOmittedWhenNothingForked) {
+  // Pre-isolation consumers parse the document byte-compatibly: a run
+  // that never forked a worker emits no "workers" member at all, and the
+  // tolerant parser leaves the zero-initialized struct alone.
+  ProgressModel model = sample_model();
+  model.workers = {};
+  const std::string json = progress_json(model);
+  EXPECT_EQ(json.find("\"workers\""), std::string::npos) << json;
+  EXPECT_EQ(progress_model_from_json(json), model);
 }
 
 TEST(ProgressJson, AtomicWriterLeavesOneCompleteDocument) {
@@ -403,6 +419,64 @@ TEST_F(TelemetryServerTest, LaggedConsumerGetsAGapMarkerNotSilence) {
             std::string::npos);
   server_->stop();
   ring.clear();
+}
+
+TEST_F(TelemetryServerTest, WorkersEndpointServesTheProviderDocument) {
+  TelemetryServer::Options options;
+  options.workers_json = [] {
+    return std::string("{\"workers\":[{\"slot\":0,\"state\":\"idle\"}]}");
+  };
+  start(std::move(options));
+  const support::HttpClientResult workers = get("/workers");
+  ASSERT_TRUE(workers.ok) << workers.error;
+  EXPECT_EQ(workers.status, 200);
+  EXPECT_EQ(workers.headers.at("content-type"), "application/json");
+  EXPECT_NE(workers.body.find("\"slot\":0"), std::string::npos);
+  server_->stop();
+
+  // Without a provider the endpoint is absent, like /cache/stats.
+  start({});
+  EXPECT_EQ(get("/workers").status, 404);
+  server_->stop();
+}
+
+TEST_F(TelemetryServerTest, ClientsDisconnectingMidStreamDoNotWedgeIt) {
+  // Satellite: an /events consumer that drops its connection mid-stream
+  // (crashed dashboard, ^C'd curl) must cost the server nothing. Hammer
+  // the failure mode: 100 connects that each abort after the first
+  // chunk, with events still being published — then the server must
+  // still answer like nothing happened.
+  EventRing::global().clear();
+  start({});
+  publish_run_event("alpha", "{\"n\":1}");
+
+  for (int i = 0; i < 100; ++i) {
+    std::string error;
+    // Returning false from the sink closes the socket immediately while
+    // the server-side streamer is still live and mid-write.
+    (void)support::http_stream(
+        "127.0.0.1", server_->port(), "/events?from=1",
+        [](std::string_view) { return false; }, &error);
+    if (i % 10 == 0) publish_run_event("tick", "{}");
+  }
+
+  const support::HttpClientResult health = get("/healthz");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.status, 200);
+  // A fresh consumer still gets a working stream.
+  std::string collected;
+  std::string error;
+  const bool ok = support::http_stream(
+      "127.0.0.1", server_->port(), "/events?from=1",
+      [&](std::string_view chunk) {
+        collected.append(chunk);
+        return collected.find("event: alpha") == std::string::npos;
+      },
+      &error);
+  EXPECT_TRUE(ok) << error;
+  EXPECT_NE(collected.find("event: alpha"), std::string::npos);
+  server_->stop();
+  EventRing::global().clear();
 }
 
 // --- Determinism under scrape load (tentpole acceptance) ------------------

@@ -4,7 +4,8 @@
 The bench binaries (bench_headline and friends) emit JSON next to their
 stdout report so dashboards and regression drivers can consume the numbers
 without scraping text. This script checks those files against the expected
-schema (headline, engine_compare, fault_sweep) and rejects NaN/Infinity
+schema (headline, engine_compare, fault_sweep, crash_sweep) and rejects
+NaN/Infinity
 anywhere in a document — run it in CI after the benches, or standalone:
 
     tools/check_bench_json.py BENCH_headline.json [...]
@@ -285,6 +286,68 @@ def check_telemetry(fragment, path):
              "unobserved outcome")
 
 
+def check_crash_sweep(fragment, path):
+    """The worker-isolation crash sweep of a headline document.
+
+    Three hard gates, because these are correctness claims about the
+    out-of-process sandbox: every isolated arm must complete (a crashed
+    worker is respawned, never the run), every transient arm must produce
+    the bit-identical outcome of a crash-free run with nothing quarantined
+    (a survived crash leaves no trace), and at least one worker must
+    actually have been respawned (the sweep injected real abort()s — zero
+    respawns means the faults never fired and the gates were vacuous).
+    """
+    _require(isinstance(fragment, dict), path, "expected an object")
+    _require(isinstance(fragment.get("arms"), list) and fragment["arms"],
+             f"{path}.arms", "expected a non-empty array")
+    for i, arm in enumerate(fragment["arms"]):
+        apath = f"{path}.arms[{i}]"
+        _check_string(arm, "benchmark", apath)
+        _check_string(arm, "mode", apath)
+        _require(arm["mode"] in ("transient", "sticky", "unisolated"),
+                 f"{apath}.mode", f"unknown mode {arm['mode']!r}")
+        _check_bool(arm, "isolated", apath)
+        _check_bool(arm, "completed", apath)
+        _check_bool(arm, "identical", apath)
+        _check_number(arm, "respawns", apath, minimum=0)
+        _check_number(arm, "quarantined", apath, minimum=0)
+        if arm["isolated"]:
+            _require(arm["completed"], f"{apath}.completed",
+                     "an isolated arm did not complete (worker crash "
+                     "escaped the sandbox)")
+        if arm["mode"] == "transient":
+            _require(arm["identical"], f"{apath}.identical",
+                     "transient arm outcome differs from the crash-free "
+                     "run (a survived crash left a trace)")
+            _require(arm["quarantined"] == 0, f"{apath}.quarantined",
+                     "transient arm quarantined a config (non-sticky "
+                     "crashes must clear on retry)")
+        if not arm["completed"]:
+            _require(not arm["identical"], f"{apath}.identical",
+                     "an arm that did not complete cannot match")
+    summary = fragment.get("summary")
+    _require(isinstance(summary, dict), f"{path}.summary",
+             "expected an object")
+    for key in ("isolated_completion_rate", "transient_identity_rate",
+                "unisolated_completion_rate"):
+        _check_number(summary, key, f"{path}.summary", minimum=0)
+        _require(summary[key] <= 1.0, f"{path}.summary.{key}",
+                 "expected a rate in [0, 1]")
+    _require(summary["isolated_completion_rate"] == 1.0,
+             f"{path}.summary.isolated_completion_rate",
+             "isolated arms must always complete")
+    _require(summary["transient_identity_rate"] == 1.0,
+             f"{path}.summary.transient_identity_rate",
+             "every transient arm must reproduce the crash-free outcome")
+    _check_number(summary, "total_respawns", f"{path}.summary", minimum=1)
+
+
+def check_crash_sweep_doc(doc, path):
+    _require(doc.get("schema") == 1, path, "expected schema 1")
+    _require("crash_sweep" in doc, path, "missing key 'crash_sweep'")
+    check_crash_sweep(doc["crash_sweep"], f"{path}.crash_sweep")
+
+
 def check_engine_compare(doc, path):
     _require(doc.get("schema") == 1, path, "expected schema 1")
     _require("engine_speedup" in doc, path, "missing key 'engine_speedup'")
@@ -325,6 +388,9 @@ def check_headline(doc, path):
     # Ditto the live-telemetry section.
     if "telemetry" in doc:
         check_telemetry(doc["telemetry"], f"{path}.telemetry")
+    # Ditto the worker-isolation crash sweep.
+    if "crash_sweep" in doc:
+        check_crash_sweep(doc["crash_sweep"], f"{path}.crash_sweep")
     _require("metrics" in doc, path, "missing key 'metrics'")
     check_metrics(doc["metrics"], f"{path}.metrics")
     # cost_attribution joined the artifact after the metrics section, so
@@ -372,6 +438,7 @@ CHECKERS = {
     "headline": check_headline,
     "engine_compare": check_engine_compare,
     "fault_sweep": check_fault_sweep,
+    "crash_sweep": check_crash_sweep_doc,
 }
 
 
@@ -670,6 +737,26 @@ GOOD_FAULT = {
     },
 }
 
+GOOD_CRASH = {
+    "arms": [
+        {"benchmark": "SWIM", "mode": "transient", "isolated": True,
+         "completed": True, "identical": True, "respawns": 1,
+         "quarantined": 0},
+        {"benchmark": "SWIM", "mode": "sticky", "isolated": True,
+         "completed": True, "identical": False, "respawns": 44,
+         "quarantined": 15},
+        {"benchmark": "SWIM", "mode": "unisolated", "isolated": False,
+         "completed": False, "identical": False, "respawns": 0,
+         "quarantined": 0},
+    ],
+    "summary": {
+        "isolated_completion_rate": 1.0,
+        "transient_identity_rate": 1.0,
+        "unisolated_completion_rate": 0.0,
+        "total_respawns": 45,
+    },
+}
+
 GOOD_ENGINE = {
     "bench": "engine_compare",
     "schema": 1,
@@ -797,6 +884,41 @@ def self_test():
         "p50 > p99 accepted")
     expect(with_telemetry(lambda t: t.pop("scrape_p99_us")), False,
            "missing scrape_p99_us accepted")
+
+    # The worker-isolation crash sweep: optional in a headline, gated when
+    # present, and also a standalone document schema.
+    def with_crash(fn=None):
+        def apply(d):
+            d["crash_sweep"] = json.loads(json.dumps(GOOD_CRASH))
+            if fn is not None:
+                fn(d["crash_sweep"])
+        return _mutate(GOOD, apply)
+
+    expect(with_crash(), True,
+           "headline with good crash_sweep section rejected")
+    expect(with_crash(lambda c: c.update(arms=[])), False,
+           "empty crash_sweep arms accepted")
+    expect(with_crash(lambda c: c["arms"][0].update(mode="weird")), False,
+           "unknown crash arm mode accepted")
+    expect(with_crash(lambda c: c["arms"][0].update(
+        completed=False, identical=False)), False,
+        "isolated arm that did not complete accepted")
+    expect(with_crash(lambda c: c["arms"][0].update(identical=False)),
+           False, "non-identical transient arm accepted")
+    expect(with_crash(lambda c: c["arms"][0].update(quarantined=2)), False,
+           "transient arm with quarantined configs accepted")
+    expect(with_crash(lambda c: c["arms"][2].update(identical=True)),
+           False, "incomplete arm claiming identity accepted")
+    expect(with_crash(lambda c: c["summary"].update(
+        transient_identity_rate=1.2)), False, "crash rate > 1 accepted")
+    expect(with_crash(lambda c: c["summary"].update(total_respawns=0)),
+           False, "crash sweep with zero respawns accepted")
+    expect(with_crash(lambda c: c.pop("summary")), False,
+           "missing crash_sweep summary accepted")
+    expect({"bench": "crash_sweep", "schema": 1, "crash_sweep": GOOD_CRASH},
+           True, "good standalone crash_sweep document rejected")
+    expect({"bench": "crash_sweep", "schema": 1}, False,
+           "standalone crash_sweep document without fragment accepted")
 
     expect(GOOD_ENGINE, True, "good engine_compare document rejected")
     expect(_mutate(GOOD_ENGINE,

@@ -43,7 +43,9 @@
 #include "obs/progress.hpp"
 #include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
+#include "proc/worker_table.hpp"
 #include "support/http_server.hpp"
+#include "support/shutdown.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -67,11 +69,16 @@ struct Args {
   bool no_guard = false;          ///< disable the guarded executor
   std::string journal_path;       ///< crash-safe tuning journal (tune)
   bool resume = false;            ///< replay the journal before tuning
+  bool journal_strict = false;    ///< fail on corrupt journal lines
   /// Batched search probing: 1 = batch semantics on one thread, N > 1
   /// fans each probe round out over N workers (bit-identical outcome for
   /// every N >= 1), 0 = the classic serial chained-stream path.
   unsigned search_threads =
       std::max(1u, std::thread::hardware_concurrency());
+  /// Out-of-process isolation: N > 0 forks each probe round out over N
+  /// supervised worker subprocesses (bit-identical to --search-threads N;
+  /// worker crashes are contained and retried). 0 = in-process.
+  unsigned isolate_workers = 0;
   std::string rating_cache_path;  ///< persistent rating cache (tune)
   /// -1 = telemetry off; 0 = serve on an ephemeral port; else that port.
   int telemetry_port = -1;
@@ -86,6 +93,17 @@ struct Args {
   /// instead of the plain Peak facade.
   [[nodiscard]] bool wants_driver() const {
     return fault_prob > 0.0 || no_guard || !journal_path.empty() || resume;
+  }
+
+  /// The `--resume` command line to suggest after a graceful interrupt.
+  [[nodiscard]] std::string resume_hint() const {
+    if (journal_path.empty())
+      return "re-run with --journal FILE to make interrupted runs "
+             "resumable";
+    std::string hint = "peak tune --benchmark " + benchmark;
+    if (machine != "sparc2") hint += " --machine " + machine;
+    hint += " --journal " + journal_path + " --resume";
+    return "resume with: " + hint;
   }
 };
 
@@ -118,17 +136,24 @@ int usage() {
                "  --no-guard      (tune) disable the guarded executor\n"
                "  --journal FILE  (tune) append-only crash-safe journal\n"
                "  --resume        (tune) replay the journal, then continue\n"
+               "  --journal-strict  (tune) fail on corrupt journal lines "
+               "instead of\n"
+               "                  truncating to the intact prefix\n"
                "  --search-threads N  (tune) parallel batched probing; "
                "default = cores,\n"
                "                  1 = same result serially, 0 = classic "
                "serial path\n"
+               "  --isolate-workers N  (tune) rate in N supervised worker "
+               "subprocesses\n"
+               "                  (crash containment; bit-identical to "
+               "--search-threads N)\n"
                "  --rating-cache FILE (tune) persistent content-addressed "
                "rating cache\n"
                "                  (ignored when --fault-prob > 0)\n"
                "  --telemetry-port N  (tune) serve /metrics /snapshot "
                "/events /healthz\n"
-               "                  /quarantine /cache/stats on 127.0.0.1:N "
-               "(0 = ephemeral;\n"
+               "                  /quarantine /cache/stats /workers on "
+               "127.0.0.1:N (0 = ephemeral;\n"
                "                  bound port printed and written to "
                "<journal>.port or peak.port)\n"
                "  --progress-json FILE  (tune) periodically rewrite FILE "
@@ -207,6 +232,7 @@ public:
                  : std::string("{\"size\":0,\"entries\":[]}");
       };
     o.cache_stats_json = [cache] { return cache_stats_json_of(cache); };
+    o.workers_json = [] { return proc::WorkerTable::global().json(); };
     const std::string port_file = o.port_file;
     server_.emplace(std::move(o));
     std::string error;
@@ -328,7 +354,9 @@ int cmd_tune_driver(const Args& args,
   options.fault.guard_execution = !args.no_guard;
   options.fault.journal_path = args.journal_path;
   options.fault.resume = args.resume;
+  options.fault.journal_strict = args.journal_strict;
   options.search_threads = args.search_threads;
+  options.isolate_workers = args.isolate_workers;
   if (cache) options.rating_cache = &*cache;
 
   core::TuningDriver driver(workload, profile, train, machine, effects,
@@ -338,6 +366,15 @@ int cmd_tune_driver(const Args& args,
   core::TuningOutcome outcome;
   try {
     outcome = args.method ? driver.tune(*args.method) : driver.tune_auto();
+  } catch (const support::ShutdownRequested& e) {
+    // Unwinding through here runs the driver/cache/telemetry destructors:
+    // the journal and rating cache are already durable per record, the
+    // telemetry server stops, and the supervisor (if any) has reaped its
+    // workers before rethrowing.
+    telemetry.phase("interrupted");
+    std::fprintf(stderr, "\ninterrupted by signal %d; %s\n", e.signal(),
+                 args.resume_hint().c_str());
+    return 128 + e.signal();
   } catch (const fault::FaultError& e) {
     std::fprintf(stderr, "tuning died on an unguarded fault: %s\n",
                  e.what());
@@ -416,6 +453,7 @@ int cmd_tune(const Args& args) {
   const sim::MachineModel machine = machine_of(args);
   core::PeakOptions popts;
   popts.driver.search_threads = args.search_threads;
+  popts.driver.isolate_workers = args.isolate_workers;
   std::optional<core::RatingCache> cache;  // must outlive `peak`
   if (!args.rating_cache_path.empty()) {
     cache.emplace(args.rating_cache_path);
@@ -429,20 +467,27 @@ int cmd_tune(const Args& args) {
   core::Peak peak(machine, popts);
 
   core::MethodRun run;
-  if (args.method) {
-    const workloads::Trace train =
-        workload->trace(workloads::DataSet::kTrain, 1);
-    core::BenchmarkResult result =
-        peak.run_benchmark(*workload, /*all_methods=*/true, {*args.method});
-    const core::MethodRun* found =
-        result.find(*args.method, workloads::DataSet::kTrain);
-    if (!found) {
-      std::fprintf(stderr, "method did not run\n");
-      return 1;
+  try {
+    if (args.method) {
+      const workloads::Trace train =
+          workload->trace(workloads::DataSet::kTrain, 1);
+      core::BenchmarkResult result = peak.run_benchmark(
+          *workload, /*all_methods=*/true, {*args.method});
+      const core::MethodRun* found =
+          result.find(*args.method, workloads::DataSet::kTrain);
+      if (!found) {
+        std::fprintf(stderr, "method did not run\n");
+        return 1;
+      }
+      run = *found;
+    } else {
+      run = peak.tune_with_consultant(*workload);
     }
-    run = *found;
-  } else {
-    run = peak.tune_with_consultant(*workload);
+  } catch (const support::ShutdownRequested& e) {
+    telemetry.phase("interrupted");
+    std::fprintf(stderr, "\ninterrupted by signal %d; %s\n", e.signal(),
+                 args.resume_hint().c_str());
+    return 128 + e.signal();
   }
   telemetry.phase("reporting");
 
@@ -711,6 +756,13 @@ int main(int argc, char** argv) {
       args.journal_path = v;
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg == "--journal-strict") {
+      args.journal_strict = true;
+    } else if (arg == "--isolate-workers") {
+      const char* v = next();
+      if (!v) return usage();
+      args.isolate_workers =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--search-threads") {
       const char* v = next();
       if (!v) return usage();
@@ -756,6 +808,11 @@ int main(int argc, char** argv) {
     }
     obs::Tracer::global().set_sink(std::move(sink));
   }
+
+  // A first SIGINT/SIGTERM during `peak tune` unwinds gracefully (journal
+  // and cache stay durable, workers get reaped, a --resume hint prints);
+  // a second force-exits with 128+signal.
+  if (args.command == "tune") support::install_shutdown_handlers();
 
   obs::ProgressView progress;
   if (args.progress) progress.start();
