@@ -20,6 +20,7 @@
 #include "core/rating_cache.hpp"
 #include "core/tuning_driver.hpp"
 #include "crash_sweep.hpp"
+#include "dist_sweep.hpp"
 #include "engine_compare.hpp"
 #include "fig7_common.hpp"
 #include "obs/export.hpp"
@@ -293,6 +294,7 @@ bool write_json(const std::string& path,
                 const bench::EngineCompareResult& engines,
                 const SearchBench& search, const TelemetryBench& telemetry,
                 const bench::CrashSweepResult& crashes,
+                const bench::DistSweepResult& dist,
                 const obs::MetricsRegistry::Snapshot& metrics,
                 const obs::Ledger::Node& costs) {
   std::ofstream os(path);
@@ -327,6 +329,8 @@ bool write_json(const std::string& path,
   append_telemetry_json(os, telemetry);
   os << ",\"crash_sweep\":";
   bench::write_crash_sweep_fragment(os, crashes);
+  os << ",\"dist_sweep\":";
+  bench::write_dist_sweep_fragment(os, dist);
   os << ",\"metrics\":";
   obs::write_metrics_json(metrics, os);
   os << ",\"cost_attribution\":";
@@ -399,9 +403,15 @@ int main() {
   std::cout << "\n";
   bench::print_crash_sweep(crashes, std::cout);
 
+  // Likewise after the snapshot: coordinator fleets feed dist.* counters
+  // and wall-driven heartbeat timings into the registry.
+  const bench::DistSweepResult dist = bench::run_dist_sweep();
+  std::cout << "\n";
+  bench::print_dist_sweep(dist, std::cout);
+
   const std::string json_path = "BENCH_headline.json";
   if (write_json(json_path, machines, h, engines, search, telemetry,
-                 crashes, metrics, costs))
+                 crashes, dist, metrics, costs))
     std::printf("Wrote %s\n", json_path.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

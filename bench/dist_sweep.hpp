@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file dist_sweep.hpp
+/// Distributed-tuning identity sweep shared by bench_dist_sweep (which
+/// emits a standalone BENCH_dist_sweep.json) and bench_headline (which
+/// embeds the same fragment so the committed baseline carries it).
+///
+/// Every arm tunes the same scenario through a loopback TCP fleet of
+/// in-process worker agents and is gated on producing the bit-identical
+/// TuningOutcome of the `--search-threads N` baseline:
+///
+///   fleet   1, 2, and 4 healthy workers — fleet size must not matter
+///   kill    the fleet's only worker drops its socket abruptly mid-run
+///           (the max_tasks hook) while a late replacement dials in —
+///           the run cannot finish until the coordinator absorbs the
+///           replacement and requeues the dead worker's tasks onto it,
+///           so loss, requeue, and respawn all provably fired, and the
+///           outcome must still be bit-identical
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace peak::bench {
+
+struct DistArm {
+  std::string mode;  ///< "fleet" | "kill"
+  unsigned workers = 0;  ///< fleet size at formation
+  double wall_s = 0.0;
+  bool completed = false;  ///< every agent exited 0 (bye or hook)
+  bool identical = false;  ///< TuningOutcome == threaded baseline
+  std::uint64_t tasks_dispatched = 0;
+  std::uint64_t tasks_requeued = 0;
+  std::uint64_t workers_lost = 0;
+  std::uint64_t workers_respawned = 0;
+};
+
+struct DistSweepResult {
+  std::string benchmark;
+  unsigned baseline_threads = 0;
+  double baseline_wall_s = 0.0;
+  std::vector<DistArm> arms;
+  double identity_rate = 0.0;  ///< fraction of arms matching baseline
+  std::uint64_t total_requeued = 0;
+  std::uint64_t total_respawned = 0;
+};
+
+/// Run the sweep (loopback sockets, in-process agents, deterministic
+/// simulation — only the wall times vary run to run).
+DistSweepResult run_dist_sweep();
+
+/// Human-readable table on `os`.
+void print_dist_sweep(const DistSweepResult& result, std::ostream& os);
+
+/// The {"benchmark":...,"arms":[...],"summary":{...}} fragment embedded
+/// into the headline document under "dist_sweep".
+void write_dist_sweep_fragment(std::ostream& os,
+                               const DistSweepResult& result);
+
+/// Standalone {"bench":"dist_sweep",...} document.
+bool write_dist_sweep_json(const std::string& path,
+                           const DistSweepResult& result);
+
+}  // namespace peak::bench

@@ -17,6 +17,8 @@
 #include "core/journal.hpp"
 #include "core/jsonl.hpp"
 #include "core/rating_cache.hpp"
+#include "core/remote_eval.hpp"
+#include "dist/coordinator.hpp"
 #include "obs/attribution.hpp"
 #include "obs/event_ring.hpp"
 #include "obs/metrics.hpp"
@@ -85,6 +87,17 @@ public:
         quarantine_(quarantine),
         journal_(journal),
         replay_(replay) {
+    // Distributed rating is a transport for the batch contract, not the
+    // fault layer: injector verdicts depend on coordinator-side retry and
+    // quarantine state a remote rating cannot reproduce, and process
+    // isolation already has its own fan-out. Refuse the combinations
+    // instead of silently measuring something else.
+    PEAK_CHECK(driver.options_.coordinator == nullptr ||
+                   driver.options_.fault.injector == nullptr,
+               "distributed tuning cannot run with a fault injector");
+    PEAK_CHECK(driver.options_.coordinator == nullptr ||
+                   driver.options_.isolate_workers == 0,
+               "distributed tuning excludes isolate_workers");
     // Basic RBR saves the full input set; improved RBR saves the
     // range-analysis-narrowed Modified_Input slices.
     backend_.set_checkpoint_bytes(
@@ -169,7 +182,8 @@ public:
 
   [[nodiscard]] bool batched() const override {
     return driver_.options_.search_threads >= 1 ||
-           driver_.options_.isolate_workers >= 1;
+           driver_.options_.isolate_workers >= 1 ||
+           driver_.options_.coordinator != nullptr;
   }
 
   /// Batch-semantics evaluation of one probe round. Every candidate is a
@@ -247,7 +261,11 @@ public:
 
     ensure_slots(1);
     if (prologue && !prologue->from_cache) {
-      if (driver_.options_.isolate_workers >= 1) {
+      if (driver_.options_.coordinator != nullptr) {
+        // The base rating ships to the fleet too, before the candidate
+        // round, so every member still sees the frozen memo entry.
+        run_members_remote({&*prologue});
+      } else if (driver_.options_.isolate_workers >= 1) {
         // The base rating runs isolated too — it is just as capable of
         // taking a process down as any candidate.
         run_members_isolated({&*prologue});
@@ -275,7 +293,12 @@ public:
     for (std::size_t i = 0; i < members.size(); ++i)
       if (!members[i].from_cache) to_run.push_back(i);
     const unsigned threads = driver_.options_.search_threads;
-    if (driver_.options_.isolate_workers >= 1) {
+    if (driver_.options_.coordinator != nullptr) {
+      std::vector<MemberState*> targets;
+      targets.reserve(to_run.size());
+      for (std::size_t i : to_run) targets.push_back(&members[i]);
+      run_members_remote(targets);
+    } else if (driver_.options_.isolate_workers >= 1) {
       std::vector<MemberState*> targets;
       targets.reserve(to_run.size());
       for (std::size_t i : to_run) targets.push_back(&members[i]);
@@ -320,6 +343,35 @@ public:
       out.push_back(m.r);
     }
     return out;
+  }
+
+  /// Worker-side rating of one coordinator-shipped member (see
+  /// TuningDriver::rate_remote_member). The memo is rebuilt from the
+  /// task's frozen entries on every call — never accumulated across
+  /// tasks, whose arrival order is timing-dependent — so the result is a
+  /// pure function of the task descriptor.
+  std::string rate_remote(const RemoteMemberTask& task) {
+    const search::OptimizationSpace& space = driver_.effects_.space();
+    PEAK_CHECK(task.base_key.size() == space.size() &&
+                   task.cfg_key.size() == space.size(),
+               "remote task: config key does not match the space");
+    search::FlagConfig base(space);
+    search::FlagConfig cfg(space);
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      base.set(i, task.base_key[i] == '1');
+      cfg.set(i, task.cfg_key[i] == '1');
+    }
+    memo_.clear();
+    for (const auto& [key, eval] : task.memo) memo_.emplace(key, eval);
+    MemberState m;
+    m.base = &base;
+    m.cfg = &cfg;
+    m.prologue = task.prologue;
+    m.seed = task.seed;
+    ensure_slots(1);
+    m.backend = slots_[0].get();
+    run_member(m);
+    return serialize_member(m);
   }
 
   /// Fold this evaluator's per-phase simulated-cycle attribution into
@@ -1101,6 +1153,55 @@ private:
     }
   }
 
+  // ---- Distributed rating (options_.coordinator != nullptr) -------------
+
+  /// Run `targets` (canonical batch order) on the coordinator's worker
+  /// fleet. Each member becomes one RemoteMemberTask — method, config
+  /// bits, content-derived stream seed, and the frozen memo entries the
+  /// rating may read (at most the base's and the candidate's) — so the
+  /// remote rating is the same pure function of content the local slot
+  /// threads compute; only the transport differs. Results come back in
+  /// the `proc` member wire format and flow through the exact
+  /// apply/synthesize pair the isolated path uses, including the
+  /// wall-burned accounting for dead workers.
+  void run_members_remote(const std::vector<MemberState*>& targets) {
+    if (targets.empty()) return;
+    std::vector<RemoteMemberTask> tasks;
+    tasks.reserve(targets.size());
+    for (const MemberState* mp : targets) {
+      RemoteMemberTask t;
+      t.method = method_;
+      t.base_key = mp->base->key();
+      t.cfg_key = mp->cfg->key();
+      t.prologue = mp->prologue;
+      t.seed = mp->seed;
+      const auto base_it = memo_.find(t.base_key);
+      if (base_it != memo_.end())
+        t.memo.emplace_back(base_it->first, base_it->second);
+      if (t.cfg_key != t.base_key) {
+        const auto cfg_it = memo_.find(t.cfg_key);
+        if (cfg_it != memo_.end())
+          t.memo.emplace_back(cfg_it->first, cfg_it->second);
+      }
+      tasks.push_back(std::move(t));
+    }
+    const std::vector<proc::TaskOutcome> outs =
+        driver_.options_.coordinator->run_round(tasks);
+    PEAK_CHECK(outs.size() == targets.size(), "coordinator outcome arity");
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      MemberState& m = *targets[i];
+      if (outs[i].ok)
+        apply_member_payload(m, outs[i].payload);
+      else
+        synthesize_process_failure(m, outs[i]);
+      // Same wall-only accounting as the isolated path: dead dispatches
+      // burn real time but never simulated cycles.
+      for (const proc::WorkerFailure& f : outs[i].failures)
+        (outs[i].ok ? proc_retry_wall_us_ : proc_faulted_wall_us_) +=
+            f.burned_wall_us;
+    }
+  }
+
   /// Wire format of one rated member: the complete buffered delta of
   /// run_member(), in the journal's JSONL dialect (hex doubles, so the
   /// pipe round trip is exact). Runs in the child.
@@ -1489,6 +1590,27 @@ void TuningDriver::prepare_journal() {
                  static_cast<off_t>(stats.good_bytes));
   }
   journal_ = std::make_unique<TuningJournal>(options_.fault.journal_path);
+}
+
+std::string TuningDriver::rate_remote_member(const RemoteMemberTask& task) {
+  PEAK_CHECK(options_.fault.injector == nullptr,
+             "a remote rating host cannot carry a fault injector");
+  PEAK_CHECK(options_.search_threads >= 1,
+             "remote member rating requires batch semantics");
+  auto it = remote_evals_.find(task.method);
+  if (it == remote_evals_.end()) {
+    const ir::Function& fn = task.method == rating::Method::kMBR
+                                 ? mbr_instrumented_
+                                 : workload_.function();
+    it = remote_evals_
+             .emplace(task.method,
+                      std::make_unique<Evaluator>(*this, task.method, fn,
+                                                  quarantine_,
+                                                  /*journal=*/nullptr,
+                                                  /*replay=*/nullptr))
+             .first;
+  }
+  return it->second->rate_remote(task);
 }
 
 TuningOutcome TuningDriver::tune(rating::Method method) {

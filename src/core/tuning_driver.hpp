@@ -24,11 +24,16 @@
 #include "sim/exec_backend.hpp"
 #include "workloads/workload.hpp"
 
+namespace peak::dist {
+class Coordinator;
+}  // namespace peak::dist
+
 namespace peak::core {
 
 class TuningJournal;
 struct JournalSegment;
 class RatingCache;
+struct RemoteMemberTask;
 
 /// Fault-tolerance knobs. With no injector installed the driver's
 /// measurement path is bit-identical to the fault-oblivious one (no
@@ -105,6 +110,17 @@ struct DriverOptions {
   /// across transient worker deaths, whose retries re-run the identical
   /// content-seeded rating. 0 (default) keeps ratings in-process.
   unsigned isolate_workers = 0;
+  /// Distributed rating (src/dist/): non-null fans every batch round out
+  /// over the coordinator's TCP worker fleet instead of local threads or
+  /// forks. Implies batch semantics; members keep the content-seeded
+  /// stream + buffered-delta contract and merge in canonical order, so
+  /// the TuningOutcome and journal are bit-identical to `search_threads
+  /// N` for any fleet size, including across worker deaths (tasks from a
+  /// dead worker requeue onto survivors). Mutually exclusive with
+  /// `isolate_workers` and with a fault injector — injector verdicts
+  /// depend on coordinator-side retry/quarantine state a remote rating
+  /// cannot see. Not owned; must outlive the driver.
+  dist::Coordinator* coordinator = nullptr;
 };
 
 struct TuningCost {
@@ -164,6 +180,16 @@ public:
   /// Mutable access, for preloading entries persisted in a ConfigStore.
   [[nodiscard]] fault::Quarantine& quarantine() { return quarantine_; }
 
+  /// Worker-side entry point of the distributed layer: rate one batch
+  /// member shipped by a coordinator and return its serialized delta (the
+  /// `proc` member wire format the coordinator merges). The rating runs
+  /// through the exact batch-member path local threads use — same
+  /// content-seeded stream, same slot-clone reset — seeded entirely from
+  /// the task descriptor, so the returned bytes are a pure function of
+  /// (driver scenario, task). Requires batch options (search_threads >=
+  /// 1) and no fault injector.
+  std::string rate_remote_member(const RemoteMemberTask& task);
+
 private:
   class Evaluator;
 
@@ -179,6 +205,9 @@ private:
   ir::Function mbr_instrumented_;  ///< component-counter version
 
   fault::Quarantine quarantine_;
+  /// Per-method evaluators of a remote rating host, built lazily on the
+  /// first task of each method so a session only pays for what it rates.
+  std::map<rating::Method, std::unique_ptr<Evaluator>> remote_evals_;
   std::unique_ptr<TuningJournal> journal_;
   /// Loaded on resume; tune() consumes one segment per call.
   std::vector<JournalSegment> replay_segments_;

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file coordinator.hpp
+/// Coordinator side of distributed tuning (`peak::dist`). The tuning
+/// driver hands it one batch round at a time (run_round); it fans the
+/// slot-tagged member tasks out over a fleet of TCP worker agents, keeps
+/// the fleet honest with Supervisor-style liveness (heartbeats, a
+/// per-dispatch watchdog), requeues tasks from dead or disconnected
+/// workers onto survivors, and returns one proc::TaskOutcome per task in
+/// canonical task order — the same contract proc::Supervisor::run()
+/// gives the isolated path, so the driver merges both transports with
+/// identical code and the TuningOutcome stays bit-identical to
+/// `--search-threads N` for any fleet size and any death schedule.
+///
+/// Single-threaded and poll-driven: every public call runs the event
+/// loop inline on the caller's thread (the driver is blocked on the
+/// round anyway), so there is no locking and no background thread to
+/// wind down. New workers may join mid-round — the listener fd sits in
+/// the poll set — and immediately steal queued work.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/remote_eval.hpp"
+#include "proc/protocol.hpp"
+#include "proc/supervisor.hpp"
+#include "support/tcp.hpp"
+
+namespace peak::dist {
+
+/// Fleet-management knobs. The defaults suit loopback tests and LAN
+/// fleets; WAN fleets mostly want a larger heartbeat_timeout.
+struct DistPolicy {
+  /// A worker silent for longer than this (no frame of any kind; agents
+  /// heartbeat every ~100ms) is declared dead.
+  std::chrono::milliseconds heartbeat_timeout{2'000};
+  /// Per-dispatch deadline: a worker holding one task longer than this
+  /// is stalled, its connection is dropped, and the task requeues.
+  std::chrono::milliseconds stall_timeout{30'000};
+  /// Attempts per task before it is reported permanently failed (the
+  /// driver then quarantines deterministic crashers).
+  std::size_t max_task_attempts = 3;
+  /// wait_for_fleet() returns once this many workers finished the
+  /// handshake; run_round() also needs at least one live worker.
+  std::size_t min_workers = 1;
+  /// Deadline for wait_for_fleet(), for dialing a worker endpoint, and
+  /// for a mid-round wait when the whole fleet died.
+  std::chrono::milliseconds connect_timeout{10'000};
+  /// Publish fleet rows to proc::WorkerTable::global() (the /workers
+  /// endpoint and --progress); off for throwaway coordinators in tests.
+  bool update_worker_table = true;
+};
+
+/// Mirrored into the obs registry (dist.* metrics) as events happen.
+struct CoordinatorStats {
+  std::uint64_t workers_connected = 0;  ///< completed handshakes, total
+  std::uint64_t workers_lost = 0;
+  /// Handshakes completed after the fleet first formed — replacements
+  /// and late joiners.
+  std::uint64_t workers_respawned = 0;
+  std::uint64_t tasks_dispatched = 0;
+  /// Tasks moved off a dead worker (its in-flight dispatch and its
+  /// undispatched queue) back onto survivors.
+  std::uint64_t tasks_requeued = 0;
+  std::uint64_t tasks_failed = 0;  ///< permanent, after max attempts
+  std::uint64_t heartbeat_gaps = 0;
+};
+
+class Coordinator {
+public:
+  /// `spec` is sent to every worker during the handshake; it must
+  /// describe the exact scenario the owning driver tunes.
+  explicit Coordinator(core::SessionSpec spec, DistPolicy policy = {});
+  ~Coordinator();  ///< shutdown() if the caller has not already
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Accept workers on `port` (0 = ephemeral, see port()). Loopback-only
+  /// when `loopback_only`; fleets on other machines need all interfaces.
+  bool listen(std::uint16_t port, bool loopback_only, std::string* error);
+
+  /// Dial "host:port" worker endpoints (agents in --listen mode). Each
+  /// connection still runs the normal handshake. False when any endpoint
+  /// is unreachable or malformed.
+  bool dial(const std::vector<std::string>& endpoints, std::string* error);
+
+  /// Run the event loop until `min_workers` workers are ready or
+  /// connect_timeout passes (false, with a description in *error).
+  bool wait_for_fleet(std::string* error);
+
+  /// Execute one batch round; returns one outcome per task, in task
+  /// order. Tasks map to the fleet with the slotted_for schedule (task i
+  /// → ready worker i mod W, in join order); idle workers then steal
+  /// requeued and queued work, so the schedule adapts to stragglers and
+  /// deaths without affecting results (members are order-independent by
+  /// construction). Throws support::CheckError when the fleet dies
+  /// entirely and no replacement joins within connect_timeout.
+  std::vector<proc::TaskOutcome> run_round(
+      const std::vector<core::RemoteMemberTask>& tasks);
+
+  /// Graceful fleet shutdown: send every worker a bye frame, close all
+  /// connections and the listener. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t fleet_size() const;
+  [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const core::SessionSpec& spec() const { return spec_; }
+
+private:
+  struct Worker;
+
+  void accept_pending();
+  void add_connection(int fd, const std::string& peer);
+  /// One poll()+drain pass over listener and workers; `wait_ms` bounds
+  /// the block so watchdog checks stay timely.
+  void pump(int wait_ms);
+  void handle_frame(Worker& w, const std::string& payload);
+  void dispatch_idle();
+  void check_deadlines();
+  /// Declare a worker dead: record a failure for its in-flight task (if
+  /// any), requeue its queued tasks, drop the connection.
+  void fail_worker(std::size_t index, proc::ExitClass cls,
+                   const std::string& signature);
+  void record_task_failure(Worker& w, proc::ExitClass cls,
+                           const std::string& signature);
+  [[nodiscard]] std::vector<Worker*> ready_fleet();
+
+  core::SessionSpec spec_;
+  DistPolicy policy_;
+  CoordinatorStats stats_;
+  support::TcpListener listener_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t next_slot_ = 0;  ///< join-order slot ids, never reused
+  bool fleet_formed_ = false;  ///< flips at first wait_for_fleet success
+
+  // Round state (valid inside run_round only).
+  const std::vector<core::RemoteMemberTask>* round_tasks_ = nullptr;
+  std::vector<proc::TaskOutcome>* outcomes_ = nullptr;
+  std::vector<char> done_;
+  std::size_t undecided_ = 0;
+  std::deque<std::size_t> requeue_;
+};
+
+}  // namespace peak::dist

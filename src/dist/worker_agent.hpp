@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file worker_agent.hpp
+/// Worker side of distributed tuning (`peak::dist`): the long-lived agent
+/// behind `peak worker`. One agent serves one coordinator session at a
+/// time — handshake, rebuild the tuning scenario from the SessionSpec,
+/// then a task loop that rates shipped batch members through the exact
+/// in-process batch-member code path and streams the serialized deltas
+/// back. A heartbeat thread keeps the coordinator's liveness clock fed
+/// (writes share a mutex with result frames, the ChildWriter idiom from
+/// `proc`), and every rating is a pure function of the task descriptor,
+/// so a worker can die, rejoin, or be replaced without perturbing the
+/// run's bit-identical outcome.
+
+#include <cstdint>
+#include <string>
+
+namespace peak::dist {
+
+struct WorkerOptions {
+  /// Connect mode: dial the coordinator at host:port, serve the session,
+  /// exit when it ends (`peak worker --connect host:port`).
+  std::string connect_host;
+  std::uint16_t connect_port = 0;
+  /// Listen mode: accept coordinators on this port, one session at a
+  /// time, until shut down (`peak worker --listen PORT`). Active when
+  /// `listen` is true.
+  bool listen = false;
+  std::uint16_t listen_port = 0;
+  bool loopback_only = false;
+  /// Heartbeat cadence; must comfortably beat the coordinator's
+  /// heartbeat_timeout.
+  int heartbeat_interval_ms = 100;
+  /// Advertised in the hello frame and shown in the coordinator's fleet
+  /// table ("" = the agent's peer address as seen by the coordinator).
+  std::string name;
+  /// Test/bench hook: after this many completed tasks the agent drops
+  /// the connection abruptly — no bye, mid-session — to exercise the
+  /// coordinator's requeue path. 0 = unlimited.
+  std::uint64_t max_tasks = 0;
+  /// Timeout for the connect-mode dial.
+  int connect_timeout_ms = 10'000;
+};
+
+class WorkerAgent {
+public:
+  explicit WorkerAgent(WorkerOptions options) : options_(std::move(options)) {}
+
+  /// Serve one coordinator session on an established connection. Owns
+  /// and closes `fd`. Returns 0 on a graceful end (bye frame, peer EOF,
+  /// or the max_tasks hook tripping), non-zero on refusal or a protocol/
+  /// scenario error (a diagnostic goes to stderr).
+  int serve(int fd);
+
+  /// Full lifecycle for the CLI: connect mode dials and serves once;
+  /// listen mode accepts and serves sessions until a shutdown signal.
+  int run();
+
+private:
+  WorkerOptions options_;
+};
+
+}  // namespace peak::dist

@@ -96,6 +96,19 @@ ProgressModel build_progress_model(const MetricsRegistry::Snapshot& metrics,
                          counter_or_zero(metrics, "proc.kills.kill");
   model.workers.heartbeat_gaps =
       counter_or_zero(metrics, "proc.heartbeat.gaps");
+
+  model.dist.workers_connected =
+      counter_or_zero(metrics, "dist.workers.connected");
+  model.dist.workers_lost = counter_or_zero(metrics, "dist.workers.lost");
+  model.dist.workers_respawned =
+      counter_or_zero(metrics, "dist.workers.respawned");
+  model.dist.tasks_dispatched =
+      counter_or_zero(metrics, "dist.tasks.dispatched");
+  model.dist.tasks_requeued =
+      counter_or_zero(metrics, "dist.tasks.requeued");
+  model.dist.tasks_failed = counter_or_zero(metrics, "dist.tasks.failed");
+  model.dist.heartbeat_gaps =
+      counter_or_zero(metrics, "dist.heartbeat.gaps");
   return model;
 }
 
@@ -126,6 +139,14 @@ std::string render_progress_frame(const ProgressModel& model) {
        << model.workers.respawned << " respawned, " << model.workers.killed
        << " killed, " << model.workers.heartbeat_gaps
        << " heartbeat gaps\n";
+
+  if (model.dist.workers_connected > 0)
+    os << "  fleet: " << model.dist.workers_connected << " connected, "
+       << model.dist.workers_lost << " lost, "
+       << model.dist.workers_respawned << " respawned | "
+       << model.dist.tasks_dispatched << " dispatched, "
+       << model.dist.tasks_requeued << " requeued, "
+       << model.dist.tasks_failed << " failed\n";
 
   constexpr std::size_t kMaxRows = 6;
   const std::size_t shown = std::min(model.sections.size(), kMaxRows);
@@ -169,6 +190,16 @@ void write_progress_json(const ProgressModel& model, std::ostream& os) {
        << ",\"respawned\":" << model.workers.respawned
        << ",\"killed\":" << model.workers.killed
        << ",\"heartbeat_gaps\":" << model.workers.heartbeat_gaps << "}";
+  // Same contract for the distributed fleet: absent unless one formed.
+  if (model.dist.workers_connected > 0)
+    os << ",\"dist\":{\"workers_connected\":"
+       << model.dist.workers_connected
+       << ",\"workers_lost\":" << model.dist.workers_lost
+       << ",\"workers_respawned\":" << model.dist.workers_respawned
+       << ",\"tasks_dispatched\":" << model.dist.tasks_dispatched
+       << ",\"tasks_requeued\":" << model.dist.tasks_requeued
+       << ",\"tasks_failed\":" << model.dist.tasks_failed
+       << ",\"heartbeat_gaps\":" << model.dist.heartbeat_gaps << "}";
   os << "}";
 }
 

@@ -66,6 +66,22 @@ struct ProgressModel {
   };
   Workers workers;
 
+  /// Distributed worker fleet (`--distribute` / `--workers`), from the
+  /// dist.* counters. Same omit-when-empty contract as `workers`: all
+  /// zero when the run never formed a fleet, and the JSON member is
+  /// absent then.
+  struct Dist {
+    std::uint64_t workers_connected = 0;
+    std::uint64_t workers_lost = 0;
+    std::uint64_t workers_respawned = 0;
+    std::uint64_t tasks_dispatched = 0;
+    std::uint64_t tasks_requeued = 0;
+    std::uint64_t tasks_failed = 0;
+    std::uint64_t heartbeat_gaps = 0;
+    friend bool operator==(const Dist&, const Dist&) = default;
+  };
+  Dist dist;
+
   friend bool operator==(const ProgressModel&,
                          const ProgressModel&) = default;
 };

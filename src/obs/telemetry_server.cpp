@@ -53,6 +53,17 @@ ProgressModel progress_model_from_value(const core::jsonl::JsonValue& v) {
     m.workers.killed = w.at("killed").as_u64();
     m.workers.heartbeat_gaps = w.at("heartbeat_gaps").as_u64();
   }
+  // Absent unless the run formed a distributed fleet.
+  if (v.has("dist")) {
+    const core::jsonl::JsonValue& d = v.at("dist");
+    m.dist.workers_connected = d.at("workers_connected").as_u64();
+    m.dist.workers_lost = d.at("workers_lost").as_u64();
+    m.dist.workers_respawned = d.at("workers_respawned").as_u64();
+    m.dist.tasks_dispatched = d.at("tasks_dispatched").as_u64();
+    m.dist.tasks_requeued = d.at("tasks_requeued").as_u64();
+    m.dist.tasks_failed = d.at("tasks_failed").as_u64();
+    m.dist.heartbeat_gaps = d.at("heartbeat_gaps").as_u64();
+  }
   return m;
 }
 

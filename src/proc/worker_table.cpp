@@ -41,6 +41,7 @@ void WorkerTable::spawned(std::size_t slot, pid_t pid, bool respawn) {
   const std::uint64_t respawns = row.respawns + (respawn ? 1 : 0);
   const std::uint64_t tasks_done = row.tasks_done;
   const std::string last_failure = row.last_failure;
+  const std::string label = row.label;
   row = Row{};
   row.slot = slot;
   row.pid = pid;
@@ -48,6 +49,12 @@ void WorkerTable::spawned(std::size_t slot, pid_t pid, bool respawn) {
   row.respawns = respawns;
   row.tasks_done = tasks_done;
   row.last_failure = last_failure;
+  row.label = label;
+}
+
+void WorkerTable::set_label(std::size_t slot, const std::string& label) {
+  std::lock_guard lock(mutex_);
+  rows_[slot].label = label;
 }
 
 void WorkerTable::running(std::size_t slot, std::size_t task) {
@@ -112,7 +119,8 @@ std::string WorkerTable::json() const {
        << json_escape(row.state) << "\",\"current_task\":"
        << row.current_task << ",\"tasks_done\":" << row.tasks_done
        << ",\"respawns\":" << row.respawns << ",\"last_failure\":\""
-       << json_escape(row.last_failure) << "\"}";
+       << json_escape(row.last_failure) << "\",\"label\":\""
+       << json_escape(row.label) << "\"}";
   }
   os << "]}";
   return os.str();

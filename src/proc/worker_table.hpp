@@ -28,6 +28,9 @@ public:
     std::uint64_t tasks_done = 0;
     std::uint64_t respawns = 0;
     std::string last_failure;  ///< signature of the last failed attempt
+    /// Where the worker lives: "" for forked subprocesses (the pid says
+    /// it all), the agent name or peer "host:port" for dist fleets.
+    std::string label;
   };
 
   static WorkerTable& global();
@@ -35,6 +38,9 @@ public:
   /// Install/replace the row for `slot` (fresh spawn keeps the previous
   /// row's respawn and failure history when `respawn` is true).
   void spawned(std::size_t slot, pid_t pid, bool respawn);
+  /// Attach a human-readable location ("host:port" or an agent name) to
+  /// the slot's row; survives state changes until the row is replaced.
+  void set_label(std::size_t slot, const std::string& label);
   void running(std::size_t slot, std::size_t task);
   void idle(std::size_t slot);
   void finished(std::size_t slot, std::uint64_t tasks_done);

@@ -34,6 +34,8 @@ struct MbrPolicy {
   /// A component is "dominant" when the profile attributes at least this
   /// share of execution time to it.
   double dominant_share = 0.90;
+
+  friend bool operator==(const MbrPolicy&, const MbrPolicy&) = default;
 };
 
 /// Profile-derived constants for one tuning section (from the training

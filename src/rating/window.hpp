@@ -26,6 +26,9 @@ struct WindowPolicy {
   /// with (w = 10), a perturbation spike inflates the mean and sigma it
   /// hides behind (masking); the median absolute deviation does not care.
   stats::OutlierPolicy outliers{stats::OutlierRule::kMad, 6.0, 0.25, 4};
+
+  friend bool operator==(const WindowPolicy&,
+                         const WindowPolicy&) = default;
 };
 
 class WindowedRater {

@@ -30,6 +30,9 @@ struct OutlierPolicy {
   double max_drop_fraction = 0.25;
   /// Iteration cap for the fixpoint loop of the sigma rule.
   int max_iterations = 4;
+
+  friend bool operator==(const OutlierPolicy&,
+                         const OutlierPolicy&) = default;
 };
 
 struct OutlierResult {

@@ -1,0 +1,155 @@
+#include "support/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace peak::support {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + ::strerror(errno);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void set_blocking(int fd, bool blocking) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  fcntl(fd, F_SETFL,
+        blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK));
+}
+
+}  // namespace
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listen(std::uint16_t port, bool loopback_only,
+                         std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = errno_text("socket");
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    if (error) *error = errno_text("bind/listen");
+    close();
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  set_blocking(fd_, false);
+  return true;
+}
+
+int TcpListener::accept_ready(std::string* peer) {
+  if (fd_ < 0) return -1;
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  const int fd =
+      ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (fd < 0) return -1;
+  set_blocking(fd, true);
+  set_nodelay(fd);
+  if (peer) {
+    char host[INET_ADDRSTRLEN] = "?";
+    inet_ntop(AF_INET, &addr.sin_addr, host, sizeof host);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s:%u", host, ntohs(addr.sin_port));
+    *peer = buf;
+  }
+  return fd;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                int timeout_ms, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int gai = getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res);
+  if (gai != 0 || res == nullptr) {
+    if (error)
+      *error = "resolve " + host + ": " + gai_strerror(gai);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    set_blocking(fd, false);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (poll(&pfd, 1, timeout_ms) == 1 && (pfd.revents & POLLOUT)) {
+        int soerr = 0;
+        socklen_t len = sizeof soerr;
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr == 0) break;
+        errno = soerr;
+      } else {
+        errno = ETIMEDOUT;
+      }
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    if (error)
+      *error = errno_text(("connect " + host + ":" + port_text).c_str());
+    return -1;
+  }
+  set_blocking(fd, true);
+  set_nodelay(fd);
+  return fd;
+}
+
+bool split_host_port(const std::string& endpoint, std::string* host,
+                     std::uint16_t* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size())
+    return false;
+  char* end = nullptr;
+  const std::string port_text = endpoint.substr(colon + 1);
+  const unsigned long p = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || p == 0 || p > 65535)
+    return false;
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+}  // namespace peak::support

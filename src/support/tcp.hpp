@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file tcp.hpp
+/// Minimal TCP plumbing for the distributed tuning layer (`peak::dist`):
+/// a listener that accepts without blocking the caller's event loop, and
+/// a blocking connect with a deadline. The sockets are plain POSIX fds so
+/// the worker-protocol framing (`proc::FrameReader` / `proc::write_frame`)
+/// runs on them unchanged — a socket and a pipe deliver the same torn
+/// byte stream, and the framing was built for exactly that.
+///
+/// Unlike the telemetry server (127.0.0.1 only — an operator loopback
+/// surface), a dist listener binds all interfaces by default: the whole
+/// point of a worker fleet is that it lives on other machines. Callers
+/// that want loopback-only (tests, single-box sweeps) pass
+/// `loopback_only = true`.
+
+#include <cstdint>
+#include <string>
+
+namespace peak::support {
+
+/// Listening TCP socket. accept_ready() never blocks: the coordinator
+/// polls the listener fd alongside its worker fds and accepts only when
+/// poll() says a connection is pending.
+class TcpListener {
+public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind and listen on `port` (0 = ephemeral; port() reports the bound
+  /// one). False on failure with a description in *error.
+  bool listen(std::uint16_t port, bool loopback_only, std::string* error);
+
+  /// Accept one pending connection, or -1 when none is queued (the
+  /// socket is non-blocking). The returned fd is blocking, TCP_NODELAY,
+  /// and owned by the caller. `peer` (optional) receives "host:port".
+  int accept_ready(std::string* peer = nullptr);
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool listening() const { return fd_ >= 0; }
+
+  void close();
+
+private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to host:port with a deadline. Returns the connected
+/// fd (blocking, TCP_NODELAY) or -1 with a description in *error. `host`
+/// is a hostname or a dotted address.
+int tcp_connect(const std::string& host, std::uint16_t port,
+                int timeout_ms, std::string* error);
+
+/// Split "host:port" (the last ':' wins, so bare IPv4 and hostnames work).
+/// False when the port is missing or out of range.
+bool split_host_port(const std::string& endpoint, std::string* host,
+                     std::uint16_t* port);
+
+}  // namespace peak::support

@@ -4,8 +4,8 @@
 The bench binaries (bench_headline and friends) emit JSON next to their
 stdout report so dashboards and regression drivers can consume the numbers
 without scraping text. This script checks those files against the expected
-schema (headline, engine_compare, fault_sweep, crash_sweep) and rejects
-NaN/Infinity
+schema (headline, engine_compare, fault_sweep, crash_sweep, dist_sweep)
+and rejects NaN/Infinity
 anywhere in a document — run it in CI after the benches, or standalone:
 
     tools/check_bench_json.py BENCH_headline.json [...]
@@ -342,6 +342,76 @@ def check_crash_sweep(fragment, path):
     _check_number(summary, "total_respawns", f"{path}.summary", minimum=1)
 
 
+def check_dist_sweep(fragment, path):
+    """The distributed-tuning sweep of a headline document.
+
+    The hard gate is identity: every arm — any fleet size, and the kill
+    arm where a worker drops its socket mid-run — must produce the
+    bit-identical TuningOutcome of the threaded baseline. The kill arm
+    must additionally show the liveness machinery actually fired: a
+    worker was lost, at least one task requeued, and a replacement was
+    absorbed mid-run (the bench kills the fleet's only worker, so the
+    run provably cannot finish without the respawn) — otherwise the
+    identity claim under churn was vacuous. Wall times are recorded for
+    dashboards but not gated.
+    """
+    _require(isinstance(fragment, dict), path, "expected an object")
+    _check_string(fragment, "benchmark", path)
+    _check_number(fragment, "baseline_threads", path, minimum=1)
+    _check_number(fragment, "baseline_wall_s", path, minimum=0)
+    _require(isinstance(fragment.get("arms"), list) and fragment["arms"],
+             f"{path}.arms", "expected a non-empty array")
+    kill_arms = 0
+    for i, arm in enumerate(fragment["arms"]):
+        apath = f"{path}.arms[{i}]"
+        _check_string(arm, "mode", apath)
+        _require(arm["mode"] in ("fleet", "kill"), f"{apath}.mode",
+                 f"unknown mode {arm['mode']!r}")
+        _check_number(arm, "workers", apath, minimum=1)
+        _check_number(arm, "wall_s", apath, minimum=0)
+        _check_bool(arm, "completed", apath)
+        _check_bool(arm, "outcome_identical", apath)
+        _check_number(arm, "tasks_dispatched", apath, minimum=1)
+        _check_number(arm, "tasks_requeued", apath, minimum=0)
+        _check_number(arm, "workers_lost", apath, minimum=0)
+        _check_number(arm, "workers_respawned", apath, minimum=0)
+        _require(arm["completed"], f"{apath}.completed",
+                 "a distributed arm did not complete (an agent exited "
+                 "non-zero or the fleet never formed)")
+        _require(arm["outcome_identical"], f"{apath}.outcome_identical",
+                 "distributed outcome differs from the threaded baseline")
+        if arm["mode"] == "kill":
+            kill_arms += 1
+            _require(arm["workers_lost"] >= 1, f"{apath}.workers_lost",
+                     "the kill arm never lost a worker (the death hook "
+                     "did not fire, so the churn gate is vacuous)")
+            _require(arm["tasks_requeued"] >= 1, f"{apath}.tasks_requeued",
+                     "the kill arm requeued nothing (the dead worker "
+                     "held no work, so the churn gate is vacuous)")
+            _require(arm["workers_respawned"] >= 1,
+                     f"{apath}.workers_respawned",
+                     "the kill arm absorbed no replacement worker "
+                     "(the run should not even have finished)")
+    _require(kill_arms >= 1, f"{path}.arms",
+             "expected at least one kill arm")
+    summary = fragment.get("summary")
+    _require(isinstance(summary, dict), f"{path}.summary",
+             "expected an object")
+    _check_number(summary, "identity_rate", f"{path}.summary", minimum=0)
+    _require(summary["identity_rate"] == 1.0,
+             f"{path}.summary.identity_rate",
+             "every distributed arm must reproduce the threaded outcome")
+    _check_number(summary, "tasks_requeued", f"{path}.summary", minimum=1)
+    _check_number(summary, "workers_respawned", f"{path}.summary",
+                  minimum=1)
+
+
+def check_dist_sweep_doc(doc, path):
+    _require(doc.get("schema") == 1, path, "expected schema 1")
+    _require("dist_sweep" in doc, path, "missing key 'dist_sweep'")
+    check_dist_sweep(doc["dist_sweep"], f"{path}.dist_sweep")
+
+
 def check_crash_sweep_doc(doc, path):
     _require(doc.get("schema") == 1, path, "expected schema 1")
     _require("crash_sweep" in doc, path, "missing key 'crash_sweep'")
@@ -391,6 +461,9 @@ def check_headline(doc, path):
     # Ditto the worker-isolation crash sweep.
     if "crash_sweep" in doc:
         check_crash_sweep(doc["crash_sweep"], f"{path}.crash_sweep")
+    # Ditto the distributed-tuning sweep.
+    if "dist_sweep" in doc:
+        check_dist_sweep(doc["dist_sweep"], f"{path}.dist_sweep")
     _require("metrics" in doc, path, "missing key 'metrics'")
     check_metrics(doc["metrics"], f"{path}.metrics")
     # cost_attribution joined the artifact after the metrics section, so
@@ -439,6 +512,7 @@ CHECKERS = {
     "engine_compare": check_engine_compare,
     "fault_sweep": check_fault_sweep,
     "crash_sweep": check_crash_sweep_doc,
+    "dist_sweep": check_dist_sweep_doc,
 }
 
 
@@ -757,6 +831,28 @@ GOOD_CRASH = {
     },
 }
 
+GOOD_DIST = {
+    "benchmark": "SWIM",
+    "baseline_threads": 2,
+    "baseline_wall_s": 0.041,
+    "arms": [
+        {"mode": "fleet", "workers": 1, "wall_s": 0.062, "completed": True,
+         "outcome_identical": True, "tasks_dispatched": 38,
+         "tasks_requeued": 0, "workers_lost": 0, "workers_respawned": 0},
+        {"mode": "fleet", "workers": 2, "wall_s": 0.055, "completed": True,
+         "outcome_identical": True, "tasks_dispatched": 38,
+         "tasks_requeued": 0, "workers_lost": 0, "workers_respawned": 0},
+        {"mode": "kill", "workers": 1, "wall_s": 0.058, "completed": True,
+         "outcome_identical": True, "tasks_dispatched": 40,
+         "tasks_requeued": 2, "workers_lost": 1, "workers_respawned": 1},
+    ],
+    "summary": {
+        "identity_rate": 1.0,
+        "tasks_requeued": 2,
+        "workers_respawned": 1,
+    },
+}
+
 GOOD_ENGINE = {
     "bench": "engine_compare",
     "schema": 1,
@@ -919,6 +1015,47 @@ def self_test():
            True, "good standalone crash_sweep document rejected")
     expect({"bench": "crash_sweep", "schema": 1}, False,
            "standalone crash_sweep document without fragment accepted")
+
+    # The distributed-tuning sweep: optional in a headline, gated when
+    # present, and also a standalone document schema.
+    def with_dist(fn=None):
+        def apply(d):
+            d["dist_sweep"] = json.loads(json.dumps(GOOD_DIST))
+            if fn is not None:
+                fn(d["dist_sweep"])
+        return _mutate(GOOD, apply)
+
+    expect(with_dist(), True,
+           "headline with good dist_sweep section rejected")
+    expect(with_dist(lambda c: c.update(arms=[])), False,
+           "empty dist_sweep arms accepted")
+    expect(with_dist(lambda c: c["arms"][0].update(mode="weird")), False,
+           "unknown dist arm mode accepted")
+    expect(with_dist(lambda c: c["arms"][0].update(
+        outcome_identical=False)), False,
+        "non-identical distributed outcome accepted")
+    expect(with_dist(lambda c: c["arms"][0].update(completed=False)),
+           False, "distributed arm that did not complete accepted")
+    expect(with_dist(lambda c: c["arms"][0].update(tasks_dispatched=0)),
+           False, "distributed arm that dispatched nothing accepted")
+    expect(with_dist(lambda c: c["arms"][2].update(workers_lost=0)),
+           False, "kill arm that lost no worker accepted")
+    expect(with_dist(lambda c: c["arms"][2].update(tasks_requeued=0)),
+           False, "kill arm that requeued nothing accepted")
+    expect(with_dist(lambda c: c["arms"][2].update(workers_respawned=0)),
+           False, "kill arm that absorbed no replacement accepted")
+    expect(with_dist(lambda c: c["arms"][2].pop("workers_respawned")),
+           False, "kill arm without a respawn count accepted")
+    expect(with_dist(lambda c: c["arms"].pop(2)), False,
+           "dist_sweep without a kill arm accepted")
+    expect(with_dist(lambda c: c["summary"].update(identity_rate=0.75)),
+           False, "dist identity rate below 1 accepted")
+    expect(with_dist(lambda c: c.pop("summary")), False,
+           "missing dist_sweep summary accepted")
+    expect({"bench": "dist_sweep", "schema": 1, "dist_sweep": GOOD_DIST},
+           True, "good standalone dist_sweep document rejected")
+    expect({"bench": "dist_sweep", "schema": 1}, False,
+           "standalone dist_sweep document without fragment accepted")
 
     expect(GOOD_ENGINE, True, "good engine_compare document rejected")
     expect(_mutate(GOOD_ENGINE,

@@ -7,6 +7,7 @@
 ///   peak sweep    [--machine M] [--csv|--markdown]   (the Figure 7 runs)
 ///   peak app      [--machine M]        whole-application tuning
 ///   peak monitor  <host:port|port|port-file> [--once]   watch a live run
+///   peak worker   (--connect H:P | --listen P)   serve a tuning fleet
 ///
 /// Machines: sparc2 (default), p4. Methods: CBR MBR RBR AVG WHL (default:
 /// consultant's choice).
@@ -33,7 +34,10 @@
 #include "core/rating_cache.hpp"
 #include "core/report.hpp"
 #include "core/jsonl.hpp"
+#include "core/remote_eval.hpp"
 #include "core/tuning_driver.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker_agent.hpp"
 #include "fault/injector.hpp"
 #include "fault/quarantine.hpp"
 #include "obs/event_ring.hpp"
@@ -47,6 +51,7 @@
 #include "support/http_server.hpp"
 #include "support/shutdown.hpp"
 #include "support/table.hpp"
+#include "support/tcp.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -88,11 +93,27 @@ struct Args {
   bool csv = false;
   bool markdown = false;
   bool verbose = false;  ///< print the metrics table after the command
+  /// Distributed tuning (tune): "listen:PORT" accepts `peak worker
+  /// --connect` agents, --workers dials agents in --listen mode. Both
+  /// imply the driver path; mutually exclusive with each other and with
+  /// --fault-prob / --isolate-workers.
+  std::string distribute;          ///< "listen:PORT" (tune)
+  std::string workers_csv;         ///< "host1:p1,host2:p2" (tune)
+  unsigned min_workers = 0;        ///< 0 = dialed endpoints, or 1
+  std::string worker_connect;      ///< worker: coordinator host:port
+  int worker_listen_port = -1;     ///< worker: -1 = connect mode
+  std::string worker_name;         ///< worker: advertised fleet label
+
+  /// True when distributed tuning is requested at all.
+  [[nodiscard]] bool distributed() const {
+    return !distribute.empty() || !workers_csv.empty();
+  }
 
   /// True when the tune command must run through the fault-aware driver
   /// instead of the plain Peak facade.
   [[nodiscard]] bool wants_driver() const {
-    return fault_prob > 0.0 || no_guard || !journal_path.empty() || resume;
+    return fault_prob > 0.0 || no_guard || !journal_path.empty() ||
+           resume || distributed();
   }
 
   /// The `--resume` command line to suggest after a graceful interrupt.
@@ -117,8 +138,8 @@ std::optional<rating::Method> parse_method(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: peak <list|analyze|tune|sweep|app|apply|monitor> "
-               "[options]\n"
+               "usage: peak <list|analyze|tune|sweep|app|apply|monitor"
+               "|worker> [options]\n"
                "  --benchmark NAME   (tune)\n"
                "  --machine sparc2|p4\n"
                "  --method CBR|MBR|RBR|AVG|WHL\n"
@@ -162,6 +183,23 @@ int usage() {
                "  peak monitor <host:port|port|port-file> [--once]\n"
                "                  render a remote /snapshot, then tail "
                "/events (SSE)\n"
+               "  --distribute listen:PORT  (tune) accept peak worker "
+               "agents on PORT\n"
+               "                  (0 = ephemeral) and tune over the fleet; "
+               "bit-identical\n"
+               "                  to --search-threads for any fleet size\n"
+               "  --workers H1:P1,H2:P2  (tune) dial worker agents running "
+               "--listen\n"
+               "  --min-workers N  (tune) fleet size to wait for before "
+               "tuning\n"
+               "                  (default: the dialed endpoints, else 1)\n"
+               "  peak worker (--connect HOST:PORT | --listen PORT) "
+               "[--name NAME]\n"
+               "                  serve rating tasks to a tuning "
+               "coordinator; --connect\n"
+               "                  dials one coordinator, --listen accepts "
+               "them (0 =\n"
+               "                  ephemeral port, printed on stderr)\n"
                "  --verbose       print the metrics table on exit\n");
   return 2;
 }
@@ -316,6 +354,68 @@ int cmd_analyze(const Args& args) {
 
 /// Fault-aware tuning: drives a TuningDriver directly so the fault
 /// injector, guarded executor, and crash-safe journal can be wired in.
+/// Parse and validate the dist flags into a ready coordinator. Returns
+/// false (with a diagnostic already printed) when the fleet cannot form.
+bool start_coordinator(const Args& args, const core::DriverOptions& options,
+                       std::optional<dist::Coordinator>& coordinator) {
+  core::SessionSpec spec = core::make_session_spec(
+      args.benchmark, args.machine == "p4" ? "p4" : "sparc2", options);
+  std::vector<std::string> endpoints;
+  if (!args.workers_csv.empty()) {
+    std::string rest = args.workers_csv;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      endpoints.push_back(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+  }
+  dist::DistPolicy policy;
+  policy.min_workers = args.min_workers != 0 ? args.min_workers
+                       : endpoints.empty()   ? 1
+                                             : endpoints.size();
+  coordinator.emplace(std::move(spec), policy);
+  std::string error;
+  if (!endpoints.empty()) {
+    if (!coordinator->dial(endpoints, &error)) {
+      std::fprintf(stderr, "distribute: %s\n", error.c_str());
+      return false;
+    }
+  } else {
+    // --distribute listen:PORT
+    const std::string value = args.distribute;
+    if (value.rfind("listen:", 0) != 0) {
+      std::fprintf(stderr,
+                   "distribute: expected listen:PORT, got '%s'\n",
+                   value.c_str());
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(value.c_str() + 7, &end, 10);
+    if (end == value.c_str() + 7 || *end != '\0' || port > 65535) {
+      std::fprintf(stderr, "distribute: bad port in '%s'\n", value.c_str());
+      return false;
+    }
+    if (!coordinator->listen(static_cast<std::uint16_t>(port),
+                             /*loopback_only=*/false, &error)) {
+      std::fprintf(stderr, "distribute: %s\n", error.c_str());
+      return false;
+    }
+    std::printf("  distribute: waiting for %zu worker%s on port %u "
+                "(peak worker --connect HOST:%u)\n",
+                policy.min_workers, policy.min_workers == 1 ? "" : "s",
+                coordinator->port(), coordinator->port());
+    std::fflush(stdout);
+  }
+  if (!coordinator->wait_for_fleet(&error)) {
+    std::fprintf(stderr, "distribute: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("  distribute: fleet of %zu worker%s ready\n",
+              coordinator->fleet_size(),
+              coordinator->fleet_size() == 1 ? "" : "s");
+  return true;
+}
+
 int cmd_tune_driver(const Args& args,
                     const workloads::Workload& workload) {
   const sim::MachineModel machine = machine_of(args);
@@ -359,6 +459,16 @@ int cmd_tune_driver(const Args& args,
   options.isolate_workers = args.isolate_workers;
   if (cache) options.rating_cache = &*cache;
 
+  // Must outlive the driver: the evaluator talks to the fleet on every
+  // probe round. Declared before `driver` so its destructor (bye frames,
+  // socket teardown) runs after the driver's.
+  std::optional<dist::Coordinator> coordinator;
+  if (args.distributed()) {
+    telemetry.phase("fleet");
+    if (!start_coordinator(args, options, coordinator)) return 1;
+    options.coordinator = &*coordinator;
+  }
+
   core::TuningDriver driver(workload, profile, train, machine, effects,
                             options);
   quarantine_view->store(&driver.quarantine());
@@ -370,7 +480,11 @@ int cmd_tune_driver(const Args& args,
     // Unwinding through here runs the driver/cache/telemetry destructors:
     // the journal and rating cache are already durable per record, the
     // telemetry server stops, and the supervisor (if any) has reaped its
-    // workers before rethrowing.
+    // workers before rethrowing. A distributed fleet gets an explicit
+    // goodbye first: the in-flight round has already drained (shutdown
+    // only surfaces between rounds), so every worker is idle and the bye
+    // frame lets agents in --connect mode exit cleanly.
+    if (coordinator) coordinator->shutdown();
     telemetry.phase("interrupted");
     std::fprintf(stderr, "\ninterrupted by signal %d; %s\n", e.signal(),
                  args.resume_hint().c_str());
@@ -407,6 +521,17 @@ int cmd_tune_driver(const Args& args,
   if (!args.journal_path.empty())
     std::printf("  journal: %s%s\n", args.journal_path.c_str(),
                 args.resume ? " (resumed)" : "");
+  if (coordinator) {
+    const dist::CoordinatorStats& stats = coordinator->stats();
+    std::printf("  fleet: %zu workers (%llu tasks dispatched, %llu "
+                "requeued, %llu lost, %llu respawned)\n",
+                coordinator->fleet_size(),
+                static_cast<unsigned long long>(stats.tasks_dispatched),
+                static_cast<unsigned long long>(stats.tasks_requeued),
+                static_cast<unsigned long long>(stats.workers_lost),
+                static_cast<unsigned long long>(stats.workers_respawned));
+    coordinator->shutdown();
+  }
   if (cache)
     std::printf("  rating cache: %s (%zu entries%s)\n",
                 cache->path().c_str(), cache->size(),
@@ -443,6 +568,35 @@ int cmd_tune_driver(const Args& args,
 
 int cmd_tune(const Args& args) {
   if (args.benchmark.empty()) return usage();
+  if (args.distributed()) {
+    // Fault injection and quarantine verdicts depend on attempt history
+    // held coordinator-side; shipping them would break the pure-function
+    // task contract. Subprocess isolation is the same transport solved a
+    // different way. Both refuse loudly rather than silently diverge.
+    if (!args.distribute.empty() && !args.workers_csv.empty()) {
+      std::fprintf(stderr,
+                   "--distribute and --workers are mutually exclusive\n");
+      return 2;
+    }
+    if (args.fault_prob > 0.0) {
+      std::fprintf(stderr,
+                   "--fault-prob cannot combine with distributed tuning "
+                   "(fault verdicts are coordinator-side state)\n");
+      return 2;
+    }
+    if (args.isolate_workers > 0) {
+      std::fprintf(stderr,
+                   "--isolate-workers cannot combine with distributed "
+                   "tuning (pick one worker transport)\n");
+      return 2;
+    }
+    if (args.search_threads == 0) {
+      std::fprintf(stderr,
+                   "distributed tuning needs batch semantics; drop "
+                   "--search-threads 0\n");
+      return 2;
+    }
+  }
   const auto workload = workloads::make_workload(args.benchmark);
   if (!workload) {
     std::fprintf(stderr, "unknown benchmark '%s'\n",
@@ -663,6 +817,42 @@ int cmd_monitor(const Args& args) {
   return 0;
 }
 
+/// `peak worker`: a long-lived rating agent. Connect mode dials one
+/// coordinator and exits when that session ends; listen mode serves
+/// coordinators until SIGINT/SIGTERM.
+int cmd_worker(const Args& args) {
+  dist::WorkerOptions options;
+  options.name = args.worker_name;
+  if (!args.worker_connect.empty()) {
+    if (args.worker_listen_port >= 0) {
+      std::fprintf(stderr,
+                   "peak worker: --connect and --listen are mutually "
+                   "exclusive\n");
+      return 2;
+    }
+    std::string host;
+    std::uint16_t port = 0;
+    if (!support::split_host_port(args.worker_connect, &host, &port)) {
+      std::fprintf(stderr, "peak worker: bad --connect '%s'\n",
+                   args.worker_connect.c_str());
+      return 2;
+    }
+    options.connect_host = host;
+    options.connect_port = port;
+  } else if (args.worker_listen_port >= 0) {
+    options.listen = true;
+    options.listen_port =
+        static_cast<std::uint16_t>(args.worker_listen_port);
+  } else {
+    std::fprintf(stderr,
+                 "peak worker: need --connect HOST:PORT or --listen "
+                 "PORT\n");
+    return usage();
+  }
+  dist::WorkerAgent agent(options);
+  return agent.run();
+}
+
 int cmd_sweep(const Args& args) {
   const sim::MachineModel machine = machine_of(args);
   core::Peak peak(machine);
@@ -768,6 +958,34 @@ int main(int argc, char** argv) {
       if (!v) return usage();
       args.search_threads =
           static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--distribute") {
+      const char* v = next();
+      if (!v) return usage();
+      args.distribute = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return usage();
+      args.workers_csv = v;
+    } else if (arg == "--min-workers") {
+      const char* v = next();
+      if (!v) return usage();
+      args.min_workers = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+      if (args.min_workers == 0) return usage();
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (!v) return usage();
+      args.worker_connect = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (!v) return usage();
+      char* end = nullptr;
+      const unsigned long p = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || p > 65535) return usage();
+      args.worker_listen_port = static_cast<int>(p);
+    } else if (arg == "--name") {
+      const char* v = next();
+      if (!v) return usage();
+      args.worker_name = v;
     } else if (arg == "--rating-cache") {
       const char* v = next();
       if (!v) return usage();
@@ -810,9 +1028,11 @@ int main(int argc, char** argv) {
   }
 
   // A first SIGINT/SIGTERM during `peak tune` unwinds gracefully (journal
-  // and cache stay durable, workers get reaped, a --resume hint prints);
-  // a second force-exits with 128+signal.
-  if (args.command == "tune") support::install_shutdown_handlers();
+  // and cache stay durable, workers get reaped or sent a bye frame, a
+  // --resume hint prints); a second force-exits with 128+signal. A
+  // listening `peak worker` uses the same flag to stop accepting.
+  if (args.command == "tune" || args.command == "worker")
+    support::install_shutdown_handlers();
 
   obs::ProgressView progress;
   if (args.progress) progress.start();
@@ -832,6 +1052,8 @@ int main(int argc, char** argv) {
     rc = cmd_apply(args);
   else if (args.command == "monitor")
     rc = cmd_monitor(args);
+  else if (args.command == "worker")
+    rc = cmd_worker(args);
   else
     rc = usage();
 
